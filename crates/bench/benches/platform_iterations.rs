@@ -1,0 +1,108 @@
+//! Benchmarks of whole platform iterations: one table/figure experiment
+//! unit each, so regressions in the experiment pipeline are caught.
+//!
+//! * `smb_exchange_roundtrip` — one SEASGD exchange against the SMB server
+//!   (Fig 5/6 machinery).
+//! * `allreduce_16` — the ring allreduce the baselines use (Fig 10).
+//! * `seasgd_16x10` — ten full ShmCaffe-A iterations on 16 workers
+//!   (Tables II/V unit).
+//! * `ssgd_star_16x5` — five Caffe-MPI star iterations (Fig 10 unit).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shmcaffe::config::ShmCaffeConfig;
+use shmcaffe::platforms::{CaffeMpi, ShmCaffeA, SsgdConfig};
+use shmcaffe::trainer::ModeledTrainerFactory;
+use shmcaffe_models::{CnnModel, WorkloadModel};
+use shmcaffe_mpi::MpiWorld;
+use shmcaffe_rdma::RdmaFabric;
+use shmcaffe_simnet::jitter::JitterModel;
+use shmcaffe_simnet::topology::{ClusterSpec, Fabric, NodeId};
+use shmcaffe_simnet::Simulation;
+use shmcaffe_smb::{SmbClient, SmbServer};
+
+fn bench_smb_exchange(c: &mut Criterion) {
+    c.bench_function("smb_exchange_roundtrip", |b| {
+        b.iter(|| {
+            let rdma = RdmaFabric::new(Fabric::new(ClusterSpec::paper_testbed(1)));
+            let server = SmbServer::new(rdma).unwrap();
+            let mut sim = Simulation::new();
+            sim.spawn("w", move |ctx| {
+                let client = SmbClient::new(server, NodeId(0));
+                let wg_key = client.create(&ctx, "wg", 4096, Some(53_500_000)).unwrap();
+                let dw_key = client.create(&ctx, "dw", 4096, Some(53_500_000)).unwrap();
+                let wg = client.alloc(&ctx, wg_key).unwrap();
+                let dw = client.alloc(&ctx, dw_key).unwrap();
+                let mut buf = vec![0.0f32; 4096];
+                for _ in 0..10 {
+                    client.read(&ctx, &wg, &mut buf).unwrap();
+                    client.write(&ctx, &dw, &buf).unwrap();
+                    client.accumulate(&ctx, &dw, &wg).unwrap();
+                }
+            });
+            sim.run()
+        });
+    });
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    c.bench_function("allreduce_16_ranks", |b| {
+        b.iter(|| {
+            let world = MpiWorld::new(Fabric::new(ClusterSpec::paper_testbed(4)), 16);
+            let mut sim = Simulation::new();
+            for rank in 0..16 {
+                let mut comm = world.comm(rank);
+                sim.spawn(&format!("r{rank}"), move |ctx| {
+                    let data = vec![rank as f32; 4096];
+                    comm.allreduce_wire(&ctx, data, 53_500_000);
+                });
+            }
+            sim.run()
+        });
+    });
+}
+
+fn bench_shmcaffe_a(c: &mut Criterion) {
+    c.bench_function("seasgd_16x10_iterations", |b| {
+        b.iter(|| {
+            let cfg = ShmCaffeConfig {
+                max_iters: 10,
+                progress_every: 5,
+                jitter: JitterModel::NONE,
+                ..Default::default()
+            };
+            ShmCaffeA::new(ClusterSpec::paper_testbed(4), 16, cfg)
+                .run(ModeledTrainerFactory::new(
+                    WorkloadModel::from_cnn(CnnModel::InceptionV1),
+                    JitterModel::NONE,
+                    1,
+                ))
+                .unwrap()
+        });
+    });
+}
+
+fn bench_caffe_mpi(c: &mut Criterion) {
+    c.bench_function("ssgd_star_16x5_iterations", |b| {
+        b.iter(|| {
+            CaffeMpi::new(
+                ClusterSpec::paper_testbed(4),
+                16,
+                SsgdConfig { max_iters: 5, ..Default::default() },
+            )
+            .run(ModeledTrainerFactory::new(
+                WorkloadModel::from_cnn(CnnModel::InceptionV1),
+                JitterModel::NONE,
+                1,
+            ))
+            .unwrap()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Whole-platform iterations run full simulations; keep sampling light.
+    config = Criterion::default().sample_size(10);
+    targets = bench_smb_exchange, bench_allreduce, bench_shmcaffe_a, bench_caffe_mpi
+}
+criterion_main!(benches);

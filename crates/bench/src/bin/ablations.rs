@@ -1,0 +1,232 @@
+//! Ablation studies for the design choices called out in DESIGN.md §5:
+//!
+//! 1. `update_interval` sweep — communication every k-th iteration,
+//! 2. `moving_rate` sweep — the elastic coefficient α,
+//! 3. hide-the-global-read — the §III-G trade-off the paper decides
+//!    against,
+//! 4. straggler sensitivity — SSGD's max-of-N penalty vs SEASGD's
+//!    indifference as jitter grows,
+//! 5. multiple SMB servers — the paper's §V future work, implemented.
+//!
+//! Run with `cargo run --release -p shmcaffe-bench --bin ablations`.
+
+use shmcaffe::config::ShmCaffeConfig;
+use shmcaffe::platforms::{MpiCaffe, ShmCaffeA, SsgdConfig};
+use shmcaffe::trainer::ModeledTrainerFactory;
+use shmcaffe_bench::table::{ms, pct, Table};
+use shmcaffe_models::{CnnModel, WorkloadModel};
+use shmcaffe_rdma::RdmaFabric;
+use shmcaffe_simnet::channel::SimChannel;
+use shmcaffe_simnet::jitter::JitterModel;
+use shmcaffe_simnet::topology::{ClusterSpec, Fabric, NodeId};
+use shmcaffe_simnet::{SimDuration, Simulation};
+use shmcaffe_smb::{ShardedClient, SmbCluster};
+
+const ITERS: usize = 100;
+
+fn factory(model: CnnModel, jitter: JitterModel) -> ModeledTrainerFactory {
+    ModeledTrainerFactory::new(WorkloadModel::from_cnn(model), jitter, 42)
+}
+
+fn update_interval_sweep() {
+    let mut table = Table::new(
+        "Ablation 1: update_interval (ShmCaffe-A, ResNet_50, 16 GPUs)",
+        &["interval", "comm (ms)", "iter (ms)", "comm ratio"],
+    );
+    for interval in [1usize, 2, 4, 8] {
+        let cfg = ShmCaffeConfig {
+            max_iters: ITERS,
+            update_interval: interval,
+            progress_every: 25,
+            ..Default::default()
+        };
+        let report = ShmCaffeA::new(ClusterSpec::paper_testbed(4), 16, cfg)
+            .run(factory(CnnModel::ResNet50, JitterModel::hpc_default()))
+            .expect("platform runs");
+        table.row_owned(vec![
+            interval.to_string(),
+            ms(report.mean_comm_ms()),
+            ms(report.mean_iter_ms()),
+            pct(report.comm_ratio()),
+        ]);
+    }
+    table.print();
+    println!("larger intervals amortise the exchange but increase staleness\n");
+}
+
+fn moving_rate_sweep() {
+    // Timing is α-independent; what α changes is the elastic coupling.
+    // Measure the consensus speed: how fast 4 drifting replicas collapse
+    // onto the global buffer (smaller residual spread = stronger pull).
+    let mut table = Table::new(
+        "Ablation 2: moving_rate α (4 modeled workers, |W_g| RMS after 50 iters)",
+        &["alpha", "global RMS", "verdict"],
+    );
+    for &alpha in &[0.05f32, 0.2, 0.5, 0.9] {
+        let cfg = ShmCaffeConfig {
+            max_iters: 50,
+            moving_rate: alpha,
+            progress_every: 10,
+            ..Default::default()
+        };
+        let report = ShmCaffeA::new(ClusterSpec::paper_testbed(1), 4, cfg)
+            .run(ModeledTrainerFactory::new(
+                WorkloadModel::custom("drift", 1_000_000, SimDuration::from_millis(5)),
+                JitterModel::NONE,
+                42,
+            ))
+            .expect("platform runs");
+        // Proxy for the residual: the global buffer norm (workers inject
+        // deterministic pseudo-gradients; stronger coupling pulls W_g
+        // along, weaker coupling leaves it near zero).
+        let wg = report.final_weights.expect("weights recorded");
+        let norm = (wg.iter().map(|v| (v * v) as f64).sum::<f64>() / wg.len() as f64).sqrt();
+        let verdict = if norm.is_finite() && norm < 1.0 { "stable" } else { "DIVERGES" };
+        table.row_owned(vec![format!("{alpha:.2}"), format!("{norm:.5}"), verdict.to_string()]);
+    }
+    table.print();
+    println!("EASGD is only stable while N·α stays below ~2 (Zhang et al. scale");
+    println!("α = β/N); with 4 workers, α ≥ 0.5 genuinely diverges — the paper's");
+    println!("α = 0.2 at up to 16 workers sits near that boundary\n");
+}
+
+fn hide_read_ablation() {
+    let mut table = Table::new(
+        "Ablation 3: hiding the global-weight read (ShmCaffe-A, Inception_v1)",
+        &["GPUs", "read visible (ms/iter)", "read hidden (ms/iter)", "hidden is stale?"],
+    );
+    for gpus in [2usize, 8, 16] {
+        let run = |hide: bool| {
+            let cfg = ShmCaffeConfig {
+                max_iters: ITERS,
+                hide_global_read: hide,
+                progress_every: 25,
+                ..Default::default()
+            };
+            ShmCaffeA::new(ClusterSpec::paper_testbed(4), gpus, cfg)
+                .run(factory(CnnModel::InceptionV1, JitterModel::NONE))
+                .expect("platform runs")
+                .mean_iter_ms()
+        };
+        table.row_owned(vec![
+            gpus.to_string(),
+            ms(run(false)),
+            ms(run(true)),
+            "yes (one exchange old)".to_string(),
+        ]);
+    }
+    table.print();
+    println!("hiding the read buys little once the server saturates, and the");
+    println!("paper rejects it anyway: stale W_g worsens convergence (§III-G)\n");
+}
+
+fn straggler_sensitivity() {
+    let mut table = Table::new(
+        "Ablation 4: straggler sensitivity (16 GPUs, Inception_v1)",
+        &["jitter sigma", "SSGD iter (ms)", "SEASGD iter (ms)", "SSGD penalty"],
+    );
+    for &sigma in &[0.0f64, 0.05, 0.15, 0.3] {
+        let jitter = if sigma == 0.0 { JitterModel::NONE } else { JitterModel::lognormal(sigma) };
+        let ssgd = MpiCaffe::new(
+            ClusterSpec::paper_testbed(4),
+            16,
+            SsgdConfig { max_iters: ITERS, ..Default::default() },
+        )
+        .run(factory(CnnModel::InceptionV1, jitter))
+        .expect("platform runs")
+        .mean_iter_ms();
+        let cfg = ShmCaffeConfig { max_iters: ITERS, progress_every: 25, ..Default::default() };
+        let async_ = ShmCaffeA::new(ClusterSpec::paper_testbed(4), 16, cfg)
+            .run(factory(CnnModel::InceptionV1, jitter))
+            .expect("platform runs")
+            .mean_iter_ms();
+        table.row_owned(vec![
+            format!("{sigma:.2}"),
+            ms(ssgd),
+            ms(async_),
+            format!("{:+.1}%", (ssgd / async_ - 1.0) * 100.0),
+        ]);
+    }
+    table.print();
+    println!("SSGD waits for the slowest of 16 draws every iteration; SEASGD does not\n");
+}
+
+fn multi_smb_servers() {
+    // The §V future work: shard the ResNet_50 parameter buffer over K
+    // servers and run a 16-worker SEASGD-like exchange loop.
+    let mut table = Table::new(
+        "Ablation 5: multiple SMB servers (16 workers, ResNet_50-sized exchange)",
+        &["servers", "mean exchange (ms)", "speedup vs 1"],
+    );
+    let exchange_ms = |servers: usize| -> f64 {
+        let spec = ClusterSpec { memory_servers: servers, ..ClusterSpec::paper_testbed(4) };
+        let rdma = RdmaFabric::new(Fabric::new(spec));
+        let cluster = SmbCluster::new(rdma).expect("servers exist");
+        let elems = 1024usize;
+        let wire = CnnModel::ResNet50.param_bytes();
+        let rounds = 20usize;
+        let totals = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let key_ch: SimChannel<shmcaffe_smb::ShardedKey> = SimChannel::new("keys");
+
+        let mut sim = Simulation::new();
+        for rank in 0..16usize {
+            let cluster = cluster.clone();
+            let totals = std::sync::Arc::clone(&totals);
+            let key_ch = key_ch.clone();
+            sim.spawn(&format!("w{rank}"), move |ctx| {
+                let client = ShardedClient::new(&cluster, NodeId(rank / 4));
+                let wg_key = if rank == 0 {
+                    let key = client.create(&ctx, "wg", elems, Some(wire)).expect("fresh");
+                    for _ in 1..16 {
+                        key_ch.send(&ctx, key.clone());
+                    }
+                    key
+                } else {
+                    key_ch.recv(&ctx)
+                };
+                let wg = client.alloc(&ctx, &wg_key).expect("created");
+                let dw_key = client
+                    .create(&ctx, &format!("dw{rank}"), elems, Some(wire))
+                    .expect("unique");
+                let dw = client.alloc(&ctx, &dw_key).expect("created");
+                let mut buf = vec![0.0f32; elems];
+                let mut total = SimDuration::ZERO;
+                for _ in 0..rounds {
+                    let t0 = ctx.now();
+                    client.read(&ctx, &wg, &mut buf).expect("live");
+                    client.write(&ctx, &dw, &buf).expect("live");
+                    client.accumulate(&ctx, &dw, &wg).expect("live");
+                    total += ctx.now() - t0;
+                    // Simulated compute between exchanges.
+                    ctx.sleep(SimDuration::from_millis(330));
+                }
+                totals.lock().push(total.as_millis_f64() / rounds as f64);
+            });
+        }
+        sim.run();
+        let v = totals.lock().clone();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+
+    let base = exchange_ms(1);
+    for servers in [1usize, 2, 4] {
+        let t = if servers == 1 { base } else { exchange_ms(servers) };
+        table.row_owned(vec![
+            servers.to_string(),
+            ms(t),
+            format!("{:.2}x", base / t),
+        ]);
+    }
+    table.print();
+    println!("sharding the buffer divides both the per-stream pacing and the");
+    println!("per-server memory-bus load — the scalability relief §V anticipates\n");
+}
+
+fn main() {
+    println!("ShmCaffe ablations (DESIGN.md §5)\n");
+    update_interval_sweep();
+    moving_rate_sweep();
+    hide_read_ablation();
+    straggler_sensitivity();
+    multi_smb_servers();
+}

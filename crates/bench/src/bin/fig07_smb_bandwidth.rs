@@ -1,0 +1,83 @@
+//! Fig. 7 — Read/Write bandwidth of a single SMB server.
+//!
+//! "Each process allocates the shared memory buffer of 1 GB and conducts
+//! Read/Write (each 50% mixed) after the shared memory allocation ...
+//! the aggregated bandwidth of the Read/Write traffic workload increases
+//! up to 6.7 GB/s ... utilization of the hardware bandwidth reaches up to
+//! 96%" (paper §IV-B).
+//!
+//! Run with `cargo run --release -p shmcaffe-bench --bin fig07_smb_bandwidth`.
+
+use parking_lot::Mutex;
+use shmcaffe_bench::table::Table;
+use shmcaffe_rdma::RdmaFabric;
+use shmcaffe_simnet::topology::{ClusterSpec, Fabric, NodeId};
+use shmcaffe_simnet::Simulation;
+use shmcaffe_smb::{SmbClient, SmbServer};
+use std::sync::Arc;
+
+const BUFFER_BYTES: u64 = 1_000_000_000;
+const ROUNDS: usize = 10; // the paper repeats the experiment 10 times
+
+/// Measures the aggregate R/W bandwidth with `procs` client processes.
+fn aggregate_bandwidth(procs: usize) -> f64 {
+    // Spread processes over enough 4-slot nodes.
+    let nodes = procs.div_ceil(4).max(1);
+    let fabric = Fabric::new(ClusterSpec::paper_testbed(nodes));
+    let rdma = RdmaFabric::new(fabric);
+    let server = SmbServer::new(rdma).unwrap();
+    let total_bytes = Arc::new(Mutex::new(0u64));
+
+    let mut sim = Simulation::new();
+    for p in 0..procs {
+        let server = server.clone();
+        let total_bytes = Arc::clone(&total_bytes);
+        let node = NodeId(p / 4);
+        sim.spawn(&format!("proc{p}"), move |ctx| {
+            let client = SmbClient::new(server, node);
+            // Physically small buffer, logically 1 GB.
+            let key = client
+                .create(&ctx, &format!("buf{p}"), 1024, Some(BUFFER_BYTES))
+                .expect("unique names");
+            let buf = client.alloc(&ctx, key).expect("just created");
+            let mut scratch = vec![0.0f32; 1024];
+            let mut moved = 0u64;
+            for round in 0..ROUNDS {
+                // 50/50 read/write mix.
+                if (p + round) % 2 == 0 {
+                    client.read(&ctx, &buf, &mut scratch).expect("live buffer");
+                } else {
+                    client.write(&ctx, &buf, &scratch).expect("live buffer");
+                }
+                moved += BUFFER_BYTES;
+            }
+            *total_bytes.lock() += moved;
+        });
+    }
+    let end = sim.run();
+    let moved = *total_bytes.lock();
+    moved as f64 / end.as_secs_f64()
+}
+
+fn main() {
+    println!("Fig. 7 reproduction: SMB server aggregate Read/Write bandwidth");
+    println!("(1 GB logical buffers per process, 50/50 R/W, {ROUNDS} rounds)\n");
+    let mut table = Table::new(
+        "Fig 7: Read/Write bandwidth in a SMB server",
+        &["processes", "aggregate GB/s", "HCA utilization"],
+    );
+    let hca_bw = 7.0; // GB/s, FDR
+    let mut peak: f64 = 0.0;
+    for procs in [2usize, 4, 8, 16, 24, 32] {
+        let bw = aggregate_bandwidth(procs) / 1e9;
+        peak = peak.max(bw);
+        table.row_owned(vec![
+            procs.to_string(),
+            format!("{bw:.2}"),
+            format!("{:.0}%", bw / hca_bw * 100.0),
+        ]);
+    }
+    table.print();
+    println!("peak aggregate: {peak:.2} GB/s ({:.0}% of the 7 GB/s HCA)", peak / hca_bw * 100.0);
+    println!("paper: saturates at 6.7 GB/s (96%)");
+}

@@ -1,0 +1,67 @@
+//! Fig. 9 + Table II — Inception_v1 15-epoch training time and scalability
+//! of the four platforms at 1/8/16 GPUs.
+//!
+//! Headline anchors from the paper's prose: Caffe(1 GPU) = 22:59 with
+//! scalability 2.7 at 8 GPUs degrading to 2.3 at 16; ShmCaffe is 10.1×
+//! faster than Caffe and 2.8× faster than Caffe-MPI at 16 GPUs.
+//!
+//! Run with
+//! `cargo run --release -p shmcaffe-bench --bin fig09_table2_training_time`.
+
+use shmcaffe_bench::experiments::{epochs_hours, measure, Platform, PAPER_EPOCHS};
+use shmcaffe_bench::table::{hours_hm, Table};
+use shmcaffe_models::CnnModel;
+
+fn main() {
+    let model = CnnModel::InceptionV1;
+    let iters = 150;
+    let gpu_counts = [1usize, 8, 16];
+    println!("Table II / Fig 9 reproduction: Inception_v1, 15 epochs");
+    println!("(steady-state over {iters} iterations, extrapolated to 15 epochs)\n");
+
+    let mut hours = vec![vec![0.0f64; gpu_counts.len()]; Platform::ALL.len()];
+    let mut table = Table::new(
+        "Training time (h:m) and scalability vs Caffe 1 GPU",
+        &["platform", "1 GPU", "8 GPUs", "16 GPUs", "scal@8", "scal@16"],
+    );
+
+    let mut caffe_1gpu_hours = f64::NAN;
+    for (pi, platform) in Platform::ALL.iter().enumerate() {
+        for (gi, &gpus) in gpu_counts.iter().enumerate() {
+            let report = measure(*platform, model, gpus, iters, 42).expect("platform runs");
+            hours[pi][gi] = epochs_hours(&report, model, gpus, PAPER_EPOCHS);
+        }
+        if *platform == Platform::Caffe {
+            caffe_1gpu_hours = hours[pi][0];
+        }
+    }
+
+    for (pi, platform) in Platform::ALL.iter().enumerate() {
+        let scal = |h: f64| caffe_1gpu_hours / h;
+        table.row_owned(vec![
+            platform.name().to_string(),
+            hours_hm(hours[pi][0]),
+            hours_hm(hours[pi][1]),
+            hours_hm(hours[pi][2]),
+            format!("{:.1}", scal(hours[pi][1])),
+            format!("{:.1}", scal(hours[pi][2])),
+        ]);
+    }
+    table.print();
+
+    // The paper's Table II "ShmCaffe" entry uses Hybrid SGD (§IV-C). Its
+    // headline "10.1 times faster than Caffe" is against standalone Caffe
+    // (the 22:59 single-GPU baseline): 22:59 / 10.1 = 2:17, which is the
+    // only reading consistent with a ≥257 ms compute floor per iteration.
+    let shm_h_16 = hours[4][2];
+    let caffempi_16 = hours[1][2];
+    println!(
+        "ShmCaffe-H @16 GPUs vs standalone Caffe: {:.1}x (paper: 10.1x)",
+        caffe_1gpu_hours / shm_h_16
+    );
+    println!(
+        "ShmCaffe-H vs Caffe-MPI @16 GPUs:        {:.1}x (paper: 2.8x)",
+        caffempi_16 / shm_h_16
+    );
+    println!("Caffe 1 GPU baseline:                    {} (paper: 22:59)", hours_hm(caffe_1gpu_hours));
+}

@@ -1,0 +1,49 @@
+//! Fig. 10 — Per-iteration computation and communication time of the four
+//! platforms at 8 and 16 GPUs (Inception_v1).
+//!
+//! Anchor: "ShmCaffe Communication time is 5.3 time faster than Caffe-MPI".
+//!
+//! Run with
+//! `cargo run --release -p shmcaffe-bench --bin fig10_iteration_breakdown`.
+
+use shmcaffe_bench::experiments::{measure, Breakdown, Platform};
+use shmcaffe_bench::table::{ms, pct, Table};
+use shmcaffe_models::CnnModel;
+
+fn main() {
+    let model = CnnModel::InceptionV1;
+    let iters = 150;
+    println!("Fig 10 reproduction: per-iteration comp/comm (Inception_v1)\n");
+
+    let mut shm_comm_16 = f64::NAN;
+    let mut caffempi_comm_16 = f64::NAN;
+    let mut table = Table::new(
+        "Computation vs communication per iteration",
+        &["platform", "GPUs", "comp (ms)", "comm (ms)", "comm ratio"],
+    );
+    for platform in Platform::ALL {
+        for gpus in [8usize, 16] {
+            let report = measure(platform, model, gpus, iters, 42).expect("platform runs");
+            let b = Breakdown::from_report(platform.name(), &report);
+            if gpus == 16 {
+                match platform {
+                    Platform::ShmCaffeH => shm_comm_16 = b.comm_ms,
+                    Platform::CaffeMpi => caffempi_comm_16 = b.comm_ms,
+                    _ => {}
+                }
+            }
+            table.row_owned(vec![
+                platform.name().to_string(),
+                gpus.to_string(),
+                ms(b.comp_ms),
+                ms(b.comm_ms),
+                pct(b.comm_ratio()),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "ShmCaffe-H comm vs Caffe-MPI comm @16 GPUs: {:.1}x faster (paper: 5.3x)",
+        caffempi_comm_16 / shm_comm_16
+    );
+}

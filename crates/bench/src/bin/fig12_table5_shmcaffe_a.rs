@@ -1,0 +1,42 @@
+//! Figs. 12–13 + Table V — ShmCaffe-A computation and communication time
+//! per iteration for the four CNN models at 1/2/4/8/16 workers.
+//!
+//! Paper anchors: Inception_v1 comm ratio 16.3% @8 → 26% @16; ResNet_50
+//! 30% @8 → 56% @16; Inception-ResNet-v2's comm "increases rapidly" (the
+//! per-iteration volume at 16 workers is 6848 MB = 214 MB × 2 × 16); VGG16
+//! at 2 GPUs already spends 727.7 ms communicating out of 941.8 ms.
+//!
+//! Run with
+//! `cargo run --release -p shmcaffe-bench --bin fig12_table5_shmcaffe_a`.
+
+use shmcaffe_bench::experiments::{measure, Breakdown, Platform, DEFAULT_MEASURE_ITERS};
+use shmcaffe_bench::table::{ms, pct, Table};
+use shmcaffe_models::CnnModel;
+
+fn main() {
+    let worker_counts = [1usize, 2, 4, 8, 16];
+    println!("Table V / Figs 12-13 reproduction: ShmCaffe-A per-iteration breakdown\n");
+
+    for model in CnnModel::ALL {
+        let mut table = Table::new(
+            &format!("{model} (params {} MB, 1-GPU comp {:.1} ms)",
+                model.param_bytes() / 1_000_000,
+                model.comp_time().as_millis_f64()),
+            &["workers", "comp (ms)", "comm (ms)", "comm ratio"],
+        );
+        for &workers in &worker_counts {
+            let report = measure(Platform::ShmCaffeA, model, workers, DEFAULT_MEASURE_ITERS, 42)
+                .expect("platform runs");
+            let b = Breakdown::from_report("", &report);
+            table.row_owned(vec![
+                workers.to_string(),
+                ms(b.comp_ms),
+                ms(b.comm_ms),
+                pct(b.comm_ratio()),
+            ]);
+        }
+        table.print();
+    }
+    println!("paper anchors: Incept_v1 16.3%@8 / 26%@16; ResNet_50 30%@8 / 56%@16;");
+    println!("Incept_resnet_v2 rises rapidly toward ~65%@16; VGG16 comm-dominated from 2 GPUs.");
+}

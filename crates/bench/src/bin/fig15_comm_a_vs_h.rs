@@ -1,0 +1,47 @@
+//! Fig. 15 — Communication time: ShmCaffe-A vs ShmCaffe-H per model when
+//! scaling to 8 and 16 GPUs.
+//!
+//! Paper anchors: at 8 GPUs the smaller models show little difference;
+//! "ShmCaffe-H is much better than ShmCaffe-A in communication time as the
+//! DNN parameter size increases and as it scales out", and H wins on
+//! iteration time for every model at 16 GPUs.
+//!
+//! Run with `cargo run --release -p shmcaffe-bench --bin fig15_comm_a_vs_h`.
+
+use shmcaffe_bench::experiments::{measure, Breakdown, Platform, DEFAULT_MEASURE_ITERS};
+use shmcaffe_bench::table::{ms, Table};
+use shmcaffe_models::CnnModel;
+
+fn main() {
+    println!("Fig 15 reproduction: communication time, ShmCaffe-A vs ShmCaffe-H\n");
+    for gpus in [8usize, 16] {
+        let mut table = Table::new(
+            &format!("{gpus} GPUs"),
+            &["model", "A comm (ms)", "H comm (ms)", "A iter (ms)", "H iter (ms)", "H wins iter?"],
+        );
+        for model in CnnModel::ALL {
+            let a = Breakdown::from_report(
+                "A",
+                &measure(Platform::ShmCaffeA, model, gpus, DEFAULT_MEASURE_ITERS, 42)
+                    .expect("platform runs"),
+            );
+            let h = Breakdown::from_report(
+                "H",
+                &measure(Platform::ShmCaffeH, model, gpus, DEFAULT_MEASURE_ITERS, 42)
+                    .expect("platform runs"),
+            );
+            let a_iter = a.comp_ms + a.comm_ms;
+            let h_iter = h.comp_ms + h.comm_ms;
+            table.row_owned(vec![
+                model.to_string(),
+                ms(a.comm_ms),
+                ms(h.comm_ms),
+                ms(a_iter),
+                ms(h_iter),
+                if h_iter <= a_iter { "yes".into() } else { "no".into() },
+            ]);
+        }
+        table.print();
+    }
+    println!("paper: H beats A on iteration time for all models at 16 GPUs.");
+}

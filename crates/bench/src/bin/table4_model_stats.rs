@@ -1,0 +1,68 @@
+//! Table IV — Parameter size and computation time of the four CNN models.
+//!
+//! The calibrated constants (with provenance in DESIGN.md §1) plus a live
+//! measurement of the trainable proxy networks on this machine, to show
+//! the real layer library at work.
+//!
+//! Run with `cargo run --release -p shmcaffe-bench --bin table4_model_stats`.
+
+use shmcaffe_bench::table::Table;
+use shmcaffe_dnn::Phase;
+use shmcaffe_models::{proxies, CnnModel};
+use shmcaffe_tensor::Tensor;
+use std::time::Instant;
+
+fn main() {
+    println!("Table IV reproduction: model parameter sizes and computation times\n");
+
+    let mut table = Table::new(
+        "Paper models (calibrated; batch = minibatch column)",
+        &["model", "params (MB)", "minibatch", "image", "fwd (ms)", "bwd (ms)", "total (ms)"],
+    );
+    for m in CnnModel::ALL {
+        table.row_owned(vec![
+            m.to_string(),
+            format!("{:.1}", m.param_bytes() as f64 / 1e6),
+            m.minibatch().to_string(),
+            format!("{0}x{0}", m.image_hw()),
+            format!("{:.1}", m.forward_time().as_millis_f64()),
+            format!("{:.1}", m.backward_time().as_millis_f64()),
+            format!("{:.1}", m.comp_time().as_millis_f64()),
+        ]);
+    }
+    table.print();
+
+    // Live measurement of the proxy CNN on this host.
+    let mut proxy = proxies::small_cnn(3, 16, 10, 1).expect("geometry fits");
+    let batch = 32;
+    let x = Tensor::zeros(&[batch, 3, 16, 16]);
+    let labels: Vec<usize> = (0..batch).map(|i| i % 10).collect();
+    // Warm-up.
+    proxy.forward_loss(&x, &labels, Phase::Train).expect("shapes match");
+    proxy.backward_from_loss(&labels).expect("forward ran");
+
+    let reps = 20;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        proxy.forward_loss(&x, &labels, Phase::Train).expect("shapes match");
+    }
+    let fwd_ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+    let t1 = Instant::now();
+    for _ in 0..reps {
+        proxy.forward_loss(&x, &labels, Phase::Train).expect("shapes match");
+        proxy.backward_from_loss(&labels).expect("forward ran");
+    }
+    let total_ms = t1.elapsed().as_secs_f64() * 1e3 / reps as f64;
+
+    let mut live = Table::new(
+        "Trainable proxy (small_cnn, 3x16x16, batch 32) measured on this host",
+        &["net", "params", "fwd (ms)", "fwd+bwd (ms)"],
+    );
+    live.row_owned(vec![
+        "small_cnn_proxy".to_string(),
+        proxy.param_len().to_string(),
+        format!("{fwd_ms:.2}"),
+        format!("{total_ms:.2}"),
+    ]);
+    live.print();
+}

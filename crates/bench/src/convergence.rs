@@ -1,0 +1,192 @@
+//! Real-training convergence runs for Figs 8 and 11.
+//!
+//! These train actual proxy networks (see `shmcaffe_models::proxies`) on
+//! synthetic datasets, so accuracy/loss differences between the platforms
+//! and worker counts reflect genuine optimizer dynamics: asynchronous
+//! SEASGD degrading at high worker counts, hybrid staying near the 1-GPU
+//! baseline (paper Fig 11).
+
+use std::sync::Arc;
+
+use shmcaffe::config::ShmCaffeConfig;
+use shmcaffe::platforms::{CaffeMpi, CaffeSsgd, MpiCaffe, ShmCaffeA, ShmCaffeH, SsgdConfig};
+use shmcaffe::report::TrainingReport;
+use shmcaffe::trainer::RealTrainerFactory;
+use shmcaffe::PlatformError;
+use shmcaffe_dnn::data::{Dataset, SyntheticBlobs};
+use shmcaffe_dnn::{LrPolicy, SolverConfig};
+use shmcaffe_models::proxies;
+use shmcaffe_simnet::jitter::JitterModel;
+use shmcaffe_simnet::topology::ClusterSpec;
+use shmcaffe_simnet::SimDuration;
+
+use crate::experiments::{hybrid_shape, Platform};
+
+/// The synthetic classification task used by the convergence experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct ConvergenceTask {
+    /// Number of classes.
+    pub classes: usize,
+    /// Feature dimensionality.
+    pub dim: usize,
+    /// Training-set size.
+    pub train_samples: usize,
+    /// Held-out evaluation size.
+    pub eval_samples: usize,
+    /// Cluster noise (larger = harder).
+    pub noise: f32,
+    /// Hidden width of the MLP proxy.
+    pub hidden: usize,
+    /// Per-worker minibatch size.
+    pub batch: usize,
+    /// Passes over the full training set, *summed across workers* — the
+    /// paper's regime: 15 ImageNet epochs regardless of the worker count,
+    /// so per-worker iterations shrink as workers are added.
+    pub epochs: usize,
+    /// Dataset/initialisation seed.
+    pub seed: u64,
+}
+
+impl Default for ConvergenceTask {
+    fn default() -> Self {
+        // Deliberately near capacity (heavily overlapping clusters, small
+        // per-worker shards): staleness and gradient asynchrony then cost
+        // measurable accuracy, which is the effect Fig 11 plots.
+        ConvergenceTask {
+            classes: 8,
+            dim: 8,
+            train_samples: 1600,
+            eval_samples: 600,
+            noise: 2.4,
+            hidden: 24,
+            batch: 16,
+            epochs: 30,
+            seed: 20180707, // ICDCS 2018
+        }
+    }
+}
+
+impl ConvergenceTask {
+    /// Per-worker iteration budget for `workers` workers (fixed total
+    /// epochs over the shared dataset).
+    pub fn iters_for(&self, workers: usize) -> usize {
+        (self.train_samples * self.epochs).div_ceil(workers.max(1) * self.batch)
+    }
+
+    /// Builds the trainer factory for `n_workers` with a given base
+    /// learning rate (the paper's step-decay schedule scaled to the run).
+    pub fn factory(&self, base_lr: f32, lr_step: usize, eval_topk: usize) -> RealTrainerFactory {
+        let train = Arc::new(SyntheticBlobs::new(
+            self.classes,
+            self.dim,
+            self.train_samples,
+            self.noise,
+            self.seed,
+        ));
+        let eval: Arc<dyn Dataset> = Arc::new(SyntheticBlobs::new(
+            self.classes,
+            self.dim,
+            self.eval_samples,
+            self.noise,
+            self.seed ^ 0xEEEE,
+        ));
+        let (dim, hidden, classes, seed) = (self.dim, self.hidden, self.classes, self.seed);
+        RealTrainerFactory::builder()
+            .dataset(train)
+            .eval_dataset(eval)
+            .net_builder(move |s| proxies::mlp(dim, hidden, classes, s ^ seed))
+            .solver(SolverConfig {
+                base_lr,
+                momentum: 0.9,
+                weight_decay: 0.0005,
+                policy: LrPolicy::Step { gamma: 0.1, step_size: lr_step },
+                clip_gradients: Some(5.0),
+            })
+            .batch(self.batch)
+            .init_seed(self.seed ^ 0x5EED)
+            .data_seed(self.seed ^ 0xDA7A)
+            .comp_model(SimDuration::from_millis(5), JitterModel::hpc_default())
+            .eval_topk(eval_topk)
+            .build()
+    }
+
+    /// Runs a convergence experiment on one platform with `workers`
+    /// workers, evaluating every `eval_every` iterations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform failures.
+    pub fn run(
+        &self,
+        platform: Platform,
+        workers: usize,
+        eval_every: usize,
+    ) -> Result<TrainingReport, PlatformError> {
+        let nodes = workers.div_ceil(4).max(1);
+        let base_lr = 0.1;
+        let iters = self.iters_for(workers);
+        let factory = self.factory(base_lr, (iters * 2).div_ceil(3), 2);
+        let shm_cfg = ShmCaffeConfig {
+            max_iters: iters,
+            progress_every: 25,
+            eval_every,
+            moving_rate: 0.2,
+            update_interval: 1,
+            jitter: JitterModel::NONE,
+            seed: self.seed,
+            ..Default::default()
+        };
+        let ssgd_cfg = SsgdConfig { max_iters: iters, eval_every, ..Default::default() };
+        match platform {
+            Platform::Caffe => {
+                CaffeSsgd::new(ClusterSpec::paper_testbed(1), workers, ssgd_cfg).run(factory)
+            }
+            Platform::CaffeMpi => {
+                CaffeMpi::new(ClusterSpec::paper_testbed(nodes), workers, ssgd_cfg).run(factory)
+            }
+            Platform::MpiCaffe => {
+                MpiCaffe::new(ClusterSpec::paper_testbed(nodes), workers, ssgd_cfg).run(factory)
+            }
+            Platform::ShmCaffeA => {
+                ShmCaffeA::new(ClusterSpec::paper_testbed(nodes), workers, shm_cfg).run(factory)
+            }
+            Platform::ShmCaffeH => {
+                let (groups, group_size) = hybrid_shape(workers);
+                ShmCaffeH::new(ClusterSpec::paper_testbed(groups.max(1)), groups, group_size, shm_cfg)
+                    .run(factory)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_task() -> ConvergenceTask {
+        ConvergenceTask {
+            train_samples: 400,
+            eval_samples: 150,
+            epochs: 8,
+            noise: 1.0,
+            classes: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn single_worker_converges() {
+        let task = quick_task();
+        let report = task.run(Platform::ShmCaffeA, 1, 40).unwrap();
+        let last = report.final_eval().expect("evaluations recorded");
+        assert!(last.top1 > 0.6, "top1 {}", last.top1);
+    }
+
+    #[test]
+    fn ssgd_platform_converges_too() {
+        let task = quick_task();
+        let report = task.run(Platform::MpiCaffe, 4, 40).unwrap();
+        let last = report.final_eval().expect("evaluations recorded");
+        assert!(last.top1 > 0.6, "top1 {}", last.top1);
+    }
+}

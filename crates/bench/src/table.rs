@@ -1,0 +1,147 @@
+//! Minimal fixed-width table rendering for experiment output.
+
+/// A terminal table with a title, column headers and string rows.
+///
+/// # Example
+///
+/// ```rust
+/// use shmcaffe_bench::table::Table;
+///
+/// let mut t = Table::new("Demo", &["model", "time"]);
+/// t.row(&["Inception_v1", "257 ms"]);
+/// let s = t.render();
+/// assert!(s.contains("Inception_v1"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (short rows are padded with empty cells).
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        let mut row: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Appends a row of owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        let mut row = cells;
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as an aligned string.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders and prints to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Formats fractional hours as the paper's `h:mm` notation
+/// (22.98 h → `"22:59"`).
+pub fn hours_hm(hours: f64) -> String {
+    let total_minutes = (hours * 60.0).round() as i64;
+    format!("{}:{:02}", total_minutes / 60, total_minutes % 60)
+}
+
+/// Formats milliseconds with one decimal.
+pub fn ms(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("T", &["a", "long_header"]);
+        t.row(&["xxxxxx", "1"]);
+        t.row(&["y", "2"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].starts_with("a     "));
+        assert!(lines[3].starts_with("xxxxxx"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new("T", &["a", "b", "c"]);
+        t.row(&["1"]);
+        assert!(t.render().contains('1'));
+    }
+
+    #[test]
+    fn hours_formatting_matches_paper_notation() {
+        assert_eq!(hours_hm(22.983), "22:59");
+        assert_eq!(hours_hm(2.28), "2:17");
+        assert_eq!(hours_hm(0.0), "0:00");
+        assert_eq!(hours_hm(1.0), "1:00");
+    }
+
+    #[test]
+    fn numeric_formatters() {
+        assert_eq!(ms(257.04), "257.0");
+        assert_eq!(pct(0.263), "26.3%");
+    }
+}

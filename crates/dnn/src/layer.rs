@@ -1,0 +1,105 @@
+use shmcaffe_tensor::Tensor;
+
+use crate::DnnError;
+
+/// Whether a forward pass is part of training or evaluation.
+///
+/// Mirrors Caffe's `Phase`: layers such as dropout and batch-norm behave
+/// differently between the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Training: stochastic layers active, batch statistics updated.
+    Train,
+    /// Evaluation: deterministic behaviour, running statistics used.
+    Test,
+}
+
+/// A network layer.
+///
+/// Layers are stateful: `forward` caches whatever the subsequent `backward`
+/// needs (inputs, masks, argmax indices), and `backward` *accumulates*
+/// parameter gradients so that multiple backward passes sum (Caffe
+/// `iter_size` semantics). Gradients are cleared with
+/// [`Layer::zero_grads`].
+///
+/// The parameter accessors return one entry per learnable blob (weights,
+/// then bias), matching Caffe's blob ordering, so a flattened view of the
+/// whole network is well defined and identical across replicas.
+pub trait Layer: Send {
+    /// The layer's unique name within its net.
+    fn name(&self) -> &str;
+
+    /// Computes the layer's output for `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::BadInput`] if the input shape is incompatible.
+    fn forward(&mut self, input: &Tensor, phase: Phase) -> Result<Tensor, DnnError>;
+
+    /// Computes the gradient w.r.t. the layer input given the gradient
+    /// w.r.t. its output, accumulating parameter gradients.
+    ///
+    /// Must be called after a `forward` in the same iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::BadInput`] if `d_output` does not match the shape
+    /// produced by the last forward pass.
+    fn backward(&mut self, d_output: &Tensor) -> Result<Tensor, DnnError>;
+
+    /// Learnable parameter blobs paired with their gradient blobs
+    /// (weights first, then bias). Parameter-free layers return an empty
+    /// vector (the default).
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        Vec::new()
+    }
+
+    /// Total number of learnable scalars in this layer.
+    fn param_len(&mut self) -> usize {
+        self.params_and_grads().iter().map(|(p, _)| p.len()).sum()
+    }
+
+    /// Resets all parameter gradients to zero.
+    fn zero_grads(&mut self) {
+        for (_, g) in self.params_and_grads() {
+            g.fill_zero();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal identity layer exercising the default methods.
+    struct Identity;
+    impl Layer for Identity {
+        fn name(&self) -> &str {
+            "identity"
+        }
+        fn forward(&mut self, input: &Tensor, _phase: Phase) -> Result<Tensor, DnnError> {
+            Ok(input.clone())
+        }
+        fn backward(&mut self, d_output: &Tensor) -> Result<Tensor, DnnError> {
+            Ok(d_output.clone())
+        }
+    }
+
+    #[test]
+    fn default_param_methods_are_empty() {
+        let mut l = Identity;
+        assert_eq!(l.param_len(), 0);
+        assert!(l.params_and_grads().is_empty());
+        l.zero_grads(); // no-op, must not panic
+    }
+
+    #[test]
+    fn identity_roundtrip() {
+        let mut l = Identity;
+        let x = Tensor::from_slice(&[1.0, 2.0]);
+        let y = l.forward(&x, Phase::Train).unwrap();
+        assert_eq!(y, x);
+        let dx = l.backward(&y).unwrap();
+        assert_eq!(dx, x);
+    }
+}

@@ -1,0 +1,290 @@
+//! Batch normalisation with learnable scale/shift.
+
+use shmcaffe_tensor::Tensor;
+
+use crate::{DnnError, Layer, Phase};
+
+const EPS: f32 = 1e-5;
+
+/// Batch normalisation.
+///
+/// For a rank-2 input `(N, D)` each feature is normalised over the batch;
+/// for rank-4 `(N, C, H, W)` each channel is normalised over `N×H×W`
+/// (spatial batch norm, as used by Inception/ResNet). Running statistics
+/// with momentum 0.9 are used at test time.
+#[derive(Debug)]
+pub struct BatchNorm {
+    name: String,
+    channels: usize,
+    gamma: Tensor,
+    beta: Tensor,
+    d_gamma: Tensor,
+    d_beta: Tensor,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    // Cached forward state for backward.
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug)]
+struct BnCache {
+    x_hat: Vec<f32>,
+    inv_std: Vec<f32>,
+    dims: Vec<usize>,
+}
+
+impl BatchNorm {
+    /// Creates a batch-norm layer over `channels` features/channels.
+    pub fn new(name: &str, channels: usize) -> Self {
+        BatchNorm {
+            name: name.to_string(),
+            channels,
+            gamma: Tensor::ones(&[channels]),
+            beta: Tensor::zeros(&[channels]),
+            d_gamma: Tensor::zeros(&[channels]),
+            d_beta: Tensor::zeros(&[channels]),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.9,
+            cache: None,
+        }
+    }
+
+    /// Iterates over (channel, element-index) pairs of the layout.
+    fn layout(&self, dims: &[usize]) -> Result<(usize, usize), DnnError> {
+        match dims.len() {
+            2 if dims[1] == self.channels => Ok((dims[0], 1)),
+            4 if dims[1] == self.channels => Ok((dims[0], dims[2] * dims[3])),
+            _ => Err(DnnError::BadInput {
+                layer: self.name.clone(),
+                message: format!("expected (N, {0}) or (N, {0}, H, W), got {dims:?}", self.channels),
+            }),
+        }
+    }
+}
+
+impl Layer for BatchNorm {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, phase: Phase) -> Result<Tensor, DnnError> {
+        let (batch, spatial) = self.layout(input.dims())?;
+        let group = batch * spatial; // elements normalised together per channel
+        let x = input.data();
+        let mut out = Tensor::zeros(input.dims());
+        let chan_stride = self.channels * spatial;
+
+        let mut x_hat = vec![0.0f32; x.len()];
+        let mut inv_stds = vec![0.0f32; self.channels];
+
+        #[allow(clippy::needless_range_loop)] // c indexes four parallel arrays
+        for c in 0..self.channels {
+            let (mean, var) = match phase {
+                Phase::Train => {
+                    let mut sum = 0.0f64;
+                    for n in 0..batch {
+                        let base = n * chan_stride + c * spatial;
+                        for i in 0..spatial {
+                            sum += x[base + i] as f64;
+                        }
+                    }
+                    let mean = (sum / group as f64) as f32;
+                    let mut var_sum = 0.0f64;
+                    for n in 0..batch {
+                        let base = n * chan_stride + c * spatial;
+                        for i in 0..spatial {
+                            let d = x[base + i] - mean;
+                            var_sum += (d * d) as f64;
+                        }
+                    }
+                    let var = (var_sum / group as f64) as f32;
+                    self.running_mean[c] = self.momentum * self.running_mean[c] + (1.0 - self.momentum) * mean;
+                    self.running_var[c] = self.momentum * self.running_var[c] + (1.0 - self.momentum) * var;
+                    (mean, var)
+                }
+                Phase::Test => (self.running_mean[c], self.running_var[c]),
+            };
+            let inv_std = 1.0 / (var + EPS).sqrt();
+            inv_stds[c] = inv_std;
+            let g = self.gamma.data()[c];
+            let b = self.beta.data()[c];
+            for n in 0..batch {
+                let base = n * chan_stride + c * spatial;
+                for i in 0..spatial {
+                    let xh = (x[base + i] - mean) * inv_std;
+                    x_hat[base + i] = xh;
+                    out.data_mut()[base + i] = g * xh + b;
+                }
+            }
+        }
+
+        if phase == Phase::Train {
+            self.cache = Some(BnCache { x_hat, inv_std: inv_stds, dims: input.dims().to_vec() });
+        } else {
+            self.cache = None;
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, d_output: &Tensor) -> Result<Tensor, DnnError> {
+        let cache = self.cache.as_ref().ok_or_else(|| DnnError::BadInput {
+            layer: self.name.clone(),
+            message: "backward requires a training-phase forward".to_string(),
+        })?;
+        if d_output.dims() != cache.dims.as_slice() {
+            return Err(DnnError::BadInput {
+                layer: self.name.clone(),
+                message: "d_output shape mismatch".to_string(),
+            });
+        }
+        let (batch, spatial) = self.layout(&cache.dims)?;
+        let group = (batch * spatial) as f32;
+        let chan_stride = self.channels * spatial;
+        let dy = d_output.data();
+        let mut d_input = Tensor::zeros(&cache.dims);
+
+        for c in 0..self.channels {
+            let g = self.gamma.data()[c];
+            let inv_std = cache.inv_std[c];
+            // Accumulate per-channel sums.
+            let mut sum_dy = 0.0f64;
+            let mut sum_dy_xhat = 0.0f64;
+            for n in 0..batch {
+                let base = n * chan_stride + c * spatial;
+                for i in 0..spatial {
+                    sum_dy += dy[base + i] as f64;
+                    sum_dy_xhat += (dy[base + i] * cache.x_hat[base + i]) as f64;
+                }
+            }
+            self.d_beta.data_mut()[c] += sum_dy as f32;
+            self.d_gamma.data_mut()[c] += sum_dy_xhat as f32;
+
+            let mean_dy = sum_dy as f32 / group;
+            let mean_dy_xhat = sum_dy_xhat as f32 / group;
+            for n in 0..batch {
+                let base = n * chan_stride + c * spatial;
+                for i in 0..spatial {
+                    let xh = cache.x_hat[base + i];
+                    d_input.data_mut()[base + i] =
+                        g * inv_std * (dy[base + i] - mean_dy - xh * mean_dy_xhat);
+                }
+            }
+        }
+        Ok(d_input)
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        vec![
+            (&mut self.gamma, &mut self.d_gamma),
+            (&mut self.beta, &mut self.d_beta),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn train_output_is_normalized() {
+        let mut bn = BatchNorm::new("bn", 2);
+        let x = Tensor::from_vec(vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0], &[4, 2]).unwrap();
+        let y = bn.forward(&x, Phase::Train).unwrap();
+        // Each feature column should have ~zero mean, ~unit variance.
+        for c in 0..2 {
+            let col: Vec<f32> = (0..4).map(|n| y.data()[n * 2 + c]).collect();
+            let mean: f32 = col.iter().sum::<f32>() / 4.0;
+            let var: f32 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn test_phase_uses_running_stats() {
+        let mut bn = BatchNorm::new("bn", 1);
+        let x = Tensor::from_vec(vec![2.0, 4.0, 6.0, 8.0], &[4, 1]).unwrap();
+        for _ in 0..200 {
+            bn.forward(&x, Phase::Train).unwrap();
+        }
+        // Running stats converge to batch stats (mean 5, var 5).
+        let y = bn.forward(&x, Phase::Test).unwrap();
+        let expected: Vec<f32> = x.data().iter().map(|v| (v - 5.0) / (5.0f32 + EPS).sqrt()).collect();
+        for (got, want) in y.data().iter().zip(expected.iter()) {
+            assert!((got - want).abs() < 0.05, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn spatial_layout_normalizes_per_channel() {
+        let mut bn = BatchNorm::new("bn", 2);
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, // n0 c0 (2x2)
+                10.0, 20.0, 30.0, 40.0, // n0 c1
+                5.0, 6.0, 7.0, 8.0, // n1 c0
+                50.0, 60.0, 70.0, 80.0, // n1 c1
+            ],
+            &[2, 2, 2, 2],
+        )
+        .unwrap();
+        let y = bn.forward(&x, Phase::Train).unwrap();
+        // Channel 0 values across N and HW should be normalised together.
+        let c0: Vec<f32> = vec![
+            y.at(&[0, 0, 0, 0]), y.at(&[0, 0, 0, 1]), y.at(&[0, 0, 1, 0]), y.at(&[0, 0, 1, 1]),
+            y.at(&[1, 0, 0, 0]), y.at(&[1, 0, 0, 1]), y.at(&[1, 0, 1, 0]), y.at(&[1, 0, 1, 1]),
+        ];
+        let mean: f32 = c0.iter().sum::<f32>() / 8.0;
+        assert!(mean.abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut bn = BatchNorm::new("bn", 3);
+        let x = Tensor::from_vec(
+            (0..12).map(|i| (i as f32 * 0.7).sin() * 2.0).collect(),
+            &[4, 3],
+        )
+        .unwrap();
+        let d_out = Tensor::from_vec((0..12).map(|i| ((i % 5) as f32 - 2.0) * 0.3).collect(), &[4, 3]).unwrap();
+
+        bn.forward(&x, Phase::Train).unwrap();
+        let d_in = bn.backward(&d_out).unwrap();
+
+        // Finite differences through a *fresh* layer (running stats change,
+        // but the train-phase output doesn't depend on them).
+        let loss = |x: &Tensor| -> f32 {
+            let mut bn2 = BatchNorm::new("bn", 3);
+            let y = bn2.forward(x, Phase::Train).unwrap();
+            y.data().iter().zip(d_out.data()).map(|(a, b)| a * b).sum()
+        };
+        let eps = 1e-2;
+        let mut xp = x.clone();
+        for i in 0..12 {
+            let orig = xp.data()[i];
+            xp.data_mut()[i] = orig + eps;
+            let lp = loss(&xp);
+            xp.data_mut()[i] = orig - eps;
+            let lm = loss(&xp);
+            xp.data_mut()[i] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((d_in.data()[i] - numeric).abs() < 2e-2, "i={i}: {} vs {numeric}", d_in.data()[i]);
+        }
+    }
+
+    #[test]
+    fn backward_needs_train_forward() {
+        let mut bn = BatchNorm::new("bn", 1);
+        let x = Tensor::zeros(&[2, 1]);
+        bn.forward(&x, Phase::Test).unwrap();
+        assert!(bn.backward(&x).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_channels() {
+        let mut bn = BatchNorm::new("bn", 3);
+        assert!(bn.forward(&Tensor::zeros(&[2, 4]), Phase::Train).is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! Inverted dropout layer.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use shmcaffe_tensor::Tensor;
+
+use super::inner_product::hash_name;
+use crate::{DnnError, Layer, Phase};
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `ratio` and survivors are scaled by `1/(1-ratio)`, so the
+/// expected activation is unchanged and no test-time rescaling is needed
+/// (Caffe's behaviour).
+#[derive(Debug)]
+pub struct Dropout {
+    name: String,
+    ratio: f32,
+    rng: ChaCha8Rng,
+    mask: Vec<f32>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `ratio`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= ratio < 1.0`.
+    pub fn new(name: &str, ratio: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&ratio), "dropout ratio must be in [0, 1)");
+        Dropout {
+            name: name.to_string(),
+            ratio,
+            rng: ChaCha8Rng::seed_from_u64(seed ^ hash_name(name)),
+            mask: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, phase: Phase) -> Result<Tensor, DnnError> {
+        match phase {
+            Phase::Test => {
+                self.mask.clear();
+                Ok(input.clone())
+            }
+            Phase::Train => {
+                let scale = 1.0 / (1.0 - self.ratio);
+                self.mask = (0..input.len())
+                    .map(|_| {
+                        if self.rng.gen_range(0.0f32..1.0) < self.ratio {
+                            0.0
+                        } else {
+                            scale
+                        }
+                    })
+                    .collect();
+                let mut out = input.clone();
+                for (v, &m) in out.data_mut().iter_mut().zip(self.mask.iter()) {
+                    *v *= m;
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    fn backward(&mut self, d_output: &Tensor) -> Result<Tensor, DnnError> {
+        if self.mask.is_empty() {
+            // Test phase (or ratio applied to nothing): pass through.
+            return Ok(d_output.clone());
+        }
+        if d_output.len() != self.mask.len() {
+            return Err(DnnError::BadInput {
+                layer: self.name.clone(),
+                message: "d_output length does not match forward mask".to_string(),
+            });
+        }
+        let mut d_input = d_output.clone();
+        for (v, &m) in d_input.data_mut().iter_mut().zip(self.mask.iter()) {
+            *v *= m;
+        }
+        Ok(d_input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_phase_is_identity() {
+        let mut d = Dropout::new("d", 0.5, 1);
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let y = d.forward(&x, Phase::Test).unwrap();
+        assert_eq!(y, x);
+        let dx = d.backward(&x).unwrap();
+        assert_eq!(dx, x);
+    }
+
+    #[test]
+    fn train_phase_preserves_expectation() {
+        let mut d = Dropout::new("d", 0.4, 7);
+        let x = Tensor::ones(&[10_000]);
+        let y = d.forward(&x, Phase::Train).unwrap();
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        // Some units dropped, survivors scaled.
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        assert!(zeros > 3_000 && zeros < 5_000);
+        assert!(y.data().iter().any(|&v| (v - 1.0 / 0.6).abs() < 1e-5));
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new("d", 0.5, 3);
+        let x = Tensor::ones(&[100]);
+        let y = d.forward(&x, Phase::Train).unwrap();
+        let dx = d.backward(&Tensor::ones(&[100])).unwrap();
+        for (a, b) in y.data().iter().zip(dx.data().iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn zero_ratio_never_drops() {
+        let mut d = Dropout::new("d", 0.0, 3);
+        let x = Tensor::ones(&[64]);
+        let y = d.forward(&x, Phase::Train).unwrap();
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be")]
+    fn ratio_one_rejected() {
+        Dropout::new("d", 1.0, 0);
+    }
+}

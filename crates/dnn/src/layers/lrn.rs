@@ -1,0 +1,214 @@
+//! Local Response Normalisation (across channels), as used by AlexNet and
+//! GoogLeNet/Inception-v1 — the paper's headline model.
+
+use shmcaffe_tensor::Tensor;
+
+use crate::{DnnError, Layer, Phase};
+
+/// Across-channel LRN: `y = x / (k + α/n · Σ x²)^β` over a window of `n`
+/// adjacent channels (Caffe's `LRNLayer` with default
+/// `ACROSS_CHANNELS`).
+#[derive(Debug)]
+pub struct Lrn {
+    name: String,
+    size: usize,
+    alpha: f32,
+    beta: f32,
+    k: f32,
+    cache: Option<LrnCache>,
+}
+
+#[derive(Debug)]
+struct LrnCache {
+    input: Tensor,
+    /// The `(k + α/n Σ x²)` term per element.
+    scale: Vec<f32>,
+}
+
+impl Lrn {
+    /// Creates an LRN layer with Caffe's defaults (`size` 5, α 1e-4, β 0.75,
+    /// k 1.0) unless overridden.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or even (the window must centre on a
+    /// channel).
+    pub fn new(name: &str, size: usize, alpha: f32, beta: f32, k: f32) -> Self {
+        assert!(size % 2 == 1 && size > 0, "LRN window must be odd and positive");
+        Lrn { name: name.to_string(), size, alpha, beta, k, cache: None }
+    }
+
+    /// Caffe's default parameters.
+    pub fn with_defaults(name: &str) -> Self {
+        Self::new(name, 5, 1e-4, 0.75, 1.0)
+    }
+
+    fn dims_of(&self, t: &Tensor) -> Result<(usize, usize, usize), DnnError> {
+        let dims = t.dims();
+        if dims.len() != 4 {
+            return Err(DnnError::BadInput {
+                layer: self.name.clone(),
+                message: format!("expected (N, C, H, W), got {dims:?}"),
+            });
+        }
+        Ok((dims[0], dims[1], dims[2] * dims[3]))
+    }
+}
+
+impl Layer for Lrn {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, _phase: Phase) -> Result<Tensor, DnnError> {
+        let (batch, channels, spatial) = self.dims_of(input)?;
+        let x = input.data();
+        let mut out = Tensor::zeros(input.dims());
+        let mut scale = vec![0.0f32; x.len()];
+        let half = self.size / 2;
+        let alpha_n = self.alpha / self.size as f32;
+
+        for n in 0..batch {
+            for c in 0..channels {
+                let lo = c.saturating_sub(half);
+                let hi = (c + half + 1).min(channels);
+                for s in 0..spatial {
+                    let mut acc = 0.0f32;
+                    for cc in lo..hi {
+                        let v = x[(n * channels + cc) * spatial + s];
+                        acc += v * v;
+                    }
+                    let idx = (n * channels + c) * spatial + s;
+                    let sc = self.k + alpha_n * acc;
+                    scale[idx] = sc;
+                    out.data_mut()[idx] = x[idx] * sc.powf(-self.beta);
+                }
+            }
+        }
+        self.cache = Some(LrnCache { input: input.clone(), scale });
+        Ok(out)
+    }
+
+    fn backward(&mut self, d_output: &Tensor) -> Result<Tensor, DnnError> {
+        let cache = self.cache.as_ref().ok_or_else(|| DnnError::BadInput {
+            layer: self.name.clone(),
+            message: "backward called before forward".to_string(),
+        })?;
+        if d_output.len() != cache.input.len() {
+            return Err(DnnError::BadInput {
+                layer: self.name.clone(),
+                message: "d_output length mismatch".to_string(),
+            });
+        }
+        let (batch, channels, spatial) = self.dims_of(&cache.input)?;
+        let x = cache.input.data();
+        let dy = d_output.data();
+        let scale = &cache.scale;
+        let half = self.size / 2;
+        let alpha_n = self.alpha / self.size as f32;
+        let mut d_input = Tensor::zeros(cache.input.dims());
+
+        // dx_i = dy_i * s_i^{-β} − 2αβ/n · x_i · Σ_{j: i∈win(j)} dy_j x_j s_j^{-β-1}
+        for n in 0..batch {
+            for c in 0..channels {
+                let lo = c.saturating_sub(half);
+                let hi = (c + half + 1).min(channels);
+                for s in 0..spatial {
+                    let idx = (n * channels + c) * spatial + s;
+                    let mut grad = dy[idx] * scale[idx].powf(-self.beta);
+                    // Channels j whose window contains c.
+                    for j in lo..hi {
+                        let jdx = (n * channels + j) * spatial + s;
+                        grad -= 2.0
+                            * alpha_n
+                            * self.beta
+                            * x[idx]
+                            * dy[jdx]
+                            * x[jdx]
+                            * scale[jdx].powf(-self.beta - 1.0);
+                    }
+                    d_input.data_mut()[idx] = grad;
+                }
+            }
+        }
+        Ok(d_input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_normalizes_against_neighbours() {
+        let mut lrn = Lrn::new("lrn", 3, 1.0, 1.0, 1.0);
+        // 1 image, 3 channels, 1x1 spatial.
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3, 1, 1]).unwrap();
+        let y = lrn.forward(&x, Phase::Train).unwrap();
+        // Channel 0: window {0,1}: scale = 1 + (1/3)(1+4) = 8/3.
+        assert!((y.data()[0] - 1.0 / (8.0 / 3.0)).abs() < 1e-5);
+        // Channel 1: window {0,1,2}: scale = 1 + (1/3)(1+4+9) = 17/3.
+        assert!((y.data()[1] - 2.0 / (17.0 / 3.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn identity_when_alpha_zero() {
+        let mut lrn = Lrn::new("lrn", 5, 0.0, 0.75, 1.0);
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 4, 2, 2]).unwrap();
+        let y = lrn.forward(&x, Phase::Test).unwrap();
+        for (a, b) in y.data().iter().zip(x.data().iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut lrn = Lrn::new("lrn", 3, 0.5, 0.75, 2.0);
+        let x = Tensor::from_vec(
+            (0..24).map(|i| ((i as f32) * 0.61).sin()).collect(),
+            &[2, 3, 2, 2],
+        )
+        .unwrap();
+        let d_out = Tensor::from_vec(
+            (0..24).map(|i| ((i % 5) as f32 - 2.0) * 0.3).collect(),
+            &[2, 3, 2, 2],
+        )
+        .unwrap();
+        lrn.forward(&x, Phase::Train).unwrap();
+        let d_in = lrn.backward(&d_out).unwrap();
+
+        let loss = |x: &Tensor| -> f32 {
+            let mut l2 = Lrn::new("lrn", 3, 0.5, 0.75, 2.0);
+            let y = l2.forward(x, Phase::Train).unwrap();
+            y.data().iter().zip(d_out.data()).map(|(a, b)| a * b).sum()
+        };
+        let eps = 1e-3;
+        let mut xp = x.clone();
+        for i in 0..24 {
+            let orig = xp.data()[i];
+            xp.data_mut()[i] = orig + eps;
+            let lp = loss(&xp);
+            xp.data_mut()[i] = orig - eps;
+            let lm = loss(&xp);
+            xp.data_mut()[i] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (d_in.data()[i] - numeric).abs() < 2e-3,
+                "i={i}: {} vs {numeric}",
+                d_in.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_non_4d_input() {
+        let mut lrn = Lrn::with_defaults("lrn");
+        assert!(lrn.forward(&Tensor::zeros(&[2, 3]), Phase::Train).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_window_rejected() {
+        Lrn::new("lrn", 4, 1e-4, 0.75, 1.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! The layer library: Caffe's building blocks for the evaluated CNNs.
+
+mod activations;
+mod batchnorm;
+mod conv_layer;
+mod dropout;
+mod inception;
+mod inner_product;
+mod lrn;
+mod pool_layer;
+
+pub use activations::{Relu, Sigmoid, Tanh};
+pub use batchnorm::BatchNorm;
+pub use conv_layer::Conv2d;
+pub use dropout::Dropout;
+pub use inception::{Inception, InceptionSpec};
+pub use inner_product::InnerProduct;
+pub use lrn::Lrn;
+pub use pool_layer::Pool2d;

@@ -1,0 +1,351 @@
+use shmcaffe_tensor::softmax::{
+    cross_entropy_loss, softmax, softmax_cross_entropy_backward, top_k_accuracy,
+};
+use shmcaffe_tensor::Tensor;
+
+use crate::{DnnError, Layer, Phase};
+
+/// A sequential network of layers ending in class logits, with a built-in
+/// softmax cross-entropy head (Caffe's `SoftmaxWithLoss`).
+///
+/// The network exposes a *flattened parameter vector* view — the exact
+/// representation ShmCaffe stores in the Soft Memory Box shared buffer — via
+/// [`Net::copy_weights_to`] / [`Net::load_weights_from`] and the analogous
+/// gradient accessors. Parameter order is layer order, weights before bias,
+/// so every replica created from the same seed agrees on the layout.
+///
+/// # Example
+///
+/// ```rust
+/// use shmcaffe_dnn::{Net, Phase};
+/// use shmcaffe_dnn::layers::{InnerProduct, Relu};
+/// use shmcaffe_tensor::{Tensor, init::Filler};
+///
+/// # fn main() -> Result<(), shmcaffe_dnn::DnnError> {
+/// let mut net = Net::new("tiny");
+/// net.add(InnerProduct::new("fc1", 2, 8, Filler::Xavier, 0));
+/// net.add(Relu::new("r"));
+/// net.add(InnerProduct::new("fc2", 8, 2, Filler::Xavier, 0));
+/// let x = Tensor::zeros(&[4, 2]);
+/// let logits = net.forward(&x, Phase::Test)?;
+/// assert_eq!(logits.dims(), &[4, 2]);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Net {
+    name: String,
+    layers: Vec<Box<dyn Layer>>,
+    last_probs: Option<Tensor>,
+}
+
+impl Net {
+    /// Creates an empty network.
+    pub fn new(name: &str) -> Self {
+        Net { name: name.to_string(), layers: Vec::new(), last_probs: None }
+    }
+
+    /// The network's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a layer.
+    pub fn add<L: Layer + 'static>(&mut self, layer: L) -> &mut Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Runs the network forward, producing logits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer error.
+    pub fn forward(&mut self, input: &Tensor, phase: Phase) -> Result<Tensor, DnnError> {
+        let mut activation = input.clone();
+        for layer in &mut self.layers {
+            activation = layer.forward(&activation, phase)?;
+        }
+        Ok(activation)
+    }
+
+    /// Forward pass plus softmax cross-entropy loss against `labels`.
+    ///
+    /// Returns `(loss, logits)` and caches the probabilities for
+    /// [`Net::backward_from_loss`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors; panics are avoided by validating shapes.
+    pub fn forward_loss(
+        &mut self,
+        input: &Tensor,
+        labels: &[usize],
+        phase: Phase,
+    ) -> Result<(f32, Tensor), DnnError> {
+        let logits = self.forward(input, phase)?;
+        let rows = labels.len();
+        if rows == 0 || logits.len() % rows != 0 {
+            return Err(DnnError::BadInput {
+                layer: self.name.clone(),
+                message: format!("labels ({rows}) incompatible with logits {:?}", logits.dims()),
+            });
+        }
+        let classes = logits.len() / rows;
+        let mut probs = Tensor::zeros(&[rows, classes]);
+        softmax(rows, classes, logits.data(), probs.data_mut());
+        let loss = cross_entropy_loss(rows, classes, probs.data(), labels);
+        self.last_probs = Some(probs);
+        Ok((loss, logits))
+    }
+
+    /// Backward pass from the cached softmax loss, accumulating gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if called before [`Net::forward_loss`].
+    pub fn backward_from_loss(&mut self, labels: &[usize]) -> Result<(), DnnError> {
+        let probs = self.last_probs.take().ok_or_else(|| DnnError::BadInput {
+            layer: self.name.clone(),
+            message: "backward_from_loss called before forward_loss".to_string(),
+        })?;
+        let rows = labels.len();
+        let classes = probs.len() / rows;
+        let mut d_logits = Tensor::zeros(&[rows, classes]);
+        softmax_cross_entropy_backward(rows, classes, probs.data(), labels, d_logits.data_mut());
+        let mut grad = d_logits;
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad)?;
+        }
+        Ok(())
+    }
+
+    /// Top-`k` accuracy of `logits` against `labels`.
+    pub fn accuracy(logits: &Tensor, labels: &[usize], k: usize) -> f32 {
+        let rows = labels.len();
+        if rows == 0 {
+            return 0.0;
+        }
+        let classes = logits.len() / rows;
+        top_k_accuracy(rows, classes, logits.data(), labels, k)
+    }
+
+    /// Total number of learnable scalars.
+    pub fn param_len(&mut self) -> usize {
+        self.layers.iter_mut().map(|l| l.param_len()).sum()
+    }
+
+    /// Copies the flattened parameter vector into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ParamLengthMismatch`] if `out` has the wrong size.
+    pub fn copy_weights_to(&mut self, out: &mut [f32]) -> Result<(), DnnError> {
+        self.visit_params(out, |p, _g, chunk| chunk.copy_from_slice(p.data()))
+    }
+
+    /// Loads the flattened parameter vector from `src`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ParamLengthMismatch`] if `src` has the wrong size.
+    pub fn load_weights_from(&mut self, src: &[f32]) -> Result<(), DnnError> {
+        // `visit_params` only passes `&mut [f32]` chunks, so route through a
+        // mutable copy-free closure over an immutable source via indices.
+        let expected = self.param_len();
+        if src.len() != expected {
+            return Err(DnnError::ParamLengthMismatch { expected, got: src.len() });
+        }
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            for (p, _) in layer.params_and_grads() {
+                let n = p.len();
+                p.data_mut().copy_from_slice(&src[offset..offset + n]);
+                offset += n;
+            }
+        }
+        Ok(())
+    }
+
+    /// Copies the flattened gradient vector into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ParamLengthMismatch`] if `out` has the wrong size.
+    pub fn copy_grads_to(&mut self, out: &mut [f32]) -> Result<(), DnnError> {
+        self.visit_params(out, |_p, g, chunk| chunk.copy_from_slice(g.data()))
+    }
+
+    /// Loads the flattened gradient vector from `src` (overwriting existing
+    /// gradients) — used when a parameter server hands back aggregated
+    /// gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ParamLengthMismatch`] if `src` has the wrong size.
+    pub fn load_grads_from(&mut self, src: &[f32]) -> Result<(), DnnError> {
+        let expected = self.param_len();
+        if src.len() != expected {
+            return Err(DnnError::ParamLengthMismatch { expected, got: src.len() });
+        }
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            for (_, g) in layer.params_and_grads() {
+                let n = g.len();
+                g.data_mut().copy_from_slice(&src[offset..offset + n]);
+                offset += n;
+            }
+        }
+        Ok(())
+    }
+
+    /// Zeroes every parameter gradient.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// Applies `f(param, grad, chunk)` over the flattened layout.
+    fn visit_params<F>(&mut self, buf: &mut [f32], mut f: F) -> Result<(), DnnError>
+    where
+        F: FnMut(&Tensor, &Tensor, &mut [f32]),
+    {
+        let expected = self.param_len();
+        if buf.len() != expected {
+            return Err(DnnError::ParamLengthMismatch { expected, got: buf.len() });
+        }
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            for (p, g) in layer.params_and_grads() {
+                let n = p.len();
+                f(p, g, &mut buf[offset..offset + n]);
+                offset += n;
+            }
+        }
+        Ok(())
+    }
+
+    /// Visits `(param, grad)` pairs in flattened order, allowing in-place
+    /// optimizer updates without copying.
+    pub fn for_each_param<F>(&mut self, mut f: F)
+    where
+        F: FnMut(&mut Tensor, &mut Tensor),
+    {
+        for layer in &mut self.layers {
+            for (p, g) in layer.params_and_grads() {
+                f(p, g);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Net {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Net")
+            .field("name", &self.name)
+            .field("layers", &self.layers.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{InnerProduct, Relu};
+    use shmcaffe_tensor::init::Filler;
+
+    fn tiny_net(seed: u64) -> Net {
+        let mut net = Net::new("tiny");
+        net.add(InnerProduct::new("fc1", 2, 4, Filler::Xavier, seed));
+        net.add(Relu::new("r"));
+        net.add(InnerProduct::new("fc2", 4, 3, Filler::Xavier, seed));
+        net
+    }
+
+    #[test]
+    fn forward_produces_logits() {
+        let mut net = tiny_net(0);
+        let x = Tensor::zeros(&[5, 2]);
+        let y = net.forward(&x, Phase::Test).unwrap();
+        assert_eq!(y.dims(), &[5, 3]);
+    }
+
+    #[test]
+    fn param_roundtrip() {
+        let mut net = tiny_net(0);
+        let n = net.param_len();
+        assert_eq!(n, 2 * 4 + 4 + 4 * 3 + 3);
+        let mut buf = vec![0.0f32; n];
+        net.copy_weights_to(&mut buf).unwrap();
+        let mut net2 = tiny_net(99);
+        net2.load_weights_from(&buf).unwrap();
+        let mut buf2 = vec![0.0f32; n];
+        net2.copy_weights_to(&mut buf2).unwrap();
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn wrong_length_is_rejected() {
+        let mut net = tiny_net(0);
+        let mut small = vec![0.0f32; 3];
+        assert!(net.copy_weights_to(&mut small).is_err());
+        assert!(net.load_weights_from(&small).is_err());
+        assert!(net.copy_grads_to(&mut small).is_err());
+        assert!(net.load_grads_from(&small).is_err());
+    }
+
+    #[test]
+    fn loss_decreases_under_gradient_descent() {
+        let mut net = tiny_net(7);
+        // Simple separable batch.
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, -1.0, -1.0], &[3, 2]).unwrap();
+        let labels = vec![0usize, 1, 2];
+        let (loss0, _) = net.forward_loss(&x, &labels, Phase::Train).unwrap();
+        for _ in 0..50 {
+            net.zero_grads();
+            let (_, _) = net.forward_loss(&x, &labels, Phase::Train).unwrap();
+            net.backward_from_loss(&labels).unwrap();
+            net.for_each_param(|p, g| {
+                for (pv, gv) in p.data_mut().iter_mut().zip(g.data().iter()) {
+                    *pv -= 0.5 * gv;
+                }
+            });
+        }
+        let (loss_end, logits) = net.forward_loss(&x, &labels, Phase::Test).unwrap();
+        assert!(loss_end < loss0 * 0.5, "loss {loss0} -> {loss_end}");
+        assert_eq!(Net::accuracy(&logits, &labels, 1), 1.0);
+    }
+
+    #[test]
+    fn backward_requires_forward_loss() {
+        let mut net = tiny_net(0);
+        assert!(net.backward_from_loss(&[0]).is_err());
+    }
+
+    #[test]
+    fn grads_roundtrip() {
+        let mut net = tiny_net(3);
+        let x = Tensor::from_vec(vec![0.5, -0.5], &[1, 2]).unwrap();
+        net.forward_loss(&x, &[1], Phase::Train).unwrap();
+        net.backward_from_loss(&[1]).unwrap();
+        let n = net.param_len();
+        let mut g = vec![0.0f32; n];
+        net.copy_grads_to(&mut g).unwrap();
+        assert!(g.iter().any(|&v| v != 0.0));
+        let doubled: Vec<f32> = g.iter().map(|v| v * 2.0).collect();
+        net.load_grads_from(&doubled).unwrap();
+        let mut g2 = vec![0.0f32; n];
+        net.copy_grads_to(&mut g2).unwrap();
+        for (a, b) in g.iter().zip(g2.iter()) {
+            assert!((b - 2.0 * a).abs() < 1e-6);
+        }
+        net.zero_grads();
+        net.copy_grads_to(&mut g2).unwrap();
+        assert!(g2.iter().all(|&v| v == 0.0));
+    }
+}

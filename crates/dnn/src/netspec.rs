@@ -1,0 +1,290 @@
+//! A compact text format for defining networks — the stand-in for Caffe's
+//! `prototxt` model definitions.
+//!
+//! A spec is a `;`-separated chain of layer clauses applied to a known
+//! input shape:
+//!
+//! ```text
+//! conv 8 3x3 pad 1; relu; lrn; pool 2; conv 16 3x3 pad 1; relu; pool 2; fc 64; relu; dropout 0.5; fc 10
+//! ```
+//!
+//! | clause | meaning |
+//! |---|---|
+//! | `conv C KxK [stride S] [pad P]` | 2-D convolution to `C` channels |
+//! | `pool K [stride S]` | max pooling (stride defaults to `K`) |
+//! | `avgpool K [stride S]` | average pooling |
+//! | `fc N` | fully connected to `N` outputs |
+//! | `relu` / `sigmoid` / `tanh` | activations |
+//! | `dropout R` | inverted dropout with ratio `R` |
+//! | `bn` | batch normalisation over the current channels |
+//! | `lrn` | local response normalisation (Caffe defaults) |
+//!
+//! Shapes are tracked clause by clause, so mismatches are reported at
+//! build time with the offending clause.
+
+use shmcaffe_tensor::conv::Conv2dGeometry;
+use shmcaffe_tensor::init::Filler;
+use shmcaffe_tensor::pool::PoolKind;
+
+use crate::layers::{BatchNorm, Conv2d, Dropout, InnerProduct, Lrn, Pool2d, Relu, Sigmoid, Tanh};
+use crate::{DnnError, Net};
+
+/// The running shape while building: either spatial `(C, H, W)` or an
+/// already-flattened feature vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SpecShape {
+    Spatial { c: usize, h: usize, w: usize },
+    Flat(usize),
+}
+
+impl SpecShape {
+    fn flat_len(self) -> usize {
+        match self {
+            SpecShape::Spatial { c, h, w } => c * h * w,
+            SpecShape::Flat(n) => n,
+        }
+    }
+}
+
+fn parse_err(clause: &str, msg: &str) -> DnnError {
+    DnnError::BadInput {
+        layer: format!("netspec `{clause}`"),
+        message: msg.to_string(),
+    }
+}
+
+fn parse_usize(clause: &str, tok: Option<&str>, what: &str) -> Result<usize, DnnError> {
+    tok.ok_or_else(|| parse_err(clause, &format!("missing {what}")))?
+        .parse::<usize>()
+        .map_err(|_| parse_err(clause, &format!("invalid {what}")))
+}
+
+/// Builds a [`Net`] from a text spec over `(channels, h, w)` inputs.
+///
+/// # Errors
+///
+/// Returns [`DnnError::BadInput`] naming the offending clause for syntax
+/// errors or shape mismatches.
+///
+/// # Example
+///
+/// ```rust
+/// use shmcaffe_dnn::netspec::build_net;
+/// use shmcaffe_dnn::Phase;
+/// use shmcaffe_tensor::Tensor;
+///
+/// # fn main() -> Result<(), shmcaffe_dnn::DnnError> {
+/// let mut net = build_net(
+///     "lenet",
+///     (1, 12, 12),
+///     "conv 4 3x3 pad 1; relu; pool 2; fc 32; relu; fc 5",
+///     7,
+/// )?;
+/// let y = net.forward(&Tensor::zeros(&[2, 1, 12, 12]), Phase::Test)?;
+/// assert_eq!(y.dims(), &[2, 5]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn build_net(
+    name: &str,
+    input: (usize, usize, usize),
+    spec: &str,
+    seed: u64,
+) -> Result<Net, DnnError> {
+    let mut net = Net::new(name);
+    let mut shape = SpecShape::Spatial { c: input.0, h: input.1, w: input.2 };
+    let mut layer_idx = 0usize;
+
+    for raw in spec.split(';') {
+        let clause = raw.trim();
+        if clause.is_empty() {
+            continue;
+        }
+        let mut toks = clause.split_whitespace();
+        let op = toks.next().expect("non-empty clause has a token");
+        let lname = format!("{op}{layer_idx}");
+        layer_idx += 1;
+
+        match op {
+            "conv" => {
+                let out_c = parse_usize(clause, toks.next(), "channel count")?;
+                let kspec = toks.next().ok_or_else(|| parse_err(clause, "missing KxK kernel"))?;
+                let (kh, kw) = kspec
+                    .split_once('x')
+                    .and_then(|(a, b)| Some((a.parse::<usize>().ok()?, b.parse::<usize>().ok()?)))
+                    .ok_or_else(|| parse_err(clause, "kernel must be KxK"))?;
+                let mut stride = 1usize;
+                let mut pad = 0usize;
+                while let Some(kw_tok) = toks.next() {
+                    match kw_tok {
+                        "stride" => stride = parse_usize(clause, toks.next(), "stride")?,
+                        "pad" => pad = parse_usize(clause, toks.next(), "pad")?,
+                        other => return Err(parse_err(clause, &format!("unknown option `{other}`"))),
+                    }
+                }
+                let SpecShape::Spatial { c, h, w } = shape else {
+                    return Err(parse_err(clause, "conv after flattening (fc) is not allowed"));
+                };
+                let geom = Conv2dGeometry {
+                    in_channels: c,
+                    in_h: h,
+                    in_w: w,
+                    kernel_h: kh,
+                    kernel_w: kw,
+                    stride_h: stride,
+                    stride_w: stride,
+                    pad_h: pad,
+                    pad_w: pad,
+                };
+                let (oh, ow) = (geom.out_h()?, geom.out_w()?);
+                net.add(Conv2d::new(&lname, geom, out_c, Filler::Msra, seed)?);
+                shape = SpecShape::Spatial { c: out_c, h: oh, w: ow };
+            }
+            "pool" | "avgpool" => {
+                let k = parse_usize(clause, toks.next(), "kernel")?;
+                let stride = match toks.next() {
+                    Some("stride") => parse_usize(clause, toks.next(), "stride")?,
+                    Some(other) => return Err(parse_err(clause, &format!("unknown option `{other}`"))),
+                    None => k,
+                };
+                let SpecShape::Spatial { c, h, w } = shape else {
+                    return Err(parse_err(clause, "pool after flattening (fc) is not allowed"));
+                };
+                if h != w {
+                    return Err(parse_err(clause, "pooling requires square activations"));
+                }
+                let kind = if op == "pool" { PoolKind::Max } else { PoolKind::Average };
+                let geom = Conv2dGeometry::square(c, h, k, stride, 0);
+                let (oh, ow) = (geom.out_h()?, geom.out_w()?);
+                net.add(Pool2d::new(&lname, kind, geom)?);
+                shape = SpecShape::Spatial { c, h: oh, w: ow };
+            }
+            "fc" => {
+                let out = parse_usize(clause, toks.next(), "output count")?;
+                let in_features = shape.flat_len();
+                net.add(InnerProduct::new(&lname, in_features, out, Filler::Xavier, seed));
+                shape = SpecShape::Flat(out);
+            }
+            "relu" => {
+                net.add(Relu::new(&lname));
+            }
+            "sigmoid" => {
+                net.add(Sigmoid::new(&lname));
+            }
+            "tanh" => {
+                net.add(Tanh::new(&lname));
+            }
+            "dropout" => {
+                let ratio: f32 = toks
+                    .next()
+                    .ok_or_else(|| parse_err(clause, "missing ratio"))?
+                    .parse()
+                    .map_err(|_| parse_err(clause, "invalid ratio"))?;
+                if !(0.0..1.0).contains(&ratio) {
+                    return Err(parse_err(clause, "ratio must be in [0, 1)"));
+                }
+                net.add(Dropout::new(&lname, ratio, seed));
+            }
+            "bn" => {
+                let channels = match shape {
+                    SpecShape::Spatial { c, .. } => c,
+                    SpecShape::Flat(n) => n,
+                };
+                net.add(BatchNorm::new(&lname, channels));
+            }
+            "lrn" => {
+                if !matches!(shape, SpecShape::Spatial { .. }) {
+                    return Err(parse_err(clause, "lrn requires spatial activations"));
+                }
+                net.add(Lrn::with_defaults(&lname));
+            }
+            other => return Err(parse_err(clause, &format!("unknown layer `{other}`"))),
+        }
+        if let Some(extra) = toks.next() {
+            return Err(parse_err(clause, &format!("unexpected trailing token `{extra}`")));
+        }
+    }
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Phase;
+    use shmcaffe_tensor::Tensor;
+
+    #[test]
+    fn builds_lenet_like_spec() {
+        let mut net = build_net(
+            "lenet",
+            (3, 16, 16),
+            "conv 8 3x3 pad 1; relu; pool 2; conv 16 3x3 pad 1; relu; pool 2; fc 64; relu; dropout 0.5; fc 10",
+            1,
+        )
+        .unwrap();
+        let y = net.forward(&Tensor::zeros(&[2, 3, 16, 16]), Phase::Test).unwrap();
+        assert_eq!(y.dims(), &[2, 10]);
+        assert_eq!(net.layer_count(), 10);
+    }
+
+    #[test]
+    fn conv_options_stride_and_pad() {
+        let mut net = build_net("s", (1, 9, 9), "conv 2 3x3 stride 2 pad 1", 1).unwrap();
+        // (9 + 2 - 3)/2 + 1 = 5.
+        let y = net.forward(&Tensor::zeros(&[1, 1, 9, 9]), Phase::Test).unwrap();
+        assert_eq!(y.dims(), &[1, 2, 5, 5]);
+    }
+
+    #[test]
+    fn avgpool_and_lrn_and_bn() {
+        let mut net = build_net("m", (2, 8, 8), "conv 4 1x1; bn; relu; lrn; avgpool 2; fc 3", 2).unwrap();
+        let y = net.forward(&Tensor::zeros(&[3, 2, 8, 8]), Phase::Train).unwrap();
+        assert_eq!(y.dims(), &[3, 3]);
+    }
+
+    #[test]
+    fn error_names_offending_clause() {
+        let err = build_net("b", (1, 8, 8), "conv 4 3x3; frobnicate", 1).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"), "{err}");
+        let err = build_net("b", (1, 8, 8), "conv 4", 1).unwrap_err();
+        assert!(err.to_string().contains("KxK"), "{err}");
+        let err = build_net("b", (1, 8, 8), "fc 10; conv 4 3x3", 1).unwrap_err();
+        assert!(err.to_string().contains("flatten"), "{err}");
+        let err = build_net("b", (1, 4, 4), "conv 4 9x9", 1).unwrap_err();
+        assert!(!err.to_string().is_empty());
+        let err = build_net("b", (1, 8, 8), "dropout 1.5", 1).unwrap_err();
+        assert!(err.to_string().contains("ratio"), "{err}");
+    }
+
+    #[test]
+    fn spec_net_trains() {
+        use crate::data::{Dataset, SyntheticBlobs};
+        let ds = SyntheticBlobs::new(3, 6, 90, 0.3, 5);
+        let mut net = build_net("mlp", (6, 1, 1), "fc 16; relu; fc 3", 9).unwrap();
+        let mut first = f32::NAN;
+        let mut last = f32::NAN;
+        for i in 0..60 {
+            let idx: Vec<usize> = (0..30).map(|j| (i * 30 + j) % 90).collect();
+            let (x, y) = ds.minibatch(&idx).unwrap();
+            let (loss, _) = net.forward_loss(&x, &y, Phase::Train).unwrap();
+            net.backward_from_loss(&y).unwrap();
+            net.for_each_param(|p, g| {
+                for (pv, gv) in p.data_mut().iter_mut().zip(g.data().iter()) {
+                    *pv -= 0.1 * gv;
+                }
+            });
+            net.zero_grads();
+            if i == 0 {
+                first = loss;
+            }
+            last = loss;
+        }
+        assert!(last < first * 0.7, "{first} -> {last}");
+    }
+
+    #[test]
+    fn empty_and_whitespace_clauses_are_skipped() {
+        let net = build_net("e", (1, 4, 4), " ; fc 2 ;; ", 1).unwrap();
+        assert_eq!(net.layer_count(), 1);
+    }
+}

@@ -1,0 +1,500 @@
+//! Verbs-style RDMA layer over the simulated InfiniBand fabric.
+//!
+//! The paper's SMB framework is built on RDMA: "it uses remote direct
+//! memory access (RDMA), eliminating communication for data copy operations
+//! between application-level buffer and kernel-level buffer" (§I), with the
+//! InfiniBand remote key ("rkey") granting direct access to a remote buffer
+//! (§III-B). This crate reproduces that layer:
+//!
+//! * [`RdmaFabric`] — per-node registered memory pools on top of
+//!   [`shmcaffe_simnet::topology::Fabric`],
+//! * [`MemoryRegion`] — a registered buffer identified by `(node, rkey)`,
+//! * one-sided [`RdmaFabric::read`] / [`RdmaFabric::write`] that move real
+//!   data between address spaces while charging virtual time to the HCA and
+//!   switch resources,
+//! * `*_wire` variants that decouple the *modelled* wire size from the
+//!   physical payload, used by the timing experiments to simulate
+//!   multi-hundred-megabyte parameter buffers with small in-memory vectors.
+//!
+//! Addressing is in f32 *elements* (the parameter word), the unit every
+//! layer of this system traffics in; wire sizes are element count × 4 bytes.
+//!
+//! # Example
+//!
+//! ```rust
+//! use shmcaffe_simnet::{Simulation, topology::{ClusterSpec, Fabric, NodeId}};
+//! use shmcaffe_rdma::RdmaFabric;
+//!
+//! let fabric = Fabric::new(ClusterSpec::paper_testbed(2));
+//! let rdma = RdmaFabric::new(fabric);
+//! let mr = rdma.register(NodeId(1), 4).unwrap();
+//! let r2 = rdma.clone();
+//! let mut sim = Simulation::new();
+//! sim.spawn("w", move |ctx| {
+//!     r2.write(&ctx, NodeId(0), &mr, 0, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+//!     let mut buf = [0.0f32; 2];
+//!     r2.read(&ctx, NodeId(0), &mr, 2, &mut buf).unwrap();
+//!     assert_eq!(buf, [3.0, 4.0]);
+//! });
+//! sim.run();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use shmcaffe_simnet::resource::TransferReport;
+use shmcaffe_simnet::topology::{Fabric, NodeId};
+use shmcaffe_simnet::SimContext;
+
+/// Remote access key for a registered memory region (the InfiniBand rkey).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RemoteKey(pub u64);
+
+impl fmt::Display for RemoteKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rkey:{:#x}", self.0)
+    }
+}
+
+/// A registered memory region: `(node, rkey, length-in-elements)`.
+///
+/// Possession of a `MemoryRegion` value is the capability to access the
+/// buffer, mirroring how an rkey "enables remote machine to access directly
+/// the shared memory with RDMA" (paper §III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemoryRegion {
+    /// Endpoint that hosts the physical buffer.
+    pub node: NodeId,
+    /// Remote access key.
+    pub rkey: RemoteKey,
+    /// Buffer length in f32 elements.
+    pub len: usize,
+}
+
+/// Errors produced by RDMA operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdmaError {
+    /// The rkey does not name a registered region on that node.
+    UnknownRegion(RemoteKey),
+    /// The access window `[offset, offset+len)` exceeds the region.
+    OutOfBounds {
+        /// Requested start offset (elements).
+        offset: usize,
+        /// Requested length (elements).
+        len: usize,
+        /// Region capacity (elements).
+        capacity: usize,
+    },
+    /// The node id does not exist on this fabric.
+    BadNode(NodeId),
+}
+
+impl fmt::Display for RdmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdmaError::UnknownRegion(k) => write!(f, "unknown memory region {k}"),
+            RdmaError::OutOfBounds { offset, len, capacity } => {
+                write!(f, "access [{offset}, {}) exceeds region capacity {capacity}", offset + len)
+            }
+            RdmaError::BadNode(n) => write!(f, "no such fabric endpoint: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for RdmaError {}
+
+struct NodePool {
+    regions: Mutex<HashMap<u64, Vec<f32>>>,
+}
+
+struct FabricInner {
+    fabric: Fabric,
+    pools: Vec<NodePool>,
+    next_key: Mutex<u64>,
+}
+
+/// The RDMA-capable fabric: registered memory pools on every endpoint.
+///
+/// Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct RdmaFabric {
+    inner: Arc<FabricInner>,
+}
+
+impl fmt::Debug for RdmaFabric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RdmaFabric")
+            .field("endpoints", &self.inner.pools.len())
+            .finish()
+    }
+}
+
+impl RdmaFabric {
+    /// Wraps a fabric with per-endpoint memory pools.
+    pub fn new(fabric: Fabric) -> Self {
+        let pools = (0..fabric.endpoints())
+            .map(|_| NodePool { regions: Mutex::new(HashMap::new()) })
+            .collect();
+        RdmaFabric {
+            inner: Arc::new(FabricInner { fabric, pools, next_key: Mutex::new(1) }),
+        }
+    }
+
+    /// The underlying fabric.
+    pub fn fabric(&self) -> &Fabric {
+        &self.inner.fabric
+    }
+
+    fn pool(&self, node: NodeId) -> Result<&NodePool, RdmaError> {
+        self.inner.pools.get(node.0).ok_or(RdmaError::BadNode(node))
+    }
+
+    /// Registers a zero-initialised buffer of `len` elements on `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RdmaError::BadNode`] for an unknown endpoint.
+    pub fn register(&self, node: NodeId, len: usize) -> Result<MemoryRegion, RdmaError> {
+        self.register_with(node, vec![0.0; len])
+    }
+
+    /// Registers an existing buffer on `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RdmaError::BadNode`] for an unknown endpoint.
+    pub fn register_with(&self, node: NodeId, data: Vec<f32>) -> Result<MemoryRegion, RdmaError> {
+        let pool = self.pool(node)?;
+        let key = {
+            let mut next = self.inner.next_key.lock();
+            let k = *next;
+            *next += 1;
+            k
+        };
+        let len = data.len();
+        pool.regions.lock().insert(key, data);
+        Ok(MemoryRegion { node, rkey: RemoteKey(key), len })
+    }
+
+    /// Deregisters a region, returning its final contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RdmaError::UnknownRegion`] if already deregistered.
+    pub fn deregister(&self, mr: &MemoryRegion) -> Result<Vec<f32>, RdmaError> {
+        self.pool(mr.node)?
+            .regions
+            .lock()
+            .remove(&mr.rkey.0)
+            .ok_or(RdmaError::UnknownRegion(mr.rkey))
+    }
+
+    /// Runs `f` over the region's buffer on its host node (a *local* access:
+    /// no fabric time is charged). This is how server-side operations such
+    /// as the SMB accumulate engine touch their own memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RdmaError::UnknownRegion`] for a stale region.
+    pub fn with_region<R>(&self, mr: &MemoryRegion, f: impl FnOnce(&mut [f32]) -> R) -> Result<R, RdmaError> {
+        let pool = self.pool(mr.node)?;
+        let mut regions = pool.regions.lock();
+        let buf = regions.get_mut(&mr.rkey.0).ok_or(RdmaError::UnknownRegion(mr.rkey))?;
+        Ok(f(buf))
+    }
+
+    /// Runs `f` over two regions on the *same* node simultaneously (the SMB
+    /// accumulate path: private ΔW buffer into the shared global buffer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RdmaError::UnknownRegion`] if either region is stale, or
+    /// [`RdmaError::BadNode`] if they live on different nodes.
+    pub fn with_two_regions<R>(
+        &self,
+        src: &MemoryRegion,
+        dst: &MemoryRegion,
+        f: impl FnOnce(&[f32], &mut [f32]) -> R,
+    ) -> Result<R, RdmaError> {
+        if src.node != dst.node {
+            return Err(RdmaError::BadNode(src.node));
+        }
+        let pool = self.pool(src.node)?;
+        let mut regions = pool.regions.lock();
+        // Take src out briefly to get simultaneous access without unsafe.
+        let src_buf = regions.remove(&src.rkey.0).ok_or(RdmaError::UnknownRegion(src.rkey))?;
+        let result = match regions.get_mut(&dst.rkey.0) {
+            Some(dst_buf) => Ok(f(&src_buf, dst_buf)),
+            None => Err(RdmaError::UnknownRegion(dst.rkey)),
+        };
+        regions.insert(src.rkey.0, src_buf);
+        result
+    }
+
+    fn check_bounds(mr: &MemoryRegion, offset: usize, len: usize) -> Result<(), RdmaError> {
+        if offset + len > mr.len {
+            return Err(RdmaError::OutOfBounds { offset, len, capacity: mr.len });
+        }
+        Ok(())
+    }
+
+    /// One-sided RDMA read: copies `out.len()` elements starting at
+    /// `offset` from the remote region into `out`, charging the wire time
+    /// for `out.len() * 4` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns bounds/region errors; on error no time is charged.
+    pub fn read(
+        &self,
+        ctx: &SimContext,
+        local: NodeId,
+        mr: &MemoryRegion,
+        offset: usize,
+        out: &mut [f32],
+    ) -> Result<TransferReport, RdmaError> {
+        self.read_wire(ctx, local, mr, offset, out, (out.len() * 4) as u64)
+    }
+
+    /// [`RdmaFabric::read`] with an explicit modelled wire size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns bounds/region errors; on error no time is charged.
+    pub fn read_wire(
+        &self,
+        ctx: &SimContext,
+        local: NodeId,
+        mr: &MemoryRegion,
+        offset: usize,
+        out: &mut [f32],
+        wire_bytes: u64,
+    ) -> Result<TransferReport, RdmaError> {
+        self.read_wire_paced(ctx, local, mr, offset, out, wire_bytes, None)
+    }
+
+    /// [`RdmaFabric::read_wire`] with an optional per-stream pacing limit
+    /// in bytes/s (see
+    /// [`shmcaffe_simnet::resource::BandwidthResource::transfer_stream`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns bounds/region errors; on error no time is charged.
+    #[allow(clippy::too_many_arguments)]
+    pub fn read_wire_paced(
+        &self,
+        ctx: &SimContext,
+        local: NodeId,
+        mr: &MemoryRegion,
+        offset: usize,
+        out: &mut [f32],
+        wire_bytes: u64,
+        stream_bps: Option<f64>,
+    ) -> Result<TransferReport, RdmaError> {
+        Self::check_bounds(mr, offset, out.len())?;
+        self.with_region(mr, |buf| out.copy_from_slice(&buf[offset..offset + out.len()]))?;
+        // Data flows remote -> local.
+        Ok(self
+            .inner
+            .fabric
+            .net_transfer_stream(ctx, mr.node, local, wire_bytes, stream_bps))
+    }
+
+    /// One-sided RDMA write: copies `data` into the remote region at
+    /// `offset`, charging the wire time for `data.len() * 4` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns bounds/region errors; on error no time is charged.
+    pub fn write(
+        &self,
+        ctx: &SimContext,
+        local: NodeId,
+        mr: &MemoryRegion,
+        offset: usize,
+        data: &[f32],
+    ) -> Result<TransferReport, RdmaError> {
+        self.write_wire(ctx, local, mr, offset, data, (data.len() * 4) as u64)
+    }
+
+    /// [`RdmaFabric::write`] with an explicit modelled wire size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns bounds/region errors; on error no time is charged.
+    pub fn write_wire(
+        &self,
+        ctx: &SimContext,
+        local: NodeId,
+        mr: &MemoryRegion,
+        offset: usize,
+        data: &[f32],
+        wire_bytes: u64,
+    ) -> Result<TransferReport, RdmaError> {
+        self.write_wire_paced(ctx, local, mr, offset, data, wire_bytes, None)
+    }
+
+    /// [`RdmaFabric::write_wire`] with an optional per-stream pacing limit
+    /// in bytes/s.
+    ///
+    /// # Errors
+    ///
+    /// Returns bounds/region errors; on error no time is charged.
+    #[allow(clippy::too_many_arguments)]
+    pub fn write_wire_paced(
+        &self,
+        ctx: &SimContext,
+        local: NodeId,
+        mr: &MemoryRegion,
+        offset: usize,
+        data: &[f32],
+        wire_bytes: u64,
+        stream_bps: Option<f64>,
+    ) -> Result<TransferReport, RdmaError> {
+        Self::check_bounds(mr, offset, data.len())?;
+        // Charge wire time first (data flows local -> remote), then land the
+        // bytes; the write is visible before this process yields control
+        // back to the caller, so no other process can observe a torn state.
+        let report = self
+            .inner
+            .fabric
+            .net_transfer_stream(ctx, local, mr.node, wire_bytes, stream_bps);
+        self.with_region(mr, |buf| buf[offset..offset + data.len()].copy_from_slice(data))?;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shmcaffe_simnet::topology::ClusterSpec;
+    use shmcaffe_simnet::Simulation;
+
+    fn test_fabric() -> RdmaFabric {
+        RdmaFabric::new(Fabric::new(ClusterSpec::paper_testbed(2)))
+    }
+
+    #[test]
+    fn register_deregister_roundtrip() {
+        let rdma = test_fabric();
+        let mr = rdma.register_with(NodeId(0), vec![1.0, 2.0]).unwrap();
+        assert_eq!(mr.len, 2);
+        let data = rdma.deregister(&mr).unwrap();
+        assert_eq!(data, vec![1.0, 2.0]);
+        assert_eq!(rdma.deregister(&mr), Err(RdmaError::UnknownRegion(mr.rkey)));
+    }
+
+    #[test]
+    fn rkeys_are_unique() {
+        let rdma = test_fabric();
+        let a = rdma.register(NodeId(0), 1).unwrap();
+        let b = rdma.register(NodeId(0), 1).unwrap();
+        let c = rdma.register(NodeId(1), 1).unwrap();
+        assert_ne!(a.rkey, b.rkey);
+        assert_ne!(b.rkey, c.rkey);
+    }
+
+    #[test]
+    fn bad_node_rejected() {
+        let rdma = test_fabric();
+        assert_eq!(rdma.register(NodeId(99), 4).unwrap_err(), RdmaError::BadNode(NodeId(99)));
+    }
+
+    #[test]
+    fn write_then_read_roundtrip_with_timing() {
+        let rdma = test_fabric();
+        let mem = rdma.fabric().memory_server().unwrap();
+        let mr = rdma.register(mem, 8).unwrap();
+        let r = rdma.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("w", move |ctx| {
+            let data: Vec<f32> = (0..8).map(|v| v as f32).collect();
+            r.write(&ctx, NodeId(0), &mr, 0, &data).unwrap();
+            let mut out = vec![0.0f32; 8];
+            r.read(&ctx, NodeId(0), &mr, 0, &mut out).unwrap();
+            assert_eq!(out, data);
+            // 2 transfers of 32 bytes at 7 GB/s + 2 x 2 us latency.
+            assert!(ctx.now().as_nanos() >= 4_000);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn out_of_bounds_is_rejected_without_time() {
+        let rdma = test_fabric();
+        let mr = rdma.register(NodeId(1), 4).unwrap();
+        let r = rdma.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("w", move |ctx| {
+            let mut out = vec![0.0f32; 3];
+            let err = r.read(&ctx, NodeId(0), &mr, 2, &mut out).unwrap_err();
+            assert!(matches!(err, RdmaError::OutOfBounds { .. }));
+            assert_eq!(ctx.now().as_nanos(), 0, "failed op must not charge time");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn wire_variant_charges_logical_size() {
+        let rdma = test_fabric();
+        let mem = rdma.fabric().memory_server().unwrap();
+        let mr = rdma.register(mem, 4).unwrap();
+        let r = rdma.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("w", move |ctx| {
+            // Physical 16 bytes, modelled as 53.5 MB (Inception_v1 weights).
+            r.write_wire(&ctx, NodeId(0), &mr, 0, &[1.0; 4], 53_500_000).unwrap();
+            let ms = ctx.now().as_millis_f64();
+            // 53.5 MB / 7 GB/s = 7.64 ms.
+            assert!((ms - 7.64).abs() < 0.1, "took {ms} ms");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn with_two_regions_accumulates() {
+        let rdma = test_fabric();
+        let src = rdma.register_with(NodeId(0), vec![1.0, 2.0]).unwrap();
+        let dst = rdma.register_with(NodeId(0), vec![10.0, 20.0]).unwrap();
+        rdma.with_two_regions(&src, &dst, |s, d| {
+            for (dv, sv) in d.iter_mut().zip(s.iter()) {
+                *dv += sv;
+            }
+        })
+        .unwrap();
+        assert_eq!(rdma.deregister(&dst).unwrap(), vec![11.0, 22.0]);
+        // src must still be present after the temporary removal.
+        assert_eq!(rdma.deregister(&src).unwrap(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn with_two_regions_rejects_cross_node() {
+        let rdma = test_fabric();
+        let a = rdma.register(NodeId(0), 1).unwrap();
+        let b = rdma.register(NodeId(1), 1).unwrap();
+        assert!(rdma.with_two_regions(&a, &b, |_, _| ()).is_err());
+    }
+
+    #[test]
+    fn concurrent_writers_to_one_server_serialize_on_rx() {
+        let rdma = test_fabric();
+        let mem = rdma.fabric().memory_server().unwrap();
+        let mut sim = Simulation::new();
+        for i in 0..2 {
+            let r = rdma.clone();
+            let mr = rdma.register(mem, 4).unwrap();
+            sim.spawn(&format!("w{i}"), move |ctx| {
+                r.write_wire(&ctx, NodeId(i), &mr, 0, &[1.0; 4], 700_000_000).unwrap();
+            });
+        }
+        // Each write is 0.1 s of service; the server rx serialises them.
+        let end = sim.run();
+        assert!((end.as_secs_f64() - 0.2).abs() < 0.01, "{}", end.as_secs_f64());
+    }
+}

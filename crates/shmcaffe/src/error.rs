@@ -1,0 +1,76 @@
+use std::fmt;
+
+use shmcaffe_dnn::DnnError;
+use shmcaffe_rdma::RdmaError;
+use shmcaffe_smb::SmbError;
+
+/// Errors surfaced by the platform layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// A Soft-Memory-Box failure.
+    Smb(SmbError),
+    /// A DNN substrate failure.
+    Dnn(DnnError),
+    /// A raw RDMA failure.
+    Rdma(RdmaError),
+    /// Invalid platform configuration.
+    BadConfig(String),
+    /// A worker process failed; carries the propagated message.
+    WorkerFailed(String),
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::Smb(e) => write!(f, "smb error: {e}"),
+            PlatformError::Dnn(e) => write!(f, "dnn error: {e}"),
+            PlatformError::Rdma(e) => write!(f, "rdma error: {e}"),
+            PlatformError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            PlatformError::WorkerFailed(msg) => write!(f, "worker failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlatformError::Smb(e) => Some(e),
+            PlatformError::Dnn(e) => Some(e),
+            PlatformError::Rdma(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SmbError> for PlatformError {
+    fn from(e: SmbError) -> Self {
+        PlatformError::Smb(e)
+    }
+}
+
+impl From<DnnError> for PlatformError {
+    fn from(e: DnnError) -> Self {
+        PlatformError::Dnn(e)
+    }
+}
+
+impl From<RdmaError> for PlatformError {
+    fn from(e: RdmaError) -> Self {
+        PlatformError::Rdma(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = PlatformError::BadConfig("x".into());
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains('x'));
+        let e = PlatformError::Smb(SmbError::NoMemoryServer);
+        assert!(e.source().is_some());
+    }
+}

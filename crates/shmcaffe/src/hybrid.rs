@@ -1,0 +1,369 @@
+//! Hybrid SGD (paper §III-D, Fig. 4): intra-node synchronous SGD +
+//! inter-node SEASGD.
+//!
+//! "ShmCaffe groups workers assigned to the same node. The same group of
+//! workers aggregates gradients using ncclAllReduce ... then update the
+//! local weight from the aggregated gradients. Next, the root worker of the
+//! same worker group asynchronously updates the global parameters on the
+//! SMB server using SEASGD. The root worker updates the local weight from
+//! the global parameter and broadcasts the updated weight to other workers
+//! of the same group."
+//!
+//! Because every member applies the same aggregated gradients from the same
+//! initial weights, replicas stay bit-identical between exchanges; the root
+//! broadcast after each SEASGD exchange re-synchronises the elastic mixing.
+
+use shmcaffe_collectives::GpuComm;
+use shmcaffe_simnet::SimContext;
+use shmcaffe_smb::progress::ProgressBoard;
+use shmcaffe_smb::SmbClient;
+
+use crate::config::ShmCaffeConfig;
+use crate::report::{EvalPoint, WorkerReport};
+use crate::seasgd::{ElasticExchanger, SeasgdBuffers};
+use crate::trainer::Trainer;
+use crate::PlatformError;
+
+/// Everything one Hybrid-SGD group member needs besides its trainer.
+pub struct HybridHarness {
+    /// Intra-node collective handle (member 0 is the group root).
+    pub gpu: GpuComm,
+    /// Group index (the SEASGD participant id).
+    pub group: usize,
+    /// Member index within the group.
+    pub member: usize,
+    /// Total number of groups (SEASGD participants).
+    pub n_groups: usize,
+    /// Root-only SMB state: client, buffers and progress board.
+    pub root: Option<RootHarness>,
+    /// Platform configuration.
+    pub cfg: ShmCaffeConfig,
+    /// Iteration budget per group.
+    pub target_iters: u64,
+}
+
+/// SMB state held only by the group root.
+pub struct RootHarness {
+    /// SMB client bound to the group's node.
+    pub client: SmbClient,
+    /// The group's SEASGD buffers.
+    pub buffers: SeasgdBuffers,
+    /// The group-level progress board (one slot per group).
+    pub board: ProgressBoard,
+}
+
+/// Outcome of one group member.
+#[derive(Debug)]
+pub struct HybridOutcome {
+    /// Timing report for this member.
+    pub report: WorkerReport,
+    /// Evaluations (group 0's root only).
+    pub evals: Vec<EvalPoint>,
+}
+
+/// Control flags broadcast by the root alongside progress checks.
+const FLAG_CONTINUE: f32 = 0.0;
+const FLAG_STOP: f32 = 1.0;
+
+/// Runs Hybrid SGD for one group member (call from its sim process).
+///
+/// # Errors
+///
+/// Propagates SMB failures.
+///
+/// # Panics
+///
+/// Panics if `root` presence disagrees with `member == 0`.
+pub fn run_group_member<T: Trainer>(
+    ctx: &SimContext,
+    mut harness: HybridHarness,
+    trainer: &mut T,
+) -> Result<HybridOutcome, PlatformError> {
+    assert_eq!(
+        harness.root.is_some(),
+        harness.member == 0,
+        "exactly the group root must carry the SMB harness"
+    );
+    let cfg = harness.cfg;
+    let group_size = harness.gpu.size();
+    let global_rank = harness.group; // worker-report slot: one per member, filled by caller
+    let mut report = WorkerReport::new(global_rank * group_size + harness.member);
+    let mut evals = Vec::new();
+    let param_len = trainer.param_len();
+    let wire_bytes = trainer.wire_bytes();
+
+    let mut exchanger = harness.root.as_ref().map(|root| {
+        ElasticExchanger::spawn(
+            ctx,
+            root.client.clone(),
+            root.buffers,
+            param_len,
+            wire_bytes,
+            &cfg,
+            &format!("grp{}", harness.group),
+        )
+    });
+
+    let mut grads = vec![0.0f32; param_len];
+    let mut loss_ema = f32::NAN;
+    let mut iter: u64 = 0;
+    let mut stop = false;
+    let inv_group = 1.0 / group_size as f32;
+
+    while !stop {
+        // T4: every member trains its own minibatch.
+        let comp_start = ctx.now();
+        let loss = trainer.compute_gradients(ctx);
+        let comp_grad = ctx.now() - comp_start;
+
+        // Intra-node SSGD: ncclAllReduce of the gradients (G_grp).
+        let comm_start = ctx.now();
+        trainer.read_grads(&mut grads);
+        let mut summed = harness.gpu.all_reduce_wire(ctx, std::mem::take(&mut grads), wire_bytes);
+        for g in summed.iter_mut() {
+            *g *= inv_group;
+        }
+        trainer.write_grads(&summed);
+        grads = summed;
+        let comm_allreduce = ctx.now() - comm_start;
+
+        // T5: every member applies the same aggregated update.
+        let comp2_start = ctx.now();
+        trainer.apply_update(ctx);
+        let comp_update = ctx.now() - comp2_start;
+        report.comp_ms.record_duration_ms(comp_grad + comp_update);
+
+        // Inter-node SEASGD by the root, then weight broadcast.
+        let mut comm_total = comm_allreduce;
+        if iter.is_multiple_of(cfg.update_interval as u64) {
+            let bcast_start = ctx.now();
+            if let Some(ex) = exchanger.as_mut() {
+                ex.exchange(ctx, trainer)?;
+                let mixed = ex.mixed_weights().to_vec();
+                harness.gpu.broadcast_wire(ctx, 0, Some(mixed), wire_bytes);
+            } else {
+                let mixed = harness.gpu.broadcast_wire(ctx, 0, None, wire_bytes);
+                trainer.write_weights(&mixed);
+            }
+            comm_total += ctx.now() - bcast_start;
+        }
+        report.comm_ms.record_duration_ms(comm_total);
+
+        loss_ema = if loss_ema.is_nan() { loss } else { 0.9 * loss_ema + 0.1 * loss };
+        iter += 1;
+
+        // Group-0 root evaluates.
+        if harness.group == 0
+            && harness.member == 0
+            && cfg.eval_every > 0
+            && iter.is_multiple_of(cfg.eval_every as u64)
+        {
+            if let Some(sample) = trainer.evaluate() {
+                evals.push(EvalPoint {
+                    iter,
+                    time: ctx.now(),
+                    loss: sample.loss,
+                    top1: sample.top1,
+                    topk: sample.topk,
+                });
+            }
+        }
+
+        // Progress/termination: root decides, group follows (a tiny flag
+        // broadcast keeps the collective schedules aligned).
+        if iter.is_multiple_of(cfg.progress_every as u64) || iter >= harness.target_iters {
+            let flag = if let Some(root) = harness.root.as_ref() {
+                let done = iter >= harness.target_iters;
+                root.board.publish(&root.client, ctx, harness.group, iter, done)?;
+                let snapshot = root.board.snapshot(&root.client, ctx)?;
+                let stop_now =
+                    cfg.termination.should_stop(&snapshot, iter, harness.target_iters);
+                let flag = if stop_now { FLAG_STOP } else { FLAG_CONTINUE };
+                harness.gpu.broadcast(ctx, 0, Some(vec![flag]));
+                flag
+            } else {
+                harness.gpu.broadcast(ctx, 0, None)[0]
+            };
+            stop = flag == FLAG_STOP;
+        }
+    }
+
+    if let Some(ex) = exchanger.take() {
+        ex.finish(ctx);
+    }
+    if let Some(root) = harness.root.as_ref() {
+        root.board.publish(&root.client, ctx, harness.group, iter, true)?;
+    }
+
+    report.iters = iter;
+    report.finished_at = ctx.now();
+    report.final_loss = loss_ema;
+    Ok(HybridOutcome { report, evals })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{ModeledTrainerFactory, Trainer, TrainerFactory};
+    use parking_lot::Mutex;
+    use shmcaffe_collectives::IntraNodeGroup;
+    use shmcaffe_models::WorkloadModel;
+    use shmcaffe_rdma::RdmaFabric;
+    use shmcaffe_simnet::jitter::JitterModel;
+    use shmcaffe_simnet::topology::{ClusterSpec, Fabric, NodeId};
+    use shmcaffe_simnet::{SimDuration, Simulation};
+    use shmcaffe_smb::SmbServer;
+    use std::sync::Arc;
+
+    /// Runs `n_groups` x `group_size` hybrid workers; returns outcomes
+    /// indexed by (group, member).
+    fn run_hybrid(
+        n_groups: usize,
+        group_size: usize,
+        cfg: ShmCaffeConfig,
+        workload: WorkloadModel,
+    ) -> Vec<Vec<HybridOutcome>> {
+        let fabric = Fabric::new(ClusterSpec::paper_testbed(n_groups));
+        let rdma = RdmaFabric::new(fabric.clone());
+        let server = SmbServer::new(rdma).unwrap();
+        let factory = ModeledTrainerFactory::new(workload.clone(), cfg.jitter, cfg.seed);
+        let outcomes: Arc<Mutex<Vec<Vec<Option<HybridOutcome>>>>> = Arc::new(Mutex::new(
+            (0..n_groups).map(|_| (0..group_size).map(|_| None).collect()).collect(),
+        ));
+
+        // Shared-segment setup happens inside the simulation's first
+        // process; workers wait on a readiness channel. (The platform layer
+        // exercises the MPI key-broadcast variant instead.)
+        let mut sim = Simulation::new();
+        let wg_key: Arc<Mutex<Option<(shmcaffe_smb::ShmKey, shmcaffe_smb::ShmKey)>>> =
+            Arc::new(Mutex::new(None));
+        let ready = shmcaffe_simnet::channel::SimChannel::<()>::new("setup_ready");
+        {
+            let server = server.clone();
+            let wg_key = Arc::clone(&wg_key);
+            let ready = ready.clone();
+            let wire = workload.wire_bytes;
+            sim.spawn("setup", move |ctx| {
+                let client = SmbClient::new(server, NodeId(0));
+                let wg = client
+                    .create(&ctx, "W_g", WorkloadModel::DEFAULT_PARAM_ELEMS, Some(wire))
+                    .unwrap();
+                let (_board, bkey) = ProgressBoard::create(&client, &ctx, "ctrl", n_groups).unwrap();
+                *wg_key.lock() = Some((wg, bkey));
+                for _ in 0..n_groups {
+                    ready.send(&ctx, ());
+                }
+            });
+        }
+
+        for g in 0..n_groups {
+            let group_obj = IntraNodeGroup::new(fabric.clone(), NodeId(g), group_size);
+            for m in 0..group_size {
+                let gpu = group_obj.comm(m);
+                let server = server.clone();
+                let factory = factory.clone();
+                let outcomes = Arc::clone(&outcomes);
+                let wg_key = Arc::clone(&wg_key);
+                let ready = ready.clone();
+                let wire = workload.wire_bytes;
+                sim.spawn(&format!("g{g}m{m}"), move |ctx| {
+                    let global_rank = g * group_size + m;
+                    let mut trainer = factory.make(global_rank, n_groups * group_size);
+                    let root = if m == 0 {
+                        ready.recv(&ctx);
+                        let (wgk, bk) = wg_key.lock().expect("setup ran");
+                        let client = SmbClient::new(server, NodeId(g));
+                        let wg = client.alloc(&ctx, wgk).unwrap();
+                        let dw_key = client
+                            .create(&ctx, &format!("dW_grp{g}"), trainer.param_len(), Some(wire))
+                            .unwrap();
+                        let dw = client.alloc(&ctx, dw_key).unwrap();
+                        let board = ProgressBoard::attach(&client, &ctx, bk, n_groups).unwrap();
+                        Some(RootHarness { client, buffers: SeasgdBuffers { wg, dw }, board })
+                    } else {
+                        None
+                    };
+                    let harness = HybridHarness {
+                        gpu,
+                        group: g,
+                        member: m,
+                        n_groups,
+                        root,
+                        cfg,
+                        target_iters: cfg.max_iters as u64,
+                    };
+                    let outcome = run_group_member(&ctx, harness, &mut trainer).unwrap();
+                    outcomes.lock()[g][m] = Some(outcome);
+                });
+            }
+        }
+        sim.run();
+        let slots = std::mem::take(&mut *outcomes.lock());
+        slots
+            .into_iter()
+            .map(|grp| grp.into_iter().map(|o| o.expect("member finished")).collect())
+            .collect()
+    }
+
+    fn quiet_cfg(max_iters: usize) -> ShmCaffeConfig {
+        ShmCaffeConfig {
+            max_iters,
+            progress_every: 5,
+            jitter: JitterModel::NONE,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn two_groups_of_two_complete() {
+        let wl = WorkloadModel::custom("t", 4_000_000, SimDuration::from_millis(20));
+        let out = run_hybrid(2, 2, quiet_cfg(10), wl);
+        for grp in &out {
+            for o in grp {
+                assert_eq!(o.report.iters, 10);
+                assert!(o.report.comm_ms.mean() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn group_members_stay_synchronized() {
+        // Same iteration counts and same finish times within a group.
+        let wl = WorkloadModel::custom("t", 4_000_000, SimDuration::from_millis(15));
+        let out = run_hybrid(2, 4, quiet_cfg(8), wl);
+        for grp in &out {
+            let t0 = grp[0].report.finished_at;
+            for o in grp {
+                assert_eq!(o.report.iters, grp[0].report.iters);
+                // Members finish within a bcast of each other.
+                let dt = if o.report.finished_at > t0 {
+                    o.report.finished_at - t0
+                } else {
+                    t0 - o.report.finished_at
+                };
+                assert!(dt.as_millis_f64() < 50.0, "skew {dt}");
+            }
+        }
+    }
+
+    #[test]
+    fn update_interval_skips_inter_node_exchanges() {
+        let wl = WorkloadModel::custom("t", 20_000_000, SimDuration::from_millis(30));
+        let dense = run_hybrid(2, 2, quiet_cfg(8), wl.clone());
+        let sparse = run_hybrid(
+            2,
+            2,
+            ShmCaffeConfig { update_interval: 4, ..quiet_cfg(8) },
+            wl,
+        );
+        let comm = |out: &Vec<Vec<HybridOutcome>>| -> f64 {
+            out.iter().flatten().map(|o| o.report.comm_ms.sum()).sum()
+        };
+        assert!(
+            comm(&sparse) < comm(&dense),
+            "sparser exchanges must cost less: {} vs {}",
+            comm(&sparse),
+            comm(&dense)
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! MPICaffe: the authors' own MPI_Allreduce SSGD port of BVLC Caffe.
+//!
+//! "Instead of using the NCCL Allreduce library ... the aggregation of
+//! gradients from all workers utilizes MPI Allreduce. In addition, this
+//! MPICaffe is a distributed deep learning platform that makes each worker
+//! do SSGD" (paper §IV-C). Like Caffe-MPI it pays the MPI copy/protocol
+//! overhead, but the bandwidth-optimal ring avoids the star bottleneck.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use shmcaffe_mpi::MpiWorld;
+use shmcaffe_simnet::topology::{ClusterSpec, Fabric};
+use shmcaffe_simnet::Simulation;
+
+use crate::report::{EvalPoint, TrainingReport, WorkerReport};
+use crate::trainer::{Trainer, TrainerFactory};
+use crate::PlatformError;
+
+use super::caffe::SsgdConfig;
+use super::run_sim;
+
+/// MPICaffe: every rank computes gradients, an `MPI_Allreduce` aggregates
+/// them, and every rank applies the identical update.
+#[derive(Debug, Clone)]
+pub struct MpiCaffe {
+    spec: ClusterSpec,
+    workers: usize,
+    cfg: SsgdConfig,
+}
+
+impl MpiCaffe {
+    /// Configures the platform.
+    pub fn new(spec: ClusterSpec, workers: usize, cfg: SsgdConfig) -> Self {
+        MpiCaffe { spec, workers, cfg }
+    }
+
+    /// Runs SSGD training and returns the fleet report.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors or any propagated worker failure.
+    pub fn run<F: TrainerFactory>(&self, factory: F) -> Result<TrainingReport, PlatformError> {
+        if self.workers == 0 || self.workers > self.spec.total_gpus() {
+            return Err(PlatformError::BadConfig(format!(
+                "{} workers do not fit {} GPU slots",
+                self.workers,
+                self.spec.total_gpus()
+            )));
+        }
+        if self.cfg.max_iters == 0 {
+            return Err(PlatformError::BadConfig("max_iters must be positive".into()));
+        }
+        let spec = ClusterSpec { memory_servers: 0, ..self.spec };
+        let fabric = Fabric::new(spec);
+        let mpi = MpiWorld::new(fabric, self.workers);
+        let factory = Arc::new(factory);
+        let cfg = self.cfg;
+        let n = self.workers;
+        let report = Arc::new(Mutex::new(TrainingReport::new("MPICaffe", n)));
+
+        let mut sim = Simulation::new();
+        for rank in 0..n {
+            let mut comm = mpi.comm(rank);
+            let factory = Arc::clone(&factory);
+            let report = Arc::clone(&report);
+            sim.spawn(&format!("mpicaffe_r{rank}"), move |ctx| {
+                let ctx = &ctx;
+                let mut trainer = factory.make(rank, n);
+                let param_len = trainer.param_len();
+                let wire_eff = (trainer.wire_bytes() as f64 / cfg.baseline.mpi_efficiency) as u64;
+                let mut grads = vec![0.0f32; param_len];
+                let mut wrep = WorkerReport::new(rank);
+                let mut evals = Vec::new();
+                let mut loss_ema = f32::NAN;
+                let inv = 1.0 / n as f32;
+
+                for iter in 1..=cfg.max_iters as u64 {
+                    let comp_start = ctx.now();
+                    let loss = trainer.compute_gradients(ctx);
+                    let comp_grad = ctx.now() - comp_start;
+
+                    let comm_start = ctx.now();
+                    trainer.read_grads(&mut grads);
+                    let mut summed = if n > 1 {
+                        comm.allreduce_wire(ctx, std::mem::take(&mut grads), wire_eff)
+                    } else {
+                        std::mem::take(&mut grads)
+                    };
+                    for g in summed.iter_mut() {
+                        *g *= inv;
+                    }
+                    trainer.write_grads(&summed);
+                    grads = summed;
+                    let comm_time = ctx.now() - comm_start;
+
+                    let upd_start = ctx.now();
+                    trainer.apply_update(ctx);
+                    wrep.comp_ms.record_duration_ms(comp_grad + (ctx.now() - upd_start));
+                    wrep.comm_ms.record_duration_ms(comm_time);
+                    loss_ema = if loss_ema.is_nan() { loss } else { 0.9 * loss_ema + 0.1 * loss };
+
+                    if rank == 0 && cfg.eval_every > 0 && iter % cfg.eval_every as u64 == 0 {
+                        if let Some(sample) = trainer.evaluate() {
+                            evals.push(EvalPoint {
+                                iter,
+                                time: ctx.now(),
+                                loss: sample.loss,
+                                top1: sample.top1,
+                                topk: sample.topk,
+                            });
+                        }
+                    }
+                }
+
+                wrep.iters = cfg.max_iters as u64;
+                wrep.finished_at = ctx.now();
+                wrep.final_loss = loss_ema;
+                let mut report = report.lock();
+                report.workers[rank] = wrep;
+                if rank == 0 {
+                    report.evals = evals;
+                    let mut final_w = vec![0.0f32; param_len];
+                    trainer.read_weights(&mut final_w);
+                    report.final_weights = Some(final_w);
+                }
+            });
+        }
+
+        let wall = run_sim(sim)?;
+        let mut final_report =
+            Arc::try_unwrap(report).map(Mutex::into_inner).unwrap_or_else(|arc| arc.lock().clone());
+        final_report.wall = wall;
+        Ok(final_report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::ModeledTrainerFactory;
+    use shmcaffe_models::{CnnModel, WorkloadModel};
+    use shmcaffe_simnet::jitter::JitterModel;
+
+    fn factory() -> ModeledTrainerFactory {
+        ModeledTrainerFactory::new(
+            WorkloadModel::from_cnn(CnnModel::InceptionV1),
+            JitterModel::NONE,
+            5,
+        )
+    }
+
+    #[test]
+    fn allreduce_beats_star_at_scale() {
+        let cfg = SsgdConfig { max_iters: 5, ..Default::default() };
+        let ring = MpiCaffe::new(ClusterSpec::paper_testbed(4), 16, cfg)
+            .run(factory())
+            .unwrap();
+        let star = super::super::CaffeMpi::new(ClusterSpec::paper_testbed(4), 16, cfg)
+            .run(factory())
+            .unwrap();
+        assert!(
+            ring.mean_comm_ms() < star.mean_comm_ms(),
+            "ring {} vs star {}",
+            ring.mean_comm_ms(),
+            star.mean_comm_ms()
+        );
+    }
+
+    #[test]
+    fn workers_stay_in_lockstep() {
+        let report = MpiCaffe::new(
+            ClusterSpec::paper_testbed(2),
+            8,
+            SsgdConfig { max_iters: 6, ..Default::default() },
+        )
+        .run(factory())
+        .unwrap();
+        let t0 = report.workers[0].finished_at;
+        for w in &report.workers {
+            let dt = if w.finished_at > t0 { w.finished_at - t0 } else { t0 - w.finished_at };
+            assert!(dt.as_millis_f64() < 100.0, "skew {dt}");
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! ShmCaffe-A: the pure asynchronous platform (SEASGD on every worker).
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use shmcaffe_mpi::{MpiData, MpiWorld};
+use shmcaffe_rdma::RdmaFabric;
+use shmcaffe_simnet::topology::{ClusterSpec, Fabric};
+use shmcaffe_simnet::Simulation;
+use shmcaffe_smb::progress::ProgressBoard;
+use shmcaffe_smb::{ShmKey, SmbClient, SmbServer};
+
+use crate::config::ShmCaffeConfig;
+use crate::report::TrainingReport;
+use crate::seasgd::{run_worker, SeasgdBuffers, SeasgdHarness};
+use crate::trainer::{Trainer, TrainerFactory};
+use crate::PlatformError;
+
+use super::run_sim;
+
+/// The asynchronous ShmCaffe platform (paper "ShmCaffe-A").
+///
+/// Rank 0 is the master worker: it creates the global-weight buffer and the
+/// progress board on the SMB server, seeds the global weights with its own
+/// initial parameters, and broadcasts the SHM keys over MPI (paper §III-A,
+/// Fig. 2). Every worker then runs SEASGD (Fig. 6).
+#[derive(Debug, Clone)]
+pub struct ShmCaffeA {
+    spec: ClusterSpec,
+    workers: usize,
+    cfg: ShmCaffeConfig,
+}
+
+impl ShmCaffeA {
+    /// Configures the platform.
+    pub fn new(spec: ClusterSpec, workers: usize, cfg: ShmCaffeConfig) -> Self {
+        ShmCaffeA { spec, workers, cfg }
+    }
+
+    /// Runs distributed training and returns the fleet report.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors or any propagated worker failure.
+    pub fn run<F: TrainerFactory>(&self, factory: F) -> Result<TrainingReport, PlatformError> {
+        self.cfg.validate().map_err(PlatformError::BadConfig)?;
+        if self.workers == 0 || self.workers > self.spec.total_gpus() {
+            return Err(PlatformError::BadConfig(format!(
+                "{} workers do not fit {} GPU slots",
+                self.workers,
+                self.spec.total_gpus()
+            )));
+        }
+        if self.spec.memory_servers == 0 {
+            return Err(PlatformError::BadConfig(
+                "ShmCaffe requires a memory server on the fabric".to_string(),
+            ));
+        }
+
+        let fabric = Fabric::new(self.spec);
+        let rdma = RdmaFabric::new(fabric.clone());
+        let server = SmbServer::new(rdma)?;
+        let mpi = MpiWorld::new(fabric, self.workers);
+        let factory = Arc::new(factory);
+        let cfg = self.cfg;
+        let n_workers = self.workers;
+        let report = Arc::new(Mutex::new(TrainingReport::new("ShmCaffe-A", n_workers)));
+
+        let mut sim = Simulation::new();
+        for rank in 0..n_workers {
+            let server = server.clone();
+            let mut comm = mpi.comm(rank);
+            let node = mpi.node_of(rank);
+            let factory = Arc::clone(&factory);
+            let report = Arc::clone(&report);
+            sim.spawn(&format!("shmcaffe_a_w{rank}"), move |ctx| {
+                let mut trainer = factory.make(rank, n_workers);
+                let client = SmbClient::new(server, node);
+                let param_len = trainer.param_len();
+                let wire = trainer.wire_bytes();
+
+                // Fig. 2 handshake: master creates, broadcasts keys.
+                let (wg_key, board_key) = if rank == 0 {
+                    let wg_key = client
+                        .create(&ctx, "W_g", param_len, Some(wire))
+                        .expect("fresh server has no duplicate segments");
+                    let (board, board_key) =
+                        ProgressBoard::create(&client, &ctx, "control_info", n_workers)
+                            .expect("fresh server has no duplicate segments");
+                    // Seed the global weights with the master's parameters.
+                    let wg = client.alloc(&ctx, wg_key).expect("key just created");
+                    let mut w0 = vec![0.0f32; param_len];
+                    trainer.read_weights(&mut w0);
+                    client.write(&ctx, &wg, &w0).expect("sizes match");
+                    let _ = board;
+                    comm.broadcast(&ctx, 0, Some(MpiData::U64s(vec![wg_key.0, board_key.0])));
+                    (wg_key, board_key)
+                } else {
+                    let keys = comm.broadcast(&ctx, 0, None).into_u64s();
+                    (ShmKey(keys[0]), ShmKey(keys[1]))
+                };
+
+                let wg = client.alloc(&ctx, wg_key).expect("master created the segment");
+                let dw_key = client
+                    .create(&ctx, &format!("dW_{rank}"), param_len, Some(wire))
+                    .expect("per-rank names are unique");
+                let dw = client.alloc(&ctx, dw_key).expect("key just created");
+                let board = ProgressBoard::attach(&client, &ctx, board_key, n_workers)
+                    .expect("board sized for n_workers");
+
+                // Slaves adopt the master's initial weights.
+                if rank != 0 {
+                    let mut w0 = vec![0.0f32; param_len];
+                    client.read(&ctx, &wg, &mut w0).expect("sizes match");
+                    trainer.write_weights(&w0);
+                }
+                comm.barrier(&ctx);
+
+                let harness = SeasgdHarness {
+                    client: client.clone(),
+                    buffers: SeasgdBuffers { wg, dw },
+                    board,
+                    cfg,
+                    rank,
+                    target_iters: cfg.max_iters as u64,
+                };
+                let outcome = run_worker(&ctx, harness, &mut trainer)
+                    .expect("smb operations on live segments succeed");
+
+                // Collect the final averaged model at the master after all
+                // workers are done. The SMB read happens *before* taking the
+                // report mutex: holding a real lock across a virtual-time
+                // block would deadlock the cooperative scheduler.
+                comm.barrier(&ctx);
+                let final_w = (rank == 0).then(|| {
+                    let mut w = vec![0.0f32; param_len];
+                    client.read(&ctx, &wg, &mut w).expect("sizes match");
+                    w
+                });
+                let mut report = report.lock();
+                report.workers[rank] = outcome.report;
+                if rank == 0 {
+                    report.evals = outcome.evals;
+                    report.final_weights = final_w;
+                }
+            });
+        }
+
+        let wall = run_sim(sim)?;
+        let mut final_report =
+            Arc::try_unwrap(report).map(Mutex::into_inner).unwrap_or_else(|arc| arc.lock().clone());
+        final_report.wall = wall;
+        Ok(final_report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::ModeledTrainerFactory;
+    use shmcaffe_models::WorkloadModel;
+    use shmcaffe_simnet::jitter::JitterModel;
+    use shmcaffe_simnet::SimDuration;
+
+    fn quick_cfg(iters: usize) -> ShmCaffeConfig {
+        ShmCaffeConfig {
+            max_iters: iters,
+            progress_every: 5,
+            jitter: JitterModel::NONE,
+            ..Default::default()
+        }
+    }
+
+    fn quick_factory() -> ModeledTrainerFactory {
+        ModeledTrainerFactory::new(
+            WorkloadModel::custom("t", 8_000_000, SimDuration::from_millis(20)),
+            JitterModel::NONE,
+            7,
+        )
+    }
+
+    #[test]
+    fn runs_sixteen_workers_end_to_end() {
+        let report = ShmCaffeA::new(ClusterSpec::paper_testbed(4), 16, quick_cfg(10))
+            .run(quick_factory())
+            .unwrap();
+        assert_eq!(report.workers.len(), 16);
+        for w in &report.workers {
+            assert_eq!(w.iters, 10);
+        }
+        assert!(report.wall.as_millis_f64() > 200.0);
+        assert!(report.final_weights.is_some());
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let spec = ClusterSpec::paper_testbed(1);
+        assert!(matches!(
+            ShmCaffeA::new(spec, 0, quick_cfg(5)).run(quick_factory()),
+            Err(PlatformError::BadConfig(_))
+        ));
+        assert!(matches!(
+            ShmCaffeA::new(spec, 99, quick_cfg(5)).run(quick_factory()),
+            Err(PlatformError::BadConfig(_))
+        ));
+        let no_mem = ClusterSpec { memory_servers: 0, ..spec };
+        assert!(matches!(
+            ShmCaffeA::new(no_mem, 2, quick_cfg(5)).run(quick_factory()),
+            Err(PlatformError::BadConfig(_))
+        ));
+        let bad_cfg = ShmCaffeConfig { update_interval: 0, ..quick_cfg(5) };
+        assert!(matches!(
+            ShmCaffeA::new(spec, 2, bad_cfg).run(quick_factory()),
+            Err(PlatformError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let run = || {
+            ShmCaffeA::new(ClusterSpec::paper_testbed(2), 8, quick_cfg(8))
+                .run(quick_factory())
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.wall, b.wall);
+        for (x, y) in a.workers.iter().zip(b.workers.iter()) {
+            assert_eq!(x.comm_ms, y.comm_ms);
+            assert_eq!(x.comp_ms, y.comp_ms);
+        }
+    }
+}

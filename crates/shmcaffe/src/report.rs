@@ -1,0 +1,217 @@
+//! Training run reports: per-worker iteration timing and convergence
+//! trajectories, the raw material of every table and figure in §IV.
+
+use serde::{Deserialize, Serialize};
+use shmcaffe_simnet::stats::RunningStats;
+use shmcaffe_simnet::SimTime;
+
+/// One convergence evaluation point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalPoint {
+    /// Local iteration of the evaluating worker.
+    pub iter: u64,
+    /// Virtual time of the evaluation.
+    pub time: SimTime,
+    /// Held-out loss.
+    pub loss: f32,
+    /// Top-1 accuracy.
+    pub top1: f32,
+    /// Top-k accuracy (top-5 in the paper).
+    pub topk: f32,
+}
+
+/// Timing and progress of one worker.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkerReport {
+    /// Worker rank.
+    pub rank: usize,
+    /// Completed training iterations.
+    pub iters: u64,
+    /// Per-iteration computation time (ms): forward + backward + local
+    /// update (paper `T_comp`).
+    pub comp_ms: RunningStats,
+    /// Per-iteration non-overlapped communication time (ms): global-weight
+    /// read, local mixing, and any wait for the update thread (paper
+    /// `T_comm = max(T_comp, T_wwi+T_ugw) − T_comp + T_rgw + T_ulw`).
+    pub comm_ms: RunningStats,
+    /// Virtual time at which this worker finished.
+    pub finished_at: SimTime,
+    /// Mean training loss over the final 10% of iterations.
+    pub final_loss: f32,
+}
+
+impl WorkerReport {
+    /// Creates an empty report for `rank`.
+    pub fn new(rank: usize) -> Self {
+        WorkerReport {
+            rank,
+            iters: 0,
+            comp_ms: RunningStats::new(),
+            comm_ms: RunningStats::new(),
+            finished_at: SimTime::ZERO,
+            final_loss: f32::NAN,
+        }
+    }
+
+    /// Mean total iteration time in milliseconds.
+    pub fn iter_ms(&self) -> f64 {
+        self.comp_ms.mean() + self.comm_ms.mean()
+    }
+
+    /// Communication share of the iteration time (the paper's
+    /// "communication ratio", Figs 12–14).
+    pub fn comm_ratio(&self) -> f64 {
+        let total = self.iter_ms();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.comm_ms.mean() / total
+        }
+    }
+}
+
+/// The result of one platform run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingReport {
+    /// Platform name ("ShmCaffe-A", "Caffe-MPI", ...).
+    pub platform: String,
+    /// Per-worker timing, indexed by rank.
+    pub workers: Vec<WorkerReport>,
+    /// Total virtual wall-clock time of the run.
+    pub wall: SimTime,
+    /// Convergence trajectory (evaluated on rank 0 when enabled).
+    pub evals: Vec<EvalPoint>,
+    /// Final globally averaged weights (convergence runs), if collected.
+    #[serde(skip)]
+    pub final_weights: Option<Vec<f32>>,
+}
+
+impl TrainingReport {
+    /// Creates an empty report shell.
+    pub fn new(platform: &str, n_workers: usize) -> Self {
+        TrainingReport {
+            platform: platform.to_string(),
+            workers: (0..n_workers).map(WorkerReport::new).collect(),
+            wall: SimTime::ZERO,
+            evals: Vec::new(),
+            final_weights: None,
+        }
+    }
+
+    /// Mean per-iteration computation time across workers (ms).
+    pub fn mean_comp_ms(&self) -> f64 {
+        mean(self.workers.iter().map(|w| w.comp_ms.mean()))
+    }
+
+    /// Mean per-iteration non-overlapped communication time (ms).
+    pub fn mean_comm_ms(&self) -> f64 {
+        mean(self.workers.iter().map(|w| w.comm_ms.mean()))
+    }
+
+    /// Mean iteration time (ms).
+    pub fn mean_iter_ms(&self) -> f64 {
+        self.mean_comp_ms() + self.mean_comm_ms()
+    }
+
+    /// Fleet communication ratio.
+    pub fn comm_ratio(&self) -> f64 {
+        let total = self.mean_iter_ms();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.mean_comm_ms() / total
+        }
+    }
+
+    /// Total iterations completed across all workers.
+    pub fn total_iters(&self) -> u64 {
+        self.workers.iter().map(|w| w.iters).sum()
+    }
+
+    /// Samples processed per virtual second across the fleet.
+    pub fn throughput_samples_per_sec(&self, batch_per_worker: usize) -> f64 {
+        if self.wall == SimTime::ZERO {
+            return 0.0;
+        }
+        self.total_iters() as f64 * batch_per_worker as f64 / self.wall.as_secs_f64()
+    }
+
+    /// The last evaluation point, if any.
+    pub fn final_eval(&self) -> Option<&EvalPoint> {
+        self.evals.last()
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+impl std::fmt::Display for TrainingReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} workers, wall {:.3}s, comp {:.1}ms, comm {:.1}ms ({:.1}%)",
+            self.platform,
+            self.workers.len(),
+            self.wall.as_secs_f64(),
+            self.mean_comp_ms(),
+            self.mean_comm_ms(),
+            self.comm_ratio() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shmcaffe_simnet::SimDuration;
+
+    #[test]
+    fn ratios_and_means() {
+        let mut r = TrainingReport::new("test", 2);
+        r.workers[0].comp_ms.record(100.0);
+        r.workers[0].comm_ms.record(25.0);
+        r.workers[1].comp_ms.record(100.0);
+        r.workers[1].comm_ms.record(75.0);
+        assert_eq!(r.mean_comp_ms(), 100.0);
+        assert_eq!(r.mean_comm_ms(), 50.0);
+        assert!((r.comm_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_accounts_all_workers() {
+        let mut r = TrainingReport::new("test", 2);
+        r.workers[0].iters = 100;
+        r.workers[1].iters = 100;
+        r.wall = SimTime::ZERO + SimDuration::from_secs(10);
+        assert_eq!(r.throughput_samples_per_sec(60), 200.0 * 60.0 / 10.0);
+    }
+
+    #[test]
+    fn empty_report_is_well_behaved() {
+        let r = TrainingReport::new("empty", 0);
+        assert_eq!(r.mean_iter_ms(), 0.0);
+        assert_eq!(r.comm_ratio(), 0.0);
+        assert_eq!(r.throughput_samples_per_sec(60), 0.0);
+        assert!(r.final_eval().is_none());
+        assert!(!r.to_string().is_empty());
+    }
+
+    #[test]
+    fn worker_report_ratio() {
+        let mut w = WorkerReport::new(0);
+        w.comp_ms.record(257.0);
+        w.comm_ms.record(90.0);
+        assert!((w.comm_ratio() - 90.0 / 347.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,491 @@
+//! The SEASGD worker protocol (paper §III-C, §III-G, Fig. 6).
+//!
+//! Per exchange iteration the main thread:
+//!
+//! 1. waits for any pending global update to finish (mutual exclusion with
+//!    the update thread — T.A5),
+//! 2. **T1** reads the global weights `W_g` from the SMB buffer (not
+//!    hidden: hiding it worsens the stale-parameter problem, §III-G),
+//! 3. **T2** computes the weight increment `ΔW_x = α (W_x − W_g)` (eq. 5)
+//!    and updates the local weights `W''_x = W'_x − ΔW_x` (eq. 6),
+//! 4. **T3** wakes the update thread, which **T.A1** RDMA-writes `ΔW_x`
+//!    into the worker's private SMB buffer, **T.A2** sends the accumulate
+//!    request, and the server **T.A3** folds it into the global buffer
+//!    `W'_g = W'_g + ΔW_x` (eq. 7),
+//! 5. **T4** trains one minibatch and **T5** applies the local SGD update
+//!    (eq. 2), overlapping with the update thread's work.
+//!
+//! [`ElasticExchanger`] packages steps 1–4 so that both the pure
+//! asynchronous worker ([`run_worker`]) and the Hybrid-SGD group root
+//! ([`crate::hybrid`]) share one implementation.
+
+use shmcaffe_simnet::channel::SimChannel;
+use shmcaffe_simnet::{SimContext, SimDuration};
+use shmcaffe_smb::progress::ProgressBoard;
+use shmcaffe_smb::{SmbBuffer, SmbClient};
+
+use crate::config::ShmCaffeConfig;
+use crate::report::{EvalPoint, WorkerReport};
+use crate::trainer::Trainer;
+use crate::PlatformError;
+
+/// The SMB buffers of one SEASGD participant (Fig. 5 layout): the shared
+/// global buffer plus this worker's private increment buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct SeasgdBuffers {
+    /// The global weight buffer `W_g`, shared by every worker.
+    pub wg: SmbBuffer,
+    /// This worker's private `ΔW_x` buffer (not shared with other workers).
+    pub dw: SmbBuffer,
+}
+
+enum UpdateRequest {
+    /// Push this increment and accumulate it into the global buffer.
+    Push(Vec<f32>),
+    /// Terminate the update thread.
+    Shutdown,
+}
+
+/// The update-thread reply: in `hide_global_read` mode it carries the
+/// freshly read (but one-exchange stale) global weights.
+type UpdateDone = Option<Vec<f32>>;
+
+/// The worker-side half of the SEASGD exchange: owns the update thread and
+/// the elastic-mixing buffers.
+pub struct ElasticExchanger {
+    client: SmbClient,
+    buffers: SeasgdBuffers,
+    req_ch: SimChannel<UpdateRequest>,
+    done_ch: SimChannel<UpdateDone>,
+    pending: bool,
+    prefetched_wg: Option<Vec<f32>>,
+    moving_rate: f32,
+    hide_global_read: bool,
+    local_mix_bps: f64,
+    wire_bytes: u64,
+    wg: Vec<f32>,
+    dw: Vec<f32>,
+    wx: Vec<f32>,
+}
+
+impl std::fmt::Debug for ElasticExchanger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ElasticExchanger")
+            .field("pending", &self.pending)
+            .field("wire_bytes", &self.wire_bytes)
+            .finish()
+    }
+}
+
+impl ElasticExchanger {
+    /// Spawns the update thread and prepares the mixing buffers.
+    pub fn spawn(
+        ctx: &SimContext,
+        client: SmbClient,
+        buffers: SeasgdBuffers,
+        param_len: usize,
+        wire_bytes: u64,
+        cfg: &ShmCaffeConfig,
+        label: &str,
+    ) -> Self {
+        let req_ch: SimChannel<UpdateRequest> = SimChannel::new(&format!("seasgd_req_{label}"));
+        let done_ch: SimChannel<UpdateDone> = SimChannel::new(&format!("seasgd_done_{label}"));
+        {
+            let client = client.clone();
+            let req_ch = req_ch.clone();
+            let done_ch = done_ch.clone();
+            let hide_read = cfg.hide_global_read;
+            ctx.spawn(&format!("update_thread_{label}"), move |uctx| {
+                let mut wg_readback = vec![0.0f32; param_len];
+                // Runs until the owner sends `Shutdown`.
+                while let UpdateRequest::Push(dw) = req_ch.recv(&uctx) {
+                    // T.A1: store the increment in the private buffer.
+                    client
+                        .write(&uctx, &buffers.dw, &dw)
+                        .expect("dw buffer matches trainer size");
+                    // T.A2-T.A4: server-side accumulate into W_g.
+                    client
+                        .accumulate(&uctx, &buffers.dw, &buffers.wg)
+                        .expect("buffers registered on the same server");
+                    let reply = if hide_read {
+                        client
+                            .read(&uctx, &buffers.wg, &mut wg_readback)
+                            .expect("wg buffer matches trainer size");
+                        Some(wg_readback.clone())
+                    } else {
+                        None
+                    };
+                    done_ch.send(&uctx, reply);
+                }
+            });
+        }
+        ElasticExchanger {
+            client,
+            buffers,
+            req_ch,
+            done_ch,
+            pending: false,
+            prefetched_wg: None,
+            moving_rate: cfg.moving_rate,
+            hide_global_read: cfg.hide_global_read,
+            local_mix_bps: cfg.local_mix_bps,
+            wire_bytes,
+            wg: vec![0.0; param_len],
+            dw: vec![0.0; param_len],
+            wx: vec![0.0; param_len],
+        }
+    }
+
+    /// One exchange: wait for the pending update (T.A5), read `W_g` (T1),
+    /// elastically mix the trainer's weights (T2, eqs. 5–6) and hand the
+    /// increment to the update thread (T3). Returns the time spent, which
+    /// is the non-overlapped communication cost of the exchange.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SMB failures.
+    pub fn exchange<T: Trainer + ?Sized>(
+        &mut self,
+        ctx: &SimContext,
+        trainer: &mut T,
+    ) -> Result<SimDuration, PlatformError> {
+        let start = ctx.now();
+        // Mutual exclusion with the update thread (T.A5).
+        if self.pending {
+            self.prefetched_wg = self.done_ch.recv(ctx);
+            self.pending = false;
+        }
+        // T1: read the global weights (or take the prefetched stale copy).
+        match self.prefetched_wg.take() {
+            Some(fresh) if self.hide_global_read => self.wg.copy_from_slice(&fresh),
+            _ => self.client.read(ctx, &self.buffers.wg, &mut self.wg)?,
+        }
+        // T2: elastic mixing (eqs. 5-6).
+        trainer.read_weights(&mut self.wx);
+        for ((d, x), g) in self.dw.iter_mut().zip(self.wx.iter_mut()).zip(self.wg.iter()) {
+            *d = self.moving_rate * (*x - *g);
+            *x -= *d;
+        }
+        trainer.write_weights(&self.wx);
+        let mix_secs = (self.wire_bytes as f64 * 2.0) / self.local_mix_bps;
+        ctx.sleep(SimDuration::from_secs_f64(mix_secs));
+        // T3: wake the update thread with the increment.
+        self.req_ch.send(ctx, UpdateRequest::Push(self.dw.clone()));
+        self.pending = true;
+        Ok(ctx.now() - start)
+    }
+
+    /// The mixed local weights after the last [`ElasticExchanger::exchange`]
+    /// (what the Hybrid-SGD root broadcasts to its group).
+    pub fn mixed_weights(&self) -> &[f32] {
+        &self.wx
+    }
+
+    /// Drains any pending update and stops the update thread.
+    pub fn finish(mut self, ctx: &SimContext) {
+        if self.pending {
+            let _ = self.done_ch.recv(ctx);
+            self.pending = false;
+        }
+        self.req_ch.send(ctx, UpdateRequest::Shutdown);
+    }
+}
+
+/// Everything a SEASGD participant needs besides its trainer.
+pub struct SeasgdHarness {
+    /// SMB client bound to this worker's node.
+    pub client: SmbClient,
+    /// The worker's buffers on the SMB server.
+    pub buffers: SeasgdBuffers,
+    /// The shared progress board (control info).
+    pub board: ProgressBoard,
+    /// Platform configuration.
+    pub cfg: ShmCaffeConfig,
+    /// This worker's rank.
+    pub rank: usize,
+    /// Iteration budget before termination alignment.
+    pub target_iters: u64,
+}
+
+/// Outcome of [`run_worker`]: the filled report plus rank-0 evaluations.
+#[derive(Debug)]
+pub struct SeasgdOutcome {
+    /// The worker's timing report.
+    pub report: WorkerReport,
+    /// Evaluation trajectory (non-empty only when `eval_every > 0`, on
+    /// rank 0, and the trainer supports evaluation).
+    pub evals: Vec<EvalPoint>,
+}
+
+/// Runs the SEASGD protocol for one worker until its budget or the
+/// termination policy stops it. Returns the timing report and evaluations.
+///
+/// # Errors
+///
+/// Propagates SMB failures.
+pub fn run_worker<T: Trainer>(
+    ctx: &SimContext,
+    harness: SeasgdHarness,
+    trainer: &mut T,
+) -> Result<SeasgdOutcome, PlatformError> {
+    let SeasgdHarness { client, buffers, board, cfg, rank, target_iters } = harness;
+    let mut report = WorkerReport::new(rank);
+    let mut evals = Vec::new();
+
+    let mut exchanger = ElasticExchanger::spawn(
+        ctx,
+        client.clone(),
+        buffers,
+        trainer.param_len(),
+        trainer.wire_bytes(),
+        &cfg,
+        &format!("w{rank}"),
+    );
+
+    let mut loss_ema = f32::NAN;
+    let mut iter: u64 = 0;
+    let mut stop = false;
+
+    while !stop {
+        if iter.is_multiple_of(cfg.update_interval as u64) {
+            let comm = exchanger.exchange(ctx, trainer)?;
+            report.comm_ms.record_duration_ms(comm);
+        }
+
+        // T4 + T5: train one minibatch and apply the local update (eq. 2).
+        let comp_start = ctx.now();
+        let loss = trainer.compute_gradients(ctx);
+        trainer.apply_update(ctx);
+        report.comp_ms.record_duration_ms(ctx.now() - comp_start);
+        loss_ema = if loss_ema.is_nan() { loss } else { 0.9 * loss_ema + 0.1 * loss };
+        iter += 1;
+
+        // Convergence instrumentation (rank 0 only).
+        if rank == 0 && cfg.eval_every > 0 && iter.is_multiple_of(cfg.eval_every as u64) {
+            if let Some(sample) = trainer.evaluate() {
+                evals.push(EvalPoint {
+                    iter,
+                    time: ctx.now(),
+                    loss: sample.loss,
+                    top1: sample.top1,
+                    topk: sample.topk,
+                });
+            }
+        }
+
+        // Progress sharing and termination alignment (§III-E).
+        if iter.is_multiple_of(cfg.progress_every as u64) || iter >= target_iters {
+            board.publish(&client, ctx, rank, iter, iter >= target_iters)?;
+            let snapshot = board.snapshot(&client, ctx)?;
+            stop = cfg.termination.should_stop(&snapshot, iter, target_iters);
+        }
+    }
+
+    exchanger.finish(ctx);
+    board.publish(&client, ctx, rank, iter, true)?;
+
+    report.iters = iter;
+    report.finished_at = ctx.now();
+    report.final_loss = loss_ema;
+    Ok(SeasgdOutcome { report, evals })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::termination::TerminationPolicy;
+    use crate::trainer::{ModeledTrainerFactory, TrainerFactory};
+    use parking_lot::Mutex;
+    use shmcaffe_models::WorkloadModel;
+    use shmcaffe_mpi::{MpiData, MpiWorld};
+    use shmcaffe_rdma::RdmaFabric;
+    use shmcaffe_simnet::jitter::JitterModel;
+    use shmcaffe_simnet::topology::{ClusterSpec, Fabric};
+    use shmcaffe_simnet::Simulation;
+    use shmcaffe_smb::{ShmKey, SmbServer};
+    use std::sync::Arc;
+
+    /// Assembles the full master/slave handshake and runs `n` workers.
+    fn run_seasgd(
+        n_workers: usize,
+        nodes: usize,
+        cfg: ShmCaffeConfig,
+        workload: WorkloadModel,
+    ) -> Vec<SeasgdOutcome> {
+        let fabric = Fabric::new(ClusterSpec::paper_testbed(nodes));
+        let rdma = RdmaFabric::new(fabric.clone());
+        let server = SmbServer::new(rdma).unwrap();
+        let mpi = MpiWorld::new(fabric, n_workers);
+        let factory = ModeledTrainerFactory::new(workload, cfg.jitter, cfg.seed);
+        let outcomes: Arc<Mutex<Vec<Option<SeasgdOutcome>>>> =
+            Arc::new(Mutex::new((0..n_workers).map(|_| None).collect()));
+
+        let mut sim = Simulation::new();
+        for rank in 0..n_workers {
+            let server = server.clone();
+            let mut comm = mpi.comm(rank);
+            let factory = factory.clone();
+            let outcomes = Arc::clone(&outcomes);
+            let node = mpi.node_of(rank);
+            sim.spawn(&format!("worker{rank}"), move |ctx| {
+                let mut trainer = factory.make(rank, n_workers);
+                let client = SmbClient::new(server, node);
+                let (wg_key, board_key) = if rank == 0 {
+                    let wg_key = client
+                        .create(&ctx, "W_g", trainer.param_len(), Some(trainer.wire_bytes()))
+                        .unwrap();
+                    let (_board, board_key) =
+                        ProgressBoard::create(&client, &ctx, "ctrl", n_workers).unwrap();
+                    comm.broadcast(
+                        &ctx,
+                        0,
+                        Some(MpiData::U64s(vec![wg_key.0, board_key.0])),
+                    );
+                    (wg_key, board_key)
+                } else {
+                    let keys = comm.broadcast(&ctx, 0, None).into_u64s();
+                    (ShmKey(keys[0]), ShmKey(keys[1]))
+                };
+                let wg = client.alloc(&ctx, wg_key).unwrap();
+                let dw_key = client
+                    .create(&ctx, &format!("dW_{rank}"), trainer.param_len(), Some(trainer.wire_bytes()))
+                    .unwrap();
+                let dw = client.alloc(&ctx, dw_key).unwrap();
+                let board = ProgressBoard::attach(&client, &ctx, board_key, n_workers).unwrap();
+                let harness = SeasgdHarness {
+                    client,
+                    buffers: SeasgdBuffers { wg, dw },
+                    board,
+                    cfg,
+                    rank,
+                    target_iters: cfg.max_iters as u64,
+                };
+                let outcome = run_worker(&ctx, harness, &mut trainer).unwrap();
+                outcomes.lock()[rank] = Some(outcome);
+            });
+        }
+        sim.run();
+        let outcome_slots = std::mem::take(&mut *outcomes.lock());
+        outcome_slots.into_iter().map(|o| o.expect("worker finished")).collect()
+    }
+
+    fn quick_workload() -> WorkloadModel {
+        WorkloadModel::custom("test", 1_000_000, SimDuration::from_millis(10))
+    }
+
+    fn quiet(cfg: ShmCaffeConfig) -> ShmCaffeConfig {
+        ShmCaffeConfig { jitter: JitterModel::NONE, ..cfg }
+    }
+
+    #[test]
+    fn single_worker_completes_budget() {
+        let cfg = quiet(ShmCaffeConfig { max_iters: 20, progress_every: 5, ..Default::default() });
+        let out = run_seasgd(1, 1, cfg, quick_workload());
+        assert_eq!(out[0].report.iters, 20);
+        assert!(out[0].report.comp_ms.mean() >= 10.0);
+        assert!(out[0].report.comm_ms.count() > 0);
+    }
+
+    #[test]
+    fn sixteen_workers_all_finish_and_contend() {
+        let cfg = quiet(ShmCaffeConfig { max_iters: 10, progress_every: 5, ..Default::default() });
+        // Big 100 MB wire: contention at the server must make comm visible.
+        let wl = WorkloadModel::custom("big", 100_000_000, SimDuration::from_millis(100));
+        let out = run_seasgd(16, 4, cfg, wl);
+        for o in &out {
+            assert_eq!(o.report.iters, 10);
+            assert!(o.report.comm_ms.mean() > 1.0, "comm {:.3}", o.report.comm_ms.mean());
+        }
+    }
+
+    #[test]
+    fn update_interval_reduces_comm() {
+        let wl = quick_workload();
+        let every = run_seasgd(
+            4,
+            1,
+            quiet(ShmCaffeConfig { max_iters: 20, update_interval: 1, ..Default::default() }),
+            wl.clone(),
+        );
+        let sparse = run_seasgd(
+            4,
+            1,
+            quiet(ShmCaffeConfig { max_iters: 20, update_interval: 5, ..Default::default() }),
+            wl,
+        );
+        let comm_every: f64 = every.iter().map(|o| o.report.comm_ms.sum()).sum();
+        let comm_sparse: f64 = sparse.iter().map(|o| o.report.comm_ms.sum()).sum();
+        assert!(
+            comm_sparse < comm_every / 2.0,
+            "update_interval=5 should cut communication: {comm_sparse} vs {comm_every}"
+        );
+    }
+
+    #[test]
+    fn first_finisher_policy_stops_early_under_skew() {
+        // Strong jitter so workers drift apart; FirstFinisher should cut
+        // slow workers short.
+        let cfg = ShmCaffeConfig {
+            max_iters: 60,
+            progress_every: 2,
+            termination: TerminationPolicy::FirstFinisher,
+            jitter: JitterModel { sigma: 0.5, stall_probability: 0.2, stall_factor: 2.0 },
+            ..Default::default()
+        };
+        let out = run_seasgd(4, 1, cfg, quick_workload());
+        let iters: Vec<u64> = out.iter().map(|o| o.report.iters).collect();
+        assert!(iters.iter().any(|&i| i >= 60), "someone reaches the budget: {iters:?}");
+        assert!(iters.iter().any(|&i| i < 60), "someone stops early: {iters:?}");
+    }
+
+    #[test]
+    fn zero_moving_rate_produces_zero_increments() {
+        // With moving_rate = 0 no elastic force: the protocol still runs
+        // (reads, writes, accumulates of zeros) and nothing diverges.
+        let cfg = quiet(ShmCaffeConfig { max_iters: 5, moving_rate: 0.0, ..Default::default() });
+        let out = run_seasgd(2, 1, cfg, quick_workload());
+        assert_eq!(out.len(), 2);
+        for o in &out {
+            assert!(o.report.comm_ms.count() >= 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = ShmCaffeConfig { max_iters: 8, ..Default::default() };
+        let a = run_seasgd(4, 1, cfg, quick_workload());
+        let b = run_seasgd(4, 1, cfg, quick_workload());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.report.finished_at, y.report.finished_at);
+            assert_eq!(x.report.comm_ms, y.report.comm_ms);
+        }
+    }
+
+    #[test]
+    fn hide_global_read_shifts_time_out_of_main_path() {
+        // Compute-dominated regime (the update thread's work fits inside
+        // T_comp): hiding the read removes T_rgw from the critical path.
+        // When the server is saturated instead, hiding buys nothing — the
+        // update thread just gets longer — which is part of why the paper
+        // keeps the read synchronous.
+        let wl = WorkloadModel::custom("w", 200_000_000, SimDuration::from_millis(300));
+        let visible = run_seasgd(
+            2,
+            1,
+            quiet(ShmCaffeConfig { max_iters: 15, hide_global_read: false, ..Default::default() }),
+            wl.clone(),
+        );
+        let hidden = run_seasgd(
+            2,
+            1,
+            quiet(ShmCaffeConfig { max_iters: 15, hide_global_read: true, ..Default::default() }),
+            wl,
+        );
+        let t_visible = visible.iter().map(|o| o.report.finished_at).max().unwrap();
+        let t_hidden = hidden.iter().map(|o| o.report.finished_at).max().unwrap();
+        assert!(
+            t_hidden < t_visible,
+            "hiding the read must shorten the run: {t_hidden} vs {t_visible}"
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! Virtual-time message passing between simulated processes.
+//!
+//! A [`SimChannel`] is an unbounded MPMC queue whose `recv` blocks in
+//! *virtual* time: the receiver is parked and the simulation proceeds with
+//! other processes until a message arrives. Delivery is instantaneous in
+//! virtual time (the receiver resumes no earlier than the send time);
+//! transmission *cost* is modelled separately by
+//! [`crate::resource::BandwidthResource`] reservations.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::sched::Pid;
+use crate::{SimContext, SimTime};
+
+struct ChannelState<T> {
+    queue: VecDeque<(SimTime, T)>,
+    waiters: Vec<Pid>,
+}
+
+/// An unbounded virtual-time channel.
+///
+/// Cloning produces another handle to the same channel; any process may send
+/// or receive.
+///
+/// # Example
+///
+/// ```rust
+/// use shmcaffe_simnet::{Simulation, SimDuration};
+/// use shmcaffe_simnet::channel::SimChannel;
+///
+/// let mut sim = Simulation::new();
+/// let ch: SimChannel<u32> = SimChannel::new("demo");
+/// let tx = ch.clone();
+/// sim.spawn("producer", move |ctx| {
+///     ctx.sleep(SimDuration::from_millis(5));
+///     tx.send(&ctx, 42);
+/// });
+/// sim.spawn("consumer", move |ctx| {
+///     let v = ch.recv(&ctx);
+///     assert_eq!(v, 42);
+///     assert_eq!(ctx.now().as_millis_f64(), 5.0);
+/// });
+/// sim.run();
+/// ```
+pub struct SimChannel<T> {
+    name: String,
+    state: Arc<Mutex<ChannelState<T>>>,
+}
+
+impl<T> Clone for SimChannel<T> {
+    fn clone(&self) -> Self {
+        SimChannel { name: self.name.clone(), state: Arc::clone(&self.state) }
+    }
+}
+
+impl<T> std::fmt::Debug for SimChannel<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimChannel").field("name", &self.name).finish()
+    }
+}
+
+impl<T: Send + 'static> SimChannel<T> {
+    /// Creates a new empty channel. The name is used in diagnostics.
+    pub fn new(name: &str) -> Self {
+        SimChannel {
+            name: name.to_string(),
+            state: Arc::new(Mutex::new(ChannelState {
+                queue: VecDeque::new(),
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// Sends a message stamped with the sender's current virtual time and
+    /// wakes one parked receiver (if any).
+    pub fn send(&self, ctx: &SimContext, msg: T) {
+        let now = ctx.now();
+        let waiter = {
+            let mut st = self.state.lock();
+            st.queue.push_back((now, msg));
+            st.waiters.pop()
+        };
+        if let Some(pid) = waiter {
+            ctx.core.wake(pid, now);
+        }
+    }
+
+    /// Receives the oldest message, blocking in virtual time until one is
+    /// available. The receiver's clock advances to at least the send time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation deadlocks while waiting (no live process can
+    /// ever send).
+    pub fn recv(&self, ctx: &SimContext) -> T {
+        loop {
+            {
+                let mut st = self.state.lock();
+                if let Some((sent_at, msg)) = st.queue.pop_front() {
+                    drop(st);
+                    if sent_at > ctx.now() {
+                        ctx.sleep_until(sent_at);
+                    }
+                    return msg;
+                }
+                st.waiters.push(ctx.pid());
+            }
+            // Park until a sender wakes us; loop in case another receiver
+            // stole the message first.
+            ctx.core.block(ctx.pid());
+        }
+    }
+
+    /// Non-blocking receive of a message already sent at or before `now`.
+    pub fn try_recv(&self, ctx: &SimContext) -> Option<T> {
+        let mut st = self.state.lock();
+        match st.queue.front() {
+            Some((sent_at, _)) if *sent_at <= ctx.now() => st.queue.pop_front().map(|(_, m)| m),
+            _ => None,
+        }
+    }
+
+    /// Number of queued messages (for diagnostics).
+    pub fn len(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimDuration, Simulation};
+    use parking_lot::Mutex as PMutex;
+
+    #[test]
+    fn recv_blocks_until_send_time() {
+        let mut sim = Simulation::new();
+        let ch: SimChannel<&'static str> = SimChannel::new("t");
+        let tx = ch.clone();
+        sim.spawn("tx", move |ctx| {
+            ctx.sleep(SimDuration::from_millis(7));
+            tx.send(&ctx, "hello");
+        });
+        sim.spawn("rx", move |ctx| {
+            assert_eq!(ch.recv(&ctx), "hello");
+            assert_eq!(ctx.now().as_millis_f64(), 7.0);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn messages_arrive_fifo() {
+        let mut sim = Simulation::new();
+        let ch: SimChannel<u32> = SimChannel::new("fifo");
+        let tx = ch.clone();
+        sim.spawn("tx", move |ctx| {
+            for i in 0..5 {
+                tx.send(&ctx, i);
+                ctx.sleep(SimDuration::from_millis(1));
+            }
+        });
+        sim.spawn("rx", move |ctx| {
+            for i in 0..5 {
+                assert_eq!(ch.recv(&ctx), i);
+            }
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn late_receiver_does_not_go_backwards_in_time() {
+        let mut sim = Simulation::new();
+        let ch: SimChannel<u8> = SimChannel::new("late");
+        let tx = ch.clone();
+        sim.spawn("tx", move |ctx| {
+            tx.send(&ctx, 1);
+        });
+        sim.spawn("rx", move |ctx| {
+            ctx.sleep(SimDuration::from_millis(100));
+            ch.recv(&ctx);
+            // Message was sent at t=0 but we were already at t=100.
+            assert_eq!(ctx.now().as_millis_f64(), 100.0);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn multiple_receivers_each_get_one() {
+        let got = std::sync::Arc::new(PMutex::new(Vec::new()));
+        let mut sim = Simulation::new();
+        let ch: SimChannel<u32> = SimChannel::new("mpmc");
+        for i in 0..3 {
+            let ch = ch.clone();
+            let got = std::sync::Arc::clone(&got);
+            sim.spawn(&format!("rx{i}"), move |ctx| {
+                // NB: receive *before* taking the real mutex — holding an OS
+                // lock across a virtual-time block would deadlock the
+                // cooperative scheduler.
+                let v = ch.recv(&ctx);
+                got.lock().push(v);
+            });
+        }
+        let tx = ch.clone();
+        sim.spawn("tx", move |ctx| {
+            for v in [10, 20, 30] {
+                ctx.sleep(SimDuration::from_millis(1));
+                tx.send(&ctx, v);
+            }
+        });
+        sim.run();
+        let mut v = got.lock().clone();
+        v.sort();
+        assert_eq!(v, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn try_recv_only_sees_past_messages() {
+        let mut sim = Simulation::new();
+        let ch: SimChannel<u8> = SimChannel::new("try");
+        let tx = ch.clone();
+        sim.spawn("p", move |ctx| {
+            assert!(tx.try_recv(&ctx).is_none());
+            tx.send(&ctx, 9);
+            assert_eq!(tx.try_recv(&ctx), Some(9));
+        });
+        sim.run();
+        assert!(ch.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn recv_with_no_sender_deadlocks() {
+        let mut sim = Simulation::new();
+        let ch: SimChannel<u8> = SimChannel::new("dead");
+        sim.spawn("rx", move |ctx| {
+            ch.recv(&ctx);
+        });
+        sim.run();
+    }
+}

@@ -1,0 +1,477 @@
+//! The cooperative virtual-time scheduler.
+//!
+//! Exactly one simulated process runs at any instant: the one whose wake-up
+//! time is globally minimal (ties broken by process id). Because every
+//! state transition happens under a single lock and the running process is
+//! unique, resource reservations and message sends occur in non-decreasing
+//! virtual-time order, which makes the whole simulation deterministic for a
+//! given program — independent of OS thread scheduling.
+
+use parking_lot::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::{SimDuration, SimTime};
+
+/// Identifies a simulated process within one [`Simulation`].
+pub(crate) type Pid = usize;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Ready to run at the contained virtual time.
+    Runnable(SimTime),
+    /// Currently executing on its OS thread.
+    Running,
+    /// Waiting for an external wake (channel message).
+    Blocked,
+    /// Completed (or panicked).
+    Finished,
+}
+
+struct ProcSlot {
+    name: String,
+    clock: SimTime,
+    status: Status,
+}
+
+struct SchedState {
+    procs: Vec<ProcSlot>,
+    unfinished: usize,
+    /// True once `run()` has performed the initial dispatch.
+    started: bool,
+    panic_message: Option<String>,
+}
+
+pub(crate) struct Core {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Core {
+    fn new() -> Arc<Self> {
+        Arc::new(Core {
+            state: Mutex::new(SchedState {
+                procs: Vec::new(),
+                unfinished: 0,
+                started: false,
+                panic_message: None,
+            }),
+            cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Picks the next process to run. Must be called with the state lock held
+    /// and no process currently `Running`.
+    ///
+    /// Once a panic or deadlock is recorded, no further grants are made; all
+    /// parked threads are woken so they can unwind (their wait loops panic
+    /// when they observe the recorded failure).
+    fn dispatch(&self, state: &mut SchedState) {
+        if state.panic_message.is_some() {
+            self.cv.notify_all();
+            return;
+        }
+        let next = state
+            .procs
+            .iter()
+            .enumerate()
+            .filter_map(|(pid, p)| match p.status {
+                Status::Runnable(at) => Some((at, pid)),
+                _ => None,
+            })
+            .min();
+        match next {
+            Some((at, pid)) => {
+                let slot = &mut state.procs[pid];
+                slot.status = Status::Running;
+                slot.clock = slot.clock.max(at);
+                self.cv.notify_all();
+            }
+            None => {
+                if state.unfinished > 0 {
+                    let blocked: Vec<&str> = state
+                        .procs
+                        .iter()
+                        .filter(|p| p.status == Status::Blocked)
+                        .map(|p| p.name.as_str())
+                        .collect();
+                    state.panic_message.get_or_insert_with(|| {
+                        format!("simulation deadlock: blocked processes {blocked:?}")
+                    });
+                }
+                // All done (or deadlocked); wake `run()` and parked threads.
+                self.cv.notify_all();
+            }
+        }
+    }
+
+    /// Blocks the calling OS thread until `pid` is granted `Running`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (to unwind the simulated process) if the simulation aborted.
+    fn wait_for_grant(&self, pid: Pid) {
+        let mut state = self.state.lock();
+        while state.procs[pid].status != Status::Running {
+            if state.panic_message.is_some() {
+                panic!("simulation aborted");
+            }
+            self.cv.wait(&mut state);
+        }
+    }
+
+    fn yield_until(&self, pid: Pid, wake_at: SimTime) {
+        let mut state = self.state.lock();
+        debug_assert_eq!(state.procs[pid].status, Status::Running);
+        let at = state.procs[pid].clock.max(wake_at);
+        state.procs[pid].status = Status::Runnable(at);
+        self.dispatch(&mut state);
+        while state.procs[pid].status != Status::Running {
+            if state.panic_message.is_some() {
+                panic!("simulation aborted");
+            }
+            self.cv.wait(&mut state);
+        }
+    }
+
+    /// Parks the process until another process calls [`Core::wake`].
+    pub(crate) fn block(&self, pid: Pid) {
+        let mut state = self.state.lock();
+        debug_assert_eq!(state.procs[pid].status, Status::Running);
+        state.procs[pid].status = Status::Blocked;
+        self.dispatch(&mut state);
+        while state.procs[pid].status != Status::Running {
+            if state.panic_message.is_some() {
+                panic!("simulation aborted");
+            }
+            self.cv.wait(&mut state);
+        }
+    }
+
+    /// Makes a blocked process runnable no earlier than `at`.
+    ///
+    /// Called by the (unique) running process, so `at >=` every other
+    /// process's grantable time and ordering is preserved.
+    pub(crate) fn wake(&self, pid: Pid, at: SimTime) {
+        let mut state = self.state.lock();
+        let slot = &mut state.procs[pid];
+        match slot.status {
+            Status::Blocked => {
+                slot.status = Status::Runnable(slot.clock.max(at));
+            }
+            Status::Finished => {}
+            // The waker runs exclusively, so the target cannot be Running;
+            // an already-Runnable target keeps its earlier wake time.
+            _ => {}
+        }
+    }
+
+    fn finish(&self, pid: Pid, panic_msg: Option<String>) {
+        let mut state = self.state.lock();
+        state.procs[pid].status = Status::Finished;
+        state.unfinished -= 1;
+        if let Some(msg) = panic_msg {
+            state.panic_message.get_or_insert(msg);
+        }
+        self.dispatch(&mut state);
+    }
+
+    fn register(&self, name: &str, initial_clock: SimTime) -> Pid {
+        let mut state = self.state.lock();
+        let pid = state.procs.len();
+        state.procs.push(ProcSlot {
+            name: name.to_string(),
+            clock: initial_clock,
+            status: Status::Runnable(initial_clock),
+        });
+        state.unfinished += 1;
+        pid
+    }
+
+    fn start_thread<F>(self: &Arc<Self>, pid: Pid, name: String, f: F)
+    where
+        F: FnOnce(SimContext) + Send + 'static,
+    {
+        let core = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("sim-{name}"))
+            .spawn(move || {
+                core.wait_for_grant(pid);
+                let ctx = SimContext { core: Arc::clone(&core), pid };
+                let result = catch_unwind(AssertUnwindSafe(|| f(ctx)));
+                let panic_msg = result.err().map(|e| {
+                    e.downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "process panicked".to_string())
+                });
+                core.finish(pid, panic_msg);
+            })
+            .expect("failed to spawn simulation thread");
+        self.handles.lock().push(handle);
+    }
+}
+
+/// A deterministic virtual-time simulation.
+///
+/// Spawn processes with [`Simulation::spawn`], then execute them to
+/// completion with [`Simulation::run`]. See the crate docs for an example.
+pub struct Simulation {
+    core: Arc<Core>,
+    #[allow(clippy::type_complexity)]
+    pending: Vec<(Pid, String, Box<dyn FnOnce(SimContext) + Send + 'static>)>,
+}
+
+impl Simulation {
+    /// Creates an empty simulation.
+    pub fn new() -> Self {
+        Simulation { core: Core::new(), pending: Vec::new() }
+    }
+
+    /// Registers a simulated process starting at virtual time zero.
+    ///
+    /// The closure runs on its own OS thread but executes only while the
+    /// scheduler grants it the (unique) running slot.
+    pub fn spawn<F>(&mut self, name: &str, f: F)
+    where
+        F: FnOnce(SimContext) + Send + 'static,
+    {
+        let pid = self.core.register(name, SimTime::ZERO);
+        self.pending.push((pid, name.to_string(), Box::new(f)));
+    }
+
+    /// Runs all processes to completion and returns the final virtual time
+    /// (the maximum clock over all processes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any process panicked or the simulation deadlocked; the
+    /// original panic message is propagated.
+    pub fn run(mut self) -> SimTime {
+        for (pid, name, f) in self.pending.drain(..) {
+            self.core.start_thread(pid, name, f);
+        }
+        {
+            let mut state = self.core.state.lock();
+            if !state.started {
+                state.started = true;
+                self.core.dispatch(&mut state);
+            }
+            while state.unfinished > 0 && state.panic_message.is_none() {
+                self.core.cv.wait(&mut state);
+            }
+        }
+        // Join every thread (they all exit once finished or poisoned).
+        let handles = std::mem::take(&mut *self.core.handles.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+        let state = self.core.state.lock();
+        if let Some(msg) = &state.panic_message {
+            panic!("simulation failed: {msg}");
+        }
+        state
+            .procs
+            .iter()
+            .map(|p| p.clock)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+/// Handle given to each simulated process for interacting with virtual time.
+///
+/// A `SimContext` must only be used from the process it was handed to.
+///
+/// **Do not hold an OS lock across a virtual-time block.** Only one
+/// process runs at a time, so a process that parks (via `sleep`, a channel
+/// `recv`, or a resource transfer) while holding a real `Mutex` guard will
+/// deadlock the scheduler as soon as another process contends on that
+/// mutex. Acquire real locks only for short critical sections that contain
+/// no virtual-time operations.
+#[derive(Clone)]
+pub struct SimContext {
+    pub(crate) core: Arc<Core>,
+    pub(crate) pid: Pid,
+}
+
+impl SimContext {
+    /// Current virtual time of this process.
+    pub fn now(&self) -> SimTime {
+        self.core.state.lock().procs[self.pid].clock
+    }
+
+    /// Name of this process.
+    pub fn name(&self) -> String {
+        self.core.state.lock().procs[self.pid].name.clone()
+    }
+
+    /// Process id, unique within the simulation.
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// Advances virtual time by `dur`, yielding to earlier processes.
+    pub fn sleep(&self, dur: SimDuration) {
+        let until = self.now() + dur;
+        self.core.yield_until(self.pid, until);
+    }
+
+    /// Advances virtual time to `at` (no-op if already later), yielding.
+    pub fn sleep_until(&self, at: SimTime) {
+        self.core.yield_until(self.pid, at);
+    }
+
+    /// Yields without advancing time, letting same-time processes interleave
+    /// deterministically.
+    pub fn yield_now(&self) {
+        self.core.yield_until(self.pid, SimTime::ZERO);
+    }
+
+    /// Spawns a new simulated process starting at the caller's current time.
+    pub fn spawn<F>(&self, name: &str, f: F)
+    where
+        F: FnOnce(SimContext) + Send + 'static,
+    {
+        let pid = self.core.register(name, self.now());
+        self.core.start_thread(pid, name.to_string(), f);
+    }
+}
+
+impl std::fmt::Debug for SimContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimContext").field("pid", &self.pid).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex as PMutex;
+
+    #[test]
+    fn empty_simulation_finishes_at_zero() {
+        assert_eq!(Simulation::new().run(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn single_process_advances_time() {
+        let mut sim = Simulation::new();
+        sim.spawn("p", |ctx| {
+            assert_eq!(ctx.now(), SimTime::ZERO);
+            ctx.sleep(SimDuration::from_millis(5));
+            assert_eq!(ctx.now().as_millis_f64(), 5.0);
+        });
+        assert_eq!(sim.run().as_millis_f64(), 5.0);
+    }
+
+    #[test]
+    fn processes_interleave_in_time_order() {
+        let log: Arc<PMutex<Vec<(String, u64)>>> = Arc::new(PMutex::new(Vec::new()));
+        let mut sim = Simulation::new();
+        for (name, step) in [("a", 3u64), ("b", 5u64)] {
+            let log = Arc::clone(&log);
+            sim.spawn(name, move |ctx| {
+                for _ in 0..3 {
+                    ctx.sleep(SimDuration::from_millis(step));
+                    log.lock().push((name.to_string(), ctx.now().as_nanos() / 1_000_000));
+                }
+            });
+        }
+        sim.run();
+        let got = log.lock().clone();
+        // Events must be sorted by time: a@3, b@5, a@6, a@9, b@10, b@15.
+        let times: Vec<u64> = got.iter().map(|(_, t)| *t).collect();
+        assert_eq!(times, vec![3, 5, 6, 9, 10, 15]);
+    }
+
+    #[test]
+    fn ties_break_by_spawn_order_deterministically() {
+        let run_once = || {
+            let log: Arc<PMutex<Vec<String>>> = Arc::new(PMutex::new(Vec::new()));
+            let mut sim = Simulation::new();
+            for name in ["x", "y", "z"] {
+                let log = Arc::clone(&log);
+                sim.spawn(name, move |ctx| {
+                    ctx.sleep(SimDuration::from_millis(1));
+                    log.lock().push(name.to_string());
+                });
+            }
+            sim.run();
+            let result = log.lock().clone();
+            result
+        };
+        let a = run_once();
+        for _ in 0..5 {
+            assert_eq!(run_once(), a);
+        }
+        assert_eq!(a, vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn dynamic_spawn_starts_at_parent_time() {
+        let mut sim = Simulation::new();
+        sim.spawn("parent", |ctx| {
+            ctx.sleep(SimDuration::from_millis(10));
+            let t0 = ctx.now();
+            ctx.spawn("child", move |cctx| {
+                assert_eq!(cctx.now(), t0);
+                cctx.sleep(SimDuration::from_millis(1));
+            });
+        });
+        assert_eq!(sim.run().as_millis_f64(), 11.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulation failed")]
+    fn process_panic_propagates() {
+        let mut sim = Simulation::new();
+        sim.spawn("bad", |_| panic!("boom"));
+        sim.run();
+    }
+
+    #[test]
+    fn yield_now_does_not_advance_time() {
+        let mut sim = Simulation::new();
+        sim.spawn("p", |ctx| {
+            let t = ctx.now();
+            ctx.yield_now();
+            assert_eq!(ctx.now(), t);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn many_processes_complete() {
+        let counter = Arc::new(PMutex::new(0usize));
+        let mut sim = Simulation::new();
+        for i in 0..32 {
+            let counter = Arc::clone(&counter);
+            sim.spawn(&format!("w{i}"), move |ctx| {
+                for _ in 0..10 {
+                    ctx.sleep(SimDuration::from_micros(i as u64 + 1));
+                }
+                *counter.lock() += 1;
+            });
+        }
+        sim.run();
+        assert_eq!(*counter.lock(), 32);
+    }
+}

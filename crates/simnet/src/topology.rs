@@ -1,0 +1,350 @@
+//! Cluster topology: GPU nodes, InfiniBand fabric, PCIe buses, memory server.
+//!
+//! Mirrors the paper's testbed (§IV-A): 4-GPU SuperMicro servers with one
+//! 56 Gbps FDR HCA each (≈7 GB/s), a non-blocking Mellanox switch, and a
+//! dedicated SMB memory server on the same fabric.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::resource::{BandwidthResource, LinkModel, TransferReport};
+use crate::{SimContext, SimDuration};
+
+/// Identifies an endpoint (GPU node or memory server) on the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Static description of a cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterSpec {
+    /// Number of GPU servers.
+    pub gpu_nodes: usize,
+    /// GPUs per server (the paper's servers have 4).
+    pub gpus_per_node: usize,
+    /// Per-node HCA model, applied to each direction independently.
+    pub hca: LinkModel,
+    /// Per-node shared PCIe bus model (intra-node GPU↔GPU traffic).
+    pub pcie: LinkModel,
+    /// Number of dedicated memory servers (SMB hosts) attached. The paper
+    /// evaluates a single server and names "multiple SMB servers" as future
+    /// work (§V); this reproduction implements both.
+    pub memory_servers: usize,
+    /// Whether the memory servers' HCAs behave half-duplex (reads and
+    /// writes share one 7 GB/s pipe). The paper's SMB transport is derived
+    /// from the kernel RDS module and saturates at 6.7 GB/s *aggregate*
+    /// for a 50/50 read/write mix (Fig. 7), i.e. the two directions are
+    /// not independent.
+    pub half_duplex_memory_server: bool,
+}
+
+impl ClusterSpec {
+    /// 56 Gbps FDR InfiniBand HCA: 7 GB/s, ~2 µs latency (paper §IV-B).
+    pub fn fdr_hca() -> LinkModel {
+        LinkModel::new(7.0e9, SimDuration::from_micros(2))
+    }
+
+    /// PCIe 3.0 x16 effective bandwidth shared per node: ~12 GB/s, ~1 µs.
+    pub fn pcie3_bus() -> LinkModel {
+        LinkModel::new(12.0e9, SimDuration::from_micros(1))
+    }
+
+    /// The paper's testbed: `gpu_nodes` servers of 4 GPUs plus the memory
+    /// server, all on FDR InfiniBand.
+    pub fn paper_testbed(gpu_nodes: usize) -> Self {
+        ClusterSpec {
+            gpu_nodes,
+            gpus_per_node: 4,
+            hca: Self::fdr_hca(),
+            pcie: Self::pcie3_bus(),
+            memory_servers: 1,
+            half_duplex_memory_server: true,
+        }
+    }
+
+    /// Total worker slots (GPUs) in the cluster.
+    pub fn total_gpus(&self) -> usize {
+        self.gpu_nodes * self.gpus_per_node
+    }
+}
+
+/// The instantiated fabric: shared bandwidth resources for every endpoint.
+///
+/// Endpoints `0..gpu_nodes` are GPU servers; if a memory server is present it
+/// is the last endpoint (see [`Fabric::memory_server`]).
+///
+/// # Example
+///
+/// ```rust
+/// use shmcaffe_simnet::{Simulation, topology::{ClusterSpec, Fabric, NodeId}};
+///
+/// let fabric = Fabric::new(ClusterSpec::paper_testbed(4));
+/// let mem = fabric.memory_server().unwrap();
+/// let mut sim = Simulation::new();
+/// let f = fabric.clone();
+/// sim.spawn("w", move |ctx| {
+///     // Push 53.5 MB (Inception_v1 weights) from node 0 to the SMB server.
+///     f.net_transfer(&ctx, NodeId(0), mem, 53_500_000);
+/// });
+/// let end = sim.run();
+/// assert!(end.as_millis_f64() > 7.0); // 53.5 MB / 7 GB/s ≈ 7.6 ms
+/// ```
+#[derive(Clone)]
+pub struct Fabric {
+    inner: Arc<FabricInner>,
+}
+
+struct FabricInner {
+    spec: ClusterSpec,
+    hca_tx: Vec<BandwidthResource>,
+    hca_rx: Vec<BandwidthResource>,
+    pcie: Vec<BandwidthResource>,
+}
+
+impl fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Fabric")
+            .field("spec", &self.inner.spec)
+            .finish()
+    }
+}
+
+impl Fabric {
+    /// Instantiates the fabric for a cluster description.
+    pub fn new(spec: ClusterSpec) -> Self {
+        let endpoints = spec.gpu_nodes + spec.memory_servers;
+        let hca_tx: Vec<BandwidthResource> = (0..endpoints)
+            .map(|n| BandwidthResource::new(&format!("hca_tx[{n}]"), spec.hca))
+            .collect();
+        let mut hca_rx: Vec<BandwidthResource> = (0..endpoints)
+            .map(|n| BandwidthResource::new(&format!("hca_rx[{n}]"), spec.hca))
+            .collect();
+        if spec.half_duplex_memory_server {
+            // Each memory server's rx shares its tx pipe: one queue for
+            // both directions.
+            hca_rx[spec.gpu_nodes..endpoints]
+                .clone_from_slice(&hca_tx[spec.gpu_nodes..endpoints]);
+        }
+        let pcie = (0..spec.gpu_nodes)
+            .map(|n| BandwidthResource::new(&format!("pcie[{n}]"), spec.pcie))
+            .collect();
+        Fabric { inner: Arc::new(FabricInner { spec, hca_tx, hca_rx, pcie }) }
+    }
+
+    /// The cluster description this fabric was built from.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.inner.spec
+    }
+
+    /// Number of fabric endpoints (GPU nodes plus memory server).
+    pub fn endpoints(&self) -> usize {
+        self.inner.hca_tx.len()
+    }
+
+    /// The first memory server's endpoint id, if one exists.
+    pub fn memory_server(&self) -> Option<NodeId> {
+        self.memory_server_at(0)
+    }
+
+    /// The `i`-th memory server's endpoint id, if it exists.
+    pub fn memory_server_at(&self, i: usize) -> Option<NodeId> {
+        (i < self.inner.spec.memory_servers).then(|| NodeId(self.inner.spec.gpu_nodes + i))
+    }
+
+    /// Number of memory servers on this fabric.
+    pub fn memory_server_count(&self) -> usize {
+        self.inner.spec.memory_servers
+    }
+
+    /// Which endpoint hosts a given worker rank under the paper's layout
+    /// (workers fill nodes in order, `gpus_per_node` per node).
+    pub fn node_of_worker(&self, rank: usize) -> NodeId {
+        NodeId(rank / self.inner.spec.gpus_per_node)
+    }
+
+    /// Moves `bytes` between endpoints, or over the local PCIe bus when
+    /// `from == to`. Blocks in virtual time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint id is out of range.
+    pub fn net_transfer(&self, ctx: &SimContext, from: NodeId, to: NodeId, bytes: u64) -> TransferReport {
+        self.net_transfer_stream(ctx, from, to, bytes, None)
+    }
+
+    /// [`Fabric::net_transfer`] with an optional per-stream pacing limit
+    /// (see [`crate::resource::BandwidthResource::transfer_stream`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint id is out of range.
+    pub fn net_transfer_stream(
+        &self,
+        ctx: &SimContext,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+        stream_bps: Option<f64>,
+    ) -> TransferReport {
+        if from == to {
+            return self.pcie_transfer(ctx, from, bytes);
+        }
+        let tx = &self.inner.hca_tx[from.0];
+        let rx = &self.inner.hca_rx[to.0];
+        crate::resource::transfer_path_stream(ctx, &[tx, rx], bytes, stream_bps)
+    }
+
+    /// Moves `bytes` over a node's shared PCIe bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a GPU node (the memory server has no GPUs).
+    pub fn pcie_transfer(&self, ctx: &SimContext, node: NodeId, bytes: u64) -> TransferReport {
+        let bus = &self.inner.pcie[node.0];
+        bus.transfer(ctx, bytes)
+    }
+
+    /// Occupies an endpoint's receive side for a fixed service time
+    /// (server-side processing such as the SMB accumulate engine).
+    pub fn occupy_rx(&self, ctx: &SimContext, node: NodeId, service: SimDuration) -> TransferReport {
+        self.inner.hca_rx[node.0].occupy(ctx, service)
+    }
+
+    /// The transmit-side HCA resource of an endpoint (for stats inspection).
+    pub fn hca_tx(&self, node: NodeId) -> &BandwidthResource {
+        &self.inner.hca_tx[node.0]
+    }
+
+    /// The receive-side HCA resource of an endpoint (for stats inspection).
+    pub fn hca_rx(&self, node: NodeId) -> &BandwidthResource {
+        &self.inner.hca_rx[node.0]
+    }
+
+    /// The PCIe bus resource of a GPU node (for stats inspection).
+    pub fn pcie(&self, node: NodeId) -> &BandwidthResource {
+        &self.inner.pcie[node.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulation;
+
+    #[test]
+    fn paper_testbed_layout() {
+        let spec = ClusterSpec::paper_testbed(4);
+        assert_eq!(spec.total_gpus(), 16);
+        let fabric = Fabric::new(spec);
+        assert_eq!(fabric.endpoints(), 5);
+        assert_eq!(fabric.memory_server(), Some(NodeId(4)));
+        assert_eq!(fabric.node_of_worker(0), NodeId(0));
+        assert_eq!(fabric.node_of_worker(3), NodeId(0));
+        assert_eq!(fabric.node_of_worker(4), NodeId(1));
+        assert_eq!(fabric.node_of_worker(15), NodeId(3));
+    }
+
+    #[test]
+    fn no_memory_server_when_disabled() {
+        let spec = ClusterSpec { memory_servers: 0, ..ClusterSpec::paper_testbed(2) };
+        let fabric = Fabric::new(spec);
+        assert_eq!(fabric.endpoints(), 2);
+        assert_eq!(fabric.memory_server(), None);
+    }
+
+    #[test]
+    fn inter_node_transfer_uses_hca_bandwidth() {
+        let fabric = Fabric::new(ClusterSpec::paper_testbed(2));
+        let f = fabric.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("w", move |ctx| {
+            let rep = f.net_transfer(&ctx, NodeId(0), NodeId(1), 7_000_000_000);
+            assert_eq!(rep.duration().as_secs_f64(), 1.0);
+        });
+        sim.run();
+        assert_eq!(fabric.hca_tx(NodeId(0)).total_bytes(), 7_000_000_000);
+        assert_eq!(fabric.hca_rx(NodeId(1)).total_bytes(), 7_000_000_000);
+        assert_eq!(fabric.hca_rx(NodeId(0)).total_bytes(), 0);
+    }
+
+    #[test]
+    fn same_node_transfer_uses_pcie() {
+        let fabric = Fabric::new(ClusterSpec::paper_testbed(1));
+        let f = fabric.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("w", move |ctx| {
+            f.net_transfer(&ctx, NodeId(0), NodeId(0), 12_000_000_000);
+        });
+        sim.run();
+        assert_eq!(fabric.pcie(NodeId(0)).total_bytes(), 12_000_000_000);
+        assert_eq!(fabric.hca_tx(NodeId(0)).total_bytes(), 0);
+    }
+
+    #[test]
+    fn memory_server_is_half_duplex_by_default() {
+        // One reader and one writer of the memory server share its pipe:
+        // 7 GB in each direction takes 2 s, not 1 s.
+        let fabric = Fabric::new(ClusterSpec::paper_testbed(2));
+        let mem = fabric.memory_server().unwrap();
+        let mut sim = Simulation::new();
+        {
+            let f = fabric.clone();
+            sim.spawn("writer", move |ctx| {
+                f.net_transfer(&ctx, NodeId(0), mem, 7_000_000_000);
+            });
+        }
+        {
+            let f = fabric.clone();
+            sim.spawn("reader", move |ctx| {
+                f.net_transfer(&ctx, mem, NodeId(1), 7_000_000_000);
+            });
+        }
+        let end = sim.run();
+        assert!((end.as_secs_f64() - 2.0).abs() < 0.01, "{}", end.as_secs_f64());
+    }
+
+    #[test]
+    fn gpu_node_hcas_remain_full_duplex() {
+        let fabric = Fabric::new(ClusterSpec::paper_testbed(3));
+        let mut sim = Simulation::new();
+        {
+            let f = fabric.clone();
+            sim.spawn("tx", move |ctx| {
+                f.net_transfer(&ctx, NodeId(0), NodeId(1), 7_000_000_000);
+            });
+        }
+        {
+            let f = fabric.clone();
+            sim.spawn("rx", move |ctx| {
+                f.net_transfer(&ctx, NodeId(2), NodeId(0), 7_000_000_000);
+            });
+        }
+        // Node 0 sends and receives concurrently: 1 s total.
+        let end = sim.run();
+        assert!((end.as_secs_f64() - 1.0).abs() < 0.01, "{}", end.as_secs_f64());
+    }
+
+    #[test]
+    fn many_senders_to_one_receiver_contend_at_receiver() {
+        // 4 nodes each send 1 GB to the memory server; its rx HCA (7 GB/s)
+        // is the bottleneck: total 4 GB / 7 GB/s ≈ 0.571 s.
+        let fabric = Fabric::new(ClusterSpec::paper_testbed(4));
+        let mem = fabric.memory_server().unwrap();
+        let mut sim = Simulation::new();
+        for n in 0..4 {
+            let f = fabric.clone();
+            sim.spawn(&format!("n{n}"), move |ctx| {
+                f.net_transfer(&ctx, NodeId(n), mem, 1_000_000_000);
+            });
+        }
+        let end = sim.run();
+        let expect = 4.0 / 7.0;
+        assert!((end.as_secs_f64() - expect).abs() < 0.01, "{}", end.as_secs_f64());
+    }
+}

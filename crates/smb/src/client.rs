@@ -1,0 +1,433 @@
+use std::fmt;
+
+use shmcaffe_rdma::MemoryRegion;
+use shmcaffe_simnet::topology::NodeId;
+use shmcaffe_simnet::SimContext;
+
+use crate::server::{ShmKey, SmbServer};
+use crate::SmbError;
+
+/// An allocated SMB buffer: the SHM key plus the access key (rkey) returned
+/// by the server (paper Fig. 2 step "SHM access key").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmbBuffer {
+    /// The generation key identifying the segment.
+    pub key: ShmKey,
+    /// The RDMA access key granting direct access.
+    pub mr: MemoryRegion,
+    /// Modelled wire size of a full-buffer transfer, in bytes.
+    pub wire_bytes: u64,
+}
+
+impl SmbBuffer {
+    /// Buffer length in f32 elements.
+    pub fn len(&self) -> usize {
+        self.mr.len
+    }
+
+    /// Whether the buffer has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.mr.len == 0
+    }
+}
+
+/// A worker-side handle to the SMB server, bound to the worker's node.
+///
+/// All operations charge virtual time: control messages pay the configured
+/// control latency; data movement pays RDMA wire time on the fabric.
+#[derive(Clone)]
+pub struct SmbClient {
+    server: SmbServer,
+    local: NodeId,
+}
+
+impl fmt::Debug for SmbClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SmbClient").field("local", &self.local).finish()
+    }
+}
+
+impl SmbClient {
+    /// Binds a client on `local` to `server`.
+    pub fn new(server: SmbServer, local: NodeId) -> Self {
+        SmbClient { server, local }
+    }
+
+    /// The node this client runs on.
+    pub fn local_node(&self) -> NodeId {
+        self.local
+    }
+
+    /// The server this client talks to.
+    pub fn server(&self) -> &SmbServer {
+        &self.server
+    }
+
+    fn control_round_trip(&self, ctx: &SimContext) {
+        let lat = self.server.control_latency();
+        ctx.sleep(lat + lat);
+    }
+
+    /// Creates a named shared buffer on the server (master-only in the
+    /// ShmCaffe protocol) and returns the SHM key to broadcast.
+    ///
+    /// `wire_bytes` models the buffer's logical size for timing; `None`
+    /// uses the physical size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmbError::DuplicateName`] for a reused name.
+    pub fn create(
+        &self,
+        ctx: &SimContext,
+        name: &str,
+        elems: usize,
+        wire_bytes: Option<u64>,
+    ) -> Result<ShmKey, SmbError> {
+        self.control_round_trip(ctx);
+        self.server.create_segment(name, elems, wire_bytes)
+    }
+
+    /// Requests allocation of the segment named by a broadcast SHM key and
+    /// receives the access key (paper Fig. 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmbError::UnknownKey`] for a dead key.
+    pub fn alloc(&self, ctx: &SimContext, key: ShmKey) -> Result<SmbBuffer, SmbError> {
+        self.control_round_trip(ctx);
+        let (mr, wire_bytes) = self.server.segment(key)?;
+        Ok(SmbBuffer { key, mr, wire_bytes })
+    }
+
+    /// Deallocates the segment (any holder may free; the ShmCaffe master
+    /// frees at shutdown).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmbError::UnknownKey`] if already freed.
+    pub fn free(&self, ctx: &SimContext, buf: SmbBuffer) -> Result<(), SmbError> {
+        self.control_round_trip(ctx);
+        self.server.destroy_segment(buf.key)
+    }
+
+    /// RDMA-reads the whole buffer into `out`, charging the wire time of
+    /// the buffer's logical size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmbError::SizeMismatch`] if `out.len() != buf.len()`.
+    pub fn read(&self, ctx: &SimContext, buf: &SmbBuffer, out: &mut [f32]) -> Result<(), SmbError> {
+        if out.len() != buf.len() {
+            return Err(SmbError::SizeMismatch { expected: buf.len(), got: out.len() });
+        }
+        let cfg = self.server.config();
+        let wire = (buf.wire_bytes as f64 * (1.0 + cfg.protocol_overhead)) as u64;
+        // Functional copy, zero-time (the wire time is charged below along
+        // the full path: server DRAM bus -> server HCA -> client HCA).
+        self.server
+            .rdma()
+            .read_wire(ctx, self.local, &buf.mr, 0, out, 0)?;
+        let fabric = self.server.rdma().fabric();
+        shmcaffe_simnet::resource::transfer_path_stream(
+            ctx,
+            &[
+                self.server.memory_resource(),
+                fabric.hca_tx(self.server.node()),
+                fabric.hca_rx(self.local),
+            ],
+            wire,
+            Some(cfg.stream_bps),
+        );
+        Ok(())
+    }
+
+    /// RDMA-writes `data` over the whole buffer, charging the wire time of
+    /// the buffer's logical size, and bumps the segment version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmbError::SizeMismatch`] if `data.len() != buf.len()`.
+    pub fn write(&self, ctx: &SimContext, buf: &SmbBuffer, data: &[f32]) -> Result<(), SmbError> {
+        if data.len() != buf.len() {
+            return Err(SmbError::SizeMismatch { expected: buf.len(), got: data.len() });
+        }
+        let cfg = self.server.config();
+        let wire = (buf.wire_bytes as f64 * (1.0 + cfg.protocol_overhead)) as u64;
+        self.server
+            .rdma()
+            .write_wire(ctx, self.local, &buf.mr, 0, data, 0)?;
+        let fabric = self.server.rdma().fabric();
+        shmcaffe_simnet::resource::transfer_path_stream(
+            ctx,
+            &[
+                fabric.hca_tx(self.local),
+                fabric.hca_rx(self.server.node()),
+                self.server.memory_resource(),
+            ],
+            wire,
+            Some(cfg.stream_bps),
+        );
+        self.server.bump_version(ctx, buf.key);
+        Ok(())
+    }
+
+    /// Reads/writes a small sub-range at its true (unscaled) wire size —
+    /// used for the control-info region where workers share progress
+    /// counters (paper §III-E).
+    ///
+    /// # Errors
+    ///
+    /// Returns RDMA bounds errors.
+    pub fn read_range(
+        &self,
+        ctx: &SimContext,
+        buf: &SmbBuffer,
+        offset: usize,
+        out: &mut [f32],
+    ) -> Result<(), SmbError> {
+        self.server.rdma().read(ctx, self.local, &buf.mr, offset, out)?;
+        Ok(())
+    }
+
+    /// Writes a small sub-range at its true wire size (see
+    /// [`SmbClient::read_range`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns RDMA bounds errors.
+    pub fn write_range(
+        &self,
+        ctx: &SimContext,
+        buf: &SmbBuffer,
+        offset: usize,
+        data: &[f32],
+    ) -> Result<(), SmbError> {
+        self.server.rdma().write(ctx, self.local, &buf.mr, offset, data)?;
+        Ok(())
+    }
+
+    /// Sends an accumulate request: server-side `dst += src` (paper eq. 7,
+    /// steps T.A2–T.A4). Charges one control round trip plus the engine's
+    /// queueing and service time; returns the destination's new version.
+    ///
+    /// # Errors
+    ///
+    /// Returns key and length-mismatch errors.
+    pub fn accumulate(
+        &self,
+        ctx: &SimContext,
+        src: &SmbBuffer,
+        dst: &SmbBuffer,
+    ) -> Result<u64, SmbError> {
+        self.control_round_trip(ctx);
+        self.server.accumulate(ctx, src.key, dst.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shmcaffe_rdma::RdmaFabric;
+    use shmcaffe_simnet::channel::SimChannel;
+    use shmcaffe_simnet::topology::{ClusterSpec, Fabric};
+    use shmcaffe_simnet::Simulation;
+
+    fn setup(nodes: usize) -> SmbServer {
+        let rdma = RdmaFabric::new(Fabric::new(ClusterSpec::paper_testbed(nodes)));
+        SmbServer::new(rdma).unwrap()
+    }
+
+    #[test]
+    fn create_alloc_read_write_roundtrip() {
+        let server = setup(1);
+        let s = server.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("w", move |ctx| {
+            let client = SmbClient::new(s, NodeId(0));
+            let key = client.create(&ctx, "buf", 4, None).unwrap();
+            let buf = client.alloc(&ctx, key).unwrap();
+            client.write(&ctx, &buf, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+            let mut out = [0.0f32; 4];
+            client.read(&ctx, &buf, &mut out).unwrap();
+            assert_eq!(out, [1.0, 2.0, 3.0, 4.0]);
+            client.free(&ctx, buf).unwrap();
+        });
+        sim.run();
+        assert_eq!(server.segment_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let server = setup(1);
+        let s = server.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("w", move |ctx| {
+            let client = SmbClient::new(s, NodeId(0));
+            client.create(&ctx, "dup", 4, None).unwrap();
+            assert!(matches!(
+                client.create(&ctx, "dup", 4, None),
+                Err(SmbError::DuplicateName(_))
+            ));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn alloc_of_unknown_key_fails() {
+        let server = setup(1);
+        let s = server.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("w", move |ctx| {
+            let client = SmbClient::new(s, NodeId(0));
+            assert!(matches!(client.alloc(&ctx, ShmKey(99)), Err(SmbError::UnknownKey(_))));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let server = setup(1);
+        let s = server.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("w", move |ctx| {
+            let client = SmbClient::new(s, NodeId(0));
+            let key = client.create(&ctx, "b", 4, None).unwrap();
+            let buf = client.alloc(&ctx, key).unwrap();
+            let mut small = [0.0f32; 2];
+            assert!(matches!(
+                client.read(&ctx, &buf, &mut small),
+                Err(SmbError::SizeMismatch { .. })
+            ));
+            assert!(matches!(
+                client.write(&ctx, &buf, &[0.0; 8]),
+                Err(SmbError::SizeMismatch { .. })
+            ));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn accumulate_folds_increment_into_global() {
+        // The SEASGD shared-buffer layout of Fig. 5: one global W_g plus a
+        // private ΔW per worker, accumulated server-side.
+        let server = setup(1);
+        let s = server.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("master", move |ctx| {
+            let client = SmbClient::new(s, NodeId(0));
+            let wg_key = client.create(&ctx, "W_g", 4, None).unwrap();
+            let dw_key = client.create(&ctx, "dW_0", 4, None).unwrap();
+            let wg = client.alloc(&ctx, wg_key).unwrap();
+            let dw = client.alloc(&ctx, dw_key).unwrap();
+            client.write(&ctx, &wg, &[1.0; 4]).unwrap();
+            client.write(&ctx, &dw, &[0.5, -0.5, 1.0, 0.0]).unwrap();
+            let v1 = client.accumulate(&ctx, &dw, &wg).unwrap();
+            let mut out = [0.0f32; 4];
+            client.read(&ctx, &wg, &mut out).unwrap();
+            assert_eq!(out, [1.5, 0.5, 2.0, 1.0]);
+            // Accumulate twice: increments add.
+            let v2 = client.accumulate(&ctx, &dw, &wg).unwrap();
+            assert!(v2 > v1);
+            client.read(&ctx, &wg, &mut out).unwrap();
+            assert_eq!(out, [2.0, 0.0, 3.0, 1.0]);
+        });
+        sim.run();
+        assert!(server.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn accumulate_length_mismatch_rejected() {
+        let server = setup(1);
+        let s = server.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("w", move |ctx| {
+            let client = SmbClient::new(s, NodeId(0));
+            let a = client.alloc(&ctx, client.create(&ctx, "a", 4, None).unwrap()).unwrap();
+            let b = client.alloc(&ctx, client.create(&ctx, "b", 8, None).unwrap()).unwrap();
+            assert!(matches!(
+                client.accumulate(&ctx, &a, &b),
+                Err(SmbError::LengthMismatch { .. })
+            ));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn key_broadcast_handshake_between_workers() {
+        // Master creates, "broadcasts" the key through shared state, the
+        // slave allocs with the key and sees the master's data.
+        let server = setup(2);
+        let key_box = std::sync::Arc::new(parking_lot::Mutex::new(None::<ShmKey>));
+        let notify = SimChannel::<ShmKey>::new("key_bcast");
+        let mut sim = Simulation::new();
+        {
+            let s = server.clone();
+            let notify = notify.clone();
+            let key_box = key_box.clone();
+            sim.spawn("master", move |ctx| {
+                let client = SmbClient::new(s, NodeId(0));
+                let key = client.create(&ctx, "shared", 2, None).unwrap();
+                let buf = client.alloc(&ctx, key).unwrap();
+                client.write(&ctx, &buf, &[7.0, 8.0]).unwrap();
+                *key_box.lock() = Some(key);
+                notify.send(&ctx, key);
+            });
+        }
+        {
+            let s = server.clone();
+            sim.spawn("slave", move |ctx| {
+                let key = notify.recv(&ctx);
+                let client = SmbClient::new(s, NodeId(1));
+                let buf = client.alloc(&ctx, key).unwrap();
+                let mut out = [0.0f32; 2];
+                client.read(&ctx, &buf, &mut out).unwrap();
+                assert_eq!(out, [7.0, 8.0]);
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn notifications_carry_versions() {
+        let server = setup(1);
+        let s = server.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("w", move |ctx| {
+            let client = SmbClient::new(s.clone(), NodeId(0));
+            let key = client.create(&ctx, "n", 2, None).unwrap();
+            let buf = client.alloc(&ctx, key).unwrap();
+            let sub = s.subscribe(key);
+            client.write(&ctx, &buf, &[1.0, 1.0]).unwrap();
+            assert_eq!(sub.try_recv(&ctx), Some(1));
+            assert_eq!(s.version(key).unwrap(), 1);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn concurrent_accumulates_serialize_on_engine() {
+        // Two workers accumulate 100 MB-wire segments: the memory bus
+        // (15 GB/s, three passes per byte) serialises them at 20 ms each.
+        let server = setup(2);
+        let mut sim = Simulation::new();
+        for i in 0..2usize {
+            let s = server.clone();
+            sim.spawn(&format!("w{i}"), move |ctx| {
+                let client = SmbClient::new(s, NodeId(i));
+                let dw = client
+                    .alloc(&ctx, client.create(&ctx, &format!("dw{i}"), 4, Some(100_000_000)).unwrap())
+                    .unwrap();
+                let wg = client
+                    .alloc(&ctx, client.create(&ctx, &format!("wg{i}"), 4, Some(100_000_000)).unwrap())
+                    .unwrap();
+                client.accumulate(&ctx, &dw, &wg).unwrap();
+            });
+        }
+        let end = sim.run();
+        // Engine service: 2 x 3x100MB / 15 GB/s = 40 ms serialised, plus
+        // control latencies.
+        assert!(end.as_millis_f64() >= 39.9, "{}", end.as_millis_f64());
+        assert!(end.as_millis_f64() < 45.0, "{}", end.as_millis_f64());
+    }
+}

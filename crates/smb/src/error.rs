@@ -1,0 +1,78 @@
+use std::fmt;
+
+use shmcaffe_rdma::RdmaError;
+
+use crate::server::ShmKey;
+
+/// Errors produced by SMB operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SmbError {
+    /// The SHM key does not name a live segment.
+    UnknownKey(ShmKey),
+    /// A buffer name was created twice.
+    DuplicateName(String),
+    /// Source and destination of an accumulate differ in length.
+    LengthMismatch {
+        /// Source segment length (elements).
+        src: usize,
+        /// Destination segment length (elements).
+        dst: usize,
+    },
+    /// The client buffer length does not match the caller's slice.
+    SizeMismatch {
+        /// Segment length (elements).
+        expected: usize,
+        /// Slice length provided by the caller.
+        got: usize,
+    },
+    /// No memory server exists on this fabric.
+    NoMemoryServer,
+    /// An underlying RDMA failure.
+    Rdma(RdmaError),
+}
+
+impl fmt::Display for SmbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmbError::UnknownKey(k) => write!(f, "unknown SHM key {k}"),
+            SmbError::DuplicateName(n) => write!(f, "buffer name already exists: {n}"),
+            SmbError::LengthMismatch { src, dst } => {
+                write!(f, "accumulate length mismatch: src {src} vs dst {dst}")
+            }
+            SmbError::SizeMismatch { expected, got } => {
+                write!(f, "buffer has {expected} elements but caller passed {got}")
+            }
+            SmbError::NoMemoryServer => write!(f, "fabric has no memory server endpoint"),
+            SmbError::Rdma(e) => write!(f, "rdma error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SmbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SmbError::Rdma(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RdmaError> for SmbError {
+    fn from(e: RdmaError) -> Self {
+        SmbError::Rdma(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = SmbError::Rdma(RdmaError::UnknownRegion(shmcaffe_rdma::RemoteKey(3)));
+        assert!(e.source().is_some());
+        assert!(!e.to_string().is_empty());
+        assert!(SmbError::NoMemoryServer.source().is_none());
+    }
+}

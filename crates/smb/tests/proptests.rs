@@ -1,0 +1,138 @@
+//! Property tests of the Soft Memory Box: accumulate order-independence,
+//! read-after-write, and sharded/unsharded equivalence.
+
+use parking_lot::Mutex;
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use shmcaffe_rdma::RdmaFabric;
+use shmcaffe_simnet::channel::SimChannel;
+use shmcaffe_simnet::topology::{ClusterSpec, Fabric, NodeId};
+use shmcaffe_simnet::{SimDuration, Simulation};
+use shmcaffe_smb::{ShardedClient, ShmKey, SmbClient, SmbCluster, SmbServer};
+use std::sync::Arc;
+
+fn server(nodes: usize) -> SmbServer {
+    SmbServer::new(RdmaFabric::new(Fabric::new(ClusterSpec::paper_testbed(nodes)))).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The final global buffer equals initial + Σ increments regardless of
+    /// how the accumulating workers interleave (staggered by arbitrary
+    /// delays).
+    #[test]
+    fn accumulate_is_order_independent(
+        increments in pvec(pvec(-10.0f32..10.0, 8), 1..6),
+        delays in pvec(0u64..20, 6),
+    ) {
+        let n_workers = increments.len();
+        let srv = server(n_workers.div_ceil(4).max(1));
+        let expected: Vec<f32> = (0..8)
+            .map(|i| increments.iter().map(|w| w[i]).sum())
+            .collect();
+        let key_ch: SimChannel<ShmKey> = SimChannel::new("k");
+        let done: SimChannel<()> = SimChannel::new("d");
+        let result: Arc<Mutex<Vec<f32>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let mut sim = Simulation::new();
+        for (rank, inc) in increments.clone().into_iter().enumerate() {
+            let srv = srv.clone();
+            let key_ch = key_ch.clone();
+            let done = done.clone();
+            let result = Arc::clone(&result);
+            let delay = delays[rank % delays.len()];
+            sim.spawn(&format!("w{rank}"), move |ctx| {
+                let client = SmbClient::new(srv, NodeId(rank / 4));
+                let key = if rank == 0 {
+                    let key = client.create(&ctx, "wg", 8, None).unwrap();
+                    for _ in 1..n_workers {
+                        key_ch.send(&ctx, key);
+                    }
+                    key
+                } else {
+                    key_ch.recv(&ctx)
+                };
+                let wg = client.alloc(&ctx, key).unwrap();
+                ctx.sleep(SimDuration::from_millis(delay));
+                let dw_key = client.create(&ctx, &format!("dw{rank}"), 8, None).unwrap();
+                let dw = client.alloc(&ctx, dw_key).unwrap();
+                client.write(&ctx, &dw, &inc).unwrap();
+                client.accumulate(&ctx, &dw, &wg).unwrap();
+                if rank == 0 {
+                    for _ in 1..n_workers {
+                        done.recv(&ctx);
+                    }
+                    let mut out = vec![0.0f32; 8];
+                    client.read(&ctx, &wg, &mut out).unwrap();
+                    *result.lock() = out;
+                } else {
+                    done.send(&ctx, ());
+                }
+            });
+        }
+        sim.run();
+        let got = result.lock().clone();
+        for (a, b) in got.iter().zip(expected.iter()) {
+            prop_assert!((a - b).abs() < 1e-3, "{} vs {}", a, b);
+        }
+    }
+
+    /// Read-after-write returns exactly what was written, for any payload.
+    #[test]
+    fn read_after_write(data in pvec(-1e6f32..1e6, 1..64)) {
+        let srv = server(1);
+        let n = data.len();
+        let result: Arc<Mutex<Vec<f32>>> = Arc::new(Mutex::new(Vec::new()));
+        let r2 = Arc::clone(&result);
+        let mut sim = Simulation::new();
+        let payload = data.clone();
+        sim.spawn("w", move |ctx| {
+            let client = SmbClient::new(srv, NodeId(0));
+            let key = client.create(&ctx, "b", n, None).unwrap();
+            let buf = client.alloc(&ctx, key).unwrap();
+            client.write(&ctx, &buf, &payload).unwrap();
+            let mut out = vec![0.0f32; n];
+            client.read(&ctx, &buf, &mut out).unwrap();
+            *r2.lock() = out;
+        });
+        sim.run();
+        prop_assert_eq!(result.lock().clone(), data);
+    }
+
+    /// A sharded buffer over K servers behaves exactly like a single
+    /// buffer: write/accumulate/read roundtrips agree element-wise.
+    #[test]
+    fn sharded_equals_unsharded(
+        servers in 1usize..5,
+        base in pvec(-100.0f32..100.0, 4..40),
+        inc in pvec(-10.0f32..10.0, 4..40),
+    ) {
+        let n = base.len().min(inc.len());
+        let base = base[..n].to_vec();
+        let inc = inc[..n].to_vec();
+        let spec = ClusterSpec { memory_servers: servers, ..ClusterSpec::paper_testbed(1) };
+        let cluster = SmbCluster::new(RdmaFabric::new(Fabric::new(spec))).unwrap();
+        let result: Arc<Mutex<Vec<f32>>> = Arc::new(Mutex::new(Vec::new()));
+        let r2 = Arc::clone(&result);
+        let (b2, i2) = (base.clone(), inc.clone());
+        let mut sim = Simulation::new();
+        sim.spawn("w", move |ctx| {
+            let client = ShardedClient::new(&cluster, NodeId(0));
+            let wg = client.alloc(&ctx, &client.create(&ctx, "wg", n, None).unwrap()).unwrap();
+            let dw = client.alloc(&ctx, &client.create(&ctx, "dw", n, None).unwrap()).unwrap();
+            client.write(&ctx, &wg, &b2).unwrap();
+            client.write(&ctx, &dw, &i2).unwrap();
+            client.accumulate(&ctx, &dw, &wg).unwrap();
+            let mut out = vec![0.0f32; n];
+            client.read(&ctx, &wg, &mut out).unwrap();
+            *r2.lock() = out;
+        });
+        sim.run();
+        let got = result.lock().clone();
+        for i in 0..n {
+            let expected = base[i] + inc[i];
+            prop_assert!((got[i] - expected).abs() < 1e-4, "{} vs {}", got[i], expected);
+        }
+    }
+}

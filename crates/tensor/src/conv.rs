@@ -1,0 +1,481 @@
+//! 2-D convolution via im2col + gemm, exactly as BVLC Caffe implements it.
+//!
+//! Layout conventions follow Caffe blobs:
+//!
+//! * inputs and outputs are `(N, C, H, W)` row-major,
+//! * weights are `(C_out, C_in, KH, KW)`,
+//! * the im2col matrix is `(C_in*KH*KW) x (H_out*W_out)` per image.
+
+use crate::gemm::{gemm, Transpose};
+use crate::TensorError;
+
+/// Geometry of a 2-D convolution or pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Vertical stride.
+    pub stride_h: usize,
+    /// Horizontal stride.
+    pub stride_w: usize,
+    /// Vertical zero padding.
+    pub pad_h: usize,
+    /// Horizontal zero padding.
+    pub pad_w: usize,
+}
+
+impl Conv2dGeometry {
+    /// Square-kernel convenience constructor.
+    pub fn square(in_channels: usize, in_hw: usize, kernel: usize, stride: usize, pad: usize) -> Self {
+        Conv2dGeometry {
+            in_channels,
+            in_h: in_hw,
+            in_w: in_hw,
+            kernel_h: kernel,
+            kernel_w: kernel,
+            stride_h: stride,
+            stride_w: stride,
+            pad_h: pad,
+            pad_w: pad,
+        }
+    }
+
+    /// Output height `(H + 2*pad - KH) / stride + 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::BadGeometry`] if the window does not fit.
+    pub fn out_h(&self) -> Result<usize, TensorError> {
+        out_extent(self.in_h, self.kernel_h, self.stride_h, self.pad_h)
+    }
+
+    /// Output width `(W + 2*pad - KW) / stride + 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::BadGeometry`] if the window does not fit.
+    pub fn out_w(&self) -> Result<usize, TensorError> {
+        out_extent(self.in_w, self.kernel_w, self.stride_w, self.pad_w)
+    }
+
+    /// Rows of the im2col matrix: `C_in * KH * KW`.
+    pub fn col_rows(&self) -> usize {
+        self.in_channels * self.kernel_h * self.kernel_w
+    }
+
+    /// Columns of the im2col matrix: `H_out * W_out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::BadGeometry`] if the window does not fit.
+    pub fn col_cols(&self) -> Result<usize, TensorError> {
+        Ok(self.out_h()? * self.out_w()?)
+    }
+
+    /// Elements of one input image: `C_in * H * W`.
+    pub fn in_len(&self) -> usize {
+        self.in_channels * self.in_h * self.in_w
+    }
+}
+
+fn out_extent(input: usize, kernel: usize, stride: usize, pad: usize) -> Result<usize, TensorError> {
+    if stride == 0 {
+        return Err(TensorError::BadGeometry("stride must be positive".into()));
+    }
+    let padded = input + 2 * pad;
+    if kernel == 0 || kernel > padded {
+        return Err(TensorError::BadGeometry(format!(
+            "kernel {kernel} does not fit input {input} with pad {pad}"
+        )));
+    }
+    Ok((padded - kernel) / stride + 1)
+}
+
+/// Unrolls one image `(C, H, W)` into the column matrix used by gemm.
+///
+/// `col` must have `geom.col_rows() * geom.col_cols()` elements.
+///
+/// # Panics
+///
+/// Panics if buffer sizes do not match the geometry.
+pub fn im2col(geom: &Conv2dGeometry, image: &[f32], col: &mut [f32]) {
+    let out_h = geom.out_h().expect("invalid geometry");
+    let out_w = geom.out_w().expect("invalid geometry");
+    assert_eq!(image.len(), geom.in_len(), "image buffer size mismatch");
+    assert_eq!(col.len(), geom.col_rows() * out_h * out_w, "col buffer size mismatch");
+
+    let mut col_idx = 0;
+    for c in 0..geom.in_channels {
+        let chan = &image[c * geom.in_h * geom.in_w..(c + 1) * geom.in_h * geom.in_w];
+        for kh in 0..geom.kernel_h {
+            for kw in 0..geom.kernel_w {
+                for oh in 0..out_h {
+                    let ih = (oh * geom.stride_h + kh) as isize - geom.pad_h as isize;
+                    for ow in 0..out_w {
+                        let iw = (ow * geom.stride_w + kw) as isize - geom.pad_w as isize;
+                        col[col_idx] = if ih >= 0
+                            && iw >= 0
+                            && (ih as usize) < geom.in_h
+                            && (iw as usize) < geom.in_w
+                        {
+                            chan[ih as usize * geom.in_w + iw as usize]
+                        } else {
+                            0.0
+                        };
+                        col_idx += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Accumulates a column matrix back into an image (adjoint of [`im2col`]).
+///
+/// The image buffer is *not* cleared; contributions are added, which is what
+/// the backward pass needs when accumulating input gradients.
+///
+/// # Panics
+///
+/// Panics if buffer sizes do not match the geometry.
+pub fn col2im(geom: &Conv2dGeometry, col: &[f32], image: &mut [f32]) {
+    let out_h = geom.out_h().expect("invalid geometry");
+    let out_w = geom.out_w().expect("invalid geometry");
+    assert_eq!(image.len(), geom.in_len(), "image buffer size mismatch");
+    assert_eq!(col.len(), geom.col_rows() * out_h * out_w, "col buffer size mismatch");
+
+    let mut col_idx = 0;
+    for c in 0..geom.in_channels {
+        let base = c * geom.in_h * geom.in_w;
+        for kh in 0..geom.kernel_h {
+            for kw in 0..geom.kernel_w {
+                for oh in 0..out_h {
+                    let ih = (oh * geom.stride_h + kh) as isize - geom.pad_h as isize;
+                    for ow in 0..out_w {
+                        let iw = (ow * geom.stride_w + kw) as isize - geom.pad_w as isize;
+                        if ih >= 0
+                            && iw >= 0
+                            && (ih as usize) < geom.in_h
+                            && (iw as usize) < geom.in_w
+                        {
+                            image[base + ih as usize * geom.in_w + iw as usize] += col[col_idx];
+                        }
+                        col_idx += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Convolution forward for a batch.
+///
+/// * `input`: `(N, C_in, H, W)` flattened,
+/// * `weights`: `(C_out, C_in*KH*KW)` flattened,
+/// * `bias`: length `C_out` (may be empty for no bias),
+/// * `output`: `(N, C_out, H_out, W_out)` flattened,
+/// * `col_buf`: scratch of `col_rows * col_cols` elements.
+///
+/// # Panics
+///
+/// Panics on buffer size mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_forward(
+    geom: &Conv2dGeometry,
+    batch: usize,
+    out_channels: usize,
+    input: &[f32],
+    weights: &[f32],
+    bias: &[f32],
+    output: &mut [f32],
+    col_buf: &mut [f32],
+) {
+    let out_h = geom.out_h().expect("invalid geometry");
+    let out_w = geom.out_w().expect("invalid geometry");
+    let spatial = out_h * out_w;
+    let in_len = geom.in_len();
+    let out_len = out_channels * spatial;
+    assert_eq!(input.len(), batch * in_len, "input size mismatch");
+    assert_eq!(output.len(), batch * out_len, "output size mismatch");
+    assert_eq!(weights.len(), out_channels * geom.col_rows(), "weight size mismatch");
+    assert!(bias.is_empty() || bias.len() == out_channels, "bias size mismatch");
+
+    for n in 0..batch {
+        let image = &input[n * in_len..(n + 1) * in_len];
+        im2col(geom, image, col_buf);
+        let out_image = &mut output[n * out_len..(n + 1) * out_len];
+        // (C_out x K) * (K x spatial) = C_out x spatial
+        gemm(
+            Transpose::No,
+            Transpose::No,
+            out_channels,
+            spatial,
+            geom.col_rows(),
+            1.0,
+            weights,
+            col_buf,
+            0.0,
+            out_image,
+        );
+        if !bias.is_empty() {
+            for (c, &b) in bias.iter().enumerate() {
+                for v in &mut out_image[c * spatial..(c + 1) * spatial] {
+                    *v += b;
+                }
+            }
+        }
+    }
+}
+
+/// Convolution backward for a batch.
+///
+/// Computes weight/bias gradients (accumulated into `d_weights`/`d_bias`)
+/// and, when `d_input` is non-empty, the input gradient (overwritten).
+///
+/// # Panics
+///
+/// Panics on buffer size mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_backward(
+    geom: &Conv2dGeometry,
+    batch: usize,
+    out_channels: usize,
+    input: &[f32],
+    weights: &[f32],
+    d_output: &[f32],
+    d_weights: &mut [f32],
+    d_bias: &mut [f32],
+    d_input: &mut [f32],
+    col_buf: &mut [f32],
+) {
+    let out_h = geom.out_h().expect("invalid geometry");
+    let out_w = geom.out_w().expect("invalid geometry");
+    let spatial = out_h * out_w;
+    let in_len = geom.in_len();
+    let out_len = out_channels * spatial;
+    assert_eq!(input.len(), batch * in_len, "input size mismatch");
+    assert_eq!(d_output.len(), batch * out_len, "d_output size mismatch");
+    assert_eq!(d_weights.len(), out_channels * geom.col_rows(), "d_weights size mismatch");
+    assert!(d_bias.is_empty() || d_bias.len() == out_channels, "d_bias size mismatch");
+    assert!(d_input.is_empty() || d_input.len() == batch * in_len, "d_input size mismatch");
+
+    if !d_input.is_empty() {
+        d_input.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    for n in 0..batch {
+        let image = &input[n * in_len..(n + 1) * in_len];
+        let d_out_image = &d_output[n * out_len..(n + 1) * out_len];
+
+        // dW += dY * col^T : (C_out x spatial) * (spatial x K)
+        im2col(geom, image, col_buf);
+        gemm(
+            Transpose::No,
+            Transpose::Yes,
+            out_channels,
+            geom.col_rows(),
+            spatial,
+            1.0,
+            d_out_image,
+            col_buf,
+            1.0,
+            d_weights,
+        );
+
+        if !d_bias.is_empty() {
+            for c in 0..out_channels {
+                d_bias[c] += d_out_image[c * spatial..(c + 1) * spatial].iter().sum::<f32>();
+            }
+        }
+
+        if !d_input.is_empty() {
+            // d_col = W^T * dY : (K x C_out) * (C_out x spatial)
+            gemm(
+                Transpose::Yes,
+                Transpose::No,
+                geom.col_rows(),
+                spatial,
+                out_channels,
+                1.0,
+                weights,
+                d_out_image,
+                0.0,
+                col_buf,
+            );
+            col2im(geom, col_buf, &mut d_input[n * in_len..(n + 1) * in_len]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_extent_formula() {
+        // 5x5 input, 3x3 kernel, stride 1, no pad -> 3x3 output.
+        let g = Conv2dGeometry::square(1, 5, 3, 1, 0);
+        assert_eq!(g.out_h().unwrap(), 3);
+        // pad 1 -> same-size output.
+        let g = Conv2dGeometry::square(1, 5, 3, 1, 1);
+        assert_eq!(g.out_h().unwrap(), 5);
+        // stride 2.
+        let g = Conv2dGeometry::square(1, 5, 3, 2, 0);
+        assert_eq!(g.out_h().unwrap(), 2);
+    }
+
+    #[test]
+    fn bad_geometry_is_reported() {
+        let g = Conv2dGeometry::square(1, 2, 5, 1, 0);
+        assert!(g.out_h().is_err());
+        let g = Conv2dGeometry {
+            stride_h: 0,
+            ..Conv2dGeometry::square(1, 5, 3, 1, 0)
+        };
+        assert!(g.out_h().is_err());
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1: im2col is the identity.
+        let g = Conv2dGeometry::square(2, 3, 1, 1, 0);
+        let image: Vec<f32> = (0..18).map(|v| v as f32).collect();
+        let mut col = vec![0.0; 18];
+        im2col(&g, &image, &mut col);
+        assert_eq!(col, image);
+    }
+
+    #[test]
+    fn im2col_known_patch() {
+        // 3x3 image, 2x2 kernel, stride 1, no pad -> 2x2 output, 4 rows.
+        let g = Conv2dGeometry::square(1, 3, 2, 1, 0);
+        let image = vec![1., 2., 3., 4., 5., 6., 7., 8., 9.];
+        let mut col = vec![0.0; 4 * 4];
+        im2col(&g, &image, &mut col);
+        // Row 0 = kernel offset (0,0) over outputs: 1,2,4,5
+        assert_eq!(&col[0..4], &[1., 2., 4., 5.]);
+        // Row 3 = kernel offset (1,1): 5,6,8,9
+        assert_eq!(&col[12..16], &[5., 6., 8., 9.]);
+    }
+
+    #[test]
+    fn conv_forward_matches_manual() {
+        // Single channel 3x3 image, one 2x2 kernel of ones -> sum pooling.
+        let g = Conv2dGeometry::square(1, 3, 2, 1, 0);
+        let input = vec![1., 2., 3., 4., 5., 6., 7., 8., 9.];
+        let weights = vec![1.0; 4];
+        let bias = vec![0.5];
+        let mut output = vec![0.0; 4];
+        let mut col = vec![0.0; g.col_rows() * g.col_cols().unwrap()];
+        conv2d_forward(&g, 1, 1, &input, &weights, &bias, &mut output, &mut col);
+        assert_eq!(output, vec![12.5, 16.5, 24.5, 28.5]);
+    }
+
+    #[test]
+    fn conv_forward_with_padding_zero_fills() {
+        let g = Conv2dGeometry::square(1, 2, 3, 1, 1);
+        let input = vec![1., 1., 1., 1.];
+        let weights = vec![1.0; 9];
+        let mut output = vec![0.0; 4];
+        let mut col = vec![0.0; g.col_rows() * g.col_cols().unwrap()];
+        conv2d_forward(&g, 1, 1, &input, &weights, &[], &mut output, &mut col);
+        // Every 3x3 window over the padded 4x4 contains the full 2x2 block.
+        assert_eq!(output, vec![4.0; 4]);
+    }
+
+    /// Numerical gradient check of the full conv backward pass.
+    #[test]
+    fn conv_backward_matches_finite_difference() {
+        let g = Conv2dGeometry::square(2, 4, 3, 1, 1);
+        let batch = 2;
+        let out_channels = 3;
+        let in_len = g.in_len();
+        let out_len = out_channels * g.col_cols().unwrap();
+
+        let mut input: Vec<f32> = (0..batch * in_len).map(|i| ((i % 7) as f32 - 3.0) * 0.3).collect();
+        let weights: Vec<f32> = (0..out_channels * g.col_rows())
+            .map(|i| ((i % 5) as f32 - 2.0) * 0.1)
+            .collect();
+        let bias = vec![0.1, -0.2, 0.3];
+        let d_output: Vec<f32> = (0..batch * out_len).map(|i| ((i % 3) as f32 - 1.0) * 0.5).collect();
+
+        let loss = |input: &[f32], weights: &[f32], bias: &[f32]| -> f32 {
+            let mut output = vec![0.0; batch * out_len];
+            let mut col = vec![0.0; g.col_rows() * g.col_cols().unwrap()];
+            conv2d_forward(&g, batch, out_channels, input, weights, bias, &mut output, &mut col);
+            // Loss = <output, d_output>, so dL/d* flows through d_output.
+            output.iter().zip(d_output.iter()).map(|(o, d)| o * d).sum()
+        };
+
+        let mut d_weights = vec![0.0; weights.len()];
+        let mut d_bias = vec![0.0; bias.len()];
+        let mut d_input = vec![0.0; input.len()];
+        let mut col = vec![0.0; g.col_rows() * g.col_cols().unwrap()];
+        conv2d_backward(
+            &g, batch, out_channels, &input, &weights, &d_output,
+            &mut d_weights, &mut d_bias, &mut d_input, &mut col,
+        );
+
+        let eps = 1e-2;
+        // Spot-check a handful of weight gradients.
+        for &wi in &[0usize, 7, 19, weights.len() - 1] {
+            let mut wp = weights.clone();
+            wp[wi] += eps;
+            let mut wm = weights.clone();
+            wm[wi] -= eps;
+            let numeric = (loss(&input, &wp, &bias) - loss(&input, &wm, &bias)) / (2.0 * eps);
+            assert!(
+                (d_weights[wi] - numeric).abs() < 1e-2,
+                "dW[{wi}]: analytic {} vs numeric {numeric}",
+                d_weights[wi]
+            );
+        }
+        // Bias gradients.
+        for bi in 0..bias.len() {
+            let mut bp = bias.clone();
+            bp[bi] += eps;
+            let mut bm = bias.clone();
+            bm[bi] -= eps;
+            let numeric = (loss(&input, &weights, &bp) - loss(&input, &weights, &bm)) / (2.0 * eps);
+            assert!((d_bias[bi] - numeric).abs() < 1e-2);
+        }
+        // Input gradients.
+        for &ii in &[0usize, 5, 17, input.len() - 1] {
+            let orig = input[ii];
+            input[ii] = orig + eps;
+            let lp = loss(&input, &weights, &bias);
+            input[ii] = orig - eps;
+            let lm = loss(&input, &weights, &bias);
+            input[ii] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((d_input[ii] - numeric).abs() < 1e-2);
+        }
+    }
+
+    /// col2im is the adjoint of im2col: <im2col(x), c> == <x, col2im(c)>.
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        let g = Conv2dGeometry::square(2, 5, 3, 2, 1);
+        let cols = g.col_rows() * g.col_cols().unwrap();
+        let x: Vec<f32> = (0..g.in_len()).map(|i| (i as f32 * 0.37).sin()).collect();
+        let c: Vec<f32> = (0..cols).map(|i| (i as f32 * 0.11).cos()).collect();
+
+        let mut col = vec![0.0; cols];
+        im2col(&g, &x, &mut col);
+        let lhs: f32 = col.iter().zip(c.iter()).map(|(a, b)| a * b).sum();
+
+        let mut img = vec![0.0; g.in_len()];
+        col2im(&g, &c, &mut img);
+        let rhs: f32 = x.iter().zip(img.iter()).map(|(a, b)| a * b).sum();
+
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+}

@@ -1,0 +1,281 @@
+//! Single-precision general matrix multiply.
+//!
+//! `C = alpha * op(A) * op(B) + beta * C`, row-major, with optional
+//! transposition of either operand — the same contract as `cblas_sgemm`,
+//! which Caffe calls for inner-product layers and im2col-based convolution.
+//!
+//! The implementation uses a cache-blocked kernel with a row-major
+//! micro-panel; it is deliberately dependency-free and `forbid(unsafe)`.
+
+/// Whether an operand is transposed, matching BLAS `CblasTrans`/`NoTrans`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transpose {
+    /// Use the operand as stored.
+    No,
+    /// Use the transpose of the operand.
+    Yes,
+}
+
+const BLOCK: usize = 64;
+
+/// Computes `C = alpha * op(A) * op(B) + beta * C` for row-major matrices.
+///
+/// * `op(A)` is `m x k`, `op(B)` is `k x n`, `C` is `m x n`.
+/// * `A` is stored `m x k` when `trans_a == No`, otherwise `k x m`.
+/// * `B` is stored `k x n` when `trans_b == No`, otherwise `n x k`.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than the implied matrix size.
+///
+/// # Example
+///
+/// ```rust
+/// use shmcaffe_tensor::gemm::{gemm, Transpose};
+/// let a = [1.0, 2.0, 3.0, 4.0]; // 2x2
+/// let b = [1.0, 0.0, 0.0, 1.0]; // identity
+/// let mut c = [0.0; 4];
+/// gemm(Transpose::No, Transpose::No, 2, 2, 2, 1.0, &a, &b, 0.0, &mut c);
+/// assert_eq!(c, a);
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(
+    trans_a: Transpose,
+    trans_b: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    assert!(a.len() >= m * k, "A too short: {} < {}", a.len(), m * k);
+    assert!(b.len() >= k * n, "B too short: {} < {}", b.len(), k * n);
+    assert!(c.len() >= m * n, "C too short: {} < {}", c.len(), m * n);
+
+    // Scale C by beta first.
+    if beta == 0.0 {
+        c[..m * n].iter_mut().for_each(|v| *v = 0.0);
+    } else if beta != 1.0 {
+        c[..m * n].iter_mut().for_each(|v| *v *= beta);
+    }
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    match (trans_a, trans_b) {
+        (Transpose::No, Transpose::No) => gemm_nn(m, n, k, alpha, a, b, c),
+        (Transpose::Yes, Transpose::No) => gemm_tn(m, n, k, alpha, a, b, c),
+        (Transpose::No, Transpose::Yes) => gemm_nt(m, n, k, alpha, a, b, c),
+        (Transpose::Yes, Transpose::Yes) => gemm_tt(m, n, k, alpha, a, b, c),
+    }
+}
+
+/// `C += alpha * A * B`, A: m x k row-major, B: k x n row-major.
+fn gemm_nn(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i0 in (0..m).step_by(BLOCK) {
+        let i_max = (i0 + BLOCK).min(m);
+        for p0 in (0..k).step_by(BLOCK) {
+            let p_max = (p0 + BLOCK).min(k);
+            for i in i0..i_max {
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for p in p0..p_max {
+                    let av = alpha * a[i * k + p];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[p * n..(p + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `C += alpha * A^T * B`, A stored k x m, B stored k x n.
+fn gemm_tn(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            let scaled = alpha * av;
+            if scaled == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += scaled * bv;
+            }
+        }
+    }
+}
+
+/// `C += alpha * A * B^T`, A stored m x k, B stored n x k.
+fn gemm_nt(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                acc += av * bv;
+            }
+            c[i * n + j] += alpha * acc;
+        }
+    }
+}
+
+/// `C += alpha * A^T * B^T`, A stored k x m, B stored n x k.
+fn gemm_tt(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[p * m + i] * b[j * k + p];
+            }
+            c[i * n + j] += alpha * acc;
+        }
+    }
+}
+
+/// Matrix-vector product `y = alpha * op(A) * x + beta * y` (row-major).
+///
+/// `op(A)` is `m x n`; `x` has length `n`, `y` has length `m`.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than the implied size.
+#[allow(clippy::too_many_arguments)] // BLAS-compatible signature
+pub fn gemv(
+    trans: Transpose,
+    m: usize,
+    n: usize,
+    alpha: f32,
+    a: &[f32],
+    x: &[f32],
+    beta: f32,
+    y: &mut [f32],
+) {
+    gemm(trans, Transpose::No, m, 1, n, alpha, a, x, beta, y);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Textbook triple-loop reference used to validate the blocked kernels.
+    fn reference(
+        trans_a: Transpose,
+        trans_b: Transpose,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+    ) -> Vec<f32> {
+        let get_a = |i: usize, p: usize| match trans_a {
+            Transpose::No => a[i * k + p],
+            Transpose::Yes => a[p * m + i],
+        };
+        let get_b = |p: usize, j: usize| match trans_b {
+            Transpose::No => b[p * n + j],
+            Transpose::Yes => b[j * k + p],
+        };
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += get_a(i, p) * get_b(p, j);
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    fn deterministic_matrix(len: usize, seed: u32) -> Vec<f32> {
+        // Small LCG keeps tests dependency-free and reproducible.
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(12345);
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                ((state >> 16) as f32 / 65536.0) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_transpose_combinations_match_reference() {
+        let (m, n, k) = (7, 5, 9);
+        for &ta in &[Transpose::No, Transpose::Yes] {
+            for &tb in &[Transpose::No, Transpose::Yes] {
+                let a = deterministic_matrix(m * k, 1);
+                let b = deterministic_matrix(k * n, 2);
+                let expected = reference(ta, tb, m, n, k, &a, &b);
+                let mut c = vec![0.0; m * n];
+                gemm(ta, tb, m, n, k, 1.0, &a, &b, 0.0, &mut c);
+                for (got, want) in c.iter().zip(expected.iter()) {
+                    assert!((got - want).abs() < 1e-4, "{got} vs {want} ({ta:?},{tb:?})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_kernel_matches_reference_on_large_sizes() {
+        let (m, n, k) = (130, 70, 90);
+        let a = deterministic_matrix(m * k, 3);
+        let b = deterministic_matrix(k * n, 4);
+        let expected = reference(Transpose::No, Transpose::No, m, n, k, &a, &b);
+        let mut c = vec![0.0; m * n];
+        gemm(Transpose::No, Transpose::No, m, n, k, 1.0, &a, &b, 0.0, &mut c);
+        for (got, want) in c.iter().zip(expected.iter()) {
+            assert!((got - want).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn alpha_beta_semantics() {
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let b = [2.0, 3.0, 4.0, 5.0];
+        let mut c = [10.0, 10.0, 10.0, 10.0];
+        gemm(Transpose::No, Transpose::No, 2, 2, 2, 2.0, &a, &b, 0.5, &mut c);
+        assert_eq!(c, [9.0, 11.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn beta_zero_overwrites_nan() {
+        let a = [1.0];
+        let b = [1.0];
+        let mut c = [f32::NAN];
+        gemm(Transpose::No, Transpose::No, 1, 1, 1, 1.0, &a, &b, 0.0, &mut c);
+        assert_eq!(c, [1.0]);
+    }
+
+    #[test]
+    fn zero_dims_are_noops() {
+        let mut c = [5.0];
+        gemm(Transpose::No, Transpose::No, 1, 1, 0, 1.0, &[], &[], 1.0, &mut c);
+        assert_eq!(c, [5.0]);
+    }
+
+    #[test]
+    fn gemv_matches_manual() {
+        // A = [[1,2],[3,4],[5,6]] (3x2), x = [1, -1]
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let x = [1.0, -1.0];
+        let mut y = [0.0; 3];
+        gemv(Transpose::No, 3, 2, 1.0, &a, &x, 0.0, &mut y);
+        assert_eq!(y, [-1.0, -1.0, -1.0]);
+        // A^T * v for v of length 3.
+        let v = [1.0, 1.0, 1.0];
+        let mut z = [0.0; 2];
+        gemv(Transpose::Yes, 2, 3, 1.0, &a, &v, 0.0, &mut z);
+        assert_eq!(z, [9.0, 12.0]);
+    }
+}

@@ -1,0 +1,48 @@
+//! Dense f32 tensor algebra for the ShmCaffe reproduction.
+//!
+//! This crate is the computational substrate that stands in for the
+//! CUDA/cuDNN kernels used by Caffe in the original paper. It provides:
+//!
+//! * [`Tensor`] — a row-major dense f32 tensor with shape metadata,
+//! * [`gemm`] — single-precision general matrix multiply (the workhorse of
+//!   inner-product and im2col-based convolution layers),
+//! * [`conv`] — im2col/col2im and 2-D convolution forward/backward,
+//! * [`pool`] — max/average pooling forward/backward,
+//! * [`ops`] — element-wise and BLAS-1 style vector operations (`axpy`,
+//!   `scal`, `dot`, activations),
+//! * [`init`] — seeded weight initialisation (Gaussian, Xavier, MSRA).
+//!
+//! Everything is deterministic given a seed; there is no unsafe code and no
+//! external BLAS dependency.
+//!
+//! # Example
+//!
+//! ```rust
+//! use shmcaffe_tensor::{Tensor, gemm::{gemm, Transpose}};
+//!
+//! # fn main() -> Result<(), shmcaffe_tensor::TensorError> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2])?;
+//! let mut c = Tensor::zeros(&[2, 2]);
+//! gemm(Transpose::No, Transpose::No, 2, 2, 2, 1.0, a.data(), b.data(), 0.0, c.data_mut());
+//! assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conv;
+mod error;
+pub mod gemm;
+pub mod init;
+pub mod ops;
+pub mod pool;
+mod shape;
+pub mod softmax;
+mod tensor;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,277 @@
+//! BLAS-1 style vector operations and element-wise activation kernels.
+//!
+//! These free functions operate on `&[f32]` slices so they can be applied to
+//! [`crate::Tensor`] buffers, raw parameter vectors shared through the Soft
+//! Memory Box, and gradient accumulation buffers alike. This mirrors how
+//! Caffe's `math_functions.cpp` exposes `caffe_axpy` etc. over raw pointers.
+
+/// `y += alpha * x` (the SGD update kernel and the SMB accumulate kernel).
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+///
+/// # Example
+///
+/// ```rust
+/// use shmcaffe_tensor::ops::axpy;
+/// let x = [1.0, 2.0];
+/// let mut y = [10.0, 20.0];
+/// axpy(0.5, &x, &mut y);
+/// assert_eq!(y, [10.5, 21.0]);
+/// ```
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yv, &xv) in y.iter_mut().zip(x.iter()) {
+        *yv += alpha * xv;
+    }
+}
+
+/// `y = alpha * x + beta * y`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+pub fn axpby(alpha: f32, x: &[f32], beta: f32, y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpby length mismatch");
+    for (yv, &xv) in y.iter_mut().zip(x.iter()) {
+        *yv = alpha * xv + beta * *yv;
+    }
+}
+
+/// `x *= alpha`.
+pub fn scal(alpha: f32, x: &mut [f32]) {
+    for v in x.iter_mut() {
+        *v *= alpha;
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    x.iter().zip(y.iter()).map(|(a, b)| a * b).sum()
+}
+
+/// Element-wise `out = a - b`.
+///
+/// Used by EASGD to form the elastic difference `W_x - W_g` (paper eq. 5).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn sub(a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), b.len(), "sub length mismatch");
+    assert_eq!(a.len(), out.len(), "sub output length mismatch");
+    for ((o, &av), &bv) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *o = av - bv;
+    }
+}
+
+/// Element-wise `out = a + b`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn add(a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), b.len(), "add length mismatch");
+    assert_eq!(a.len(), out.len(), "add output length mismatch");
+    for ((o, &av), &bv) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *o = av + bv;
+    }
+}
+
+/// ReLU forward: `out[i] = max(0, x[i])`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn relu_forward(x: &[f32], out: &mut [f32]) {
+    assert_eq!(x.len(), out.len(), "relu length mismatch");
+    for (o, &v) in out.iter_mut().zip(x.iter()) {
+        *o = v.max(0.0);
+    }
+}
+
+/// ReLU backward: `dx[i] = dy[i] * (x[i] > 0)`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn relu_backward(x: &[f32], dy: &[f32], dx: &mut [f32]) {
+    assert_eq!(x.len(), dy.len(), "relu_backward length mismatch");
+    assert_eq!(x.len(), dx.len(), "relu_backward output length mismatch");
+    for ((d, &xv), &g) in dx.iter_mut().zip(x.iter()).zip(dy.iter()) {
+        *d = if xv > 0.0 { g } else { 0.0 };
+    }
+}
+
+/// Numerically stable sigmoid.
+pub fn sigmoid(v: f32) -> f32 {
+    if v >= 0.0 {
+        1.0 / (1.0 + (-v).exp())
+    } else {
+        let e = v.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Sigmoid forward over a slice.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn sigmoid_forward(x: &[f32], out: &mut [f32]) {
+    assert_eq!(x.len(), out.len(), "sigmoid length mismatch");
+    for (o, &v) in out.iter_mut().zip(x.iter()) {
+        *o = sigmoid(v);
+    }
+}
+
+/// Sigmoid backward given the forward *output* `y`: `dx = dy * y * (1 - y)`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn sigmoid_backward(y: &[f32], dy: &[f32], dx: &mut [f32]) {
+    assert_eq!(y.len(), dy.len(), "sigmoid_backward length mismatch");
+    assert_eq!(y.len(), dx.len(), "sigmoid_backward output length mismatch");
+    for ((d, &yv), &g) in dx.iter_mut().zip(y.iter()).zip(dy.iter()) {
+        *d = g * yv * (1.0 - yv);
+    }
+}
+
+/// Hyperbolic tangent forward over a slice.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn tanh_forward(x: &[f32], out: &mut [f32]) {
+    assert_eq!(x.len(), out.len(), "tanh length mismatch");
+    for (o, &v) in out.iter_mut().zip(x.iter()) {
+        *o = v.tanh();
+    }
+}
+
+/// Tanh backward given the forward output `y`: `dx = dy * (1 - y^2)`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn tanh_backward(y: &[f32], dy: &[f32], dx: &mut [f32]) {
+    assert_eq!(y.len(), dy.len(), "tanh_backward length mismatch");
+    assert_eq!(y.len(), dx.len(), "tanh_backward output length mismatch");
+    for ((d, &yv), &g) in dx.iter_mut().zip(y.iter()).zip(dy.iter()) {
+        *d = g * (1.0 - yv * yv);
+    }
+}
+
+/// Clips every element into `[-bound, bound]` (gradient clipping).
+///
+/// # Panics
+///
+/// Panics if `bound` is negative or NaN.
+pub fn clip(bound: f32, x: &mut [f32]) {
+    assert!(bound >= 0.0, "clip bound must be non-negative");
+    for v in x.iter_mut() {
+        *v = v.clamp(-bound, bound);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_and_axpby() {
+        let x = [1.0, -2.0, 3.0];
+        let mut y = [1.0, 1.0, 1.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [3.0, -3.0, 7.0]);
+        axpby(1.0, &x, 0.0, &mut y);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn scal_dot() {
+        let mut x = [1.0, 2.0, 3.0];
+        scal(3.0, &mut x);
+        assert_eq!(x, [3.0, 6.0, 9.0]);
+        assert_eq!(dot(&x, &[1.0, 1.0, 1.0]), 18.0);
+    }
+
+    #[test]
+    fn sub_add_roundtrip() {
+        let a = [5.0, 6.0];
+        let b = [2.0, 9.0];
+        let mut d = [0.0; 2];
+        sub(&a, &b, &mut d);
+        assert_eq!(d, [3.0, -3.0]);
+        let mut s = [0.0; 2];
+        add(&d, &b, &mut s);
+        assert_eq!(s, a);
+    }
+
+    #[test]
+    fn relu_pair_is_consistent() {
+        let x = [-1.0, 0.0, 2.0];
+        let mut y = [0.0; 3];
+        relu_forward(&x, &mut y);
+        assert_eq!(y, [0.0, 0.0, 2.0]);
+        let dy = [1.0, 1.0, 1.0];
+        let mut dx = [9.0; 3];
+        relu_backward(&x, &dy, &mut dx);
+        assert_eq!(dx, [0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!((sigmoid(100.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid(-100.0).abs() < 1e-6);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(-100.0).is_finite());
+    }
+
+    #[test]
+    fn sigmoid_backward_matches_finite_difference() {
+        let xs = [-2.0f32, -0.5, 0.0, 0.7, 3.0];
+        for &x in &xs {
+            let eps = 1e-3;
+            let numeric = (sigmoid(x + eps) - sigmoid(x - eps)) / (2.0 * eps);
+            let y = sigmoid(x);
+            let mut dx = [0.0];
+            sigmoid_backward(&[y], &[1.0], &mut dx);
+            assert!((dx[0] - numeric).abs() < 1e-3, "x={x}: {} vs {numeric}", dx[0]);
+        }
+    }
+
+    #[test]
+    fn tanh_backward_matches_finite_difference() {
+        let xs = [-1.5f32, 0.0, 0.9];
+        for &x in &xs {
+            let eps = 1e-3;
+            let numeric = ((x + eps).tanh() - (x - eps).tanh()) / (2.0 * eps);
+            let y = x.tanh();
+            let mut dx = [0.0];
+            tanh_backward(&[y], &[1.0], &mut dx);
+            assert!((dx[0] - numeric).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn clip_bounds_values() {
+        let mut x = [-5.0, 0.5, 7.0];
+        clip(1.0, &mut x);
+        assert_eq!(x, [-1.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn axpy_panics_on_mismatch() {
+        let mut y = [0.0; 2];
+        axpy(1.0, &[1.0; 3], &mut y);
+    }
+}

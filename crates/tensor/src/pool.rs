@@ -1,0 +1,295 @@
+//! Max and average 2-D pooling, forward and backward.
+//!
+//! Pooling shares the window geometry type with convolution
+//! ([`crate::conv::Conv2dGeometry`] with `in_channels` interpreted as the
+//! pooled channel count; pooling is applied per channel).
+
+use crate::conv::Conv2dGeometry;
+
+/// Pooling operator variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoolKind {
+    /// Maximum over the window (records argmax indices for backward).
+    Max,
+    /// Arithmetic mean over the window.
+    Average,
+}
+
+/// Pooling forward over a batch.
+///
+/// * `input`: `(N, C, H, W)`, `output`: `(N, C, H_out, W_out)`.
+/// * `argmax`: for [`PoolKind::Max`], records the flat input offset of each
+///   selected element (same length as `output`); pass an empty slice for
+///   average pooling.
+///
+/// # Panics
+///
+/// Panics on size mismatches or invalid geometry.
+pub fn pool_forward(
+    kind: PoolKind,
+    geom: &Conv2dGeometry,
+    batch: usize,
+    input: &[f32],
+    output: &mut [f32],
+    argmax: &mut [usize],
+) {
+    let out_h = geom.out_h().expect("invalid geometry");
+    let out_w = geom.out_w().expect("invalid geometry");
+    let channels = geom.in_channels;
+    let in_len = geom.in_len();
+    let out_len = channels * out_h * out_w;
+    assert_eq!(input.len(), batch * in_len, "input size mismatch");
+    assert_eq!(output.len(), batch * out_len, "output size mismatch");
+    if kind == PoolKind::Max {
+        assert_eq!(argmax.len(), output.len(), "argmax size mismatch");
+    }
+
+    for n in 0..batch {
+        for c in 0..channels {
+            let chan_base = n * in_len + c * geom.in_h * geom.in_w;
+            let chan = &input[chan_base..chan_base + geom.in_h * geom.in_w];
+            for oh in 0..out_h {
+                for ow in 0..out_w {
+                    let out_idx = n * out_len + c * out_h * out_w + oh * out_w + ow;
+                    let h0 = (oh * geom.stride_h) as isize - geom.pad_h as isize;
+                    let w0 = (ow * geom.stride_w) as isize - geom.pad_w as isize;
+                    match kind {
+                        PoolKind::Max => {
+                            let mut best = f32::NEG_INFINITY;
+                            let mut best_idx = 0usize;
+                            for kh in 0..geom.kernel_h {
+                                let ih = h0 + kh as isize;
+                                if ih < 0 || ih as usize >= geom.in_h {
+                                    continue;
+                                }
+                                for kw in 0..geom.kernel_w {
+                                    let iw = w0 + kw as isize;
+                                    if iw < 0 || iw as usize >= geom.in_w {
+                                        continue;
+                                    }
+                                    let idx = ih as usize * geom.in_w + iw as usize;
+                                    if chan[idx] > best {
+                                        best = chan[idx];
+                                        best_idx = chan_base + idx;
+                                    }
+                                }
+                            }
+                            // A window entirely in padding yields 0.
+                            if best == f32::NEG_INFINITY {
+                                best = 0.0;
+                                best_idx = usize::MAX;
+                            }
+                            output[out_idx] = best;
+                            argmax[out_idx] = best_idx;
+                        }
+                        PoolKind::Average => {
+                            let mut sum = 0.0;
+                            let mut count = 0usize;
+                            for kh in 0..geom.kernel_h {
+                                let ih = h0 + kh as isize;
+                                if ih < 0 || ih as usize >= geom.in_h {
+                                    continue;
+                                }
+                                for kw in 0..geom.kernel_w {
+                                    let iw = w0 + kw as isize;
+                                    if iw < 0 || iw as usize >= geom.in_w {
+                                        continue;
+                                    }
+                                    sum += chan[ih as usize * geom.in_w + iw as usize];
+                                    count += 1;
+                                }
+                            }
+                            output[out_idx] = if count > 0 { sum / count as f32 } else { 0.0 };
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pooling backward over a batch. `d_input` is overwritten.
+///
+/// # Panics
+///
+/// Panics on size mismatches or invalid geometry.
+pub fn pool_backward(
+    kind: PoolKind,
+    geom: &Conv2dGeometry,
+    batch: usize,
+    d_output: &[f32],
+    argmax: &[usize],
+    d_input: &mut [f32],
+) {
+    let out_h = geom.out_h().expect("invalid geometry");
+    let out_w = geom.out_w().expect("invalid geometry");
+    let channels = geom.in_channels;
+    let in_len = geom.in_len();
+    let out_len = channels * out_h * out_w;
+    assert_eq!(d_output.len(), batch * out_len, "d_output size mismatch");
+    assert_eq!(d_input.len(), batch * in_len, "d_input size mismatch");
+    if kind == PoolKind::Max {
+        assert_eq!(argmax.len(), d_output.len(), "argmax size mismatch");
+    }
+
+    d_input.iter_mut().for_each(|v| *v = 0.0);
+
+    match kind {
+        PoolKind::Max => {
+            for (out_idx, &g) in d_output.iter().enumerate() {
+                let src = argmax[out_idx];
+                if src != usize::MAX {
+                    d_input[src] += g;
+                }
+            }
+        }
+        PoolKind::Average => {
+            for n in 0..batch {
+                for c in 0..channels {
+                    let chan_base = n * in_len + c * geom.in_h * geom.in_w;
+                    for oh in 0..out_h {
+                        for ow in 0..out_w {
+                            let out_idx = n * out_len + c * out_h * out_w + oh * out_w + ow;
+                            let h0 = (oh * geom.stride_h) as isize - geom.pad_h as isize;
+                            let w0 = (ow * geom.stride_w) as isize - geom.pad_w as isize;
+                            // Count valid cells to divide the gradient evenly.
+                            let mut cells = Vec::with_capacity(geom.kernel_h * geom.kernel_w);
+                            for kh in 0..geom.kernel_h {
+                                let ih = h0 + kh as isize;
+                                if ih < 0 || ih as usize >= geom.in_h {
+                                    continue;
+                                }
+                                for kw in 0..geom.kernel_w {
+                                    let iw = w0 + kw as isize;
+                                    if iw < 0 || iw as usize >= geom.in_w {
+                                        continue;
+                                    }
+                                    cells.push(chan_base + ih as usize * geom.in_w + iw as usize);
+                                }
+                            }
+                            if !cells.is_empty() {
+                                let share = d_output[out_idx] / cells.len() as f32;
+                                for idx in cells {
+                                    d_input[idx] += share;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom_2x2_stride2(hw: usize) -> Conv2dGeometry {
+        Conv2dGeometry::square(1, hw, 2, 2, 0)
+    }
+
+    #[test]
+    fn max_pool_forward_picks_maxima() {
+        let g = geom_2x2_stride2(4);
+        let input = vec![
+            1., 2., 5., 6.,
+            3., 4., 7., 8.,
+            9., 10., 13., 14.,
+            11., 12., 15., 16.,
+        ];
+        let mut output = vec![0.0; 4];
+        let mut argmax = vec![0usize; 4];
+        pool_forward(PoolKind::Max, &g, 1, &input, &mut output, &mut argmax);
+        assert_eq!(output, vec![4., 8., 12., 16.]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let g = geom_2x2_stride2(4);
+        let input: Vec<f32> = (1..=16).map(|v| v as f32).collect();
+        let mut output = vec![0.0; 4];
+        let mut argmax = vec![0usize; 4];
+        pool_forward(PoolKind::Max, &g, 1, &input, &mut output, &mut argmax);
+        let d_output = vec![1.0, 2.0, 3.0, 4.0];
+        let mut d_input = vec![0.0; 16];
+        pool_backward(PoolKind::Max, &g, 1, &d_output, &argmax, &mut d_input);
+        assert_eq!(d_input.iter().sum::<f32>(), 10.0);
+        // Maxima are at positions 5, 7, 13, 15 of the row-major input.
+        assert_eq!(d_input[5], 1.0);
+        assert_eq!(d_input[7], 2.0);
+        assert_eq!(d_input[13], 3.0);
+        assert_eq!(d_input[15], 4.0);
+    }
+
+    #[test]
+    fn avg_pool_forward_and_backward() {
+        let g = geom_2x2_stride2(2);
+        let input = vec![1., 2., 3., 4.];
+        let mut output = vec![0.0; 1];
+        pool_forward(PoolKind::Average, &g, 1, &input, &mut output, &mut []);
+        assert_eq!(output, vec![2.5]);
+        let mut d_input = vec![0.0; 4];
+        pool_backward(PoolKind::Average, &g, 1, &[4.0], &[], &mut d_input);
+        assert_eq!(d_input, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn avg_pool_with_padding_divides_by_valid_count() {
+        // 2x2 input, 2x2 kernel, stride 2, pad 1 -> 2x2 output; corner windows
+        // see exactly one valid cell.
+        let g = Conv2dGeometry::square(1, 2, 2, 2, 1);
+        let input = vec![4.0, 8.0, 12.0, 16.0];
+        let mut output = vec![0.0; 4];
+        pool_forward(PoolKind::Average, &g, 1, &input, &mut output, &mut []);
+        assert_eq!(output, vec![4.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn multi_channel_batched_max_pool() {
+        let g = Conv2dGeometry::square(2, 2, 2, 2, 0);
+        // Two images, two channels each of 2x2.
+        let input = vec![
+            1., 2., 3., 4., // n0 c0
+            5., 6., 7., 8., // n0 c1
+            -1., -2., -3., -4., // n1 c0
+            0., 0., 0., 9., // n1 c1
+        ];
+        let mut output = vec![0.0; 4];
+        let mut argmax = vec![0usize; 4];
+        pool_forward(PoolKind::Max, &g, 2, &input, &mut output, &mut argmax);
+        assert_eq!(output, vec![4., 8., -1., 9.]);
+    }
+
+    #[test]
+    fn max_pool_gradient_is_subgradient_of_forward() {
+        // Finite-difference check on a non-tied input.
+        let g = geom_2x2_stride2(4);
+        let input: Vec<f32> = (0..16).map(|i| (i as f32 * 0.713).sin() * 3.0).collect();
+        let d_output = vec![0.7, -0.3, 1.1, 0.4];
+        let loss = |x: &[f32]| -> f32 {
+            let mut out = vec![0.0; 4];
+            let mut am = vec![0usize; 4];
+            pool_forward(PoolKind::Max, &g, 1, x, &mut out, &mut am);
+            out.iter().zip(d_output.iter()).map(|(a, b)| a * b).sum()
+        };
+        let mut out = vec![0.0; 4];
+        let mut argmax = vec![0usize; 4];
+        pool_forward(PoolKind::Max, &g, 1, &input, &mut out, &mut argmax);
+        let mut d_input = vec![0.0; 16];
+        pool_backward(PoolKind::Max, &g, 1, &d_output, &argmax, &mut d_input);
+
+        let eps = 1e-3;
+        let mut x = input.clone();
+        for i in 0..16 {
+            let orig = x[i];
+            x[i] = orig + eps;
+            let lp = loss(&x);
+            x[i] = orig - eps;
+            let lm = loss(&x);
+            x[i] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((d_input[i] - numeric).abs() < 1e-2, "i={i}");
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Termination alignment (paper §III-E): how the three criteria trade
+//! wasted GPU occupancy against completed work when workers drift apart.
+//!
+//! Heavy compute jitter makes workers finish at very different times under
+//! the plain fixed-iteration policy (the BVLC Caffe behaviour the paper
+//! criticises: early finishers idle while holding their GPU). The shared
+//! progress board lets the fleet stop together.
+//!
+//! Run with `cargo run --release --example termination_alignment`.
+
+use shmcaffe_repro::models::WorkloadModel;
+use shmcaffe_repro::platform::config::ShmCaffeConfig;
+use shmcaffe_repro::platform::platforms::ShmCaffeA;
+use shmcaffe_repro::platform::termination::TerminationPolicy;
+use shmcaffe_repro::platform::trainer::ModeledTrainerFactory;
+use shmcaffe_repro::simnet::jitter::JitterModel;
+use shmcaffe_repro::simnet::topology::ClusterSpec;
+use shmcaffe_repro::simnet::SimDuration;
+
+fn run(policy: TerminationPolicy) {
+    let jitter = JitterModel { sigma: 0.35, stall_probability: 0.10, stall_factor: 2.0 };
+    let factory = ModeledTrainerFactory::new(
+        WorkloadModel::custom("demo", 4_000_000, SimDuration::from_millis(20)),
+        jitter,
+        1234,
+    );
+    let cfg = ShmCaffeConfig {
+        max_iters: 200,
+        progress_every: 10,
+        termination: policy,
+        ..Default::default()
+    };
+    let report = ShmCaffeA::new(ClusterSpec::paper_testbed(2), 8, cfg)
+        .run(factory)
+        .expect("platform runs");
+
+    let iters: Vec<u64> = report.workers.iter().map(|w| w.iters).collect();
+    let finishes: Vec<f64> = report.workers.iter().map(|w| w.finished_at.as_secs_f64()).collect();
+    let first = finishes.iter().cloned().fold(f64::INFINITY, f64::min);
+    let last = finishes.iter().cloned().fold(0.0, f64::max);
+    let total: u64 = iters.iter().sum();
+    println!("{policy:?}:");
+    println!("  iterations per worker: {iters:?}");
+    println!(
+        "  first finish {first:.2}s, last finish {last:.2}s => idle-wait window {:.2}s",
+        last - first
+    );
+    println!("  total completed iterations: {total}\n");
+}
+
+fn main() {
+    println!("termination alignment under heavy straggler jitter (8 workers, 200-iteration budget)\n");
+    for policy in [
+        TerminationPolicy::FixedIterations,
+        TerminationPolicy::MasterFinished,
+        TerminationPolicy::FirstFinisher,
+        TerminationPolicy::AverageIterations,
+    ] {
+        run(policy);
+    }
+    println!("FixedIterations maximises work but early finishers idle the longest;");
+    println!("FirstFinisher minimises the idle window at the cost of completed iterations;");
+    println!("AverageIterations is the compromise the paper recommends (criterion 3).");
+}

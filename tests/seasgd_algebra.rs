@@ -1,0 +1,201 @@
+//! Verifies the SEASGD update algebra (paper eqs. 2–7) end-to-end against
+//! a hand-computed reference, using the deterministic modeled trainer.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use shmcaffe_repro::models::WorkloadModel;
+use shmcaffe_repro::platform::config::ShmCaffeConfig;
+use shmcaffe_repro::platform::platforms::ShmCaffeA;
+use shmcaffe_repro::platform::trainer::{ModeledTrainerFactory, Trainer, TrainerFactory};
+use shmcaffe_repro::simnet::jitter::JitterModel;
+use shmcaffe_repro::simnet::topology::ClusterSpec;
+use shmcaffe_repro::simnet::{SimDuration, Simulation};
+
+fn workload() -> WorkloadModel {
+    WorkloadModel::custom("algebra", 1_000_000, SimDuration::from_millis(5))
+}
+
+/// Hand-rolls one worker's SEASGD against a local "global buffer",
+/// following eqs. 2 and 5–7 exactly (update_interval 1).
+fn reference_single_worker(alpha: f32, iters: usize) -> (Vec<f32>, Vec<f32>) {
+    let f = ModeledTrainerFactory::new(workload(), JitterModel::NONE, 42);
+    let out: Arc<Mutex<(Vec<f32>, Vec<f32>)>> = Arc::new(Mutex::new((Vec::new(), Vec::new())));
+    let out2 = Arc::clone(&out);
+    let mut sim = Simulation::new();
+    sim.spawn("ref", move |ctx| {
+        let mut t = f.make(0, 1);
+        let n = t.param_len();
+        // The master seeds W_g with its initial weights.
+        let mut wg = vec![0.0f32; n];
+        t.read_weights(&mut wg);
+        let mut wx = vec![0.0f32; n];
+        for _ in 0..iters {
+            // T1/T2: ΔW = α (W_x − W_g); W_x ← W_x − ΔW (eqs. 5, 6).
+            t.read_weights(&mut wx);
+            let dw: Vec<f32> = wx.iter().zip(wg.iter()).map(|(x, g)| alpha * (x - g)).collect();
+            for (x, d) in wx.iter_mut().zip(dw.iter()) {
+                *x -= d;
+            }
+            t.write_weights(&wx);
+            // T.A3: W_g ← W_g + ΔW (eq. 7).
+            for (g, d) in wg.iter_mut().zip(dw.iter()) {
+                *g += d;
+            }
+            // T4/T5: local gradient step (eq. 2).
+            t.compute_gradients(&ctx);
+            t.apply_update(&ctx);
+        }
+        t.read_weights(&mut wx);
+        *out2.lock() = (wx.clone(), wg.clone());
+    });
+    sim.run();
+    let result = out.lock().clone();
+    result
+}
+
+#[test]
+fn platform_single_worker_matches_hand_computed_elastic_updates() {
+    let alpha = 0.2f32;
+    let iters = 10usize;
+    let (ref_wx, ref_wg) = reference_single_worker(alpha, iters);
+
+    let cfg = ShmCaffeConfig {
+        max_iters: iters,
+        moving_rate: alpha,
+        update_interval: 1,
+        progress_every: 5,
+        jitter: JitterModel::NONE,
+        ..Default::default()
+    };
+    let report = ShmCaffeA::new(ClusterSpec::paper_testbed(1), 1, cfg)
+        .run(ModeledTrainerFactory::new(workload(), JitterModel::NONE, 42))
+        .expect("platform runs");
+    let got_wg = report.final_weights.expect("master reads W_g");
+
+    assert_eq!(got_wg.len(), ref_wg.len());
+    let max_diff = got_wg
+        .iter()
+        .zip(ref_wg.iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(max_diff < 1e-5, "W_g diverged from eq. 5-7 algebra by {max_diff}");
+    // Sanity: training actually moved the weights.
+    assert!(ref_wx.iter().any(|&v| v != 0.0));
+    assert!(got_wg.iter().any(|&v| v != 0.0));
+}
+
+#[test]
+fn elastic_exchange_conserves_total_mass() {
+    // EASGD's exchange moves ΔW from the worker to the global buffer:
+    // W_x ← W_x − ΔW and W_g ← W_g + ΔW (eqs. 6–7), so the quantity
+    // S = W_g + Σ_x W_x changes only by what the local updates inject.
+    // Drive 4 workers whose "gradient step" adds a constant, zero-mean
+    // drift per rank (−1.5, −0.5, +0.5, +1.5); S must stay at its initial
+    // value up to f32 rounding, no matter how exchanges interleave — and
+    // despite W_g staleness between read and accumulate.
+    struct Drifter {
+        w: Vec<f32>,
+        drift: f32,
+        sink: Arc<Mutex<Vec<Vec<f32>>>>,
+        rank: usize,
+    }
+    impl Trainer for Drifter {
+        fn param_len(&self) -> usize {
+            self.w.len()
+        }
+        fn wire_bytes(&self) -> u64 {
+            (self.w.len() * 4) as u64
+        }
+        fn compute_gradients(&mut self, ctx: &shmcaffe_repro::simnet::SimContext) -> f32 {
+            ctx.sleep(SimDuration::from_millis(1 + self.rank as u64));
+            0.0
+        }
+        fn apply_update(&mut self, _ctx: &shmcaffe_repro::simnet::SimContext) {
+            for v in self.w.iter_mut() {
+                *v += self.drift;
+            }
+        }
+        fn read_weights(&mut self, out: &mut [f32]) {
+            out.copy_from_slice(&self.w);
+        }
+        fn write_weights(&mut self, w: &[f32]) {
+            self.w.copy_from_slice(w);
+        }
+        fn read_grads(&mut self, out: &mut [f32]) {
+            out.fill(0.0);
+        }
+        fn write_grads(&mut self, _g: &[f32]) {}
+        fn evaluate(&mut self) -> Option<shmcaffe_repro::platform::trainer::EvalSample> {
+            None
+        }
+    }
+    impl Drop for Drifter {
+        fn drop(&mut self) {
+            self.sink.lock()[self.rank] = self.w.clone();
+        }
+    }
+    struct DrifterFactory {
+        sink: Arc<Mutex<Vec<Vec<f32>>>>,
+    }
+    impl TrainerFactory for DrifterFactory {
+        type Output = Drifter;
+        fn make(&self, rank: usize, _n: usize) -> Drifter {
+            Drifter {
+                w: vec![1.0; 64],
+                drift: rank as f32 - 1.5,
+                sink: Arc::clone(&self.sink),
+                rank,
+            }
+        }
+    }
+
+    let sink: Arc<Mutex<Vec<Vec<f32>>>> = Arc::new(Mutex::new(vec![Vec::new(); 4]));
+    let cfg = ShmCaffeConfig {
+        max_iters: 50,
+        moving_rate: 0.25,
+        progress_every: 10,
+        // FixedIterations so every worker runs exactly 50 iterations and
+        // the total injected drift is exactly zero.
+        jitter: JitterModel::NONE,
+        ..Default::default()
+    };
+    let report = ShmCaffeA::new(ClusterSpec::paper_testbed(1), 4, cfg)
+        .run(DrifterFactory { sink: Arc::clone(&sink) })
+        .expect("platform runs");
+    let wg = report.final_weights.expect("master reads W_g");
+    let finals = sink.lock().clone();
+    for w in &finals {
+        assert_eq!(w.len(), 64, "every worker deposited its final weights");
+    }
+    // S(0) = 1 (W_g) + 4 x 1 (workers) = 5 per component; drift sums to 0.
+    for i in 0..64 {
+        let s: f32 = wg[i] + finals.iter().map(|w| w[i]).sum::<f32>();
+        assert!((s - 5.0).abs() < 1e-3, "component {i}: mass {s} != 5");
+    }
+    // And the exchange did real work: W_g moved off its seed.
+    assert!(wg.iter().any(|&v| (v - 1.0).abs() > 1e-3));
+}
+
+#[test]
+fn timed_runs_are_reproducible_across_processes() {
+    let run = || {
+        let cfg = ShmCaffeConfig {
+            max_iters: 20,
+            progress_every: 5,
+            seed: 7,
+            ..Default::default()
+        };
+        ShmCaffeA::new(ClusterSpec::paper_testbed(2), 8, cfg)
+            .run(ModeledTrainerFactory::new(workload(), JitterModel::hpc_default(), 7))
+            .expect("platform runs")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.wall, b.wall, "virtual wall time must be bit-identical");
+    assert_eq!(a.final_weights, b.final_weights);
+    for (x, y) in a.workers.iter().zip(b.workers.iter()) {
+        assert_eq!(x.finished_at, y.finished_at);
+        assert_eq!(x.iters, y.iters);
+    }
+}
