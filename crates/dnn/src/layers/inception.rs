@@ -201,7 +201,7 @@ impl Layer for Inception {
     fn backward(&mut self, d_output: &Tensor) -> Result<Tensor, DnnError> {
         let total_c: usize = self.branches.iter().map(|b| b.out_channels).sum();
         let spatial = self.hw * self.hw;
-        if d_output.len() % (total_c * spatial) != 0 {
+        if !d_output.len().is_multiple_of(total_c * spatial) {
             return Err(DnnError::BadInput {
                 layer: self.name.clone(),
                 message: "d_output shape mismatch".to_string(),

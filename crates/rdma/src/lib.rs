@@ -48,9 +48,10 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+use shmcaffe_simnet::fault::FaultError;
 use shmcaffe_simnet::resource::TransferReport;
 use shmcaffe_simnet::topology::{Fabric, NodeId};
-use shmcaffe_simnet::SimContext;
+use shmcaffe_simnet::{SimContext, SimDuration};
 
 /// Remote access key for a registered memory region (the InfiniBand rkey).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -77,13 +78,47 @@ pub struct MemoryRegion {
     pub len: usize,
 }
 
-/// Errors produced by RDMA operations.
+/// State of the queue pair between a local and a remote endpoint.
+///
+/// Mirrors the InfiniBand QP state machine in miniature: a faulted work
+/// request transitions the QP to [`QpState::Error`], after which every
+/// operation on that peer pair fails fast (no wire time) until the caller
+/// re-arms it via [`RdmaFabric::rearm_qp`] (Reset → Ready).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QpState {
+    /// Operations are accepted.
+    Ready,
+    /// A work request faulted; operations fail fast until re-armed.
+    Error,
+    /// Mid re-arm (transient).
+    Reset,
+}
+
+impl fmt::Display for QpState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QpState::Ready => write!(f, "Ready"),
+            QpState::Error => write!(f, "Error"),
+            QpState::Reset => write!(f, "Reset"),
+        }
+    }
+}
+
+/// Errors produced by RDMA operations. Every variant names the endpoint(s)
+/// involved so callers can report which node failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RdmaError {
     /// The rkey does not name a registered region on that node.
-    UnknownRegion(RemoteKey),
+    UnknownRegion {
+        /// The stale remote key.
+        rkey: RemoteKey,
+        /// The node the region was expected on.
+        node: NodeId,
+    },
     /// The access window `[offset, offset+len)` exceeds the region.
     OutOfBounds {
+        /// The node hosting the region.
+        node: NodeId,
         /// Requested start offset (elements).
         offset: usize,
         /// Requested length (elements).
@@ -93,21 +128,73 @@ pub enum RdmaError {
     },
     /// The node id does not exist on this fabric.
     BadNode(NodeId),
+    /// The queue pair to the peer is not in [`QpState::Ready`]; the
+    /// operation was rejected without charging wire time.
+    QpNotReady {
+        /// Local endpoint.
+        local: NodeId,
+        /// Remote endpoint.
+        remote: NodeId,
+        /// Observed QP state.
+        state: QpState,
+    },
+    /// A fabric fault failed the work request; the QP is now in
+    /// [`QpState::Error`].
+    QpFault {
+        /// Local endpoint.
+        local: NodeId,
+        /// Remote endpoint.
+        remote: NodeId,
+        /// The underlying injected fault.
+        fault: FaultError,
+    },
+    /// The operation completed later than the caller's deadline; the QP is
+    /// now in [`QpState::Error`].
+    Timeout {
+        /// Local endpoint.
+        local: NodeId,
+        /// Remote endpoint.
+        remote: NodeId,
+        /// How long the operation actually took.
+        after: SimDuration,
+    },
 }
 
 impl fmt::Display for RdmaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RdmaError::UnknownRegion(k) => write!(f, "unknown memory region {k}"),
-            RdmaError::OutOfBounds { offset, len, capacity } => {
-                write!(f, "access [{offset}, {}) exceeds region capacity {capacity}", offset + len)
+            RdmaError::UnknownRegion { rkey, node } => {
+                write!(f, "unknown memory region {rkey} on {node}")
+            }
+            RdmaError::OutOfBounds { node, offset, len, capacity } => {
+                write!(
+                    f,
+                    "access [{offset}, {}) exceeds region capacity {capacity} on {node}",
+                    offset + len
+                )
             }
             RdmaError::BadNode(n) => write!(f, "no such fabric endpoint: {n}"),
+            RdmaError::QpNotReady { local, remote, state } => {
+                write!(f, "qp {local}->{remote} is {state}, not Ready")
+            }
+            RdmaError::QpFault { local, remote, fault } => {
+                write!(f, "qp {local}->{remote} faulted: {fault}")
+            }
+            RdmaError::Timeout { local, remote, after } => {
+                write!(f, "op on qp {local}->{remote} exceeded deadline (took {after})")
+            }
         }
     }
 }
 
-impl std::error::Error for RdmaError {}
+impl std::error::Error for RdmaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RdmaError::QpFault { fault, .. } => Some(fault),
+            _ => None,
+        }
+    }
+}
 
 struct NodePool {
     regions: Mutex<HashMap<u64, Vec<f32>>>,
@@ -117,6 +204,8 @@ struct FabricInner {
     fabric: Fabric,
     pools: Vec<NodePool>,
     next_key: Mutex<u64>,
+    /// QP state per (local, remote) endpoint pair; absent means Ready.
+    qp_states: Mutex<HashMap<(NodeId, NodeId), QpState>>,
 }
 
 /// The RDMA-capable fabric: registered memory pools on every endpoint.
@@ -142,7 +231,55 @@ impl RdmaFabric {
             .map(|_| NodePool { regions: Mutex::new(HashMap::new()) })
             .collect();
         RdmaFabric {
-            inner: Arc::new(FabricInner { fabric, pools, next_key: Mutex::new(1) }),
+            inner: Arc::new(FabricInner {
+                fabric,
+                pools,
+                next_key: Mutex::new(1),
+                qp_states: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Current QP state between two endpoints (Ready unless faulted).
+    pub fn qp_state(&self, local: NodeId, remote: NodeId) -> QpState {
+        self.inner
+            .qp_states
+            .lock()
+            .get(&(local, remote))
+            .copied()
+            .unwrap_or(QpState::Ready)
+    }
+
+    fn set_qp(&self, local: NodeId, remote: NodeId, state: QpState) {
+        self.inner.qp_states.lock().insert((local, remote), state);
+    }
+
+    /// Marks a QP as faulted. Higher layers (e.g. the SMB client, whose
+    /// data path charges wire time itself) call this when the fabric's
+    /// fault injector fails one of their transfers, so subsequent ops on
+    /// the pair fail fast until [`RdmaFabric::rearm_qp`].
+    pub fn fault_qp(&self, local: NodeId, remote: NodeId) {
+        self.set_qp(local, remote, QpState::Error);
+    }
+
+    /// Re-arms a faulted QP: transitions Error → Reset, pays a small
+    /// re-initialisation latency in virtual time, then lands in Ready.
+    /// A no-op on an already-Ready pair.
+    pub fn rearm_qp(&self, ctx: &SimContext, local: NodeId, remote: NodeId) {
+        if self.qp_state(local, remote) == QpState::Ready {
+            return;
+        }
+        self.set_qp(local, remote, QpState::Reset);
+        ctx.sleep(SimDuration::from_micros(10));
+        self.set_qp(local, remote, QpState::Ready);
+    }
+
+    fn check_qp(&self, local: NodeId, remote: NodeId) -> Result<(), RdmaError> {
+        let state = self.qp_state(local, remote);
+        if state == QpState::Ready {
+            Ok(())
+        } else {
+            Err(RdmaError::QpNotReady { local, remote, state })
         }
     }
 
@@ -192,7 +329,7 @@ impl RdmaFabric {
             .regions
             .lock()
             .remove(&mr.rkey.0)
-            .ok_or(RdmaError::UnknownRegion(mr.rkey))
+            .ok_or(RdmaError::UnknownRegion { rkey: mr.rkey, node: mr.node })
     }
 
     /// Runs `f` over the region's buffer on its host node (a *local* access:
@@ -205,7 +342,7 @@ impl RdmaFabric {
     pub fn with_region<R>(&self, mr: &MemoryRegion, f: impl FnOnce(&mut [f32]) -> R) -> Result<R, RdmaError> {
         let pool = self.pool(mr.node)?;
         let mut regions = pool.regions.lock();
-        let buf = regions.get_mut(&mr.rkey.0).ok_or(RdmaError::UnknownRegion(mr.rkey))?;
+        let buf = regions.get_mut(&mr.rkey.0).ok_or(RdmaError::UnknownRegion { rkey: mr.rkey, node: mr.node })?;
         Ok(f(buf))
     }
 
@@ -228,10 +365,10 @@ impl RdmaFabric {
         let pool = self.pool(src.node)?;
         let mut regions = pool.regions.lock();
         // Take src out briefly to get simultaneous access without unsafe.
-        let src_buf = regions.remove(&src.rkey.0).ok_or(RdmaError::UnknownRegion(src.rkey))?;
+        let src_buf = regions.remove(&src.rkey.0).ok_or(RdmaError::UnknownRegion { rkey: src.rkey, node: src.node })?;
         let result = match regions.get_mut(&dst.rkey.0) {
             Some(dst_buf) => Ok(f(&src_buf, dst_buf)),
-            None => Err(RdmaError::UnknownRegion(dst.rkey)),
+            None => Err(RdmaError::UnknownRegion { rkey: dst.rkey, node: dst.node }),
         };
         regions.insert(src.rkey.0, src_buf);
         result
@@ -239,7 +376,7 @@ impl RdmaFabric {
 
     fn check_bounds(mr: &MemoryRegion, offset: usize, len: usize) -> Result<(), RdmaError> {
         if offset + len > mr.len {
-            return Err(RdmaError::OutOfBounds { offset, len, capacity: mr.len });
+            return Err(RdmaError::OutOfBounds { node: mr.node, offset, len, capacity: mr.len });
         }
         Ok(())
     }
@@ -368,6 +505,99 @@ impl RdmaFabric {
         self.with_region(mr, |buf| buf[offset..offset + data.len()].copy_from_slice(data))?;
         Ok(report)
     }
+
+    /// Fallible [`RdmaFabric::read_wire_paced`] with QP-state and timeout
+    /// semantics: the op is rejected without wire time when the QP to the
+    /// region's node is not Ready; an injected fabric fault or a completion
+    /// later than `timeout` transitions the QP to [`QpState::Error`] and
+    /// returns the corresponding error.
+    ///
+    /// # Errors
+    ///
+    /// Region/bounds errors, [`RdmaError::QpNotReady`],
+    /// [`RdmaError::QpFault`] or [`RdmaError::Timeout`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_read_wire_paced(
+        &self,
+        ctx: &SimContext,
+        local: NodeId,
+        mr: &MemoryRegion,
+        offset: usize,
+        out: &mut [f32],
+        wire_bytes: u64,
+        stream_bps: Option<f64>,
+        timeout: Option<SimDuration>,
+    ) -> Result<TransferReport, RdmaError> {
+        self.check_qp(local, mr.node)?;
+        Self::check_bounds(mr, offset, out.len())?;
+        let started = ctx.now();
+        let report = self
+            .inner
+            .fabric
+            .try_net_transfer_stream(ctx, mr.node, local, wire_bytes, stream_bps)
+            .map_err(|fault| {
+                self.set_qp(local, mr.node, QpState::Error);
+                RdmaError::QpFault { local, remote: mr.node, fault }
+            })?;
+        self.enforce_timeout(ctx, local, mr.node, started, timeout)?;
+        // Land the payload only once the wire op succeeded.
+        self.with_region(mr, |buf| out.copy_from_slice(&buf[offset..offset + out.len()]))?;
+        Ok(report)
+    }
+
+    /// Fallible [`RdmaFabric::write_wire_paced`]; see
+    /// [`RdmaFabric::try_read_wire_paced`] for the QP/timeout semantics.
+    /// A faulted write does not modify the remote region.
+    ///
+    /// # Errors
+    ///
+    /// Region/bounds errors, [`RdmaError::QpNotReady`],
+    /// [`RdmaError::QpFault`] or [`RdmaError::Timeout`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_write_wire_paced(
+        &self,
+        ctx: &SimContext,
+        local: NodeId,
+        mr: &MemoryRegion,
+        offset: usize,
+        data: &[f32],
+        wire_bytes: u64,
+        stream_bps: Option<f64>,
+        timeout: Option<SimDuration>,
+    ) -> Result<TransferReport, RdmaError> {
+        self.check_qp(local, mr.node)?;
+        Self::check_bounds(mr, offset, data.len())?;
+        let started = ctx.now();
+        let report = self
+            .inner
+            .fabric
+            .try_net_transfer_stream(ctx, local, mr.node, wire_bytes, stream_bps)
+            .map_err(|fault| {
+                self.set_qp(local, mr.node, QpState::Error);
+                RdmaError::QpFault { local, remote: mr.node, fault }
+            })?;
+        self.enforce_timeout(ctx, local, mr.node, started, timeout)?;
+        self.with_region(mr, |buf| buf[offset..offset + data.len()].copy_from_slice(data))?;
+        Ok(report)
+    }
+
+    fn enforce_timeout(
+        &self,
+        ctx: &SimContext,
+        local: NodeId,
+        remote: NodeId,
+        started: shmcaffe_simnet::SimTime,
+        timeout: Option<SimDuration>,
+    ) -> Result<(), RdmaError> {
+        if let Some(deadline) = timeout {
+            let elapsed = ctx.now() - started;
+            if elapsed > deadline {
+                self.set_qp(local, remote, QpState::Error);
+                return Err(RdmaError::Timeout { local, remote, after: elapsed });
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -387,7 +617,10 @@ mod tests {
         assert_eq!(mr.len, 2);
         let data = rdma.deregister(&mr).unwrap();
         assert_eq!(data, vec![1.0, 2.0]);
-        assert_eq!(rdma.deregister(&mr), Err(RdmaError::UnknownRegion(mr.rkey)));
+        assert_eq!(
+            rdma.deregister(&mr),
+            Err(RdmaError::UnknownRegion { rkey: mr.rkey, node: mr.node })
+        );
     }
 
     #[test]
@@ -479,6 +712,110 @@ mod tests {
         let a = rdma.register(NodeId(0), 1).unwrap();
         let b = rdma.register(NodeId(1), 1).unwrap();
         assert!(rdma.with_two_regions(&a, &b, |_, _| ()).is_err());
+    }
+
+    #[test]
+    fn faulted_qp_fails_fast_until_rearmed() {
+        use shmcaffe_simnet::fault::FaultPlan;
+        use shmcaffe_simnet::SimTime;
+        // Link down for the first 10 ms: the first op faults the QP, the
+        // second is rejected with no wire time, and after re-arm (past the
+        // outage) ops succeed again.
+        let plan = FaultPlan::new(3).link_down(
+            NodeId(1),
+            SimTime::ZERO,
+            SimTime::from_millis(10),
+        );
+        let rdma = RdmaFabric::new(Fabric::with_faults(ClusterSpec::paper_testbed(2), plan));
+        let mr = rdma.register(NodeId(1), 4).unwrap();
+        let r = rdma.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("w", move |ctx| {
+            let err = r
+                .try_write_wire_paced(&ctx, NodeId(0), &mr, 0, &[1.0; 4], 16, None, None)
+                .unwrap_err();
+            assert!(matches!(err, RdmaError::QpFault { remote: NodeId(1), .. }));
+            let dyn_err: &dyn std::error::Error = &err;
+            assert!(dyn_err.source().is_some(), "QpFault must chain the fabric fault");
+            assert_eq!(r.qp_state(NodeId(0), NodeId(1)), QpState::Error);
+
+            let t_before = ctx.now();
+            let err2 = r
+                .try_write_wire_paced(&ctx, NodeId(0), &mr, 0, &[1.0; 4], 16, None, None)
+                .unwrap_err();
+            assert!(matches!(err2, RdmaError::QpNotReady { state: QpState::Error, .. }));
+            assert_eq!(ctx.now(), t_before, "fail-fast must not charge time");
+
+            ctx.sleep_until(SimTime::from_millis(10));
+            r.rearm_qp(&ctx, NodeId(0), NodeId(1));
+            assert_eq!(r.qp_state(NodeId(0), NodeId(1)), QpState::Ready);
+            r.try_write_wire_paced(&ctx, NodeId(0), &mr, 0, &[2.0; 4], 16, None, None)
+                .unwrap();
+        });
+        sim.run();
+        assert_eq!(rdma.deregister(&mr).unwrap(), vec![2.0; 4]);
+    }
+
+    #[test]
+    fn slow_op_times_out_and_faults_qp() {
+        use shmcaffe_simnet::fault::FaultPlan;
+        use shmcaffe_simnet::SimTime;
+        // 1% bandwidth: 7 MB takes ~100 ms, past a 10 ms deadline.
+        let plan = FaultPlan::new(3).link_degraded(
+            NodeId(1),
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+            0.01,
+        );
+        let rdma = RdmaFabric::new(Fabric::with_faults(ClusterSpec::paper_testbed(2), plan));
+        let mr = rdma.register(NodeId(1), 4).unwrap();
+        let r = rdma.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("w", move |ctx| {
+            let mut out = [0.0f32; 4];
+            let err = r
+                .try_read_wire_paced(
+                    &ctx,
+                    NodeId(0),
+                    &mr,
+                    0,
+                    &mut out,
+                    7_000_000,
+                    None,
+                    Some(SimDuration::from_millis(10)),
+                )
+                .unwrap_err();
+            assert!(matches!(err, RdmaError::Timeout { .. }));
+            assert_eq!(r.qp_state(NodeId(0), NodeId(1)), QpState::Error);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn fault_free_try_ops_match_infallible_ones() {
+        let rdma = test_fabric();
+        let mr = rdma.register(NodeId(1), 4).unwrap();
+        let r = rdma.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("w", move |ctx| {
+            r.try_write_wire_paced(&ctx, NodeId(0), &mr, 0, &[5.0; 4], 16, None, None)
+                .unwrap();
+            let mut out = [0.0f32; 4];
+            r.try_read_wire_paced(
+                &ctx,
+                NodeId(0),
+                &mr,
+                0,
+                &mut out,
+                16,
+                None,
+                Some(SimDuration::from_secs(1)),
+            )
+            .unwrap();
+            assert_eq!(out, [5.0; 4]);
+            assert_eq!(r.qp_state(NodeId(0), NodeId(1)), QpState::Ready);
+        });
+        sim.run();
     }
 
     #[test]

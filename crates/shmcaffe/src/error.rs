@@ -17,6 +17,8 @@ pub enum PlatformError {
     BadConfig(String),
     /// A worker process failed; carries the propagated message.
     WorkerFailed(String),
+    /// A peer or background thread stopped responding within a timeout.
+    Timeout(String),
 }
 
 impl fmt::Display for PlatformError {
@@ -27,6 +29,7 @@ impl fmt::Display for PlatformError {
             PlatformError::Rdma(e) => write!(f, "rdma error: {e}"),
             PlatformError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
             PlatformError::WorkerFailed(msg) => write!(f, "worker failed: {msg}"),
+            PlatformError::Timeout(msg) => write!(f, "timed out: {msg}"),
         }
     }
 }

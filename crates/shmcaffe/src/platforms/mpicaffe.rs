@@ -10,6 +10,7 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 
 use shmcaffe_mpi::MpiWorld;
+use shmcaffe_simnet::fault::FaultPlan;
 use shmcaffe_simnet::topology::{ClusterSpec, Fabric};
 use shmcaffe_simnet::Simulation;
 
@@ -27,12 +28,23 @@ pub struct MpiCaffe {
     spec: ClusterSpec,
     workers: usize,
     cfg: SsgdConfig,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl MpiCaffe {
     /// Configures the platform.
     pub fn new(spec: ClusterSpec, workers: usize, cfg: SsgdConfig) -> Self {
-        MpiCaffe { spec, workers, cfg }
+        MpiCaffe { spec, workers, cfg, fault_plan: None }
+    }
+
+    /// Injects a deterministic fault plan. SSGD has no recovery path: a
+    /// crashed rank leaves the survivors blocked in `MPI_Allreduce`, which
+    /// the simulator detects as a stall and reports as
+    /// [`PlatformError::WorkerFailed`] — the platform aborts rather than
+    /// hangs.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
     }
 
     /// Runs SSGD training and returns the fleet report.
@@ -52,8 +64,11 @@ impl MpiCaffe {
             return Err(PlatformError::BadConfig("max_iters must be positive".into()));
         }
         let spec = ClusterSpec { memory_servers: 0, ..self.spec };
-        let fabric = Fabric::new(spec);
-        let mpi = MpiWorld::new(fabric, self.workers);
+        let fabric = match &self.fault_plan {
+            Some(plan) => Fabric::with_faults(spec, plan.clone()),
+            None => Fabric::new(spec),
+        };
+        let mpi = MpiWorld::new(fabric.clone(), self.workers);
         let factory = Arc::new(factory);
         let cfg = self.cfg;
         let n = self.workers;
@@ -64,6 +79,7 @@ impl MpiCaffe {
             let mut comm = mpi.comm(rank);
             let factory = Arc::clone(&factory);
             let report = Arc::clone(&report);
+            let crash_at = fabric.fault_injector().and_then(|i| i.crash_time(rank));
             sim.spawn(&format!("mpicaffe_r{rank}"), move |ctx| {
                 let ctx = &ctx;
                 let mut trainer = factory.make(rank, n);
@@ -76,6 +92,13 @@ impl MpiCaffe {
                 let inv = 1.0 / n as f32;
 
                 for iter in 1..=cfg.max_iters as u64 {
+                    // Injected worker death: the rank simply vanishes. The
+                    // surviving ranks block in the next allreduce forever;
+                    // the scheduler's deadlock detection turns that into a
+                    // WorkerFailed error for the whole platform.
+                    if crash_at.is_some_and(|t| ctx.now() >= t) {
+                        return;
+                    }
                     let comp_start = ctx.now();
                     let loss = trainer.compute_gradients(ctx);
                     let comp_grad = ctx.now() - comp_start;

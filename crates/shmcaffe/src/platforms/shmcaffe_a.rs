@@ -5,10 +5,11 @@ use std::sync::Arc;
 
 use shmcaffe_mpi::{MpiData, MpiWorld};
 use shmcaffe_rdma::RdmaFabric;
+use shmcaffe_simnet::fault::FaultPlan;
 use shmcaffe_simnet::topology::{ClusterSpec, Fabric};
-use shmcaffe_simnet::Simulation;
+use shmcaffe_simnet::{SimDuration, Simulation};
 use shmcaffe_smb::progress::ProgressBoard;
-use shmcaffe_smb::{ShmKey, SmbClient, SmbServer};
+use shmcaffe_smb::{ShmKey, SmbClient, SmbServer, SmbServerConfig};
 
 use crate::config::ShmCaffeConfig;
 use crate::report::TrainingReport;
@@ -29,12 +30,37 @@ pub struct ShmCaffeA {
     spec: ClusterSpec,
     workers: usize,
     cfg: ShmCaffeConfig,
+    fault_plan: Option<FaultPlan>,
+    server_config: SmbServerConfig,
 }
 
 impl ShmCaffeA {
     /// Configures the platform.
     pub fn new(spec: ClusterSpec, workers: usize, cfg: ShmCaffeConfig) -> Self {
-        ShmCaffeA { spec, workers, cfg }
+        ShmCaffeA {
+            spec,
+            workers,
+            cfg,
+            fault_plan: None,
+            server_config: SmbServerConfig::default(),
+        }
+    }
+
+    /// Injects a deterministic fault plan into the fabric: link outages and
+    /// degradations hit the SMB transport, stalls freeze nodes, and worker
+    /// crashes kill SEASGD ranks mid-run. In fault mode the platform
+    /// replaces its final MPI barrier with progress-board polling so that
+    /// survivors complete even when a peer never arrives.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Overrides the SMB server configuration (e.g. to shorten the lease
+    /// timeout so crashed workers are evicted faster in tests).
+    pub fn with_server_config(mut self, config: SmbServerConfig) -> Self {
+        self.server_config = config;
+        self
     }
 
     /// Runs distributed training and returns the fleet report.
@@ -57,10 +83,16 @@ impl ShmCaffeA {
             ));
         }
 
-        let fabric = Fabric::new(self.spec);
+        let fabric = match &self.fault_plan {
+            Some(plan) => Fabric::with_faults(self.spec, plan.clone()),
+            None => Fabric::new(self.spec),
+        };
+        let fault_mode = self.fault_plan.is_some();
+        let crashed_ranks: Arc<Vec<usize>> =
+            Arc::new(self.fault_plan.as_ref().map(FaultPlan::crashed_ranks).unwrap_or_default());
         let rdma = RdmaFabric::new(fabric.clone());
-        let server = SmbServer::new(rdma)?;
-        let mpi = MpiWorld::new(fabric, self.workers);
+        let server = SmbServer::with_config(rdma, self.server_config)?;
+        let mpi = MpiWorld::new(fabric.clone(), self.workers);
         let factory = Arc::new(factory);
         let cfg = self.cfg;
         let n_workers = self.workers;
@@ -73,6 +105,8 @@ impl ShmCaffeA {
             let node = mpi.node_of(rank);
             let factory = Arc::clone(&factory);
             let report = Arc::clone(&report);
+            let crashed_ranks = Arc::clone(&crashed_ranks);
+            let crash_at = fabric.fault_injector().and_then(|i| i.crash_time(rank));
             sim.spawn(&format!("shmcaffe_a_w{rank}"), move |ctx| {
                 let mut trainer = factory.make(rank, n_workers);
                 let client = SmbClient::new(server, node);
@@ -101,8 +135,11 @@ impl ShmCaffeA {
                 };
 
                 let wg = client.alloc(&ctx, wg_key).expect("master created the segment");
+                // The private increment buffer is leased to this rank: if
+                // the rank crashes and stops heartbeating, the server's
+                // eviction reclaims it.
                 let dw_key = client
-                    .create(&ctx, &format!("dW_{rank}"), param_len, Some(wire))
+                    .create_owned(&ctx, &format!("dW_{rank}"), param_len, Some(wire), rank)
                     .expect("per-rank names are unique");
                 let dw = client.alloc(&ctx, dw_key).expect("key just created");
                 let board = ProgressBoard::attach(&client, &ctx, board_key, n_workers)
@@ -119,28 +156,65 @@ impl ShmCaffeA {
                 let harness = SeasgdHarness {
                     client: client.clone(),
                     buffers: SeasgdBuffers { wg, dw },
-                    board,
+                    board: board.clone(),
                     cfg,
                     rank,
                     target_iters: cfg.max_iters as u64,
+                    crash_at,
                 };
                 let outcome = run_worker(&ctx, harness, &mut trainer)
                     .expect("smb operations on live segments succeed");
 
-                // Collect the final averaged model at the master after all
-                // workers are done. The SMB read happens *before* taking the
-                // report mutex: holding a real lock across a virtual-time
-                // block would deadlock the cooperative scheduler.
-                comm.barrier(&ctx);
-                let final_w = (rank == 0).then(|| {
-                    let mut w = vec![0.0f32; param_len];
-                    client.read(&ctx, &wg, &mut w).expect("sizes match");
-                    w
-                });
+                // Collect the final averaged model after all workers are
+                // done. The SMB read happens *before* taking the report
+                // mutex: holding a real lock across a virtual-time block
+                // would deadlock the cooperative scheduler.
+                let final_w = if fault_mode {
+                    // No final MPI barrier: a crashed peer would never
+                    // arrive. The first surviving rank instead waits on the
+                    // progress board, reaps leases of dead workers, and
+                    // reads the final model.
+                    let collector = (0..n_workers).find(|r| !crashed_ranks.contains(r));
+                    (!outcome.report.crashed && collector == Some(rank)).then(|| {
+                        loop {
+                            let snap =
+                                board.snapshot(&client, &ctx).expect("board outlives workers");
+                            let survivors_done = (0..n_workers)
+                                .filter(|r| !crashed_ranks.contains(r))
+                                .all(|r| snap.is_done(r));
+                            if survivors_done {
+                                break;
+                            }
+                            ctx.sleep(SimDuration::from_millis(10));
+                        }
+                        // Evict the crashed ranks' leased buffers before the
+                        // final read; their heartbeats stopped at crash time,
+                        // so waiting out the lease timeout is enough.
+                        let mut evicted = 0usize;
+                        while evicted < crashed_ranks.len() {
+                            evicted += client.server().evict_stale(&ctx).len();
+                            if evicted < crashed_ranks.len() {
+                                ctx.sleep(SimDuration::from_millis(50));
+                            }
+                        }
+                        let mut w = vec![0.0f32; param_len];
+                        client.read(&ctx, &wg, &mut w).expect("sizes match");
+                        w
+                    })
+                } else {
+                    comm.barrier(&ctx);
+                    (rank == 0).then(|| {
+                        let mut w = vec![0.0f32; param_len];
+                        client.read(&ctx, &wg, &mut w).expect("sizes match");
+                        w
+                    })
+                };
                 let mut report = report.lock();
                 report.workers[rank] = outcome.report;
                 if rank == 0 {
                     report.evals = outcome.evals;
+                }
+                if final_w.is_some() {
                     report.final_weights = final_w;
                 }
             });

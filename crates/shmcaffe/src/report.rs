@@ -38,6 +38,16 @@ pub struct WorkerReport {
     pub finished_at: SimTime,
     /// Mean training loss over the final 10% of iterations.
     pub final_loss: f32,
+    /// Whether this worker crashed mid-run (fault injection).
+    pub crashed: bool,
+    /// Transient transport faults this worker's SMB client observed.
+    pub faults: u64,
+    /// Failed attempts later recovered by a retry.
+    pub retries: u64,
+    /// Worst-case recovery latency of a retried op (ms).
+    pub recovery_ms: f64,
+    /// Weight increments dropped because pushing them kept failing.
+    pub dropped_updates: u64,
 }
 
 impl WorkerReport {
@@ -50,6 +60,11 @@ impl WorkerReport {
             comm_ms: RunningStats::new(),
             finished_at: SimTime::ZERO,
             final_loss: f32::NAN,
+            crashed: false,
+            faults: 0,
+            retries: 0,
+            recovery_ms: 0.0,
+            dropped_updates: 0,
         }
     }
 
@@ -139,6 +154,31 @@ impl TrainingReport {
     /// The last evaluation point, if any.
     pub fn final_eval(&self) -> Option<&EvalPoint> {
         self.evals.last()
+    }
+
+    /// Number of workers that crashed mid-run.
+    pub fn crashed_workers(&self) -> usize {
+        self.workers.iter().filter(|w| w.crashed).count()
+    }
+
+    /// Total transient transport faults observed across the fleet.
+    pub fn total_faults(&self) -> u64 {
+        self.workers.iter().map(|w| w.faults).sum()
+    }
+
+    /// Total recovered retries across the fleet.
+    pub fn total_retries(&self) -> u64 {
+        self.workers.iter().map(|w| w.retries).sum()
+    }
+
+    /// Worst-case recovery latency across the fleet (ms).
+    pub fn max_recovery_ms(&self) -> f64 {
+        self.workers.iter().map(|w| w.recovery_ms).fold(0.0, f64::max)
+    }
+
+    /// Total dropped weight increments across the fleet.
+    pub fn total_dropped_updates(&self) -> u64 {
+        self.workers.iter().map(|w| w.dropped_updates).sum()
     }
 }
 

@@ -19,10 +19,13 @@
 //! asynchronous worker ([`run_worker`]) and the Hybrid-SGD group root
 //! ([`crate::hybrid`]) share one implementation.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use shmcaffe_simnet::channel::SimChannel;
-use shmcaffe_simnet::{SimContext, SimDuration};
+use shmcaffe_simnet::{SimContext, SimDuration, SimTime};
 use shmcaffe_smb::progress::ProgressBoard;
-use shmcaffe_smb::{SmbBuffer, SmbClient};
+use shmcaffe_smb::{RetryPolicy, SmbBuffer, SmbClient};
 
 use crate::config::ShmCaffeConfig;
 use crate::report::{EvalPoint, WorkerReport};
@@ -50,6 +53,11 @@ enum UpdateRequest {
 /// freshly read (but one-exchange stale) global weights.
 type UpdateDone = Option<Vec<f32>>;
 
+/// How long the main thread waits for the update thread before declaring
+/// it dead. Generous: the update thread's own retry deadlines are in the
+/// hundreds of milliseconds, so only a genuinely wedged thread trips this.
+const EXCHANGE_TIMEOUT: SimDuration = SimDuration::from_secs(60);
+
 /// The worker-side half of the SEASGD exchange: owns the update thread and
 /// the elastic-mixing buffers.
 pub struct ElasticExchanger {
@@ -63,6 +71,8 @@ pub struct ElasticExchanger {
     hide_global_read: bool,
     local_mix_bps: f64,
     wire_bytes: u64,
+    retry: RetryPolicy,
+    dropped: Arc<AtomicU64>,
     wg: Vec<f32>,
     dw: Vec<f32>,
     wx: Vec<f32>,
@@ -90,28 +100,51 @@ impl ElasticExchanger {
     ) -> Self {
         let req_ch: SimChannel<UpdateRequest> = SimChannel::new(&format!("seasgd_req_{label}"));
         let done_ch: SimChannel<UpdateDone> = SimChannel::new(&format!("seasgd_done_{label}"));
+        // Per-worker retry policy, seeded so identical runs retry
+        // identically; deadlines are sized to outlast short fault windows.
+        let retry_seed = label
+            .bytes()
+            .fold(cfg.seed, |acc, b| acc.wrapping_mul(31).wrapping_add(u64::from(b)));
+        let retry = RetryPolicy {
+            max_attempts: 8,
+            deadline: SimDuration::from_millis(500),
+            ..RetryPolicy::with_seed(retry_seed)
+        };
+        let dropped = Arc::new(AtomicU64::new(0));
         {
             let client = client.clone();
             let req_ch = req_ch.clone();
             let done_ch = done_ch.clone();
             let hide_read = cfg.hide_global_read;
+            let retry = retry.clone();
+            let dropped = Arc::clone(&dropped);
             ctx.spawn(&format!("update_thread_{label}"), move |uctx| {
                 let mut wg_readback = vec![0.0f32; param_len];
                 // Runs until the owner sends `Shutdown`.
                 while let UpdateRequest::Push(dw) = req_ch.recv(&uctx) {
-                    // T.A1: store the increment in the private buffer.
-                    client
-                        .write(&uctx, &buffers.dw, &dw)
-                        .expect("dw buffer matches trainer size");
-                    // T.A2-T.A4: server-side accumulate into W_g.
-                    client
-                        .accumulate(&uctx, &buffers.dw, &buffers.wg)
-                        .expect("buffers registered on the same server");
+                    // T.A1: store the increment in the private buffer, then
+                    // T.A2-T.A4: server-side accumulate into W_g. A push
+                    // that cannot go through within the retry budget is
+                    // dropped: elastic averaging re-derives the lost force
+                    // from the next W_x - W_g difference, whereas dying
+                    // here would take the whole worker down.
+                    let pushed = client
+                        .write_retrying(&uctx, &buffers.dw, &dw, &retry)
+                        .and_then(|()| {
+                            client
+                                .accumulate_retrying(&uctx, &buffers.dw, &buffers.wg, &retry)
+                                .map(|_| ())
+                        });
+                    if pushed.is_err() {
+                        dropped.fetch_add(1, Ordering::Relaxed);
+                    }
                     let reply = if hide_read {
+                        // On failure fall back to a synchronous read at the
+                        // next exchange instead of serving stale weights.
                         client
-                            .read(&uctx, &buffers.wg, &mut wg_readback)
-                            .expect("wg buffer matches trainer size");
-                        Some(wg_readback.clone())
+                            .read_retrying(&uctx, &buffers.wg, &mut wg_readback, &retry)
+                            .ok()
+                            .map(|()| wg_readback.clone())
                     } else {
                         None
                     };
@@ -130,6 +163,8 @@ impl ElasticExchanger {
             hide_global_read: cfg.hide_global_read,
             local_mix_bps: cfg.local_mix_bps,
             wire_bytes,
+            retry,
+            dropped,
             wg: vec![0.0; param_len],
             dw: vec![0.0; param_len],
             wx: vec![0.0; param_len],
@@ -150,15 +185,24 @@ impl ElasticExchanger {
         trainer: &mut T,
     ) -> Result<SimDuration, PlatformError> {
         let start = ctx.now();
-        // Mutual exclusion with the update thread (T.A5).
+        // Mutual exclusion with the update thread (T.A5). Bounded wait: a
+        // wedged update thread surfaces as an error instead of hanging the
+        // worker forever.
         if self.pending {
-            self.prefetched_wg = self.done_ch.recv(ctx);
+            match self.done_ch.recv_timeout(ctx, EXCHANGE_TIMEOUT) {
+                Some(reply) => self.prefetched_wg = reply,
+                None => {
+                    return Err(PlatformError::Timeout(format!(
+                        "update thread unresponsive for {EXCHANGE_TIMEOUT}"
+                    )))
+                }
+            }
             self.pending = false;
         }
         // T1: read the global weights (or take the prefetched stale copy).
         match self.prefetched_wg.take() {
             Some(fresh) if self.hide_global_read => self.wg.copy_from_slice(&fresh),
-            _ => self.client.read(ctx, &self.buffers.wg, &mut self.wg)?,
+            _ => self.client.read_retrying(ctx, &self.buffers.wg, &mut self.wg, &self.retry)?,
         }
         // T2: elastic mixing (eqs. 5-6).
         trainer.read_weights(&mut self.wx);
@@ -179,6 +223,12 @@ impl ElasticExchanger {
     /// (what the Hybrid-SGD root broadcasts to its group).
     pub fn mixed_weights(&self) -> &[f32] {
         &self.wx
+    }
+
+    /// Number of weight increments dropped because pushing them kept
+    /// failing (fault injection).
+    pub fn dropped_updates(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Drains any pending update and stops the update thread.
@@ -205,6 +255,9 @@ pub struct SeasgdHarness {
     pub rank: usize,
     /// Iteration budget before termination alignment.
     pub target_iters: u64,
+    /// Injected crash time: the worker dies at the first iteration boundary
+    /// at or after this instant (`None` = never).
+    pub crash_at: Option<SimTime>,
 }
 
 /// Outcome of [`run_worker`]: the filled report plus rank-0 evaluations.
@@ -228,7 +281,7 @@ pub fn run_worker<T: Trainer>(
     harness: SeasgdHarness,
     trainer: &mut T,
 ) -> Result<SeasgdOutcome, PlatformError> {
-    let SeasgdHarness { client, buffers, board, cfg, rank, target_iters } = harness;
+    let SeasgdHarness { client, buffers, board, cfg, rank, target_iters, crash_at } = harness;
     let mut report = WorkerReport::new(rank);
     let mut evals = Vec::new();
 
@@ -247,6 +300,13 @@ pub fn run_worker<T: Trainer>(
     let mut stop = false;
 
     while !stop {
+        // Injected worker death: stop publishing, heartbeating, and
+        // exchanging. The exchanger teardown below models the OS reaping
+        // the dead process's update thread.
+        if crash_at.is_some_and(|t| ctx.now() >= t) {
+            report.crashed = true;
+            break;
+        }
         if iter.is_multiple_of(cfg.update_interval as u64) {
             let comm = exchanger.exchange(ctx, trainer)?;
             report.comm_ms.record_duration_ms(comm);
@@ -273,17 +333,27 @@ pub fn run_worker<T: Trainer>(
             }
         }
 
-        // Progress sharing and termination alignment (§III-E).
+        // Progress sharing and termination alignment (§III-E). The
+        // heartbeat keeps this worker's SMB leases alive; a crashed worker
+        // stops sending them and is eventually evicted by the server.
         if iter.is_multiple_of(cfg.progress_every as u64) || iter >= target_iters {
+            client.heartbeat(ctx, rank);
             board.publish(&client, ctx, rank, iter, iter >= target_iters)?;
             let snapshot = board.snapshot(&client, ctx)?;
             stop = cfg.termination.should_stop(&snapshot, iter, target_iters);
         }
     }
 
+    report.dropped_updates = exchanger.dropped_updates();
     exchanger.finish(ctx);
-    board.publish(&client, ctx, rank, iter, true)?;
+    if !report.crashed {
+        board.publish(&client, ctx, rank, iter, true)?;
+    }
 
+    let fault_stats = client.fault_stats();
+    report.faults = fault_stats.faults;
+    report.retries = fault_stats.retries;
+    report.recovery_ms = fault_stats.max_recovery_ms;
     report.iters = iter;
     report.finished_at = ctx.now();
     report.final_loss = loss_ema;
@@ -359,6 +429,7 @@ mod tests {
                     cfg,
                     rank,
                     target_iters: cfg.max_iters as u64,
+                    crash_at: None,
                 };
                 let outcome = run_worker(&ctx, harness, &mut trainer).unwrap();
                 outcomes.lock()[rank] = Some(outcome);

@@ -1,0 +1,126 @@
+//! Chaos test: a seeded fault plan kills one of four workers mid-run.
+//!
+//! The elastic-averaging platform (ShmCaffe-A) must survive — the server
+//! evicts the dead worker's leased buffer, the survivors complete their
+//! full budget, and the final loss matches a fault-free run — while the
+//! synchronous SSGD platform must abort with an error rather than hang.
+
+use shmcaffe::platforms::{MpiCaffe, ShmCaffeA, SsgdConfig};
+use shmcaffe::trainer::ModeledTrainerFactory;
+use shmcaffe::{PlatformError, ShmCaffeConfig, TrainingReport};
+use shmcaffe_models::WorkloadModel;
+use shmcaffe_simnet::fault::FaultPlan;
+use shmcaffe_simnet::jitter::JitterModel;
+use shmcaffe_simnet::topology::ClusterSpec;
+use shmcaffe_simnet::{SimDuration, SimTime};
+use shmcaffe_smb::SmbServerConfig;
+
+const N_WORKERS: usize = 4;
+const MAX_ITERS: usize = 30;
+const CRASH_RANK: usize = 1;
+
+fn workload() -> WorkloadModel {
+    WorkloadModel::custom("chaos", 1_000_000, SimDuration::from_millis(10))
+}
+
+fn factory() -> ModeledTrainerFactory {
+    ModeledTrainerFactory::new(workload(), JitterModel::NONE, 7)
+}
+
+fn cfg() -> ShmCaffeConfig {
+    ShmCaffeConfig {
+        max_iters: MAX_ITERS,
+        progress_every: 5,
+        jitter: JitterModel::NONE,
+        ..Default::default()
+    }
+}
+
+/// Kill worker 1 at t = 120 ms, roughly a third of the way into the run.
+fn crash_plan() -> FaultPlan {
+    FaultPlan::new(9).crash_worker(CRASH_RANK, SimTime::from_millis(120))
+}
+
+/// Short lease so the ~300 ms that remain after the crash are enough for
+/// the collector to evict the dead worker's buffer.
+fn short_leases() -> SmbServerConfig {
+    SmbServerConfig { lease_timeout: SimDuration::from_millis(100), ..Default::default() }
+}
+
+fn run_faulted() -> TrainingReport {
+    ShmCaffeA::new(ClusterSpec::paper_testbed(1), N_WORKERS, cfg())
+        .with_fault_plan(crash_plan())
+        .with_server_config(short_leases())
+        .run(factory())
+        .expect("elastic platform survives a worker crash")
+}
+
+#[test]
+fn shmcaffe_a_survives_worker_crash() {
+    let faulted = run_faulted();
+    let clean = ShmCaffeA::new(ClusterSpec::paper_testbed(1), N_WORKERS, cfg())
+        .run(factory())
+        .expect("fault-free run");
+
+    // The dead worker is reported as crashed, short of its budget.
+    assert_eq!(faulted.crashed_workers(), 1);
+    let dead = &faulted.workers[CRASH_RANK];
+    assert!(dead.crashed);
+    assert!(dead.iters < MAX_ITERS as u64, "crashed at iter {}", dead.iters);
+
+    // Every survivor completes its full budget.
+    for w in faulted.workers.iter().filter(|w| !w.crashed) {
+        assert_eq!(w.iters, MAX_ITERS as u64, "rank {} shortchanged", w.rank);
+    }
+
+    // The collector still recovers the final model.
+    assert!(faulted.final_weights.is_some());
+
+    // Convergence is preserved: each survivor's final loss is within 10%
+    // of its fault-free counterpart.
+    for (f, c) in faulted.workers.iter().zip(clean.workers.iter()) {
+        if f.crashed {
+            continue;
+        }
+        let rel = ((f.final_loss - c.final_loss) / c.final_loss).abs();
+        assert!(
+            rel < 0.10,
+            "rank {}: faulted loss {} vs clean {} ({:.1}% off)",
+            f.rank,
+            f.final_loss,
+            c.final_loss,
+            rel * 100.0
+        );
+    }
+}
+
+#[test]
+fn faulted_runs_are_bit_identical_given_the_seed() {
+    let a = run_faulted();
+    let b = run_faulted();
+    assert_eq!(a.wall, b.wall);
+    for (x, y) in a.workers.iter().zip(b.workers.iter()) {
+        assert_eq!(x.crashed, y.crashed);
+        assert_eq!(x.iters, y.iters);
+        assert_eq!(x.finished_at, y.finished_at);
+        assert_eq!(x.final_loss, y.final_loss);
+        assert_eq!(x.faults, y.faults);
+        assert_eq!(x.retries, y.retries);
+    }
+}
+
+#[test]
+fn synchronous_platform_aborts_instead_of_hanging() {
+    let err = MpiCaffe::new(
+        ClusterSpec::paper_testbed(1),
+        N_WORKERS,
+        SsgdConfig { max_iters: MAX_ITERS, ..Default::default() },
+    )
+    .with_fault_plan(crash_plan())
+    .run(factory())
+    .expect_err("SSGD cannot survive a dead rank");
+    assert!(
+        matches!(err, PlatformError::WorkerFailed(_)),
+        "expected WorkerFailed, got {err:?}"
+    );
+}

@@ -12,7 +12,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use crate::sched::Pid;
-use crate::{SimContext, SimTime};
+use crate::{SimContext, SimDuration, SimTime};
 
 struct ChannelState<T> {
     queue: VecDeque<(SimTime, T)>,
@@ -110,6 +110,42 @@ impl<T: Send + 'static> SimChannel<T> {
             // Park until a sender wakes us; loop in case another receiver
             // stole the message first.
             ctx.core.block(ctx.pid());
+        }
+    }
+
+    /// Receives the oldest message, blocking in virtual time for at most
+    /// `timeout`. Returns `None` once the deadline passes with no message
+    /// sent at or before it (the caller's clock then rests at the deadline).
+    ///
+    /// Unlike [`SimChannel::recv`], a process parked here is never counted
+    /// as blocked by the deadlock detector, so waiting on a dead peer times
+    /// out instead of aborting the simulation.
+    pub fn recv_timeout(&self, ctx: &SimContext, timeout: SimDuration) -> Option<T> {
+        let deadline = ctx.now() + timeout;
+        loop {
+            {
+                let mut st = self.state.lock();
+                if matches!(st.queue.front(), Some((sent_at, _)) if *sent_at <= deadline) {
+                    let (sent_at, msg) = st.queue.pop_front().expect("front checked");
+                    drop(st);
+                    if sent_at > ctx.now() {
+                        ctx.sleep_until(sent_at);
+                    }
+                    return Some(msg);
+                }
+                if ctx.now() >= deadline {
+                    return None;
+                }
+                st.waiters.push(ctx.pid());
+            }
+            ctx.core.block_until(ctx.pid(), deadline);
+            // Scrub our waiter registration: if we were woken by the
+            // deadline (not a sender), a stale entry would soak up a
+            // future wake meant for a live receiver.
+            let mut st = self.state.lock();
+            if let Some(i) = st.waiters.iter().position(|&p| p == ctx.pid()) {
+                st.waiters.remove(i);
+            }
         }
     }
 
@@ -243,5 +279,90 @@ mod tests {
             ch.recv(&ctx);
         });
         sim.run();
+    }
+
+    #[test]
+    fn recv_timeout_expires_at_deadline_without_deadlock() {
+        let mut sim = Simulation::new();
+        let ch: SimChannel<u8> = SimChannel::new("to");
+        sim.spawn("rx", move |ctx| {
+            let got = ch.recv_timeout(&ctx, SimDuration::from_millis(25));
+            assert_eq!(got, None);
+            assert_eq!(ctx.now().as_millis_f64(), 25.0);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn recv_timeout_returns_early_message() {
+        let mut sim = Simulation::new();
+        let ch: SimChannel<u8> = SimChannel::new("to2");
+        let tx = ch.clone();
+        sim.spawn("tx", move |ctx| {
+            ctx.sleep(SimDuration::from_millis(4));
+            tx.send(&ctx, 7);
+        });
+        sim.spawn("rx", move |ctx| {
+            let got = ch.recv_timeout(&ctx, SimDuration::from_millis(25));
+            assert_eq!(got, Some(7));
+            assert_eq!(ctx.now().as_millis_f64(), 4.0);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn recv_timeout_ignores_messages_sent_after_deadline() {
+        let mut sim = Simulation::new();
+        let ch: SimChannel<u8> = SimChannel::new("to3");
+        let tx = ch.clone();
+        sim.spawn("tx", move |ctx| {
+            ctx.sleep(SimDuration::from_millis(50));
+            tx.send(&ctx, 9);
+        });
+        let rx = ch.clone();
+        sim.spawn("rx", move |ctx| {
+            assert_eq!(rx.recv_timeout(&ctx, SimDuration::from_millis(10)), None);
+            assert_eq!(ctx.now().as_millis_f64(), 10.0);
+            // The late message is still delivered to a subsequent receive.
+            assert_eq!(rx.recv(&ctx), 9);
+            assert_eq!(ctx.now().as_millis_f64(), 50.0);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn recv_timeout_is_deterministic() {
+        let run_once = || {
+            let log: Arc<PMutex<Vec<(u8, u64)>>> = Arc::new(PMutex::new(Vec::new()));
+            let mut sim = Simulation::new();
+            let ch: SimChannel<u8> = SimChannel::new("det");
+            let tx = ch.clone();
+            sim.spawn("tx", move |ctx| {
+                for v in [1u8, 2, 3] {
+                    ctx.sleep(SimDuration::from_millis(8));
+                    tx.send(&ctx, v);
+                }
+            });
+            let log2 = Arc::clone(&log);
+            sim.spawn("rx", move |ctx| {
+                loop {
+                    match ch.recv_timeout(&ctx, SimDuration::from_millis(5)) {
+                        Some(v) => log2.lock().push((v, ctx.now().as_nanos())),
+                        None => {
+                            log2.lock().push((0, ctx.now().as_nanos()));
+                            if ctx.now().as_millis_f64() >= 30.0 {
+                                break;
+                            }
+                        }
+                    }
+                }
+            });
+            sim.run();
+            let out = log.lock().clone();
+            out
+        };
+        let a = run_once();
+        assert_eq!(run_once(), a);
+        assert!(a.iter().any(|&(v, _)| v == 3));
     }
 }

@@ -1,0 +1,490 @@
+//! Deterministic fault injection for the simulated fabric.
+//!
+//! A [`FaultPlan`] is a declarative, seeded schedule of link outages,
+//! bandwidth degradations, node stalls, per-operation failure probability
+//! and worker crashes. The plan is attached to a
+//! [`Fabric`](crate::topology::Fabric) via
+//! [`Fabric::with_faults`](crate::topology::Fabric::with_faults); every
+//! transfer then consults the shared [`FaultInjector`], so two runs with
+//! the same plan (and the same program) observe bit-identical faults.
+//!
+//! Fault semantics follow the platform split the paper implies:
+//!
+//! * **Fallible paths** (RDMA verbs / SMB transport) *fail fast*: a
+//!   transfer attempted inside a link-down window, or unlucky under the
+//!   per-op failure probability, pays a detection latency and returns a
+//!   [`FaultError`] for the caller's retry policy to handle.
+//! * **Infallible paths** (the MPI/TCP substrate of the synchronous
+//!   baselines) *ride out* outages: the transfer silently waits for the
+//!   window to close, which is exactly how a reliable byte stream behaves
+//!   — and why a crashed peer stalls the whole synchronous job.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::topology::NodeId;
+use crate::{SimDuration, SimTime};
+
+/// How a link misbehaves during a [`LinkFault`] window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LinkFaultKind {
+    /// The link is unusable: fallible transfers error out, infallible ones
+    /// wait for the window to close.
+    Down,
+    /// The link runs at the contained fraction of nominal bandwidth
+    /// (`0.0 < factor < 1.0`).
+    Degraded(f64),
+}
+
+/// One scheduled link fault on a node's HCA.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkFault {
+    /// Endpoint whose HCA is affected (either direction).
+    pub node: NodeId,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// Down or degraded.
+    pub kind: LinkFaultKind,
+}
+
+/// A window during which a node makes no progress on transfers (e.g. an
+/// OS-level pause or SMB server GC stall). Transfers touching the node
+/// wait out the stall and then proceed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeStall {
+    /// The stalled endpoint.
+    pub node: NodeId,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+}
+
+/// A scheduled worker death: the worker with this rank stops training at
+/// the given virtual time and never comes back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerCrash {
+    /// Global worker rank.
+    pub rank: usize,
+    /// Crash time; the worker checks at iteration boundaries, so death
+    /// takes effect at the first boundary at or after this instant.
+    pub at: SimTime,
+}
+
+/// A declarative, seeded fault schedule.
+///
+/// # Example
+///
+/// ```rust
+/// use shmcaffe_simnet::fault::FaultPlan;
+/// use shmcaffe_simnet::topology::NodeId;
+/// use shmcaffe_simnet::{SimDuration, SimTime};
+///
+/// let plan = FaultPlan::new(42)
+///     .with_op_failure_prob(0.01)
+///     .link_down(NodeId(1), SimTime::from_millis(10), SimTime::from_millis(12))
+///     .crash_worker(2, SimTime::from_millis(50));
+/// assert!(plan.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the per-operation failure draw stream.
+    pub seed: u64,
+    /// Probability that any single fallible fabric operation fails.
+    pub op_failure_prob: f64,
+    /// Virtual time a fallible operation spends detecting a fault before
+    /// returning an error (models RDMA completion-queue timeout).
+    pub detection_latency: SimDuration,
+    /// Scheduled link outages and degradations.
+    pub link_faults: Vec<LinkFault>,
+    /// Scheduled node stalls.
+    pub node_stalls: Vec<NodeStall>,
+    /// Scheduled worker deaths.
+    pub worker_crashes: Vec<WorkerCrash>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed (no faults until configured).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            op_failure_prob: 0.0,
+            detection_latency: SimDuration::from_micros(500),
+            link_faults: Vec::new(),
+            node_stalls: Vec::new(),
+            worker_crashes: Vec::new(),
+        }
+    }
+
+    /// Sets the per-operation failure probability (`0.0..=1.0`).
+    pub fn with_op_failure_prob(mut self, p: f64) -> Self {
+        self.op_failure_prob = p;
+        self
+    }
+
+    /// Sets the fault-detection latency charged before an error returns.
+    pub fn with_detection_latency(mut self, d: SimDuration) -> Self {
+        self.detection_latency = d;
+        self
+    }
+
+    /// Schedules a link-down window on a node's HCA.
+    pub fn link_down(mut self, node: NodeId, from: SimTime, until: SimTime) -> Self {
+        self.link_faults.push(LinkFault { node, from, until, kind: LinkFaultKind::Down });
+        self
+    }
+
+    /// Schedules a degraded-bandwidth window (`factor` of nominal).
+    pub fn link_degraded(mut self, node: NodeId, from: SimTime, until: SimTime, factor: f64) -> Self {
+        self.link_faults.push(LinkFault {
+            node,
+            from,
+            until,
+            kind: LinkFaultKind::Degraded(factor),
+        });
+        self
+    }
+
+    /// Schedules a node stall window.
+    pub fn stall(mut self, node: NodeId, from: SimTime, until: SimTime) -> Self {
+        self.node_stalls.push(NodeStall { node, from, until });
+        self
+    }
+
+    /// Schedules a worker crash.
+    pub fn crash_worker(mut self, rank: usize, at: SimTime) -> Self {
+        self.worker_crashes.push(WorkerCrash { rank, at });
+        self
+    }
+
+    /// Checks internal consistency (window ordering, probability and
+    /// degradation factors in range).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid entry.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.op_failure_prob) {
+            return Err(format!("op_failure_prob {} out of [0, 1]", self.op_failure_prob));
+        }
+        for lf in &self.link_faults {
+            if lf.from >= lf.until {
+                return Err(format!("link fault on {} has empty window", lf.node));
+            }
+            if let LinkFaultKind::Degraded(f) = lf.kind {
+                if !(f > 0.0 && f < 1.0) {
+                    return Err(format!("degrade factor {f} out of (0, 1)"));
+                }
+            }
+        }
+        for st in &self.node_stalls {
+            if st.from >= st.until {
+                return Err(format!("stall on {} has empty window", st.node));
+            }
+        }
+        Ok(())
+    }
+
+    /// Ranks scheduled to crash, in plan order.
+    pub fn crashed_ranks(&self) -> Vec<usize> {
+        self.worker_crashes.iter().map(|c| c.rank).collect()
+    }
+}
+
+/// Counters of faults actually injected during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Fallible operations failed by the per-op probability draw.
+    pub injected_op_failures: u64,
+    /// Fallible operations that hit a link-down window.
+    pub link_down_hits: u64,
+    /// Transfers that ran at degraded bandwidth.
+    pub degraded_transfers: u64,
+    /// Transfers delayed by a node stall window.
+    pub stall_delays: u64,
+}
+
+struct InjectorInner {
+    plan: FaultPlan,
+    rng: parking_lot::Mutex<ChaCha8Rng>,
+    stats: parking_lot::Mutex<FaultStats>,
+}
+
+/// Shared handle that answers "is this operation faulted right now?"
+/// deterministically from a [`FaultPlan`].
+///
+/// Cloning shares the underlying RNG and statistics, so all users of one
+/// fabric consume a single failure-draw stream. Because the simulation
+/// scheduler is deterministic, the draw order — and hence every injected
+/// fault — is identical across runs with the same seed.
+#[derive(Clone)]
+pub struct FaultInjector {
+    inner: Arc<InjectorInner>,
+}
+
+impl fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("plan", &self.inner.plan)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl FaultInjector {
+    /// Builds an injector from a plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`].
+    pub fn new(plan: FaultPlan) -> Self {
+        if let Err(msg) = plan.validate() {
+            panic!("invalid fault plan: {msg}");
+        }
+        let rng = ChaCha8Rng::seed_from_u64(plan.seed);
+        FaultInjector {
+            inner: Arc::new(InjectorInner {
+                plan,
+                rng: parking_lot::Mutex::new(rng),
+                stats: parking_lot::Mutex::new(FaultStats::default()),
+            }),
+        }
+    }
+
+    /// The plan this injector was built from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.inner.plan
+    }
+
+    /// Injection counters so far.
+    pub fn stats(&self) -> FaultStats {
+        *self.inner.stats.lock()
+    }
+
+    /// If `node` is inside a stall window at `now`, the window's end.
+    pub fn stall_until(&self, node: NodeId, now: SimTime) -> Option<SimTime> {
+        self.inner
+            .plan
+            .node_stalls
+            .iter()
+            .filter(|s| s.node == node && s.from <= now && now < s.until)
+            .map(|s| s.until)
+            .max()
+    }
+
+    /// If `node`'s link is down at `now`, the outage's end.
+    pub fn down_until(&self, node: NodeId, now: SimTime) -> Option<SimTime> {
+        self.inner
+            .plan
+            .link_faults
+            .iter()
+            .filter(|l| {
+                l.kind == LinkFaultKind::Down && l.node == node && l.from <= now && now < l.until
+            })
+            .map(|l| l.until)
+            .max()
+    }
+
+    /// The strongest (smallest) degradation factor active on `node` at
+    /// `now`, if any.
+    pub fn degrade_factor(&self, node: NodeId, now: SimTime) -> Option<f64> {
+        self.inner
+            .plan
+            .link_faults
+            .iter()
+            .filter_map(|l| match l.kind {
+                LinkFaultKind::Degraded(f)
+                    if l.node == node && l.from <= now && now < l.until =>
+                {
+                    Some(f)
+                }
+                _ => None,
+            })
+            .fold(None, |acc, f| Some(acc.map_or(f, |a: f64| a.min(f))))
+    }
+
+    /// Draws the per-operation failure coin. Always consumes exactly one
+    /// draw from the stream so call sites stay aligned across runs.
+    pub fn draw_op_failure(&self) -> bool {
+        let p = self.inner.plan.op_failure_prob;
+        let roll: f64 = self.inner.rng.lock().gen_range(0.0..1.0);
+        let hit = roll < p;
+        if hit {
+            self.inner.stats.lock().injected_op_failures += 1;
+        }
+        hit
+    }
+
+    /// The scheduled crash time for a worker rank, if any (earliest wins).
+    pub fn crash_time(&self, rank: usize) -> Option<SimTime> {
+        self.inner
+            .plan
+            .worker_crashes
+            .iter()
+            .filter(|c| c.rank == rank)
+            .map(|c| c.at)
+            .min()
+    }
+
+    pub(crate) fn record_link_down_hit(&self) {
+        self.inner.stats.lock().link_down_hits += 1;
+    }
+
+    pub(crate) fn record_degraded(&self) {
+        self.inner.stats.lock().degraded_transfers += 1;
+    }
+
+    pub(crate) fn record_stall(&self) {
+        self.inner.stats.lock().stall_delays += 1;
+    }
+}
+
+/// Why a fallible fabric operation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultError {
+    /// The transfer touched a node whose link was down.
+    LinkDown {
+        /// The node whose HCA was down.
+        node: NodeId,
+        /// Virtual time the failure was detected.
+        at: SimTime,
+    },
+    /// The per-operation failure draw fired for this transfer.
+    Injected {
+        /// Transfer source.
+        from: NodeId,
+        /// Transfer destination.
+        to: NodeId,
+        /// Virtual time the failure was detected.
+        at: SimTime,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::LinkDown { node, at } => {
+                write!(f, "link down at {} (t={} ns)", node, at.as_nanos())
+            }
+            FaultError::Injected { from, to, at } => {
+                write!(f, "injected fault on {from}->{to} (t={} ns)", at.as_nanos())
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builder_and_validation() {
+        let plan = FaultPlan::new(7)
+            .with_op_failure_prob(0.25)
+            .link_down(NodeId(0), SimTime::from_millis(1), SimTime::from_millis(2))
+            .link_degraded(NodeId(1), SimTime::from_millis(3), SimTime::from_millis(9), 0.5)
+            .stall(NodeId(2), SimTime::from_millis(4), SimTime::from_millis(5))
+            .crash_worker(3, SimTime::from_millis(6));
+        assert!(plan.validate().is_ok());
+        assert_eq!(plan.crashed_ranks(), vec![3]);
+
+        let bad = FaultPlan::new(0).with_op_failure_prob(1.5);
+        assert!(bad.validate().is_err());
+        let empty_window =
+            FaultPlan::new(0).link_down(NodeId(0), SimTime::from_millis(2), SimTime::from_millis(2));
+        assert!(empty_window.validate().is_err());
+        let bad_factor = FaultPlan::new(0).link_degraded(
+            NodeId(0),
+            SimTime::from_millis(1),
+            SimTime::from_millis(2),
+            1.5,
+        );
+        assert!(bad_factor.validate().is_err());
+    }
+
+    #[test]
+    fn windows_are_half_open() {
+        let inj = FaultInjector::new(
+            FaultPlan::new(1)
+                .link_down(NodeId(0), SimTime::from_millis(10), SimTime::from_millis(20))
+                .stall(NodeId(1), SimTime::from_millis(5), SimTime::from_millis(6)),
+        );
+        assert_eq!(inj.down_until(NodeId(0), SimTime::from_millis(9)), None);
+        assert_eq!(
+            inj.down_until(NodeId(0), SimTime::from_millis(10)),
+            Some(SimTime::from_millis(20))
+        );
+        assert_eq!(inj.down_until(NodeId(0), SimTime::from_millis(20)), None);
+        assert_eq!(inj.down_until(NodeId(1), SimTime::from_millis(15)), None);
+        assert_eq!(
+            inj.stall_until(NodeId(1), SimTime::from_millis(5)),
+            Some(SimTime::from_millis(6))
+        );
+    }
+
+    #[test]
+    fn strongest_degradation_wins() {
+        let inj = FaultInjector::new(
+            FaultPlan::new(1)
+                .link_degraded(NodeId(0), SimTime::ZERO, SimTime::from_millis(10), 0.5)
+                .link_degraded(NodeId(0), SimTime::ZERO, SimTime::from_millis(10), 0.25),
+        );
+        assert_eq!(inj.degrade_factor(NodeId(0), SimTime::from_millis(1)), Some(0.25));
+        assert_eq!(inj.degrade_factor(NodeId(0), SimTime::from_millis(11)), None);
+    }
+
+    #[test]
+    fn op_failure_draws_are_seed_deterministic() {
+        let draws = |seed: u64| {
+            let inj = FaultInjector::new(FaultPlan::new(seed).with_op_failure_prob(0.3));
+            (0..64).map(|_| inj.draw_op_failure()).collect::<Vec<bool>>()
+        };
+        let a = draws(99);
+        assert_eq!(a, draws(99));
+        assert_ne!(a, draws(100));
+        assert!(a.iter().any(|&b| b), "0.3 over 64 draws should hit at least once");
+        assert!(a.iter().any(|&b| !b));
+        let inj = FaultInjector::new(FaultPlan::new(99).with_op_failure_prob(0.3));
+        for _ in 0..64 {
+            inj.draw_op_failure();
+        }
+        let hits = a.iter().filter(|&&b| b).count() as u64;
+        assert_eq!(inj.stats().injected_op_failures, hits);
+    }
+
+    #[test]
+    fn zero_probability_never_fails() {
+        let inj = FaultInjector::new(FaultPlan::new(5));
+        assert!((0..100).all(|_| !inj.draw_op_failure()));
+        assert_eq!(inj.stats().injected_op_failures, 0);
+    }
+
+    #[test]
+    fn crash_time_takes_earliest() {
+        let inj = FaultInjector::new(
+            FaultPlan::new(1)
+                .crash_worker(2, SimTime::from_millis(50))
+                .crash_worker(2, SimTime::from_millis(30)),
+        );
+        assert_eq!(inj.crash_time(2), Some(SimTime::from_millis(30)));
+        assert_eq!(inj.crash_time(0), None);
+    }
+
+    #[test]
+    fn fault_error_display_and_source() {
+        let e = FaultError::LinkDown { node: NodeId(3), at: SimTime::from_millis(1) };
+        assert!(e.to_string().contains("node3"));
+        let e2 = FaultError::Injected { from: NodeId(0), to: NodeId(4), at: SimTime::ZERO };
+        assert!(e2.to_string().contains("node0->node4"));
+        let dyn_err: &dyn std::error::Error = &e;
+        assert!(dyn_err.source().is_none());
+    }
+}

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod fault;
 pub mod jitter;
 pub mod resource;
 mod sched;

@@ -33,6 +33,11 @@ struct ProcSlot {
     name: String,
     clock: SimTime,
     status: Status,
+    /// True while the process is parked in [`Core::block_until`]: it is
+    /// recorded as `Runnable(deadline)` (so the deadlock detector never
+    /// counts it as blocked) but an earlier [`Core::wake`] may pull the
+    /// grant forward.
+    timed_wait: bool,
 }
 
 struct SchedState {
@@ -88,6 +93,7 @@ impl Core {
                 let slot = &mut state.procs[pid];
                 slot.status = Status::Running;
                 slot.clock = slot.clock.max(at);
+                slot.timed_wait = false;
                 self.cv.notify_all();
             }
             None => {
@@ -151,6 +157,27 @@ impl Core {
         }
     }
 
+    /// Parks the process until another process calls [`Core::wake`] or the
+    /// virtual clock reaches `deadline`, whichever comes first.
+    ///
+    /// Unlike [`Core::block`], a timed waiter is never counted as blocked by
+    /// the deadlock detector: it is parked as `Runnable(deadline)` so the
+    /// simulation always makes progress even if the wake never arrives.
+    pub(crate) fn block_until(&self, pid: Pid, deadline: SimTime) {
+        let mut state = self.state.lock();
+        debug_assert_eq!(state.procs[pid].status, Status::Running);
+        let slot = &mut state.procs[pid];
+        slot.status = Status::Runnable(slot.clock.max(deadline));
+        slot.timed_wait = true;
+        self.dispatch(&mut state);
+        while state.procs[pid].status != Status::Running {
+            if state.panic_message.is_some() {
+                panic!("simulation aborted");
+            }
+            self.cv.wait(&mut state);
+        }
+    }
+
     /// Makes a blocked process runnable no earlier than `at`.
     ///
     /// Called by the (unique) running process, so `at >=` every other
@@ -161,6 +188,14 @@ impl Core {
         match slot.status {
             Status::Blocked => {
                 slot.status = Status::Runnable(slot.clock.max(at));
+            }
+            // A timed waiter parked at its deadline may be pulled earlier by
+            // a wake (but never pushed later).
+            Status::Runnable(deadline) if slot.timed_wait => {
+                let woken = slot.clock.max(at);
+                if woken < deadline {
+                    slot.status = Status::Runnable(woken);
+                }
             }
             Status::Finished => {}
             // The waker runs exclusively, so the target cannot be Running;
@@ -186,6 +221,7 @@ impl Core {
             name: name.to_string(),
             clock: initial_clock,
             status: Status::Runnable(initial_clock),
+            timed_wait: false,
         });
         state.unfinished += 1;
         pid

@@ -28,8 +28,23 @@ impl SimTime {
     }
 
     /// Constructs from raw nanoseconds.
-    pub fn from_nanos(n: u64) -> Self {
+    pub const fn from_nanos(n: u64) -> Self {
         SimTime(n)
+    }
+
+    /// Constructs from microseconds since simulation start.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Constructs from milliseconds since simulation start.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Constructs from whole seconds since simulation start.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
     }
 
     /// Seconds since simulation start as a float.
@@ -53,22 +68,22 @@ impl SimDuration {
     pub const ZERO: SimDuration = SimDuration(0);
 
     /// Constructs from raw nanoseconds.
-    pub fn from_nanos(n: u64) -> Self {
+    pub const fn from_nanos(n: u64) -> Self {
         SimDuration(n)
     }
 
     /// Constructs from microseconds.
-    pub fn from_micros(us: u64) -> Self {
+    pub const fn from_micros(us: u64) -> Self {
         SimDuration(us * 1_000)
     }
 
     /// Constructs from milliseconds.
-    pub fn from_millis(ms: u64) -> Self {
+    pub const fn from_millis(ms: u64) -> Self {
         SimDuration(ms * 1_000_000)
     }
 
     /// Constructs from whole seconds.
-    pub fn from_secs(s: u64) -> Self {
+    pub const fn from_secs(s: u64) -> Self {
         SimDuration(s * 1_000_000_000)
     }
 

@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
+use crate::fault::{FaultError, FaultInjector, FaultPlan};
 use crate::resource::{BandwidthResource, LinkModel, TransferReport};
 use crate::{SimContext, SimDuration};
 
@@ -105,6 +106,7 @@ struct FabricInner {
     hca_tx: Vec<BandwidthResource>,
     hca_rx: Vec<BandwidthResource>,
     pcie: Vec<BandwidthResource>,
+    injector: Option<FaultInjector>,
 }
 
 impl fmt::Debug for Fabric {
@@ -118,6 +120,22 @@ impl fmt::Debug for Fabric {
 impl Fabric {
     /// Instantiates the fabric for a cluster description.
     pub fn new(spec: ClusterSpec) -> Self {
+        Self::build(spec, None)
+    }
+
+    /// Instantiates the fabric with a deterministic fault-injection plan
+    /// (see [`crate::fault`]). Every transfer consults the shared
+    /// [`FaultInjector`], so identical plans yield identical fault
+    /// sequences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`].
+    pub fn with_faults(spec: ClusterSpec, plan: FaultPlan) -> Self {
+        Self::build(spec, Some(FaultInjector::new(plan)))
+    }
+
+    fn build(spec: ClusterSpec, injector: Option<FaultInjector>) -> Self {
         let endpoints = spec.gpu_nodes + spec.memory_servers;
         let hca_tx: Vec<BandwidthResource> = (0..endpoints)
             .map(|n| BandwidthResource::new(&format!("hca_tx[{n}]"), spec.hca))
@@ -134,7 +152,12 @@ impl Fabric {
         let pcie = (0..spec.gpu_nodes)
             .map(|n| BandwidthResource::new(&format!("pcie[{n}]"), spec.pcie))
             .collect();
-        Fabric { inner: Arc::new(FabricInner { spec, hca_tx, hca_rx, pcie }) }
+        Fabric { inner: Arc::new(FabricInner { spec, hca_tx, hca_rx, pcie, injector }) }
+    }
+
+    /// The attached fault injector, if the fabric was built with one.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.inner.injector.as_ref()
     }
 
     /// The cluster description this fabric was built from.
@@ -195,9 +218,111 @@ impl Fabric {
         if from == to {
             return self.pcie_transfer(ctx, from, bytes);
         }
+        // The reliable substrate rides out faults, so shaping cannot fail.
+        let cap = self
+            .fault_shape(ctx, from, to, false)
+            .expect("infallible transfers wait out fault windows");
         let tx = &self.inner.hca_tx[from.0];
         let rx = &self.inner.hca_rx[to.0];
-        crate::resource::transfer_path_stream(ctx, &[tx, rx], bytes, stream_bps)
+        crate::resource::transfer_path_stream(ctx, &[tx, rx], bytes, min_bps(stream_bps, cap))
+    }
+
+    /// Fallible variant of [`Fabric::net_transfer_stream`]: a transfer
+    /// attempted during a link-down window — or failed by the plan's
+    /// per-operation probability — pays the detection latency and returns
+    /// a [`FaultError`] instead of waiting the fault out.
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected fault. Without an attached plan this never
+    /// fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint id is out of range.
+    pub fn try_net_transfer_stream(
+        &self,
+        ctx: &SimContext,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+        stream_bps: Option<f64>,
+    ) -> Result<TransferReport, FaultError> {
+        if from == to {
+            return Ok(self.pcie_transfer(ctx, from, bytes));
+        }
+        let cap = self.fault_shape(ctx, from, to, true)?;
+        let tx = &self.inner.hca_tx[from.0];
+        let rx = &self.inner.hca_rx[to.0];
+        Ok(crate::resource::transfer_path_stream(ctx, &[tx, rx], bytes, min_bps(stream_bps, cap)))
+    }
+
+    /// Runs the fallible fault gate for a transfer between two endpoints
+    /// without moving any bytes. Callers that charge wire time through
+    /// their own resource path (the SMB transport) use this to subject
+    /// that path to the fabric's fault plan; the returned value is a
+    /// per-stream bandwidth cap to apply while degraded.
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected fault (after detection latency).
+    pub fn fault_check(
+        &self,
+        ctx: &SimContext,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<Option<f64>, FaultError> {
+        self.fault_shape(ctx, from, to, true)
+    }
+
+    /// Sleeps through stall/outage windows and draws the failure coin.
+    ///
+    /// Returns a bandwidth cap when a degradation window is active.
+    /// `fallible` selects fail-fast (RDMA-style) versus ride-it-out
+    /// (reliable-stream-style) semantics for outages.
+    fn fault_shape(
+        &self,
+        ctx: &SimContext,
+        from: NodeId,
+        to: NodeId,
+        fallible: bool,
+    ) -> Result<Option<f64>, FaultError> {
+        let Some(inj) = &self.inner.injector else {
+            return Ok(None);
+        };
+        loop {
+            let now = ctx.now();
+            // A stalled endpoint delays the transfer for both semantics.
+            let stalled = [from, to].iter().filter_map(|&n| inj.stall_until(n, now)).max();
+            if let Some(until) = stalled {
+                inj.record_stall();
+                ctx.sleep_until(until);
+                continue;
+            }
+            let down = [from, to].iter().find_map(|&n| inj.down_until(n, now).map(|u| (n, u)));
+            if let Some((node, until)) = down {
+                if fallible {
+                    inj.record_link_down_hit();
+                    ctx.sleep(inj.plan().detection_latency);
+                    return Err(FaultError::LinkDown { node, at: ctx.now() });
+                }
+                ctx.sleep_until(until);
+                continue;
+            }
+            break;
+        }
+        if fallible && inj.draw_op_failure() {
+            ctx.sleep(inj.plan().detection_latency);
+            return Err(FaultError::Injected { from, to, at: ctx.now() });
+        }
+        let factor = [from, to]
+            .iter()
+            .filter_map(|&n| inj.degrade_factor(n, ctx.now()))
+            .fold(None, |acc: Option<f64>, f| Some(acc.map_or(f, |a| a.min(f))));
+        Ok(factor.map(|f| {
+            inj.record_degraded();
+            self.inner.spec.hca.bandwidth_bps * f
+        }))
     }
 
     /// Moves `bytes` over a node's shared PCIe bus.
@@ -229,6 +354,15 @@ impl Fabric {
     /// The PCIe bus resource of a GPU node (for stats inspection).
     pub fn pcie(&self, node: NodeId) -> &BandwidthResource {
         &self.inner.pcie[node.0]
+    }
+}
+
+/// The tighter of two optional per-stream bandwidth limits.
+fn min_bps(a: Option<f64>, b: Option<f64>) -> Option<f64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
     }
 }
 
@@ -328,6 +462,103 @@ mod tests {
         // Node 0 sends and receives concurrently: 1 s total.
         let end = sim.run();
         assert!((end.as_secs_f64() - 1.0).abs() < 0.01, "{}", end.as_secs_f64());
+    }
+
+    #[test]
+    fn degraded_window_halves_throughput() {
+        use crate::fault::FaultPlan;
+        use crate::SimTime;
+        // 50% degradation active for the whole transfer: 7 GB takes 2 s.
+        let plan = FaultPlan::new(1).link_degraded(
+            NodeId(0),
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            0.5,
+        );
+        let fabric = Fabric::with_faults(ClusterSpec::paper_testbed(2), plan);
+        let f = fabric.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("w", move |ctx| {
+            f.net_transfer(&ctx, NodeId(0), NodeId(1), 7_000_000_000);
+        });
+        let end = sim.run();
+        assert!((end.as_secs_f64() - 2.0).abs() < 0.01, "{}", end.as_secs_f64());
+        assert_eq!(fabric.fault_injector().unwrap().stats().degraded_transfers, 1);
+    }
+
+    #[test]
+    fn infallible_transfer_rides_out_link_down() {
+        use crate::fault::FaultPlan;
+        use crate::SimTime;
+        let plan = FaultPlan::new(1).link_down(
+            NodeId(1),
+            SimTime::ZERO,
+            SimTime::from_millis(250),
+        );
+        let fabric = Fabric::with_faults(ClusterSpec::paper_testbed(2), plan);
+        let f = fabric.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("w", move |ctx| {
+            let rep = f.net_transfer(&ctx, NodeId(0), NodeId(1), 7_000_000);
+            // Started only after the outage cleared at 250 ms.
+            assert!(rep.start >= SimTime::from_millis(250));
+        });
+        let end = sim.run();
+        assert!(end.as_millis_f64() >= 250.0, "{}", end.as_millis_f64());
+    }
+
+    #[test]
+    fn fallible_transfer_fails_fast_during_link_down() {
+        use crate::fault::{FaultError, FaultPlan};
+        use crate::SimTime;
+        let plan = FaultPlan::new(1)
+            .link_down(NodeId(1), SimTime::ZERO, SimTime::from_secs(1))
+            .with_detection_latency(SimDuration::from_micros(500));
+        let fabric = Fabric::with_faults(ClusterSpec::paper_testbed(2), plan);
+        let f = fabric.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("w", move |ctx| {
+            let err = f
+                .try_net_transfer_stream(&ctx, NodeId(0), NodeId(1), 7_000_000, None)
+                .unwrap_err();
+            assert!(matches!(err, FaultError::LinkDown { node: NodeId(1), .. }));
+            // Paid only detection latency, not the 1 s outage.
+            assert_eq!(ctx.now(), SimTime::from_micros(500));
+        });
+        sim.run();
+        assert_eq!(fabric.fault_injector().unwrap().stats().link_down_hits, 1);
+    }
+
+    #[test]
+    fn stall_window_delays_both_semantics() {
+        use crate::fault::FaultPlan;
+        use crate::SimTime;
+        let plan =
+            FaultPlan::new(1).stall(NodeId(0), SimTime::ZERO, SimTime::from_millis(40));
+        let fabric = Fabric::with_faults(ClusterSpec::paper_testbed(2), plan);
+        let f = fabric.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("w", move |ctx| {
+            let rep = f
+                .try_net_transfer_stream(&ctx, NodeId(0), NodeId(1), 7_000, None)
+                .unwrap();
+            assert!(rep.start >= SimTime::from_millis(40));
+        });
+        sim.run();
+        assert_eq!(fabric.fault_injector().unwrap().stats().stall_delays, 1);
+    }
+
+    #[test]
+    fn fabric_without_plan_never_faults() {
+        let fabric = Fabric::new(ClusterSpec::paper_testbed(2));
+        assert!(fabric.fault_injector().is_none());
+        let f = fabric.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("w", move |ctx| {
+            assert!(f.try_net_transfer_stream(&ctx, NodeId(0), NodeId(1), 7_000, None).is_ok());
+            assert_eq!(f.fault_check(&ctx, NodeId(0), NodeId(1)), Ok(None));
+        });
+        sim.run();
     }
 
     #[test]

@@ -1,11 +1,28 @@
 use std::fmt;
+use std::sync::Arc;
 
-use shmcaffe_rdma::MemoryRegion;
+use parking_lot::Mutex;
+use shmcaffe_rdma::{MemoryRegion, RdmaError};
+use shmcaffe_simnet::fault::FaultError;
 use shmcaffe_simnet::topology::NodeId;
 use shmcaffe_simnet::SimContext;
 
+use crate::retry::RetryPolicy;
 use crate::server::{ShmKey, SmbServer};
 use crate::SmbError;
+
+/// Counters of fault effects one client has observed across its retrying
+/// operations (shared between clones of the same client).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClientFaultStats {
+    /// Individual attempts that failed with a transient transport error.
+    pub faults: u64,
+    /// Failed attempts that a later attempt recovered from.
+    pub retries: u64,
+    /// Longest virtual time (ms) from a retried op's first attempt to its
+    /// eventual success — the client's worst-case recovery latency.
+    pub max_recovery_ms: f64,
+}
 
 /// An allocated SMB buffer: the SHM key plus the access key (rkey) returned
 /// by the server (paper Fig. 2 step "SHM access key").
@@ -39,6 +56,7 @@ impl SmbBuffer {
 pub struct SmbClient {
     server: SmbServer,
     local: NodeId,
+    stats: Arc<Mutex<ClientFaultStats>>,
 }
 
 impl fmt::Debug for SmbClient {
@@ -50,12 +68,23 @@ impl fmt::Debug for SmbClient {
 impl SmbClient {
     /// Binds a client on `local` to `server`.
     pub fn new(server: SmbServer, local: NodeId) -> Self {
-        SmbClient { server, local }
+        SmbClient {
+            server,
+            local,
+            stats: Arc::new(Mutex::new(ClientFaultStats::default())),
+        }
     }
 
     /// The node this client runs on.
     pub fn local_node(&self) -> NodeId {
         self.local
+    }
+
+    /// Fault counters accumulated by this client's retrying operations.
+    /// Clones of a client (e.g. a worker's update thread) share the same
+    /// counters, so this reports the whole worker's view.
+    pub fn fault_stats(&self) -> ClientFaultStats {
+        *self.stats.lock()
     }
 
     /// The server this client talks to.
@@ -119,7 +148,11 @@ impl SmbClient {
     /// Returns [`SmbError::SizeMismatch`] if `out.len() != buf.len()`.
     pub fn read(&self, ctx: &SimContext, buf: &SmbBuffer, out: &mut [f32]) -> Result<(), SmbError> {
         if out.len() != buf.len() {
-            return Err(SmbError::SizeMismatch { expected: buf.len(), got: out.len() });
+            return Err(SmbError::SizeMismatch {
+                key: buf.key,
+                expected: buf.len(),
+                got: out.len(),
+            });
         }
         let cfg = self.server.config();
         let wire = (buf.wire_bytes as f64 * (1.0 + cfg.protocol_overhead)) as u64;
@@ -150,7 +183,11 @@ impl SmbClient {
     /// Returns [`SmbError::SizeMismatch`] if `data.len() != buf.len()`.
     pub fn write(&self, ctx: &SimContext, buf: &SmbBuffer, data: &[f32]) -> Result<(), SmbError> {
         if data.len() != buf.len() {
-            return Err(SmbError::SizeMismatch { expected: buf.len(), got: data.len() });
+            return Err(SmbError::SizeMismatch {
+                key: buf.key,
+                expected: buf.len(),
+                got: data.len(),
+            });
         }
         let cfg = self.server.config();
         let wire = (buf.wire_bytes as f64 * (1.0 + cfg.protocol_overhead)) as u64;
@@ -223,6 +260,239 @@ impl SmbClient {
         self.control_round_trip(ctx);
         self.server.accumulate(ctx, src.key, dst.key)
     }
+
+    /// Like [`SmbClient::create`], but binds the segment to `owner`'s
+    /// lease: if that rank stops heartbeating for longer than
+    /// [`crate::SmbServerConfig::lease_timeout`], the server's
+    /// [`SmbServer::evict_stale`] reclaims the segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmbError::DuplicateName`] for a reused name.
+    pub fn create_owned(
+        &self,
+        ctx: &SimContext,
+        name: &str,
+        elems: usize,
+        wire_bytes: Option<u64>,
+        owner: usize,
+    ) -> Result<ShmKey, SmbError> {
+        self.control_round_trip(ctx);
+        self.server
+            .create_segment_owned(name, elems, wire_bytes, Some(owner), ctx.now())
+    }
+
+    /// Sends a heartbeat for `owner`, refreshing every lease that rank
+    /// holds. One-way control message (no reply needed).
+    pub fn heartbeat(&self, ctx: &SimContext, owner: usize) {
+        ctx.sleep(self.server.control_latency());
+        self.server.touch_owner(owner, ctx.now());
+    }
+
+    /// Wraps a fabric fault as [`SmbError::Unavailable`] with the failed
+    /// queue pair identified, transitioning that QP to Error so plain RDMA
+    /// ops on the pair fail fast until the retry loop re-arms it.
+    fn unavailable(&self, key: ShmKey, fault: FaultError) -> SmbError {
+        self.server.rdma().fault_qp(self.local, self.server.node());
+        SmbError::Unavailable {
+            key,
+            node: self.server.node(),
+            cause: RdmaError::QpFault {
+                local: self.local,
+                remote: self.server.node(),
+                fault,
+            },
+        }
+    }
+
+    /// Per-stream bandwidth after applying a fault-window degradation cap.
+    fn effective_stream_bps(&self, cap: Option<f64>) -> f64 {
+        let nominal = self.server.config().stream_bps;
+        cap.map_or(nominal, |bw| nominal.min(bw))
+    }
+
+    /// Runs `op` under `policy`: transient failures are retried after a
+    /// jittered exponential backoff (virtual-time sleep), re-arming the
+    /// queue pair to the server before each retry. Gives up with
+    /// [`SmbError::Timeout`] once attempts or the cumulative deadline run
+    /// out; non-transient errors pass straight through.
+    fn retrying<T>(
+        &self,
+        ctx: &SimContext,
+        key: ShmKey,
+        policy: &RetryPolicy,
+        mut op: impl FnMut(&SimContext) -> Result<T, SmbError>,
+    ) -> Result<T, SmbError> {
+        let started = ctx.now();
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match op(ctx) {
+                Ok(v) => {
+                    if attempts > 1 {
+                        let mut stats = self.stats.lock();
+                        stats.retries += u64::from(attempts - 1);
+                        let recovery = ctx.now().since(started).as_millis_f64();
+                        stats.max_recovery_ms = stats.max_recovery_ms.max(recovery);
+                    }
+                    return Ok(v);
+                }
+                Err(e) if e.is_transient() => self.stats.lock().faults += 1,
+                Err(e) => return Err(e),
+            }
+            if attempts >= policy.max_attempts {
+                break;
+            }
+            let backoff = policy.backoff(attempts);
+            if ctx.now().since(started) + backoff > policy.deadline {
+                break;
+            }
+            ctx.sleep(backoff);
+            self.server.rdma().rearm_qp(ctx, self.local, self.server.node());
+        }
+        Err(SmbError::Timeout {
+            key,
+            node: self.server.node(),
+            waited: ctx.now().since(started),
+            attempts,
+        })
+    }
+
+    /// One fallible read attempt: consults the fabric's fault injector on
+    /// the server→client direction, then moves the data (possibly at
+    /// degraded bandwidth).
+    fn try_read_once(
+        &self,
+        ctx: &SimContext,
+        buf: &SmbBuffer,
+        out: &mut [f32],
+    ) -> Result<(), SmbError> {
+        let fabric = self.server.rdma().fabric();
+        let cap = fabric
+            .fault_check(ctx, self.server.node(), self.local)
+            .map_err(|fault| self.unavailable(buf.key, fault))?;
+        let cfg = self.server.config();
+        let wire = (buf.wire_bytes as f64 * (1.0 + cfg.protocol_overhead)) as u64;
+        self.server
+            .rdma()
+            .read_wire(ctx, self.local, &buf.mr, 0, out, 0)?;
+        shmcaffe_simnet::resource::transfer_path_stream(
+            ctx,
+            &[
+                self.server.memory_resource(),
+                fabric.hca_tx(self.server.node()),
+                fabric.hca_rx(self.local),
+            ],
+            wire,
+            Some(self.effective_stream_bps(cap)),
+        );
+        Ok(())
+    }
+
+    /// One fallible write attempt (client→server direction).
+    fn try_write_once(
+        &self,
+        ctx: &SimContext,
+        buf: &SmbBuffer,
+        data: &[f32],
+    ) -> Result<(), SmbError> {
+        let fabric = self.server.rdma().fabric();
+        let cap = fabric
+            .fault_check(ctx, self.local, self.server.node())
+            .map_err(|fault| self.unavailable(buf.key, fault))?;
+        let cfg = self.server.config();
+        let wire = (buf.wire_bytes as f64 * (1.0 + cfg.protocol_overhead)) as u64;
+        self.server
+            .rdma()
+            .write_wire(ctx, self.local, &buf.mr, 0, data, 0)?;
+        shmcaffe_simnet::resource::transfer_path_stream(
+            ctx,
+            &[
+                fabric.hca_tx(self.local),
+                fabric.hca_rx(self.server.node()),
+                self.server.memory_resource(),
+            ],
+            wire,
+            Some(self.effective_stream_bps(cap)),
+        );
+        self.server.bump_version(ctx, buf.key);
+        Ok(())
+    }
+
+    /// Fault-tolerant [`SmbClient::read`]: each attempt can fail inside an
+    /// injected fault window; failures are retried under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmbError::SizeMismatch`] immediately for a bad slice;
+    /// [`SmbError::Timeout`] when the policy's attempts/deadline run out.
+    pub fn read_retrying(
+        &self,
+        ctx: &SimContext,
+        buf: &SmbBuffer,
+        out: &mut [f32],
+        policy: &RetryPolicy,
+    ) -> Result<(), SmbError> {
+        if out.len() != buf.len() {
+            return Err(SmbError::SizeMismatch {
+                key: buf.key,
+                expected: buf.len(),
+                got: out.len(),
+            });
+        }
+        self.retrying(ctx, buf.key, policy, |ctx| self.try_read_once(ctx, buf, out))
+    }
+
+    /// Fault-tolerant [`SmbClient::write`] (see [`SmbClient::read_retrying`]).
+    /// Writes are idempotent full-buffer stores, so re-issuing after a
+    /// faulted attempt is safe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmbError::SizeMismatch`] immediately for a bad slice;
+    /// [`SmbError::Timeout`] when the policy's attempts/deadline run out.
+    pub fn write_retrying(
+        &self,
+        ctx: &SimContext,
+        buf: &SmbBuffer,
+        data: &[f32],
+        policy: &RetryPolicy,
+    ) -> Result<(), SmbError> {
+        if data.len() != buf.len() {
+            return Err(SmbError::SizeMismatch {
+                key: buf.key,
+                expected: buf.len(),
+                got: data.len(),
+            });
+        }
+        self.retrying(ctx, buf.key, policy, |ctx| self.try_write_once(ctx, buf, data))
+    }
+
+    /// Fault-tolerant [`SmbClient::accumulate`]: the control message to the
+    /// server can fail inside a fault window and is retried under `policy`.
+    /// The server-side accumulate itself is local to the memory server, so
+    /// only the client→server control path is gated.
+    ///
+    /// # Errors
+    ///
+    /// Returns key/length errors immediately; [`SmbError::Timeout`] when
+    /// the policy's attempts/deadline run out.
+    pub fn accumulate_retrying(
+        &self,
+        ctx: &SimContext,
+        src: &SmbBuffer,
+        dst: &SmbBuffer,
+        policy: &RetryPolicy,
+    ) -> Result<u64, SmbError> {
+        let fabric = self.server.rdma().fabric();
+        self.retrying(ctx, src.key, policy, |ctx| {
+            fabric
+                .fault_check(ctx, self.local, self.server.node())
+                .map_err(|fault| self.unavailable(src.key, fault))?;
+            self.control_round_trip(ctx);
+            self.server.accumulate(ctx, src.key, dst.key)
+        })
+    }
 }
 
 #[cfg(test)]
@@ -267,7 +537,7 @@ mod tests {
             client.create(&ctx, "dup", 4, None).unwrap();
             assert!(matches!(
                 client.create(&ctx, "dup", 4, None),
-                Err(SmbError::DuplicateName(_))
+                Err(SmbError::DuplicateName { .. })
             ));
         });
         sim.run();
@@ -280,7 +550,10 @@ mod tests {
         let mut sim = Simulation::new();
         sim.spawn("w", move |ctx| {
             let client = SmbClient::new(s, NodeId(0));
-            assert!(matches!(client.alloc(&ctx, ShmKey(99)), Err(SmbError::UnknownKey(_))));
+            assert!(matches!(
+                client.alloc(&ctx, ShmKey(99)),
+                Err(SmbError::UnknownKey { .. })
+            ));
         });
         sim.run();
     }
@@ -401,6 +674,132 @@ mod tests {
             client.write(&ctx, &buf, &[1.0, 1.0]).unwrap();
             assert_eq!(sub.try_recv(&ctx), Some(1));
             assert_eq!(s.version(key).unwrap(), 1);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn lease_eviction_reclaims_crashed_workers_segment() {
+        use shmcaffe_simnet::SimDuration;
+        let server = setup(2);
+        let s = server.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("supervisor", move |ctx| {
+            let alive = SmbClient::new(s.clone(), NodeId(0));
+            let k_alive = alive.create_owned(&ctx, "dw_alive", 4, None, 0).unwrap();
+            let k_dead = alive.create_owned(&ctx, "dw_dead", 4, None, 1).unwrap();
+            assert_eq!(s.lease_owner(k_dead), Some(1));
+            // Rank 0 heartbeats every 200 ms; rank 1 never does (crashed).
+            for _ in 0..3 {
+                ctx.sleep(SimDuration::from_millis(200));
+                alive.heartbeat(&ctx, 0);
+            }
+            // 600 ms without a heartbeat from rank 1 > 500 ms lease timeout.
+            let evicted = s.evict_stale(&ctx);
+            assert_eq!(evicted, vec![k_dead]);
+            assert_eq!(s.lease_owner(k_dead), None);
+            assert!(matches!(
+                alive.alloc(&ctx, k_dead),
+                Err(SmbError::LeaseExpired { owner: 1, .. })
+            ));
+            // Rank 0's lease is fresh; its segment survives eviction.
+            assert!(alive.alloc(&ctx, k_alive).is_ok());
+        });
+        sim.run();
+        assert_eq!(server.segment_count(), 1);
+    }
+
+    fn setup_faulty(nodes: usize, plan: shmcaffe_simnet::fault::FaultPlan) -> SmbServer {
+        let rdma = RdmaFabric::new(Fabric::with_faults(ClusterSpec::paper_testbed(nodes), plan));
+        SmbServer::new(rdma).unwrap()
+    }
+
+    fn read_through_outage(seed: u64) -> shmcaffe_simnet::SimTime {
+        use shmcaffe_simnet::fault::FaultPlan;
+        use shmcaffe_simnet::SimTime;
+        let plan = FaultPlan::new(seed).link_down(
+            NodeId(1),
+            SimTime::from_millis(1),
+            SimTime::from_millis(3),
+        );
+        let server = setup_faulty(2, plan);
+        let s = server.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("w", move |ctx| {
+            let client = SmbClient::new(s.clone(), NodeId(1));
+            let key = client.create(&ctx, "buf", 4, None).unwrap();
+            let buf = client.alloc(&ctx, key).unwrap();
+            client.write(&ctx, &buf, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+            // Jump into the middle of the outage window: the retrying read
+            // must fail fast inside it and recover after it ends.
+            ctx.sleep_until(SimTime::from_micros(1_500));
+            let mut out = [0.0f32; 4];
+            client
+                .read_retrying(&ctx, &buf, &mut out, &RetryPolicy::with_seed(seed))
+                .unwrap();
+            assert_eq!(out, [1.0, 2.0, 3.0, 4.0]);
+            assert!(ctx.now() > SimTime::from_millis(3), "recovered only after the window");
+            // The retry loop re-armed the QP on its way to success.
+            assert_eq!(
+                s.rdma().qp_state(NodeId(1), s.node()),
+                shmcaffe_rdma::QpState::Ready
+            );
+            // ... and the client accounted for the recovery.
+            let fs = client.fault_stats();
+            assert!(fs.faults >= 1 && fs.retries >= 1, "{fs:?}");
+            assert!(fs.max_recovery_ms > 0.0);
+        });
+        let end = sim.run();
+        let stats = server.rdma().fabric().fault_injector().unwrap().stats();
+        assert!(stats.link_down_hits >= 1, "at least one failed attempt");
+        end
+    }
+
+    #[test]
+    fn retrying_read_rides_out_link_down_window() {
+        read_through_outage(11);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_retry_timelines() {
+        assert_eq!(read_through_outage(42), read_through_outage(42));
+    }
+
+    #[test]
+    fn retrying_write_times_out_against_dead_link() {
+        use shmcaffe_simnet::fault::FaultPlan;
+        use shmcaffe_simnet::{SimDuration, SimTime};
+        let plan = FaultPlan::new(5).link_down(
+            NodeId(1),
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+        );
+        let server = setup_faulty(2, plan);
+        let s = server.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("w", move |ctx| {
+            let client = SmbClient::new(s.clone(), NodeId(1));
+            let key = client.create(&ctx, "buf", 4, None).unwrap();
+            let buf = client.alloc(&ctx, key).unwrap();
+            let policy = RetryPolicy {
+                max_attempts: 4,
+                deadline: SimDuration::from_millis(5),
+                ..RetryPolicy::with_seed(1)
+            };
+            let err = client.write_retrying(&ctx, &buf, &[0.0; 4], &policy).unwrap_err();
+            match err {
+                SmbError::Timeout { key, node, attempts, .. } => {
+                    assert_eq!(key, buf.key);
+                    assert_eq!(node, s.node());
+                    assert_eq!(attempts, 4);
+                }
+                other => panic!("expected Timeout, got {other:?}"),
+            }
+            // The pair is left faulted for the caller to observe.
+            assert_eq!(
+                s.rdma().qp_state(NodeId(1), s.node()),
+                shmcaffe_rdma::QpState::Error
+            );
         });
         sim.run();
     }

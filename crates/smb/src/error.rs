@@ -1,25 +1,43 @@
 use std::fmt;
 
 use shmcaffe_rdma::RdmaError;
+use shmcaffe_simnet::topology::NodeId;
+use shmcaffe_simnet::SimDuration;
 
 use crate::server::ShmKey;
 
-/// Errors produced by SMB operations.
+/// Errors produced by SMB operations. Every variant names the segment key
+/// and/or node involved, so a fault report can say *which* buffer on
+/// *which* server failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SmbError {
     /// The SHM key does not name a live segment.
-    UnknownKey(ShmKey),
+    UnknownKey {
+        /// The dead key.
+        key: ShmKey,
+        /// The server node the segment was expected on.
+        node: NodeId,
+    },
     /// A buffer name was created twice.
-    DuplicateName(String),
+    DuplicateName {
+        /// The colliding name.
+        name: String,
+        /// The server node holding the original.
+        node: NodeId,
+    },
     /// Source and destination of an accumulate differ in length.
     LengthMismatch {
         /// Source segment length (elements).
         src: usize,
         /// Destination segment length (elements).
         dst: usize,
+        /// The destination segment's key.
+        key: ShmKey,
     },
     /// The client buffer length does not match the caller's slice.
     SizeMismatch {
+        /// The segment being accessed.
+        key: ShmKey,
         /// Segment length (elements).
         expected: usize,
         /// Slice length provided by the caller.
@@ -27,22 +45,68 @@ pub enum SmbError {
     },
     /// No memory server exists on this fabric.
     NoMemoryServer,
-    /// An underlying RDMA failure.
+    /// The segment's owner lease expired and the server evicted it.
+    LeaseExpired {
+        /// The evicted segment.
+        key: ShmKey,
+        /// The owner rank whose heartbeat lapsed.
+        owner: usize,
+        /// The server node that evicted it.
+        node: NodeId,
+    },
+    /// The operation kept failing until the retry deadline was exhausted.
+    Timeout {
+        /// The segment being accessed.
+        key: ShmKey,
+        /// The server node being reached.
+        node: NodeId,
+        /// Total virtual time spent across all attempts.
+        waited: SimDuration,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// A single attempt failed with a transient transport error (the retry
+    /// layer surfaces this when it judges the error non-retriable).
+    Unavailable {
+        /// The segment being accessed.
+        key: ShmKey,
+        /// The server node being reached.
+        node: NodeId,
+        /// The transport failure.
+        cause: RdmaError,
+    },
+    /// An underlying RDMA failure outside any retry context.
     Rdma(RdmaError),
 }
 
 impl fmt::Display for SmbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SmbError::UnknownKey(k) => write!(f, "unknown SHM key {k}"),
-            SmbError::DuplicateName(n) => write!(f, "buffer name already exists: {n}"),
-            SmbError::LengthMismatch { src, dst } => {
-                write!(f, "accumulate length mismatch: src {src} vs dst {dst}")
+            SmbError::UnknownKey { key, node } => {
+                write!(f, "unknown SHM key {key} on {node}")
             }
-            SmbError::SizeMismatch { expected, got } => {
-                write!(f, "buffer has {expected} elements but caller passed {got}")
+            SmbError::DuplicateName { name, node } => {
+                write!(f, "buffer name already exists on {node}: {name}")
+            }
+            SmbError::LengthMismatch { src, dst, key } => {
+                write!(f, "accumulate length mismatch into {key}: src {src} vs dst {dst}")
+            }
+            SmbError::SizeMismatch { key, expected, got } => {
+                write!(f, "buffer {key} has {expected} elements but caller passed {got}")
             }
             SmbError::NoMemoryServer => write!(f, "fabric has no memory server endpoint"),
+            SmbError::LeaseExpired { key, owner, node } => {
+                write!(f, "lease on {key} (owner rank {owner}) expired; evicted by {node}")
+            }
+            SmbError::Timeout { key, node, waited, attempts } => {
+                write!(
+                    f,
+                    "op on {key} at {node} timed out after {attempts} attempts ({waited})"
+                )
+            }
+            SmbError::Unavailable { key, node, cause } => {
+                write!(f, "{node} unavailable for {key}: {cause}")
+            }
             SmbError::Rdma(e) => write!(f, "rdma error: {e}"),
         }
     }
@@ -52,6 +116,7 @@ impl std::error::Error for SmbError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SmbError::Rdma(e) => Some(e),
+            SmbError::Unavailable { cause, .. } => Some(cause),
             _ => None,
         }
     }
@@ -63,6 +128,23 @@ impl From<RdmaError> for SmbError {
     }
 }
 
+impl SmbError {
+    /// Whether the retry layer should try the operation again: transport
+    /// faults and timeouts are transient, protocol errors are not.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            SmbError::Timeout { .. } | SmbError::Unavailable { .. } => true,
+            SmbError::Rdma(e) => matches!(
+                e,
+                RdmaError::QpFault { .. }
+                    | RdmaError::QpNotReady { .. }
+                    | RdmaError::Timeout { .. }
+            ),
+            _ => false,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,9 +152,35 @@ mod tests {
     #[test]
     fn display_and_source() {
         use std::error::Error;
-        let e = SmbError::Rdma(RdmaError::UnknownRegion(shmcaffe_rdma::RemoteKey(3)));
+        let e = SmbError::Rdma(RdmaError::UnknownRegion {
+            rkey: shmcaffe_rdma::RemoteKey(3),
+            node: NodeId(1),
+        });
         assert!(e.source().is_some());
         assert!(!e.to_string().is_empty());
         assert!(SmbError::NoMemoryServer.source().is_none());
+    }
+
+    #[test]
+    fn unavailable_chains_to_the_rdma_cause() {
+        use std::error::Error;
+        let cause = RdmaError::BadNode(NodeId(9));
+        let e = SmbError::Unavailable { key: ShmKey(2), node: NodeId(4), cause };
+        let src = e.source().expect("source chained");
+        assert!(src.to_string().contains("node9"));
+        assert!(e.to_string().contains("shm:2"));
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(SmbError::Timeout {
+            key: ShmKey(1),
+            node: NodeId(0),
+            waited: SimDuration::from_millis(1),
+            attempts: 3,
+        }
+        .is_transient());
+        assert!(!SmbError::NoMemoryServer.is_transient());
+        assert!(!SmbError::UnknownKey { key: ShmKey(1), node: NodeId(0) }.is_transient());
     }
 }

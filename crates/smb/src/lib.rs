@@ -49,10 +49,12 @@
 mod client;
 mod error;
 pub mod progress;
+mod retry;
 mod server;
 pub mod sharded;
 
-pub use client::{SmbBuffer, SmbClient};
+pub use client::{ClientFaultStats, SmbBuffer, SmbClient};
 pub use error::SmbError;
+pub use retry::RetryPolicy;
 pub use server::{ShmKey, SmbServer, SmbServerConfig};
 pub use sharded::{ShardedBuffer, ShardedClient, ShardedKey, SmbCluster};

@@ -93,6 +93,7 @@ impl ProgressBoard {
         let buf = client.alloc(ctx, key)?;
         if buf.len() != n_workers * SLOT_FIELDS {
             return Err(SmbError::SizeMismatch {
+                key,
                 expected: n_workers * SLOT_FIELDS,
                 got: buf.len(),
             });

@@ -8,7 +8,7 @@ use shmcaffe_rdma::{MemoryRegion, RdmaFabric};
 use shmcaffe_simnet::channel::SimChannel;
 use shmcaffe_simnet::resource::{BandwidthResource, LinkModel};
 use shmcaffe_simnet::topology::NodeId;
-use shmcaffe_simnet::{SimContext, SimDuration};
+use shmcaffe_simnet::{SimContext, SimDuration, SimTime};
 
 use crate::SmbError;
 
@@ -47,6 +47,11 @@ pub struct SmbServerConfig {
     /// traffic). The paper measures 6.7 GB/s of *payload* through the
     /// 7 GB/s HCA — 96% efficiency — so 4.5% of the wire carries protocol.
     pub protocol_overhead: f64,
+    /// How long an owned segment survives without a heartbeat from its
+    /// owner before [`SmbServer::evict_stale`] reclaims it. Crashed workers
+    /// stop heartbeating, so their ΔW segments are evicted and survivors
+    /// keep training (crash-tolerant SEASGD).
+    pub lease_timeout: SimDuration,
 }
 
 impl Default for SmbServerConfig {
@@ -56,6 +61,7 @@ impl Default for SmbServerConfig {
             control_latency: SimDuration::from_micros(5),
             stream_bps: 1.5e9,
             protocol_overhead: 0.045,
+            lease_timeout: SimDuration::from_millis(500),
         }
     }
 }
@@ -73,6 +79,13 @@ struct Segment {
     version: u64,
 }
 
+/// Heartbeat state for an owned segment.
+#[derive(Debug, Clone, Copy)]
+struct Lease {
+    owner: usize,
+    last_heartbeat: SimTime,
+}
+
 struct ServerInner {
     node: NodeId,
     rdma: RdmaFabric,
@@ -83,6 +96,12 @@ struct ServerInner {
     names: Mutex<HashMap<String, ShmKey>>,
     next_key: Mutex<u64>,
     subscribers: Mutex<HashMap<ShmKey, Vec<SimChannel<u64>>>>,
+    /// Heartbeat leases for owned segments.
+    leases: Mutex<HashMap<ShmKey, Lease>>,
+    /// Keys reclaimed by lease expiry, with the lapsed owner — lookups of
+    /// these report [`SmbError::LeaseExpired`] rather than a bare unknown
+    /// key, so survivors learn *why* a peer's buffer vanished.
+    evicted: Mutex<HashMap<ShmKey, usize>>,
 }
 
 /// The SMB server: a segment table over the memory server's RAM plus the
@@ -155,6 +174,8 @@ impl SmbServer {
                 names: Mutex::new(HashMap::new()),
                 next_key: Mutex::new(1),
                 subscribers: Mutex::new(HashMap::new()),
+                leases: Mutex::new(HashMap::new()),
+                evicted: Mutex::new(HashMap::new()),
             }),
         })
     }
@@ -210,9 +231,27 @@ impl SmbServer {
         elems: usize,
         wire_bytes: Option<u64>,
     ) -> Result<ShmKey, SmbError> {
+        self.create_segment_owned(name, elems, wire_bytes, None, SimTime::ZERO)
+    }
+
+    /// Like [`SmbServer::create_segment`], but optionally binds the segment
+    /// to an owner rank's lease: if the owner stops heartbeating for longer
+    /// than [`SmbServerConfig::lease_timeout`], [`SmbServer::evict_stale`]
+    /// reclaims the segment.
+    pub(crate) fn create_segment_owned(
+        &self,
+        name: &str,
+        elems: usize,
+        wire_bytes: Option<u64>,
+        owner: Option<usize>,
+        now: SimTime,
+    ) -> Result<ShmKey, SmbError> {
         let mut names = self.inner.names.lock();
         if names.contains_key(name) {
-            return Err(SmbError::DuplicateName(name.to_string()));
+            return Err(SmbError::DuplicateName {
+                name: name.to_string(),
+                node: self.inner.node,
+            });
         }
         let mr = self.inner.rdma.register(self.inner.node, elems)?;
         let key = {
@@ -231,14 +270,31 @@ impl SmbServer {
             },
         );
         names.insert(name.to_string(), key);
+        if let Some(owner) = owner {
+            self.inner
+                .leases
+                .lock()
+                .insert(key, Lease { owner, last_heartbeat: now });
+        }
         Ok(key)
     }
 
     /// Looks up a segment's access info.
     pub(crate) fn segment(&self, key: ShmKey) -> Result<(MemoryRegion, u64), SmbError> {
         let segments = self.inner.segments.lock();
-        let seg = segments.get(&key).ok_or(SmbError::UnknownKey(key))?;
-        Ok((seg.mr, seg.wire_bytes))
+        match segments.get(&key) {
+            Some(seg) => Ok((seg.mr, seg.wire_bytes)),
+            None => Err(self.missing(key)),
+        }
+    }
+
+    /// The error for a key with no live segment: [`SmbError::LeaseExpired`]
+    /// if the server evicted it, otherwise [`SmbError::UnknownKey`].
+    fn missing(&self, key: ShmKey) -> SmbError {
+        match self.inner.evicted.lock().get(&key) {
+            Some(&owner) => SmbError::LeaseExpired { key, owner, node: self.inner.node },
+            None => SmbError::UnknownKey { key, node: self.inner.node },
+        }
     }
 
     /// Looks up a segment by name (for late-joining observers).
@@ -248,16 +304,58 @@ impl SmbServer {
 
     /// Destroys a segment and releases its memory.
     pub(crate) fn destroy_segment(&self, key: ShmKey) -> Result<(), SmbError> {
-        let seg = self
-            .inner
-            .segments
-            .lock()
-            .remove(&key)
-            .ok_or(SmbError::UnknownKey(key))?;
+        let seg = match self.inner.segments.lock().remove(&key) {
+            Some(seg) => seg,
+            None => return Err(self.missing(key)),
+        };
         self.inner.names.lock().remove(&seg.name);
         self.inner.subscribers.lock().remove(&key);
+        self.inner.leases.lock().remove(&key);
         self.inner.rdma.deregister(&seg.mr)?;
         Ok(())
+    }
+
+    /// Records a heartbeat from `owner`, refreshing every lease that rank
+    /// holds. Workers call this (via [`crate::SmbClient::heartbeat`]) at
+    /// least once per exchange round; a crashed worker stops.
+    pub fn touch_owner(&self, owner: usize, now: SimTime) {
+        let mut leases = self.inner.leases.lock();
+        for lease in leases.values_mut() {
+            if lease.owner == owner {
+                lease.last_heartbeat = now;
+            }
+        }
+    }
+
+    /// The owner rank of a leased segment, if any.
+    pub fn lease_owner(&self, key: ShmKey) -> Option<usize> {
+        self.inner.leases.lock().get(&key).map(|l| l.owner)
+    }
+
+    /// Evicts every leased segment whose owner has not heartbeated within
+    /// [`SmbServerConfig::lease_timeout`], releasing its memory. Returns
+    /// the evicted keys. Subsequent lookups of an evicted key report
+    /// [`SmbError::LeaseExpired`] with the lapsed owner.
+    pub fn evict_stale(&self, ctx: &SimContext) -> Vec<ShmKey> {
+        let now = ctx.now();
+        let timeout = self.inner.config.lease_timeout;
+        let stale: Vec<(ShmKey, usize)> = {
+            let leases = self.inner.leases.lock();
+            leases
+                .iter()
+                .filter(|(_, l)| now.since(l.last_heartbeat) > timeout)
+                .map(|(&k, l)| (k, l.owner))
+                .collect()
+        };
+        let mut evicted = Vec::new();
+        for (key, owner) in stale {
+            if self.destroy_segment(key).is_ok() {
+                self.inner.evicted.lock().insert(key, owner);
+                evicted.push(key);
+            }
+        }
+        evicted.sort();
+        evicted
     }
 
     /// Server-side accumulate: `dst += src` between two segments (paper
@@ -279,7 +377,7 @@ impl SmbServer {
         let (src_mr, _) = self.segment(src)?;
         let (dst_mr, dst_wire) = self.segment(dst)?;
         if src_mr.len != dst_mr.len {
-            return Err(SmbError::LengthMismatch { src: src_mr.len, dst: dst_mr.len });
+            return Err(SmbError::LengthMismatch { src: src_mr.len, dst: dst_mr.len, key: dst });
         }
         // The engine streams ΔW and W_g through server memory (three
         // passes per byte), serialised on the shared DRAM bus (T.A3:
@@ -323,10 +421,10 @@ impl SmbServer {
     /// Returns [`SmbError::UnknownKey`] for a dead segment.
     pub fn version(&self, key: ShmKey) -> Result<u64, SmbError> {
         let segments = self.inner.segments.lock();
-        segments
-            .get(&key)
-            .map(|s| s.version)
-            .ok_or(SmbError::UnknownKey(key))
+        match segments.get(&key) {
+            Some(s) => Ok(s.version),
+            None => Err(self.missing(key)),
+        }
     }
 
     /// Subscribes to update notifications for a segment. Each accumulate or

@@ -214,7 +214,11 @@ impl ShardedClient {
     /// Returns [`SmbError::SizeMismatch`] or per-shard errors.
     pub fn read(&self, ctx: &SimContext, buf: &ShardedBuffer, out: &mut [f32]) -> Result<(), SmbError> {
         if out.len() != buf.len() {
-            return Err(SmbError::SizeMismatch { expected: buf.len(), got: out.len() });
+            return Err(SmbError::SizeMismatch {
+                key: buf.shards[0].key,
+                expected: buf.len(),
+                got: out.len(),
+            });
         }
         let chunks = self.fan_out(ctx, buf, |cctx, client, shard, _k| {
             let mut chunk = vec![0.0f32; shard.len()];
@@ -234,7 +238,11 @@ impl ShardedClient {
     /// Returns [`SmbError::SizeMismatch`] or per-shard errors.
     pub fn write(&self, ctx: &SimContext, buf: &ShardedBuffer, data: &[f32]) -> Result<(), SmbError> {
         if data.len() != buf.len() {
-            return Err(SmbError::SizeMismatch { expected: buf.len(), got: data.len() });
+            return Err(SmbError::SizeMismatch {
+                key: buf.shards[0].key,
+                expected: buf.len(),
+                got: data.len(),
+            });
         }
         // Clone the shard slices up front so the helper closures own them.
         let slices: Vec<Vec<f32>> = (0..buf.shards.len())
@@ -260,7 +268,11 @@ impl ShardedClient {
         dst: &ShardedBuffer,
     ) -> Result<(), SmbError> {
         if src.len() != dst.len() || src.shard_count() != dst.shard_count() {
-            return Err(SmbError::LengthMismatch { src: src.len(), dst: dst.len() });
+            return Err(SmbError::LengthMismatch {
+                src: src.len(),
+                dst: dst.len(),
+                key: dst.shards[0].key,
+            });
         }
         let src_shards: Arc<Vec<SmbBuffer>> = Arc::new(src.shards.clone());
         self.fan_out(ctx, dst, move |cctx, client, dst_shard, k| {

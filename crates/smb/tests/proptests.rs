@@ -1,5 +1,6 @@
 //! Property tests of the Soft Memory Box: accumulate order-independence,
-//! read-after-write, and sharded/unsharded equivalence.
+//! read-after-write, sharded/unsharded equivalence, and retry-policy
+//! determinism/deadline bounds.
 
 use parking_lot::Mutex;
 use proptest::collection::vec as pvec;
@@ -8,7 +9,7 @@ use shmcaffe_rdma::RdmaFabric;
 use shmcaffe_simnet::channel::SimChannel;
 use shmcaffe_simnet::topology::{ClusterSpec, Fabric, NodeId};
 use shmcaffe_simnet::{SimDuration, Simulation};
-use shmcaffe_smb::{ShardedClient, ShmKey, SmbClient, SmbCluster, SmbServer};
+use shmcaffe_smb::{RetryPolicy, ShardedClient, ShmKey, SmbClient, SmbCluster, SmbServer};
 use std::sync::Arc;
 
 fn server(nodes: usize) -> SmbServer {
@@ -133,6 +134,50 @@ proptest! {
         for i in 0..n {
             let expected = base[i] + inc[i];
             prop_assert!((got[i] - expected).abs() < 1e-4, "{} vs {}", got[i], expected);
+        }
+    }
+
+    /// The cumulative backoff of any retry schedule never exceeds the
+    /// policy's deadline, no single backoff exceeds the per-attempt cap,
+    /// and the schedule never plans more retries than `max_attempts - 1`.
+    #[test]
+    fn retry_schedule_is_bounded_by_deadline(
+        seed in 0u64..1_000_000_000,
+        max_attempts in 1u32..20,
+        base_us in 1u64..5_000,
+        factor in 1.0f64..4.0,
+        deadline_us in 1u64..200_000,
+        jitter in 0.0f64..1.0,
+    ) {
+        let policy = RetryPolicy {
+            max_attempts,
+            base: SimDuration::from_micros(base_us),
+            factor,
+            max_backoff: SimDuration::from_millis(20),
+            deadline: SimDuration::from_micros(deadline_us),
+            jitter,
+            seed,
+        };
+        let schedule = policy.schedule();
+        prop_assert!(schedule.len() < max_attempts.max(1) as usize);
+        let total: SimDuration = schedule.iter().copied().sum();
+        prop_assert!(total <= policy.deadline, "{} > {}", total, policy.deadline);
+        for b in &schedule {
+            prop_assert!(*b <= policy.max_backoff);
+        }
+    }
+
+    /// Identical seeds yield bit-identical retry schedules; the jitter is
+    /// a pure function of (seed, attempt).
+    #[test]
+    fn retry_schedule_is_deterministic_in_the_seed(
+        seed in 0u64..1_000_000_000,
+        max_attempts in 2u32..20,
+    ) {
+        let make = || RetryPolicy { max_attempts, ..RetryPolicy::with_seed(seed) };
+        prop_assert_eq!(make().schedule(), make().schedule());
+        for attempt in 1..max_attempts {
+            prop_assert_eq!(make().backoff(attempt), make().backoff(attempt));
         }
     }
 }

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the full workspace test suite plus a zero-warning clippy
+# pass. The chaos/fault tests are part of the default profile and are
+# sized to keep the whole run fast (the chaos integration test itself
+# completes in well under a second of real time).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
