@@ -9,6 +9,7 @@
 //! Run with `cargo run --release -p shmcaffe-bench --bin fig07_smb_bandwidth`.
 
 use parking_lot::Mutex;
+use shmcaffe_bench::json::{emit_figure, Json};
 use shmcaffe_bench::table::Table;
 use shmcaffe_rdma::RdmaFabric;
 use shmcaffe_simnet::topology::{ClusterSpec, Fabric, NodeId};
@@ -77,7 +78,15 @@ fn main() {
             format!("{:.0}%", bw / hca_bw * 100.0),
         ]);
     }
-    table.print();
+    emit_figure(
+        "fig07_smb_bandwidth",
+        &table,
+        vec![
+            ("peak_gbps", Json::Num(peak)),
+            ("hca_gbps", Json::Num(hca_bw)),
+            ("paper_peak_gbps", Json::Num(6.7)),
+        ],
+    );
     println!("peak aggregate: {peak:.2} GB/s ({:.0}% of the 7 GB/s HCA)", peak / hca_bw * 100.0);
     println!("paper: saturates at 6.7 GB/s (96%)");
 }

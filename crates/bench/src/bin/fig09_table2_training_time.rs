@@ -9,6 +9,7 @@
 //! `cargo run --release -p shmcaffe-bench --bin fig09_table2_training_time`.
 
 use shmcaffe_bench::experiments::{epochs_hours, measure, Platform, PAPER_EPOCHS};
+use shmcaffe_bench::json::{emit_figure, Json};
 use shmcaffe_bench::table::{hours_hm, Table};
 use shmcaffe_models::CnnModel;
 
@@ -47,7 +48,15 @@ fn main() {
             format!("{:.1}", scal(hours[pi][2])),
         ]);
     }
-    table.print();
+    emit_figure(
+        "fig09_table2_training_time",
+        &table,
+        vec![
+            ("caffe_1gpu_hours", Json::Num(caffe_1gpu_hours)),
+            ("shmcaffe_h_16gpu_hours", Json::Num(hours[4][2])),
+            ("speedup_vs_caffe", Json::Num(caffe_1gpu_hours / hours[4][2])),
+        ],
+    );
 
     // The paper's Table II "ShmCaffe" entry uses Hybrid SGD (§IV-C). Its
     // headline "10.1 times faster than Caffe" is against standalone Caffe

@@ -1,0 +1,340 @@
+//! Kernel-level throughput benchmark: GEMM, convolution, SMB accumulate.
+//!
+//! Measures the parallel compute backend at 1/2/4/8 logical threads (via
+//! `shmcaffe_tensor::parallel::with_threads`, so one process exercises all
+//! schedules) and records the results as `BENCH_kernels.json` at the repo
+//! root — the performance trajectory future PRs are held against. A copy
+//! of the original single-threaded blocked kernel serves as the GEMM
+//! baseline.
+//!
+//! Run with `cargo run --release -p shmcaffe-bench --bin kernel_bench`.
+//!
+//! `--checksum` instead trains the small CNN proxy for a fixed number of
+//! seeded SGD steps and prints an FNV-1a hash of the final weights; CI
+//! runs it under `SHMCAFFE_THREADS=1` and `=4` and diffs the output to
+//! prove the backend's thread-count invariance end to end.
+
+use shmcaffe_bench::json::{write_bench_json, Json};
+use shmcaffe_bench::table::Table;
+use shmcaffe_dnn::data::Dataset;
+use shmcaffe_dnn::data::SyntheticImages;
+use shmcaffe_dnn::{LrPolicy, Solver, SolverConfig};
+use shmcaffe_models::proxies;
+use shmcaffe_rdma::RdmaFabric;
+use shmcaffe_simnet::topology::{ClusterSpec, Fabric, NodeId};
+use shmcaffe_simnet::Simulation;
+use shmcaffe_smb::{SmbClient, SmbServer};
+use shmcaffe_tensor::conv::{conv2d_backward, conv2d_forward, Conv2dGeometry};
+use shmcaffe_tensor::gemm::{gemm, Transpose};
+use shmcaffe_tensor::parallel;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const GEMM_N: usize = 256;
+
+/// Seconds per repetition of `f` (after one warm-up call).
+fn time_per_rep(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+fn filled(n: usize, scale: f32) -> Vec<f32> {
+    (0..n).map(|i| ((i as f32) * scale).sin()).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Baseline: the pre-parallel blocked kernel (NN case), kept verbatim so the
+// GFLOP/s comparison in BENCH_kernels.json stays against a fixed reference.
+// ---------------------------------------------------------------------------
+
+const SEED_BLOCK: usize = 64;
+
+#[allow(clippy::many_single_char_names)]
+fn seed_gemm_nn(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+    c[..m * n].iter_mut().for_each(|v| *v = 0.0);
+    for i0 in (0..m).step_by(SEED_BLOCK) {
+        let i_max = (i0 + SEED_BLOCK).min(m);
+        for p0 in (0..k).step_by(SEED_BLOCK) {
+            let p_max = (p0 + SEED_BLOCK).min(k);
+            for i in i0..i_max {
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for p in p0..p_max {
+                    let av = alpha * a[i * k + p];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[p * n..(p + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn bench_gemm(table: &mut Table) -> Json {
+    let (m, n, k) = (GEMM_N, GEMM_N, GEMM_N);
+    let a = filled(m * k, 0.013);
+    let b = filled(k * n, 0.029);
+    let mut c = vec![0.0f32; m * n];
+    let flops = 2.0 * (m * n * k) as f64;
+    let reps = 8;
+
+    let seed_s = time_per_rep(reps, || seed_gemm_nn(m, n, k, 1.0, &a, &b, &mut c));
+    let seed_gflops = flops / seed_s / 1e9;
+    table.row_owned(vec![
+        format!("gemm {GEMM_N}^3 (seed kernel)"),
+        "1".to_string(),
+        format!("{:.2}", seed_s * 1e3),
+        format!("{seed_gflops:.2} GFLOP/s"),
+        String::new(),
+    ]);
+
+    let mut entries = Vec::new();
+    let mut one_thread_s = f64::NAN;
+    for &t in &THREAD_COUNTS {
+        let s = parallel::with_threads(t, || {
+            time_per_rep(reps, || {
+                gemm(Transpose::No, Transpose::No, m, n, k, 1.0, &a, &b, 0.0, &mut c);
+            })
+        });
+        if t == 1 {
+            one_thread_s = s;
+        }
+        let gflops = flops / s / 1e9;
+        table.row_owned(vec![
+            format!("gemm {GEMM_N}^3 (packed)"),
+            t.to_string(),
+            format!("{:.2}", s * 1e3),
+            format!("{gflops:.2} GFLOP/s"),
+            format!("{:.2}x vs 1T", one_thread_s / s),
+        ]);
+        entries.push(Json::obj(vec![
+            ("threads", Json::Int(t as i64)),
+            ("ms", Json::Num(s * 1e3)),
+            ("gflops", Json::Num(gflops)),
+            ("speedup_vs_1t", Json::Num(one_thread_s / s)),
+        ]));
+    }
+    let new_1t_gflops = flops / one_thread_s / 1e9;
+    Json::obj(vec![
+        ("size", Json::Int(GEMM_N as i64)),
+        ("seed_kernel_gflops", Json::Num(seed_gflops)),
+        ("packed_1t_gflops", Json::Num(new_1t_gflops)),
+        ("packed_vs_seed_1t", Json::Num(new_1t_gflops / seed_gflops)),
+        ("threads", Json::Arr(entries)),
+    ])
+}
+
+fn bench_conv(table: &mut Table) -> Json {
+    let geom = Conv2dGeometry::square(8, 16, 3, 1, 1);
+    let batch = 16;
+    let out_channels = 16;
+    let spatial = geom.col_cols().expect("valid geometry");
+    let col_len = geom.col_rows() * spatial;
+    let in_total = batch * geom.in_len();
+    let out_total = batch * out_channels * spatial;
+    let w_len = out_channels * geom.col_rows();
+
+    let input = filled(in_total, 0.017);
+    let weights = filled(w_len, 0.031);
+    let bias = filled(out_channels, 0.11);
+    let d_output = filled(out_total, 0.023);
+    let mut output = vec![0.0f32; out_total];
+    let mut d_weights = vec![0.0f32; w_len];
+    let mut d_bias = vec![0.0f32; out_channels];
+    let mut d_input = vec![0.0f32; in_total];
+    let mut col = vec![0.0f32; col_len];
+    let reps = 12;
+
+    let mut entries = Vec::new();
+    let mut one_thread_s = f64::NAN;
+    for &t in &THREAD_COUNTS {
+        let fwd_s = parallel::with_threads(t, || {
+            time_per_rep(reps, || {
+                conv2d_forward(
+                    &geom, batch, out_channels, &input, &weights, &bias, &mut output, &mut col,
+                );
+            })
+        });
+        let bwd_s = parallel::with_threads(t, || {
+            time_per_rep(reps, || {
+                d_weights.iter_mut().for_each(|v| *v = 0.0);
+                d_bias.iter_mut().for_each(|v| *v = 0.0);
+                conv2d_backward(
+                    &geom,
+                    batch,
+                    out_channels,
+                    &input,
+                    &weights,
+                    &d_output,
+                    &mut d_weights,
+                    &mut d_bias,
+                    &mut d_input,
+                    &mut col,
+                );
+            })
+        });
+        let total = fwd_s + bwd_s;
+        if t == 1 {
+            one_thread_s = total;
+        }
+        table.row_owned(vec![
+            format!("conv 8x16x16 k3 b{batch} fwd+bwd"),
+            t.to_string(),
+            format!("{:.2}", total * 1e3),
+            format!("fwd {:.2} / bwd {:.2} ms", fwd_s * 1e3, bwd_s * 1e3),
+            format!("{:.2}x vs 1T", one_thread_s / total),
+        ]);
+        entries.push(Json::obj(vec![
+            ("threads", Json::Int(t as i64)),
+            ("fwd_ms", Json::Num(fwd_s * 1e3)),
+            ("bwd_ms", Json::Num(bwd_s * 1e3)),
+            ("total_ms", Json::Num(total * 1e3)),
+            ("speedup_vs_1t", Json::Num(one_thread_s / total)),
+        ]));
+    }
+    Json::obj(vec![
+        ("geometry", Json::str("in 8x16x16, kernel 3x3 s1 p1, out 16ch, batch 16")),
+        ("threads", Json::Arr(entries)),
+    ])
+}
+
+fn bench_smb_accumulate(table: &mut Table) -> Json {
+    const ELEMS: usize = 1 << 20; // 4 MiB of f32 per accumulate
+    const ROUNDS: usize = 8;
+
+    let mut entries = Vec::new();
+    let mut one_thread_s = f64::NAN;
+    for &t in &THREAD_COUNTS {
+        let fabric = Fabric::new(ClusterSpec::paper_testbed(1));
+        let server = SmbServer::new(RdmaFabric::new(fabric)).unwrap();
+        let wall = Arc::new(Mutex::new(0.0f64));
+        let wall2 = Arc::clone(&wall);
+        let mut sim = Simulation::new();
+        sim.spawn("accum", move |ctx| {
+            let client = SmbClient::new(server, NodeId(0));
+            let src_key = client.create(&ctx, "src", ELEMS, None).unwrap();
+            let dst_key = client.create(&ctx, "dst", ELEMS, None).unwrap();
+            let src = client.alloc(&ctx, src_key).unwrap();
+            let dst = client.alloc(&ctx, dst_key).unwrap();
+            let data = filled(ELEMS, 0.019);
+            client.write(&ctx, &src, &data).unwrap();
+            // The override must live on the sim-process thread: that's
+            // where the server's data-plane add executes.
+            parallel::with_threads(t, || {
+                client.accumulate(&ctx, &src, &dst).unwrap(); // warm-up
+                let t0 = Instant::now();
+                for _ in 0..ROUNDS {
+                    client.accumulate(&ctx, &src, &dst).unwrap();
+                }
+                *wall2.lock().unwrap() = t0.elapsed().as_secs_f64() / ROUNDS as f64;
+            });
+        });
+        sim.run();
+        let s = *wall.lock().unwrap();
+        if t == 1 {
+            one_thread_s = s;
+        }
+        let gbps = (ELEMS * 4) as f64 / s / 1e9;
+        table.row_owned(vec![
+            format!("smb accumulate {} MiB", ELEMS * 4 / (1 << 20)),
+            t.to_string(),
+            format!("{:.2}", s * 1e3),
+            format!("{gbps:.2} GB/s"),
+            format!("{:.2}x vs 1T", one_thread_s / s),
+        ]);
+        entries.push(Json::obj(vec![
+            ("threads", Json::Int(t as i64)),
+            ("ms", Json::Num(s * 1e3)),
+            ("gbps", Json::Num(gbps)),
+            ("speedup_vs_1t", Json::Num(one_thread_s / s)),
+        ]));
+    }
+    Json::obj(vec![
+        ("elems", Json::Int(ELEMS as i64)),
+        ("threads", Json::Arr(entries)),
+    ])
+}
+
+/// Trains the CNN proxy for a fixed seeded schedule and returns the FNV-1a
+/// hash of the final weight bits. Identical output at any thread count is
+/// the end-to-end determinism check wired into `scripts/check.sh`.
+fn training_checksum() -> u64 {
+    let net = proxies::small_cnn(3, 16, 4, 7).expect("geometry fits");
+    let mut solver = Solver::new(
+        net,
+        SolverConfig {
+            base_lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 0.0005,
+            policy: LrPolicy::Step { gamma: 0.1, step_size: 20 },
+            clip_gradients: Some(5.0),
+        },
+    );
+    let data = SyntheticImages::new(4, 3, 16, 64, 0.5, 20180707);
+    let batch = 16;
+    for step in 0..30 {
+        let indices: Vec<usize> = (0..batch).map(|j| (step * batch + j) % data.len()).collect();
+        let (x, labels) = data.minibatch(&indices).expect("indices in range");
+        solver.step(&x, &labels).expect("shapes match");
+    }
+    let mut net = solver.into_net();
+    let mut weights = vec![0.0f32; net.param_len()];
+    net.copy_weights_to(&mut weights).expect("sized to param_len");
+
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in weights {
+        for byte in w.to_bits().to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--checksum") {
+        println!("weights_checksum=0x{:016x}", training_checksum());
+        return;
+    }
+
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("Kernel throughput at 1/2/4/8 logical threads (deterministic backend)");
+    println!("host available_parallelism: {host_threads}\n");
+
+    let mut table = Table::new(
+        "Kernel throughput",
+        &["kernel", "threads", "ms/rep", "throughput", "speedup"],
+    );
+    let gemm_json = bench_gemm(&mut table);
+    let conv_json = bench_conv(&mut table);
+    let smb_json = bench_smb_accumulate(&mut table);
+    table.print();
+
+    let doc = Json::obj(vec![
+        ("benchmark", Json::str("kernel_bench")),
+        ("available_parallelism", Json::Int(host_threads as i64)),
+        (
+            "note",
+            Json::str(
+                "thread sweeps use with_threads() overrides; wall-clock speedups above 1x \
+                 require the host to expose that many cores",
+            ),
+        ),
+        ("gemm", gemm_json),
+        ("conv", conv_json),
+        ("smb_accumulate", smb_json),
+        ("table", Json::from(&table)),
+    ]);
+    match write_bench_json("kernels", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_kernels.json: {e}"),
+    }
+}

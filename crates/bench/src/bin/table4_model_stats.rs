@@ -6,6 +6,7 @@
 //!
 //! Run with `cargo run --release -p shmcaffe-bench --bin table4_model_stats`.
 
+use shmcaffe_bench::json::{emit_figure, Json};
 use shmcaffe_bench::table::Table;
 use shmcaffe_dnn::Phase;
 use shmcaffe_models::{proxies, CnnModel};
@@ -64,5 +65,13 @@ fn main() {
         format!("{fwd_ms:.2}"),
         format!("{total_ms:.2}"),
     ]);
-    live.print();
+    emit_figure(
+        "table4_model_stats",
+        &live,
+        vec![
+            ("proxy_fwd_ms", Json::Num(fwd_ms)),
+            ("proxy_fwd_bwd_ms", Json::Num(total_ms)),
+            ("calibrated_table", Json::from(&table)),
+        ],
+    );
 }

@@ -1,0 +1,235 @@
+//! Shared JSON emission for experiment binaries.
+//!
+//! Every `fig*` binary used to hand-roll its terminal output; this module
+//! centralises the machine-readable half: a tiny ordered JSON value type
+//! (no external dependency, insertion-ordered objects so diffs are stable),
+//! a [`crate::table::Table`] → JSON conversion, and the `BENCH_*.json`
+//! writer used to record the performance trajectory at the repo root.
+//!
+//! Figure binaries call [`emit_figure`]; it always prints the table and
+//! additionally writes `BENCH_<name>.json` when `SHMCAFFE_BENCH_JSON` is
+//! set (so casual runs do not touch the working tree). `kernel_bench`
+//! writes its file unconditionally via [`write_bench_json`].
+
+use crate::table::Table;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A JSON value with insertion-ordered object keys.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (rendered with up to 6 significant decimals) —
+    /// non-finite values render as `null`.
+    Num(f64),
+    /// An integer, rendered without a decimal point.
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience string constructor.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience object constructor from `(key, value)` pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Renders the value as pretty-printed JSON (2-space indent, trailing
+    /// newline at the top level only via [`render`]).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(v) => {
+                if v.is_finite() {
+                    // Trim trailing zeros but keep at least one decimal so
+                    // numbers round-trip as floats.
+                    let s = format!("{v:.6}");
+                    let s = s.trim_end_matches('0');
+                    let s = s.strip_suffix('.').unwrap_or(s);
+                    out.push_str(if s.is_empty() { "0" } else { s });
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<&Table> for Json {
+    /// `{title, headers, rows}` with rows as string arrays — the common
+    /// shape every figure binary records.
+    fn from(t: &Table) -> Json {
+        Json::obj(vec![
+            ("title", Json::str(t.title())),
+            ("headers", Json::Arr(t.headers().iter().map(Json::str).collect())),
+            (
+                "rows",
+                Json::Arr(
+                    t.rows()
+                        .iter()
+                        .map(|r| Json::Arr(r.iter().map(Json::str).collect()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The repository root, resolved from the bench crate's manifest directory
+/// (`crates/bench/../..`).
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+/// Writes `BENCH_<name>.json` at the repo root and returns its path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_bench_json(name: &str, value: &Json) -> std::io::Result<PathBuf> {
+    let path = repo_root().join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, value.render())?;
+    Ok(path)
+}
+
+/// Standard tail of a figure binary: prints the table and, when
+/// `SHMCAFFE_BENCH_JSON` is set in the environment, writes the table plus
+/// `extras` as `BENCH_<name>.json` at the repo root.
+pub fn emit_figure(name: &str, table: &Table, extras: Vec<(&str, Json)>) {
+    table.print();
+    if std::env::var_os("SHMCAFFE_BENCH_JSON").is_none() {
+        return;
+    }
+    let mut pairs = vec![("table", Json::from(table))];
+    pairs.extend(extras);
+    match write_bench_json(name, &Json::obj(pairs)) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_{name}.json: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_ordered_object() {
+        let v = Json::obj(vec![
+            ("b", Json::Int(2)),
+            ("a", Json::Num(1.5)),
+            ("s", Json::str("x\"y")),
+            ("arr", Json::Arr(vec![Json::Bool(true), Json::Null])),
+        ]);
+        let s = v.render();
+        // Insertion order preserved, not sorted.
+        assert!(s.find("\"b\"").unwrap() < s.find("\"a\"").unwrap());
+        assert!(s.contains("\"x\\\"y\""));
+        assert!(s.contains("1.5"));
+        assert!(s.contains("null"));
+    }
+
+    #[test]
+    fn numbers_trim_trailing_zeros() {
+        assert_eq!(Json::Num(2.0).render().trim(), "2");
+        assert_eq!(Json::Num(0.25).render().trim(), "0.25");
+        assert_eq!(Json::Num(f64::NAN).render().trim(), "null");
+    }
+
+    #[test]
+    fn table_round_trips_shape() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(&["1", "2"]);
+        let j = Json::from(&t);
+        let s = j.render();
+        assert!(s.contains("\"title\": \"T\""));
+        assert!(s.contains("\"headers\""));
+        assert!(s.contains("\"rows\""));
+    }
+
+    #[test]
+    fn repo_root_contains_workspace_manifest() {
+        assert!(repo_root().join("Cargo.toml").exists());
+    }
+}

@@ -4,6 +4,8 @@
 //! this library holds the shared machinery:
 //!
 //! * [`table`] — fixed-width table rendering for terminal output,
+//! * [`json`] — dependency-free ordered JSON emission (`BENCH_*.json`
+//!   perf-trajectory files and per-figure machine-readable output),
 //! * [`experiments`] — the parameterised experiment runners (platform ×
 //!   model × worker-count sweeps) used by both the binaries and the
 //!   criterion benches,
@@ -16,4 +18,5 @@
 
 pub mod convergence;
 pub mod experiments;
+pub mod json;
 pub mod table;

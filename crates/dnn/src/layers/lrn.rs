@@ -1,6 +1,10 @@
 //! Local Response Normalisation (across channels), as used by AlexNet and
 //! GoogLeNet/Inception-v1 — the paper's headline model.
+//!
+//! Both directions are batch-parallel: LRN windows never cross images, so
+//! each image runs as an independent task on the tensor worker pool.
 
+use shmcaffe_tensor::parallel::{self, Task};
 use shmcaffe_tensor::Tensor;
 
 use crate::{DnnError, Layer, Phase};
@@ -68,22 +72,44 @@ impl Layer for Lrn {
         let half = self.size / 2;
         let alpha_n = self.alpha / self.size as f32;
 
-        for n in 0..batch {
+        let img_len = channels * spatial;
+        let k = self.k;
+        let beta = self.beta;
+        let forward_one = |x_image: &[f32], out_image: &mut [f32], scale_image: &mut [f32]| {
             for c in 0..channels {
                 let lo = c.saturating_sub(half);
                 let hi = (c + half + 1).min(channels);
                 for s in 0..spatial {
                     let mut acc = 0.0f32;
                     for cc in lo..hi {
-                        let v = x[(n * channels + cc) * spatial + s];
+                        let v = x_image[cc * spatial + s];
                         acc += v * v;
                     }
-                    let idx = (n * channels + c) * spatial + s;
-                    let sc = self.k + alpha_n * acc;
-                    scale[idx] = sc;
-                    out.data_mut()[idx] = x[idx] * sc.powf(-self.beta);
+                    let idx = c * spatial + s;
+                    let sc = k + alpha_n * acc;
+                    scale_image[idx] = sc;
+                    out_image[idx] = x_image[idx] * sc.powf(-beta);
                 }
             }
+        };
+
+        if batch <= 1 || img_len == 0 || parallel::current_threads() <= 1 {
+            for ((x_image, out_image), scale_image) in
+                x.chunks(img_len.max(1)).zip(out.data_mut().chunks_mut(img_len.max(1))).zip(scale.chunks_mut(img_len.max(1)))
+            {
+                forward_one(x_image, out_image, scale_image);
+            }
+        } else {
+            let forward_one = &forward_one;
+            let tasks: Vec<Task<'_>> = x
+                .chunks(img_len)
+                .zip(out.data_mut().chunks_mut(img_len))
+                .zip(scale.chunks_mut(img_len))
+                .map(|((x_image, out_image), scale_image)| -> Task<'_> {
+                    Box::new(move || forward_one(x_image, out_image, scale_image))
+                })
+                .collect();
+            parallel::run_tasks(tasks);
         }
         self.cache = Some(LrnCache { input: input.clone(), scale });
         Ok(out)
@@ -109,27 +135,45 @@ impl Layer for Lrn {
         let mut d_input = Tensor::zeros(cache.input.dims());
 
         // dx_i = dy_i * s_i^{-β} − 2αβ/n · x_i · Σ_{j: i∈win(j)} dy_j x_j s_j^{-β-1}
-        for n in 0..batch {
+        let img_len = channels * spatial;
+        let beta = self.beta;
+        let backward_one = |n: usize, d_image: &mut [f32]| {
+            let base = n * img_len;
             for c in 0..channels {
                 let lo = c.saturating_sub(half);
                 let hi = (c + half + 1).min(channels);
                 for s in 0..spatial {
-                    let idx = (n * channels + c) * spatial + s;
-                    let mut grad = dy[idx] * scale[idx].powf(-self.beta);
+                    let idx = base + c * spatial + s;
+                    let mut grad = dy[idx] * scale[idx].powf(-beta);
                     // Channels j whose window contains c.
                     for j in lo..hi {
-                        let jdx = (n * channels + j) * spatial + s;
+                        let jdx = base + j * spatial + s;
                         grad -= 2.0
                             * alpha_n
-                            * self.beta
+                            * beta
                             * x[idx]
                             * dy[jdx]
                             * x[jdx]
-                            * scale[jdx].powf(-self.beta - 1.0);
+                            * scale[jdx].powf(-beta - 1.0);
                     }
-                    d_input.data_mut()[idx] = grad;
+                    d_image[c * spatial + s] = grad;
                 }
             }
+        };
+
+        if batch <= 1 || img_len == 0 || parallel::current_threads() <= 1 {
+            for (n, d_image) in d_input.data_mut().chunks_mut(img_len.max(1)).enumerate() {
+                backward_one(n, d_image);
+            }
+        } else {
+            let backward_one = &backward_one;
+            let tasks: Vec<Task<'_>> = d_input
+                .data_mut()
+                .chunks_mut(img_len)
+                .enumerate()
+                .map(|(n, d_image)| -> Task<'_> { Box::new(move || backward_one(n, d_image)) })
+                .collect();
+            parallel::run_tasks(tasks);
         }
         Ok(d_input)
     }

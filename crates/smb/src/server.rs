@@ -381,12 +381,13 @@ impl SmbServer {
         }
         // The engine streams ΔW and W_g through server memory (three
         // passes per byte), serialised on the shared DRAM bus (T.A3:
-        // requests are processed exclusively).
+        // requests are processed exclusively). The exclusivity is a
+        // sim-time property of the bus; the data-plane add below may use
+        // the tensor worker pool (fixed chunks, thread-count invariant)
+        // without changing the accounting.
         self.inner.memory.transfer(ctx, dst_wire * ACCUMULATE_MEM_PASSES);
         self.inner.rdma.with_two_regions(&src_mr, &dst_mr, |s, d| {
-            for (dv, &sv) in d.iter_mut().zip(s.iter()) {
-                *dv += sv;
-            }
+            shmcaffe_tensor::ops::axpy(1.0, s, d);
         })?;
         let version = self.bump_version(ctx, dst);
         Ok(version)

@@ -258,6 +258,13 @@ impl ShardedClient {
 
     /// Server-side accumulate `dst += src`, shard by shard, concurrently.
     ///
+    /// Shard-level concurrency is simulated time (each shard lives on its
+    /// own server, so their DRAM-bus charges overlap); within a shard the
+    /// server's data-plane add additionally runs element chunks on the
+    /// tensor worker pool. Both levels preserve exclusive-accumulate
+    /// semantics: shards are disjoint, and the in-shard split uses fixed
+    /// chunk boundaries, so the result is thread-count invariant.
+    ///
     /// # Errors
     ///
     /// Returns length-mismatch or per-shard errors.

@@ -5,8 +5,18 @@
 //! * inputs and outputs are `(N, C, H, W)` row-major,
 //! * weights are `(C_out, C_in, KH, KW)`,
 //! * the im2col matrix is `(C_in*KH*KW) x (H_out*W_out)` per image.
+//!
+//! The batch loop is the parallel axis: each image's im2col + gemm is an
+//! independent task on the crate worker pool (per-image output rows and
+//! input-gradient rows are disjoint). Weight/bias gradients, which reduce
+//! over the batch, are computed into per-image partial buffers and combined
+//! **in image order** on the calling thread, so the result is bit-identical
+//! at any `SHMCAFFE_THREADS` — the decomposition depends only on the batch
+//! size, never on the thread count.
 
 use crate::gemm::{gemm, Transpose};
+use crate::ops;
+use crate::parallel::{self, Task};
 use crate::TensorError;
 
 /// Geometry of a 2-D convolution or pooling window.
@@ -182,7 +192,12 @@ pub fn col2im(geom: &Conv2dGeometry, col: &[f32], image: &mut [f32]) {
 /// * `weights`: `(C_out, C_in*KH*KW)` flattened,
 /// * `bias`: length `C_out` (may be empty for no bias),
 /// * `output`: `(N, C_out, H_out, W_out)` flattened,
-/// * `col_buf`: scratch of `col_rows * col_cols` elements.
+/// * `col_buf`: scratch of `col_rows * col_cols` elements (used when the
+///   batch runs on the calling thread; parallel image tasks carry their own
+///   scratch so they never contend for it).
+///
+/// Images are processed as independent parallel tasks; see the module docs
+/// for the determinism contract.
 ///
 /// # Panics
 ///
@@ -203,15 +218,15 @@ pub fn conv2d_forward(
     let spatial = out_h * out_w;
     let in_len = geom.in_len();
     let out_len = out_channels * spatial;
+    let col_len = geom.col_rows() * spatial;
     assert_eq!(input.len(), batch * in_len, "input size mismatch");
     assert_eq!(output.len(), batch * out_len, "output size mismatch");
     assert_eq!(weights.len(), out_channels * geom.col_rows(), "weight size mismatch");
     assert!(bias.is_empty() || bias.len() == out_channels, "bias size mismatch");
+    assert_eq!(col_buf.len(), col_len, "col buffer size mismatch");
 
-    for n in 0..batch {
-        let image = &input[n * in_len..(n + 1) * in_len];
-        im2col(geom, image, col_buf);
-        let out_image = &mut output[n * out_len..(n + 1) * out_len];
+    let forward_one = |image: &[f32], out_image: &mut [f32], col: &mut [f32]| {
+        im2col(geom, image, col);
         // (C_out x K) * (K x spatial) = C_out x spatial
         gemm(
             Transpose::No,
@@ -221,7 +236,7 @@ pub fn conv2d_forward(
             geom.col_rows(),
             1.0,
             weights,
-            col_buf,
+            col,
             0.0,
             out_image,
         );
@@ -232,13 +247,37 @@ pub fn conv2d_forward(
                 }
             }
         }
+    };
+
+    if batch <= 1 || parallel::current_threads() <= 1 {
+        for (image, out_image) in input.chunks(in_len).zip(output.chunks_mut(out_len)) {
+            forward_one(image, out_image, col_buf);
+        }
+        return;
     }
+    let forward_one = &forward_one;
+    let tasks: Vec<Task<'_>> = input
+        .chunks(in_len)
+        .zip(output.chunks_mut(out_len))
+        .map(|(image, out_image)| -> Task<'_> {
+            Box::new(move || {
+                let mut col = vec![0.0f32; col_len];
+                forward_one(image, out_image, &mut col);
+            })
+        })
+        .collect();
+    parallel::run_tasks(tasks);
 }
 
 /// Convolution backward for a batch.
 ///
 /// Computes weight/bias gradients (accumulated into `d_weights`/`d_bias`)
 /// and, when `d_input` is non-empty, the input gradient (overwritten).
+///
+/// Per-image work (im2col, both gemms, col2im) runs as parallel tasks;
+/// the batch reductions into `d_weights`/`d_bias` go through per-image
+/// partial buffers combined in image order on the calling thread, keeping
+/// the result independent of the thread count.
 ///
 /// # Panics
 ///
@@ -261,22 +300,32 @@ pub fn conv2d_backward(
     let spatial = out_h * out_w;
     let in_len = geom.in_len();
     let out_len = out_channels * spatial;
+    let col_len = geom.col_rows() * spatial;
+    let dw_len = out_channels * geom.col_rows();
     assert_eq!(input.len(), batch * in_len, "input size mismatch");
     assert_eq!(d_output.len(), batch * out_len, "d_output size mismatch");
-    assert_eq!(d_weights.len(), out_channels * geom.col_rows(), "d_weights size mismatch");
+    assert_eq!(d_weights.len(), dw_len, "d_weights size mismatch");
     assert!(d_bias.is_empty() || d_bias.len() == out_channels, "d_bias size mismatch");
     assert!(d_input.is_empty() || d_input.len() == batch * in_len, "d_input size mismatch");
+    assert_eq!(col_buf.len(), col_len, "col buffer size mismatch");
 
     if !d_input.is_empty() {
         d_input.iter_mut().for_each(|v| *v = 0.0);
     }
 
-    for n in 0..batch {
+    // One task per image: gradients that reduce over the batch land in the
+    // image's own partial slice (computed with beta = 0), everything else
+    // writes disjoint per-image rows directly.
+    let backward_one = |n: usize,
+                        dw_partial: &mut [f32],
+                        db_partial: &mut [f32],
+                        d_image: &mut [f32],
+                        col: &mut [f32]| {
         let image = &input[n * in_len..(n + 1) * in_len];
         let d_out_image = &d_output[n * out_len..(n + 1) * out_len];
 
-        // dW += dY * col^T : (C_out x spatial) * (spatial x K)
-        im2col(geom, image, col_buf);
+        // dW_n = dY_n * col_n^T : (C_out x spatial) * (spatial x K)
+        im2col(geom, image, col);
         gemm(
             Transpose::No,
             Transpose::Yes,
@@ -285,18 +334,16 @@ pub fn conv2d_backward(
             spatial,
             1.0,
             d_out_image,
-            col_buf,
-            1.0,
-            d_weights,
+            col,
+            0.0,
+            dw_partial,
         );
 
-        if !d_bias.is_empty() {
-            for c in 0..out_channels {
-                d_bias[c] += d_out_image[c * spatial..(c + 1) * spatial].iter().sum::<f32>();
-            }
+        for (c, db) in db_partial.iter_mut().enumerate() {
+            *db = d_out_image[c * spatial..(c + 1) * spatial].iter().sum::<f32>();
         }
 
-        if !d_input.is_empty() {
+        if !d_image.is_empty() {
             // d_col = W^T * dY : (K x C_out) * (C_out x spatial)
             gemm(
                 Transpose::Yes,
@@ -308,9 +355,63 @@ pub fn conv2d_backward(
                 weights,
                 d_out_image,
                 0.0,
+                col,
+            );
+            col2im(geom, col, d_image);
+        }
+    };
+
+    let mut dw_partials = vec![0.0f32; batch * dw_len];
+    let mut db_partials = vec![0.0f32; batch * out_channels];
+    if batch <= 1 || parallel::current_threads() <= 1 {
+        let mut d_rest = &mut d_input[..];
+        for n in 0..batch {
+            let d_image = if d_rest.is_empty() {
+                &mut [][..]
+            } else {
+                let (head, tail) = d_rest.split_at_mut(in_len);
+                d_rest = tail;
+                head
+            };
+            backward_one(
+                n,
+                &mut dw_partials[n * dw_len..(n + 1) * dw_len],
+                &mut db_partials[n * out_channels..(n + 1) * out_channels],
+                d_image,
                 col_buf,
             );
-            col2im(geom, col_buf, &mut d_input[n * in_len..(n + 1) * in_len]);
+        }
+    } else {
+        let backward_one = &backward_one;
+        let mut d_in_chunks: Vec<&mut [f32]> = if d_input.is_empty() {
+            (0..batch).map(|_| &mut [][..]).collect()
+        } else {
+            d_input.chunks_mut(in_len).collect()
+        };
+        let tasks: Vec<Task<'_>> = dw_partials
+            .chunks_mut(dw_len)
+            .zip(db_partials.chunks_mut(out_channels))
+            .zip(d_in_chunks.drain(..))
+            .enumerate()
+            .map(|(n, ((dw_partial, db_partial), d_image))| -> Task<'_> {
+                Box::new(move || {
+                    let mut col = vec![0.0f32; col_len];
+                    backward_one(n, dw_partial, db_partial, d_image, &mut col);
+                })
+            })
+            .collect();
+        parallel::run_tasks(tasks);
+    }
+
+    // Deterministic reduction: image order, on the calling thread.
+    for n in 0..batch {
+        ops::axpy_serial(1.0, &dw_partials[n * dw_len..(n + 1) * dw_len], d_weights);
+        if !d_bias.is_empty() {
+            ops::axpy_serial(
+                1.0,
+                &db_partials[n * out_channels..(n + 1) * out_channels],
+                d_bias,
+            );
         }
     }
 }

@@ -4,8 +4,20 @@
 //! transposition of either operand — the same contract as `cblas_sgemm`,
 //! which Caffe calls for inner-product layers and im2col-based convolution.
 //!
-//! The implementation uses a cache-blocked kernel with a row-major
-//! micro-panel; it is deliberately dependency-free and `forbid(unsafe)`.
+//! The implementation is a BLIS-style packed kernel: operands are copied
+//! into contiguous zero-padded panels (`MR`-row panels of `op(A)`, `NR`-
+//! column panels of `op(B)`), and a register-blocked `MR x NR` micro-kernel
+//! accumulates along `k`. Packing makes all four transpose combinations hit
+//! the same inner loop with unit-stride reads, so transposed layers run as
+//! fast as plain ones.
+//!
+//! Row panels of `C` are distributed over the crate worker pool
+//! ([`crate::parallel`]). Split points are fixed multiples of `MC` derived
+//! only from the matrix shape — never from the thread count — and each task
+//! writes a disjoint row range of `C`, so the result is **bit-identical**
+//! at any `SHMCAFFE_THREADS` setting.
+
+use crate::parallel::{self, Task};
 
 /// Whether an operand is transposed, matching BLAS `CblasTrans`/`NoTrans`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -16,7 +28,14 @@ pub enum Transpose {
     Yes,
 }
 
-const BLOCK: usize = 64;
+/// Rows per micro-tile (accumulator rows held in registers).
+const MR: usize = 4;
+/// Columns per micro-tile.
+const NR: usize = 8;
+/// Rows of `op(A)` per cache block — also the parallel split granularity.
+const MC: usize = 64;
+/// Depth of one packed `k` block.
+const KC: usize = 256;
 
 /// Computes `C = alpha * op(A) * op(B) + beta * C` for row-major matrices.
 ///
@@ -55,40 +74,93 @@ pub fn gemm(
     assert!(b.len() >= k * n, "B too short: {} < {}", b.len(), k * n);
     assert!(c.len() >= m * n, "C too short: {} < {}", c.len(), m * n);
 
-    // Scale C by beta first.
-    if beta == 0.0 {
-        c[..m * n].iter_mut().for_each(|v| *v = 0.0);
-    } else if beta != 1.0 {
-        c[..m * n].iter_mut().for_each(|v| *v *= beta);
+    // When no product contributes, fall back to the pure beta update. In
+    // the common path the beta scaling is fused into the first-k-block
+    // write-back below, so `C` is traversed exactly once.
+    if alpha == 0.0 || k == 0 {
+        scale_c(m, n, beta, c);
+        return;
     }
-    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+    if m == 0 || n == 0 {
         return;
     }
 
-    match (trans_a, trans_b) {
-        (Transpose::No, Transpose::No) => gemm_nn(m, n, k, alpha, a, b, c),
-        (Transpose::Yes, Transpose::No) => gemm_tn(m, n, k, alpha, a, b, c),
-        (Transpose::No, Transpose::Yes) => gemm_nt(m, n, k, alpha, a, b, c),
-        (Transpose::Yes, Transpose::Yes) => gemm_tt(m, n, k, alpha, a, b, c),
+    // Pack op(B) for one k-block at a time (shared read-only across row
+    // tasks), then fan row panels of C out over the worker pool.
+    let n_panels = n.div_ceil(NR);
+    let mut packed_b = vec![0.0f32; KC.min(k) * n_panels * NR];
+    for (pc, kcb) in blocks(k, KC) {
+        pack_b(trans_b, n, k, pc, kcb, b, &mut packed_b);
+        let first_block = pc == 0;
+        let packed_b = &packed_b[..kcb * n_panels * NR];
+
+        // Borrow C as disjoint MC-row panels with fixed boundaries.
+        let mut c_rest = &mut c[..m * n];
+        let mut tasks: Vec<Task<'_>> = Vec::with_capacity(m.div_ceil(MC));
+        for (ic, mcb) in blocks(m, MC) {
+            let (c_panel, rest) = c_rest.split_at_mut(mcb * n);
+            c_rest = rest;
+            tasks.push(Box::new(move || {
+                gemm_block(
+                    trans_a, m, ic, mcb, n, k, pc, kcb, alpha, beta, first_block, a, packed_b,
+                    c_panel,
+                );
+            }));
+        }
+        parallel::run_tasks(tasks);
     }
 }
 
-/// `C += alpha * A * B`, A: m x k row-major, B: k x n row-major.
-fn gemm_nn(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
-    for i0 in (0..m).step_by(BLOCK) {
-        let i_max = (i0 + BLOCK).min(m);
-        for p0 in (0..k).step_by(BLOCK) {
-            let p_max = (p0 + BLOCK).min(k);
-            for i in i0..i_max {
-                let c_row = &mut c[i * n..(i + 1) * n];
-                for p in p0..p_max {
-                    let av = alpha * a[i * k + p];
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b[p * n..(p + 1) * n];
-                    for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                        *cv += av * bv;
+/// `C *= beta` (with the `beta == 0` NaN-overwriting semantics of BLAS).
+fn scale_c(m: usize, n: usize, beta: f32, c: &mut [f32]) {
+    if beta == 1.0 {
+        return;
+    }
+    parallel::par_chunks_mut(&mut c[..m * n], parallel::ELEMWISE_CHUNK, |_, chunk| {
+        if beta == 0.0 {
+            chunk.iter_mut().for_each(|v| *v = 0.0);
+        } else {
+            chunk.iter_mut().for_each(|v| *v *= beta);
+        }
+    });
+}
+
+/// Fixed block decomposition: `(start, len)` pairs covering `0..total`.
+fn blocks(total: usize, step: usize) -> impl Iterator<Item = (usize, usize)> {
+    (0..total).step_by(step).map(move |s| (s, step.min(total - s)))
+}
+
+/// `op(A)` element at logical `(i, p)`.
+#[inline(always)]
+fn a_at(trans_a: Transpose, m: usize, k: usize, a: &[f32], i: usize, p: usize) -> f32 {
+    match trans_a {
+        Transpose::No => a[i * k + p],
+        Transpose::Yes => a[p * m + i],
+    }
+}
+
+/// Packs `op(B)[pc..pc+kcb, 0..n]` into NR-column panels: panel `jp` holds,
+/// for each `p`, the `NR` consecutive columns starting at `jp * NR`
+/// (zero-padded past `n`).
+fn pack_b(trans_b: Transpose, n: usize, k: usize, pc: usize, kcb: usize, b: &[f32], out: &mut [f32]) {
+    let n_panels = n.div_ceil(NR);
+    for jp in 0..n_panels {
+        let j0 = jp * NR;
+        let cols = NR.min(n - j0);
+        let panel = &mut out[jp * kcb * NR..(jp + 1) * kcb * NR];
+        match trans_b {
+            Transpose::No => {
+                for (pp, dst) in panel.chunks_exact_mut(NR).enumerate() {
+                    let row = &b[(pc + pp) * n + j0..(pc + pp) * n + j0 + cols];
+                    dst[..cols].copy_from_slice(row);
+                    dst[cols..].iter_mut().for_each(|v| *v = 0.0);
+                }
+            }
+            Transpose::Yes => {
+                // B stored n x k: column j of op(B) is row j of storage.
+                for (pp, dst) in panel.chunks_exact_mut(NR).enumerate() {
+                    for (jj, d) in dst.iter_mut().enumerate() {
+                        *d = if jj < cols { b[(j0 + jj) * k + pc + pp] } else { 0.0 };
                     }
                 }
             }
@@ -96,50 +168,153 @@ fn gemm_nn(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &m
     }
 }
 
-/// `C += alpha * A^T * B`, A stored k x m, B stored k x n.
-fn gemm_tn(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
-    for p in 0..k {
-        let a_row = &a[p * m..(p + 1) * m];
-        let b_row = &b[p * n..(p + 1) * n];
-        for (i, &av) in a_row.iter().enumerate() {
-            let scaled = alpha * av;
-            if scaled == 0.0 {
-                continue;
-            }
-            let c_row = &mut c[i * n..(i + 1) * n];
-            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                *cv += scaled * bv;
+/// Packs `op(A)[ic..ic+mcb, pc..pc+kcb]` into MR-row panels: panel `ip`
+/// holds, for each `p`, the `MR` consecutive rows starting at `ic + ip*MR`
+/// (zero-padded past `m`).
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    trans_a: Transpose,
+    m: usize,
+    k: usize,
+    ic: usize,
+    mcb: usize,
+    pc: usize,
+    kcb: usize,
+    a: &[f32],
+    out: &mut [f32],
+) {
+    let m_panels = mcb.div_ceil(MR);
+    for ip in 0..m_panels {
+        let i0 = ic + ip * MR;
+        let rows = MR.min(ic + mcb - i0);
+        let panel = &mut out[ip * kcb * MR..(ip + 1) * kcb * MR];
+        for (pp, dst) in panel.chunks_exact_mut(MR).enumerate() {
+            for (ii, d) in dst.iter_mut().enumerate() {
+                *d = if ii < rows { a_at(trans_a, m, k, a, i0 + ii, pc + pp) } else { 0.0 };
             }
         }
     }
 }
 
-/// `C += alpha * A * B^T`, A stored m x k, B stored n x k.
-fn gemm_nt(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
-                acc += av * bv;
+/// One `MC x n` row panel of C for one k-block: packs the A block locally,
+/// then sweeps the `MR x NR` micro-kernel over the tile grid.
+///
+/// `c_panel` is the `mcb x n` sub-slice of C starting at row `ic`.
+#[allow(clippy::too_many_arguments)]
+fn gemm_block(
+    trans_a: Transpose,
+    m: usize,
+    ic: usize,
+    mcb: usize,
+    n: usize,
+    k: usize,
+    pc: usize,
+    kcb: usize,
+    alpha: f32,
+    beta: f32,
+    first_block: bool,
+    a: &[f32],
+    packed_b: &[f32],
+    c_panel: &mut [f32],
+) {
+    let mut packed_a = vec![0.0f32; mcb.div_ceil(MR) * MR * kcb];
+    pack_a(trans_a, m, k, ic, mcb, pc, kcb, a, &mut packed_a);
+
+    let n_panels = n.div_ceil(NR);
+    let mut acc = [[0.0f32; NR]; MR];
+    for jp in 0..n_panels {
+        let j0 = jp * NR;
+        let cols = NR.min(n - j0);
+        let b_panel = &packed_b[jp * kcb * NR..(jp + 1) * kcb * NR];
+        for ip in 0..mcb.div_ceil(MR) {
+            let i0 = ip * MR;
+            let rows = MR.min(mcb - i0);
+            let a_panel = &packed_a[ip * kcb * MR..(ip + 1) * kcb * MR];
+            micro_kernel_dispatch(kcb, a_panel, b_panel, &mut acc);
+            // Write-back with the alpha/beta update fused: the first k-block
+            // applies beta exactly once (beta == 0 overwrites, so stale NaNs
+            // never survive), later blocks accumulate.
+            for (ii, acc_row) in acc.iter_mut().enumerate().take(rows) {
+                let c_row = &mut c_panel[(i0 + ii) * n + j0..(i0 + ii) * n + j0 + cols];
+                if first_block {
+                    if beta == 0.0 {
+                        for (cv, av) in c_row.iter_mut().zip(acc_row.iter()) {
+                            *cv = alpha * av;
+                        }
+                    } else {
+                        for (cv, av) in c_row.iter_mut().zip(acc_row.iter()) {
+                            *cv = alpha * av + beta * *cv;
+                        }
+                    }
+                } else {
+                    for (cv, av) in c_row.iter_mut().zip(acc_row.iter()) {
+                        *cv += alpha * av;
+                    }
+                }
             }
-            c[i * n + j] += alpha * acc;
+            acc.iter_mut().for_each(|r| r.iter_mut().for_each(|v| *v = 0.0));
         }
     }
 }
 
-/// `C += alpha * A^T * B^T`, A stored k x m, B stored n x k.
-fn gemm_tt(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
-    for i in 0..m {
-        for j in 0..n {
-            let mut acc = 0.0f32;
-            for p in 0..k {
-                acc += a[p * m + i] * b[j * k + p];
+/// The register-blocked core: `acc += A_panel * B_panel` over `kc` steps.
+///
+/// `a` is `kc` groups of `MR` values (one per micro-row), `b` is `kc`
+/// groups of `NR` values (one per micro-column). Fixed-size array views
+/// let the compiler keep the `MR x NR` accumulator in registers and
+/// vectorise the column loop.
+#[inline(always)]
+fn micro_kernel_body(kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (av, bv) in a.chunks_exact(MR).zip(b.chunks_exact(NR)).take(kc) {
+        let av: &[f32; MR] = av.try_into().expect("MR chunk");
+        let bv: &[f32; NR] = bv.try_into().expect("NR chunk");
+        for (ii, acc_row) in acc.iter_mut().enumerate() {
+            let ai = av[ii];
+            for (jj, accv) in acc_row.iter_mut().enumerate() {
+                *accv += ai * bv[jj];
             }
-            c[i * n + j] += alpha * acc;
         }
     }
+}
+
+/// Baseline-ISA compilation of the micro-kernel.
+fn micro_kernel(kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
+    micro_kernel_body(kc, a, b, acc);
+}
+
+/// The same micro-kernel recompiled with AVX2 enabled, so the `NR`-wide
+/// column loop becomes one 256-bit lane instead of two 128-bit ones.
+///
+/// This performs the *identical* sequence of IEEE multiplies and adds as
+/// [`micro_kernel`] (Rust never contracts `a * b + c` into an FMA), just on
+/// wider registers — results stay bit-identical to the baseline path.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(unsafe_code)]
+unsafe fn micro_kernel_avx2(kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
+    micro_kernel_body(kc, a, b, acc);
+}
+
+/// Runtime micro-kernel selector, detected once per process.
+#[cfg(target_arch = "x86_64")]
+fn use_avx2() -> bool {
+    use std::sync::OnceLock;
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+}
+
+#[inline(always)]
+fn micro_kernel_dispatch(kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: guarded by the runtime AVX2 detection above.
+        #[allow(unsafe_code)]
+        unsafe {
+            micro_kernel_avx2(kc, a, b, acc);
+        }
+        return;
+    }
+    micro_kernel(kc, a, b, acc);
 }
 
 /// Matrix-vector product `y = alpha * op(A) * x + beta * y` (row-major).
@@ -167,7 +342,7 @@ pub fn gemv(
 mod tests {
     use super::*;
 
-    /// Textbook triple-loop reference used to validate the blocked kernels.
+    /// Textbook triple-loop reference used to validate the packed kernels.
     fn reference(
         trans_a: Transpose,
         trans_b: Transpose,
@@ -240,6 +415,27 @@ mod tests {
     }
 
     #[test]
+    fn deep_k_crosses_multiple_packed_blocks() {
+        // k > KC exercises the multi-block accumulate path (beta fused only
+        // into the first block's write-back).
+        let (m, n, k) = (9, 11, 2 * KC + 37);
+        for &ta in &[Transpose::No, Transpose::Yes] {
+            for &tb in &[Transpose::No, Transpose::Yes] {
+                let a = deterministic_matrix(m * k, 5);
+                let b = deterministic_matrix(k * n, 6);
+                let expected = reference(ta, tb, m, n, k, &a, &b);
+                let mut c = deterministic_matrix(m * n, 7);
+                let c0 = c.clone();
+                gemm(ta, tb, m, n, k, 0.5, &a, &b, 2.0, &mut c);
+                for (idx, (got, want)) in c.iter().zip(expected.iter()).enumerate() {
+                    let full = 0.5 * want + 2.0 * c0[idx];
+                    assert!((got - full).abs() < 2e-2, "{got} vs {full} ({ta:?},{tb:?})");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn alpha_beta_semantics() {
         let a = [1.0, 0.0, 0.0, 1.0];
         let b = [2.0, 3.0, 4.0, 5.0];
@@ -258,10 +454,42 @@ mod tests {
     }
 
     #[test]
+    fn alpha_zero_still_applies_beta() {
+        let mut c = [f32::NAN, 3.0];
+        gemm(Transpose::No, Transpose::No, 1, 2, 3, 0.0, &[0.0; 3], &[0.0; 6], 0.0, &mut c);
+        assert_eq!(c, [0.0, 0.0]);
+        let mut c = [2.0, 3.0];
+        gemm(Transpose::No, Transpose::No, 1, 2, 3, 0.0, &[0.0; 3], &[0.0; 6], 0.5, &mut c);
+        assert_eq!(c, [1.0, 1.5]);
+    }
+
+    #[test]
     fn zero_dims_are_noops() {
         let mut c = [5.0];
         gemm(Transpose::No, Transpose::No, 1, 1, 0, 1.0, &[], &[], 1.0, &mut c);
         assert_eq!(c, [5.0]);
+    }
+
+    #[test]
+    fn results_are_bit_identical_across_thread_counts() {
+        let (m, n, k) = (150, 67, 300);
+        let a = deterministic_matrix(m * k, 8);
+        let b = deterministic_matrix(k * n, 9);
+        let run = |threads: usize| {
+            crate::parallel::with_threads(threads, || {
+                let mut c = vec![0.0f32; m * n];
+                gemm(Transpose::No, Transpose::Yes, m, n, k, 1.0, &a, &b, 0.0, &mut c);
+                c
+            })
+        };
+        let serial = run(1);
+        for t in [2, 4, 7] {
+            let par = run(t);
+            assert!(
+                serial.iter().zip(par.iter()).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "threads={t} diverged"
+            );
+        }
     }
 
     #[test]

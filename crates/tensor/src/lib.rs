@@ -12,8 +12,13 @@
 //!   `scal`, `dot`, activations),
 //! * [`init`] — seeded weight initialisation (Gaussian, Xavier, MSRA).
 //!
-//! Everything is deterministic given a seed; there is no unsafe code and no
-//! external BLAS dependency.
+//! Everything is deterministic given a seed and there is no external BLAS
+//! dependency. Hot kernels run on a persistent crate-level worker pool
+//! ([`parallel`], sized by `SHMCAFFE_THREADS`) with **fixed split points**,
+//! so results are bit-identical at any thread count. The only unsafe code
+//! in the crate is two audited sites: the lifetime-erasure in the pool's
+//! dispatch path and the feature-gated AVX2 recompilation of the gemm
+//! micro-kernel (guarded by runtime detection, same IEEE operation order).
 //!
 //! # Example
 //!
@@ -30,7 +35,7 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod conv;
@@ -38,6 +43,7 @@ mod error;
 pub mod gemm;
 pub mod init;
 pub mod ops;
+pub mod parallel;
 pub mod pool;
 mod shape;
 pub mod softmax;

@@ -4,6 +4,13 @@
 //! [`crate::Tensor`] buffers, raw parameter vectors shared through the Soft
 //! Memory Box, and gradient accumulation buffers alike. This mirrors how
 //! Caffe's `math_functions.cpp` exposes `caffe_axpy` etc. over raw pointers.
+//!
+//! Slices longer than [`parallel::ELEMWISE_CHUNK`] are processed on the
+//! crate worker pool in fixed chunks; because the chunk grid depends only on
+//! the slice length, every result (including the chunk-ordered `dot`
+//! reduction) is bit-identical at any thread count.
+
+use crate::parallel::{self, Task, ELEMWISE_CHUNK};
 
 /// `y += alpha * x` (the SGD update kernel and the SMB accumulate kernel).
 ///
@@ -22,6 +29,17 @@
 /// ```
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    parallel::par_zip_mut(y, x, ELEMWISE_CHUNK, |yc, xc| axpy_serial(alpha, xc, yc));
+}
+
+/// Single-threaded `y += alpha * x`, for callers that are already inside a
+/// parallel region or that combine per-task partials in a fixed order.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+pub fn axpy_serial(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
     for (yv, &xv) in y.iter_mut().zip(x.iter()) {
         *yv += alpha * xv;
     }
@@ -34,26 +52,53 @@ pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
 /// Panics if `x.len() != y.len()`.
 pub fn axpby(alpha: f32, x: &[f32], beta: f32, y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "axpby length mismatch");
-    for (yv, &xv) in y.iter_mut().zip(x.iter()) {
-        *yv = alpha * xv + beta * *yv;
-    }
+    parallel::par_zip_mut(y, x, ELEMWISE_CHUNK, |yc, xc| {
+        for (yv, &xv) in yc.iter_mut().zip(xc.iter()) {
+            *yv = alpha * xv + beta * *yv;
+        }
+    });
 }
 
 /// `x *= alpha`.
 pub fn scal(alpha: f32, x: &mut [f32]) {
-    for v in x.iter_mut() {
-        *v *= alpha;
-    }
+    parallel::par_chunks_mut(x, ELEMWISE_CHUNK, |_, c| {
+        for v in c.iter_mut() {
+            *v *= alpha;
+        }
+    });
 }
 
 /// Dot product of two equal-length slices.
+///
+/// Per-chunk partial sums are combined in chunk order, so the result does
+/// not depend on the thread count.
 ///
 /// # Panics
 ///
 /// Panics if the lengths differ.
 pub fn dot(x: &[f32], y: &[f32]) -> f32 {
     assert_eq!(x.len(), y.len(), "dot length mismatch");
-    x.iter().zip(y.iter()).map(|(a, b)| a * b).sum()
+    let chunk_dot =
+        |xc: &[f32], yc: &[f32]| xc.iter().zip(yc.iter()).map(|(a, b)| a * b).sum::<f32>();
+    if x.len() <= ELEMWISE_CHUNK || parallel::current_threads() <= 1 {
+        return x
+            .chunks(ELEMWISE_CHUNK)
+            .zip(y.chunks(ELEMWISE_CHUNK))
+            .map(|(xc, yc)| chunk_dot(xc, yc))
+            .sum();
+    }
+    let n_chunks = x.len().div_ceil(ELEMWISE_CHUNK);
+    let mut partials = vec![0.0f32; n_chunks];
+    {
+        let chunk_dot = &chunk_dot;
+        let tasks: Vec<Task<'_>> = partials
+            .iter_mut()
+            .zip(x.chunks(ELEMWISE_CHUNK).zip(y.chunks(ELEMWISE_CHUNK)))
+            .map(|(slot, (xc, yc))| -> Task<'_> { Box::new(move || *slot = chunk_dot(xc, yc)) })
+            .collect();
+        parallel::run_tasks(tasks);
+    }
+    partials.iter().sum()
 }
 
 /// Element-wise `out = a - b`.
@@ -66,9 +111,11 @@ pub fn dot(x: &[f32], y: &[f32]) -> f32 {
 pub fn sub(a: &[f32], b: &[f32], out: &mut [f32]) {
     assert_eq!(a.len(), b.len(), "sub length mismatch");
     assert_eq!(a.len(), out.len(), "sub output length mismatch");
-    for ((o, &av), &bv) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
-        *o = av - bv;
-    }
+    parallel::par_zip2_mut(out, a, b, ELEMWISE_CHUNK, |oc, ac, bc| {
+        for ((o, &av), &bv) in oc.iter_mut().zip(ac.iter()).zip(bc.iter()) {
+            *o = av - bv;
+        }
+    });
 }
 
 /// Element-wise `out = a + b`.
@@ -79,9 +126,11 @@ pub fn sub(a: &[f32], b: &[f32], out: &mut [f32]) {
 pub fn add(a: &[f32], b: &[f32], out: &mut [f32]) {
     assert_eq!(a.len(), b.len(), "add length mismatch");
     assert_eq!(a.len(), out.len(), "add output length mismatch");
-    for ((o, &av), &bv) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
-        *o = av + bv;
-    }
+    parallel::par_zip2_mut(out, a, b, ELEMWISE_CHUNK, |oc, ac, bc| {
+        for ((o, &av), &bv) in oc.iter_mut().zip(ac.iter()).zip(bc.iter()) {
+            *o = av + bv;
+        }
+    });
 }
 
 /// ReLU forward: `out[i] = max(0, x[i])`.
@@ -91,9 +140,11 @@ pub fn add(a: &[f32], b: &[f32], out: &mut [f32]) {
 /// Panics if lengths differ.
 pub fn relu_forward(x: &[f32], out: &mut [f32]) {
     assert_eq!(x.len(), out.len(), "relu length mismatch");
-    for (o, &v) in out.iter_mut().zip(x.iter()) {
-        *o = v.max(0.0);
-    }
+    parallel::par_zip_mut(out, x, ELEMWISE_CHUNK, |oc, xc| {
+        for (o, &v) in oc.iter_mut().zip(xc.iter()) {
+            *o = v.max(0.0);
+        }
+    });
 }
 
 /// ReLU backward: `dx[i] = dy[i] * (x[i] > 0)`.
@@ -104,9 +155,11 @@ pub fn relu_forward(x: &[f32], out: &mut [f32]) {
 pub fn relu_backward(x: &[f32], dy: &[f32], dx: &mut [f32]) {
     assert_eq!(x.len(), dy.len(), "relu_backward length mismatch");
     assert_eq!(x.len(), dx.len(), "relu_backward output length mismatch");
-    for ((d, &xv), &g) in dx.iter_mut().zip(x.iter()).zip(dy.iter()) {
-        *d = if xv > 0.0 { g } else { 0.0 };
-    }
+    parallel::par_zip2_mut(dx, x, dy, ELEMWISE_CHUNK, |dc, xc, gc| {
+        for ((d, &xv), &g) in dc.iter_mut().zip(xc.iter()).zip(gc.iter()) {
+            *d = if xv > 0.0 { g } else { 0.0 };
+        }
+    });
 }
 
 /// Numerically stable sigmoid.
@@ -126,9 +179,11 @@ pub fn sigmoid(v: f32) -> f32 {
 /// Panics if lengths differ.
 pub fn sigmoid_forward(x: &[f32], out: &mut [f32]) {
     assert_eq!(x.len(), out.len(), "sigmoid length mismatch");
-    for (o, &v) in out.iter_mut().zip(x.iter()) {
-        *o = sigmoid(v);
-    }
+    parallel::par_zip_mut(out, x, ELEMWISE_CHUNK, |oc, xc| {
+        for (o, &v) in oc.iter_mut().zip(xc.iter()) {
+            *o = sigmoid(v);
+        }
+    });
 }
 
 /// Sigmoid backward given the forward *output* `y`: `dx = dy * y * (1 - y)`.
@@ -139,9 +194,11 @@ pub fn sigmoid_forward(x: &[f32], out: &mut [f32]) {
 pub fn sigmoid_backward(y: &[f32], dy: &[f32], dx: &mut [f32]) {
     assert_eq!(y.len(), dy.len(), "sigmoid_backward length mismatch");
     assert_eq!(y.len(), dx.len(), "sigmoid_backward output length mismatch");
-    for ((d, &yv), &g) in dx.iter_mut().zip(y.iter()).zip(dy.iter()) {
-        *d = g * yv * (1.0 - yv);
-    }
+    parallel::par_zip2_mut(dx, y, dy, ELEMWISE_CHUNK, |dc, yc, gc| {
+        for ((d, &yv), &g) in dc.iter_mut().zip(yc.iter()).zip(gc.iter()) {
+            *d = g * yv * (1.0 - yv);
+        }
+    });
 }
 
 /// Hyperbolic tangent forward over a slice.
@@ -151,9 +208,11 @@ pub fn sigmoid_backward(y: &[f32], dy: &[f32], dx: &mut [f32]) {
 /// Panics if lengths differ.
 pub fn tanh_forward(x: &[f32], out: &mut [f32]) {
     assert_eq!(x.len(), out.len(), "tanh length mismatch");
-    for (o, &v) in out.iter_mut().zip(x.iter()) {
-        *o = v.tanh();
-    }
+    parallel::par_zip_mut(out, x, ELEMWISE_CHUNK, |oc, xc| {
+        for (o, &v) in oc.iter_mut().zip(xc.iter()) {
+            *o = v.tanh();
+        }
+    });
 }
 
 /// Tanh backward given the forward output `y`: `dx = dy * (1 - y^2)`.
@@ -164,9 +223,11 @@ pub fn tanh_forward(x: &[f32], out: &mut [f32]) {
 pub fn tanh_backward(y: &[f32], dy: &[f32], dx: &mut [f32]) {
     assert_eq!(y.len(), dy.len(), "tanh_backward length mismatch");
     assert_eq!(y.len(), dx.len(), "tanh_backward output length mismatch");
-    for ((d, &yv), &g) in dx.iter_mut().zip(y.iter()).zip(dy.iter()) {
-        *d = g * (1.0 - yv * yv);
-    }
+    parallel::par_zip2_mut(dx, y, dy, ELEMWISE_CHUNK, |dc, yc, gc| {
+        for ((d, &yv), &g) in dc.iter_mut().zip(yc.iter()).zip(gc.iter()) {
+            *d = g * (1.0 - yv * yv);
+        }
+    });
 }
 
 /// Clips every element into `[-bound, bound]` (gradient clipping).
@@ -176,9 +237,11 @@ pub fn tanh_backward(y: &[f32], dy: &[f32], dx: &mut [f32]) {
 /// Panics if `bound` is negative or NaN.
 pub fn clip(bound: f32, x: &mut [f32]) {
     assert!(bound >= 0.0, "clip bound must be non-negative");
-    for v in x.iter_mut() {
-        *v = v.clamp(-bound, bound);
-    }
+    parallel::par_chunks_mut(x, ELEMWISE_CHUNK, |_, c| {
+        for v in c.iter_mut() {
+            *v = v.clamp(-bound, bound);
+        }
+    });
 }
 
 #[cfg(test)]
@@ -273,5 +336,32 @@ mod tests {
     fn axpy_panics_on_mismatch() {
         let mut y = [0.0; 2];
         axpy(1.0, &[1.0; 3], &mut y);
+    }
+
+    #[test]
+    fn large_ops_are_thread_count_invariant() {
+        use crate::parallel::with_threads;
+        let n = 3 * ELEMWISE_CHUNK + 123;
+        let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.013).sin()).collect();
+        let y0: Vec<f32> = (0..n).map(|i| (i as f32 * 0.029).cos()).collect();
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                let mut y = y0.clone();
+                axpy(0.37, &x, &mut y);
+                axpby(1.25, &x, -0.5, &mut y);
+                let mut out = vec![0.0f32; n];
+                relu_backward(&x, &y, &mut out);
+                sigmoid_forward(&y, &mut out);
+                let d = dot(&x, &y);
+                (y, out, d)
+            })
+        };
+        let (y1, o1, d1) = run(1);
+        for t in [2, 4, 7] {
+            let (yt, ot, dt) = run(t);
+            assert_eq!(y1, yt, "axpy/axpby threads={t}");
+            assert_eq!(o1, ot, "activations threads={t}");
+            assert_eq!(d1.to_bits(), dt.to_bits(), "dot threads={t}");
+        }
     }
 }

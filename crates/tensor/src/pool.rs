@@ -3,8 +3,13 @@
 //! Pooling shares the window geometry type with convolution
 //! ([`crate::conv::Conv2dGeometry`] with `in_channels` interpreted as the
 //! pooled channel count; pooling is applied per channel).
+//!
+//! Both directions are batch-parallel: every image's output (or input
+//! gradient) slice is disjoint, so images run as independent tasks on the
+//! crate worker pool with results identical at any thread count.
 
 use crate::conv::Conv2dGeometry;
+use crate::parallel::{self, Task};
 
 /// Pooling operator variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -44,13 +49,15 @@ pub fn pool_forward(
         assert_eq!(argmax.len(), output.len(), "argmax size mismatch");
     }
 
-    for n in 0..batch {
+    // One image per task; `argmax` entries stay absolute offsets into the
+    // full batched input, so the per-image closure carries the image index.
+    let forward_one = |n: usize, out_image: &mut [f32], argmax_image: &mut [usize]| {
         for c in 0..channels {
             let chan_base = n * in_len + c * geom.in_h * geom.in_w;
             let chan = &input[chan_base..chan_base + geom.in_h * geom.in_w];
             for oh in 0..out_h {
                 for ow in 0..out_w {
-                    let out_idx = n * out_len + c * out_h * out_w + oh * out_w + ow;
+                    let out_idx = c * out_h * out_w + oh * out_w + ow;
                     let h0 = (oh * geom.stride_h) as isize - geom.pad_h as isize;
                     let w0 = (ow * geom.stride_w) as isize - geom.pad_w as isize;
                     match kind {
@@ -79,8 +86,8 @@ pub fn pool_forward(
                                 best = 0.0;
                                 best_idx = usize::MAX;
                             }
-                            output[out_idx] = best;
-                            argmax[out_idx] = best_idx;
+                            out_image[out_idx] = best;
+                            argmax_image[out_idx] = best_idx;
                         }
                         PoolKind::Average => {
                             let mut sum = 0.0;
@@ -99,12 +106,37 @@ pub fn pool_forward(
                                     count += 1;
                                 }
                             }
-                            output[out_idx] = if count > 0 { sum / count as f32 } else { 0.0 };
+                            out_image[out_idx] =
+                                if count > 0 { sum / count as f32 } else { 0.0 };
                         }
                     }
                 }
             }
         }
+    };
+
+    let mut argmax_chunks: Vec<&mut [usize]> = if kind == PoolKind::Max {
+        argmax.chunks_mut(out_len).collect()
+    } else {
+        (0..batch).map(|_| &mut [][..]).collect()
+    };
+    if batch <= 1 || parallel::current_threads() <= 1 {
+        for (n, (out_image, am)) in
+            output.chunks_mut(out_len).zip(argmax_chunks.drain(..)).enumerate()
+        {
+            forward_one(n, out_image, am);
+        }
+    } else {
+        let forward_one = &forward_one;
+        let tasks: Vec<Task<'_>> = output
+            .chunks_mut(out_len)
+            .zip(argmax_chunks.drain(..))
+            .enumerate()
+            .map(|(n, (out_image, am))| -> Task<'_> {
+                Box::new(move || forward_one(n, out_image, am))
+            })
+            .collect();
+        parallel::run_tasks(tasks);
     }
 }
 
@@ -132,21 +164,25 @@ pub fn pool_backward(
         assert_eq!(argmax.len(), d_output.len(), "argmax size mismatch");
     }
 
-    d_input.iter_mut().for_each(|v| *v = 0.0);
-
-    match kind {
-        PoolKind::Max => {
-            for (out_idx, &g) in d_output.iter().enumerate() {
-                let src = argmax[out_idx];
-                if src != usize::MAX {
-                    d_input[src] += g;
+    // Every scatter target of image `n` lies inside its own input slice
+    // (argmax offsets embed the `n * in_len` base), so images are
+    // independent tasks; each zeroes and fills its own gradient slice.
+    let backward_one = |n: usize, d_image: &mut [f32]| {
+        d_image.iter_mut().for_each(|v| *v = 0.0);
+        match kind {
+            PoolKind::Max => {
+                let base = n * in_len;
+                let d_out_image = &d_output[n * out_len..(n + 1) * out_len];
+                let argmax_image = &argmax[n * out_len..(n + 1) * out_len];
+                for (&src, &g) in argmax_image.iter().zip(d_out_image.iter()) {
+                    if src != usize::MAX {
+                        d_image[src - base] += g;
+                    }
                 }
             }
-        }
-        PoolKind::Average => {
-            for n in 0..batch {
+            PoolKind::Average => {
                 for c in 0..channels {
-                    let chan_base = n * in_len + c * geom.in_h * geom.in_w;
+                    let chan_base = c * geom.in_h * geom.in_w;
                     for oh in 0..out_h {
                         for ow in 0..out_w {
                             let out_idx = n * out_len + c * out_h * out_w + oh * out_w + ow;
@@ -170,7 +206,7 @@ pub fn pool_backward(
                             if !cells.is_empty() {
                                 let share = d_output[out_idx] / cells.len() as f32;
                                 for idx in cells {
-                                    d_input[idx] += share;
+                                    d_image[idx] += share;
                                 }
                             }
                         }
@@ -178,6 +214,20 @@ pub fn pool_backward(
                 }
             }
         }
+    };
+
+    if batch <= 1 || parallel::current_threads() <= 1 {
+        for (n, d_image) in d_input.chunks_mut(in_len).enumerate() {
+            backward_one(n, d_image);
+        }
+    } else {
+        let backward_one = &backward_one;
+        let tasks: Vec<Task<'_>> = d_input
+            .chunks_mut(in_len)
+            .enumerate()
+            .map(|(n, d_image)| -> Task<'_> { Box::new(move || backward_one(n, d_image)) })
+            .collect();
+        parallel::run_tasks(tasks);
     }
 }
 

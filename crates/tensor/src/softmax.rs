@@ -3,6 +3,12 @@
 //! All functions operate row-wise on `(rows, classes)` matrices, matching
 //! Caffe's `SoftmaxWithLossLayer` semantics (loss averaged over the batch,
 //! numerically stabilised by max subtraction).
+//!
+//! Rows are independent, so the forward kernel runs row-groups in parallel
+//! on the crate worker pool. Group boundaries fall on whole rows and depend
+//! only on `classes`, keeping results thread-count invariant.
+
+use crate::parallel::{self, ELEMWISE_CHUNK};
 
 /// Row-wise softmax: each row of `x` (length `classes`) is normalised into
 /// `out`.
@@ -13,21 +19,26 @@
 pub fn softmax(rows: usize, classes: usize, x: &[f32], out: &mut [f32]) {
     assert_eq!(x.len(), rows * classes, "softmax input size mismatch");
     assert_eq!(out.len(), rows * classes, "softmax output size mismatch");
-    for r in 0..rows {
-        let row = &x[r * classes..(r + 1) * classes];
-        let out_row = &mut out[r * classes..(r + 1) * classes];
-        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0;
-        for (o, &v) in out_row.iter_mut().zip(row.iter()) {
-            let e = (v - max).exp();
-            *o = e;
-            sum += e;
-        }
-        let inv = 1.0 / sum;
-        for o in out_row.iter_mut() {
-            *o *= inv;
-        }
+    if rows == 0 || classes == 0 {
+        return;
     }
+    // Whole rows per task, roughly ELEMWISE_CHUNK elements each.
+    let rows_per_chunk = (ELEMWISE_CHUNK / classes).max(1);
+    parallel::par_zip_mut(out, x, rows_per_chunk * classes, |oc, xc| {
+        for (out_row, row) in oc.chunks_mut(classes).zip(xc.chunks(classes)) {
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for (o, &v) in out_row.iter_mut().zip(row.iter()) {
+                let e = (v - max).exp();
+                *o = e;
+                sum += e;
+            }
+            let inv = 1.0 / sum;
+            for o in out_row.iter_mut() {
+                *o *= inv;
+            }
+        }
+    });
 }
 
 /// Cross-entropy loss of softmax probabilities against integer labels,
@@ -74,9 +85,7 @@ pub fn softmax_cross_entropy_backward(
         assert!(label < classes, "label {label} out of range");
         d_logits[r * classes + label] -= 1.0;
     }
-    for v in d_logits.iter_mut() {
-        *v *= scale;
-    }
+    crate::ops::scal(scale, d_logits);
 }
 
 /// Fraction of rows whose label is among the `k` highest-scoring classes.

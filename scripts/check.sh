@@ -3,8 +3,35 @@
 # pass. The chaos/fault tests are part of the default profile and are
 # sized to keep the whole run fast (the chaos integration test itself
 # completes in well under a second of real time).
+#
+# The suite runs twice — once with SHMCAFFE_THREADS=1 and once with
+# SHMCAFFE_THREADS=4 — because the compute backend dispatches onto a
+# worker pool and every kernel promises bit-identical results at any
+# thread count. A seeded end-to-end training checksum is compared across
+# the two settings to catch any schedule-dependent reduction order.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo test -q --workspace
+echo "== tier-1 suite, SHMCAFFE_THREADS=1 =="
+SHMCAFFE_THREADS=1 cargo test -q --workspace
+
+echo "== tier-1 suite, SHMCAFFE_THREADS=4 =="
+SHMCAFFE_THREADS=4 cargo test -q --workspace
+
+echo "== seeded training checksum, 1 vs 4 threads =="
+cargo build -q --release -p shmcaffe-bench --bin kernel_bench
+sum1=$(SHMCAFFE_THREADS=1 ./target/release/kernel_bench --checksum)
+sum4=$(SHMCAFFE_THREADS=4 ./target/release/kernel_bench --checksum)
+echo "  1 thread : $sum1"
+echo "  4 threads: $sum4"
+if [ "$sum1" != "$sum4" ]; then
+    echo "FAIL: training checksum differs across thread counts" >&2
+    exit 1
+fi
+
+echo "== clippy (workspace, deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
+echo "== clippy (bench crate incl. bins, deny warnings) =="
+cargo clippy -p shmcaffe-bench --all-targets -- -D warnings
+
+echo "check.sh: all gates passed"
