@@ -1,0 +1,230 @@
+//! The lint allowlist: `analysis.toml` at the workspace root.
+//!
+//! Suppressions are deliberate, reviewed artifacts: every entry must carry a
+//! non-empty `justification` string, and entries that no longer match any
+//! violation are reported so the file cannot rot. The parser handles the
+//! small TOML subset the file needs (`[[allow]]` tables of string keys) and
+//! is hand-rolled so the checker stays dependency-free.
+
+use std::fmt;
+
+use crate::rules::{Violation, ALL_RULES};
+
+/// One suppression entry from `analysis.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// The rule being suppressed.
+    pub rule: String,
+    /// Workspace-relative path the suppression applies to.
+    pub path: String,
+    /// Optional substring the offending source line must contain, to pin
+    /// the suppression to a specific site instead of a whole file.
+    pub contains: Option<String>,
+    /// Why the violation is acceptable. Required and non-empty.
+    pub justification: String,
+    /// Line in `analysis.toml` where the entry starts (for messages).
+    pub line: usize,
+}
+
+impl fmt::Display for AllowEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.rule, self.path)?;
+        if let Some(c) = &self.contains {
+            write!(f, " (contains {c:?})")?;
+        }
+        Ok(())
+    }
+}
+
+impl AllowEntry {
+    /// Whether this entry suppresses `v`.
+    pub fn matches(&self, v: &Violation) -> bool {
+        self.rule == v.rule
+            && self.path == v.path
+            && self.contains.as_ref().is_none_or(|c| v.excerpt.contains(c.as_str()))
+    }
+}
+
+/// Parses the allowlist text.
+///
+/// # Errors
+///
+/// Returns a descriptive message for malformed syntax, unknown keys or
+/// rules, and entries missing a `justification`.
+pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut current: Option<AllowEntry> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(entry) = current.take() {
+                validate(&entry)?;
+                entries.push(entry);
+            }
+            current = Some(AllowEntry {
+                rule: String::new(),
+                path: String::new(),
+                contains: None,
+                justification: String::new(),
+                line: lineno,
+            });
+            continue;
+        }
+        let entry = current
+            .as_mut()
+            .ok_or_else(|| format!("analysis.toml:{lineno}: key outside an [[allow]] table"))?;
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("analysis.toml:{lineno}: expected `key = \"value\"`"))?;
+        let value = unquote(value.trim())
+            .ok_or_else(|| format!("analysis.toml:{lineno}: value must be a quoted string"))?;
+        match key.trim() {
+            "rule" => entry.rule = value,
+            "path" => entry.path = value,
+            "contains" => entry.contains = Some(value),
+            "justification" => entry.justification = value,
+            other => {
+                return Err(format!("analysis.toml:{lineno}: unknown key `{other}`"));
+            }
+        }
+    }
+    if let Some(entry) = current.take() {
+        validate(&entry)?;
+        entries.push(entry);
+    }
+    Ok(entries)
+}
+
+fn validate(entry: &AllowEntry) -> Result<(), String> {
+    let at = entry.line;
+    if entry.rule.is_empty() {
+        return Err(format!("analysis.toml:{at}: entry is missing `rule`"));
+    }
+    if !ALL_RULES.contains(&entry.rule.as_str()) {
+        return Err(format!("analysis.toml:{at}: unknown rule `{}`", entry.rule));
+    }
+    if entry.path.is_empty() {
+        return Err(format!("analysis.toml:{at}: entry is missing `path`"));
+    }
+    if entry.justification.trim().is_empty() {
+        return Err(format!(
+            "analysis.toml:{at}: suppression for [{}] {} has no justification \
+             (a non-empty `justification = \"...\"` is required)",
+            entry.rule, entry.path
+        ));
+    }
+    Ok(())
+}
+
+fn unquote(v: &str) -> Option<String> {
+    let v = v.strip_prefix('"')?;
+    let v = v.strip_suffix('"')?;
+    // The subset does not need escapes beyond \" and \\.
+    Some(v.replace("\\\"", "\"").replace("\\\\", "\\"))
+}
+
+/// Splits `violations` into (unsuppressed, indices of used entries).
+pub fn apply(violations: Vec<Violation>, entries: &[AllowEntry]) -> (Vec<Violation>, Vec<bool>) {
+    let mut used = vec![false; entries.len()];
+    let remaining = violations
+        .into_iter()
+        .filter(|v| {
+            let mut suppressed = false;
+            for (i, e) in entries.iter().enumerate() {
+                if e.matches(v) {
+                    used[i] = true;
+                    suppressed = true;
+                }
+            }
+            !suppressed
+        })
+        .collect();
+    (remaining, used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RULE_HASH_COLLECTIONS;
+
+    fn violation() -> Violation {
+        Violation {
+            rule: RULE_HASH_COLLECTIONS,
+            path: "crates/simnet/tests/proptests.rs".to_string(),
+            line: 41,
+            excerpt: "let mut last_per: std::collections::HashMap<usize, u64> = ..;".to_string(),
+        }
+    }
+
+    #[test]
+    fn entry_with_justification_suppresses() {
+        let entries = parse_allowlist(
+            r#"
+[[allow]]
+rule = "hash-collections"
+path = "crates/simnet/tests/proptests.rs"
+contains = "last_per"
+justification = "point lookups only, never iterated"
+"#,
+        )
+        .unwrap();
+        let (rest, used) = apply(vec![violation()], &entries);
+        assert!(rest.is_empty());
+        assert_eq!(used, vec![true]);
+    }
+
+    #[test]
+    fn missing_justification_is_an_error() {
+        let err = parse_allowlist(
+            "[[allow]]\nrule = \"hash-collections\"\npath = \"crates/simnet/x.rs\"\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("justification"), "{err}");
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let err =
+            parse_allowlist("[[allow]]\nrule = \"nope\"\npath = \"x\"\njustification = \"y\"\n")
+                .unwrap_err();
+        assert!(err.contains("unknown rule"), "{err}");
+    }
+
+    #[test]
+    fn contains_pins_the_site() {
+        let entries = parse_allowlist(
+            r#"
+[[allow]]
+rule = "hash-collections"
+path = "crates/simnet/tests/proptests.rs"
+contains = "some_other_map"
+justification = "not this one"
+"#,
+        )
+        .unwrap();
+        let (rest, used) = apply(vec![violation()], &entries);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(used, vec![false]);
+    }
+
+    #[test]
+    fn unused_entries_are_reported_as_such() {
+        let entries = parse_allowlist(
+            r#"
+[[allow]]
+rule = "ambient-time"
+path = "crates/dnn/src/net.rs"
+justification = "stale"
+"#,
+        )
+        .unwrap();
+        let (rest, used) = apply(vec![violation()], &entries);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(used, vec![false]);
+    }
+}

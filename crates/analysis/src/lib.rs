@@ -1,0 +1,86 @@
+//! Workspace invariant checker for the ShmCaffe reproduction.
+//!
+//! Two engines keep the simulation honest:
+//!
+//! 1. **Determinism lint** (this crate): a lexical scan of every workspace
+//!    crate rejecting constructs that break run-to-run reproducibility —
+//!    hashed collections in sim/data-plane crates, ambient time and
+//!    randomness, ad-hoc float reductions, and `unsafe` outside the two
+//!    audited tensor hot paths. Suppressions live in `analysis.toml` and
+//!    require a written justification.
+//! 2. **Race detector** (`shmcaffe-simnet::race`, feature `race-detect`):
+//!    a vector-clock happens-before checker over SMB/RDMA byte-range
+//!    accesses, exercised by the integration tests.
+//!
+//! Run the lint with `cargo run -p shmcaffe-analysis`; it exits non-zero on
+//! any unsuppressed violation. DESIGN.md § Enforced invariants documents
+//! every rule and the happens-before edge set.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allowlist;
+pub mod rules;
+pub mod scanner;
+
+pub use allowlist::{parse_allowlist, AllowEntry};
+pub use rules::{scan_file, scan_workspace, Violation};
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Outcome of a full workspace check.
+#[derive(Debug, Default)]
+pub struct RunReport {
+    /// Violations not covered by the allowlist.
+    pub violations: Vec<Violation>,
+    /// Allowlist parse/validation errors (missing justifications, unknown
+    /// rules or keys).
+    pub allow_errors: Vec<String>,
+    /// Allowlist entries that matched no violation (stale suppressions;
+    /// reported as warnings, not failures).
+    pub unused_allows: Vec<AllowEntry>,
+    /// Allowlist entries that did suppress something.
+    pub used_allows: Vec<AllowEntry>,
+}
+
+impl RunReport {
+    /// Whether the workspace passes: no unsuppressed violations and a
+    /// well-formed allowlist.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.allow_errors.is_empty()
+    }
+}
+
+/// Scans the workspace rooted at `root` and applies `root/analysis.toml`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; allowlist problems are reported in the
+/// [`RunReport`], not as errors.
+pub fn run(root: &Path) -> io::Result<RunReport> {
+    let mut report = RunReport::default();
+    let entries = match fs::read_to_string(root.join("analysis.toml")) {
+        Ok(text) => match parse_allowlist(&text) {
+            Ok(entries) => entries,
+            Err(e) => {
+                report.allow_errors.push(e);
+                Vec::new()
+            }
+        },
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let violations = scan_workspace(root)?;
+    let (remaining, used) = allowlist::apply(violations, &entries);
+    report.violations = remaining;
+    for (entry, used) in entries.into_iter().zip(used) {
+        if used {
+            report.used_allows.push(entry);
+        } else {
+            report.unused_allows.push(entry);
+        }
+    }
+    Ok(report)
+}

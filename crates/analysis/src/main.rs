@@ -1,0 +1,58 @@
+//! CLI for the workspace invariant checker.
+//!
+//! Usage: `cargo run -p shmcaffe-analysis [workspace-root]`. Exits 0 when
+//! the workspace is clean, 1 on violations or a malformed allowlist.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).map_or_else(
+        || {
+            // The checker lives at <root>/crates/analysis.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+        },
+        PathBuf::from,
+    );
+    let root = match root.canonicalize() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot resolve workspace root {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = match shmcaffe_analysis::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for err in &report.allow_errors {
+        eprintln!("error: {err}");
+    }
+    for v in &report.violations {
+        eprintln!("error: {v}");
+    }
+    for entry in &report.unused_allows {
+        eprintln!("warning: analysis.toml:{}: unused suppression {entry}", entry.line);
+    }
+
+    if report.is_clean() {
+        println!(
+            "analysis: workspace clean ({} suppression(s) in use, {} stale)",
+            report.used_allows.len(),
+            report.unused_allows.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "analysis: {} violation(s), {} allowlist error(s)",
+            report.violations.len(),
+            report.allow_errors.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,300 @@
+//! The determinism lint rules.
+//!
+//! Every rule is lexical (it runs on comment/string-stripped source, see
+//! [`crate::scanner`]) and scoped by workspace-relative path. The rules and
+//! their rationale are documented in DESIGN.md § Enforced invariants; the
+//! allowlist policy lives in `analysis.toml` at the workspace root.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::scanner::{strip_non_code, word_occurrences};
+
+/// One rule violation at a specific source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule identifier (e.g. `hash-collections`).
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.excerpt)
+    }
+}
+
+/// Rule: no `HashMap`/`HashSet` in simulation or data-plane crates.
+/// Iteration order of hashed collections depends on the hasher's random
+/// seed, which silently breaks run-to-run determinism.
+pub const RULE_HASH_COLLECTIONS: &str = "hash-collections";
+/// Rule: no ambient wall-clock time sources outside the bench crate.
+pub const RULE_AMBIENT_TIME: &str = "ambient-time";
+/// Rule: no ambient (OS-seeded) randomness outside the bench crate.
+pub const RULE_AMBIENT_RNG: &str = "ambient-rng";
+/// Rule: float reductions must go through the fixed-order helpers in
+/// `shmcaffe-tensor`, not ad-hoc `.sum::<f32>()` folds whose grouping an
+/// iterator refactor can change.
+pub const RULE_FLOAT_REDUCTION: &str = "float-reduction";
+/// Rule: `unsafe` appears only in the two audited tensor hot paths.
+pub const RULE_UNSAFE_CODE: &str = "unsafe-code";
+/// Rule: every crate root carries the workspace unsafe policy attribute.
+pub const RULE_UNSAFE_POLICY: &str = "unsafe-policy";
+
+/// All content rule identifiers, for allowlist validation.
+pub const ALL_RULES: &[&str] = &[
+    RULE_HASH_COLLECTIONS,
+    RULE_AMBIENT_TIME,
+    RULE_AMBIENT_RNG,
+    RULE_FLOAT_REDUCTION,
+    RULE_UNSAFE_CODE,
+    RULE_UNSAFE_POLICY,
+];
+
+/// The bench crate measures real hardware: wall clocks, OS entropy and
+/// hashed scratch maps are its business.
+const BENCH_PREFIX: &str = "crates/bench/";
+
+/// Files allowed to contain `unsafe`: the packed-gemm micro-kernel and the
+/// worker pool's scoped-task transmute, both documented and Miri-covered
+/// (scripts/miri.sh).
+const UNSAFE_ALLOWED_FILES: &[&str] =
+    &["crates/tensor/src/gemm.rs", "crates/tensor/src/parallel.rs"];
+
+fn banned_words(rule: &'static str) -> &'static [&'static str] {
+    match rule {
+        RULE_HASH_COLLECTIONS => &["HashMap", "HashSet"],
+        RULE_AMBIENT_TIME => &["Instant", "SystemTime", "UNIX_EPOCH", "chrono"],
+        RULE_AMBIENT_RNG => &["thread_rng", "from_entropy", "OsRng"],
+        RULE_UNSAFE_CODE => &["unsafe"],
+        _ => &[],
+    }
+}
+
+/// Substring needles for the float-reduction rule (turbofished reductions
+/// over float iterators; integer reductions are exact and exempt).
+const FLOAT_REDUCTIONS: &[&str] =
+    &[".sum::<f32>()", ".sum::<f64>()", ".product::<f32>()", ".product::<f64>()"];
+
+fn rule_applies(rule: &'static str, path: &str) -> bool {
+    if path.starts_with(BENCH_PREFIX) {
+        // Only the unsafe policy reaches into bench.
+        return rule == RULE_UNSAFE_CODE || rule == RULE_UNSAFE_POLICY;
+    }
+    match rule {
+        // The tensor crate hosts the fixed-order reduction helpers the rest
+        // of the workspace is required to call.
+        RULE_FLOAT_REDUCTION => !path.starts_with("crates/tensor/"),
+        _ => true,
+    }
+}
+
+/// Scans one file's contents. `path` must be workspace-relative with
+/// forward slashes; it selects which rules apply.
+pub fn scan_file(path: &str, source: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let code = strip_non_code(source);
+    let original_lines: Vec<&str> = source.lines().collect();
+    let excerpt = |lineno: usize| -> String {
+        original_lines.get(lineno - 1).map(|l| l.trim().to_string()).unwrap_or_default()
+    };
+
+    for (idx, line) in code.lines().enumerate() {
+        let lineno = idx + 1;
+        for &rule in &[RULE_HASH_COLLECTIONS, RULE_AMBIENT_TIME, RULE_AMBIENT_RNG, RULE_UNSAFE_CODE]
+        {
+            if !rule_applies(rule, path) {
+                continue;
+            }
+            if rule == RULE_UNSAFE_CODE && UNSAFE_ALLOWED_FILES.contains(&path) {
+                continue;
+            }
+            for word in banned_words(rule) {
+                if !word_occurrences(line, word).is_empty() {
+                    out.push(Violation {
+                        rule,
+                        path: path.to_string(),
+                        line: lineno,
+                        excerpt: excerpt(lineno),
+                    });
+                    break;
+                }
+            }
+        }
+        if rule_applies(RULE_FLOAT_REDUCTION, path)
+            && FLOAT_REDUCTIONS.iter().any(|pat| line.contains(pat))
+        {
+            out.push(Violation {
+                rule: RULE_FLOAT_REDUCTION,
+                path: path.to_string(),
+                line: lineno,
+                excerpt: excerpt(lineno),
+            });
+        }
+    }
+
+    if let Some(v) = check_unsafe_policy(path, &code) {
+        out.push(v);
+    }
+    out
+}
+
+/// Crate roots must carry the workspace unsafe policy: `forbid(unsafe_code)`
+/// everywhere, except `shmcaffe-tensor` which keeps `deny(unsafe_code)` so
+/// its two audited sites can opt back in with per-site `allow`.
+fn check_unsafe_policy(path: &str, code: &str) -> Option<Violation> {
+    let is_crate_root = path == "src/lib.rs"
+        || (path.starts_with("crates/")
+            && path.ends_with("/src/lib.rs")
+            && path.matches('/').count() == 3);
+    if !is_crate_root {
+        return None;
+    }
+    let required = if path == "crates/tensor/src/lib.rs" {
+        "#![deny(unsafe_code)]"
+    } else {
+        "#![forbid(unsafe_code)]"
+    };
+    if code.contains(required) {
+        return None;
+    }
+    Some(Violation {
+        rule: RULE_UNSAFE_POLICY,
+        path: path.to_string(),
+        line: 1,
+        excerpt: format!("crate root is missing `{required}`"),
+    })
+}
+
+/// Directories never scanned: build output, VCS metadata, and lint fixture
+/// corpora (which contain violations on purpose).
+const SKIP_DIRS: &[&str] = &["target", "fixtures"];
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> =
+        fs::read_dir(dir)?.collect::<Result<Vec<_>, _>>()?.into_iter().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans every `.rs` file under `root` (the workspace root), in a
+/// deterministic path order.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the directory walk or file reads.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    let mut out = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        let source = fs::read_to_string(&file)?;
+        out.extend(scan_file(&rel, &source));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_map_in_sim_crate_fires() {
+        let vs = scan_file("crates/simnet/src/x.rs", "use std::collections::HashMap;\n");
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rule, RULE_HASH_COLLECTIONS);
+        assert_eq!(vs[0].line, 1);
+    }
+
+    #[test]
+    fn hash_map_in_bench_is_exempt() {
+        let vs = scan_file("crates/bench/src/x.rs", "use std::collections::HashMap;\n");
+        assert!(vs.is_empty());
+    }
+
+    #[test]
+    fn hash_map_in_comment_is_ignored() {
+        let vs = scan_file("crates/simnet/src/x.rs", "// BTreeMap, not HashMap: ordering\n");
+        assert!(vs.is_empty());
+    }
+
+    #[test]
+    fn instant_word_boundary() {
+        assert!(scan_file("crates/simnet/src/x.rs", "/// Instantiates the fabric.\nfn f() {}\n")
+            .is_empty());
+        let vs = scan_file("crates/simnet/src/x.rs", "let t = std::time::Instant::now();\n");
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rule, RULE_AMBIENT_TIME);
+    }
+
+    #[test]
+    fn unsafe_allowed_only_in_audited_files() {
+        let src = "unsafe { core::hint::unreachable_unchecked() }\n";
+        assert!(scan_file("crates/tensor/src/gemm.rs", src).is_empty());
+        assert!(scan_file("crates/tensor/src/parallel.rs", src).is_empty());
+        let vs = scan_file("crates/tensor/src/ops.rs", src);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rule, RULE_UNSAFE_CODE);
+    }
+
+    #[test]
+    fn forbid_attribute_does_not_trip_unsafe_rule() {
+        let vs: Vec<_> = scan_file("crates/smb/src/lib.rs", "#![forbid(unsafe_code)]\n")
+            .into_iter()
+            .filter(|v| v.rule == RULE_UNSAFE_CODE)
+            .collect();
+        assert!(vs.is_empty());
+    }
+
+    #[test]
+    fn float_reduction_fires_outside_tensor() {
+        let src = "let m = xs.iter().sum::<f32>() / n;\n";
+        let vs = scan_file("crates/dnn/src/x.rs", src);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rule, RULE_FLOAT_REDUCTION);
+        assert!(scan_file("crates/tensor/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn integer_sum_is_fine() {
+        assert!(scan_file("crates/dnn/src/x.rs", "let n = xs.iter().sum::<u64>();\n").is_empty());
+    }
+
+    #[test]
+    fn crate_root_policy_enforced() {
+        let vs = scan_file("crates/mpi/src/lib.rs", "pub fn f() {}\n");
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rule, RULE_UNSAFE_POLICY);
+        assert!(scan_file("crates/mpi/src/lib.rs", "#![forbid(unsafe_code)]\npub fn f() {}\n")
+            .is_empty());
+        // Tensor wants deny, not forbid.
+        let vs = scan_file("crates/tensor/src/lib.rs", "#![forbid(unsafe_code)]\n");
+        assert_eq!(vs.len(), 1);
+        assert!(scan_file("crates/tensor/src/lib.rs", "#![deny(unsafe_code)]\n").is_empty());
+        // Non-root files carry no such requirement.
+        assert!(scan_file("crates/mpi/src/world.rs", "pub fn f() {}\n").is_empty());
+    }
+}

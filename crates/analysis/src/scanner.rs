@@ -1,0 +1,289 @@
+//! A small lexical scanner that blanks out the non-code parts of a Rust
+//! source file — comments, string/char literals — while preserving line
+//! structure, so the line-oriented rules in [`crate::rules`] only ever see
+//! executable tokens. A full parser would be overkill: every invariant the
+//! lint enforces is visible at the token level.
+
+/// Returns a copy of `src` where the contents of comments (line and nested
+/// block), string literals (plain, raw, byte) and character literals are
+/// replaced by spaces. Newlines are preserved so byte offsets map to the
+/// same line numbers as in the original text.
+pub fn strip_non_code(src: &str) -> String {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let mut depth = 1usize;
+                out.push_str("  ");
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else {
+                        out.push(if chars[i] == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                }
+            }
+            '"' => i = blank_string(&chars, i, &mut out),
+            'r' | 'b' if !prev_is_word(&chars, i) => {
+                if let Some(next) = raw_or_byte_string_end_of_prefix(&chars, i) {
+                    // `next` points at the opening quote (or is a raw-string
+                    // prefix); blank the prefix then the literal body.
+                    for _ in i..next {
+                        out.push(' ');
+                    }
+                    if chars.get(next) == Some(&'"') {
+                        let hashes = next - i - leading_letters(&chars, i);
+                        if hashes > 0 || raw_prefix(&chars, i) {
+                            i = blank_raw_string(&chars, next, hashes, &mut out);
+                        } else {
+                            i = blank_string(&chars, next, &mut out);
+                        }
+                    } else {
+                        i = next;
+                    }
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Distinguish a char literal from a lifetime: a literal is
+                // `'\...'` or `'x'`; anything else (`'static`, `'_`) is a
+                // lifetime and passes through.
+                let is_char_literal = match chars.get(i + 1) {
+                    Some('\\') => true,
+                    Some(_) => chars.get(i + 2) == Some(&'\''),
+                    None => false,
+                };
+                if is_char_literal {
+                    out.push(' ');
+                    i += 1;
+                    if chars.get(i) == Some(&'\\') {
+                        out.push(' ');
+                        i += 1;
+                        if i < chars.len() {
+                            out.push(' ');
+                            i += 1;
+                        }
+                        // Multi-char escapes (\u{..}, \x..) up to the quote.
+                        while i < chars.len() && chars[i] != '\'' {
+                            out.push(if chars[i] == '\n' { '\n' } else { ' ' });
+                            i += 1;
+                        }
+                    } else if i < chars.len() {
+                        out.push(' ');
+                        i += 1;
+                    }
+                    if chars.get(i) == Some(&'\'') {
+                        out.push(' ');
+                        i += 1;
+                    }
+                } else {
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn prev_is_word(chars: &[char], i: usize) -> bool {
+    i > 0 && is_word_char(chars[i - 1])
+}
+
+/// Whether `c` can be part of an identifier for boundary checks.
+pub fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn raw_prefix(chars: &[char], i: usize) -> bool {
+    chars[i] == 'r' || (chars[i] == 'b' && chars.get(i + 1) == Some(&'r'))
+}
+
+fn leading_letters(chars: &[char], i: usize) -> usize {
+    let mut n = 0;
+    while matches!(chars.get(i + n), Some('r') | Some('b')) && n < 2 {
+        n += 1;
+    }
+    n
+}
+
+/// If position `i` starts a string-literal prefix (`r`, `b`, `br` with
+/// optional `#`s), returns the index of the opening quote; `None` if this is
+/// an ordinary identifier (e.g. `r#type` raw identifiers, or plain `b`).
+fn raw_or_byte_string_end_of_prefix(chars: &[char], i: usize) -> Option<usize> {
+    let mut j = i + leading_letters(chars, i);
+    if j == i {
+        return None;
+    }
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some(j)
+    } else {
+        None
+    }
+}
+
+fn blank_string(chars: &[char], start: usize, out: &mut String) -> usize {
+    let mut i = start;
+    out.push(' ');
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => {
+                out.push(' ');
+                i += 1;
+                if i < chars.len() {
+                    out.push(if chars[i] == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            '"' => {
+                out.push(' ');
+                return i + 1;
+            }
+            '\n' => {
+                out.push('\n');
+                i += 1;
+            }
+            _ => {
+                out.push(' ');
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+fn blank_raw_string(chars: &[char], quote: usize, hashes: usize, out: &mut String) -> usize {
+    let mut i = quote;
+    out.push(' ');
+    i += 1;
+    while i < chars.len() {
+        if chars[i] == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if chars.get(i + 1 + k) != Some(&'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                for _ in 0..=hashes {
+                    out.push(' ');
+                }
+                return i + 1 + hashes;
+            }
+        }
+        out.push(if chars[i] == '\n' { '\n' } else { ' ' });
+        i += 1;
+    }
+    i
+}
+
+/// Byte offsets (into `line`) of identifier-boundary occurrences of `word`.
+pub fn word_occurrences(line: &str, word: &str) -> Vec<usize> {
+    let mut hits = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(word) {
+        let at = from + pos;
+        let before_ok = line[..at].chars().next_back().is_none_or(|c| !is_word_char(c));
+        let after_ok = line[at + word.len()..].chars().next().is_none_or(|c| !is_word_char(c));
+        if before_ok && after_ok {
+            hits.push(at);
+        }
+        from = at + word.len().max(1);
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_blanked() {
+        let s = strip_non_code("let x = 1; // HashMap here\nlet y = 2;");
+        assert!(!s.contains("HashMap"));
+        assert!(s.contains("let y = 2;"));
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments_are_blanked() {
+        let s = strip_non_code("a /* outer /* HashMap */ still comment */ b");
+        assert!(!s.contains("HashMap"));
+        assert!(!s.contains("still"));
+        assert!(s.starts_with('a') && s.trim_end().ends_with('b'));
+    }
+
+    #[test]
+    fn strings_and_escapes_are_blanked() {
+        let s = strip_non_code(r#"call("Instant \" SystemTime", x)"#);
+        assert!(!s.contains("Instant"));
+        assert!(s.contains("call("));
+        assert!(s.contains(", x)"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let s = strip_non_code(r###"let p = r#"thread_rng"#; done"###);
+        assert!(!s.contains("thread_rng"));
+        assert!(s.contains("done"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let s = strip_non_code("fn f<'a>(x: &'a str) { let c = 'H'; }");
+        assert!(s.contains("<'a>"));
+        assert!(s.contains("&'a str"));
+        assert!(!s.contains('H'));
+    }
+
+    #[test]
+    fn newlines_inside_literals_keep_line_numbers() {
+        let src = "let s = \"a\nb\";\nlet t = 3;";
+        let s = strip_non_code(src);
+        assert_eq!(s.lines().count(), src.lines().count());
+        assert!(s.lines().nth(2).unwrap().contains("let t = 3;"));
+    }
+
+    #[test]
+    fn word_boundaries_reject_substrings() {
+        assert!(word_occurrences("Instantiates the fabric", "Instant").is_empty());
+        assert!(word_occurrences("MyHashMapLike", "HashMap").is_empty());
+        assert_eq!(word_occurrences("use std::time::Instant;", "Instant").len(), 1);
+        assert_eq!(word_occurrences("HashMap<u32, HashMap<u32, u32>>", "HashMap").len(), 2);
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_strings() {
+        let s = strip_non_code("let r#type = 1; let b = 2;");
+        assert!(s.contains("r#type"));
+        assert!(s.contains("let b = 2;"));
+    }
+}

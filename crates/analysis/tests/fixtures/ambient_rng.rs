@@ -1,0 +1,6 @@
+// Lint fixture: OS-seeded randomness. All simulation randomness must flow
+// from an explicit, logged seed.
+pub fn jittered(base: f64) -> f64 {
+    let mut rng = rand::thread_rng();
+    base * rand::Rng::gen_range(&mut rng, 0.9..1.1)
+}

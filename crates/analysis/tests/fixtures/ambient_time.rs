@@ -1,0 +1,7 @@
+// Lint fixture: ambient wall-clock time in sim code. Virtual time must come
+// from SimContext::now(), never the host clock.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}

@@ -1,0 +1,15 @@
+// Negative lint fixture: every banned word below appears only in comments,
+// strings or identifiers with different boundaries — none may fire.
+//
+// HashMap HashSet Instant SystemTime thread_rng unsafe /* .sum::<f32>() */
+
+/// Instantiates the report. A HashMap would be wrong here, says this doc.
+pub fn describe() -> String {
+    let banned = "HashMap Instant thread_rng unsafe .sum::<f32>()";
+    let raw = r#"SystemTime::now() and OsRng"#;
+    format!("{banned} {raw}")
+}
+
+pub struct MyHashMapLike {
+    pub instant_count: u64,
+}

@@ -1,0 +1,7 @@
+// Lint fixture: an ad-hoc float reduction. Summation order (and therefore
+// the rounded result) silently changes when the iterator chain is
+// refactored; reductions must use the fixed-order helpers in
+// shmcaffe-tensor.
+pub fn mean(xs: &[f32]) -> f32 {
+    xs.iter().sum::<f32>() / xs.len() as f32
+}

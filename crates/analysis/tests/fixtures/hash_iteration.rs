@@ -1,0 +1,11 @@
+// Lint fixture: hashed collections in a sim crate. Iterating this map
+// visits entries in hasher order, which varies across runs.
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_default() += 1;
+    }
+    counts.into_iter().collect()
+}

@@ -1,0 +1,4 @@
+// Lint fixture: unsafe outside the audited tensor hot paths.
+pub fn reinterpret(x: u32) -> f32 {
+    unsafe { std::mem::transmute::<u32, f32>(x) }
+}

@@ -52,7 +52,8 @@ fn bench_contended_link(c: &mut Criterion) {
     c.bench_function("sim_contended_link_8x100", |b| {
         b.iter(|| {
             let mut sim = Simulation::new();
-            let link = BandwidthResource::new("l", LinkModel::new(7e9, SimDuration::from_micros(2)));
+            let link =
+                BandwidthResource::new("l", LinkModel::new(7e9, SimDuration::from_micros(2)));
             for i in 0..8 {
                 let l = link.clone();
                 sim.spawn(&format!("w{i}"), move |ctx| {

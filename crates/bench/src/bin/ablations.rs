@@ -185,9 +185,8 @@ fn multi_smb_servers() {
                     key_ch.recv(&ctx)
                 };
                 let wg = client.alloc(&ctx, &wg_key).expect("created");
-                let dw_key = client
-                    .create(&ctx, &format!("dw{rank}"), elems, Some(wire))
-                    .expect("unique");
+                let dw_key =
+                    client.create(&ctx, &format!("dw{rank}"), elems, Some(wire)).expect("unique");
                 let dw = client.alloc(&ctx, &dw_key).expect("created");
                 let mut buf = vec![0.0f32; elems];
                 let mut total = SimDuration::ZERO;
@@ -211,11 +210,7 @@ fn multi_smb_servers() {
     let base = exchange_ms(1);
     for servers in [1usize, 2, 4] {
         let t = if servers == 1 { base } else { exchange_ms(servers) };
-        table.row_owned(vec![
-            servers.to_string(),
-            ms(t),
-            format!("{:.2}x", base / t),
-        ]);
+        table.row_owned(vec![servers.to_string(), ms(t), format!("{:.2}x", base / t)]);
     }
     table.print();
     println!("sharding the buffer divides both the per-stream pacing and the");

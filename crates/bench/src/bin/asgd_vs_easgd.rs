@@ -57,7 +57,12 @@ fn main() {
         let asgd = DownpourAsgd::new(
             ClusterSpec::paper_testbed(nodes + 1),
             workers,
-            DownpourConfig { max_iters: iters, eval_every: iters, ps_lr: 0.1, ..Default::default() },
+            DownpourConfig {
+                max_iters: iters,
+                eval_every: iters,
+                ps_lr: 0.1,
+                ..Default::default()
+            },
         )
         .run(factory)
         .expect("asgd runs");

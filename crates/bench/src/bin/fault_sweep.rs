@@ -87,13 +87,8 @@ fn main() {
         .run(factory());
     match shm {
         Ok(report) => {
-            let survivor_iters = report
-                .workers
-                .iter()
-                .filter(|w| !w.crashed)
-                .map(|w| w.iters)
-                .min()
-                .unwrap_or(0);
+            let survivor_iters =
+                report.workers.iter().filter(|w| !w.crashed).map(|w| w.iters).min().unwrap_or(0);
             crashes.row_owned(vec![
                 "ShmCaffe-A".to_string(),
                 "completed".to_string(),

@@ -20,14 +20,17 @@ fn main() {
         let eval_every = (task.iters_for(workers) / 6).max(1);
         let mut table = Table::new(
             &format!("{workers} workers: held-out accuracy and loss trajectory"),
-            &["platform", "final top-1", "final top-2", "final loss", "trajectory (top-1 per eval)"],
+            &[
+                "platform",
+                "final top-1",
+                "final top-2",
+                "final loss",
+                "trajectory (top-1 per eval)",
+            ],
         );
-        for platform in [
-            Platform::Caffe,
-            Platform::CaffeMpi,
-            Platform::MpiCaffe,
-            Platform::ShmCaffeH,
-        ] {
+        for platform in
+            [Platform::Caffe, Platform::CaffeMpi, Platform::MpiCaffe, Platform::ShmCaffeH]
+        {
             let report = task.run(platform, workers, eval_every).expect("platform runs");
             let trajectory: Vec<String> =
                 report.evals.iter().map(|e| format!("{:.0}%", e.top1 * 100.0)).collect();

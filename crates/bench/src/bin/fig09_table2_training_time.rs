@@ -72,5 +72,8 @@ fn main() {
         "ShmCaffe-H vs Caffe-MPI @16 GPUs:        {:.1}x (paper: 2.8x)",
         caffempi_16 / shm_h_16
     );
-    println!("Caffe 1 GPU baseline:                    {} (paper: 22:59)", hours_hm(caffe_1gpu_hours));
+    println!(
+        "Caffe 1 GPU baseline:                    {} (paper: 22:59)",
+        hours_hm(caffe_1gpu_hours)
+    );
 }

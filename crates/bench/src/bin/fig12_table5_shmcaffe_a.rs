@@ -19,9 +19,11 @@ fn main() {
 
     for model in CnnModel::ALL {
         let mut table = Table::new(
-            &format!("{model} (params {} MB, 1-GPU comp {:.1} ms)",
+            &format!(
+                "{model} (params {} MB, 1-GPU comp {:.1} ms)",
                 model.param_bytes() / 1_000_000,
-                model.comp_time().as_millis_f64()),
+                model.comp_time().as_millis_f64()
+            ),
             &["workers", "comp (ms)", "comm (ms)", "comm ratio"],
         );
         for &workers in &worker_counts {

@@ -26,10 +26,8 @@ fn main() {
     println!("Table VI / Fig 14 reproduction: ShmCaffe-H per-iteration breakdown\n");
 
     for model in CnnModel::ALL {
-        let mut table = Table::new(
-            &format!("{model}"),
-            &["config", "comp (ms)", "comm (ms)", "comm ratio"],
-        );
+        let mut table =
+            Table::new(&format!("{model}"), &["config", "comp (ms)", "comm (ms)", "comm ratio"]);
         for (label, groups, group_size) in configs {
             let report = measure_hybrid(model, groups, group_size, DEFAULT_MEASURE_ITERS, 42)
                 .expect("platform runs");

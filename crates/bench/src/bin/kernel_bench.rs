@@ -159,7 +159,14 @@ fn bench_conv(table: &mut Table) -> Json {
         let fwd_s = parallel::with_threads(t, || {
             time_per_rep(reps, || {
                 conv2d_forward(
-                    &geom, batch, out_channels, &input, &weights, &bias, &mut output, &mut col,
+                    &geom,
+                    batch,
+                    out_channels,
+                    &input,
+                    &weights,
+                    &bias,
+                    &mut output,
+                    &mut col,
                 );
             })
         });
@@ -257,10 +264,7 @@ fn bench_smb_accumulate(table: &mut Table) -> Json {
             ("speedup_vs_1t", Json::Num(one_thread_s / s)),
         ]));
     }
-    Json::obj(vec![
-        ("elems", Json::Int(ELEMS as i64)),
-        ("threads", Json::Arr(entries)),
-    ])
+    Json::obj(vec![("elems", Json::Int(ELEMS as i64)), ("threads", Json::Arr(entries))])
 }
 
 /// Trains the CNN proxy for a fixed seeded schedule and returns the FNV-1a
@@ -309,10 +313,8 @@ fn main() {
     println!("Kernel throughput at 1/2/4/8 logical threads (deterministic backend)");
     println!("host available_parallelism: {host_threads}\n");
 
-    let mut table = Table::new(
-        "Kernel throughput",
-        &["kernel", "threads", "ms/rep", "throughput", "speedup"],
-    );
+    let mut table =
+        Table::new("Kernel throughput", &["kernel", "threads", "ms/rep", "throughput", "speedup"]);
     let gemm_json = bench_gemm(&mut table);
     let conv_json = bench_conv(&mut table);
     let smb_json = bench_smb_accumulate(&mut table);

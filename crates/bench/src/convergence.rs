@@ -152,8 +152,13 @@ impl ConvergenceTask {
             }
             Platform::ShmCaffeH => {
                 let (groups, group_size) = hybrid_shape(workers);
-                ShmCaffeH::new(ClusterSpec::paper_testbed(groups.max(1)), groups, group_size, shm_cfg)
-                    .run(factory)
+                ShmCaffeH::new(
+                    ClusterSpec::paper_testbed(groups.max(1)),
+                    groups,
+                    group_size,
+                    shm_cfg,
+                )
+                .run(factory)
             }
         }
     }

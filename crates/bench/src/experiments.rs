@@ -67,11 +67,7 @@ fn nodes_for(workers: usize) -> usize {
 }
 
 fn modeled_factory(model: CnnModel, seed: u64) -> ModeledTrainerFactory {
-    ModeledTrainerFactory::new(
-        WorkloadModel::from_cnn(model),
-        JitterModel::hpc_default(),
-        seed,
-    )
+    ModeledTrainerFactory::new(WorkloadModel::from_cnn(model), JitterModel::hpc_default(), seed)
 }
 
 fn shm_cfg(iters: usize) -> ShmCaffeConfig {
@@ -186,7 +182,12 @@ pub fn measure_hybrid(
 /// hours. Per-worker iterations = dataset × epochs / (workers × batch) for
 /// both the synchronous (global batch) and asynchronous (sharded data)
 /// regimes.
-pub fn epochs_hours(report: &TrainingReport, model: CnnModel, workers: usize, epochs: usize) -> f64 {
+pub fn epochs_hours(
+    report: &TrainingReport,
+    model: CnnModel,
+    workers: usize,
+    epochs: usize,
+) -> f64 {
     let iters_per_worker =
         (IMAGENET_TRAIN * epochs) as f64 / (workers.max(1) * model.minibatch()) as f64;
     iters_per_worker * report.mean_iter_ms() / 3.6e6

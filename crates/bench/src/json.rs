@@ -147,10 +147,7 @@ impl From<&Table> for Json {
             (
                 "rows",
                 Json::Arr(
-                    t.rows()
-                        .iter()
-                        .map(|r| Json::Arr(r.iter().map(Json::str).collect()))
-                        .collect(),
+                    t.rows().iter().map(|r| Json::Arr(r.iter().map(Json::str).collect())).collect(),
                 ),
             ),
         ])

@@ -106,7 +106,12 @@ impl GpuComm {
     }
 
     /// [`GpuComm::all_reduce`] with an explicit logical wire size.
-    pub fn all_reduce_wire(&mut self, ctx: &SimContext, data: Vec<f32>, wire_bytes: u64) -> Vec<f32> {
+    pub fn all_reduce_wire(
+        &mut self,
+        ctx: &SimContext,
+        data: Vec<f32>,
+        wire_bytes: u64,
+    ) -> Vec<f32> {
         self.comm.allreduce_wire(ctx, data, wire_bytes)
     }
 
@@ -131,9 +136,7 @@ impl GpuComm {
         data: Option<Vec<f32>>,
         wire_bytes: u64,
     ) -> Vec<f32> {
-        self.comm
-            .broadcast_wire(ctx, root, data.map(MpiData::F32s), wire_bytes)
-            .into_f32s()
+        self.comm.broadcast_wire(ctx, root, data.map(MpiData::F32s), wire_bytes).into_f32s()
     }
 
     /// ncclReduce (sum) to `root`; the root returns `Some(sum)`.
@@ -194,9 +197,8 @@ mod tests {
 
     #[test]
     fn traffic_lands_on_pcie_only() {
-        let (_, fabric, _) = run_group(4, |ctx, comm| {
-            comm.all_reduce_wire(ctx, vec![1.0; 8], 8_000_000)
-        });
+        let (_, fabric, _) =
+            run_group(4, |ctx, comm| comm.all_reduce_wire(ctx, vec![1.0; 8], 8_000_000));
         assert!(fabric.pcie(NodeId(0)).total_bytes() > 0);
         assert_eq!(fabric.hca_tx(NodeId(0)).total_bytes(), 0);
     }
@@ -206,9 +208,8 @@ mod tests {
         // 4 GPUs, logical P = 120 MB on a 12 GB/s bus:
         // total bus bytes = 2*(N-1)*P/N per rank * N = 2*(N-1)*P = 720 MB
         // => 60 ms of bus service.
-        let (_, fabric, end) = run_group(4, |ctx, comm| {
-            comm.all_reduce_wire(ctx, vec![0.0; 4], 120_000_000)
-        });
+        let (_, fabric, end) =
+            run_group(4, |ctx, comm| comm.all_reduce_wire(ctx, vec![0.0; 4], 120_000_000));
         let bus = fabric.pcie(NodeId(0));
         let expected_bytes = 2 * 3 * 120_000_000u64;
         assert_eq!(bus.total_bytes(), expected_bytes);
@@ -235,9 +236,7 @@ mod tests {
     #[test]
     fn barrier_holds_stragglers() {
         let (_, _, end) = run_group(3, |ctx, comm| {
-            ctx.sleep(shmcaffe_simnet::SimDuration::from_millis(
-                10 * (comm.rank() as u64 + 1),
-            ));
+            ctx.sleep(shmcaffe_simnet::SimDuration::from_millis(10 * (comm.rank() as u64 + 1)));
             comm.barrier(ctx);
             assert!(ctx.now().as_millis_f64() >= 30.0);
             vec![]

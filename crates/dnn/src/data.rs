@@ -145,7 +145,8 @@ impl Spirals {
         for i in 0..samples {
             let c = i % classes;
             let t: f32 = rng.gen_range(0.15f32..1.0);
-            let angle = t * 3.5 * std::f32::consts::PI + (c as f32) * 2.0 * std::f32::consts::PI / classes as f32;
+            let angle = t * 3.5 * std::f32::consts::PI
+                + (c as f32) * 2.0 * std::f32::consts::PI / classes as f32;
             let r = t * 2.0;
             let nx: f32 = rng.gen_range(-noise..noise.max(1e-6));
             let ny: f32 = rng.gen_range(-noise..noise.max(1e-6));
@@ -192,7 +193,14 @@ impl SyntheticImages {
     /// # Panics
     ///
     /// Panics if any dimension is zero.
-    pub fn new(classes: usize, channels: usize, hw: usize, samples: usize, noise: f32, seed: u64) -> Self {
+    pub fn new(
+        classes: usize,
+        channels: usize,
+        hw: usize,
+        samples: usize,
+        noise: f32,
+        seed: u64,
+    ) -> Self {
         assert!(classes > 0 && channels > 0 && hw > 0, "dimensions must be positive");
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut images = Vec::with_capacity(samples);
@@ -210,7 +218,9 @@ impl SyntheticImages {
                     for x in 0..hw {
                         let u = x as f32 / hw as f32;
                         let v = y as f32 / hw as f32;
-                        let s = (freq * 2.0 * std::f32::consts::PI
+                        let s = (freq
+                            * 2.0
+                            * std::f32::consts::PI
                             * (u * theta.cos() + v * theta.sin())
                             * chs
                             + phase)
@@ -292,7 +302,9 @@ impl EpochSampler {
     }
 
     fn shuffle(&mut self) {
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ (self.epoch as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.seed ^ (self.epoch as u64).wrapping_mul(0x9E3779B97F4A7C15),
+        );
         // Fisher-Yates.
         for i in (1..self.shard.len()).rev() {
             let j = rng.gen_range(0..=i);

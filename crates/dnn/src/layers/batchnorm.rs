@@ -58,7 +58,10 @@ impl BatchNorm {
             4 if dims[1] == self.channels => Ok((dims[0], dims[2] * dims[3])),
             _ => Err(DnnError::BadInput {
                 layer: self.name.clone(),
-                message: format!("expected (N, {0}) or (N, {0}, H, W), got {dims:?}", self.channels),
+                message: format!(
+                    "expected (N, {0}) or (N, {0}, H, W), got {dims:?}",
+                    self.channels
+                ),
             }),
         }
     }
@@ -100,8 +103,10 @@ impl Layer for BatchNorm {
                         }
                     }
                     let var = (var_sum / group as f64) as f32;
-                    self.running_mean[c] = self.momentum * self.running_mean[c] + (1.0 - self.momentum) * mean;
-                    self.running_var[c] = self.momentum * self.running_var[c] + (1.0 - self.momentum) * var;
+                    self.running_mean[c] =
+                        self.momentum * self.running_mean[c] + (1.0 - self.momentum) * mean;
+                    self.running_var[c] =
+                        self.momentum * self.running_var[c] + (1.0 - self.momentum) * var;
                     (mean, var)
                 }
                 Phase::Test => (self.running_mean[c], self.running_var[c]),
@@ -176,10 +181,7 @@ impl Layer for BatchNorm {
     }
 
     fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
-        vec![
-            (&mut self.gamma, &mut self.d_gamma),
-            (&mut self.beta, &mut self.d_beta),
-        ]
+        vec![(&mut self.gamma, &mut self.d_gamma), (&mut self.beta, &mut self.d_beta)]
     }
 }
 
@@ -190,7 +192,8 @@ mod tests {
     #[test]
     fn train_output_is_normalized() {
         let mut bn = BatchNorm::new("bn", 2);
-        let x = Tensor::from_vec(vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0], &[4, 2]).unwrap();
+        let x =
+            Tensor::from_vec(vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0], &[4, 2]).unwrap();
         let y = bn.forward(&x, Phase::Train).unwrap();
         // Each feature column should have ~zero mean, ~unit variance.
         for c in 0..2 {
@@ -211,7 +214,8 @@ mod tests {
         }
         // Running stats converge to batch stats (mean 5, var 5).
         let y = bn.forward(&x, Phase::Test).unwrap();
-        let expected: Vec<f32> = x.data().iter().map(|v| (v - 5.0) / (5.0f32 + EPS).sqrt()).collect();
+        let expected: Vec<f32> =
+            x.data().iter().map(|v| (v - 5.0) / (5.0f32 + EPS).sqrt()).collect();
         for (got, want) in y.data().iter().zip(expected.iter()) {
             assert!((got - want).abs() < 0.05, "{got} vs {want}");
         }
@@ -233,8 +237,14 @@ mod tests {
         let y = bn.forward(&x, Phase::Train).unwrap();
         // Channel 0 values across N and HW should be normalised together.
         let c0: Vec<f32> = vec![
-            y.at(&[0, 0, 0, 0]), y.at(&[0, 0, 0, 1]), y.at(&[0, 0, 1, 0]), y.at(&[0, 0, 1, 1]),
-            y.at(&[1, 0, 0, 0]), y.at(&[1, 0, 0, 1]), y.at(&[1, 0, 1, 0]), y.at(&[1, 0, 1, 1]),
+            y.at(&[0, 0, 0, 0]),
+            y.at(&[0, 0, 0, 1]),
+            y.at(&[0, 0, 1, 0]),
+            y.at(&[0, 0, 1, 1]),
+            y.at(&[1, 0, 0, 0]),
+            y.at(&[1, 0, 0, 1]),
+            y.at(&[1, 0, 1, 0]),
+            y.at(&[1, 0, 1, 1]),
         ];
         let mean: f32 = c0.iter().sum::<f32>() / 8.0;
         assert!(mean.abs() < 1e-5);
@@ -243,12 +253,11 @@ mod tests {
     #[test]
     fn gradient_check() {
         let mut bn = BatchNorm::new("bn", 3);
-        let x = Tensor::from_vec(
-            (0..12).map(|i| (i as f32 * 0.7).sin() * 2.0).collect(),
-            &[4, 3],
-        )
-        .unwrap();
-        let d_out = Tensor::from_vec((0..12).map(|i| ((i % 5) as f32 - 2.0) * 0.3).collect(), &[4, 3]).unwrap();
+        let x = Tensor::from_vec((0..12).map(|i| (i as f32 * 0.7).sin() * 2.0).collect(), &[4, 3])
+            .unwrap();
+        let d_out =
+            Tensor::from_vec((0..12).map(|i| ((i % 5) as f32 - 2.0) * 0.3).collect(), &[4, 3])
+                .unwrap();
 
         bn.forward(&x, Phase::Train).unwrap();
         let d_in = bn.backward(&d_out).unwrap();
@@ -270,7 +279,11 @@ mod tests {
             let lm = loss(&xp);
             xp.data_mut()[i] = orig;
             let numeric = (lp - lm) / (2.0 * eps);
-            assert!((d_in.data()[i] - numeric).abs() < 2e-2, "i={i}: {} vs {numeric}", d_in.data()[i]);
+            assert!(
+                (d_in.data()[i] - numeric).abs() < 2e-2,
+                "i={i}: {} vs {numeric}",
+                d_in.data()[i]
+            );
         }
     }
 

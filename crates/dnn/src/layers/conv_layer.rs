@@ -58,7 +58,8 @@ impl Conv2d {
         let out_h = geom.out_h()?;
         let out_w = geom.out_w()?;
         let k = geom.col_rows();
-        let mut weights = Tensor::zeros(&[out_channels, geom.in_channels, geom.kernel_h, geom.kernel_w]);
+        let mut weights =
+            Tensor::zeros(&[out_channels, geom.in_channels, geom.kernel_h, geom.kernel_w]);
         let mut rng = seeded_rng(seed ^ hash_name(name));
         filler.fill(&mut rng, k, weights.data_mut());
         Ok(Conv2d {
@@ -69,7 +70,12 @@ impl Conv2d {
             out_w,
             weights,
             bias: Tensor::zeros(&[out_channels]),
-            d_weights: Tensor::zeros(&[out_channels, geom.in_channels, geom.kernel_h, geom.kernel_w]),
+            d_weights: Tensor::zeros(&[
+                out_channels,
+                geom.in_channels,
+                geom.kernel_h,
+                geom.kernel_w,
+            ]),
             d_bias: Tensor::zeros(&[out_channels]),
             cached_input: None,
             col_buf: vec![0.0; k * out_h * out_w],
@@ -159,10 +165,7 @@ impl Layer for Conv2d {
     }
 
     fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
-        vec![
-            (&mut self.weights, &mut self.d_weights),
-            (&mut self.bias, &mut self.d_bias),
-        ]
+        vec![(&mut self.weights, &mut self.d_weights), (&mut self.bias, &mut self.d_bias)]
     }
 }
 

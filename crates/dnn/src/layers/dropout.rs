@@ -51,13 +51,7 @@ impl Layer for Dropout {
             Phase::Train => {
                 let scale = 1.0 / (1.0 - self.ratio);
                 self.mask = (0..input.len())
-                    .map(|_| {
-                        if self.rng.gen_range(0.0f32..1.0) < self.ratio {
-                            0.0
-                        } else {
-                            scale
-                        }
-                    })
+                    .map(|_| if self.rng.gen_range(0.0f32..1.0) < self.ratio { 0.0 } else { scale })
                     .collect();
                 let mut out = input.clone();
                 for (v, &m) in out.data_mut().iter_mut().zip(self.mask.iter()) {

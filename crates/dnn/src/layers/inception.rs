@@ -103,10 +103,14 @@ impl Inception {
         spec: InceptionSpec,
         seed: u64,
     ) -> Result<Self, DnnError> {
-        let conv = |suffix: &str, geom: Conv2dGeometry, out: usize| -> Result<Box<dyn Layer>, DnnError> {
+        let conv = |suffix: &str,
+                    geom: Conv2dGeometry,
+                    out: usize|
+         -> Result<Box<dyn Layer>, DnnError> {
             Ok(Box::new(Conv2d::new(&format!("{name}/{suffix}"), geom, out, Filler::Msra, seed)?))
         };
-        let relu = |suffix: &str| -> Box<dyn Layer> { Box::new(Relu::new(&format!("{name}/{suffix}"))) };
+        let relu =
+            |suffix: &str| -> Box<dyn Layer> { Box::new(Relu::new(&format!("{name}/{suffix}"))) };
 
         // Branch 1: 1x1 conv.
         let b1 = Branch {
@@ -119,7 +123,11 @@ impl Inception {
         // Branch 2: 1x1 reduce -> 3x3.
         let b2 = Branch {
             layers: vec![
-                conv("3x3_reduce", Conv2dGeometry::square(in_channels, hw, 1, 1, 0), spec.c3_reduce)?,
+                conv(
+                    "3x3_reduce",
+                    Conv2dGeometry::square(in_channels, hw, 1, 1, 0),
+                    spec.c3_reduce,
+                )?,
                 relu("relu_3x3_reduce"),
                 conv("3x3", Conv2dGeometry::square(spec.c3_reduce, hw, 3, 1, 1), spec.c3)?,
                 relu("relu_3x3"),
@@ -129,7 +137,11 @@ impl Inception {
         // Branch 3: 1x1 reduce -> 5x5.
         let b3 = Branch {
             layers: vec![
-                conv("5x5_reduce", Conv2dGeometry::square(in_channels, hw, 1, 1, 0), spec.c5_reduce)?,
+                conv(
+                    "5x5_reduce",
+                    Conv2dGeometry::square(in_channels, hw, 1, 1, 0),
+                    spec.c5_reduce,
+                )?,
                 relu("relu_5x5_reduce"),
                 conv("5x5", Conv2dGeometry::square(spec.c5_reduce, hw, 5, 1, 2), spec.c5)?,
                 relu("relu_5x5"),
@@ -144,18 +156,17 @@ impl Inception {
                     PoolKind::Max,
                     Conv2dGeometry::square(in_channels, hw, 3, 1, 1),
                 )?),
-                conv("pool_proj", Conv2dGeometry::square(in_channels, hw, 1, 1, 0), spec.pool_proj)?,
+                conv(
+                    "pool_proj",
+                    Conv2dGeometry::square(in_channels, hw, 1, 1, 0),
+                    spec.pool_proj,
+                )?,
                 relu("relu_pool_proj"),
             ],
             out_channels: spec.pool_proj,
         };
 
-        Ok(Inception {
-            name: name.to_string(),
-            branches: vec![b1, b2, b3, b4],
-            hw,
-            in_channels,
-        })
+        Ok(Inception { name: name.to_string(), branches: vec![b1, b2, b3, b4], hw, in_channels })
     }
 }
 
@@ -166,7 +177,11 @@ impl Layer for Inception {
 
     fn forward(&mut self, input: &Tensor, phase: Phase) -> Result<Tensor, DnnError> {
         let dims = input.dims();
-        if dims.len() != 4 || dims[1] != self.in_channels || dims[2] != self.hw || dims[3] != self.hw {
+        if dims.len() != 4
+            || dims[1] != self.in_channels
+            || dims[2] != self.hw
+            || dims[3] != self.hw
+        {
             return Err(DnnError::BadInput {
                 layer: self.name.clone(),
                 message: format!(
@@ -177,11 +192,8 @@ impl Layer for Inception {
         }
         let batch = dims[0];
         let spatial = self.hw * self.hw;
-        let outputs: Vec<Tensor> = self
-            .branches
-            .iter_mut()
-            .map(|b| b.forward(input, phase))
-            .collect::<Result<_, _>>()?;
+        let outputs: Vec<Tensor> =
+            self.branches.iter_mut().map(|b| b.forward(input, phase)).collect::<Result<_, _>>()?;
         // Concatenate along the channel axis.
         let total_c: usize = self.branches.iter().map(|b| b.out_channels).sum();
         let mut out = Tensor::zeros(&[batch, total_c, self.hw, self.hw]);
@@ -290,14 +302,17 @@ mod tests {
 
     #[test]
     fn gradient_check_through_the_module() {
-        let mut m = Inception::new("i", 2, 4, InceptionSpec {
-            c1: 1, c3_reduce: 1, c3: 1, c5_reduce: 1, c5: 1, pool_proj: 1,
-        }, 7).unwrap();
-        let x = Tensor::from_vec(
-            (0..32).map(|i| ((i as f32) * 0.47).sin()).collect(),
-            &[1, 2, 4, 4],
+        let mut m = Inception::new(
+            "i",
+            2,
+            4,
+            InceptionSpec { c1: 1, c3_reduce: 1, c3: 1, c5_reduce: 1, c5: 1, pool_proj: 1 },
+            7,
         )
         .unwrap();
+        let x =
+            Tensor::from_vec((0..32).map(|i| ((i as f32) * 0.47).sin()).collect(), &[1, 2, 4, 4])
+                .unwrap();
         let d_out = Tensor::from_vec(
             (0..64).map(|i| ((i % 7) as f32 - 3.0) * 0.1).collect(),
             &[1, 4, 4, 4],
@@ -309,9 +324,14 @@ mod tests {
         // Finite differences w.r.t. the input through a fresh module with
         // the same seed (deterministic init).
         let loss = |x: &Tensor| -> f32 {
-            let mut m2 = Inception::new("i", 2, 4, InceptionSpec {
-                c1: 1, c3_reduce: 1, c3: 1, c5_reduce: 1, c5: 1, pool_proj: 1,
-            }, 7).unwrap();
+            let mut m2 = Inception::new(
+                "i",
+                2,
+                4,
+                InceptionSpec { c1: 1, c3_reduce: 1, c3: 1, c5_reduce: 1, c5: 1, pool_proj: 1 },
+                7,
+            )
+            .unwrap();
             let y = m2.forward(x, Phase::Train).unwrap();
             y.data().iter().zip(d_out.data()).map(|(a, b)| a * b).sum()
         };

@@ -42,7 +42,13 @@ impl InnerProduct {
     /// Creates a layer with `in_features` inputs and `out_features` outputs,
     /// weights drawn from `filler` (seeded deterministically from `seed` and
     /// the layer name) and zero bias.
-    pub fn new(name: &str, in_features: usize, out_features: usize, filler: Filler, seed: u64) -> Self {
+    pub fn new(
+        name: &str,
+        in_features: usize,
+        out_features: usize,
+        filler: Filler,
+        seed: u64,
+    ) -> Self {
         let mut weights = Tensor::zeros(&[out_features, in_features]);
         let mut rng = seeded_rng(seed ^ hash_name(name));
         filler.fill(&mut rng, in_features, weights.data_mut());
@@ -71,9 +77,7 @@ impl InnerProduct {
 
 /// Stable, dependency-free name hash for per-layer seeding.
 pub(crate) fn hash_name(name: &str) -> u64 {
-    name.bytes().fold(1469598103934665603u64, |h, b| {
-        (h ^ b as u64).wrapping_mul(1099511628211)
-    })
+    name.bytes().fold(1469598103934665603u64, |h, b| (h ^ b as u64).wrapping_mul(1099511628211))
 }
 
 impl Layer for InnerProduct {
@@ -171,10 +175,7 @@ impl Layer for InnerProduct {
     }
 
     fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
-        vec![
-            (&mut self.weights, &mut self.d_weights),
-            (&mut self.bias, &mut self.d_bias),
-        ]
+        vec![(&mut self.weights, &mut self.d_weights), (&mut self.bias, &mut self.d_bias)]
     }
 }
 

@@ -94,8 +94,10 @@ impl Layer for Lrn {
         };
 
         if batch <= 1 || img_len == 0 || parallel::current_threads() <= 1 {
-            for ((x_image, out_image), scale_image) in
-                x.chunks(img_len.max(1)).zip(out.data_mut().chunks_mut(img_len.max(1))).zip(scale.chunks_mut(img_len.max(1)))
+            for ((x_image, out_image), scale_image) in x
+                .chunks(img_len.max(1))
+                .zip(out.data_mut().chunks_mut(img_len.max(1)))
+                .zip(scale.chunks_mut(img_len.max(1)))
             {
                 forward_one(x_image, out_image, scale_image);
             }
@@ -208,11 +210,9 @@ mod tests {
     #[test]
     fn gradient_matches_finite_difference() {
         let mut lrn = Lrn::new("lrn", 3, 0.5, 0.75, 2.0);
-        let x = Tensor::from_vec(
-            (0..24).map(|i| ((i as f32) * 0.61).sin()).collect(),
-            &[2, 3, 2, 2],
-        )
-        .unwrap();
+        let x =
+            Tensor::from_vec((0..24).map(|i| ((i as f32) * 0.61).sin()).collect(), &[2, 3, 2, 2])
+                .unwrap();
         let d_out = Tensor::from_vec(
             (0..24).map(|i| ((i % 5) as f32 - 2.0) * 0.3).collect(),
             &[2, 3, 2, 2],

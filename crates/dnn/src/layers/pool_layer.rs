@@ -45,7 +45,13 @@ impl Pool2d {
     /// # Errors
     ///
     /// Returns an error if the geometry does not produce a valid output.
-    pub fn max_square(name: &str, channels: usize, in_hw: usize, kernel: usize, stride: usize) -> Result<Self, DnnError> {
+    pub fn max_square(
+        name: &str,
+        channels: usize,
+        in_hw: usize,
+        kernel: usize,
+        stride: usize,
+    ) -> Result<Self, DnnError> {
         Self::new(name, PoolKind::Max, Conv2dGeometry::square(channels, in_hw, kernel, stride, 0))
     }
 }
@@ -75,7 +81,14 @@ impl Layer for Pool2d {
         let mut output = Tensor::zeros(&[batch, self.geom.in_channels, self.out_h, self.out_w]);
         if self.kind == PoolKind::Max {
             self.argmax = vec![0; output.len()];
-            pool_forward(self.kind, &self.geom, batch, input.data(), output.data_mut(), &mut self.argmax);
+            pool_forward(
+                self.kind,
+                &self.geom,
+                batch,
+                input.data(),
+                output.data_mut(),
+                &mut self.argmax,
+            );
         } else {
             pool_forward(self.kind, &self.geom, batch, input.data(), output.data_mut(), &mut []);
         }
@@ -96,13 +109,16 @@ impl Layer for Pool2d {
                 message: format!("d_output length {} != {expected}", d_output.len()),
             });
         }
-        let mut d_input = Tensor::zeros(&[
+        let mut d_input =
+            Tensor::zeros(&[self.batch, self.geom.in_channels, self.geom.in_h, self.geom.in_w]);
+        pool_backward(
+            self.kind,
+            &self.geom,
             self.batch,
-            self.geom.in_channels,
-            self.geom.in_h,
-            self.geom.in_w,
-        ]);
-        pool_backward(self.kind, &self.geom, self.batch, d_output.data(), &self.argmax, d_input.data_mut());
+            d_output.data(),
+            &self.argmax,
+            d_input.data_mut(),
+        );
         Ok(d_input)
     }
 }

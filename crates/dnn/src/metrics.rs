@@ -46,7 +46,12 @@ impl std::fmt::Display for EvalResult {
 /// # Panics
 ///
 /// Panics if `batch == 0`.
-pub fn evaluate<D: Dataset + ?Sized>(net: &mut Net, dataset: &D, batch: usize, k: usize) -> Result<EvalResult, DnnError> {
+pub fn evaluate<D: Dataset + ?Sized>(
+    net: &mut Net,
+    dataset: &D,
+    batch: usize,
+    k: usize,
+) -> Result<EvalResult, DnnError> {
     assert!(batch > 0, "batch must be positive");
     let total = dataset.len();
     let mut loss_sum = 0.0f64;

@@ -246,10 +246,7 @@ impl Net {
 
 impl std::fmt::Debug for Net {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Net")
-            .field("name", &self.name)
-            .field("layers", &self.layers.len())
-            .finish()
+        f.debug_struct("Net").field("name", &self.name).field("layers", &self.layers.len()).finish()
     }
 }
 

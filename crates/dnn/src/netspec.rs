@@ -47,10 +47,7 @@ impl SpecShape {
 }
 
 fn parse_err(clause: &str, msg: &str) -> DnnError {
-    DnnError::BadInput {
-        layer: format!("netspec `{clause}`"),
-        message: msg.to_string(),
-    }
+    DnnError::BadInput { layer: format!("netspec `{clause}`"), message: msg.to_string() }
 }
 
 fn parse_usize(clause: &str, tok: Option<&str>, what: &str) -> Result<usize, DnnError> {
@@ -119,7 +116,9 @@ pub fn build_net(
                     match kw_tok {
                         "stride" => stride = parse_usize(clause, toks.next(), "stride")?,
                         "pad" => pad = parse_usize(clause, toks.next(), "pad")?,
-                        other => return Err(parse_err(clause, &format!("unknown option `{other}`"))),
+                        other => {
+                            return Err(parse_err(clause, &format!("unknown option `{other}`")))
+                        }
                     }
                 }
                 let SpecShape::Spatial { c, h, w } = shape else {
@@ -144,7 +143,9 @@ pub fn build_net(
                 let k = parse_usize(clause, toks.next(), "kernel")?;
                 let stride = match toks.next() {
                     Some("stride") => parse_usize(clause, toks.next(), "stride")?,
-                    Some(other) => return Err(parse_err(clause, &format!("unknown option `{other}`"))),
+                    Some(other) => {
+                        return Err(parse_err(clause, &format!("unknown option `{other}`")))
+                    }
                     None => k,
                 };
                 let SpecShape::Spatial { c, h, w } = shape else {
@@ -237,7 +238,8 @@ mod tests {
 
     #[test]
     fn avgpool_and_lrn_and_bn() {
-        let mut net = build_net("m", (2, 8, 8), "conv 4 1x1; bn; relu; lrn; avgpool 2; fc 3", 2).unwrap();
+        let mut net =
+            build_net("m", (2, 8, 8), "conv 4 1x1; bn; relu; lrn; avgpool 2; fc 3", 2).unwrap();
         let y = net.forward(&Tensor::zeros(&[3, 2, 8, 8]), Phase::Train).unwrap();
         assert_eq!(y.dims(), &[3, 3]);
     }

@@ -120,10 +120,7 @@ impl RecordDb {
         let dims: Vec<u32> = dataset.feature_dims().iter().map(|&d| d as u32).collect();
         for i in 0..dataset.len() {
             let (data, label) = dataset.sample(i)?;
-            db.put(
-                &format!("{i:08}"),
-                &Record { dims: dims.clone(), label: label as u32, data },
-            );
+            db.put(&format!("{i:08}"), &Record { dims: dims.clone(), label: label as u32, data });
         }
         Ok(db)
     }
@@ -259,7 +256,13 @@ impl Prefetcher {
     /// # Panics
     ///
     /// Panics if `keys` is empty or `batch_size == 0`.
-    pub fn spawn(db: RecordDb, keys: Vec<String>, batch_size: usize, depth: usize, total_batches: usize) -> Self {
+    pub fn spawn(
+        db: RecordDb,
+        keys: Vec<String>,
+        batch_size: usize,
+        depth: usize,
+        total_batches: usize,
+    ) -> Self {
         assert!(!keys.is_empty(), "prefetcher needs at least one key");
         assert!(batch_size > 0, "batch_size must be positive");
         let (tx, rx) = bounded(depth.max(1));

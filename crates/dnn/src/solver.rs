@@ -42,9 +42,7 @@ impl LrPolicy {
             LrPolicy::Step { gamma, step_size } => {
                 base_lr * gamma.powi((iter / step_size.max(1)) as i32)
             }
-            LrPolicy::Inv { gamma, power } => {
-                base_lr * (1.0 + gamma * iter as f32).powf(-power)
-            }
+            LrPolicy::Inv { gamma, power } => base_lr * (1.0 + gamma * iter as f32).powf(-power),
             LrPolicy::Poly { power, max_iter } => {
                 let frac = 1.0 - (iter.min(max_iter) as f32 / max_iter.max(1) as f32);
                 base_lr * frac.powf(power)
@@ -161,11 +159,8 @@ impl Solver {
         self.net.for_each_param(|p, g| {
             let v = &mut bufs[idx];
             idx += 1;
-            for ((vv, pv), gv) in v
-                .data_mut()
-                .iter_mut()
-                .zip(p.data_mut().iter_mut())
-                .zip(g.data().iter())
+            for ((vv, pv), gv) in
+                v.data_mut().iter_mut().zip(p.data_mut().iter_mut()).zip(g.data().iter())
             {
                 let mut grad = gv + decay * *pv;
                 if let Some(bound) = clip {
@@ -205,11 +200,8 @@ impl Solver {
         let n = self.net.param_len();
         let mut weights = vec![0.0f32; n];
         self.net.copy_weights_to(&mut weights)?;
-        let momentum: Vec<f32> = self
-            .momentum_buf
-            .iter()
-            .flat_map(|t| t.data().iter().copied())
-            .collect();
+        let momentum: Vec<f32> =
+            self.momentum_buf.iter().flat_map(|t| t.data().iter().copied()).collect();
         Ok(Snapshot { iter: self.iter, weights, momentum })
     }
 
@@ -285,7 +277,13 @@ mod tests {
         net.add(InnerProduct::new("fc2", 8, 2, Filler::Xavier, 1));
         Solver::new(
             net,
-            SolverConfig { base_lr: 0.2, momentum: 0.9, weight_decay: 0.0, policy, clip_gradients: None },
+            SolverConfig {
+                base_lr: 0.2,
+                momentum: 0.9,
+                weight_decay: 0.0,
+                policy,
+                clip_gradients: None,
+            },
         )
     }
 
@@ -306,7 +304,8 @@ mod tests {
     #[test]
     fn solver_reduces_loss_on_separable_task() {
         let mut solver = make_solver(LrPolicy::Fixed);
-        let x = Tensor::from_vec(vec![1.0, 1.0, -1.0, -1.0, 1.0, -1.0, -1.0, 1.0], &[4, 2]).unwrap();
+        let x =
+            Tensor::from_vec(vec![1.0, 1.0, -1.0, -1.0, 1.0, -1.0, -1.0, 1.0], &[4, 2]).unwrap();
         let labels = vec![0usize, 0, 1, 1];
         let first = solver.step(&x, &labels).unwrap();
         for _ in 0..100 {

@@ -38,12 +38,8 @@ pub enum CnnModel {
 
 impl CnnModel {
     /// All four models in the paper's presentation order.
-    pub const ALL: [CnnModel; 4] = [
-        CnnModel::InceptionV1,
-        CnnModel::ResNet50,
-        CnnModel::InceptionResnetV2,
-        CnnModel::Vgg16,
-    ];
+    pub const ALL: [CnnModel; 4] =
+        [CnnModel::InceptionV1, CnnModel::ResNet50, CnnModel::InceptionResnetV2, CnnModel::Vgg16];
 
     /// Display name matching the paper's tables.
     pub fn name(self) -> &'static str {
@@ -189,7 +185,8 @@ mod tests {
         // Inception-ResNet-v2's size is stated verbatim in the paper.
         assert_eq!(CnnModel::InceptionResnetV2.param_bytes(), 214_000_000);
         // ResNet_50 "has about twice as many parameters as Inception_v1".
-        let ratio = CnnModel::ResNet50.param_bytes() as f64 / CnnModel::InceptionV1.param_bytes() as f64;
+        let ratio =
+            CnnModel::ResNet50.param_bytes() as f64 / CnnModel::InceptionV1.param_bytes() as f64;
         assert!((ratio - 2.0).abs() < 0.1, "ratio {ratio}");
         // VGG16: 2 iterations on 1 GPU take 389.8 ms.
         assert!((CnnModel::Vgg16.comp_time().as_millis_f64() * 2.0 - 389.8).abs() < 0.1);

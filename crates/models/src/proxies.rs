@@ -90,7 +90,12 @@ pub fn bn_cnn(channels: usize, hw: usize, classes: usize, seed: u64) -> Result<N
 /// # Errors
 ///
 /// Returns an error if the geometry does not fit.
-pub fn mini_inception(channels: usize, hw: usize, classes: usize, seed: u64) -> Result<Net, DnnError> {
+pub fn mini_inception(
+    channels: usize,
+    hw: usize,
+    classes: usize,
+    seed: u64,
+) -> Result<Net, DnnError> {
     let mut net = Net::new("mini_inception_proxy");
     // Stem: 3x3 conv -> ReLU -> LRN -> 2x2 pool.
     let g_stem = Conv2dGeometry::square(channels, hw, 3, 1, 1);
@@ -155,7 +160,13 @@ mod tests {
         let net = small_cnn(1, 12, 3, 5).unwrap();
         let mut solver = Solver::new(
             net,
-            SolverConfig { base_lr: 0.05, momentum: 0.9, weight_decay: 0.0, policy: LrPolicy::Fixed, clip_gradients: None },
+            SolverConfig {
+                base_lr: 0.05,
+                momentum: 0.9,
+                weight_decay: 0.0,
+                policy: LrPolicy::Fixed,
+                clip_gradients: None,
+            },
         );
         for _ in 0..15 {
             for start in (0..120).step_by(24) {
@@ -215,7 +226,13 @@ mod tests {
         let net = mini_inception(1, 8, 3, 6).unwrap();
         let mut solver = Solver::new(
             net,
-            SolverConfig { base_lr: 0.05, momentum: 0.9, weight_decay: 0.0, policy: LrPolicy::Fixed, clip_gradients: Some(5.0) },
+            SolverConfig {
+                base_lr: 0.05,
+                momentum: 0.9,
+                weight_decay: 0.0,
+                policy: LrPolicy::Fixed,
+                clip_gradients: Some(5.0),
+            },
         );
         for _ in 0..12 {
             for start in (0..90).step_by(30) {

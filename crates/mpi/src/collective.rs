@@ -88,7 +88,12 @@ impl Comm {
 
     /// Element-wise sum reduction to `root` over a binomial tree. The root
     /// returns `Some(sum)`, other ranks `None`.
-    pub fn reduce(&mut self, ctx: &SimContext, root: usize, mut data: Vec<f32>) -> Option<Vec<f32>> {
+    pub fn reduce(
+        &mut self,
+        ctx: &SimContext,
+        root: usize,
+        mut data: Vec<f32>,
+    ) -> Option<Vec<f32>> {
         let bytes = (data.len() * 4) as u64;
         self.reduce_wire(ctx, root, std::mem::take(&mut data), bytes)
     }
@@ -127,7 +132,12 @@ impl Comm {
 
     /// Gathers every rank's vector at `root` (indexed by rank). The root
     /// returns `Some(vec_of_vecs)`, other ranks `None`.
-    pub fn gather(&mut self, ctx: &SimContext, root: usize, data: Vec<f32>) -> Option<Vec<Vec<f32>>> {
+    pub fn gather(
+        &mut self,
+        ctx: &SimContext,
+        root: usize,
+        data: Vec<f32>,
+    ) -> Option<Vec<Vec<f32>>> {
         let size = self.size();
         if self.rank() == root {
             let mut out: Vec<Vec<f32>> = vec![Vec::new(); size];
@@ -152,7 +162,12 @@ impl Comm {
 
     /// [`Comm::allreduce`] with an explicit total wire size (the logical
     /// size of the full vector; per-step chunks are `wire_bytes / N`).
-    pub fn allreduce_wire(&mut self, ctx: &SimContext, mut data: Vec<f32>, wire_bytes: u64) -> Vec<f32> {
+    pub fn allreduce_wire(
+        &mut self,
+        ctx: &SimContext,
+        mut data: Vec<f32>,
+        wire_bytes: u64,
+    ) -> Vec<f32> {
         let size = self.size();
         if size == 1 {
             return data;

@@ -67,7 +67,9 @@ pub enum MpiError {
 impl fmt::Display for MpiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MpiError::BadRank { rank, size } => write!(f, "rank {rank} out of range for world size {size}"),
+            MpiError::BadRank { rank, size } => {
+                write!(f, "rank {rank} out of range for world size {size}")
+            }
         }
     }
 }
@@ -124,12 +126,9 @@ impl MpiWorld {
     /// Panics if the layout is empty.
     pub fn with_layout(fabric: Fabric, node_of: Vec<NodeId>) -> Self {
         assert!(!node_of.is_empty(), "layout must contain at least one rank");
-        let mailboxes = (0..node_of.len())
-            .map(|r| SimChannel::new(&format!("mpi_mailbox_{r}")))
-            .collect();
-        MpiWorld {
-            inner: Arc::new(WorldInner { fabric, node_of, mailboxes }),
-        }
+        let mailboxes =
+            (0..node_of.len()).map(|r| SimChannel::new(&format!("mpi_mailbox_{r}"))).collect();
+        MpiWorld { inner: Arc::new(WorldInner { fabric, node_of, mailboxes }) }
     }
 
     /// Number of ranks.
@@ -159,11 +158,7 @@ impl MpiWorld {
     /// Panics if `rank` is out of range.
     pub fn comm(&self, rank: usize) -> Comm {
         assert!(rank < self.size(), "rank {rank} out of range");
-        Comm {
-            world: Arc::clone(&self.inner),
-            rank,
-            stash: VecDeque::new(),
-        }
+        Comm { world: Arc::clone(&self.inner), rank, stash: VecDeque::new() }
     }
 }
 
@@ -215,7 +210,14 @@ impl Comm {
     /// # Panics
     ///
     /// Panics if `dst` is out of range.
-    pub fn send_wire(&self, ctx: &SimContext, dst: usize, tag: Tag, data: MpiData, wire_bytes: u64) {
+    pub fn send_wire(
+        &self,
+        ctx: &SimContext,
+        dst: usize,
+        tag: Tag,
+        data: MpiData,
+        wire_bytes: u64,
+    ) {
         let dst_node = self.world.node_of[dst];
         let src_node = self.node();
         if wire_bytes > 0 && dst != self.rank {
@@ -228,10 +230,8 @@ impl Comm {
     /// `None`) and `tag`, blocking in virtual time.
     pub fn recv(&mut self, ctx: &SimContext, src: Option<usize>, tag: Tag) -> (usize, MpiData) {
         // Check the stash first (messages popped while matching others).
-        if let Some(pos) = self
-            .stash
-            .iter()
-            .position(|e| e.tag == tag && src.is_none_or(|s| s == e.src))
+        if let Some(pos) =
+            self.stash.iter().position(|e| e.tag == tag && src.is_none_or(|s| s == e.src))
         {
             let env = self.stash.remove(pos).expect("position is valid");
             return (env.src, env.data);
@@ -246,7 +246,12 @@ impl Comm {
     }
 
     /// Receives a matching message's f32 payload.
-    pub fn recv_f32s(&mut self, ctx: &SimContext, src: Option<usize>, tag: Tag) -> (usize, Vec<f32>) {
+    pub fn recv_f32s(
+        &mut self,
+        ctx: &SimContext,
+        src: Option<usize>,
+        tag: Tag,
+    ) -> (usize, Vec<f32>) {
         let (s, data) = self.recv(ctx, src, tag);
         (s, data.into_f32s())
     }

@@ -44,9 +44,12 @@
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
+
+#[cfg(feature = "race-detect")]
+use shmcaffe_simnet::race::{AccessKind, RaceDetector};
 
 use shmcaffe_simnet::fault::FaultError;
 use shmcaffe_simnet::resource::TransferReport;
@@ -197,7 +200,9 @@ impl std::error::Error for RdmaError {
 }
 
 struct NodePool {
-    regions: Mutex<HashMap<u64, Vec<f32>>>,
+    // BTreeMap, not HashMap: diagnostics and teardown paths iterate the
+    // registered regions, and iteration order must be deterministic.
+    regions: Mutex<BTreeMap<u64, Vec<f32>>>,
 }
 
 struct FabricInner {
@@ -205,7 +210,12 @@ struct FabricInner {
     pools: Vec<NodePool>,
     next_key: Mutex<u64>,
     /// QP state per (local, remote) endpoint pair; absent means Ready.
-    qp_states: Mutex<HashMap<(NodeId, NodeId), QpState>>,
+    qp_states: Mutex<BTreeMap<(NodeId, NodeId), QpState>>,
+    /// Happens-before race detector over this fabric's regions. Owned per
+    /// fabric (not global) so concurrently running simulations in one test
+    /// binary never observe each other's accesses.
+    #[cfg(feature = "race-detect")]
+    race: RaceDetector,
 }
 
 /// The RDMA-capable fabric: registered memory pools on every endpoint.
@@ -218,9 +228,7 @@ pub struct RdmaFabric {
 
 impl fmt::Debug for RdmaFabric {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("RdmaFabric")
-            .field("endpoints", &self.inner.pools.len())
-            .finish()
+        f.debug_struct("RdmaFabric").field("endpoints", &self.inner.pools.len()).finish()
     }
 }
 
@@ -228,26 +236,32 @@ impl RdmaFabric {
     /// Wraps a fabric with per-endpoint memory pools.
     pub fn new(fabric: Fabric) -> Self {
         let pools = (0..fabric.endpoints())
-            .map(|_| NodePool { regions: Mutex::new(HashMap::new()) })
+            .map(|_| NodePool { regions: Mutex::new(BTreeMap::new()) })
             .collect();
         RdmaFabric {
             inner: Arc::new(FabricInner {
                 fabric,
                 pools,
                 next_key: Mutex::new(1),
-                qp_states: Mutex::new(HashMap::new()),
+                qp_states: Mutex::new(BTreeMap::new()),
+                #[cfg(feature = "race-detect")]
+                race: RaceDetector::new(),
             }),
         }
     }
 
+    /// The fabric's happens-before race detector (only with the
+    /// `race-detect` feature). Higher layers record engine-serialized
+    /// accesses (e.g. the SMB accumulate) through this handle; tests that
+    /// deliberately seed a race disable halting and inspect its reports.
+    #[cfg(feature = "race-detect")]
+    pub fn race_detector(&self) -> &RaceDetector {
+        &self.inner.race
+    }
+
     /// Current QP state between two endpoints (Ready unless faulted).
     pub fn qp_state(&self, local: NodeId, remote: NodeId) -> QpState {
-        self.inner
-            .qp_states
-            .lock()
-            .get(&(local, remote))
-            .copied()
-            .unwrap_or(QpState::Ready)
+        self.inner.qp_states.lock().get(&(local, remote)).copied().unwrap_or(QpState::Ready)
     }
 
     fn set_qp(&self, local: NodeId, remote: NodeId, state: QpState) {
@@ -325,11 +339,17 @@ impl RdmaFabric {
     ///
     /// Returns [`RdmaError::UnknownRegion`] if already deregistered.
     pub fn deregister(&self, mr: &MemoryRegion) -> Result<Vec<f32>, RdmaError> {
-        self.pool(mr.node)?
+        let data = self
+            .pool(mr.node)?
             .regions
             .lock()
             .remove(&mr.rkey.0)
-            .ok_or(RdmaError::UnknownRegion { rkey: mr.rkey, node: mr.node })
+            .ok_or(RdmaError::UnknownRegion { rkey: mr.rkey, node: mr.node })?;
+        // Rkeys are never reused, so the access history cannot alias a
+        // later region.
+        #[cfg(feature = "race-detect")]
+        self.inner.race.forget_region(mr.rkey.0);
+        Ok(data)
     }
 
     /// Runs `f` over the region's buffer on its host node (a *local* access:
@@ -339,10 +359,16 @@ impl RdmaFabric {
     /// # Errors
     ///
     /// Returns [`RdmaError::UnknownRegion`] for a stale region.
-    pub fn with_region<R>(&self, mr: &MemoryRegion, f: impl FnOnce(&mut [f32]) -> R) -> Result<R, RdmaError> {
+    pub fn with_region<R>(
+        &self,
+        mr: &MemoryRegion,
+        f: impl FnOnce(&mut [f32]) -> R,
+    ) -> Result<R, RdmaError> {
         let pool = self.pool(mr.node)?;
         let mut regions = pool.regions.lock();
-        let buf = regions.get_mut(&mr.rkey.0).ok_or(RdmaError::UnknownRegion { rkey: mr.rkey, node: mr.node })?;
+        let buf = regions
+            .get_mut(&mr.rkey.0)
+            .ok_or(RdmaError::UnknownRegion { rkey: mr.rkey, node: mr.node })?;
         Ok(f(buf))
     }
 
@@ -365,7 +391,9 @@ impl RdmaFabric {
         let pool = self.pool(src.node)?;
         let mut regions = pool.regions.lock();
         // Take src out briefly to get simultaneous access without unsafe.
-        let src_buf = regions.remove(&src.rkey.0).ok_or(RdmaError::UnknownRegion { rkey: src.rkey, node: src.node })?;
+        let src_buf = regions
+            .remove(&src.rkey.0)
+            .ok_or(RdmaError::UnknownRegion { rkey: src.rkey, node: src.node })?;
         let result = match regions.get_mut(&dst.rkey.0) {
             Some(dst_buf) => Ok(f(&src_buf, dst_buf)),
             None => Err(RdmaError::UnknownRegion { rkey: dst.rkey, node: dst.node }),
@@ -436,11 +464,17 @@ impl RdmaFabric {
     ) -> Result<TransferReport, RdmaError> {
         Self::check_bounds(mr, offset, out.len())?;
         self.with_region(mr, |buf| out.copy_from_slice(&buf[offset..offset + out.len()]))?;
+        #[cfg(feature = "race-detect")]
+        self.inner.race.record(
+            ctx,
+            mr.rkey.0,
+            offset,
+            out.len(),
+            AccessKind::Read,
+            "rdma::read_wire_paced",
+        );
         // Data flows remote -> local.
-        Ok(self
-            .inner
-            .fabric
-            .net_transfer_stream(ctx, mr.node, local, wire_bytes, stream_bps))
+        Ok(self.inner.fabric.net_transfer_stream(ctx, mr.node, local, wire_bytes, stream_bps))
     }
 
     /// One-sided RDMA write: copies `data` into the remote region at
@@ -498,11 +532,18 @@ impl RdmaFabric {
         // Charge wire time first (data flows local -> remote), then land the
         // bytes; the write is visible before this process yields control
         // back to the caller, so no other process can observe a torn state.
-        let report = self
-            .inner
-            .fabric
-            .net_transfer_stream(ctx, local, mr.node, wire_bytes, stream_bps);
+        let report =
+            self.inner.fabric.net_transfer_stream(ctx, local, mr.node, wire_bytes, stream_bps);
         self.with_region(mr, |buf| buf[offset..offset + data.len()].copy_from_slice(data))?;
+        #[cfg(feature = "race-detect")]
+        self.inner.race.record(
+            ctx,
+            mr.rkey.0,
+            offset,
+            data.len(),
+            AccessKind::Write,
+            "rdma::write_wire_paced",
+        );
         Ok(report)
     }
 
@@ -542,6 +583,15 @@ impl RdmaFabric {
         self.enforce_timeout(ctx, local, mr.node, started, timeout)?;
         // Land the payload only once the wire op succeeded.
         self.with_region(mr, |buf| out.copy_from_slice(&buf[offset..offset + out.len()]))?;
+        #[cfg(feature = "race-detect")]
+        self.inner.race.record(
+            ctx,
+            mr.rkey.0,
+            offset,
+            out.len(),
+            AccessKind::Read,
+            "rdma::try_read_wire_paced",
+        );
         Ok(report)
     }
 
@@ -578,6 +628,15 @@ impl RdmaFabric {
             })?;
         self.enforce_timeout(ctx, local, mr.node, started, timeout)?;
         self.with_region(mr, |buf| buf[offset..offset + data.len()].copy_from_slice(data))?;
+        #[cfg(feature = "race-detect")]
+        self.inner.race.record(
+            ctx,
+            mr.rkey.0,
+            offset,
+            data.len(),
+            AccessKind::Write,
+            "rdma::try_write_wire_paced",
+        );
         Ok(report)
     }
 
@@ -721,11 +780,7 @@ mod tests {
         // Link down for the first 10 ms: the first op faults the QP, the
         // second is rejected with no wire time, and after re-arm (past the
         // outage) ops succeed again.
-        let plan = FaultPlan::new(3).link_down(
-            NodeId(1),
-            SimTime::ZERO,
-            SimTime::from_millis(10),
-        );
+        let plan = FaultPlan::new(3).link_down(NodeId(1), SimTime::ZERO, SimTime::from_millis(10));
         let rdma = RdmaFabric::new(Fabric::with_faults(ClusterSpec::paper_testbed(2), plan));
         let mr = rdma.register(NodeId(1), 4).unwrap();
         let r = rdma.clone();
@@ -749,8 +804,7 @@ mod tests {
             ctx.sleep_until(SimTime::from_millis(10));
             r.rearm_qp(&ctx, NodeId(0), NodeId(1));
             assert_eq!(r.qp_state(NodeId(0), NodeId(1)), QpState::Ready);
-            r.try_write_wire_paced(&ctx, NodeId(0), &mr, 0, &[2.0; 4], 16, None, None)
-                .unwrap();
+            r.try_write_wire_paced(&ctx, NodeId(0), &mr, 0, &[2.0; 4], 16, None, None).unwrap();
         });
         sim.run();
         assert_eq!(rdma.deregister(&mr).unwrap(), vec![2.0; 4]);
@@ -761,12 +815,8 @@ mod tests {
         use shmcaffe_simnet::fault::FaultPlan;
         use shmcaffe_simnet::SimTime;
         // 1% bandwidth: 7 MB takes ~100 ms, past a 10 ms deadline.
-        let plan = FaultPlan::new(3).link_degraded(
-            NodeId(1),
-            SimTime::ZERO,
-            SimTime::from_secs(10),
-            0.01,
-        );
+        let plan =
+            FaultPlan::new(3).link_degraded(NodeId(1), SimTime::ZERO, SimTime::from_secs(10), 0.01);
         let rdma = RdmaFabric::new(Fabric::with_faults(ClusterSpec::paper_testbed(2), plan));
         let mr = rdma.register(NodeId(1), 4).unwrap();
         let r = rdma.clone();
@@ -798,8 +848,7 @@ mod tests {
         let r = rdma.clone();
         let mut sim = Simulation::new();
         sim.spawn("w", move |ctx| {
-            r.try_write_wire_paced(&ctx, NodeId(0), &mr, 0, &[5.0; 4], 16, None, None)
-                .unwrap();
+            r.try_write_wire_paced(&ctx, NodeId(0), &mr, 0, &[5.0; 4], 16, None, None).unwrap();
             let mut out = [0.0f32; 4];
             r.try_read_wire_paced(
                 &ctx,

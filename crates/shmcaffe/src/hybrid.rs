@@ -176,8 +176,7 @@ pub fn run_group_member<T: Trainer>(
                 let done = iter >= harness.target_iters;
                 root.board.publish(&root.client, ctx, harness.group, iter, done)?;
                 let snapshot = root.board.snapshot(&root.client, ctx)?;
-                let stop_now =
-                    cfg.termination.should_stop(&snapshot, iter, harness.target_iters);
+                let stop_now = cfg.termination.should_stop(&snapshot, iter, harness.target_iters);
                 let flag = if stop_now { FLAG_STOP } else { FLAG_CONTINUE };
                 harness.gpu.broadcast(ctx, 0, Some(vec![flag]));
                 flag
@@ -248,7 +247,8 @@ mod tests {
                 let wg = client
                     .create(&ctx, "W_g", WorkloadModel::DEFAULT_PARAM_ELEMS, Some(wire))
                     .unwrap();
-                let (_board, bkey) = ProgressBoard::create(&client, &ctx, "ctrl", n_groups).unwrap();
+                let (_board, bkey) =
+                    ProgressBoard::create(&client, &ctx, "ctrl", n_groups).unwrap();
                 *wg_key.lock() = Some((wg, bkey));
                 for _ in 0..n_groups {
                     ready.send(&ctx, ());
@@ -350,12 +350,7 @@ mod tests {
     fn update_interval_skips_inter_node_exchanges() {
         let wl = WorkloadModel::custom("t", 20_000_000, SimDuration::from_millis(30));
         let dense = run_hybrid(2, 2, quiet_cfg(8), wl.clone());
-        let sparse = run_hybrid(
-            2,
-            2,
-            ShmCaffeConfig { update_interval: 4, ..quiet_cfg(8) },
-            wl,
-        );
+        let sparse = run_hybrid(2, 2, ShmCaffeConfig { update_interval: 4, ..quiet_cfg(8) }, wl);
         let comm = |out: &Vec<Vec<HybridOutcome>>| -> f64 {
             out.iter().flatten().map(|o| o.report.comm_ms.sum()).sum()
         };

@@ -82,10 +82,7 @@ impl CaffeSsgd {
         let clique = IntraNodeGroup::new(fabric, NodeId(0), self.gpus);
         // The single host process: data layer + launch overheads serialise
         // across GPUs here.
-        let host = BandwidthResource::new(
-            "caffe_host",
-            LinkModel::new(1.0, SimDuration::ZERO),
-        );
+        let host = BandwidthResource::new("caffe_host", LinkModel::new(1.0, SimDuration::ZERO));
         let host_service = SimDuration::from_millis_f64(
             self.cfg.baseline.caffe_host_ms_base
                 + self.cfg.baseline.caffe_host_ms_per_gpu * self.gpus as f64,

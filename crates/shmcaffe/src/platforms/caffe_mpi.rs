@@ -131,8 +131,7 @@ impl CaffeMpi {
                                 wire_eff,
                             );
                         }
-                        wrep.comm_ms
-                            .record_duration_ms(comm_gather + (ctx.now() - scatter_start));
+                        wrep.comm_ms.record_duration_ms(comm_gather + (ctx.now() - scatter_start));
                     } else {
                         trainer.read_grads(&mut grads);
                         comm.send_wire(ctx, 0, TAG_GRADS, MpiData::F32s(grads.clone()), wire_eff);

@@ -114,9 +114,8 @@ impl DownpourAsgd {
                 seed_trainer.read_weights(&mut weights);
                 let mut done = 0usize;
                 // The server update is memory-bound; charge a light pass.
-                let update_time = SimDuration::from_secs_f64(
-                    seed_trainer.wire_bytes() as f64 / 20.0e9,
-                );
+                let update_time =
+                    SimDuration::from_secs_f64(seed_trainer.wire_bytes() as f64 / 20.0e9);
                 // Event loop: serve pulls, fold in pushes as they arrive,
                 // count completions. FIFO per sender guarantees a worker's
                 // final push is processed before its DONE.
@@ -181,8 +180,7 @@ impl DownpourAsgd {
                     let push_start = ctx.now();
                     trainer.read_grads(&mut grads);
                     comm.send_wire(ctx, 0, TAG_PUSH, MpiData::F32s(grads.clone()), wire_eff);
-                    wrep.comm_ms
-                        .record_duration_ms(pull_time + (ctx.now() - push_start));
+                    wrep.comm_ms.record_duration_ms(pull_time + (ctx.now() - push_start));
                     loss_ema = if loss_ema.is_nan() { loss } else { 0.9 * loss_ema + 0.1 * loss };
 
                     if worker == 0 && cfg.eval_every > 0 && iter % cfg.eval_every as u64 == 0 {

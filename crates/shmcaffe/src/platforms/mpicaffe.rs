@@ -176,9 +176,7 @@ mod tests {
     #[test]
     fn allreduce_beats_star_at_scale() {
         let cfg = SsgdConfig { max_iters: 5, ..Default::default() };
-        let ring = MpiCaffe::new(ClusterSpec::paper_testbed(4), 16, cfg)
-            .run(factory())
-            .unwrap();
+        let ring = MpiCaffe::new(ClusterSpec::paper_testbed(4), 16, cfg).run(factory()).unwrap();
         let star = super::super::CaffeMpi::new(ClusterSpec::paper_testbed(4), 16, cfg)
             .run(factory())
             .unwrap();

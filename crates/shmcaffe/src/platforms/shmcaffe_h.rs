@@ -77,10 +77,8 @@ impl ShmCaffeH {
         let server = SmbServer::new(rdma)?;
         // Root-to-root communicator for the key broadcast: one rank per
         // group, pinned to the group's node.
-        let root_world = MpiWorld::with_layout(
-            fabric.clone(),
-            (0..self.groups).map(NodeId).collect(),
-        );
+        let root_world =
+            MpiWorld::with_layout(fabric.clone(), (0..self.groups).map(NodeId).collect());
         let factory = Arc::new(factory);
         let cfg = self.cfg;
         let (groups, group_size) = (self.groups, self.group_size);

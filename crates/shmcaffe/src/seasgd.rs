@@ -102,9 +102,8 @@ impl ElasticExchanger {
         let done_ch: SimChannel<UpdateDone> = SimChannel::new(&format!("seasgd_done_{label}"));
         // Per-worker retry policy, seeded so identical runs retry
         // identically; deadlines are sized to outlast short fault windows.
-        let retry_seed = label
-            .bytes()
-            .fold(cfg.seed, |acc, b| acc.wrapping_mul(31).wrapping_add(u64::from(b)));
+        let retry_seed =
+            label.bytes().fold(cfg.seed, |acc, b| acc.wrapping_mul(31).wrapping_add(u64::from(b)));
         let retry = RetryPolicy {
             max_attempts: 8,
             deadline: SimDuration::from_millis(500),
@@ -128,9 +127,8 @@ impl ElasticExchanger {
                     // dropped: elastic averaging re-derives the lost force
                     // from the next W_x - W_g difference, whereas dying
                     // here would take the whole worker down.
-                    let pushed = client
-                        .write_retrying(&uctx, &buffers.dw, &dw, &retry)
-                        .and_then(|()| {
+                    let pushed =
+                        client.write_retrying(&uctx, &buffers.dw, &dw, &retry).and_then(|()| {
                             client
                                 .accumulate_retrying(&uctx, &buffers.dw, &buffers.wg, &retry)
                                 .map(|_| ())
@@ -406,11 +404,7 @@ mod tests {
                         .unwrap();
                     let (_board, board_key) =
                         ProgressBoard::create(&client, &ctx, "ctrl", n_workers).unwrap();
-                    comm.broadcast(
-                        &ctx,
-                        0,
-                        Some(MpiData::U64s(vec![wg_key.0, board_key.0])),
-                    );
+                    comm.broadcast(&ctx, 0, Some(MpiData::U64s(vec![wg_key.0, board_key.0])));
                     (wg_key, board_key)
                 } else {
                     let keys = comm.broadcast(&ctx, 0, None).into_u64s();
@@ -418,7 +412,12 @@ mod tests {
                 };
                 let wg = client.alloc(&ctx, wg_key).unwrap();
                 let dw_key = client
-                    .create(&ctx, &format!("dW_{rank}"), trainer.param_len(), Some(trainer.wire_bytes()))
+                    .create(
+                        &ctx,
+                        &format!("dW_{rank}"),
+                        trainer.param_len(),
+                        Some(trainer.wire_bytes()),
+                    )
                     .unwrap();
                 let dw = client.alloc(&ctx, dw_key).unwrap();
                 let board = ProgressBoard::attach(&client, &ctx, board_key, n_workers).unwrap();

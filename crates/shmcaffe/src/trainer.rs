@@ -282,9 +282,7 @@ pub struct RealTrainer {
 
 impl std::fmt::Debug for RealTrainer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RealTrainer")
-            .field("param_len", &self.param_len)
-            .finish()
+        f.debug_struct("RealTrainer").field("param_len", &self.param_len).finish()
     }
 }
 
@@ -311,14 +309,9 @@ impl Trainer for RealTrainer {
 
     fn compute_gradients(&mut self, ctx: &SimContext) -> f32 {
         let indices = self.sampler.next_batch();
-        let (x, labels) = self
-            .dataset
-            .minibatch(&indices)
-            .expect("sampler indices are in range");
-        let loss = self
-            .solver
-            .compute_gradients(&x, &labels)
-            .expect("dataset shapes match the network");
+        let (x, labels) = self.dataset.minibatch(&indices).expect("sampler indices are in range");
+        let loss =
+            self.solver.compute_gradients(&x, &labels).expect("dataset shapes match the network");
         let dur = self.jitter.sample(self.comp_time);
         ctx.sleep(dur);
         let _ = &mut self.scratch;
@@ -330,31 +323,19 @@ impl Trainer for RealTrainer {
     }
 
     fn read_weights(&mut self, out: &mut [f32]) {
-        self.solver
-            .net_mut()
-            .copy_weights_to(out)
-            .expect("caller passes param_len buffer");
+        self.solver.net_mut().copy_weights_to(out).expect("caller passes param_len buffer");
     }
 
     fn write_weights(&mut self, w: &[f32]) {
-        self.solver
-            .net_mut()
-            .load_weights_from(w)
-            .expect("caller passes param_len buffer");
+        self.solver.net_mut().load_weights_from(w).expect("caller passes param_len buffer");
     }
 
     fn read_grads(&mut self, out: &mut [f32]) {
-        self.solver
-            .net_mut()
-            .copy_grads_to(out)
-            .expect("caller passes param_len buffer");
+        self.solver.net_mut().copy_grads_to(out).expect("caller passes param_len buffer");
     }
 
     fn write_grads(&mut self, g: &[f32]) {
-        self.solver
-            .net_mut()
-            .load_grads_from(g)
-            .expect("caller passes param_len buffer");
+        self.solver.net_mut().load_grads_from(g).expect("caller passes param_len buffer");
     }
 
     fn evaluate(&mut self) -> Option<EvalSample> {

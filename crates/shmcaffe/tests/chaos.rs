@@ -119,8 +119,5 @@ fn synchronous_platform_aborts_instead_of_hanging() {
     .with_fault_plan(crash_plan())
     .run(factory())
     .expect_err("SSGD cannot survive a dead rank");
-    assert!(
-        matches!(err, PlatformError::WorkerFailed(_)),
-        "expected WorkerFailed, got {err:?}"
-    );
+    assert!(matches!(err, PlatformError::WorkerFailed(_)), "expected WorkerFailed, got {err:?}");
 }

@@ -14,8 +14,17 @@ use std::sync::Arc;
 use crate::sched::Pid;
 use crate::{SimContext, SimDuration, SimTime};
 
+struct Envelope<T> {
+    sent_at: SimTime,
+    /// Sender's vector-clock stamp, joined into the receiver on delivery —
+    /// the channel send→recv happens-before edge of the race detector.
+    #[cfg(feature = "race-detect")]
+    stamp: crate::race::VectorClock,
+    msg: T,
+}
+
 struct ChannelState<T> {
-    queue: VecDeque<(SimTime, T)>,
+    queue: VecDeque<Envelope<T>>,
     waiters: Vec<Pid>,
 }
 
@@ -77,9 +86,15 @@ impl<T: Send + 'static> SimChannel<T> {
     /// wakes one parked receiver (if any).
     pub fn send(&self, ctx: &SimContext, msg: T) {
         let now = ctx.now();
+        let env = Envelope {
+            sent_at: now,
+            #[cfg(feature = "race-detect")]
+            stamp: ctx.vc_stamp(),
+            msg,
+        };
         let waiter = {
             let mut st = self.state.lock();
-            st.queue.push_back((now, msg));
+            st.queue.push_back(env);
             st.waiters.pop()
         };
         if let Some(pid) = waiter {
@@ -98,12 +113,14 @@ impl<T: Send + 'static> SimChannel<T> {
         loop {
             {
                 let mut st = self.state.lock();
-                if let Some((sent_at, msg)) = st.queue.pop_front() {
+                if let Some(env) = st.queue.pop_front() {
                     drop(st);
-                    if sent_at > ctx.now() {
-                        ctx.sleep_until(sent_at);
+                    if env.sent_at > ctx.now() {
+                        ctx.sleep_until(env.sent_at);
                     }
-                    return msg;
+                    #[cfg(feature = "race-detect")]
+                    ctx.vc_join(&env.stamp);
+                    return env.msg;
                 }
                 st.waiters.push(ctx.pid());
             }
@@ -125,13 +142,15 @@ impl<T: Send + 'static> SimChannel<T> {
         loop {
             {
                 let mut st = self.state.lock();
-                if matches!(st.queue.front(), Some((sent_at, _)) if *sent_at <= deadline) {
-                    let (sent_at, msg) = st.queue.pop_front().expect("front checked");
+                if st.queue.front().is_some_and(|env| env.sent_at <= deadline) {
+                    let env = st.queue.pop_front().expect("front checked");
                     drop(st);
-                    if sent_at > ctx.now() {
-                        ctx.sleep_until(sent_at);
+                    if env.sent_at > ctx.now() {
+                        ctx.sleep_until(env.sent_at);
                     }
-                    return Some(msg);
+                    #[cfg(feature = "race-detect")]
+                    ctx.vc_join(&env.stamp);
+                    return Some(env.msg);
                 }
                 if ctx.now() >= deadline {
                     return None;
@@ -151,11 +170,18 @@ impl<T: Send + 'static> SimChannel<T> {
 
     /// Non-blocking receive of a message already sent at or before `now`.
     pub fn try_recv(&self, ctx: &SimContext) -> Option<T> {
-        let mut st = self.state.lock();
-        match st.queue.front() {
-            Some((sent_at, _)) if *sent_at <= ctx.now() => st.queue.pop_front().map(|(_, m)| m),
-            _ => None,
-        }
+        let env = {
+            let mut st = self.state.lock();
+            let ready = st.queue.front().is_some_and(|env| env.sent_at <= ctx.now());
+            if ready {
+                st.queue.pop_front()
+            } else {
+                None
+            }
+        }?;
+        #[cfg(feature = "race-detect")]
+        ctx.vc_join(&env.stamp);
+        Some(env.msg)
     }
 
     /// Number of queued messages (for diagnostics).
@@ -344,15 +370,13 @@ mod tests {
                 }
             });
             let log2 = Arc::clone(&log);
-            sim.spawn("rx", move |ctx| {
-                loop {
-                    match ch.recv_timeout(&ctx, SimDuration::from_millis(5)) {
-                        Some(v) => log2.lock().push((v, ctx.now().as_nanos())),
-                        None => {
-                            log2.lock().push((0, ctx.now().as_nanos()));
-                            if ctx.now().as_millis_f64() >= 30.0 {
-                                break;
-                            }
+            sim.spawn("rx", move |ctx| loop {
+                match ch.recv_timeout(&ctx, SimDuration::from_millis(5)) {
+                    Some(v) => log2.lock().push((v, ctx.now().as_nanos())),
+                    None => {
+                        log2.lock().push((0, ctx.now().as_nanos()));
+                        if ctx.now().as_millis_f64() >= 30.0 {
+                            break;
                         }
                     }
                 }

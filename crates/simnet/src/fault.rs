@@ -141,7 +141,13 @@ impl FaultPlan {
     }
 
     /// Schedules a degraded-bandwidth window (`factor` of nominal).
-    pub fn link_degraded(mut self, node: NodeId, from: SimTime, until: SimTime, factor: f64) -> Self {
+    pub fn link_degraded(
+        mut self,
+        node: NodeId,
+        from: SimTime,
+        until: SimTime,
+        factor: f64,
+    ) -> Self {
         self.link_faults.push(LinkFault {
             node,
             from,
@@ -299,9 +305,7 @@ impl FaultInjector {
             .link_faults
             .iter()
             .filter_map(|l| match l.kind {
-                LinkFaultKind::Degraded(f)
-                    if l.node == node && l.from <= now && now < l.until =>
-                {
+                LinkFaultKind::Degraded(f) if l.node == node && l.from <= now && now < l.until => {
                     Some(f)
                 }
                 _ => None,
@@ -323,13 +327,7 @@ impl FaultInjector {
 
     /// The scheduled crash time for a worker rank, if any (earliest wins).
     pub fn crash_time(&self, rank: usize) -> Option<SimTime> {
-        self.inner
-            .plan
-            .worker_crashes
-            .iter()
-            .filter(|c| c.rank == rank)
-            .map(|c| c.at)
-            .min()
+        self.inner.plan.worker_crashes.iter().filter(|c| c.rank == rank).map(|c| c.at).min()
     }
 
     pub(crate) fn record_link_down_hit(&self) {
@@ -398,8 +396,11 @@ mod tests {
 
         let bad = FaultPlan::new(0).with_op_failure_prob(1.5);
         assert!(bad.validate().is_err());
-        let empty_window =
-            FaultPlan::new(0).link_down(NodeId(0), SimTime::from_millis(2), SimTime::from_millis(2));
+        let empty_window = FaultPlan::new(0).link_down(
+            NodeId(0),
+            SimTime::from_millis(2),
+            SimTime::from_millis(2),
+        );
         assert!(empty_window.validate().is_err());
         let bad_factor = FaultPlan::new(0).link_degraded(
             NodeId(0),

@@ -27,11 +27,8 @@ pub struct JitterModel {
 
 impl JitterModel {
     /// No jitter: every iteration takes exactly the base time.
-    pub const NONE: JitterModel = JitterModel {
-        sigma: 0.0,
-        stall_probability: 0.0,
-        stall_factor: 0.0,
-    };
+    pub const NONE: JitterModel =
+        JitterModel { sigma: 0.0, stall_probability: 0.0, stall_factor: 0.0 };
 
     /// The default used for the paper's GPU servers: ~5 % lognormal spread
     /// with a 2 % chance of a 50 % stall (shared bus / NFS interference).

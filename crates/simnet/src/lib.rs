@@ -44,6 +44,8 @@
 pub mod channel;
 pub mod fault;
 pub mod jitter;
+#[cfg(feature = "race-detect")]
+pub mod race;
 pub mod resource;
 mod sched;
 pub mod stats;

@@ -28,10 +28,7 @@ impl LinkModel {
     ///
     /// Panics if `bandwidth_bps` is not strictly positive and finite.
     pub fn new(bandwidth_bps: f64, latency: SimDuration) -> Self {
-        assert!(
-            bandwidth_bps.is_finite() && bandwidth_bps > 0.0,
-            "bandwidth must be positive"
-        );
+        assert!(bandwidth_bps.is_finite() && bandwidth_bps > 0.0, "bandwidth must be positive");
         LinkModel { bandwidth_bps, latency }
     }
 
@@ -245,16 +242,9 @@ pub fn transfer_path_stream(
 ) -> TransferReport {
     assert!(!path.is_empty(), "transfer path must contain at least one resource");
     let now = ctx.now();
-    let min_bw = path
-        .iter()
-        .map(|r| r.model.bandwidth_bps)
-        .fold(f64::INFINITY, f64::min);
+    let min_bw = path.iter().map(|r| r.model.bandwidth_bps).fold(f64::INFINITY, f64::min);
     let service = SimDuration::from_secs_f64(bytes as f64 / min_bw);
-    let max_latency = path
-        .iter()
-        .map(|r| r.model.latency)
-        .max()
-        .unwrap_or(SimDuration::ZERO);
+    let max_latency = path.iter().map(|r| r.model.latency).max().unwrap_or(SimDuration::ZERO);
 
     // Only one simulated process executes at a time, so locking resources
     // sequentially cannot deadlock or race. A shared (half-duplex) resource

@@ -38,6 +38,10 @@ struct ProcSlot {
     /// counts it as blocked) but an earlier [`Core::wake`] may pull the
     /// grant forward.
     timed_wait: bool,
+    /// This process's vector clock (one component per pid), advanced along
+    /// synchronization edges for the happens-before race detector.
+    #[cfg(feature = "race-detect")]
+    vclock: Vec<u64>,
 }
 
 struct SchedState {
@@ -222,9 +226,57 @@ impl Core {
             clock: initial_clock,
             status: Status::Runnable(initial_clock),
             timed_wait: false,
+            #[cfg(feature = "race-detect")]
+            vclock: Vec::new(),
         });
         state.unfinished += 1;
         pid
+    }
+
+    /// Increments `pid`'s own clock component and returns a snapshot — the
+    /// stamp carried by a synchronization edge's source.
+    #[cfg(feature = "race-detect")]
+    pub(crate) fn vc_stamp(&self, pid: Pid) -> crate::race::VectorClock {
+        let mut state = self.state.lock();
+        let slot = &mut state.procs[pid];
+        if slot.vclock.len() <= pid {
+            slot.vclock.resize(pid + 1, 0);
+        }
+        slot.vclock[pid] += 1;
+        crate::race::VectorClock::from_components(slot.vclock.clone())
+    }
+
+    /// Joins `other` into `pid`'s clock (elementwise max) and then
+    /// increments `pid`'s own component — a message-receive edge.
+    #[cfg(feature = "race-detect")]
+    pub(crate) fn vc_join(&self, pid: Pid, other: &crate::race::VectorClock) {
+        let mut state = self.state.lock();
+        let slot = &mut state.procs[pid];
+        let incoming = other.components();
+        let needed = incoming.len().max(pid + 1);
+        if slot.vclock.len() < needed {
+            slot.vclock.resize(needed, 0);
+        }
+        for (own, &theirs) in slot.vclock.iter_mut().zip(incoming.iter()) {
+            *own = (*own).max(theirs);
+        }
+        slot.vclock[pid] += 1;
+    }
+
+    /// Seeds a freshly registered child's clock from its parent — the
+    /// spawn edge (everything the parent did happens-before the child).
+    #[cfg(feature = "race-detect")]
+    pub(crate) fn vc_seed_child(&self, parent: Pid, child: Pid) {
+        let mut state = self.state.lock();
+        let parent_clock = {
+            let slot = &mut state.procs[parent];
+            if slot.vclock.len() <= parent {
+                slot.vclock.resize(parent + 1, 0);
+            }
+            slot.vclock[parent] += 1;
+            slot.vclock.clone()
+        };
+        state.procs[child].vclock = parent_clock;
     }
 
     fn start_thread<F>(self: &Arc<Self>, pid: Pid, name: String, f: F)
@@ -309,12 +361,7 @@ impl Simulation {
         if let Some(msg) = &state.panic_message {
             panic!("simulation failed: {msg}");
         }
-        state
-            .procs
-            .iter()
-            .map(|p| p.clock)
-            .max()
-            .unwrap_or(SimTime::ZERO)
+        state.procs.iter().map(|p| p.clock).max().unwrap_or(SimTime::ZERO)
     }
 }
 
@@ -326,9 +373,7 @@ impl Default for Simulation {
 
 impl std::fmt::Debug for Simulation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Simulation")
-            .field("pending", &self.pending.len())
-            .finish()
+        f.debug_struct("Simulation").field("pending", &self.pending.len()).finish()
     }
 }
 
@@ -387,7 +432,24 @@ impl SimContext {
         F: FnOnce(SimContext) + Send + 'static,
     {
         let pid = self.core.register(name, self.now());
+        #[cfg(feature = "race-detect")]
+        self.core.vc_seed_child(self.pid, pid);
         self.core.start_thread(pid, name.to_string(), f);
+    }
+
+    /// Ticks this process's vector clock and returns a snapshot — the
+    /// stamp attached at the source of a synchronization edge (channel
+    /// send, lease heartbeat) or taken at an instrumented data access.
+    #[cfg(feature = "race-detect")]
+    pub fn vc_stamp(&self) -> crate::race::VectorClock {
+        self.core.vc_stamp(self.pid)
+    }
+
+    /// Joins a received stamp into this process's vector clock — the sink
+    /// of a synchronization edge (channel recv, lease eviction).
+    #[cfg(feature = "race-detect")]
+    pub fn vc_join(&self, stamp: &crate::race::VectorClock) {
+        self.core.vc_join(self.pid, stamp)
     }
 }
 

@@ -111,9 +111,7 @@ struct FabricInner {
 
 impl fmt::Debug for Fabric {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Fabric")
-            .field("spec", &self.inner.spec)
-            .finish()
+        f.debug_struct("Fabric").field("spec", &self.inner.spec).finish()
     }
 }
 
@@ -146,8 +144,7 @@ impl Fabric {
         if spec.half_duplex_memory_server {
             // Each memory server's rx shares its tx pipe: one queue for
             // both directions.
-            hca_rx[spec.gpu_nodes..endpoints]
-                .clone_from_slice(&hca_tx[spec.gpu_nodes..endpoints]);
+            hca_rx[spec.gpu_nodes..endpoints].clone_from_slice(&hca_tx[spec.gpu_nodes..endpoints]);
         }
         let pcie = (0..spec.gpu_nodes)
             .map(|n| BandwidthResource::new(&format!("pcie[{n}]"), spec.pcie))
@@ -197,7 +194,13 @@ impl Fabric {
     /// # Panics
     ///
     /// Panics if an endpoint id is out of range.
-    pub fn net_transfer(&self, ctx: &SimContext, from: NodeId, to: NodeId, bytes: u64) -> TransferReport {
+    pub fn net_transfer(
+        &self,
+        ctx: &SimContext,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+    ) -> TransferReport {
         self.net_transfer_stream(ctx, from, to, bytes, None)
     }
 
@@ -337,7 +340,12 @@ impl Fabric {
 
     /// Occupies an endpoint's receive side for a fixed service time
     /// (server-side processing such as the SMB accumulate engine).
-    pub fn occupy_rx(&self, ctx: &SimContext, node: NodeId, service: SimDuration) -> TransferReport {
+    pub fn occupy_rx(
+        &self,
+        ctx: &SimContext,
+        node: NodeId,
+        service: SimDuration,
+    ) -> TransferReport {
         self.inner.hca_rx[node.0].occupy(ctx, service)
     }
 
@@ -469,12 +477,8 @@ mod tests {
         use crate::fault::FaultPlan;
         use crate::SimTime;
         // 50% degradation active for the whole transfer: 7 GB takes 2 s.
-        let plan = FaultPlan::new(1).link_degraded(
-            NodeId(0),
-            SimTime::ZERO,
-            SimTime::from_secs(100),
-            0.5,
-        );
+        let plan =
+            FaultPlan::new(1).link_degraded(NodeId(0), SimTime::ZERO, SimTime::from_secs(100), 0.5);
         let fabric = Fabric::with_faults(ClusterSpec::paper_testbed(2), plan);
         let f = fabric.clone();
         let mut sim = Simulation::new();
@@ -490,11 +494,7 @@ mod tests {
     fn infallible_transfer_rides_out_link_down() {
         use crate::fault::FaultPlan;
         use crate::SimTime;
-        let plan = FaultPlan::new(1).link_down(
-            NodeId(1),
-            SimTime::ZERO,
-            SimTime::from_millis(250),
-        );
+        let plan = FaultPlan::new(1).link_down(NodeId(1), SimTime::ZERO, SimTime::from_millis(250));
         let fabric = Fabric::with_faults(ClusterSpec::paper_testbed(2), plan);
         let f = fabric.clone();
         let mut sim = Simulation::new();
@@ -518,9 +518,8 @@ mod tests {
         let f = fabric.clone();
         let mut sim = Simulation::new();
         sim.spawn("w", move |ctx| {
-            let err = f
-                .try_net_transfer_stream(&ctx, NodeId(0), NodeId(1), 7_000_000, None)
-                .unwrap_err();
+            let err =
+                f.try_net_transfer_stream(&ctx, NodeId(0), NodeId(1), 7_000_000, None).unwrap_err();
             assert!(matches!(err, FaultError::LinkDown { node: NodeId(1), .. }));
             // Paid only detection latency, not the 1 s outage.
             assert_eq!(ctx.now(), SimTime::from_micros(500));
@@ -533,15 +532,12 @@ mod tests {
     fn stall_window_delays_both_semantics() {
         use crate::fault::FaultPlan;
         use crate::SimTime;
-        let plan =
-            FaultPlan::new(1).stall(NodeId(0), SimTime::ZERO, SimTime::from_millis(40));
+        let plan = FaultPlan::new(1).stall(NodeId(0), SimTime::ZERO, SimTime::from_millis(40));
         let fabric = Fabric::with_faults(ClusterSpec::paper_testbed(2), plan);
         let f = fabric.clone();
         let mut sim = Simulation::new();
         sim.spawn("w", move |ctx| {
-            let rep = f
-                .try_net_transfer_stream(&ctx, NodeId(0), NodeId(1), 7_000, None)
-                .unwrap();
+            let rep = f.try_net_transfer_stream(&ctx, NodeId(0), NodeId(1), 7_000, None).unwrap();
             assert!(rep.start >= SimTime::from_millis(40));
         });
         sim.run();

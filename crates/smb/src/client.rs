@@ -9,6 +9,7 @@ use shmcaffe_simnet::SimContext;
 
 use crate::retry::RetryPolicy;
 use crate::server::{ShmKey, SmbServer};
+use crate::tag_access;
 use crate::SmbError;
 
 /// Counters of fault effects one client has observed across its retrying
@@ -68,11 +69,7 @@ impl fmt::Debug for SmbClient {
 impl SmbClient {
     /// Binds a client on `local` to `server`.
     pub fn new(server: SmbServer, local: NodeId) -> Self {
-        SmbClient {
-            server,
-            local,
-            stats: Arc::new(Mutex::new(ClientFaultStats::default())),
-        }
+        SmbClient { server, local, stats: Arc::new(Mutex::new(ClientFaultStats::default())) }
     }
 
     /// The node this client runs on.
@@ -114,7 +111,7 @@ impl SmbClient {
         wire_bytes: Option<u64>,
     ) -> Result<ShmKey, SmbError> {
         self.control_round_trip(ctx);
-        self.server.create_segment(name, elems, wire_bytes)
+        self.server.create_segment(ctx, name, elems, wire_bytes)
     }
 
     /// Requests allocation of the segment named by a broadcast SHM key and
@@ -126,6 +123,12 @@ impl SmbClient {
     pub fn alloc(&self, ctx: &SimContext, key: ShmKey) -> Result<SmbBuffer, SmbError> {
         self.control_round_trip(ctx);
         let (mr, wire_bytes) = self.server.segment(key)?;
+        // The alloc reply carries the creator's stamp: creation
+        // happens-before every access through the returned handle.
+        #[cfg(feature = "race-detect")]
+        if let Some(stamp) = self.server.segment_created_stamp(key) {
+            ctx.vc_join(&stamp);
+        }
         Ok(SmbBuffer { key, mr, wire_bytes })
     }
 
@@ -158,9 +161,10 @@ impl SmbClient {
         let wire = (buf.wire_bytes as f64 * (1.0 + cfg.protocol_overhead)) as u64;
         // Functional copy, zero-time (the wire time is charged below along
         // the full path: server DRAM bus -> server HCA -> client HCA).
-        self.server
-            .rdma()
-            .read_wire(ctx, self.local, &buf.mr, 0, out, 0)?;
+        // Stale-tolerant by SEASGD design, hence an atomic read.
+        tag_access!(AtomicRead, "smb::client::read", {
+            self.server.rdma().read_wire(ctx, self.local, &buf.mr, 0, out, 0)
+        })?;
         let fabric = self.server.rdma().fabric();
         shmcaffe_simnet::resource::transfer_path_stream(
             ctx,
@@ -191,9 +195,9 @@ impl SmbClient {
         }
         let cfg = self.server.config();
         let wire = (buf.wire_bytes as f64 * (1.0 + cfg.protocol_overhead)) as u64;
-        self.server
-            .rdma()
-            .write_wire(ctx, self.local, &buf.mr, 0, data, 0)?;
+        tag_access!(Write, "smb::client::write", {
+            self.server.rdma().write_wire(ctx, self.local, &buf.mr, 0, data, 0)
+        })?;
         let fabric = self.server.rdma().fabric();
         shmcaffe_simnet::resource::transfer_path_stream(
             ctx,
@@ -223,7 +227,10 @@ impl SmbClient {
         offset: usize,
         out: &mut [f32],
     ) -> Result<(), SmbError> {
-        self.server.rdma().read(ctx, self.local, &buf.mr, offset, out)?;
+        // Progress counters are monotone and stale-tolerant: atomic.
+        tag_access!(AtomicRead, "smb::client::read_range", {
+            self.server.rdma().read(ctx, self.local, &buf.mr, offset, out)
+        })?;
         Ok(())
     }
 
@@ -240,7 +247,9 @@ impl SmbClient {
         offset: usize,
         data: &[f32],
     ) -> Result<(), SmbError> {
-        self.server.rdma().write(ctx, self.local, &buf.mr, offset, data)?;
+        tag_access!(AtomicWrite, "smb::client::write_range", {
+            self.server.rdma().write(ctx, self.local, &buf.mr, offset, data)
+        })?;
         Ok(())
     }
 
@@ -278,15 +287,14 @@ impl SmbClient {
         owner: usize,
     ) -> Result<ShmKey, SmbError> {
         self.control_round_trip(ctx);
-        self.server
-            .create_segment_owned(name, elems, wire_bytes, Some(owner), ctx.now())
+        self.server.create_segment_owned(ctx, name, elems, wire_bytes, Some(owner))
     }
 
     /// Sends a heartbeat for `owner`, refreshing every lease that rank
     /// holds. One-way control message (no reply needed).
     pub fn heartbeat(&self, ctx: &SimContext, owner: usize) {
         ctx.sleep(self.server.control_latency());
-        self.server.touch_owner(owner, ctx.now());
+        self.server.touch_owner(ctx, owner);
     }
 
     /// Wraps a fabric fault as [`SmbError::Unavailable`] with the failed
@@ -297,11 +305,7 @@ impl SmbClient {
         SmbError::Unavailable {
             key,
             node: self.server.node(),
-            cause: RdmaError::QpFault {
-                local: self.local,
-                remote: self.server.node(),
-                fault,
-            },
+            cause: RdmaError::QpFault { local: self.local, remote: self.server.node(), fault },
         }
     }
 
@@ -373,9 +377,9 @@ impl SmbClient {
             .map_err(|fault| self.unavailable(buf.key, fault))?;
         let cfg = self.server.config();
         let wire = (buf.wire_bytes as f64 * (1.0 + cfg.protocol_overhead)) as u64;
-        self.server
-            .rdma()
-            .read_wire(ctx, self.local, &buf.mr, 0, out, 0)?;
+        tag_access!(AtomicRead, "smb::client::read_retrying", {
+            self.server.rdma().read_wire(ctx, self.local, &buf.mr, 0, out, 0)
+        })?;
         shmcaffe_simnet::resource::transfer_path_stream(
             ctx,
             &[
@@ -402,9 +406,9 @@ impl SmbClient {
             .map_err(|fault| self.unavailable(buf.key, fault))?;
         let cfg = self.server.config();
         let wire = (buf.wire_bytes as f64 * (1.0 + cfg.protocol_overhead)) as u64;
-        self.server
-            .rdma()
-            .write_wire(ctx, self.local, &buf.mr, 0, data, 0)?;
+        tag_access!(Write, "smb::client::write_retrying", {
+            self.server.rdma().write_wire(ctx, self.local, &buf.mr, 0, data, 0)
+        })?;
         shmcaffe_simnet::resource::transfer_path_stream(
             ctx,
             &[
@@ -550,10 +554,7 @@ mod tests {
         let mut sim = Simulation::new();
         sim.spawn("w", move |ctx| {
             let client = SmbClient::new(s, NodeId(0));
-            assert!(matches!(
-                client.alloc(&ctx, ShmKey(99)),
-                Err(SmbError::UnknownKey { .. })
-            ));
+            assert!(matches!(client.alloc(&ctx, ShmKey(99)), Err(SmbError::UnknownKey { .. })));
         });
         sim.run();
     }
@@ -734,16 +735,11 @@ mod tests {
             // must fail fast inside it and recover after it ends.
             ctx.sleep_until(SimTime::from_micros(1_500));
             let mut out = [0.0f32; 4];
-            client
-                .read_retrying(&ctx, &buf, &mut out, &RetryPolicy::with_seed(seed))
-                .unwrap();
+            client.read_retrying(&ctx, &buf, &mut out, &RetryPolicy::with_seed(seed)).unwrap();
             assert_eq!(out, [1.0, 2.0, 3.0, 4.0]);
             assert!(ctx.now() > SimTime::from_millis(3), "recovered only after the window");
             // The retry loop re-armed the QP on its way to success.
-            assert_eq!(
-                s.rdma().qp_state(NodeId(1), s.node()),
-                shmcaffe_rdma::QpState::Ready
-            );
+            assert_eq!(s.rdma().qp_state(NodeId(1), s.node()), shmcaffe_rdma::QpState::Ready);
             // ... and the client accounted for the recovery.
             let fs = client.fault_stats();
             assert!(fs.faults >= 1 && fs.retries >= 1, "{fs:?}");
@@ -769,11 +765,7 @@ mod tests {
     fn retrying_write_times_out_against_dead_link() {
         use shmcaffe_simnet::fault::FaultPlan;
         use shmcaffe_simnet::{SimDuration, SimTime};
-        let plan = FaultPlan::new(5).link_down(
-            NodeId(1),
-            SimTime::ZERO,
-            SimTime::from_secs(10),
-        );
+        let plan = FaultPlan::new(5).link_down(NodeId(1), SimTime::ZERO, SimTime::from_secs(10));
         let server = setup_faulty(2, plan);
         let s = server.clone();
         let mut sim = Simulation::new();
@@ -796,10 +788,7 @@ mod tests {
                 other => panic!("expected Timeout, got {other:?}"),
             }
             // The pair is left faulted for the caller to observe.
-            assert_eq!(
-                s.rdma().qp_state(NodeId(1), s.node()),
-                shmcaffe_rdma::QpState::Error
-            );
+            assert_eq!(s.rdma().qp_state(NodeId(1), s.node()), shmcaffe_rdma::QpState::Error);
         });
         sim.run();
     }
@@ -815,10 +804,16 @@ mod tests {
             sim.spawn(&format!("w{i}"), move |ctx| {
                 let client = SmbClient::new(s, NodeId(i));
                 let dw = client
-                    .alloc(&ctx, client.create(&ctx, &format!("dw{i}"), 4, Some(100_000_000)).unwrap())
+                    .alloc(
+                        &ctx,
+                        client.create(&ctx, &format!("dw{i}"), 4, Some(100_000_000)).unwrap(),
+                    )
                     .unwrap();
                 let wg = client
-                    .alloc(&ctx, client.create(&ctx, &format!("wg{i}"), 4, Some(100_000_000)).unwrap())
+                    .alloc(
+                        &ctx,
+                        client.create(&ctx, &format!("wg{i}"), 4, Some(100_000_000)).unwrap(),
+                    )
                     .unwrap();
                 client.accumulate(&ctx, &dw, &wg).unwrap();
             });

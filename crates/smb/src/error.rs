@@ -99,10 +99,7 @@ impl fmt::Display for SmbError {
                 write!(f, "lease on {key} (owner rank {owner}) expired; evicted by {node}")
             }
             SmbError::Timeout { key, node, waited, attempts } => {
-                write!(
-                    f,
-                    "op on {key} at {node} timed out after {attempts} attempts ({waited})"
-                )
+                write!(f, "op on {key} at {node} timed out after {attempts} attempts ({waited})")
             }
             SmbError::Unavailable { key, node, cause } => {
                 write!(f, "{node} unavailable for {key}: {cause}")

@@ -129,15 +129,16 @@ impl ProgressBoard {
     /// # Errors
     ///
     /// Propagates SMB errors.
-    pub fn snapshot(&self, client: &SmbClient, ctx: &SimContext) -> Result<ProgressSnapshot, SmbError> {
+    pub fn snapshot(
+        &self,
+        client: &SmbClient,
+        ctx: &SimContext,
+    ) -> Result<ProgressSnapshot, SmbError> {
         let mut raw = vec![0.0f32; self.n_workers * SLOT_FIELDS];
         client.read_range(ctx, &self.buf, 0, &mut raw)?;
         let workers = raw
             .chunks_exact(SLOT_FIELDS)
-            .map(|slot| WorkerProgress {
-                iterations: slot[0] as u64,
-                done: slot[1] > 0.5,
-            })
+            .map(|slot| WorkerProgress { iterations: slot[0] as u64, done: slot[1] > 0.5 })
             .collect();
         Ok(ProgressSnapshot { workers })
     }
@@ -146,10 +147,10 @@ impl ProgressBoard {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SmbServer;
     use shmcaffe_rdma::RdmaFabric;
     use shmcaffe_simnet::topology::{ClusterSpec, Fabric, NodeId};
     use shmcaffe_simnet::Simulation;
-    use crate::SmbServer;
 
     #[test]
     fn publish_and_snapshot_roundtrip() {

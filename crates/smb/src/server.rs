@@ -1,6 +1,6 @@
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -77,31 +77,43 @@ struct Segment {
     wire_bytes: u64,
     name: String,
     version: u64,
+    /// Creator's vector-clock stamp, joined into every allocator — the
+    /// creation→allocation happens-before edge (the SHM-key handshake of
+    /// paper Fig. 2 is a control-plane round trip).
+    #[cfg(feature = "race-detect")]
+    created: shmcaffe_simnet::race::VectorClock,
 }
 
 /// Heartbeat state for an owned segment.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct Lease {
     owner: usize,
     last_heartbeat: SimTime,
+    /// The owner's stamp at its last heartbeat, joined into whoever evicts
+    /// the lease — the lease release/eviction happens-before edge.
+    #[cfg(feature = "race-detect")]
+    stamp: shmcaffe_simnet::race::VectorClock,
 }
 
+// All five tables are BTreeMaps, not HashMaps: eviction scans iterate
+// `leases`, notification fan-out iterates `subscribers`, and Debug/teardown
+// paths iterate the rest, so iteration order must be deterministic.
 struct ServerInner {
     node: NodeId,
     rdma: RdmaFabric,
     config: SmbServerConfig,
     /// The shared DRAM bus of the memory server.
     memory: BandwidthResource,
-    segments: Mutex<HashMap<ShmKey, Segment>>,
-    names: Mutex<HashMap<String, ShmKey>>,
+    segments: Mutex<BTreeMap<ShmKey, Segment>>,
+    names: Mutex<BTreeMap<String, ShmKey>>,
     next_key: Mutex<u64>,
-    subscribers: Mutex<HashMap<ShmKey, Vec<SimChannel<u64>>>>,
+    subscribers: Mutex<BTreeMap<ShmKey, Vec<SimChannel<u64>>>>,
     /// Heartbeat leases for owned segments.
-    leases: Mutex<HashMap<ShmKey, Lease>>,
+    leases: Mutex<BTreeMap<ShmKey, Lease>>,
     /// Keys reclaimed by lease expiry, with the lapsed owner — lookups of
     /// these report [`SmbError::LeaseExpired`] rather than a bare unknown
     /// key, so survivors learn *why* a peer's buffer vanished.
-    evicted: Mutex<HashMap<ShmKey, usize>>,
+    evicted: Mutex<BTreeMap<ShmKey, usize>>,
 }
 
 /// The SMB server: a segment table over the memory server's RAM plus the
@@ -157,10 +169,7 @@ impl SmbServer {
         config: SmbServerConfig,
         index: usize,
     ) -> Result<Self, SmbError> {
-        let node = rdma
-            .fabric()
-            .memory_server_at(index)
-            .ok_or(SmbError::NoMemoryServer)?;
+        let node = rdma.fabric().memory_server_at(index).ok_or(SmbError::NoMemoryServer)?;
         Ok(SmbServer {
             inner: Arc::new(ServerInner {
                 node,
@@ -170,12 +179,12 @@ impl SmbServer {
                     "smb_server_memory",
                     LinkModel::new(config.memory_bps, config.control_latency),
                 ),
-                segments: Mutex::new(HashMap::new()),
-                names: Mutex::new(HashMap::new()),
+                segments: Mutex::new(BTreeMap::new()),
+                names: Mutex::new(BTreeMap::new()),
                 next_key: Mutex::new(1),
-                subscribers: Mutex::new(HashMap::new()),
-                leases: Mutex::new(HashMap::new()),
-                evicted: Mutex::new(HashMap::new()),
+                subscribers: Mutex::new(BTreeMap::new()),
+                leases: Mutex::new(BTreeMap::new()),
+                evicted: Mutex::new(BTreeMap::new()),
             }),
         })
     }
@@ -227,11 +236,12 @@ impl SmbServer {
     /// Returns [`SmbError::DuplicateName`] for a reused name.
     pub(crate) fn create_segment(
         &self,
+        ctx: &SimContext,
         name: &str,
         elems: usize,
         wire_bytes: Option<u64>,
     ) -> Result<ShmKey, SmbError> {
-        self.create_segment_owned(name, elems, wire_bytes, None, SimTime::ZERO)
+        self.create_segment_owned(ctx, name, elems, wire_bytes, None)
     }
 
     /// Like [`SmbServer::create_segment`], but optionally binds the segment
@@ -240,18 +250,18 @@ impl SmbServer {
     /// reclaims the segment.
     pub(crate) fn create_segment_owned(
         &self,
+        ctx: &SimContext,
         name: &str,
         elems: usize,
         wire_bytes: Option<u64>,
         owner: Option<usize>,
-        now: SimTime,
     ) -> Result<ShmKey, SmbError> {
+        let now = ctx.now();
+        #[cfg(feature = "race-detect")]
+        let stamp = ctx.vc_stamp();
         let mut names = self.inner.names.lock();
         if names.contains_key(name) {
-            return Err(SmbError::DuplicateName {
-                name: name.to_string(),
-                node: self.inner.node,
-            });
+            return Err(SmbError::DuplicateName { name: name.to_string(), node: self.inner.node });
         }
         let mr = self.inner.rdma.register(self.inner.node, elems)?;
         let key = {
@@ -267,16 +277,34 @@ impl SmbServer {
                 wire_bytes: wire_bytes.unwrap_or((elems * 4) as u64),
                 name: name.to_string(),
                 version: 0,
+                #[cfg(feature = "race-detect")]
+                created: stamp.clone(),
             },
         );
         names.insert(name.to_string(), key);
         if let Some(owner) = owner {
-            self.inner
-                .leases
-                .lock()
-                .insert(key, Lease { owner, last_heartbeat: now });
+            self.inner.leases.lock().insert(
+                key,
+                Lease {
+                    owner,
+                    last_heartbeat: now,
+                    #[cfg(feature = "race-detect")]
+                    stamp,
+                },
+            );
         }
         Ok(key)
+    }
+
+    /// Vector-clock stamp taken when the segment was created, joined by
+    /// clients in [`crate::SmbClient::alloc`] so creation happens-before
+    /// every subsequent access through the returned handle.
+    #[cfg(feature = "race-detect")]
+    pub(crate) fn segment_created_stamp(
+        &self,
+        key: ShmKey,
+    ) -> Option<shmcaffe_simnet::race::VectorClock> {
+        self.inner.segments.lock().get(&key).map(|s| s.created.clone())
     }
 
     /// Looks up a segment's access info.
@@ -318,11 +346,18 @@ impl SmbServer {
     /// Records a heartbeat from `owner`, refreshing every lease that rank
     /// holds. Workers call this (via [`crate::SmbClient::heartbeat`]) at
     /// least once per exchange round; a crashed worker stops.
-    pub fn touch_owner(&self, owner: usize, now: SimTime) {
+    pub fn touch_owner(&self, ctx: &SimContext, owner: usize) {
+        let now = ctx.now();
+        #[cfg(feature = "race-detect")]
+        let stamp = ctx.vc_stamp();
         let mut leases = self.inner.leases.lock();
         for lease in leases.values_mut() {
             if lease.owner == owner {
                 lease.last_heartbeat = now;
+                #[cfg(feature = "race-detect")]
+                {
+                    lease.stamp = stamp.clone();
+                }
             }
         }
     }
@@ -347,6 +382,17 @@ impl SmbServer {
                 .map(|(&k, l)| (k, l.owner))
                 .collect()
         };
+        // The evictor observed the owner's last heartbeat, so every access
+        // that preceded that heartbeat happens-before the eviction.
+        #[cfg(feature = "race-detect")]
+        {
+            let leases = self.inner.leases.lock();
+            for (key, _) in &stale {
+                if let Some(lease) = leases.get(key) {
+                    ctx.vc_join(&lease.stamp);
+                }
+            }
+        }
         let mut evicted = Vec::new();
         for (key, owner) in stale {
             if self.destroy_segment(key).is_ok() {
@@ -378,6 +424,30 @@ impl SmbServer {
         let (dst_mr, dst_wire) = self.segment(dst)?;
         if src_mr.len != dst_mr.len {
             return Err(SmbError::LengthMismatch { src: src_mr.len, dst: dst_mr.len, key: dst });
+        }
+        // The engine serialises accumulates on the DRAM bus, so they are
+        // atomic read-modify-writes with respect to each other; concurrent
+        // plain writes to the destination still race.
+        #[cfg(feature = "race-detect")]
+        {
+            use shmcaffe_simnet::race::AccessKind;
+            let det = self.inner.rdma.race_detector();
+            det.record(
+                ctx,
+                src_mr.rkey.0,
+                0,
+                src_mr.len,
+                AccessKind::AtomicRead,
+                "smb::server::accumulate(src)",
+            );
+            det.record(
+                ctx,
+                dst_mr.rkey.0,
+                0,
+                dst_mr.len,
+                AccessKind::AtomicRmw,
+                "smb::server::accumulate(dst)",
+            );
         }
         // The engine streams ΔW and W_g through server memory (three
         // passes per byte), serialised on the shared DRAM bus (T.A3:
@@ -432,12 +502,7 @@ impl SmbServer {
     /// client write sends the new version on the returned channel.
     pub fn subscribe(&self, key: ShmKey) -> SimChannel<u64> {
         let ch = SimChannel::new(&format!("smb_notify_{}", key.0));
-        self.inner
-            .subscribers
-            .lock()
-            .entry(key)
-            .or_default()
-            .push(ch.clone());
+        self.inner.subscribers.lock().entry(key).or_default().push(ch.clone());
         ch
     }
 }

@@ -111,11 +111,7 @@ impl ShardedClient {
     /// Binds a client on `local` to every server of the cluster.
     pub fn new(cluster: &SmbCluster, local: NodeId) -> Self {
         ShardedClient {
-            clients: cluster
-                .servers()
-                .iter()
-                .map(|s| SmbClient::new(s.clone(), local))
-                .collect(),
+            clients: cluster.servers().iter().map(|s| SmbClient::new(s.clone(), local)).collect(),
         }
     }
 
@@ -143,9 +139,8 @@ impl ShardedClient {
         let mut keys = Vec::with_capacity(parts);
         for (k, client) in self.clients.iter().enumerate() {
             let shard_elems = bounds[k + 1] - bounds[k];
-            let shard_wire = wire_bytes.map(|w| {
-                (w as f64 * shard_elems as f64 / elems.max(1) as f64).round() as u64
-            });
+            let shard_wire = wire_bytes
+                .map(|w| (w as f64 * shard_elems as f64 / elems.max(1) as f64).round() as u64);
             keys.push(client.create(ctx, &format!("{name}.shard{k}"), shard_elems, shard_wire)?);
         }
         Ok(ShardedKey(keys))
@@ -172,7 +167,12 @@ impl ShardedClient {
     /// Runs one closure per shard concurrently (each in a helper process)
     /// and waits for all of them; the whole fan-out completes when the
     /// slowest shard op completes, exactly like a multi-QP RDMA engine.
-    fn fan_out<T, F>(&self, ctx: &SimContext, buf: &ShardedBuffer, op: F) -> Result<Vec<T>, SmbError>
+    fn fan_out<T, F>(
+        &self,
+        ctx: &SimContext,
+        buf: &ShardedBuffer,
+        op: F,
+    ) -> Result<Vec<T>, SmbError>
     where
         T: Send + 'static,
         F: Fn(&SimContext, &SmbClient, &SmbBuffer, usize) -> Result<T, SmbError>
@@ -201,10 +201,7 @@ impl ShardedClient {
             let (k, r) = done.recv(ctx);
             results[k] = Some(r);
         }
-        results
-            .into_iter()
-            .map(|r| r.expect("every shard reported"))
-            .collect()
+        results.into_iter().map(|r| r.expect("every shard reported")).collect()
     }
 
     /// Reads the whole logical vector, all shards concurrently.
@@ -212,7 +209,12 @@ impl ShardedClient {
     /// # Errors
     ///
     /// Returns [`SmbError::SizeMismatch`] or per-shard errors.
-    pub fn read(&self, ctx: &SimContext, buf: &ShardedBuffer, out: &mut [f32]) -> Result<(), SmbError> {
+    pub fn read(
+        &self,
+        ctx: &SimContext,
+        buf: &ShardedBuffer,
+        out: &mut [f32],
+    ) -> Result<(), SmbError> {
         if out.len() != buf.len() {
             return Err(SmbError::SizeMismatch {
                 key: buf.shards[0].key,
@@ -236,7 +238,12 @@ impl ShardedClient {
     /// # Errors
     ///
     /// Returns [`SmbError::SizeMismatch`] or per-shard errors.
-    pub fn write(&self, ctx: &SimContext, buf: &ShardedBuffer, data: &[f32]) -> Result<(), SmbError> {
+    pub fn write(
+        &self,
+        ctx: &SimContext,
+        buf: &ShardedBuffer,
+        data: &[f32],
+    ) -> Result<(), SmbError> {
         if data.len() != buf.len() {
             return Err(SmbError::SizeMismatch {
                 key: buf.shards[0].key,
@@ -250,9 +257,7 @@ impl ShardedClient {
             .collect();
         let slices = Arc::new(slices);
         let s2 = Arc::clone(&slices);
-        self.fan_out(ctx, buf, move |cctx, client, shard, k| {
-            client.write(cctx, shard, &s2[k])
-        })?;
+        self.fan_out(ctx, buf, move |cctx, client, shard, k| client.write(cctx, shard, &s2[k]))?;
         Ok(())
     }
 

@@ -1,0 +1,169 @@
+//! Integration tests for the vector-clock race detector on the SMB data
+//! plane (`--features race-detect`).
+//!
+//! The seeded test deliberately omits the synchronization edge between two
+//! workers so their accesses to the shared W_g segment are concurrent; the
+//! detector must produce exactly one report naming both access sites. The
+//! companion test adds the missing edge and must stay silent.
+
+#![cfg(feature = "race-detect")]
+
+use shmcaffe_rdma::RdmaFabric;
+use shmcaffe_simnet::channel::SimChannel;
+use shmcaffe_simnet::topology::{ClusterSpec, Fabric, NodeId};
+use shmcaffe_simnet::Simulation;
+use shmcaffe_smb::{ShmKey, SmbClient, SmbServer};
+
+fn setup(nodes: usize) -> SmbServer {
+    let rdma = RdmaFabric::new(Fabric::new(ClusterSpec::paper_testbed(nodes)));
+    SmbServer::new(rdma).unwrap()
+}
+
+/// Worker A plain-writes W_g while worker B accumulates into it, with no
+/// happens-before edge between A and B: one write/rmw race, reported once,
+/// naming both sites.
+#[test]
+fn seeded_unsynchronized_accumulate_races_with_write() {
+    let server = setup(3);
+    // Collect reports instead of failing the simulation.
+    server.rdma().race_detector().set_halt_on_race(false);
+
+    let to_a = SimChannel::<(ShmKey, ShmKey)>::new("keys_to_a");
+    let to_b = SimChannel::<(ShmKey, ShmKey)>::new("keys_to_b");
+
+    let mut sim = Simulation::new();
+    {
+        let s = server.clone();
+        let (to_a, to_b) = (to_a.clone(), to_b.clone());
+        sim.spawn("setup", move |ctx| {
+            let client = SmbClient::new(s, NodeId(0));
+            let wg = client.create(&ctx, "W_g", 8, None).unwrap();
+            let dw = client.create(&ctx, "dW_1", 8, None).unwrap();
+            // Each worker gets a creation->use edge, but there is no edge
+            // between the workers themselves.
+            to_a.send(&ctx, (wg, dw));
+            to_b.send(&ctx, (wg, dw));
+        });
+    }
+    {
+        let s = server.clone();
+        sim.spawn("worker_a", move |ctx| {
+            let (wg_key, _) = to_a.recv(&ctx);
+            let client = SmbClient::new(s, NodeId(1));
+            let wg = client.alloc(&ctx, wg_key).unwrap();
+            client.write(&ctx, &wg, &[1.0; 8]).unwrap();
+        });
+    }
+    {
+        let s = server.clone();
+        sim.spawn("worker_b", move |ctx| {
+            let (wg_key, dw_key) = to_b.recv(&ctx);
+            let client = SmbClient::new(s, NodeId(2));
+            let wg = client.alloc(&ctx, wg_key).unwrap();
+            let dw = client.alloc(&ctx, dw_key).unwrap();
+            client.write(&ctx, &dw, &[0.5; 8]).unwrap();
+            client.accumulate(&ctx, &dw, &wg).unwrap();
+        });
+    }
+    sim.run();
+
+    let reports = server.rdma().race_detector().reports();
+    assert_eq!(reports.len(), 1, "exactly one race expected, got {reports:#?}");
+    let r = &reports[0];
+    let mut sites = [r.earlier_site, r.later_site];
+    sites.sort_unstable();
+    assert_eq!(sites, ["smb::client::write", "smb::server::accumulate(dst)"]);
+    assert_ne!(r.earlier_pid, r.later_pid);
+    // The report formats both sites for the log line.
+    let shown = r.to_string();
+    assert!(shown.contains("smb::client::write"), "{shown}");
+    assert!(shown.contains("smb::server::accumulate(dst)"), "{shown}");
+}
+
+/// The same workload with the missing edge restored (A notifies B after its
+/// write) is data-race-free: the halting detector stays silent.
+#[test]
+fn synchronized_accumulate_after_write_is_race_free() {
+    let server = setup(3);
+
+    let to_a = SimChannel::<(ShmKey, ShmKey)>::new("keys_to_a");
+    let to_b = SimChannel::<(ShmKey, ShmKey)>::new("keys_to_b");
+    let a_done = SimChannel::<()>::new("a_done");
+
+    let mut sim = Simulation::new();
+    {
+        let s = server.clone();
+        let (to_a, to_b) = (to_a.clone(), to_b.clone());
+        sim.spawn("setup", move |ctx| {
+            let client = SmbClient::new(s, NodeId(0));
+            let wg = client.create(&ctx, "W_g", 8, None).unwrap();
+            let dw = client.create(&ctx, "dW_1", 8, None).unwrap();
+            to_a.send(&ctx, (wg, dw));
+            to_b.send(&ctx, (wg, dw));
+        });
+    }
+    {
+        let s = server.clone();
+        let a_done = a_done.clone();
+        sim.spawn("worker_a", move |ctx| {
+            let (wg_key, _) = to_a.recv(&ctx);
+            let client = SmbClient::new(s, NodeId(1));
+            let wg = client.alloc(&ctx, wg_key).unwrap();
+            client.write(&ctx, &wg, &[1.0; 8]).unwrap();
+            a_done.send(&ctx, ());
+        });
+    }
+    {
+        let s = server.clone();
+        sim.spawn("worker_b", move |ctx| {
+            let (wg_key, dw_key) = to_b.recv(&ctx);
+            a_done.recv(&ctx);
+            let client = SmbClient::new(s, NodeId(2));
+            let wg = client.alloc(&ctx, wg_key).unwrap();
+            let dw = client.alloc(&ctx, dw_key).unwrap();
+            client.write(&ctx, &dw, &[0.5; 8]).unwrap();
+            client.accumulate(&ctx, &dw, &wg).unwrap();
+        });
+    }
+    // halt_on_race defaults to true: any report would fail sim.run().
+    sim.run();
+    assert!(server.rdma().race_detector().reports().is_empty());
+}
+
+/// Two engine-serialized accumulates from unsynchronized workers are
+/// atomic read-modify-writes, not a race (paper T.A3: the DRAM bus
+/// processes accumulate requests exclusively).
+#[test]
+fn concurrent_accumulates_are_not_reported() {
+    let server = setup(3);
+
+    let to_a = SimChannel::<(ShmKey, ShmKey)>::new("keys_to_a");
+    let to_b = SimChannel::<(ShmKey, ShmKey)>::new("keys_to_b");
+
+    let mut sim = Simulation::new();
+    {
+        let s = server.clone();
+        let (to_a, to_b) = (to_a.clone(), to_b.clone());
+        sim.spawn("setup", move |ctx| {
+            let client = SmbClient::new(s, NodeId(0));
+            let wg = client.create(&ctx, "W_g", 8, None).unwrap();
+            let dw_a = client.create(&ctx, "dW_a", 8, None).unwrap();
+            let dw_b = client.create(&ctx, "dW_b", 8, None).unwrap();
+            to_a.send(&ctx, (wg, dw_a));
+            to_b.send(&ctx, (wg, dw_b));
+        });
+    }
+    for (name, node, ch) in [("worker_a", 1, to_a.clone()), ("worker_b", 2, to_b.clone())] {
+        let s = server.clone();
+        sim.spawn(name, move |ctx| {
+            let (wg_key, dw_key) = ch.recv(&ctx);
+            let client = SmbClient::new(s, NodeId(node));
+            let wg = client.alloc(&ctx, wg_key).unwrap();
+            let dw = client.alloc(&ctx, dw_key).unwrap();
+            client.write(&ctx, &dw, &[0.25; 8]).unwrap();
+            client.accumulate(&ctx, &dw, &wg).unwrap();
+        });
+    }
+    sim.run();
+    assert!(server.rdma().race_detector().reports().is_empty());
+}

@@ -44,7 +44,13 @@ pub struct Conv2dGeometry {
 
 impl Conv2dGeometry {
     /// Square-kernel convenience constructor.
-    pub fn square(in_channels: usize, in_hw: usize, kernel: usize, stride: usize, pad: usize) -> Self {
+    pub fn square(
+        in_channels: usize,
+        in_hw: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
         Conv2dGeometry {
             in_channels,
             in_h: in_hw,
@@ -96,7 +102,12 @@ impl Conv2dGeometry {
     }
 }
 
-fn out_extent(input: usize, kernel: usize, stride: usize, pad: usize) -> Result<usize, TensorError> {
+fn out_extent(
+    input: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+) -> Result<usize, TensorError> {
     if stride == 0 {
         return Err(TensorError::BadGeometry("stride must be positive".into()));
     }
@@ -407,11 +418,7 @@ pub fn conv2d_backward(
     for n in 0..batch {
         ops::axpy_serial(1.0, &dw_partials[n * dw_len..(n + 1) * dw_len], d_weights);
         if !d_bias.is_empty() {
-            ops::axpy_serial(
-                1.0,
-                &db_partials[n * out_channels..(n + 1) * out_channels],
-                d_bias,
-            );
+            ops::axpy_serial(1.0, &db_partials[n * out_channels..(n + 1) * out_channels], d_bias);
         }
     }
 }
@@ -437,10 +444,7 @@ mod tests {
     fn bad_geometry_is_reported() {
         let g = Conv2dGeometry::square(1, 2, 5, 1, 0);
         assert!(g.out_h().is_err());
-        let g = Conv2dGeometry {
-            stride_h: 0,
-            ..Conv2dGeometry::square(1, 5, 3, 1, 0)
-        };
+        let g = Conv2dGeometry { stride_h: 0, ..Conv2dGeometry::square(1, 5, 3, 1, 0) };
         assert!(g.out_h().is_err());
     }
 
@@ -501,12 +505,13 @@ mod tests {
         let in_len = g.in_len();
         let out_len = out_channels * g.col_cols().unwrap();
 
-        let mut input: Vec<f32> = (0..batch * in_len).map(|i| ((i % 7) as f32 - 3.0) * 0.3).collect();
-        let weights: Vec<f32> = (0..out_channels * g.col_rows())
-            .map(|i| ((i % 5) as f32 - 2.0) * 0.1)
-            .collect();
+        let mut input: Vec<f32> =
+            (0..batch * in_len).map(|i| ((i % 7) as f32 - 3.0) * 0.3).collect();
+        let weights: Vec<f32> =
+            (0..out_channels * g.col_rows()).map(|i| ((i % 5) as f32 - 2.0) * 0.1).collect();
         let bias = vec![0.1, -0.2, 0.3];
-        let d_output: Vec<f32> = (0..batch * out_len).map(|i| ((i % 3) as f32 - 1.0) * 0.5).collect();
+        let d_output: Vec<f32> =
+            (0..batch * out_len).map(|i| ((i % 3) as f32 - 1.0) * 0.5).collect();
 
         let loss = |input: &[f32], weights: &[f32], bias: &[f32]| -> f32 {
             let mut output = vec![0.0; batch * out_len];
@@ -521,8 +526,16 @@ mod tests {
         let mut d_input = vec![0.0; input.len()];
         let mut col = vec![0.0; g.col_rows() * g.col_cols().unwrap()];
         conv2d_backward(
-            &g, batch, out_channels, &input, &weights, &d_output,
-            &mut d_weights, &mut d_bias, &mut d_input, &mut col,
+            &g,
+            batch,
+            out_channels,
+            &input,
+            &weights,
+            &d_output,
+            &mut d_weights,
+            &mut d_bias,
+            &mut d_input,
+            &mut col,
         );
 
         let eps = 1e-2;

@@ -38,10 +38,9 @@ pub enum TensorError {
 impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TensorError::LengthMismatch { data_len, shape_len } => write!(
-                f,
-                "data length {data_len} does not match shape element count {shape_len}"
-            ),
+            TensorError::LengthMismatch { data_len, shape_len } => {
+                write!(f, "data length {data_len} does not match shape element count {shape_len}")
+            }
             TensorError::ShapeMismatch { left, right } => {
                 write!(f, "shape mismatch: {left:?} vs {right:?}")
             }

@@ -102,7 +102,19 @@ pub fn gemm(
             c_rest = rest;
             tasks.push(Box::new(move || {
                 gemm_block(
-                    trans_a, m, ic, mcb, n, k, pc, kcb, alpha, beta, first_block, a, packed_b,
+                    trans_a,
+                    m,
+                    ic,
+                    mcb,
+                    n,
+                    k,
+                    pc,
+                    kcb,
+                    alpha,
+                    beta,
+                    first_block,
+                    a,
+                    packed_b,
                     c_panel,
                 );
             }));
@@ -142,7 +154,15 @@ fn a_at(trans_a: Transpose, m: usize, k: usize, a: &[f32], i: usize, p: usize) -
 /// Packs `op(B)[pc..pc+kcb, 0..n]` into NR-column panels: panel `jp` holds,
 /// for each `p`, the `NR` consecutive columns starting at `jp * NR`
 /// (zero-padded past `n`).
-fn pack_b(trans_b: Transpose, n: usize, k: usize, pc: usize, kcb: usize, b: &[f32], out: &mut [f32]) {
+fn pack_b(
+    trans_b: Transpose,
+    n: usize,
+    k: usize,
+    pc: usize,
+    kcb: usize,
+    b: &[f32],
+    out: &mut [f32],
+) {
     let n_panels = n.div_ceil(NR);
     for jp in 0..n_panels {
         let j0 = jp * NR;
@@ -288,15 +308,17 @@ fn micro_kernel(kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
 /// This performs the *identical* sequence of IEEE multiplies and adds as
 /// [`micro_kernel`] (Rust never contracts `a * b + c` into an FMA), just on
 /// wider registers — results stay bit-identical to the baseline path.
-#[cfg(target_arch = "x86_64")]
+#[cfg(all(target_arch = "x86_64", not(miri)))]
 #[target_feature(enable = "avx2")]
 #[allow(unsafe_code)]
 unsafe fn micro_kernel_avx2(kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
     micro_kernel_body(kc, a, b, acc);
 }
 
-/// Runtime micro-kernel selector, detected once per process.
-#[cfg(target_arch = "x86_64")]
+/// Runtime micro-kernel selector, detected once per process. Compiled out
+/// under Miri (scripts/miri.sh), which does not model `target_feature`
+/// recompilation — the baseline kernel is bit-identical anyway.
+#[cfg(all(target_arch = "x86_64", not(miri)))]
 fn use_avx2() -> bool {
     use std::sync::OnceLock;
     static AVX2: OnceLock<bool> = OnceLock::new();
@@ -305,7 +327,7 @@ fn use_avx2() -> bool {
 
 #[inline(always)]
 fn micro_kernel_dispatch(kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     if use_avx2() {
         // SAFETY: guarded by the runtime AVX2 detection above.
         #[allow(unsafe_code)]

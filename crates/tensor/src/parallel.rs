@@ -60,9 +60,8 @@ fn env_threads() -> Option<usize> {
 
 fn pool() -> &'static Pool {
     POOL.get_or_init(|| {
-        let threads = env_threads().unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        });
+        let threads = env_threads()
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
         // Always keep at least one worker alive so with_threads(n > 1) can
         // exercise genuinely cross-thread schedules even on a single-core
         // host (an idle parked worker costs nothing).
@@ -324,9 +323,7 @@ where
             .collect();
         run_tasks(tasks);
     }
-    partials
-        .into_iter()
-        .fold(init, |acc, p| combine(acc, p.expect("chunk partial computed")))
+    partials.into_iter().fold(init, |acc, p| combine(acc, p.expect("chunk partial computed")))
 }
 
 #[cfg(test)]

@@ -106,8 +106,7 @@ pub fn pool_forward(
                                     count += 1;
                                 }
                             }
-                            out_image[out_idx] =
-                                if count > 0 { sum / count as f32 } else { 0.0 };
+                            out_image[out_idx] = if count > 0 { sum / count as f32 } else { 0.0 };
                         }
                     }
                 }
@@ -242,12 +241,7 @@ mod tests {
     #[test]
     fn max_pool_forward_picks_maxima() {
         let g = geom_2x2_stride2(4);
-        let input = vec![
-            1., 2., 5., 6.,
-            3., 4., 7., 8.,
-            9., 10., 13., 14.,
-            11., 12., 15., 16.,
-        ];
+        let input = vec![1., 2., 5., 6., 3., 4., 7., 8., 9., 10., 13., 14., 11., 12., 15., 16.];
         let mut output = vec![0.0; 4];
         let mut argmax = vec![0usize; 4];
         pool_forward(PoolKind::Max, &g, 1, &input, &mut output, &mut argmax);

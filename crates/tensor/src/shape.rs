@@ -69,10 +69,7 @@ impl Shape {
     ///
     /// Returns [`TensorError::AxisOutOfRange`] if `axis` is out of range.
     pub fn try_dim(&self, axis: usize) -> Result<usize, TensorError> {
-        self.dims
-            .get(axis)
-            .copied()
-            .ok_or(TensorError::AxisOutOfRange { axis, rank: self.rank() })
+        self.dims.get(axis).copied().ok_or(TensorError::AxisOutOfRange { axis, rank: self.rank() })
     }
 
     /// Row-major strides for this shape.
@@ -172,10 +169,7 @@ mod tests {
     fn try_dim_reports_out_of_range() {
         let s = Shape::new(&[2, 3]);
         assert_eq!(s.try_dim(1), Ok(3));
-        assert_eq!(
-            s.try_dim(2),
-            Err(TensorError::AxisOutOfRange { axis: 2, rank: 2 })
-        );
+        assert_eq!(s.try_dim(2), Err(TensorError::AxisOutOfRange { axis: 2, rank: 2 }));
     }
 
     #[test]

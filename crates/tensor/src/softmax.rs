@@ -95,7 +95,13 @@ pub fn softmax_cross_entropy_backward(
 /// # Panics
 ///
 /// Panics on size mismatches or `k == 0`.
-pub fn top_k_accuracy(rows: usize, classes: usize, scores: &[f32], labels: &[usize], k: usize) -> f32 {
+pub fn top_k_accuracy(
+    rows: usize,
+    classes: usize,
+    scores: &[f32],
+    labels: &[usize],
+    k: usize,
+) -> f32 {
     assert!(k > 0, "k must be positive");
     assert_eq!(scores.len(), rows * classes, "scores size mismatch");
     assert_eq!(labels.len(), rows, "labels size mismatch");

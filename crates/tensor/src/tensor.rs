@@ -67,10 +67,7 @@ impl Tensor {
 
     /// A rank-1 tensor holding `data`.
     pub fn from_slice(data: &[f32]) -> Self {
-        Tensor {
-            shape: Shape::new(&[data.len()]),
-            data: data.to_vec(),
-        }
+        Tensor { shape: Shape::new(&[data.len()]), data: data.to_vec() }
     }
 
     /// The tensor's shape.
@@ -135,10 +132,7 @@ impl Tensor {
     pub fn reshape(&mut self, dims: &[usize]) -> Result<(), TensorError> {
         let new_shape = Shape::new(dims);
         if new_shape.len() != self.len() {
-            return Err(TensorError::ReshapeMismatch {
-                have: self.len(),
-                want: new_shape.len(),
-            });
+            return Err(TensorError::ReshapeMismatch { have: self.len(), want: new_shape.len() });
         }
         self.shape = new_shape;
         Ok(())

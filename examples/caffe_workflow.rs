@@ -79,9 +79,6 @@ fn main() {
     println!("restored snapshot: resuming at iteration {}", resumed.iter());
     let idx: Vec<usize> = (0..30).collect();
     let (x, y) = eval_view.minibatch(&idx).expect("indices in range");
-    let (loss, _) = resumed
-        .net_mut()
-        .forward_loss(&x, &y, Phase::Test)
-        .expect("shapes match");
+    let (loss, _) = resumed.net_mut().forward_loss(&x, &y, Phase::Test).expect("shapes match");
     println!("restored model loss on first batch: {loss:.3}");
 }

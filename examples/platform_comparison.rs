@@ -6,11 +6,13 @@
 //! Run with `cargo run --release --example platform_comparison`.
 
 use shmcaffe_repro::models::CnnModel;
+use shmcaffe_repro::models::WorkloadModel;
 use shmcaffe_repro::platform::config::ShmCaffeConfig;
-use shmcaffe_repro::platform::platforms::{CaffeMpi, CaffeSsgd, MpiCaffe, ShmCaffeA, ShmCaffeH, SsgdConfig};
+use shmcaffe_repro::platform::platforms::{
+    CaffeMpi, CaffeSsgd, MpiCaffe, ShmCaffeA, ShmCaffeH, SsgdConfig,
+};
 use shmcaffe_repro::platform::report::TrainingReport;
 use shmcaffe_repro::platform::trainer::ModeledTrainerFactory;
-use shmcaffe_repro::models::WorkloadModel;
 use shmcaffe_repro::simnet::jitter::JitterModel;
 use shmcaffe_repro::simnet::topology::ClusterSpec;
 
@@ -44,26 +46,11 @@ fn main() {
     let ssgd = SsgdConfig { max_iters: ITERS, ..Default::default() };
     let shm = ShmCaffeConfig { max_iters: ITERS, progress_every: 25, ..Default::default() };
 
-    describe(
-        "Caffe",
-        &CaffeSsgd::new(spec, GPUS, ssgd).run(factory()).expect("runs"),
-    );
-    describe(
-        "Caffe-MPI",
-        &CaffeMpi::new(spec, GPUS, ssgd).run(factory()).expect("runs"),
-    );
-    describe(
-        "MPICaffe",
-        &MpiCaffe::new(spec, GPUS, ssgd).run(factory()).expect("runs"),
-    );
-    describe(
-        "ShmCaffe-A",
-        &ShmCaffeA::new(spec, GPUS, shm).run(factory()).expect("runs"),
-    );
-    describe(
-        "ShmCaffe-H",
-        &ShmCaffeH::new(spec, 2, 4, shm).run(factory()).expect("runs"),
-    );
+    describe("Caffe", &CaffeSsgd::new(spec, GPUS, ssgd).run(factory()).expect("runs"));
+    describe("Caffe-MPI", &CaffeMpi::new(spec, GPUS, ssgd).run(factory()).expect("runs"));
+    describe("MPICaffe", &MpiCaffe::new(spec, GPUS, ssgd).run(factory()).expect("runs"));
+    describe("ShmCaffe-A", &ShmCaffeA::new(spec, GPUS, shm).run(factory()).expect("runs"));
+    describe("ShmCaffe-H", &ShmCaffeH::new(spec, 2, 4, shm).run(factory()).expect("runs"));
 
     println!("\n(the full Table II / Fig 9 sweep lives in `cargo run -p shmcaffe-bench --bin fig09_table2_training_time`)");
 }

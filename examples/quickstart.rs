@@ -20,10 +20,7 @@ use shmcaffe_repro::simnet::topology::ClusterSpec;
 fn main() {
     // 1. A dataset, sharded across workers without duplication.
     let dataset = Arc::new(SyntheticBlobs::new(
-        /* classes */ 4,
-        /* dim */ 8,
-        /* samples */ 800,
-        /* noise */ 0.8,
+        /* classes */ 4, /* dim */ 8, /* samples */ 800, /* noise */ 0.8,
         /* seed */ 7,
     ));
 
@@ -38,14 +35,9 @@ fn main() {
 
     // 3. The platform: one node with 4 GPUs plus the SMB memory server,
     //    the paper's hyper-parameters (moving_rate 0.2, update_interval 1).
-    let cfg = ShmCaffeConfig {
-        max_iters: 400,
-        eval_every: 100,
-        ..Default::default()
-    };
-    let report = ShmCaffeA::new(ClusterSpec::paper_testbed(1), 4, cfg)
-        .run(factory)
-        .expect("platform runs");
+    let cfg = ShmCaffeConfig { max_iters: 400, eval_every: 100, ..Default::default() };
+    let report =
+        ShmCaffeA::new(ClusterSpec::paper_testbed(1), 4, cfg).run(factory).expect("platform runs");
 
     // 4. Results.
     println!("{report}");

@@ -36,9 +36,7 @@ fn main() {
 
             // Master creates the accumulator segment and broadcasts the key.
             let sum_key = if rank == 0 {
-                let key = client
-                    .create(&ctx, "global_sum", DIM, None)
-                    .expect("fresh server");
+                let key = client.create(&ctx, "global_sum", DIM, None).expect("fresh server");
                 for _ in 1..PROCS {
                     key_bcast.send(&ctx, key);
                 }
@@ -52,9 +50,8 @@ fn main() {
             // staging segment + a server-side accumulate (never read by
             // anyone else — the Fig. 5 buffer layout).
             let mine: Vec<f32> = (0..DIM).map(|i| (rank * DIM + i) as f32).collect();
-            let stage_key = client
-                .create(&ctx, &format!("stage_{rank}"), DIM, None)
-                .expect("unique name");
+            let stage_key =
+                client.create(&ctx, &format!("stage_{rank}"), DIM, None).expect("unique name");
             let stage = client.alloc(&ctx, stage_key).expect("just created");
             client.write(&ctx, &stage, &mine).expect("sizes match");
             client.accumulate(&ctx, &stage, &sum_buf).expect("same length");

@@ -30,9 +30,8 @@ fn run(policy: TerminationPolicy) {
         termination: policy,
         ..Default::default()
     };
-    let report = ShmCaffeA::new(ClusterSpec::paper_testbed(2), 8, cfg)
-        .run(factory)
-        .expect("platform runs");
+    let report =
+        ShmCaffeA::new(ClusterSpec::paper_testbed(2), 8, cfg).run(factory).expect("platform runs");
 
     let iters: Vec<u64> = report.workers.iter().map(|w| w.iters).collect();
     let finishes: Vec<f64> = report.workers.iter().map(|w| w.finished_at.as_secs_f64()).collect();
@@ -49,7 +48,9 @@ fn run(policy: TerminationPolicy) {
 }
 
 fn main() {
-    println!("termination alignment under heavy straggler jitter (8 workers, 200-iteration budget)\n");
+    println!(
+        "termination alignment under heavy straggler jitter (8 workers, 200-iteration budget)\n"
+    );
     for policy in [
         TerminationPolicy::FixedIterations,
         TerminationPolicy::MasterFinished,

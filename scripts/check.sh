@@ -12,6 +12,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== rustfmt (workspace, check only) =="
+cargo fmt --all -- --check
+
+echo "== determinism lint + allowlist audit =="
+cargo run -q -p shmcaffe-analysis
+
 echo "== tier-1 suite, SHMCAFFE_THREADS=1 =="
 SHMCAFFE_THREADS=1 cargo test -q --workspace
 
@@ -28,6 +34,14 @@ if [ "$sum1" != "$sum4" ]; then
     echo "FAIL: training checksum differs across thread counts" >&2
     exit 1
 fi
+
+echo "== race detector: SMB seeded-race + SEASGD/chaos under race-detect =="
+cargo test -q -p shmcaffe-smb --features race-detect
+cargo test -q -p shmcaffe --features race-detect
+cargo test -q -p shmcaffe-simnet --features race-detect
+
+echo "== miri (skips when not installed) =="
+./scripts/miri.sh
 
 echo "== clippy (workspace, deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings

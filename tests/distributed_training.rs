@@ -158,7 +158,12 @@ fn all_platforms_converge_on_easy_task() {
             .build()
     };
     let iters = 120;
-    let shm_cfg = ShmCaffeConfig { max_iters: iters, progress_every: 20, jitter: JitterModel::NONE, ..Default::default() };
+    let shm_cfg = ShmCaffeConfig {
+        max_iters: iters,
+        progress_every: 20,
+        jitter: JitterModel::NONE,
+        ..Default::default()
+    };
     let ssgd_cfg = SsgdConfig { max_iters: iters, ..Default::default() };
     let spec = ClusterSpec::paper_testbed(1);
 
@@ -167,7 +172,10 @@ fn all_platforms_converge_on_easy_task() {
         ("Caffe-MPI", CaffeMpi::new(spec, 4, ssgd_cfg).run(easy()).unwrap()),
         ("MPICaffe", MpiCaffe::new(spec, 4, ssgd_cfg).run(easy()).unwrap()),
         ("ShmCaffe-A", ShmCaffeA::new(spec, 4, shm_cfg).run(easy()).unwrap()),
-        ("ShmCaffe-H", ShmCaffeH::new(ClusterSpec::paper_testbed(2), 2, 2, shm_cfg).run(easy()).unwrap()),
+        (
+            "ShmCaffe-H",
+            ShmCaffeH::new(ClusterSpec::paper_testbed(2), 2, 2, shm_cfg).run(easy()).unwrap(),
+        ),
     ];
     for (name, report) in finals {
         let loss = report.workers[0].final_loss;

@@ -17,7 +17,9 @@ use shmcaffe_repro::simnet::SimDuration;
 fn image_factory(net_seed: u64) -> RealTrainerFactory {
     RealTrainerFactory::builder()
         .dataset(Arc::new(SyntheticImages::new(3, 1, 8, 240, 0.08, 17)))
-        .net_builder(move |s| proxies::mini_inception(1, 8, 3, s ^ net_seed).expect("geometry fits"))
+        .net_builder(move |s| {
+            proxies::mini_inception(1, 8, 3, s ^ net_seed).expect("geometry fits")
+        })
         .solver(SolverConfig {
             base_lr: 0.05,
             momentum: 0.9,
@@ -43,11 +45,7 @@ fn mini_inception_trains_under_hybrid_sgd() {
         .run(image_factory(5))
         .expect("platform runs");
     let last = report.final_eval().expect("evaluations recorded");
-    assert!(
-        last.top1 > 0.7,
-        "hybrid-trained mini inception should learn: top-1 {}",
-        last.top1
-    );
+    assert!(last.top1 > 0.7, "hybrid-trained mini inception should learn: top-1 {}", last.top1);
     // All four workers completed in lockstep.
     for w in &report.workers {
         assert_eq!(w.iters, 60);
@@ -59,13 +57,8 @@ fn netspec_network_trains_under_async_seasgd() {
     let factory = RealTrainerFactory::builder()
         .dataset(Arc::new(SyntheticImages::new(3, 1, 8, 240, 0.08, 29)))
         .net_builder(|seed| {
-            build_net(
-                "spec",
-                (1, 8, 8),
-                "conv 6 3x3 pad 1; relu; pool 2; fc 32; relu; fc 3",
-                seed,
-            )
-            .expect("valid spec")
+            build_net("spec", (1, 8, 8), "conv 6 3x3 pad 1; relu; pool 2; fc 32; relu; fc 3", seed)
+                .expect("valid spec")
         })
         .solver(SolverConfig { base_lr: 0.05, ..Default::default() })
         .batch(12)
@@ -78,9 +71,8 @@ fn netspec_network_trains_under_async_seasgd() {
         jitter: JitterModel::NONE,
         ..Default::default()
     };
-    let report = ShmCaffeA::new(ClusterSpec::paper_testbed(1), 4, cfg)
-        .run(factory)
-        .expect("platform runs");
+    let report =
+        ShmCaffeA::new(ClusterSpec::paper_testbed(1), 4, cfg).run(factory).expect("platform runs");
     let last = report.final_eval().expect("evaluations recorded");
     assert!(last.top1 > 0.7, "spec-built net should learn: top-1 {}", last.top1);
 }

@@ -74,11 +74,8 @@ fn platform_single_worker_matches_hand_computed_elastic_updates() {
     let got_wg = report.final_weights.expect("master reads W_g");
 
     assert_eq!(got_wg.len(), ref_wg.len());
-    let max_diff = got_wg
-        .iter()
-        .zip(ref_wg.iter())
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f32, f32::max);
+    let max_diff =
+        got_wg.iter().zip(ref_wg.iter()).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
     assert!(max_diff < 1e-5, "W_g diverged from eq. 5-7 algebra by {max_diff}");
     // Sanity: training actually moved the weights.
     assert!(ref_wx.iter().any(|&v| v != 0.0));
@@ -180,12 +177,8 @@ fn elastic_exchange_conserves_total_mass() {
 #[test]
 fn timed_runs_are_reproducible_across_processes() {
     let run = || {
-        let cfg = ShmCaffeConfig {
-            max_iters: 20,
-            progress_every: 5,
-            seed: 7,
-            ..Default::default()
-        };
+        let cfg =
+            ShmCaffeConfig { max_iters: 20, progress_every: 5, seed: 7, ..Default::default() };
         ShmCaffeA::new(ClusterSpec::paper_testbed(2), 8, cfg)
             .run(ModeledTrainerFactory::new(workload(), JitterModel::hpc_default(), 7))
             .expect("platform runs")

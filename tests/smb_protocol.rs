@@ -42,7 +42,8 @@ fn sixteen_worker_handshake_and_accumulate() {
             // Every worker accumulates a one-hot-ish contribution.
             let dw_key = client.create(&ctx, &format!("dw{rank}"), DIM, None).unwrap();
             let dw = client.alloc(&ctx, dw_key).unwrap();
-            let mine: Vec<f32> = (0..DIM).map(|i| if i == rank % DIM { 1.0 } else { 0.5 }).collect();
+            let mine: Vec<f32> =
+                (0..DIM).map(|i| if i == rank % DIM { 1.0 } else { 0.5 }).collect();
             client.write(&ctx, &dw, &mine).unwrap();
             client.accumulate(&ctx, &dw, &wg).unwrap();
 
