@@ -1,6 +1,6 @@
 //! Robustness sweep: fault rate × platform.
 //!
-//! Two experiments, reported in the `fig09_table2_training_time` table
+//! Three experiments, reported in the `fig09_table2_training_time` table
 //! format:
 //!
 //! 1. **Transient-fault sweep** — ShmCaffe-A under a per-operation failure
@@ -10,19 +10,26 @@
 //! 2. **Worker-crash matrix** — one rank of eight killed mid-run on every
 //!    platform that accepts a fault plan. SEASGD survives with its
 //!    remaining workers; synchronous allreduce aborts.
+//! 3. **Failover sweep** — a replicated memory-server pair whose primary
+//!    is crashed at varying points of the run. Clients fail over to the
+//!    standby; the table records the recovery cost in virtual time and
+//!    the elastic updates dropped while the crash was being detected.
 //!
 //! Everything is seeded: rerunning the binary reproduces identical tables.
+//! With `SHMCAFFE_BENCH_JSON` set the failover sweep (plus the other two
+//! tables) is written to `BENCH_fault.json` at the repo root.
 //!
 //! Run with `cargo run --release -p shmcaffe-bench --bin fault_sweep`.
 
 use shmcaffe::platforms::{MpiCaffe, ShmCaffeA, SsgdConfig};
 use shmcaffe::trainer::ModeledTrainerFactory;
 use shmcaffe::ShmCaffeConfig;
+use shmcaffe_bench::json::{emit_figure, Json};
 use shmcaffe_bench::table::Table;
 use shmcaffe_models::{CnnModel, WorkloadModel};
 use shmcaffe_simnet::fault::FaultPlan;
 use shmcaffe_simnet::jitter::JitterModel;
-use shmcaffe_simnet::topology::ClusterSpec;
+use shmcaffe_simnet::topology::{ClusterSpec, NodeId};
 use shmcaffe_simnet::{SimDuration, SimTime};
 use shmcaffe_smb::SmbServerConfig;
 
@@ -141,9 +148,64 @@ fn main() {
         println!("MPICaffe abort reason: {e}");
     }
     println!();
+
+    // Failover sweep: replicated memory-server pair, primary crashed at
+    // 25/50/75% of the fault-free wall clock. The first retrying client to
+    // hit the dead primary promotes the standby for the whole fleet.
+    let replicated = || ClusterSpec { memory_servers: 2, ..ClusterSpec::paper_testbed(NODES) };
+    let primary = NodeId(replicated().gpu_nodes);
+    let run_replicated = |plan: Option<FaultPlan>| {
+        let mut platform = ShmCaffeA::new(replicated(), GPUS, shm_cfg())
+            .with_standby(SimDuration::from_millis(20));
+        if let Some(plan) = plan {
+            platform = platform.with_fault_plan(plan);
+        }
+        platform.run(factory())
+    };
+    let clean = run_replicated(None).expect("fault-free replicated run");
+    let mut failover = Table::new(
+        "Primary memory-server crash with standby failover",
+        &[
+            "crash at (s)",
+            "wall (s)",
+            "wall delta (s)",
+            "max op recovery (ms)",
+            "faults",
+            "retries",
+            "dropped",
+        ],
+    );
+    for frac in [0.25f64, 0.50, 0.75] {
+        let at = SimTime::from_nanos((clean.wall.as_nanos() as f64 * frac) as u64);
+        let plan = FaultPlan::new(SEED).crash_memory_server(primary, at);
+        let report = run_replicated(Some(plan)).expect("standby absorbs the primary's crash");
+        failover.row_owned(vec![
+            format!("{:.3}", at.as_secs_f64()),
+            format!("{:.3}", report.wall.as_secs_f64()),
+            format!("{:+.3}", report.wall.as_secs_f64() - clean.wall.as_secs_f64()),
+            format!("{:.2}", report.max_recovery_ms()),
+            report.total_faults().to_string(),
+            report.total_retries().to_string(),
+            report.total_dropped_updates().to_string(),
+        ]);
+    }
+    emit_figure(
+        "fault",
+        &failover,
+        vec![
+            ("clean_wall_s", Json::Num(clean.wall.as_secs_f64())),
+            ("replication_interval_ms", Json::Int(20)),
+            ("transient", Json::from(&transient)),
+            ("worker_crash", Json::from(&crashes)),
+            ("seed", Json::Int(SEED as i64)),
+        ],
+    );
+    println!();
     println!(
         "SEASGD's elastic averaging absorbs both transient transport faults \
          (bounded retries) and worker death (lease eviction + survivor \
-         completion); synchronous allreduce has no recovery path and aborts."
+         completion); a replicated SMB pair additionally survives the loss \
+         of the primary memory server; synchronous allreduce has no \
+         recovery path and aborts."
     );
 }

@@ -288,6 +288,24 @@ impl RdmaFabric {
         self.set_qp(local, remote, QpState::Ready);
     }
 
+    /// Fails over a client's QP from a dead peer to a new one: the old pair
+    /// is torn down ([`QpState::Error`], where it stays — the peer is gone),
+    /// and a fresh pair to `new_remote` is brought up through the usual
+    /// Reset → Ready transition, paying the re-initialisation latency.
+    /// The SMB failover path calls this after promoting a standby server.
+    pub fn reconnect_qp(
+        &self,
+        ctx: &SimContext,
+        local: NodeId,
+        old_remote: NodeId,
+        new_remote: NodeId,
+    ) {
+        self.set_qp(local, old_remote, QpState::Error);
+        self.set_qp(local, new_remote, QpState::Reset);
+        ctx.sleep(SimDuration::from_micros(10));
+        self.set_qp(local, new_remote, QpState::Ready);
+    }
+
     fn check_qp(&self, local: NodeId, remote: NodeId) -> Result<(), RdmaError> {
         let state = self.qp_state(local, remote);
         if state == QpState::Ready {
@@ -808,6 +826,27 @@ mod tests {
         });
         sim.run();
         assert_eq!(rdma.deregister(&mr).unwrap(), vec![2.0; 4]);
+    }
+
+    #[test]
+    fn reconnect_qp_moves_client_to_new_peer() {
+        let rdma = test_fabric();
+        let mem = rdma.fabric().memory_server().unwrap();
+        let r = rdma.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("w", move |ctx| {
+            r.fault_qp(NodeId(0), mem);
+            let t0 = ctx.now();
+            r.reconnect_qp(&ctx, NodeId(0), mem, NodeId(1));
+            // Old pair stays torn down; new pair is up after the re-init
+            // latency.
+            assert_eq!(r.qp_state(NodeId(0), mem), QpState::Error);
+            assert_eq!(r.qp_state(NodeId(0), NodeId(1)), QpState::Ready);
+            assert!(ctx.now() > t0, "reconnect must pay re-initialisation time");
+            let mr = r.register(NodeId(1), 2).unwrap();
+            r.try_write_wire_paced(&ctx, NodeId(0), &mr, 0, &[3.0; 2], 8, None, None).unwrap();
+        });
+        sim.run();
     }
 
     #[test]

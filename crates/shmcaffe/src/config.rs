@@ -3,6 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 use shmcaffe_simnet::jitter::JitterModel;
+use shmcaffe_simnet::SimDuration;
 
 use crate::termination::TerminationPolicy;
 
@@ -42,6 +43,17 @@ pub struct ShmCaffeConfig {
     /// parameter problem" (§III-G); enabling this reproduces that
     /// trade-off.
     pub hide_global_read: bool,
+    /// Iterations between center-variable checkpoints written by the
+    /// master into the replicated checkpoint segment (`0` disables
+    /// checkpointing). A checkpoint is what a crashed worker rejoins from
+    /// and what survives a memory-server failover.
+    #[serde(default)]
+    pub checkpoint_every: usize,
+    /// How long after its crash a dead worker attempts to rejoin from the
+    /// latest checkpoint (`None` = crashed workers stay dead). Rejoin
+    /// also requires `checkpoint_every > 0`.
+    #[serde(default)]
+    pub rejoin_delay: Option<SimDuration>,
 }
 
 impl Default for ShmCaffeConfig {
@@ -57,6 +69,8 @@ impl Default for ShmCaffeConfig {
             seed: 42,
             local_mix_bps: 25.0e9,
             hide_global_read: false,
+            checkpoint_every: 0,
+            rejoin_delay: None,
         }
     }
 }
@@ -82,6 +96,9 @@ impl ShmCaffeConfig {
         }
         if self.local_mix_bps <= 0.0 || self.local_mix_bps.is_nan() {
             return Err("local_mix_bps must be positive".to_string());
+        }
+        if self.rejoin_delay.is_some() && self.checkpoint_every == 0 {
+            return Err("rejoin_delay requires checkpoint_every > 0".to_string());
         }
         Ok(())
     }
@@ -138,5 +155,12 @@ mod tests {
         assert!(ShmCaffeConfig { max_iters: 0, ..base }.validate().is_err());
         assert!(ShmCaffeConfig { progress_every: 0, ..base }.validate().is_err());
         assert!(ShmCaffeConfig { local_mix_bps: 0.0, ..base }.validate().is_err());
+        assert!(ShmCaffeConfig {
+            rejoin_delay: Some(SimDuration::from_millis(1)),
+            checkpoint_every: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
     }
 }

@@ -9,11 +9,13 @@ use shmcaffe_simnet::fault::FaultPlan;
 use shmcaffe_simnet::topology::{ClusterSpec, Fabric};
 use shmcaffe_simnet::{SimDuration, Simulation};
 use shmcaffe_smb::progress::ProgressBoard;
-use shmcaffe_smb::{ShmKey, SmbClient, SmbServer, SmbServerConfig};
+use shmcaffe_smb::{ShmKey, SmbClient, SmbPair, SmbServer, SmbServerConfig};
 
 use crate::config::ShmCaffeConfig;
 use crate::report::TrainingReport;
-use crate::seasgd::{run_worker, SeasgdBuffers, SeasgdHarness};
+use crate::seasgd::{
+    run_worker, CheckpointPlan, SeasgdBuffers, SeasgdHarness, CHECKPOINT_META_LEN,
+};
 use crate::trainer::{Trainer, TrainerFactory};
 use crate::PlatformError;
 
@@ -32,6 +34,7 @@ pub struct ShmCaffeA {
     cfg: ShmCaffeConfig,
     fault_plan: Option<FaultPlan>,
     server_config: SmbServerConfig,
+    standby_replication: Option<SimDuration>,
 }
 
 impl ShmCaffeA {
@@ -43,7 +46,19 @@ impl ShmCaffeA {
             cfg,
             fault_plan: None,
             server_config: SmbServerConfig::default(),
+            standby_replication: None,
         }
+    }
+
+    /// Deploys a standby memory server mirroring the primary's segments,
+    /// leases, and tombstones every `interval` of virtual time. Requires
+    /// `ClusterSpec::memory_servers >= 2`. Clients are bound to the
+    /// replicated pair: when a retrying operation observes the primary's
+    /// crash (seeded via [`FaultPlan::crash_memory_server`]), the standby
+    /// is promoted and the whole fleet fails over to it.
+    pub fn with_standby(mut self, interval: SimDuration) -> Self {
+        self.standby_replication = Some(interval);
+        self
     }
 
     /// Injects a deterministic fault plan into the fabric: link outages and
@@ -83,6 +98,12 @@ impl ShmCaffeA {
             ));
         }
 
+        if self.standby_replication.is_some() && self.spec.memory_servers < 2 {
+            return Err(PlatformError::BadConfig(
+                "standby replication requires at least two memory servers".to_string(),
+            ));
+        }
+
         let fabric = match &self.fault_plan {
             Some(plan) => Fabric::with_faults(self.spec, plan.clone()),
             None => Fabric::new(self.spec),
@@ -91,16 +112,32 @@ impl ShmCaffeA {
         let crashed_ranks: Arc<Vec<usize>> =
             Arc::new(self.fault_plan.as_ref().map(FaultPlan::crashed_ranks).unwrap_or_default());
         let rdma = RdmaFabric::new(fabric.clone());
-        let server = SmbServer::with_config(rdma, self.server_config)?;
+        let pair = match self.standby_replication {
+            Some(_) => Some(SmbPair::new(rdma.clone(), self.server_config)?),
+            None => None,
+        };
+        let server = match &pair {
+            Some(p) => p.primary().clone(),
+            None => SmbServer::with_config(rdma, self.server_config)?,
+        };
         let mpi = MpiWorld::new(fabric.clone(), self.workers);
         let factory = Arc::new(factory);
         let cfg = self.cfg;
+        // Crashed ranks rejoin from the checkpoint instead of staying dead;
+        // the collector then waits for them and leaves their lease
+        // reclamation to their own rejoin acknowledgements.
+        let rejoin_mode = cfg.checkpoint_every > 0 && cfg.rejoin_delay.is_some();
         let n_workers = self.workers;
         let report = Arc::new(Mutex::new(TrainingReport::new("ShmCaffe-A", n_workers)));
 
         let mut sim = Simulation::new();
+        if let (Some(p), Some(interval)) = (&pair, self.standby_replication) {
+            let p = p.clone();
+            sim.spawn("smb_replicator", move |ctx| p.run_replicator(&ctx, interval));
+        }
         for rank in 0..n_workers {
             let server = server.clone();
+            let pair = pair.clone();
             let mut comm = mpi.comm(rank);
             let node = mpi.node_of(rank);
             let factory = Arc::clone(&factory);
@@ -109,29 +146,50 @@ impl ShmCaffeA {
             let crash_at = fabric.fault_injector().and_then(|i| i.crash_time(rank));
             sim.spawn(&format!("shmcaffe_a_w{rank}"), move |ctx| {
                 let mut trainer = factory.make(rank, n_workers);
-                let client = SmbClient::new(server, node);
+                let client = match &pair {
+                    Some(p) => SmbClient::with_failover(p.clone(), node),
+                    None => SmbClient::new(server, node),
+                };
                 let param_len = trainer.param_len();
                 let wire = trainer.wire_bytes();
 
-                // Fig. 2 handshake: master creates, broadcasts keys.
-                let (wg_key, board_key) = if rank == 0 {
+                // Fig. 2 handshake: master creates, broadcasts keys
+                // (ShmKey(0) = "no such segment" — real keys start at 1).
+                let (wg_key, board_key, ckpt_keys) = if rank == 0 {
                     let wg_key = client
                         .create(&ctx, "W_g", param_len, Some(wire))
                         .expect("fresh server has no duplicate segments");
                     let (board, board_key) =
                         ProgressBoard::create(&client, &ctx, "control_info", n_workers)
                             .expect("fresh server has no duplicate segments");
+                    // Checkpoint segments for the center variable. Unleased:
+                    // they must survive any worker's crash.
+                    let ckpt_keys = (cfg.checkpoint_every > 0).then(|| {
+                        let w = client
+                            .create(&ctx, "ckpt_W", param_len, Some(wire))
+                            .expect("fresh server has no duplicate segments");
+                        let meta = client
+                            .create(&ctx, "ckpt_meta", CHECKPOINT_META_LEN, None)
+                            .expect("fresh server has no duplicate segments");
+                        (w, meta)
+                    });
                     // Seed the global weights with the master's parameters.
                     let wg = client.alloc(&ctx, wg_key).expect("key just created");
                     let mut w0 = vec![0.0f32; param_len];
                     trainer.read_weights(&mut w0);
                     client.write(&ctx, &wg, &w0).expect("sizes match");
                     let _ = board;
-                    comm.broadcast(&ctx, 0, Some(MpiData::U64s(vec![wg_key.0, board_key.0])));
-                    (wg_key, board_key)
+                    let (ck_w, ck_m) = ckpt_keys.map_or((0, 0), |(w, m)| (w.0, m.0));
+                    comm.broadcast(
+                        &ctx,
+                        0,
+                        Some(MpiData::U64s(vec![wg_key.0, board_key.0, ck_w, ck_m])),
+                    );
+                    (wg_key, board_key, ckpt_keys)
                 } else {
                     let keys = comm.broadcast(&ctx, 0, None).into_u64s();
-                    (ShmKey(keys[0]), ShmKey(keys[1]))
+                    let ckpt_keys = (keys[2] != 0).then(|| (ShmKey(keys[2]), ShmKey(keys[3])));
+                    (ShmKey(keys[0]), ShmKey(keys[1]), ckpt_keys)
                 };
 
                 let wg = client.alloc(&ctx, wg_key).expect("master created the segment");
@@ -144,6 +202,10 @@ impl ShmCaffeA {
                 let dw = client.alloc(&ctx, dw_key).expect("key just created");
                 let board = ProgressBoard::attach(&client, &ctx, board_key, n_workers)
                     .expect("board sized for n_workers");
+                let checkpoint = ckpt_keys.map(|(w_key, m_key)| CheckpointPlan {
+                    weights: client.alloc(&ctx, w_key).expect("master created the segment"),
+                    meta: client.alloc(&ctx, m_key).expect("master created the segment"),
+                });
 
                 // Slaves adopt the master's initial weights.
                 if rank != 0 {
@@ -161,6 +223,7 @@ impl ShmCaffeA {
                     rank,
                     target_iters: cfg.max_iters as u64,
                     crash_at,
+                    checkpoint,
                 };
                 let outcome = run_worker(&ctx, harness, &mut trainer)
                     .expect("smb operations on live segments succeed");
@@ -179,21 +242,29 @@ impl ShmCaffeA {
                         loop {
                             let snap =
                                 board.snapshot(&client, &ctx).expect("board outlives workers");
-                            let survivors_done = (0..n_workers)
-                                .filter(|r| !crashed_ranks.contains(r))
+                            // In rejoin mode every rank eventually reaches
+                            // the board again (a rejoiner finishes its
+                            // second incarnation; an aborted rejoin
+                            // announces itself); otherwise only survivors.
+                            let awaited_done = (0..n_workers)
+                                .filter(|r| rejoin_mode || !crashed_ranks.contains(r))
                                 .all(|r| snap.is_done(r));
-                            if survivors_done {
+                            if awaited_done {
                                 break;
                             }
                             ctx.sleep(SimDuration::from_millis(10));
                         }
                         // Evict the crashed ranks' leased buffers before the
                         // final read; their heartbeats stopped at crash time,
-                        // so waiting out the lease timeout is enough.
+                        // so waiting out the lease timeout is enough. A
+                        // rejoining rank reclaims (frees + acks) its own
+                        // stale state and holds a live lease again, so its
+                        // eviction is skipped.
+                        let evict_expected = if rejoin_mode { 0 } else { crashed_ranks.len() };
                         let mut evicted = 0usize;
-                        while evicted < crashed_ranks.len() {
+                        while evicted < evict_expected {
                             evicted += client.server().evict_stale(&ctx).len();
-                            if evicted < crashed_ranks.len() {
+                            if evicted < evict_expected {
                                 ctx.sleep(SimDuration::from_millis(50));
                             }
                         }
@@ -209,6 +280,14 @@ impl ShmCaffeA {
                         w
                     })
                 };
+                // The run is over once the final model is read: let the
+                // replicator loop exit at its next wakeup so the
+                // simulation can terminate.
+                if final_w.is_some() {
+                    if let Some(p) = &pair {
+                        p.stop_replicator();
+                    }
+                }
                 let mut report = report.lock();
                 report.workers[rank] = outcome.report;
                 if rank == 0 {

@@ -40,6 +40,15 @@ pub struct WorkerReport {
     pub final_loss: f32,
     /// Whether this worker crashed mid-run (fault injection).
     pub crashed: bool,
+    /// Whether this worker crashed and later rejoined from a checkpoint
+    /// (`crashed` stays true: the crash happened).
+    #[serde(default)]
+    pub rejoined: bool,
+    /// How many iterations behind the fleet's fastest member the rejoin
+    /// checkpoint was at rejoin time — the staleness the rejoined worker
+    /// re-entered training with.
+    #[serde(default)]
+    pub rejoin_staleness_iters: u64,
     /// Transient transport faults this worker's SMB client observed.
     pub faults: u64,
     /// Failed attempts later recovered by a retry.
@@ -61,6 +70,8 @@ impl WorkerReport {
             finished_at: SimTime::ZERO,
             final_loss: f32::NAN,
             crashed: false,
+            rejoined: false,
+            rejoin_staleness_iters: 0,
             faults: 0,
             retries: 0,
             recovery_ms: 0.0,
@@ -159,6 +170,11 @@ impl TrainingReport {
     /// Number of workers that crashed mid-run.
     pub fn crashed_workers(&self) -> usize {
         self.workers.iter().filter(|w| w.crashed).count()
+    }
+
+    /// Number of crashed workers that rejoined from a checkpoint.
+    pub fn rejoined_workers(&self) -> usize {
+        self.workers.iter().filter(|w| w.rejoined).count()
     }
 
     /// Total transient transport faults observed across the fleet.

@@ -223,6 +223,12 @@ impl ElasticExchanger {
         &self.wx
     }
 
+    /// The global weights `W_g` as read at the last exchange (T1) — the
+    /// center variable the master checkpoints.
+    pub fn global_weights(&self) -> &[f32] {
+        &self.wg
+    }
+
     /// Number of weight increments dropped because pushing them kept
     /// failing (fault injection).
     pub fn dropped_updates(&self) -> u64 {
@@ -238,6 +244,24 @@ impl ElasticExchanger {
         self.req_ch.send(ctx, UpdateRequest::Shutdown);
     }
 }
+
+/// The checkpoint segments of a run: the center variable `W_g` snapshot
+/// plus a small metadata record `[checkpoint iteration, valid flag]`. Both
+/// are written with the versioned checkpoint protocol
+/// ([`SmbClient::checkpoint_write`]) because the master's checkpoint write
+/// and a rejoining worker's read share no happens-before edge — the
+/// rejoiner discovers the checkpoint through the segment table, not
+/// through a message from the writer.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointPlan {
+    /// The checkpointed center variable (same length as `W_g`).
+    pub weights: SmbBuffer,
+    /// `[iter as f32, valid]` — `valid == 1.0` once any checkpoint exists.
+    pub meta: SmbBuffer,
+}
+
+/// Length in f32 elements of [`CheckpointPlan::meta`].
+pub const CHECKPOINT_META_LEN: usize = 2;
 
 /// Everything a SEASGD participant needs besides its trainer.
 pub struct SeasgdHarness {
@@ -256,6 +280,10 @@ pub struct SeasgdHarness {
     /// Injected crash time: the worker dies at the first iteration boundary
     /// at or after this instant (`None` = never).
     pub crash_at: Option<SimTime>,
+    /// Checkpoint segments: rank 0 writes the center variable there every
+    /// [`ShmCaffeConfig::checkpoint_every`] iterations; a crashed worker
+    /// rejoins from it when [`ShmCaffeConfig::rejoin_delay`] is set.
+    pub checkpoint: Option<CheckpointPlan>,
 }
 
 /// Outcome of [`run_worker`]: the filled report plus rank-0 evaluations.
@@ -279,32 +307,98 @@ pub fn run_worker<T: Trainer>(
     harness: SeasgdHarness,
     trainer: &mut T,
 ) -> Result<SeasgdOutcome, PlatformError> {
-    let SeasgdHarness { client, buffers, board, cfg, rank, target_iters, crash_at } = harness;
+    let SeasgdHarness { client, mut buffers, board, cfg, rank, target_iters, crash_at, checkpoint } =
+        harness;
     let mut report = WorkerReport::new(rank);
     let mut evals = Vec::new();
+    let param_len = trainer.param_len();
+    let wire_bytes = trainer.wire_bytes();
 
-    let mut exchanger = ElasticExchanger::spawn(
+    // `None` only between a crash and a successful rejoin.
+    let mut exchanger = Some(ElasticExchanger::spawn(
         ctx,
         client.clone(),
         buffers,
-        trainer.param_len(),
-        trainer.wire_bytes(),
+        param_len,
+        wire_bytes,
         &cfg,
         &format!("w{rank}"),
-    );
-
+    ));
+    // Retry policy for this worker's checkpoint traffic, seeded apart from
+    // the exchanger's stream so both stay deterministic.
+    let ckpt_retry = RetryPolicy {
+        max_attempts: 8,
+        deadline: SimDuration::from_millis(500),
+        ..RetryPolicy::with_seed(cfg.seed.wrapping_add(0xC4B7 + rank as u64))
+    };
     let mut loss_ema = f32::NAN;
     let mut iter: u64 = 0;
     let mut stop = false;
 
     while !stop {
         // Injected worker death: stop publishing, heartbeating, and
-        // exchanging. The exchanger teardown below models the OS reaping
-        // the dead process's update thread.
-        if crash_at.is_some_and(|t| ctx.now() >= t) {
+        // exchanging. The exchanger teardown models the OS reaping the
+        // dead process's update thread. With a checkpoint plan and a
+        // rejoin delay configured, the crashed rank later comes back and
+        // resumes from the latest center-variable checkpoint.
+        if !report.crashed && crash_at.is_some_and(|t| ctx.now() >= t) {
             report.crashed = true;
-            break;
+            let dead = exchanger.take().expect("live incarnation has an exchanger");
+            report.dropped_updates += dead.dropped_updates();
+            dead.finish(ctx);
+            let (Some(ckpt), Some(delay)) = (checkpoint, cfg.rejoin_delay) else { break };
+            ctx.sleep(delay);
+            // Elastic rejoin: read the checkpoint metadata first (the
+            // versioned protocol — no happens-before edge to the writer).
+            let mut meta = [0.0f32; CHECKPOINT_META_LEN];
+            let meta_ok = client.checkpoint_read(ctx, &ckpt.meta, &mut meta, &ckpt_retry).is_ok();
+            if !meta_ok || meta[1] != 1.0 {
+                // No valid checkpoint to rejoin from: announce the aborted
+                // attempt on the board (so survivors stop waiting for this
+                // rank) and stay dead.
+                board.publish(&client, ctx, rank, iter, true)?;
+                break;
+            }
+            let ckpt_iter = meta[0] as u64;
+            let mut w = vec![0.0f32; param_len];
+            client.checkpoint_read(ctx, &ckpt.weights, &mut w, &ckpt_retry)?;
+            trainer.write_weights(&w);
+            // Reclaim the dead incarnation's SMB state: free the old
+            // increment buffer if the lease eviction has not beaten us to
+            // it, acknowledge any eviction verdicts (GC'ing this rank's
+            // tombstones), and resume heartbeating under a fresh lease.
+            let _ = client.free(ctx, buffers.dw);
+            client.ack_eviction(ctx, rank);
+            let dw_key = client.create_owned(
+                ctx,
+                &format!("dW_{rank}_r"),
+                param_len,
+                Some(wire_bytes),
+                rank,
+            )?;
+            let dw = client.alloc(ctx, dw_key)?;
+            buffers = SeasgdBuffers { wg: buffers.wg, dw };
+            client.heartbeat(ctx, rank);
+            // Staleness accounting: how far the fleet ran ahead of the
+            // checkpoint this worker restarts from.
+            let snap = board.snapshot(&client, ctx)?;
+            let fleet_max = snap.workers.iter().map(|p| p.iterations).max().unwrap_or(0);
+            report.rejoin_staleness_iters = fleet_max.saturating_sub(ckpt_iter);
+            report.rejoined = true;
+            exchanger = Some(ElasticExchanger::spawn(
+                ctx,
+                client.clone(),
+                buffers,
+                param_len,
+                wire_bytes,
+                &cfg,
+                &format!("w{rank}_r"),
+            ));
+            loss_ema = f32::NAN;
+            iter = ckpt_iter;
+            continue;
         }
+        let exchanger = exchanger.as_mut().expect("only a crashed incarnation lacks one");
         if iter.is_multiple_of(cfg.update_interval as u64) {
             let comm = exchanger.exchange(ctx, trainer)?;
             report.comm_ms.record_duration_ms(comm);
@@ -317,6 +411,24 @@ pub fn run_worker<T: Trainer>(
         report.comp_ms.record_duration_ms(ctx.now() - comp_start);
         loss_ema = if loss_ema.is_nan() { loss } else { 0.9 * loss_ema + 0.1 * loss };
         iter += 1;
+
+        // Center-variable checkpointing (rank 0 only): publish the W_g
+        // snapshot of the last exchange plus `[iter, valid]` metadata via
+        // the versioned checkpoint protocol. The segments live on the SMB
+        // server and ride the replication stream to the standby, so the
+        // checkpoint survives a memory-server failover.
+        if rank == 0 && cfg.checkpoint_every > 0 && iter.is_multiple_of(cfg.checkpoint_every as u64)
+        {
+            if let Some(ckpt) = &checkpoint {
+                client.checkpoint_write(
+                    ctx,
+                    &ckpt.weights,
+                    exchanger.global_weights(),
+                    &ckpt_retry,
+                )?;
+                client.checkpoint_write(ctx, &ckpt.meta, &[iter as f32, 1.0], &ckpt_retry)?;
+            }
+        }
 
         // Convergence instrumentation (rank 0 only).
         if rank == 0 && cfg.eval_every > 0 && iter.is_multiple_of(cfg.eval_every as u64) {
@@ -342,9 +454,13 @@ pub fn run_worker<T: Trainer>(
         }
     }
 
-    report.dropped_updates = exchanger.dropped_updates();
-    exchanger.finish(ctx);
-    if !report.crashed {
+    if let Some(live) = exchanger {
+        report.dropped_updates += live.dropped_updates();
+        live.finish(ctx);
+    }
+    // A rejoined worker finished a full incarnation and must announce it;
+    // a worker that died without rejoining never reaches the board again.
+    if !report.crashed || report.rejoined {
         board.publish(&client, ctx, rank, iter, true)?;
     }
 
@@ -429,6 +545,7 @@ mod tests {
                     rank,
                     target_iters: cfg.max_iters as u64,
                     crash_at: None,
+                    checkpoint: None,
                 };
                 let outcome = run_worker(&ctx, harness, &mut trainer).unwrap();
                 outcomes.lock()[rank] = Some(outcome);

@@ -1,0 +1,149 @@
+//! Failover chaos test: the primary memory server crashes mid-training
+//! while a worker has also died and is rejoining.
+//!
+//! The platform runs with a standby memory server mirroring segments,
+//! leases, and tombstones every 20 ms, and with the center variable
+//! checkpointed every 10 iterations. The seeded plan kills worker 1 at
+//! t = 100 ms (it rejoins from the checkpoint 100 ms later) and crashes the
+//! primary memory server at t = 250 ms. Survivors must fail over to the
+//! standby and complete their full budget, the rejoined worker must finish
+//! too, the final loss must stay within 10% of a fault-free run, and the
+//! whole timeline must be bit-identical across reruns (and thread counts —
+//! `scripts/check.sh` runs this suite under `SHMCAFFE_THREADS=1` and `4`).
+
+use shmcaffe::platforms::ShmCaffeA;
+use shmcaffe::trainer::ModeledTrainerFactory;
+use shmcaffe::{ShmCaffeConfig, TrainingReport};
+use shmcaffe_models::WorkloadModel;
+use shmcaffe_simnet::fault::FaultPlan;
+use shmcaffe_simnet::jitter::JitterModel;
+use shmcaffe_simnet::topology::{ClusterSpec, NodeId};
+use shmcaffe_simnet::{SimDuration, SimTime};
+use shmcaffe_smb::SmbServerConfig;
+
+const N_WORKERS: usize = 4;
+const MAX_ITERS: usize = 30;
+const CRASH_RANK: usize = 1;
+
+fn spec() -> ClusterSpec {
+    ClusterSpec { memory_servers: 2, ..ClusterSpec::paper_testbed(1) }
+}
+
+/// The first memory endpoint (the pair's primary) sits right after the
+/// GPU nodes.
+fn primary_node() -> NodeId {
+    NodeId(spec().gpu_nodes)
+}
+
+fn factory() -> ModeledTrainerFactory {
+    let workload = WorkloadModel::custom("failover", 1_000_000, SimDuration::from_millis(10));
+    ModeledTrainerFactory::new(workload, JitterModel::NONE, 7)
+}
+
+fn cfg() -> ShmCaffeConfig {
+    ShmCaffeConfig {
+        max_iters: MAX_ITERS,
+        progress_every: 5,
+        checkpoint_every: 10,
+        rejoin_delay: Some(SimDuration::from_millis(100)),
+        jitter: JitterModel::NONE,
+        ..Default::default()
+    }
+}
+
+/// Worker 1 dies at 100 ms; the primary memory server crashes at 250 ms,
+/// after the rejoin but with most of the run still ahead.
+fn crash_plan() -> FaultPlan {
+    FaultPlan::new(9)
+        .crash_worker(CRASH_RANK, SimTime::from_millis(100))
+        .crash_memory_server(primary_node(), SimTime::from_millis(250))
+}
+
+fn short_leases() -> SmbServerConfig {
+    SmbServerConfig { lease_timeout: SimDuration::from_millis(100), ..Default::default() }
+}
+
+fn platform() -> ShmCaffeA {
+    ShmCaffeA::new(spec(), N_WORKERS, cfg())
+        .with_server_config(short_leases())
+        .with_standby(SimDuration::from_millis(20))
+}
+
+fn run_faulted() -> TrainingReport {
+    platform()
+        .with_fault_plan(crash_plan())
+        .run(factory())
+        .expect("replicated platform survives the primary's crash")
+}
+
+#[test]
+fn fleet_survives_memory_server_crash_and_worker_rejoins() {
+    let faulted = run_faulted();
+    let clean = platform().run(factory()).expect("fault-free run");
+
+    // The crashed worker rejoined from the checkpoint and completed the
+    // budget, with its re-entry staleness accounted.
+    assert_eq!(faulted.crashed_workers(), 1);
+    assert_eq!(faulted.rejoined_workers(), 1);
+    let rejoined = &faulted.workers[CRASH_RANK];
+    assert!(rejoined.crashed && rejoined.rejoined);
+    assert_eq!(rejoined.iters, MAX_ITERS as u64);
+    assert!(
+        rejoined.rejoin_staleness_iters > 0,
+        "the fleet ran ahead of the checkpoint while rank 1 was down"
+    );
+
+    // Every survivor completed its full budget on the standby.
+    for w in faulted.workers.iter().filter(|w| !w.crashed) {
+        assert_eq!(w.iters, MAX_ITERS as u64, "rank {} shortchanged", w.rank);
+    }
+
+    // The crash was observed and recovered from, not silently missed.
+    assert!(faulted.total_faults() > 0, "someone must have hit the dead primary");
+    assert!(faulted.total_retries() > 0, "failover recovers via the retry loop");
+
+    // The collector recovered the final model from the standby.
+    assert!(faulted.final_weights.is_some());
+
+    // Convergence is preserved across the failover: final loss within 10%
+    // of the fault-free counterpart, for survivors and the rejoiner alike.
+    for (f, c) in faulted.workers.iter().zip(clean.workers.iter()) {
+        let rel = ((f.final_loss - c.final_loss) / c.final_loss).abs();
+        assert!(
+            rel < 0.10,
+            "rank {}: faulted loss {} vs clean {} ({:.1}% off)",
+            f.rank,
+            f.final_loss,
+            c.final_loss,
+            rel * 100.0
+        );
+    }
+}
+
+#[test]
+fn failover_runs_are_bit_identical_given_the_seed() {
+    let a = run_faulted();
+    let b = run_faulted();
+    assert_eq!(a.wall, b.wall);
+    for (x, y) in a.workers.iter().zip(b.workers.iter()) {
+        assert_eq!(x.crashed, y.crashed);
+        assert_eq!(x.rejoined, y.rejoined);
+        assert_eq!(x.rejoin_staleness_iters, y.rejoin_staleness_iters);
+        assert_eq!(x.iters, y.iters);
+        assert_eq!(x.finished_at, y.finished_at);
+        assert_eq!(x.final_loss, y.final_loss);
+        assert_eq!(x.faults, y.faults);
+        assert_eq!(x.retries, y.retries);
+        assert_eq!(x.dropped_updates, y.dropped_updates);
+    }
+}
+
+#[test]
+fn standby_requires_two_memory_servers() {
+    let one_server = ClusterSpec::paper_testbed(1);
+    let err = ShmCaffeA::new(one_server, N_WORKERS, cfg())
+        .with_standby(SimDuration::from_millis(20))
+        .run(factory())
+        .expect_err("one memory server cannot host a replicated pair");
+    assert!(matches!(err, shmcaffe::PlatformError::BadConfig(_)), "{err:?}");
+}

@@ -77,6 +77,18 @@ pub struct WorkerCrash {
     pub at: SimTime,
 }
 
+/// A scheduled memory-server death: the endpoint stops serving at the
+/// given virtual time and never comes back. Fallible transfers touching it
+/// fail fast with [`FaultError::NodeCrashed`] so clients can fail over to
+/// a standby (see `shmcaffe-smb`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryServerCrash {
+    /// The memory-server endpoint that dies.
+    pub node: NodeId,
+    /// Crash time (permanent from this instant on).
+    pub at: SimTime,
+}
+
 /// A declarative, seeded fault schedule.
 ///
 /// # Example
@@ -107,6 +119,9 @@ pub struct FaultPlan {
     pub node_stalls: Vec<NodeStall>,
     /// Scheduled worker deaths.
     pub worker_crashes: Vec<WorkerCrash>,
+    /// Scheduled memory-server deaths (permanent; clients must fail over).
+    #[serde(default)]
+    pub memory_server_crashes: Vec<MemoryServerCrash>,
 }
 
 impl FaultPlan {
@@ -119,6 +134,7 @@ impl FaultPlan {
             link_faults: Vec::new(),
             node_stalls: Vec::new(),
             worker_crashes: Vec::new(),
+            memory_server_crashes: Vec::new(),
         }
     }
 
@@ -169,6 +185,12 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules a permanent memory-server crash.
+    pub fn crash_memory_server(mut self, node: NodeId, at: SimTime) -> Self {
+        self.memory_server_crashes.push(MemoryServerCrash { node, at });
+        self
+    }
+
     /// Checks internal consistency (window ordering, probability and
     /// degradation factors in range).
     ///
@@ -214,6 +236,8 @@ pub struct FaultStats {
     pub degraded_transfers: u64,
     /// Transfers delayed by a node stall window.
     pub stall_delays: u64,
+    /// Fallible operations that touched a crashed memory server.
+    pub memory_server_crash_hits: u64,
 }
 
 struct InjectorInner {
@@ -330,6 +354,18 @@ impl FaultInjector {
         self.inner.plan.worker_crashes.iter().filter(|c| c.rank == rank).map(|c| c.at).min()
     }
 
+    /// The scheduled crash time for a memory-server endpoint, if any
+    /// (earliest wins).
+    pub fn memory_server_crash_time(&self, node: NodeId) -> Option<SimTime> {
+        self.inner.plan.memory_server_crashes.iter().filter(|c| c.node == node).map(|c| c.at).min()
+    }
+
+    /// Whether `node` is a crashed memory server at `now` (crashes are
+    /// permanent: true from the crash instant on).
+    pub fn memory_server_crashed(&self, node: NodeId, now: SimTime) -> bool {
+        self.memory_server_crash_time(node).is_some_and(|at| at <= now)
+    }
+
     pub(crate) fn record_link_down_hit(&self) {
         self.inner.stats.lock().link_down_hits += 1;
     }
@@ -340,6 +376,10 @@ impl FaultInjector {
 
     pub(crate) fn record_stall(&self) {
         self.inner.stats.lock().stall_delays += 1;
+    }
+
+    pub(crate) fn record_memory_server_crash_hit(&self) {
+        self.inner.stats.lock().memory_server_crash_hits += 1;
     }
 }
 
@@ -362,6 +402,15 @@ pub enum FaultError {
         /// Virtual time the failure was detected.
         at: SimTime,
     },
+    /// The transfer touched a permanently crashed endpoint (a memory
+    /// server). Unlike [`FaultError::LinkDown`], retrying against the same
+    /// endpoint can never succeed — the caller should fail over.
+    NodeCrashed {
+        /// The crashed endpoint.
+        node: NodeId,
+        /// Virtual time the failure was detected.
+        at: SimTime,
+    },
 }
 
 impl fmt::Display for FaultError {
@@ -372,6 +421,9 @@ impl fmt::Display for FaultError {
             }
             FaultError::Injected { from, to, at } => {
                 write!(f, "injected fault on {from}->{to} (t={} ns)", at.as_nanos())
+            }
+            FaultError::NodeCrashed { node, at } => {
+                write!(f, "endpoint {} crashed (detected t={} ns)", node, at.as_nanos())
             }
         }
     }
@@ -480,11 +532,28 @@ mod tests {
     }
 
     #[test]
+    fn memory_server_crash_is_permanent_and_takes_earliest() {
+        let inj = FaultInjector::new(
+            FaultPlan::new(1)
+                .crash_memory_server(NodeId(8), SimTime::from_millis(40))
+                .crash_memory_server(NodeId(8), SimTime::from_millis(20)),
+        );
+        assert_eq!(inj.memory_server_crash_time(NodeId(8)), Some(SimTime::from_millis(20)));
+        assert_eq!(inj.memory_server_crash_time(NodeId(9)), None);
+        assert!(!inj.memory_server_crashed(NodeId(8), SimTime::from_millis(19)));
+        assert!(inj.memory_server_crashed(NodeId(8), SimTime::from_millis(20)));
+        assert!(inj.memory_server_crashed(NodeId(8), SimTime::from_secs(100)));
+        assert!(!inj.memory_server_crashed(NodeId(9), SimTime::from_secs(100)));
+    }
+
+    #[test]
     fn fault_error_display_and_source() {
         let e = FaultError::LinkDown { node: NodeId(3), at: SimTime::from_millis(1) };
         assert!(e.to_string().contains("node3"));
         let e2 = FaultError::Injected { from: NodeId(0), to: NodeId(4), at: SimTime::ZERO };
         assert!(e2.to_string().contains("node0->node4"));
+        let e3 = FaultError::NodeCrashed { node: NodeId(8), at: SimTime::from_millis(2) };
+        assert!(e3.to_string().contains("node8 crashed"));
         let dyn_err: &dyn std::error::Error = &e;
         assert!(dyn_err.source().is_none());
     }

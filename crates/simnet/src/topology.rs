@@ -295,6 +295,22 @@ impl Fabric {
         };
         loop {
             let now = ctx.now();
+            // A crashed memory server never comes back: fail fast so the
+            // caller can fail over. Crashes only make sense on fallible
+            // (RDMA/SMB) paths — the synchronous baselines do not talk to
+            // memory servers — so an infallible transfer touching a crashed
+            // endpoint is a scenario bug, not something to ride out.
+            let crashed = [from, to].iter().copied().find(|&n| inj.memory_server_crashed(n, now));
+            if let Some(node) = crashed {
+                assert!(
+                    fallible,
+                    "infallible transfer touches crashed memory server {node} at t={} ns",
+                    now.as_nanos()
+                );
+                inj.record_memory_server_crash_hit();
+                ctx.sleep(inj.plan().detection_latency);
+                return Err(FaultError::NodeCrashed { node, at: ctx.now() });
+            }
             // A stalled endpoint delays the transfer for both semantics.
             let stalled = [from, to].iter().filter_map(|&n| inj.stall_until(n, now)).max();
             if let Some(until) = stalled {
@@ -526,6 +542,33 @@ mod tests {
         });
         sim.run();
         assert_eq!(fabric.fault_injector().unwrap().stats().link_down_hits, 1);
+    }
+
+    #[test]
+    fn fallible_transfer_fails_fast_against_crashed_memory_server() {
+        use crate::fault::{FaultError, FaultPlan};
+        use crate::SimTime;
+        let spec = ClusterSpec::paper_testbed(2);
+        let mem = NodeId(spec.gpu_nodes);
+        let plan = FaultPlan::new(1)
+            .crash_memory_server(mem, SimTime::from_millis(5))
+            .with_detection_latency(SimDuration::from_micros(500));
+        let fabric = Fabric::with_faults(spec, plan);
+        let f = fabric.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("w", move |ctx| {
+            // Before the crash the path is clean.
+            assert!(f.fault_check(&ctx, NodeId(0), mem).is_ok());
+            ctx.sleep_until(SimTime::from_millis(5));
+            let err = f.try_net_transfer_stream(&ctx, NodeId(0), mem, 7_000, None).unwrap_err();
+            assert!(matches!(err, FaultError::NodeCrashed { node, .. } if node == mem));
+            // Paid only detection latency; the crash is permanent.
+            assert_eq!(ctx.now(), SimTime::from_millis(5) + SimDuration::from_micros(500));
+            let err2 = f.fault_check(&ctx, mem, NodeId(1)).unwrap_err();
+            assert!(matches!(err2, FaultError::NodeCrashed { node, .. } if node == mem));
+        });
+        sim.run();
+        assert_eq!(fabric.fault_injector().unwrap().stats().memory_server_crash_hits, 2);
     }
 
     #[test]

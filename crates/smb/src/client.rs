@@ -49,13 +49,25 @@ impl SmbBuffer {
     }
 }
 
+/// Where a client's operations land: one fixed server, or a replicated
+/// pair whose active member can change at failover.
+#[derive(Clone)]
+enum Route {
+    Single(SmbServer),
+    Replicated(crate::SmbPair),
+}
+
 /// A worker-side handle to the SMB server, bound to the worker's node.
 ///
 /// All operations charge virtual time: control messages pay the configured
 /// control latency; data movement pays RDMA wire time on the fabric.
+///
+/// Every operation re-resolves the segment's access key from the currently
+/// active server, so a buffer handle stays valid across failover to a
+/// standby (the mirror keeps segments under the same [`ShmKey`]s).
 #[derive(Clone)]
 pub struct SmbClient {
-    server: SmbServer,
+    route: Route,
     local: NodeId,
     stats: Arc<Mutex<ClientFaultStats>>,
 }
@@ -69,7 +81,22 @@ impl fmt::Debug for SmbClient {
 impl SmbClient {
     /// Binds a client on `local` to `server`.
     pub fn new(server: SmbServer, local: NodeId) -> Self {
-        SmbClient { server, local, stats: Arc::new(Mutex::new(ClientFaultStats::default())) }
+        SmbClient {
+            route: Route::Single(server),
+            local,
+            stats: Arc::new(Mutex::new(ClientFaultStats::default())),
+        }
+    }
+
+    /// Binds a client on `local` to a replicated server pair: operations
+    /// go to the pair's active member, and the retrying operations fail
+    /// over to the standby when they observe the primary's crash.
+    pub fn with_failover(pair: crate::SmbPair, local: NodeId) -> Self {
+        SmbClient {
+            route: Route::Replicated(pair),
+            local,
+            stats: Arc::new(Mutex::new(ClientFaultStats::default())),
+        }
     }
 
     /// The node this client runs on.
@@ -84,13 +111,69 @@ impl SmbClient {
         *self.stats.lock()
     }
 
-    /// The server this client talks to.
-    pub fn server(&self) -> &SmbServer {
-        &self.server
+    /// The replicated pair behind this client, if it was built with
+    /// [`SmbClient::with_failover`].
+    pub fn pair(&self) -> Option<&crate::SmbPair> {
+        match &self.route {
+            Route::Single(_) => None,
+            Route::Replicated(pair) => Some(pair),
+        }
     }
 
-    fn control_round_trip(&self, ctx: &SimContext) {
-        let lat = self.server.control_latency();
+    /// The server this client currently talks to (the active member of a
+    /// replicated pair). Control-plane callers (eviction sweeps, stats)
+    /// use this; the data-plane ops below resolve the active server per
+    /// attempt themselves.
+    pub fn server(&self) -> SmbServer {
+        match &self.route {
+            Route::Single(s) => s.clone(),
+            Route::Replicated(pair) => {
+                if pair.promoted() {
+                    pair.standby().clone()
+                } else {
+                    pair.primary().clone()
+                }
+            }
+        }
+    }
+
+    /// The active server for an in-simulation operation. For a replicated
+    /// pair this also joins the promotion stamp (the promote→access
+    /// happens-before edge) into the calling process's clock.
+    ///
+    /// If the primary has crashed and nobody has promoted the standby yet,
+    /// this performs the failover first: plain (non-retrying) operations
+    /// transfer infallibly, so they must never be routed at a dead
+    /// endpoint. The fault-gated retrying attempts use
+    /// [`SmbClient::active_raw`] instead — they *want* to hit the dead
+    /// primary, observe [`FaultError::NodeCrashed`] through the gate (which
+    /// charges the detection latency and the fault/retry accounting), and
+    /// only then fail over.
+    ///
+    /// [`FaultError::NodeCrashed`]: shmcaffe_simnet::fault::FaultError::NodeCrashed
+    fn active(&self, ctx: &SimContext) -> SmbServer {
+        if let Route::Replicated(pair) = &self.route {
+            if pair.primary_crashed(ctx) {
+                pair.fail_over(ctx, self.local);
+            }
+        }
+        self.active_raw(ctx)
+    }
+
+    /// [`SmbClient::active`] without the proactive crash check: routes by
+    /// the pair's current promotion state only.
+    fn active_raw(&self, ctx: &SimContext) -> SmbServer {
+        match &self.route {
+            Route::Single(s) => {
+                let _ = ctx;
+                s.clone()
+            }
+            Route::Replicated(pair) => pair.active_server(ctx),
+        }
+    }
+
+    fn control_round_trip(&self, ctx: &SimContext, server: &SmbServer) {
+        let lat = server.control_latency();
         ctx.sleep(lat + lat);
     }
 
@@ -110,8 +193,9 @@ impl SmbClient {
         elems: usize,
         wire_bytes: Option<u64>,
     ) -> Result<ShmKey, SmbError> {
-        self.control_round_trip(ctx);
-        self.server.create_segment(ctx, name, elems, wire_bytes)
+        let server = self.active(ctx);
+        self.control_round_trip(ctx, &server);
+        server.create_segment(ctx, name, elems, wire_bytes)
     }
 
     /// Requests allocation of the segment named by a broadcast SHM key and
@@ -121,12 +205,13 @@ impl SmbClient {
     ///
     /// Returns [`SmbError::UnknownKey`] for a dead key.
     pub fn alloc(&self, ctx: &SimContext, key: ShmKey) -> Result<SmbBuffer, SmbError> {
-        self.control_round_trip(ctx);
-        let (mr, wire_bytes) = self.server.segment(key)?;
+        let server = self.active(ctx);
+        self.control_round_trip(ctx, &server);
+        let (mr, wire_bytes) = server.segment(key)?;
         // The alloc reply carries the creator's stamp: creation
         // happens-before every access through the returned handle.
         #[cfg(feature = "race-detect")]
-        if let Some(stamp) = self.server.segment_created_stamp(key) {
+        if let Some(stamp) = server.segment_created_stamp(key) {
             ctx.vc_join(&stamp);
         }
         Ok(SmbBuffer { key, mr, wire_bytes })
@@ -139,8 +224,9 @@ impl SmbClient {
     ///
     /// Returns [`SmbError::UnknownKey`] if already freed.
     pub fn free(&self, ctx: &SimContext, buf: SmbBuffer) -> Result<(), SmbError> {
-        self.control_round_trip(ctx);
-        self.server.destroy_segment(buf.key)
+        let server = self.active(ctx);
+        self.control_round_trip(ctx, &server);
+        server.destroy_segment(buf.key)
     }
 
     /// RDMA-reads the whole buffer into `out`, charging the wire time of
@@ -157,22 +243,20 @@ impl SmbClient {
                 got: out.len(),
             });
         }
-        let cfg = self.server.config();
-        let wire = (buf.wire_bytes as f64 * (1.0 + cfg.protocol_overhead)) as u64;
+        let server = self.active(ctx);
+        let cfg = server.config();
+        let (mr, wire_bytes) = server.segment(buf.key)?;
+        let wire = (wire_bytes as f64 * (1.0 + cfg.protocol_overhead)) as u64;
         // Functional copy, zero-time (the wire time is charged below along
         // the full path: server DRAM bus -> server HCA -> client HCA).
         // Stale-tolerant by SEASGD design, hence an atomic read.
         tag_access!(AtomicRead, "smb::client::read", {
-            self.server.rdma().read_wire(ctx, self.local, &buf.mr, 0, out, 0)
+            server.rdma().read_wire(ctx, self.local, &mr, 0, out, 0)
         })?;
-        let fabric = self.server.rdma().fabric();
+        let fabric = server.rdma().fabric();
         shmcaffe_simnet::resource::transfer_path_stream(
             ctx,
-            &[
-                self.server.memory_resource(),
-                fabric.hca_tx(self.server.node()),
-                fabric.hca_rx(self.local),
-            ],
+            &[server.memory_resource(), fabric.hca_tx(server.node()), fabric.hca_rx(self.local)],
             wire,
             Some(cfg.stream_bps),
         );
@@ -193,23 +277,21 @@ impl SmbClient {
                 got: data.len(),
             });
         }
-        let cfg = self.server.config();
-        let wire = (buf.wire_bytes as f64 * (1.0 + cfg.protocol_overhead)) as u64;
+        let server = self.active(ctx);
+        let cfg = server.config();
+        let (mr, wire_bytes) = server.segment(buf.key)?;
+        let wire = (wire_bytes as f64 * (1.0 + cfg.protocol_overhead)) as u64;
         tag_access!(Write, "smb::client::write", {
-            self.server.rdma().write_wire(ctx, self.local, &buf.mr, 0, data, 0)
+            server.rdma().write_wire(ctx, self.local, &mr, 0, data, 0)
         })?;
-        let fabric = self.server.rdma().fabric();
+        let fabric = server.rdma().fabric();
         shmcaffe_simnet::resource::transfer_path_stream(
             ctx,
-            &[
-                fabric.hca_tx(self.local),
-                fabric.hca_rx(self.server.node()),
-                self.server.memory_resource(),
-            ],
+            &[fabric.hca_tx(self.local), fabric.hca_rx(server.node()), server.memory_resource()],
             wire,
             Some(cfg.stream_bps),
         );
-        self.server.bump_version(ctx, buf.key);
+        server.bump_version(ctx, buf.key);
         Ok(())
     }
 
@@ -227,9 +309,11 @@ impl SmbClient {
         offset: usize,
         out: &mut [f32],
     ) -> Result<(), SmbError> {
+        let server = self.active(ctx);
+        let (mr, _) = server.segment(buf.key)?;
         // Progress counters are monotone and stale-tolerant: atomic.
         tag_access!(AtomicRead, "smb::client::read_range", {
-            self.server.rdma().read(ctx, self.local, &buf.mr, offset, out)
+            server.rdma().read(ctx, self.local, &mr, offset, out)
         })?;
         Ok(())
     }
@@ -247,8 +331,10 @@ impl SmbClient {
         offset: usize,
         data: &[f32],
     ) -> Result<(), SmbError> {
+        let server = self.active(ctx);
+        let (mr, _) = server.segment(buf.key)?;
         tag_access!(AtomicWrite, "smb::client::write_range", {
-            self.server.rdma().write(ctx, self.local, &buf.mr, offset, data)
+            server.rdma().write(ctx, self.local, &mr, offset, data)
         })?;
         Ok(())
     }
@@ -266,8 +352,9 @@ impl SmbClient {
         src: &SmbBuffer,
         dst: &SmbBuffer,
     ) -> Result<u64, SmbError> {
-        self.control_round_trip(ctx);
-        self.server.accumulate(ctx, src.key, dst.key)
+        let server = self.active(ctx);
+        self.control_round_trip(ctx, &server);
+        server.accumulate(ctx, src.key, dst.key)
     }
 
     /// Like [`SmbClient::create`], but binds the segment to `owner`'s
@@ -286,40 +373,56 @@ impl SmbClient {
         wire_bytes: Option<u64>,
         owner: usize,
     ) -> Result<ShmKey, SmbError> {
-        self.control_round_trip(ctx);
-        self.server.create_segment_owned(ctx, name, elems, wire_bytes, Some(owner))
+        let server = self.active(ctx);
+        self.control_round_trip(ctx, &server);
+        server.create_segment_owned(ctx, name, elems, wire_bytes, Some(owner))
     }
 
     /// Sends a heartbeat for `owner`, refreshing every lease that rank
     /// holds. One-way control message (no reply needed).
     pub fn heartbeat(&self, ctx: &SimContext, owner: usize) {
-        ctx.sleep(self.server.control_latency());
-        self.server.touch_owner(ctx, owner);
+        let server = self.active(ctx);
+        ctx.sleep(server.control_latency());
+        server.touch_owner(ctx, owner);
+    }
+
+    /// Acknowledges this rank's evictions on the active server, reclaiming
+    /// its tombstones (see [`SmbServer::ack_eviction`]). A rejoining worker
+    /// calls this after reading its [`SmbError::LeaseExpired`] verdicts and
+    /// before re-creating its buffers. Returns the tombstones reclaimed.
+    pub fn ack_eviction(&self, ctx: &SimContext, owner: usize) -> usize {
+        let server = self.active(ctx);
+        self.control_round_trip(ctx, &server);
+        server.ack_eviction(owner)
     }
 
     /// Wraps a fabric fault as [`SmbError::Unavailable`] with the failed
     /// queue pair identified, transitioning that QP to Error so plain RDMA
     /// ops on the pair fail fast until the retry loop re-arms it.
-    fn unavailable(&self, key: ShmKey, fault: FaultError) -> SmbError {
-        self.server.rdma().fault_qp(self.local, self.server.node());
+    fn unavailable(&self, server: &SmbServer, key: ShmKey, fault: FaultError) -> SmbError {
+        server.rdma().fault_qp(self.local, server.node());
         SmbError::Unavailable {
             key,
-            node: self.server.node(),
-            cause: RdmaError::QpFault { local: self.local, remote: self.server.node(), fault },
+            node: server.node(),
+            cause: RdmaError::QpFault { local: self.local, remote: server.node(), fault },
         }
     }
 
     /// Per-stream bandwidth after applying a fault-window degradation cap.
-    fn effective_stream_bps(&self, cap: Option<f64>) -> f64 {
-        let nominal = self.server.config().stream_bps;
+    fn effective_stream_bps(&self, server: &SmbServer, cap: Option<f64>) -> f64 {
+        let nominal = server.config().stream_bps;
         cap.map_or(nominal, |bw| nominal.min(bw))
     }
 
     /// Runs `op` under `policy`: transient failures are retried after a
     /// jittered exponential backoff (virtual-time sleep), re-arming the
-    /// queue pair to the server before each retry. Gives up with
-    /// [`SmbError::Timeout`] once attempts or the cumulative deadline run
-    /// out; non-transient errors pass straight through.
+    /// queue pair to the server before each retry. When an attempt
+    /// observes the server's *crash* (not a transient link fault) and the
+    /// client is bound to a replicated pair, the standby is promoted and
+    /// the queue pair reconnected before the next attempt, which then
+    /// lands on the standby. Gives up with [`SmbError::Timeout`] once
+    /// attempts or the cumulative deadline run out; non-transient errors
+    /// pass straight through.
     fn retrying<T>(
         &self,
         ctx: &SimContext,
@@ -341,7 +444,14 @@ impl SmbClient {
                     }
                     return Ok(v);
                 }
-                Err(e) if e.is_transient() => self.stats.lock().faults += 1,
+                Err(e) if e.is_transient() => {
+                    self.stats.lock().faults += 1;
+                    if e.is_server_crash() {
+                        if let Route::Replicated(pair) = &self.route {
+                            pair.fail_over(ctx, self.local);
+                        }
+                    }
+                }
                 Err(e) => return Err(e),
             }
             if attempts >= policy.max_attempts {
@@ -352,11 +462,12 @@ impl SmbClient {
                 break;
             }
             ctx.sleep(backoff);
-            self.server.rdma().rearm_qp(ctx, self.local, self.server.node());
+            let server = self.active_raw(ctx);
+            server.rdma().rearm_qp(ctx, self.local, server.node());
         }
         Err(SmbError::Timeout {
             key,
-            node: self.server.node(),
+            node: self.active_raw(ctx).node(),
             waited: ctx.now().since(started),
             attempts,
         })
@@ -371,24 +482,22 @@ impl SmbClient {
         buf: &SmbBuffer,
         out: &mut [f32],
     ) -> Result<(), SmbError> {
-        let fabric = self.server.rdma().fabric();
+        let server = self.active_raw(ctx);
+        let fabric = server.rdma().fabric();
         let cap = fabric
-            .fault_check(ctx, self.server.node(), self.local)
-            .map_err(|fault| self.unavailable(buf.key, fault))?;
-        let cfg = self.server.config();
-        let wire = (buf.wire_bytes as f64 * (1.0 + cfg.protocol_overhead)) as u64;
+            .fault_check(ctx, server.node(), self.local)
+            .map_err(|fault| self.unavailable(&server, buf.key, fault))?;
+        let cfg = server.config();
+        let (mr, wire_bytes) = server.segment(buf.key)?;
+        let wire = (wire_bytes as f64 * (1.0 + cfg.protocol_overhead)) as u64;
         tag_access!(AtomicRead, "smb::client::read_retrying", {
-            self.server.rdma().read_wire(ctx, self.local, &buf.mr, 0, out, 0)
+            server.rdma().read_wire(ctx, self.local, &mr, 0, out, 0)
         })?;
         shmcaffe_simnet::resource::transfer_path_stream(
             ctx,
-            &[
-                self.server.memory_resource(),
-                fabric.hca_tx(self.server.node()),
-                fabric.hca_rx(self.local),
-            ],
+            &[server.memory_resource(), fabric.hca_tx(server.node()), fabric.hca_rx(self.local)],
             wire,
-            Some(self.effective_stream_bps(cap)),
+            Some(self.effective_stream_bps(&server, cap)),
         );
         Ok(())
     }
@@ -400,26 +509,24 @@ impl SmbClient {
         buf: &SmbBuffer,
         data: &[f32],
     ) -> Result<(), SmbError> {
-        let fabric = self.server.rdma().fabric();
+        let server = self.active_raw(ctx);
+        let fabric = server.rdma().fabric();
         let cap = fabric
-            .fault_check(ctx, self.local, self.server.node())
-            .map_err(|fault| self.unavailable(buf.key, fault))?;
-        let cfg = self.server.config();
-        let wire = (buf.wire_bytes as f64 * (1.0 + cfg.protocol_overhead)) as u64;
+            .fault_check(ctx, self.local, server.node())
+            .map_err(|fault| self.unavailable(&server, buf.key, fault))?;
+        let cfg = server.config();
+        let (mr, wire_bytes) = server.segment(buf.key)?;
+        let wire = (wire_bytes as f64 * (1.0 + cfg.protocol_overhead)) as u64;
         tag_access!(Write, "smb::client::write_retrying", {
-            self.server.rdma().write_wire(ctx, self.local, &buf.mr, 0, data, 0)
+            server.rdma().write_wire(ctx, self.local, &mr, 0, data, 0)
         })?;
         shmcaffe_simnet::resource::transfer_path_stream(
             ctx,
-            &[
-                fabric.hca_tx(self.local),
-                fabric.hca_rx(self.server.node()),
-                self.server.memory_resource(),
-            ],
+            &[fabric.hca_tx(self.local), fabric.hca_rx(server.node()), server.memory_resource()],
             wire,
-            Some(self.effective_stream_bps(cap)),
+            Some(self.effective_stream_bps(&server, cap)),
         );
-        self.server.bump_version(ctx, buf.key);
+        server.bump_version(ctx, buf.key);
         Ok(())
     }
 
@@ -488,13 +595,116 @@ impl SmbClient {
         dst: &SmbBuffer,
         policy: &RetryPolicy,
     ) -> Result<u64, SmbError> {
-        let fabric = self.server.rdma().fabric();
         self.retrying(ctx, src.key, policy, |ctx| {
-            fabric
-                .fault_check(ctx, self.local, self.server.node())
-                .map_err(|fault| self.unavailable(src.key, fault))?;
-            self.control_round_trip(ctx);
-            self.server.accumulate(ctx, src.key, dst.key)
+            let server = self.active_raw(ctx);
+            server
+                .rdma()
+                .fabric()
+                .fault_check(ctx, self.local, server.node())
+                .map_err(|fault| self.unavailable(&server, src.key, fault))?;
+            self.control_round_trip(ctx, &server);
+            server.accumulate(ctx, src.key, dst.key)
+        })
+    }
+
+    /// Writes a checkpoint buffer under `policy`, tagged as an *atomic*
+    /// (seqlock-style versioned) publication. Unlike a SEASGD weight
+    /// write, a checkpoint write and a rejoining worker's checkpoint read
+    /// have **no** happens-before edge — the rejoiner discovers the
+    /// checkpoint through the replicated segment catalog, not through a
+    /// message from the writer — so both sides must use the versioned
+    /// (atomic) protocol to stay race-free by design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmbError::SizeMismatch`] immediately for a bad slice;
+    /// [`SmbError::Timeout`] when the policy's attempts/deadline run out.
+    pub fn checkpoint_write(
+        &self,
+        ctx: &SimContext,
+        buf: &SmbBuffer,
+        data: &[f32],
+        policy: &RetryPolicy,
+    ) -> Result<(), SmbError> {
+        if data.len() != buf.len() {
+            return Err(SmbError::SizeMismatch {
+                key: buf.key,
+                expected: buf.len(),
+                got: data.len(),
+            });
+        }
+        self.retrying(ctx, buf.key, policy, |ctx| {
+            let server = self.active_raw(ctx);
+            let fabric = server.rdma().fabric();
+            let cap = fabric
+                .fault_check(ctx, self.local, server.node())
+                .map_err(|fault| self.unavailable(&server, buf.key, fault))?;
+            let cfg = server.config();
+            let (mr, wire_bytes) = server.segment(buf.key)?;
+            let wire = (wire_bytes as f64 * (1.0 + cfg.protocol_overhead)) as u64;
+            tag_access!(AtomicWrite, "smb::client::checkpoint_write", {
+                server.rdma().write_wire(ctx, self.local, &mr, 0, data, 0)
+            })?;
+            shmcaffe_simnet::resource::transfer_path_stream(
+                ctx,
+                &[
+                    fabric.hca_tx(self.local),
+                    fabric.hca_rx(server.node()),
+                    server.memory_resource(),
+                ],
+                wire,
+                Some(self.effective_stream_bps(&server, cap)),
+            );
+            server.bump_version(ctx, buf.key);
+            Ok(())
+        })
+    }
+
+    /// Reads a checkpoint buffer under `policy` with the atomic
+    /// (versioned) protocol — the read side of
+    /// [`SmbClient::checkpoint_write`], used by rejoining workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmbError::SizeMismatch`] immediately for a bad slice;
+    /// [`SmbError::Timeout`] when the policy's attempts/deadline run out.
+    pub fn checkpoint_read(
+        &self,
+        ctx: &SimContext,
+        buf: &SmbBuffer,
+        out: &mut [f32],
+        policy: &RetryPolicy,
+    ) -> Result<(), SmbError> {
+        if out.len() != buf.len() {
+            return Err(SmbError::SizeMismatch {
+                key: buf.key,
+                expected: buf.len(),
+                got: out.len(),
+            });
+        }
+        self.retrying(ctx, buf.key, policy, |ctx| {
+            let server = self.active_raw(ctx);
+            let fabric = server.rdma().fabric();
+            let cap = fabric
+                .fault_check(ctx, server.node(), self.local)
+                .map_err(|fault| self.unavailable(&server, buf.key, fault))?;
+            let cfg = server.config();
+            let (mr, wire_bytes) = server.segment(buf.key)?;
+            let wire = (wire_bytes as f64 * (1.0 + cfg.protocol_overhead)) as u64;
+            tag_access!(AtomicRead, "smb::client::checkpoint_read", {
+                server.rdma().read_wire(ctx, self.local, &mr, 0, out, 0)
+            })?;
+            shmcaffe_simnet::resource::transfer_path_stream(
+                ctx,
+                &[
+                    server.memory_resource(),
+                    fabric.hca_tx(server.node()),
+                    fabric.hca_rx(self.local),
+                ],
+                wire,
+                Some(self.effective_stream_bps(&server, cap)),
+            );
+            Ok(())
         })
     }
 }
@@ -708,6 +918,100 @@ mod tests {
         });
         sim.run();
         assert_eq!(server.segment_count(), 1);
+    }
+
+    #[test]
+    fn tombstones_are_bounded_by_horizon_and_ack() {
+        use shmcaffe_simnet::SimDuration;
+        let rdma = RdmaFabric::new(Fabric::new(ClusterSpec::paper_testbed(1)));
+        let cfg = crate::SmbServerConfig {
+            lease_timeout: SimDuration::from_millis(50),
+            tombstone_horizon: SimDuration::from_millis(300),
+            ..Default::default()
+        };
+        let server = SmbServer::with_config(rdma, cfg).unwrap();
+        let s = server.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("supervisor", move |ctx| {
+            let client = SmbClient::new(s.clone(), NodeId(0));
+            client.create_owned(&ctx, "dw_1", 4, None, 1).unwrap();
+            client.create_owned(&ctx, "dw_2", 4, None, 2).unwrap();
+            ctx.sleep(SimDuration::from_millis(100));
+            assert_eq!(s.evict_stale(&ctx).len(), 2);
+            assert_eq!(s.tombstone_count(), 2);
+            // Rank 1 rejoins and acks its eviction: its tombstone goes now.
+            assert_eq!(client.ack_eviction(&ctx, 1), 1);
+            assert_eq!(s.tombstone_count(), 1);
+            assert_eq!(client.ack_eviction(&ctx, 1), 0, "ack is idempotent");
+            // Rank 2 never acks; the horizon reclaims its tombstone on a
+            // later sweep instead of letting it grow without bound.
+            ctx.sleep(SimDuration::from_millis(400));
+            s.evict_stale(&ctx);
+            assert_eq!(s.tombstone_count(), 0);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn retrying_ops_fail_over_to_standby_after_primary_crash() {
+        use shmcaffe_simnet::fault::FaultPlan;
+        use shmcaffe_simnet::SimTime;
+        let spec = ClusterSpec { memory_servers: 2, ..ClusterSpec::paper_testbed(1) };
+        let primary_node = NodeId(spec.gpu_nodes);
+        let plan = FaultPlan::new(21).crash_memory_server(primary_node, SimTime::from_millis(5));
+        let rdma = RdmaFabric::new(Fabric::with_faults(spec, plan));
+        let pair = crate::SmbPair::new(rdma, crate::SmbServerConfig::default()).unwrap();
+        let p = pair.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("w", move |ctx| {
+            let client = SmbClient::with_failover(p.clone(), NodeId(0));
+            let policy = RetryPolicy::with_seed(21);
+            let key = client.create(&ctx, "wg", 4, None).unwrap();
+            let buf = client.alloc(&ctx, key).unwrap();
+            client.write_retrying(&ctx, &buf, &[1.0; 4], &policy).unwrap();
+            p.replicate(&ctx).unwrap();
+            // Jump past the crash: the next attempt observes NodeCrashed,
+            // promotes the standby and lands the write there.
+            ctx.sleep_until(SimTime::from_millis(6));
+            assert!(!p.promoted());
+            client.write_retrying(&ctx, &buf, &[2.0; 4], &policy).unwrap();
+            assert!(p.promoted(), "crash observation triggered failover");
+            // The same handle keeps working: reads resolve the mirrored
+            // segment on the standby under the original ShmKey.
+            let mut out = [0.0f32; 4];
+            client.read_retrying(&ctx, &buf, &mut out, &policy).unwrap();
+            assert_eq!(out, [2.0; 4]);
+            assert_eq!(client.server().node(), p.standby().node());
+            // The QP was reconnected to the standby.
+            let rdma = p.primary().rdma();
+            assert_eq!(rdma.qp_state(NodeId(0), p.standby().node()), shmcaffe_rdma::QpState::Ready);
+            assert_eq!(rdma.qp_state(NodeId(0), p.primary().node()), shmcaffe_rdma::QpState::Error);
+            let fs = client.fault_stats();
+            assert!(fs.faults >= 1 && fs.retries >= 1, "{fs:?}");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_through_versioned_protocol() {
+        let server = setup(1);
+        let s = server.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("w", move |ctx| {
+            let client = SmbClient::new(s, NodeId(0));
+            let policy = RetryPolicy::with_seed(3);
+            let key = client.create(&ctx, "ckpt", 4, None).unwrap();
+            let buf = client.alloc(&ctx, key).unwrap();
+            client.checkpoint_write(&ctx, &buf, &[9.0, 8.0, 7.0, 6.0], &policy).unwrap();
+            let mut out = [0.0f32; 4];
+            client.checkpoint_read(&ctx, &buf, &mut out, &policy).unwrap();
+            assert_eq!(out, [9.0, 8.0, 7.0, 6.0]);
+            assert!(matches!(
+                client.checkpoint_write(&ctx, &buf, &[0.0; 2], &policy),
+                Err(SmbError::SizeMismatch { .. })
+            ));
+        });
+        sim.run();
     }
 
     fn setup_faulty(nodes: usize, plan: shmcaffe_simnet::fault::FaultPlan) -> SmbServer {

@@ -140,6 +140,25 @@ impl SmbError {
             _ => false,
         }
     }
+
+    /// Whether this error means the server endpoint itself has permanently
+    /// crashed (as opposed to a transient link fault). Retrying against
+    /// the same endpoint can never succeed; a replicated client fails over
+    /// to the standby instead (see [`crate::SmbPair`]).
+    pub fn is_server_crash(&self) -> bool {
+        let cause = match self {
+            SmbError::Unavailable { cause, .. } => cause,
+            SmbError::Rdma(e) => e,
+            _ => return false,
+        };
+        matches!(
+            cause,
+            RdmaError::QpFault {
+                fault: shmcaffe_simnet::fault::FaultError::NodeCrashed { .. },
+                ..
+            }
+        )
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +185,28 @@ mod tests {
         let src = e.source().expect("source chained");
         assert!(src.to_string().contains("node9"));
         assert!(e.to_string().contains("shm:2"));
+    }
+
+    #[test]
+    fn server_crash_classification() {
+        use shmcaffe_simnet::fault::FaultError;
+        use shmcaffe_simnet::SimTime;
+        let crash = FaultError::NodeCrashed { node: NodeId(4), at: SimTime::ZERO };
+        let e = SmbError::Unavailable {
+            key: ShmKey(1),
+            node: NodeId(4),
+            cause: RdmaError::QpFault { local: NodeId(0), remote: NodeId(4), fault: crash },
+        };
+        assert!(e.is_server_crash());
+        assert!(e.is_transient(), "crash is still retried — the retry loop fails over");
+        let link = FaultError::LinkDown { node: NodeId(4), at: SimTime::ZERO };
+        let e2 = SmbError::Unavailable {
+            key: ShmKey(1),
+            node: NodeId(4),
+            cause: RdmaError::QpFault { local: NodeId(0), remote: NodeId(4), fault: link },
+        };
+        assert!(!e2.is_server_crash());
+        assert!(!SmbError::NoMemoryServer.is_server_crash());
     }
 
     #[test]

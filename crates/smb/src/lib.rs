@@ -49,6 +49,7 @@
 mod client;
 mod error;
 pub mod progress;
+mod replica;
 mod retry;
 mod server;
 pub mod sharded;
@@ -76,6 +77,7 @@ pub(crate) use tag_access;
 
 pub use client::{ClientFaultStats, SmbBuffer, SmbClient};
 pub use error::SmbError;
+pub use replica::{ServerRole, SmbPair};
 pub use retry::RetryPolicy;
 pub use server::{ShmKey, SmbServer, SmbServerConfig};
 pub use sharded::{ShardedBuffer, ShardedClient, ShardedKey, SmbCluster};

@@ -52,6 +52,13 @@ pub struct SmbServerConfig {
     /// stop heartbeating, so their ΔW segments are evicted and survivors
     /// keep training (crash-tolerant SEASGD).
     pub lease_timeout: SimDuration,
+    /// How long an eviction tombstone is kept after the lease expired.
+    /// Tombstones let lookups of a reclaimed key report
+    /// [`SmbError::LeaseExpired`] instead of a bare unknown key; they are
+    /// garbage-collected once the lapsed owner acknowledges the eviction
+    /// ([`SmbServer::ack_eviction`]) or after this horizon, whichever comes
+    /// first, so the table stays bounded over long runs.
+    pub tombstone_horizon: SimDuration,
 }
 
 impl Default for SmbServerConfig {
@@ -62,6 +69,7 @@ impl Default for SmbServerConfig {
             stream_bps: 1.5e9,
             protocol_overhead: 0.045,
             lease_timeout: SimDuration::from_millis(500),
+            tombstone_horizon: SimDuration::from_secs(10),
         }
     }
 }
@@ -95,6 +103,17 @@ struct Lease {
     stamp: shmcaffe_simnet::race::VectorClock,
 }
 
+/// Marker left behind when a lease expires, so later lookups of the dead
+/// key can report *why* it vanished. Bounded: reaped by
+/// [`SmbServer::ack_eviction`] or after
+/// [`SmbServerConfig::tombstone_horizon`].
+#[derive(Debug, Clone, Copy)]
+struct Tombstone {
+    owner: usize,
+    /// When the eviction happened (starts the GC horizon).
+    at: SimTime,
+}
+
 // All five tables are BTreeMaps, not HashMaps: eviction scans iterate
 // `leases`, notification fan-out iterates `subscribers`, and Debug/teardown
 // paths iterate the rest, so iteration order must be deterministic.
@@ -112,8 +131,9 @@ struct ServerInner {
     leases: Mutex<BTreeMap<ShmKey, Lease>>,
     /// Keys reclaimed by lease expiry, with the lapsed owner — lookups of
     /// these report [`SmbError::LeaseExpired`] rather than a bare unknown
-    /// key, so survivors learn *why* a peer's buffer vanished.
-    evicted: Mutex<BTreeMap<ShmKey, usize>>,
+    /// key, so survivors learn *why* a peer's buffer vanished. Bounded by
+    /// acknowledgement and the tombstone horizon (see [`Tombstone`]).
+    evicted: Mutex<BTreeMap<ShmKey, Tombstone>>,
 }
 
 /// The SMB server: a segment table over the memory server's RAM plus the
@@ -320,7 +340,7 @@ impl SmbServer {
     /// if the server evicted it, otherwise [`SmbError::UnknownKey`].
     fn missing(&self, key: ShmKey) -> SmbError {
         match self.inner.evicted.lock().get(&key) {
-            Some(&owner) => SmbError::LeaseExpired { key, owner, node: self.inner.node },
+            Some(t) => SmbError::LeaseExpired { key, owner: t.owner, node: self.inner.node },
             None => SmbError::UnknownKey { key, node: self.inner.node },
         }
     }
@@ -396,12 +416,35 @@ impl SmbServer {
         let mut evicted = Vec::new();
         for (key, owner) in stale {
             if self.destroy_segment(key).is_ok() {
-                self.inner.evicted.lock().insert(key, owner);
+                self.inner.evicted.lock().insert(key, Tombstone { owner, at: now });
                 evicted.push(key);
             }
         }
+        // Bounded tombstone GC: anything older than the horizon no longer
+        // needs a LeaseExpired explanation — every interested party has had
+        // ample time to observe it.
+        let horizon = self.inner.config.tombstone_horizon;
+        self.inner.evicted.lock().retain(|_, t| now.since(t.at) <= horizon);
         evicted.sort();
         evicted
+    }
+
+    /// Drops every tombstone naming `owner`: the lapsed owner (or whoever
+    /// acts for it) has observed its [`SmbError::LeaseExpired`] evictions,
+    /// so the markers are no longer needed. A rejoining worker calls this
+    /// (via [`crate::SmbClient::ack_eviction`]) before re-creating its
+    /// buffers. Returns how many tombstones were reclaimed.
+    pub fn ack_eviction(&self, owner: usize) -> usize {
+        let mut evicted = self.inner.evicted.lock();
+        let before = evicted.len();
+        evicted.retain(|_, t| t.owner != owner);
+        before - evicted.len()
+    }
+
+    /// Number of eviction tombstones currently held (bounded by
+    /// [`SmbServer::ack_eviction`] and the tombstone horizon).
+    pub fn tombstone_count(&self) -> usize {
+        self.inner.evicted.lock().len()
     }
 
     /// Server-side accumulate: `dst += src` between two segments (paper
@@ -505,4 +548,134 @@ impl SmbServer {
         self.inner.subscribers.lock().entry(key).or_default().push(ch.clone());
         ch
     }
+
+    // ---- replication support (see `crate::replica`) -----------------------
+
+    /// Metadata snapshot of every live segment — the journal a replicator
+    /// ships to the standby alongside the contents.
+    pub(crate) fn segment_catalog(&self) -> Vec<SegmentMeta> {
+        self.inner
+            .segments
+            .lock()
+            .iter()
+            .map(|(&key, seg)| SegmentMeta {
+                key,
+                name: seg.name.clone(),
+                len: seg.mr.len,
+                wire_bytes: seg.wire_bytes,
+                version: seg.version,
+                #[cfg(feature = "race-detect")]
+                created: seg.created.clone(),
+            })
+            .collect()
+    }
+
+    /// Installs (or refreshes) a mirrored segment under the *same* key it
+    /// has on the primary, so client handles survive failover unchanged.
+    /// Returns this server's backing region for the replicator to copy
+    /// contents into.
+    pub(crate) fn install_replica_segment(
+        &self,
+        meta: &SegmentMeta,
+    ) -> Result<MemoryRegion, SmbError> {
+        let mut segments = self.inner.segments.lock();
+        if let Some(seg) = segments.get_mut(&meta.key) {
+            seg.version = meta.version;
+            return Ok(seg.mr);
+        }
+        let mr = self.inner.rdma.register(self.inner.node, meta.len)?;
+        segments.insert(
+            meta.key,
+            Segment {
+                mr,
+                wire_bytes: meta.wire_bytes,
+                name: meta.name.clone(),
+                version: meta.version,
+                #[cfg(feature = "race-detect")]
+                created: meta.created.clone(),
+            },
+        );
+        self.inner.names.lock().insert(meta.name.clone(), meta.key);
+        // Keep the key allocator ahead of every mirrored key so segments
+        // created *after* promotion cannot collide.
+        let mut next = self.inner.next_key.lock();
+        *next = (*next).max(meta.key.0 + 1);
+        Ok(mr)
+    }
+
+    /// Drops a mirrored segment that no longer exists on the primary
+    /// (e.g. evicted there between replication passes).
+    pub(crate) fn drop_replica_segment(&self, key: ShmKey) {
+        let _ = self.destroy_segment(key);
+    }
+
+    /// Snapshot of the lease table for mirroring.
+    pub(crate) fn lease_catalog(&self) -> Vec<LeaseMeta> {
+        self.inner
+            .leases
+            .lock()
+            .iter()
+            .map(|(&key, l)| LeaseMeta {
+                key,
+                owner: l.owner,
+                last_heartbeat: l.last_heartbeat,
+                #[cfg(feature = "race-detect")]
+                stamp: l.stamp.clone(),
+            })
+            .collect()
+    }
+
+    /// Replaces this server's lease table with a mirrored snapshot.
+    pub(crate) fn set_leases(&self, leases: Vec<LeaseMeta>) {
+        let mut table = self.inner.leases.lock();
+        table.clear();
+        for l in leases {
+            table.insert(
+                l.key,
+                Lease {
+                    owner: l.owner,
+                    last_heartbeat: l.last_heartbeat,
+                    #[cfg(feature = "race-detect")]
+                    stamp: l.stamp,
+                },
+            );
+        }
+    }
+
+    /// Snapshot of the eviction tombstones for mirroring.
+    pub(crate) fn tombstone_catalog(&self) -> Vec<(ShmKey, usize, SimTime)> {
+        self.inner.evicted.lock().iter().map(|(&k, t)| (k, t.owner, t.at)).collect()
+    }
+
+    /// Replaces this server's tombstone table with a mirrored snapshot.
+    pub(crate) fn set_tombstones(&self, tombstones: Vec<(ShmKey, usize, SimTime)>) {
+        let mut table = self.inner.evicted.lock();
+        table.clear();
+        for (key, owner, at) in tombstones {
+            table.insert(key, Tombstone { owner, at });
+        }
+    }
+}
+
+/// One segment's replication metadata (the "journal entry" shipped to the
+/// standby ahead of the contents).
+#[derive(Debug, Clone)]
+pub(crate) struct SegmentMeta {
+    pub(crate) key: ShmKey,
+    pub(crate) name: String,
+    pub(crate) len: usize,
+    pub(crate) wire_bytes: u64,
+    pub(crate) version: u64,
+    #[cfg(feature = "race-detect")]
+    pub(crate) created: shmcaffe_simnet::race::VectorClock,
+}
+
+/// One lease's replication metadata.
+#[derive(Debug, Clone)]
+pub(crate) struct LeaseMeta {
+    pub(crate) key: ShmKey,
+    pub(crate) owner: usize,
+    pub(crate) last_heartbeat: SimTime,
+    #[cfg(feature = "race-detect")]
+    pub(crate) stamp: shmcaffe_simnet::race::VectorClock,
 }

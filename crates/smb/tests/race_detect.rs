@@ -12,7 +12,7 @@ use shmcaffe_rdma::RdmaFabric;
 use shmcaffe_simnet::channel::SimChannel;
 use shmcaffe_simnet::topology::{ClusterSpec, Fabric, NodeId};
 use shmcaffe_simnet::Simulation;
-use shmcaffe_smb::{ShmKey, SmbClient, SmbServer};
+use shmcaffe_smb::{RetryPolicy, ShmKey, SmbClient, SmbPair, SmbServer, SmbServerConfig};
 
 fn setup(nodes: usize) -> SmbServer {
     let rdma = RdmaFabric::new(Fabric::new(ClusterSpec::paper_testbed(nodes)));
@@ -128,6 +128,129 @@ fn synchronized_accumulate_after_write_is_race_free() {
     // halt_on_race defaults to true: any report would fail sim.run().
     sim.run();
     assert!(server.rdma().race_detector().reports().is_empty());
+}
+
+/// The full failover path under the halting detector: a worker keeps
+/// writing W_g while the replicator mirrors it to the standby, the primary
+/// crashes mid-training, and the worker fails over and continues against
+/// the standby. The replicate→promote→access happens-before chain (the
+/// replicator stamps each pass, promotion joins that stamp, and every
+/// post-promotion access joins the promotion stamp) keeps the replicator's
+/// plain writes into standby regions ordered before every client access —
+/// so the run must stay silent.
+#[test]
+fn failover_with_promotion_edges_is_race_free() {
+    use shmcaffe_simnet::fault::FaultPlan;
+    use shmcaffe_simnet::{SimDuration, SimTime};
+    let spec = ClusterSpec { memory_servers: 2, ..ClusterSpec::paper_testbed(2) };
+    let primary_node = NodeId(spec.gpu_nodes);
+    let plan = FaultPlan::new(17).crash_memory_server(primary_node, SimTime::from_millis(10));
+    let rdma = RdmaFabric::new(Fabric::with_faults(spec, plan));
+    let pair = SmbPair::new(rdma.clone(), SmbServerConfig::default()).unwrap();
+
+    let to_worker = SimChannel::<ShmKey>::new("wg_key");
+    let mut sim = Simulation::new();
+    {
+        let p = pair.clone();
+        let to_worker = to_worker.clone();
+        sim.spawn("master", move |ctx| {
+            let client = SmbClient::with_failover(p, NodeId(0));
+            let key = client.create(&ctx, "W_g", 8, None).unwrap();
+            let buf = client.alloc(&ctx, key).unwrap();
+            client.write(&ctx, &buf, &[0.0; 8]).unwrap();
+            to_worker.send(&ctx, key);
+        });
+    }
+    {
+        let p = pair.clone();
+        sim.spawn("replicator", move |ctx| {
+            p.run_replicator(&ctx, SimDuration::from_millis(2));
+        });
+    }
+    {
+        let p = pair.clone();
+        sim.spawn("worker", move |ctx| {
+            let key = to_worker.recv(&ctx);
+            let client = SmbClient::with_failover(p.clone(), NodeId(1));
+            let policy = RetryPolicy::with_seed(17);
+            let buf = client.alloc(&ctx, key).unwrap();
+            let mut step = 0.0f32;
+            while ctx.now() < SimTime::from_millis(20) {
+                step += 1.0;
+                client.write_retrying(&ctx, &buf, &[step; 8], &policy).unwrap();
+                ctx.sleep(SimDuration::from_millis(1));
+            }
+            assert!(p.promoted(), "the crash must have forced failover");
+            let mut out = [0.0f32; 8];
+            client.read_retrying(&ctx, &buf, &mut out, &policy).unwrap();
+            assert_eq!(out, [step; 8]);
+        });
+    }
+    // halt_on_race defaults to true: any report would fail sim.run().
+    sim.run();
+    assert!(pair.primary().rdma().race_detector().reports().is_empty());
+    assert!(pair.epoch() >= 1, "at least one pass replicated before the crash");
+}
+
+/// Seeded missing-edge companion: a client that reaches the standby
+/// *directly* — skipping `active_server`'s promotion join, i.e. without the
+/// promote→access edge — is concurrent with the replicator's plain write
+/// into the mirrored region. The detector must catch exactly that pair,
+/// naming the replication apply site.
+#[test]
+fn seeded_standby_access_without_promotion_edge_is_caught() {
+    use shmcaffe_simnet::SimTime;
+    let spec = ClusterSpec { memory_servers: 2, ..ClusterSpec::paper_testbed(2) };
+    let rdma = RdmaFabric::new(Fabric::new(spec));
+    let pair = SmbPair::new(rdma.clone(), SmbServerConfig::default()).unwrap();
+    rdma.race_detector().set_halt_on_race(false);
+
+    let to_repl = SimChannel::<ShmKey>::new("key_to_repl");
+    let to_rogue = SimChannel::<ShmKey>::new("key_to_rogue");
+    let mut sim = Simulation::new();
+    {
+        let p = pair.clone();
+        let (to_repl, to_rogue) = (to_repl.clone(), to_rogue.clone());
+        sim.spawn("master", move |ctx| {
+            let client = SmbClient::with_failover(p, NodeId(0));
+            let key = client.create(&ctx, "W_g", 8, None).unwrap();
+            let buf = client.alloc(&ctx, key).unwrap();
+            client.write(&ctx, &buf, &[1.0; 8]).unwrap();
+            to_repl.send(&ctx, key);
+            to_rogue.send(&ctx, key);
+        });
+    }
+    {
+        let p = pair.clone();
+        sim.spawn("replicator", move |ctx| {
+            to_repl.recv(&ctx);
+            p.replicate(&ctx).unwrap();
+        });
+    }
+    {
+        let p = pair.clone();
+        sim.spawn("rogue", move |ctx| {
+            let key = to_rogue.recv(&ctx);
+            // Wait (in sim time only — deliberately no channel, which would
+            // create the very happens-before edge this test omits) until
+            // the replication pass has installed the mirror.
+            ctx.sleep_until(SimTime::from_millis(50));
+            // Bind straight to the standby, bypassing the pair's routing
+            // and its promotion join.
+            let client = SmbClient::new(p.standby().clone(), NodeId(1));
+            let buf = client.alloc(&ctx, key).unwrap();
+            client.write(&ctx, &buf, &[2.0; 8]).unwrap();
+        });
+    }
+    sim.run();
+
+    let reports = rdma.race_detector().reports();
+    assert_eq!(reports.len(), 1, "exactly one race expected, got {reports:#?}");
+    let r = &reports[0];
+    let mut sites = [r.earlier_site, r.later_site];
+    sites.sort_unstable();
+    assert_eq!(sites, ["smb::client::write", "smb::replica::apply"]);
+    assert_ne!(r.earlier_pid, r.later_pid);
 }
 
 /// Two engine-serialized accumulates from unsynchronized workers are

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 gate: the full workspace test suite plus a zero-warning clippy
-# pass. The chaos/fault tests are part of the default profile and are
-# sized to keep the whole run fast (the chaos integration test itself
-# completes in well under a second of real time).
+# pass. The chaos/fault/failover tests are part of the default profile and
+# are sized to keep the whole run fast (the chaos and memory-server
+# failover integration tests each complete in well under a second of real
+# time).
 #
 # The suite runs twice — once with SHMCAFFE_THREADS=1 and once with
 # SHMCAFFE_THREADS=4 — because the compute backend dispatches onto a
@@ -35,7 +36,7 @@ if [ "$sum1" != "$sum4" ]; then
     exit 1
 fi
 
-echo "== race detector: SMB seeded-race + SEASGD/chaos under race-detect =="
+echo "== race detector: SMB seeded-race/failover + SEASGD chaos/failover =="
 cargo test -q -p shmcaffe-smb --features race-detect
 cargo test -q -p shmcaffe --features race-detect
 cargo test -q -p shmcaffe-simnet --features race-detect
