@@ -47,6 +47,13 @@ pub const RULE_FLOAT_REDUCTION: &str = "float-reduction";
 pub const RULE_UNSAFE_CODE: &str = "unsafe-code";
 /// Rule: every crate root carries the workspace unsafe policy attribute.
 pub const RULE_UNSAFE_POLICY: &str = "unsafe-policy";
+/// Rule: no `.unwrap()`/`.expect(` in the `smb`/`rdma` data plane. These
+/// crates sit under fault injection — partitions, fencing rejections, and
+/// crashes are *expected* there, and a panic turns a recoverable fault
+/// into a dead worker. Errors must flow through `SmbError`/`RdmaError`.
+/// Test modules (everything at and below the first `#[cfg(test)]`) are
+/// exempt: a test asserting on a live segment may unwrap.
+pub const RULE_DATA_PLANE_PANIC: &str = "data-plane-panic";
 
 /// All content rule identifiers, for allowlist validation.
 pub const ALL_RULES: &[&str] = &[
@@ -56,6 +63,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_FLOAT_REDUCTION,
     RULE_UNSAFE_CODE,
     RULE_UNSAFE_POLICY,
+    RULE_DATA_PLANE_PANIC,
 ];
 
 /// The bench crate measures real hardware: wall clocks, OS entropy and
@@ -83,6 +91,14 @@ fn banned_words(rule: &'static str) -> &'static [&'static str] {
 const FLOAT_REDUCTIONS: &[&str] =
     &[".sum::<f32>()", ".sum::<f64>()", ".product::<f32>()", ".product::<f64>()"];
 
+/// Substring needles for the data-plane-panic rule. `.unwrap()` is exact
+/// (so `.unwrap_or(..)` and friends stay legal); `.expect(` catches every
+/// message variant without matching `.expect_err(`.
+const DATA_PLANE_PANICS: &[&str] = &[".unwrap()", ".expect("];
+
+/// Crates whose `src/` trees form the fault-injected data plane.
+const DATA_PLANE_PREFIXES: &[&str] = &["crates/smb/src/", "crates/rdma/src/"];
+
 fn rule_applies(rule: &'static str, path: &str) -> bool {
     if path.starts_with(BENCH_PREFIX) {
         // Only the unsafe policy reaches into bench.
@@ -106,8 +122,26 @@ pub fn scan_file(path: &str, source: &str) -> Vec<Violation> {
         original_lines.get(lineno - 1).map(|l| l.trim().to_string()).unwrap_or_default()
     };
 
+    // The data-plane-panic rule stops at the first `#[cfg(test)]`: this
+    // workspace keeps test modules at the bottom of each source file, so
+    // everything from that attribute on is test code.
+    let data_plane = DATA_PLANE_PREFIXES.iter().any(|p| path.starts_with(p));
+    let first_test_line =
+        code.lines().position(|l| l.contains("#[cfg(test)]")).map_or(usize::MAX, |idx| idx + 1);
+
     for (idx, line) in code.lines().enumerate() {
         let lineno = idx + 1;
+        if data_plane
+            && lineno < first_test_line
+            && DATA_PLANE_PANICS.iter().any(|pat| line.contains(pat))
+        {
+            out.push(Violation {
+                rule: RULE_DATA_PLANE_PANIC,
+                path: path.to_string(),
+                line: lineno,
+                excerpt: excerpt(lineno),
+            });
+        }
         for &rule in &[RULE_HASH_COLLECTIONS, RULE_AMBIENT_TIME, RULE_AMBIENT_RNG, RULE_UNSAFE_CODE]
         {
             if !rule_applies(rule, path) {
@@ -281,6 +315,35 @@ mod tests {
     #[test]
     fn integer_sum_is_fine() {
         assert!(scan_file("crates/dnn/src/x.rs", "let n = xs.iter().sum::<u64>();\n").is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_data_plane_fires() {
+        let vs = scan_file("crates/smb/src/x.rs", "let v = map.get(&k).unwrap();\n");
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rule, RULE_DATA_PLANE_PANIC);
+        let vs = scan_file("crates/rdma/src/x.rs", "let mr = regions.get(&k).expect(\"mr\");\n");
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rule, RULE_DATA_PLANE_PANIC);
+        // Fallible combinators and expect_err stay legal.
+        assert!(scan_file("crates/smb/src/x.rs", "let v = m.get(&k).unwrap_or(0);\n").is_empty());
+        assert!(scan_file("crates/smb/src/x.rs", "let e = r.expect_err(\"no\");\n").is_empty());
+        // Comment and string look-alikes do not fire.
+        assert!(scan_file("crates/smb/src/x.rs", "// never .unwrap() here\n").is_empty());
+    }
+
+    #[test]
+    fn unwrap_below_cfg_test_or_outside_data_plane_is_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { r().unwrap(); }\n}\n";
+        assert!(scan_file("crates/smb/src/x.rs", src).is_empty());
+        // Other crates and the data-plane crates' test trees are out of scope.
+        assert!(scan_file("crates/dnn/src/x.rs", "x.unwrap();\n").is_empty());
+        assert!(scan_file("crates/smb/tests/x.rs", "x.unwrap();\n").is_empty());
+        // Code *above* the test module is still checked.
+        let above = "fn f() { r().unwrap(); }\n#[cfg(test)]\nmod tests {}\n";
+        let vs = scan_file("crates/smb/src/x.rs", above);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].line, 1);
     }
 
     #[test]

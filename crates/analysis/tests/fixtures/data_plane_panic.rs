@@ -1,0 +1,36 @@
+//! Fixture for the `data-plane-panic` rule: one genuine `.unwrap()` and one
+//! genuine `.expect(` in non-test code, surrounded by look-alikes that must
+//! NOT fire — comments, string literals, fallible combinators, and a
+//! `#[cfg(test)]` module full of unwraps.
+
+use std::collections::BTreeMap;
+
+/// Comment look-alike: never call .unwrap() on a data-plane result.
+pub fn resolve(map: &BTreeMap<u64, u32>, key: u64) -> u32 {
+    let banner = "string look-alike: .unwrap() and .expect( stay quiet here";
+    let _ = banner;
+    let rkey = map.get(&key).unwrap();
+    *rkey
+}
+
+pub fn resolve_or_die(map: &BTreeMap<u64, u32>, key: u64) -> u32 {
+    *map.get(&key).expect("rkey registered before use")
+}
+
+/// Fallible combinators are the sanctioned escape hatch.
+pub fn resolve_soft(map: &BTreeMap<u64, u32>, key: u64) -> u32 {
+    map.get(&key).copied().unwrap_or(0)
+}
+
+pub fn must_fail(r: Result<u32, String>) -> String {
+    r.expect_err("fixture: failure is the expected outcome")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_exempt() {
+        let map = super::BTreeMap::from([(1u64, 7u32)]);
+        assert_eq!(map.get(&1).copied().ok_or(()).unwrap(), 7);
+    }
+}

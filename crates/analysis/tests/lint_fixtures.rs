@@ -57,6 +57,22 @@ fn unsafe_fixture_fires_outside_audited_files() {
 }
 
 #[test]
+fn data_plane_panic_fixture_fires_in_smb_and_rdma_only() {
+    let src = include_str!("fixtures/data_plane_panic.rs");
+    for path in ["crates/smb/src/fixture.rs", "crates/rdma/src/fixture.rs"] {
+        let vs = scan_fixture(path, src);
+        assert_eq!(vs.len(), 2, "{path}: {vs:#?}");
+        assert!(vs.iter().all(|v| v.rule == rules::RULE_DATA_PLANE_PANIC));
+        assert!(vs.iter().any(|v| v.excerpt.contains(".unwrap()")));
+        assert!(vs.iter().any(|v| v.excerpt.contains(".expect(")));
+    }
+    // The same content outside the data plane, or in a data-plane crate's
+    // integration-test tree, is out of scope.
+    assert!(scan_fixture("crates/shmcaffe/src/fixture.rs", src).is_empty());
+    assert!(scan_fixture("crates/smb/tests/fixture.rs", src).is_empty());
+}
+
+#[test]
 fn clean_fixture_stays_clean() {
     let vs =
         scan_fixture("crates/simnet/src/fixture.rs", include_str!("fixtures/clean_comments.rs"));

@@ -14,10 +14,17 @@
 //!    is crashed at varying points of the run. Clients fail over to the
 //!    standby; the table records the recovery cost in virtual time and
 //!    the elastic updates dropped while the crash was being detected.
+//! 4. **Partition sweep** — an asymmetric network partition isolates the
+//!    primary (plus one worker node) from the standby at 25/50/75% of the
+//!    run, healing 200 ms later. The primary's authority lease lapses and
+//!    it self-fences; the table records the stale writes fenced off, the
+//!    increments the minority buffered/dropped/replayed in degraded mode,
+//!    and the segments reconciled when the partition healed.
 //!
 //! Everything is seeded: rerunning the binary reproduces identical tables.
-//! With `SHMCAFFE_BENCH_JSON` set the failover sweep (plus the other two
-//! tables) is written to `BENCH_fault.json` at the repo root.
+//! With `SHMCAFFE_BENCH_JSON` set the failover and partition sweeps (plus
+//! the other two tables) are written to `BENCH_fault.json` at the repo
+//! root.
 //!
 //! Run with `cargo run --release -p shmcaffe-bench --bin fault_sweep`.
 
@@ -189,14 +196,70 @@ fn main() {
             report.total_dropped_updates().to_string(),
         ]);
     }
+    // Partition sweep: the primary (with the workers of node 0) is severed
+    // from the standby (with node 1) at 25/50/75% of the run for 200 ms.
+    // The authority lease (60 ms, renewed by 20 ms replication passes)
+    // lapses inside every window, so the stale primary self-fences, the
+    // majority side promotes the standby, and the minority rides the
+    // outage in degraded mode until the heal.
+    let standby = NodeId(replicated().gpu_nodes + 1);
+    let fencing =
+        SmbServerConfig { authority_timeout: SimDuration::from_millis(60), ..Default::default() };
+    let run_partitioned = |plan: Option<FaultPlan>| {
+        let mut platform = ShmCaffeA::new(replicated(), GPUS, shm_cfg())
+            .with_standby(SimDuration::from_millis(20))
+            .with_server_config(fencing);
+        if let Some(plan) = plan {
+            platform = platform.with_fault_plan(plan);
+        }
+        platform.run(factory())
+    };
+    let part_clean = run_partitioned(None).expect("fault-free fenced run");
+    let mut partition = Table::new(
+        "200 ms split-brain partition isolating the primary",
+        &[
+            "partition at (s)",
+            "wall (s)",
+            "wall delta (s)",
+            "fenced",
+            "buffered",
+            "dropped",
+            "replayed",
+            "resynced",
+        ],
+    );
+    for frac in [0.25f64, 0.50, 0.75] {
+        let at = SimTime::from_nanos((part_clean.wall.as_nanos() as f64 * frac) as u64);
+        let heal = at + SimDuration::from_millis(200);
+        let plan = FaultPlan::new(SEED).partition(
+            vec![vec![NodeId(0), primary], vec![NodeId(1), standby]],
+            at,
+            Some(heal),
+        );
+        let report = run_partitioned(Some(plan)).expect("fencing absorbs the split brain");
+        partition.row_owned(vec![
+            format!("{:.3}", at.as_secs_f64()),
+            format!("{:.3}", report.wall.as_secs_f64()),
+            format!("{:+.3}", report.wall.as_secs_f64() - part_clean.wall.as_secs_f64()),
+            report.fenced_rejections.to_string(),
+            report.total_partition_buffered().to_string(),
+            report.total_partition_dropped().to_string(),
+            report.total_reconciled_updates().to_string(),
+            format!("{}/{}", report.reconcile_discarded, report.reconcile_resynced),
+        ]);
+    }
+    partition.print();
+    println!();
     emit_figure(
         "fault",
         &failover,
         vec![
             ("clean_wall_s", Json::Num(clean.wall.as_secs_f64())),
             ("replication_interval_ms", Json::Int(20)),
+            ("authority_timeout_ms", Json::Int(60)),
             ("transient", Json::from(&transient)),
             ("worker_crash", Json::from(&crashes)),
+            ("partition", Json::from(&partition)),
             ("seed", Json::Int(SEED as i64)),
         ],
     );
@@ -205,7 +268,8 @@ fn main() {
         "SEASGD's elastic averaging absorbs both transient transport faults \
          (bounded retries) and worker death (lease eviction + survivor \
          completion); a replicated SMB pair additionally survives the loss \
-         of the primary memory server; synchronous allreduce has no \
-         recovery path and aborts."
+         of the primary memory server and — with epoch fencing — a \
+         split-brain partition of the pair itself; synchronous allreduce \
+         has no recovery path and aborts."
     );
 }

@@ -54,6 +54,18 @@ pub struct ShmCaffeConfig {
     /// also requires `checkpoint_every > 0`.
     #[serde(default)]
     pub rejoin_delay: Option<SimDuration>,
+    /// Degraded-mode staleness cap: how many weight increments a worker
+    /// cut off from the memory server by a network partition may buffer
+    /// for replay after the partition heals. Increments beyond the cap
+    /// are dropped with accounting (elastic averaging re-derives the lost
+    /// force from the next `W_x − W_g` difference). `0` disables
+    /// partition buffering — a failed push is simply dropped.
+    #[serde(default = "default_partition_staleness_cap")]
+    pub partition_staleness_cap: usize,
+}
+
+fn default_partition_staleness_cap() -> usize {
+    16
 }
 
 impl Default for ShmCaffeConfig {
@@ -71,6 +83,7 @@ impl Default for ShmCaffeConfig {
             hide_global_read: false,
             checkpoint_every: 0,
             rejoin_delay: None,
+            partition_staleness_cap: default_partition_staleness_cap(),
         }
     }
 }

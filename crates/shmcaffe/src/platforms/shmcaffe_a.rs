@@ -303,6 +303,15 @@ impl ShmCaffeA {
         let mut final_report =
             Arc::try_unwrap(report).map(Mutex::into_inner).unwrap_or_else(|arc| arc.lock().clone());
         final_report.wall = wall;
+        // Server-side partition-tolerance counters: how many stale-epoch
+        // writes the pair fenced off, and what the demoted primary
+        // discarded/resynced when the partition healed.
+        if let Some(p) = &pair {
+            final_report.fenced_rejections = p.fenced_rejections();
+            let (discarded, resynced) = p.reconcile_counts();
+            final_report.reconcile_discarded = discarded;
+            final_report.reconcile_resynced = resynced;
+        }
         Ok(final_report)
     }
 }

@@ -57,6 +57,23 @@ pub struct WorkerReport {
     pub recovery_ms: f64,
     /// Weight increments dropped because pushing them kept failing.
     pub dropped_updates: u64,
+    /// Weight increments buffered while a network partition cut this
+    /// worker off from the memory server (degraded mode, bounded by
+    /// [`crate::ShmCaffeConfig::partition_staleness_cap`]).
+    #[serde(default)]
+    pub partition_buffered: u64,
+    /// Weight increments dropped because the partition buffer was full
+    /// (or still held entries when the run ended).
+    #[serde(default)]
+    pub partition_dropped: u64,
+    /// Buffered increments successfully replayed into the global buffer
+    /// after the partition healed.
+    #[serde(default)]
+    pub reconciled_updates: u64,
+    /// Mutations rejected with a stale fencing epoch before this worker's
+    /// client refreshed against the promoted primary.
+    #[serde(default)]
+    pub fenced_writes: u64,
 }
 
 impl WorkerReport {
@@ -76,6 +93,10 @@ impl WorkerReport {
             retries: 0,
             recovery_ms: 0.0,
             dropped_updates: 0,
+            partition_buffered: 0,
+            partition_dropped: 0,
+            reconciled_updates: 0,
+            fenced_writes: 0,
         }
     }
 
@@ -110,6 +131,19 @@ pub struct TrainingReport {
     /// Final globally averaged weights (convergence runs), if collected.
     #[serde(skip)]
     pub final_weights: Option<Vec<f32>>,
+    /// Stale-epoch mutations the replicated server pair rejected
+    /// (server-side fencing count — every split-brain write attempt that
+    /// was refused instead of applied).
+    #[serde(default)]
+    pub fenced_rejections: u64,
+    /// Divergent unreplicated segments the demoted primary discarded
+    /// during partition-heal reconciliation.
+    #[serde(default)]
+    pub reconcile_discarded: u64,
+    /// Segments the demoted primary resynced from the promoted standby
+    /// during partition-heal reconciliation.
+    #[serde(default)]
+    pub reconcile_resynced: u64,
 }
 
 impl TrainingReport {
@@ -121,6 +155,9 @@ impl TrainingReport {
             wall: SimTime::ZERO,
             evals: Vec::new(),
             final_weights: None,
+            fenced_rejections: 0,
+            reconcile_discarded: 0,
+            reconcile_resynced: 0,
         }
     }
 
@@ -195,6 +232,26 @@ impl TrainingReport {
     /// Total dropped weight increments across the fleet.
     pub fn total_dropped_updates(&self) -> u64 {
         self.workers.iter().map(|w| w.dropped_updates).sum()
+    }
+
+    /// Total increments buffered while partitioned, across the fleet.
+    pub fn total_partition_buffered(&self) -> u64 {
+        self.workers.iter().map(|w| w.partition_buffered).sum()
+    }
+
+    /// Total increments dropped past the partition staleness cap.
+    pub fn total_partition_dropped(&self) -> u64 {
+        self.workers.iter().map(|w| w.partition_dropped).sum()
+    }
+
+    /// Total buffered increments replayed after partitions healed.
+    pub fn total_reconciled_updates(&self) -> u64 {
+        self.workers.iter().map(|w| w.reconciled_updates).sum()
+    }
+
+    /// Total stale-epoch rejections observed by worker clients.
+    pub fn total_fenced_writes(&self) -> u64 {
+        self.workers.iter().map(|w| w.fenced_writes).sum()
     }
 }
 

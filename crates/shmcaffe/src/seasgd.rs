@@ -58,6 +58,43 @@ type UpdateDone = Option<Vec<f32>>;
 /// hundreds of milliseconds, so only a genuinely wedged thread trips this.
 const EXCHANGE_TIMEOUT: SimDuration = SimDuration::from_secs(60);
 
+/// Degraded-mode accounting of one exchanger's update thread: what
+/// happened to increments pushed while a network partition cut the worker
+/// off from the memory server (paper-style minority-side behaviour).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradedStats {
+    /// Increments buffered for replay after the partition heals.
+    pub partition_buffered: u64,
+    /// Increments dropped because the staleness-capped buffer was full
+    /// (or still held entries at shutdown).
+    pub partition_dropped: u64,
+    /// Buffered increments successfully replayed into `W_g`.
+    pub reconciled_updates: u64,
+}
+
+#[derive(Debug, Default)]
+struct DegradedCounters {
+    buffered: AtomicU64,
+    dropped: AtomicU64,
+    reconciled: AtomicU64,
+    /// Entries currently sitting in the update thread's backlog. A
+    /// snapshot folds them into `partition_dropped`: they are only ever
+    /// replayed by a *later* successful push, so at any observation point
+    /// they have not reached the global buffer.
+    pending: AtomicU64,
+}
+
+impl DegradedCounters {
+    fn snapshot(&self) -> DegradedStats {
+        DegradedStats {
+            partition_buffered: self.buffered.load(Ordering::Relaxed),
+            partition_dropped: self.dropped.load(Ordering::Relaxed)
+                + self.pending.load(Ordering::Relaxed),
+            reconciled_updates: self.reconciled.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// The worker-side half of the SEASGD exchange: owns the update thread and
 /// the elastic-mixing buffers.
 pub struct ElasticExchanger {
@@ -73,6 +110,7 @@ pub struct ElasticExchanger {
     wire_bytes: u64,
     retry: RetryPolicy,
     dropped: Arc<AtomicU64>,
+    degraded: Arc<DegradedCounters>,
     wg: Vec<f32>,
     dw: Vec<f32>,
     wx: Vec<f32>,
@@ -110,15 +148,28 @@ impl ElasticExchanger {
             ..RetryPolicy::with_seed(retry_seed)
         };
         let dropped = Arc::new(AtomicU64::new(0));
+        let degraded = Arc::new(DegradedCounters::default());
         {
             let client = client.clone();
             let req_ch = req_ch.clone();
             let done_ch = done_ch.clone();
             let hide_read = cfg.hide_global_read;
+            let staleness_cap = cfg.partition_staleness_cap;
             let retry = retry.clone();
             let dropped = Arc::clone(&dropped);
+            let degraded = Arc::clone(&degraded);
             ctx.spawn(&format!("update_thread_{label}"), move |uctx| {
                 let mut wg_readback = vec![0.0f32; param_len];
+                // Increments held back while a partition cuts this worker
+                // off from the memory server, replayed once it heals.
+                let mut backlog: Vec<Vec<f32>> = Vec::new();
+                let push = |uctx: &SimContext, dw: &[f32]| {
+                    client.write_retrying(uctx, &buffers.dw, dw, &retry).and_then(|()| {
+                        client
+                            .accumulate_retrying(uctx, &buffers.dw, &buffers.wg, &retry)
+                            .map(|_| ())
+                    })
+                };
                 // Runs until the owner sends `Shutdown`.
                 while let UpdateRequest::Push(dw) = req_ch.recv(&uctx) {
                     // T.A1: store the increment in the private buffer, then
@@ -126,15 +177,33 @@ impl ElasticExchanger {
                     // that cannot go through within the retry budget is
                     // dropped: elastic averaging re-derives the lost force
                     // from the next W_x - W_g difference, whereas dying
-                    // here would take the whole worker down.
-                    let pushed =
-                        client.write_retrying(&uctx, &buffers.dw, &dw, &retry).and_then(|()| {
-                            client
-                                .accumulate_retrying(&uctx, &buffers.dw, &buffers.wg, &retry)
-                                .map(|_| ())
-                        });
-                    if pushed.is_err() {
-                        dropped.fetch_add(1, Ordering::Relaxed);
+                    // here would take the whole worker down. Pushes lost to
+                    // a network partition are buffered instead (up to the
+                    // staleness cap) and replayed after the heal:
+                    // accumulation is commutative, so replay order is free.
+                    match push(&uctx, &dw) {
+                        Ok(()) => {
+                            while let Some(old) = backlog.last() {
+                                if push(&uctx, old).is_err() {
+                                    break;
+                                }
+                                degraded.reconciled.fetch_add(1, Ordering::Relaxed);
+                                degraded.pending.fetch_sub(1, Ordering::Relaxed);
+                                backlog.pop();
+                            }
+                        }
+                        Err(_) if staleness_cap > 0 && client.partitioned_from_server(&uctx) => {
+                            if backlog.len() < staleness_cap {
+                                backlog.push(dw);
+                                degraded.buffered.fetch_add(1, Ordering::Relaxed);
+                                degraded.pending.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                degraded.dropped.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(_) => {
+                            dropped.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                     let reply = if hide_read {
                         // On failure fall back to a synchronous read at the
@@ -163,6 +232,7 @@ impl ElasticExchanger {
             wire_bytes,
             retry,
             dropped,
+            degraded,
             wg: vec![0.0; param_len],
             dw: vec![0.0; param_len],
             wx: vec![0.0; param_len],
@@ -198,9 +268,19 @@ impl ElasticExchanger {
             self.pending = false;
         }
         // T1: read the global weights (or take the prefetched stale copy).
+        // A read lost to a network partition degrades to the last-known
+        // `W_g` instead of killing the worker: training on a stale center
+        // variable is exactly the minority-side degraded mode, and the
+        // elastic term re-converges after the heal.
         match self.prefetched_wg.take() {
             Some(fresh) if self.hide_global_read => self.wg.copy_from_slice(&fresh),
-            _ => self.client.read_retrying(ctx, &self.buffers.wg, &mut self.wg, &self.retry)?,
+            _ => {
+                match self.client.read_retrying(ctx, &self.buffers.wg, &mut self.wg, &self.retry) {
+                    Ok(()) => {}
+                    Err(_) if self.client.partitioned_from_server(ctx) => {}
+                    Err(e) => return Err(e.into()),
+                }
+            }
         }
         // T2: elastic mixing (eqs. 5-6).
         trainer.read_weights(&mut self.wx);
@@ -233,6 +313,13 @@ impl ElasticExchanger {
     /// failing (fault injection).
     pub fn dropped_updates(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Degraded-mode accounting: increments buffered, dropped, and
+    /// replayed across partition windows (see
+    /// [`crate::ShmCaffeConfig::partition_staleness_cap`]).
+    pub fn degraded_stats(&self) -> DegradedStats {
+        self.degraded.snapshot()
     }
 
     /// Drains any pending update and stops the update thread.
@@ -345,6 +432,10 @@ pub fn run_worker<T: Trainer>(
             report.crashed = true;
             let dead = exchanger.take().expect("live incarnation has an exchanger");
             report.dropped_updates += dead.dropped_updates();
+            let degraded = dead.degraded_stats();
+            report.partition_buffered += degraded.partition_buffered;
+            report.partition_dropped += degraded.partition_dropped;
+            report.reconciled_updates += degraded.reconciled_updates;
             dead.finish(ctx);
             let (Some(ckpt), Some(delay)) = (checkpoint, cfg.rejoin_delay) else { break };
             ctx.sleep(delay);
@@ -456,6 +547,10 @@ pub fn run_worker<T: Trainer>(
 
     if let Some(live) = exchanger {
         report.dropped_updates += live.dropped_updates();
+        let degraded = live.degraded_stats();
+        report.partition_buffered += degraded.partition_buffered;
+        report.partition_dropped += degraded.partition_dropped;
+        report.reconciled_updates += degraded.reconciled_updates;
         live.finish(ctx);
     }
     // A rejoined worker finished a full incarnation and must announce it;
@@ -468,6 +563,7 @@ pub fn run_worker<T: Trainer>(
     report.faults = fault_stats.faults;
     report.retries = fault_stats.retries;
     report.recovery_ms = fault_stats.max_recovery_ms;
+    report.fenced_writes = fault_stats.fenced;
     report.iters = iter;
     report.finished_at = ctx.now();
     report.final_loss = loss_ema;

@@ -89,6 +89,50 @@ pub struct MemoryServerCrash {
     pub at: SimTime,
 }
 
+/// A scheduled network partition: the listed node groups lose connectivity
+/// to each other for the duration of the window, while intra-group links
+/// (and links to nodes not listed in any group) stay healthy.
+///
+/// Symmetric partitions sever traffic in both directions across the group
+/// boundary. A *one-way* partition severs only traffic from an
+/// earlier-indexed group toward a later-indexed group — the asymmetric
+/// case where, say, the old primary can still be reached by some clients
+/// while its own replication traffic toward the standby black-holes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionFault {
+    /// Disjoint, non-empty node groups. Traffic *between* groups is
+    /// severed; nodes absent from every group are unaffected.
+    pub groups: Vec<Vec<NodeId>>,
+    /// Partition start (inclusive).
+    pub from: SimTime,
+    /// Heal instant (exclusive end of the window); `None` means the
+    /// partition never heals.
+    pub heal_at: Option<SimTime>,
+    /// When true, only traffic from a lower-indexed group toward a
+    /// higher-indexed group is severed; the reverse direction flows.
+    pub one_way: bool,
+}
+
+impl PartitionFault {
+    fn group_of(&self, node: NodeId) -> Option<usize> {
+        self.groups.iter().position(|g| g.contains(&node))
+    }
+
+    /// Whether the partition is in effect at `now`.
+    pub fn active(&self, now: SimTime) -> bool {
+        self.from <= now && self.heal_at.is_none_or(|h| now < h)
+    }
+
+    /// Whether traffic from `from` toward `to` crosses a severed boundary
+    /// (ignores the time window — combine with [`PartitionFault::active`]).
+    pub fn severs(&self, from: NodeId, to: NodeId) -> bool {
+        match (self.group_of(from), self.group_of(to)) {
+            (Some(gf), Some(gt)) if gf != gt => !self.one_way || gf < gt,
+            _ => false,
+        }
+    }
+}
+
 /// A declarative, seeded fault schedule.
 ///
 /// # Example
@@ -122,6 +166,10 @@ pub struct FaultPlan {
     /// Scheduled memory-server deaths (permanent; clients must fail over).
     #[serde(default)]
     pub memory_server_crashes: Vec<MemoryServerCrash>,
+    /// Scheduled network partitions (symmetric or one-way, with optional
+    /// heal events).
+    #[serde(default)]
+    pub partitions: Vec<PartitionFault>,
 }
 
 impl FaultPlan {
@@ -135,6 +183,7 @@ impl FaultPlan {
             node_stalls: Vec::new(),
             worker_crashes: Vec::new(),
             memory_server_crashes: Vec::new(),
+            partitions: Vec::new(),
         }
     }
 
@@ -191,6 +240,32 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules a symmetric partition: traffic between any two of the
+    /// `groups` is severed from `from` until `heal_at` (or forever when
+    /// `heal_at` is `None`).
+    pub fn partition(
+        mut self,
+        groups: Vec<Vec<NodeId>>,
+        from: SimTime,
+        heal_at: Option<SimTime>,
+    ) -> Self {
+        self.partitions.push(PartitionFault { groups, from, heal_at, one_way: false });
+        self
+    }
+
+    /// Schedules a one-way partition: only traffic from a lower-indexed
+    /// group toward a higher-indexed group is severed; the reverse
+    /// direction keeps flowing for the window.
+    pub fn partition_one_way(
+        mut self,
+        groups: Vec<Vec<NodeId>>,
+        from: SimTime,
+        heal_at: Option<SimTime>,
+    ) -> Self {
+        self.partitions.push(PartitionFault { groups, from, heal_at, one_way: true });
+        self
+    }
+
     /// Checks internal consistency (window ordering, probability and
     /// degradation factors in range).
     ///
@@ -216,6 +291,25 @@ impl FaultPlan {
                 return Err(format!("stall on {} has empty window", st.node));
             }
         }
+        for p in &self.partitions {
+            if p.groups.len() < 2 {
+                return Err("partition needs at least two groups".to_string());
+            }
+            if p.groups.iter().any(|g| g.is_empty()) {
+                return Err("partition group is empty".to_string());
+            }
+            let mut seen = std::collections::BTreeSet::new();
+            for node in p.groups.iter().flatten() {
+                if !seen.insert(*node) {
+                    return Err(format!("partition groups overlap on {node}"));
+                }
+            }
+            if let Some(heal) = p.heal_at {
+                if heal <= p.from {
+                    return Err("partition heals before it starts".to_string());
+                }
+            }
+        }
         Ok(())
     }
 
@@ -238,6 +332,8 @@ pub struct FaultStats {
     pub stall_delays: u64,
     /// Fallible operations that touched a crashed memory server.
     pub memory_server_crash_hits: u64,
+    /// Fallible operations severed by an active network partition.
+    pub partition_hits: u64,
 }
 
 struct InjectorInner {
@@ -366,6 +462,35 @@ impl FaultInjector {
         self.memory_server_crash_time(node).is_some_and(|at| at <= now)
     }
 
+    /// If traffic from `from` toward `to` is severed by an active
+    /// partition at `now`, returns `Some(heal)` where `heal` is the
+    /// instant the *last* severing partition heals, or `Some(None)` when
+    /// one of them never heals. Returns `None` when the path is clear.
+    pub fn partitioned_until(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        now: SimTime,
+    ) -> Option<Option<SimTime>> {
+        let mut severed = false;
+        let mut heal: Option<SimTime> = Some(SimTime::ZERO);
+        for p in &self.inner.plan.partitions {
+            if p.active(now) && p.severs(from, to) {
+                severed = true;
+                heal = match (heal, p.heal_at) {
+                    (Some(h), Some(ph)) => Some(h.max(ph)),
+                    _ => None,
+                };
+            }
+        }
+        severed.then_some(heal)
+    }
+
+    /// Whether traffic from `from` toward `to` is severed at `now`.
+    pub fn partitioned(&self, from: NodeId, to: NodeId, now: SimTime) -> bool {
+        self.partitioned_until(from, to, now).is_some()
+    }
+
     pub(crate) fn record_link_down_hit(&self) {
         self.inner.stats.lock().link_down_hits += 1;
     }
@@ -380,6 +505,10 @@ impl FaultInjector {
 
     pub(crate) fn record_memory_server_crash_hit(&self) {
         self.inner.stats.lock().memory_server_crash_hits += 1;
+    }
+
+    pub(crate) fn record_partition_hit(&self) {
+        self.inner.stats.lock().partition_hits += 1;
     }
 }
 
@@ -411,6 +540,18 @@ pub enum FaultError {
         /// Virtual time the failure was detected.
         at: SimTime,
     },
+    /// The transfer's source and destination sit on opposite sides of an
+    /// active network partition. Retrying against the same endpoint fails
+    /// until the partition heals — callers should fail over (and the SMB
+    /// fencing layer turns this into an epoch change).
+    Partitioned {
+        /// Transfer source.
+        from: NodeId,
+        /// Transfer destination (unreachable from `from`).
+        to: NodeId,
+        /// Virtual time the failure was detected.
+        at: SimTime,
+    },
 }
 
 impl fmt::Display for FaultError {
@@ -424,6 +565,9 @@ impl fmt::Display for FaultError {
             }
             FaultError::NodeCrashed { node, at } => {
                 write!(f, "endpoint {} crashed (detected t={} ns)", node, at.as_nanos())
+            }
+            FaultError::Partitioned { from, to, at } => {
+                write!(f, "partition severs {from}->{to} (t={} ns)", at.as_nanos())
             }
         }
     }
@@ -547,6 +691,87 @@ mod tests {
     }
 
     #[test]
+    fn partition_validation() {
+        let ok = FaultPlan::new(1).partition(
+            vec![vec![NodeId(0), NodeId(1)], vec![NodeId(2)]],
+            SimTime::from_millis(5),
+            Some(SimTime::from_millis(10)),
+        );
+        assert!(ok.validate().is_ok());
+
+        let one_group = FaultPlan::new(1).partition(vec![vec![NodeId(0)]], SimTime::ZERO, None);
+        assert!(one_group.validate().is_err());
+        let empty_group =
+            FaultPlan::new(1).partition(vec![vec![NodeId(0)], vec![]], SimTime::ZERO, None);
+        assert!(empty_group.validate().is_err());
+        let overlap = FaultPlan::new(1).partition(
+            vec![vec![NodeId(0)], vec![NodeId(0)]],
+            SimTime::ZERO,
+            None,
+        );
+        assert!(overlap.validate().is_err());
+        let heals_early = FaultPlan::new(1).partition(
+            vec![vec![NodeId(0)], vec![NodeId(1)]],
+            SimTime::from_millis(5),
+            Some(SimTime::from_millis(5)),
+        );
+        assert!(heals_early.validate().is_err());
+    }
+
+    #[test]
+    fn symmetric_partition_severs_both_ways_within_window() {
+        let inj = FaultInjector::new(FaultPlan::new(1).partition(
+            vec![vec![NodeId(0), NodeId(1)], vec![NodeId(4)]],
+            SimTime::from_millis(10),
+            Some(SimTime::from_millis(20)),
+        ));
+        let t = SimTime::from_millis(15);
+        assert!(inj.partitioned(NodeId(0), NodeId(4), t));
+        assert!(inj.partitioned(NodeId(4), NodeId(1), t));
+        assert_eq!(
+            inj.partitioned_until(NodeId(0), NodeId(4), t),
+            Some(Some(SimTime::from_millis(20)))
+        );
+        // Intra-group and unlisted nodes are unaffected.
+        assert!(!inj.partitioned(NodeId(0), NodeId(1), t));
+        assert!(!inj.partitioned(NodeId(0), NodeId(9), t));
+        assert!(!inj.partitioned(NodeId(9), NodeId(4), t));
+        // Half-open window: healed exactly at heal_at, untouched before.
+        assert!(!inj.partitioned(NodeId(0), NodeId(4), SimTime::from_millis(9)));
+        assert!(inj.partitioned(NodeId(0), NodeId(4), SimTime::from_millis(10)));
+        assert!(!inj.partitioned(NodeId(0), NodeId(4), SimTime::from_millis(20)));
+    }
+
+    #[test]
+    fn one_way_partition_severs_forward_direction_only() {
+        let inj = FaultInjector::new(FaultPlan::new(1).partition_one_way(
+            vec![vec![NodeId(8)], vec![NodeId(9)]],
+            SimTime::from_millis(1),
+            None,
+        ));
+        let t = SimTime::from_millis(2);
+        assert!(inj.partitioned(NodeId(8), NodeId(9), t));
+        assert!(!inj.partitioned(NodeId(9), NodeId(8), t));
+        // heal_at None: never heals.
+        assert_eq!(inj.partitioned_until(NodeId(8), NodeId(9), t), Some(None));
+        assert!(inj.partitioned(NodeId(8), NodeId(9), SimTime::from_secs(100)));
+    }
+
+    #[test]
+    fn overlapping_partitions_wait_for_the_last_heal() {
+        let groups = vec![vec![NodeId(0)], vec![NodeId(1)]];
+        let inj = FaultInjector::new(
+            FaultPlan::new(1)
+                .partition(groups.clone(), SimTime::from_millis(1), Some(SimTime::from_millis(5)))
+                .partition(groups, SimTime::from_millis(2), Some(SimTime::from_millis(9))),
+        );
+        assert_eq!(
+            inj.partitioned_until(NodeId(0), NodeId(1), SimTime::from_millis(3)),
+            Some(Some(SimTime::from_millis(9)))
+        );
+    }
+
+    #[test]
     fn fault_error_display_and_source() {
         let e = FaultError::LinkDown { node: NodeId(3), at: SimTime::from_millis(1) };
         assert!(e.to_string().contains("node3"));
@@ -554,6 +779,8 @@ mod tests {
         assert!(e2.to_string().contains("node0->node4"));
         let e3 = FaultError::NodeCrashed { node: NodeId(8), at: SimTime::from_millis(2) };
         assert!(e3.to_string().contains("node8 crashed"));
+        let e4 = FaultError::Partitioned { from: NodeId(1), to: NodeId(8), at: SimTime::ZERO };
+        assert!(e4.to_string().contains("partition severs node1->node8"));
         let dyn_err: &dyn std::error::Error = &e;
         assert!(dyn_err.source().is_none());
     }

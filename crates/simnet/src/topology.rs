@@ -328,6 +328,25 @@ impl Fabric {
                 ctx.sleep_until(until);
                 continue;
             }
+            // A severed partition is directional: only the from->to path is
+            // consulted, so an asymmetric plan can black-hole one side while
+            // the reverse direction keeps flowing.
+            if let Some(heal) = inj.partitioned_until(from, to, now) {
+                if fallible {
+                    inj.record_partition_hit();
+                    ctx.sleep(inj.plan().detection_latency);
+                    return Err(FaultError::Partitioned { from, to, at: ctx.now() });
+                }
+                let until = heal.unwrap_or_else(|| {
+                    panic!(
+                        "infallible transfer {from}->{to} severed by a partition that never \
+                         heals (t={} ns)",
+                        now.as_nanos()
+                    )
+                });
+                ctx.sleep_until(until);
+                continue;
+            }
             break;
         }
         if fallible && inj.draw_op_failure() {
@@ -569,6 +588,54 @@ mod tests {
         });
         sim.run();
         assert_eq!(fabric.fault_injector().unwrap().stats().memory_server_crash_hits, 2);
+    }
+
+    #[test]
+    fn fallible_transfer_fails_fast_across_partition() {
+        use crate::fault::{FaultError, FaultPlan};
+        use crate::SimTime;
+        let plan = FaultPlan::new(1)
+            .partition_one_way(
+                vec![vec![NodeId(0)], vec![NodeId(1)]],
+                SimTime::ZERO,
+                Some(SimTime::from_secs(1)),
+            )
+            .with_detection_latency(SimDuration::from_micros(500));
+        let fabric = Fabric::with_faults(ClusterSpec::paper_testbed(2), plan);
+        let f = fabric.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("w", move |ctx| {
+            let err =
+                f.try_net_transfer_stream(&ctx, NodeId(0), NodeId(1), 7_000, None).unwrap_err();
+            assert!(matches!(err, FaultError::Partitioned { from: NodeId(0), to: NodeId(1), .. }));
+            // Paid only detection latency, not the 1 s outage.
+            assert_eq!(ctx.now(), SimTime::from_micros(500));
+            // The reverse direction of a one-way partition keeps flowing.
+            assert!(f.try_net_transfer_stream(&ctx, NodeId(1), NodeId(0), 7_000, None).is_ok());
+        });
+        sim.run();
+        assert_eq!(fabric.fault_injector().unwrap().stats().partition_hits, 1);
+    }
+
+    #[test]
+    fn infallible_transfer_rides_out_partition_until_heal() {
+        use crate::fault::FaultPlan;
+        use crate::SimTime;
+        let plan = FaultPlan::new(1).partition(
+            vec![vec![NodeId(0)], vec![NodeId(1)]],
+            SimTime::ZERO,
+            Some(SimTime::from_millis(250)),
+        );
+        let fabric = Fabric::with_faults(ClusterSpec::paper_testbed(2), plan);
+        let f = fabric.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("w", move |ctx| {
+            let rep = f.net_transfer(&ctx, NodeId(0), NodeId(1), 7_000_000);
+            // Started only after the partition healed at 250 ms.
+            assert!(rep.start >= SimTime::from_millis(250));
+        });
+        let end = sim.run();
+        assert!(end.as_millis_f64() >= 250.0, "{}", end.as_millis_f64());
     }
 
     #[test]

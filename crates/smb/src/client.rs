@@ -1,4 +1,5 @@
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -23,6 +24,9 @@ pub struct ClientFaultStats {
     /// Longest virtual time (ms) from a retried op's first attempt to its
     /// eventual success — the client's worst-case recovery latency.
     pub max_recovery_ms: f64,
+    /// Mutations rejected with [`SmbError::FencedEpoch`] before this
+    /// client refreshed its carried epoch.
+    pub fenced: u64,
 }
 
 /// An allocated SMB buffer: the SHM key plus the access key (rkey) returned
@@ -70,6 +74,11 @@ pub struct SmbClient {
     route: Route,
     local: NodeId,
     stats: Arc<Mutex<ClientFaultStats>>,
+    /// The fencing epoch this client believes active (carried with every
+    /// mutation against a replicated pair; ignored on a single server).
+    /// Shared between clones so a worker and its update thread fence as
+    /// one client.
+    carried: Arc<AtomicU64>,
 }
 
 impl fmt::Debug for SmbClient {
@@ -85,6 +94,7 @@ impl SmbClient {
             route: Route::Single(server),
             local,
             stats: Arc::new(Mutex::new(ClientFaultStats::default())),
+            carried: Arc::new(AtomicU64::new(1)),
         }
     }
 
@@ -96,7 +106,13 @@ impl SmbClient {
             route: Route::Replicated(pair),
             local,
             stats: Arc::new(Mutex::new(ClientFaultStats::default())),
+            carried: Arc::new(AtomicU64::new(1)),
         }
+    }
+
+    /// The fencing epoch this client currently carries with mutations.
+    pub fn carried_epoch(&self) -> u64 {
+        self.carried.load(Ordering::Acquire)
     }
 
     /// The node this client runs on.
@@ -109,6 +125,25 @@ impl SmbClient {
     /// counters, so this reports the whole worker's view.
     pub fn fault_stats(&self) -> ClientFaultStats {
         *self.stats.lock()
+    }
+
+    /// Whether this client's node is currently severed from the server it
+    /// would route an operation to by a seeded network partition (in
+    /// either direction). Retrying operations that exhaust their budget
+    /// inside a partition window surface a summarized
+    /// [`SmbError::Timeout`] that hides the cause; degraded-mode callers
+    /// (SEASGD partition buffering) use this probe to distinguish a
+    /// partition outage — worth buffering through — from other loss.
+    pub fn partitioned_from_server(&self, ctx: &SimContext) -> bool {
+        let server = self.server();
+        let node = server.node();
+        if node == self.local {
+            return false;
+        }
+        server.rdma().fabric().fault_injector().is_some_and(|inj| {
+            inj.partitioned(self.local, node, ctx.now())
+                || inj.partitioned(node, self.local, ctx.now())
+        })
     }
 
     /// The replicated pair behind this client, if it was built with
@@ -141,10 +176,12 @@ impl SmbClient {
     /// pair this also joins the promotion stamp (the promote→access
     /// happens-before edge) into the calling process's clock.
     ///
-    /// If the primary has crashed and nobody has promoted the standby yet,
-    /// this performs the failover first: plain (non-retrying) operations
-    /// transfer infallibly, so they must never be routed at a dead
-    /// endpoint. The fault-gated retrying attempts use
+    /// If the primary has become unserviceable — crashed, or partitioned
+    /// away from this client with its authority lease already expired —
+    /// and nobody has promoted the standby yet, this performs the
+    /// failover first: plain (non-retrying) operations transfer
+    /// infallibly, so they must never be routed at an endpoint that can
+    /// never answer. The fault-gated retrying attempts use
     /// [`SmbClient::active_raw`] instead — they *want* to hit the dead
     /// primary, observe [`FaultError::NodeCrashed`] through the gate (which
     /// charges the detection latency and the fault/retry accounting), and
@@ -153,8 +190,9 @@ impl SmbClient {
     /// [`FaultError::NodeCrashed`]: shmcaffe_simnet::fault::FaultError::NodeCrashed
     fn active(&self, ctx: &SimContext) -> SmbServer {
         if let Route::Replicated(pair) = &self.route {
-            if pair.primary_crashed(ctx) {
+            if pair.primary_unserviceable(ctx, self.local) {
                 pair.fail_over(ctx, self.local);
+                self.refresh_epoch(ctx);
             }
         }
         self.active_raw(ctx)
@@ -177,6 +215,52 @@ impl SmbClient {
         ctx.sleep(lat + lat);
     }
 
+    /// Re-reads the pair's active fencing epoch into this client's carried
+    /// epoch, joining the promotion winner's fence stamp (the
+    /// fence-acquire→first-fenced-write happens-before edge). No-op for a
+    /// single-server route.
+    fn refresh_epoch(&self, ctx: &SimContext) {
+        if let Route::Replicated(pair) = &self.route {
+            self.carried.store(pair.observe_fence(ctx), Ordering::Release);
+        }
+    }
+
+    /// Epoch admission for a *plain* (infallible, non-retrying) mutation.
+    /// Plain ops have no retry loop to recover a rejection through, so
+    /// observing the promoted role via routing counts as their epoch
+    /// discovery: the carried epoch refreshes first, and admission then
+    /// rejects only genuinely illegal writes (a primary past its
+    /// authority lease — the split-brain window).
+    fn admit_plain(&self, ctx: &SimContext, key: ShmKey) -> Result<(), SmbError> {
+        let Route::Replicated(pair) = &self.route else { return Ok(()) };
+        if pair.promoted() {
+            self.refresh_epoch(ctx);
+        }
+        self.check_admission(ctx, pair, key)
+    }
+
+    /// Strict epoch admission for one retrying attempt: the carried epoch
+    /// is presented as-is, and a stale one is rejected
+    /// [`SmbError::FencedEpoch`] — the retry loop fails over and
+    /// refreshes before the next attempt.
+    fn admit_attempt(&self, ctx: &SimContext, key: ShmKey) -> Result<(), SmbError> {
+        let Route::Replicated(pair) = &self.route else { return Ok(()) };
+        self.check_admission(ctx, pair, key)
+    }
+
+    fn check_admission(
+        &self,
+        ctx: &SimContext,
+        pair: &crate::SmbPair,
+        key: ShmKey,
+    ) -> Result<(), SmbError> {
+        let r = pair.admit_mutation(ctx, key, self.carried.load(Ordering::Acquire));
+        if r.is_err() {
+            self.stats.lock().fenced += 1;
+        }
+        r
+    }
+
     /// Creates a named shared buffer on the server (master-only in the
     /// ShmCaffe protocol) and returns the SHM key to broadcast.
     ///
@@ -195,6 +279,7 @@ impl SmbClient {
     ) -> Result<ShmKey, SmbError> {
         let server = self.active(ctx);
         self.control_round_trip(ctx, &server);
+        self.admit_plain(ctx, ShmKey(0))?;
         server.create_segment(ctx, name, elems, wire_bytes)
     }
 
@@ -226,6 +311,7 @@ impl SmbClient {
     pub fn free(&self, ctx: &SimContext, buf: SmbBuffer) -> Result<(), SmbError> {
         let server = self.active(ctx);
         self.control_round_trip(ctx, &server);
+        self.admit_plain(ctx, buf.key)?;
         server.destroy_segment(buf.key)
     }
 
@@ -278,6 +364,7 @@ impl SmbClient {
             });
         }
         let server = self.active(ctx);
+        self.admit_plain(ctx, buf.key)?;
         let cfg = server.config();
         let (mr, wire_bytes) = server.segment(buf.key)?;
         let wire = (wire_bytes as f64 * (1.0 + cfg.protocol_overhead)) as u64;
@@ -354,6 +441,7 @@ impl SmbClient {
     ) -> Result<u64, SmbError> {
         let server = self.active(ctx);
         self.control_round_trip(ctx, &server);
+        self.admit_plain(ctx, dst.key)?;
         server.accumulate(ctx, src.key, dst.key)
     }
 
@@ -375,6 +463,7 @@ impl SmbClient {
     ) -> Result<ShmKey, SmbError> {
         let server = self.active(ctx);
         self.control_round_trip(ctx, &server);
+        self.admit_plain(ctx, ShmKey(0))?;
         server.create_segment_owned(ctx, name, elems, wire_bytes, Some(owner))
     }
 
@@ -446,9 +535,20 @@ impl SmbClient {
                 }
                 Err(e) if e.is_transient() => {
                     self.stats.lock().faults += 1;
-                    if e.is_server_crash() {
-                        if let Route::Replicated(pair) = &self.route {
+                    if let Route::Replicated(pair) = &self.route {
+                        // Fail over on: the primary's crash; a fencing
+                        // rejection (a newer epoch is active — refresh and
+                        // follow it); or a partition whose isolated primary
+                        // has already lost its authority lease (promotion
+                        // is legal, so stop banging on the unreachable
+                        // side). A partition with a live lease is ridden
+                        // out instead — the primary may still be renewed.
+                        if e.is_server_crash()
+                            || e.is_fenced()
+                            || (e.is_partitioned() && pair.authority_expired(ctx))
+                        {
                             pair.fail_over(ctx, self.local);
+                            self.refresh_epoch(ctx);
                         }
                     }
                 }
@@ -514,6 +614,7 @@ impl SmbClient {
         let cap = fabric
             .fault_check(ctx, self.local, server.node())
             .map_err(|fault| self.unavailable(&server, buf.key, fault))?;
+        self.admit_attempt(ctx, buf.key)?;
         let cfg = server.config();
         let (mr, wire_bytes) = server.segment(buf.key)?;
         let wire = (wire_bytes as f64 * (1.0 + cfg.protocol_overhead)) as u64;
@@ -602,6 +703,7 @@ impl SmbClient {
                 .fabric()
                 .fault_check(ctx, self.local, server.node())
                 .map_err(|fault| self.unavailable(&server, src.key, fault))?;
+            self.admit_attempt(ctx, dst.key)?;
             self.control_round_trip(ctx, &server);
             server.accumulate(ctx, src.key, dst.key)
         })
@@ -639,6 +741,7 @@ impl SmbClient {
             let cap = fabric
                 .fault_check(ctx, self.local, server.node())
                 .map_err(|fault| self.unavailable(&server, buf.key, fault))?;
+            self.admit_attempt(ctx, buf.key)?;
             let cfg = server.config();
             let (mr, wire_bytes) = server.segment(buf.key)?;
             let wire = (wire_bytes as f64 * (1.0 + cfg.protocol_overhead)) as u64;
@@ -948,6 +1051,40 @@ mod tests {
             ctx.sleep(SimDuration::from_millis(400));
             s.evict_stale(&ctx);
             assert_eq!(s.tombstone_count(), 0);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn tombstone_gc_keeps_entries_aged_exactly_the_horizon() {
+        use shmcaffe_simnet::{SimDuration, SimTime};
+        let rdma = RdmaFabric::new(Fabric::new(ClusterSpec::paper_testbed(1)));
+        let cfg = crate::SmbServerConfig {
+            lease_timeout: SimDuration::from_millis(50),
+            tombstone_horizon: SimDuration::from_millis(300),
+            ..Default::default()
+        };
+        let server = SmbServer::with_config(rdma, cfg).unwrap();
+        let s = server.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("supervisor", move |ctx| {
+            let client = SmbClient::new(s.clone(), NodeId(0));
+            client.create_owned(&ctx, "dw", 4, None, 1).unwrap();
+            // Lease (50 ms) lapses; the eviction at t = 100 ms stamps the
+            // tombstone, starting the 300 ms GC horizon.
+            ctx.sleep_until(SimTime::from_millis(100));
+            assert_eq!(s.evict_stale(&ctx).len(), 1);
+            assert_eq!(s.tombstone_count(), 1);
+            // GC keeps `age <= horizon`: at exactly t = 400 ms the tombstone
+            // is aged precisely the horizon and must survive the sweep, so a
+            // rejoiner arriving on the boundary still learns of its eviction.
+            ctx.sleep_until(SimTime::from_millis(400));
+            s.evict_stale(&ctx);
+            assert_eq!(s.tombstone_count(), 1, "boundary entry must be kept");
+            // One nanosecond past the horizon it is reclaimed.
+            ctx.sleep(SimDuration::from_nanos(1));
+            s.evict_stale(&ctx);
+            assert_eq!(s.tombstone_count(), 0, "past-boundary entry must be reclaimed");
         });
         sim.run();
     }

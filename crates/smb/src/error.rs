@@ -75,6 +75,19 @@ pub enum SmbError {
         /// The transport failure.
         cause: RdmaError,
     },
+    /// The mutation carried a stale fencing epoch: a newer primary has
+    /// been promoted since this client last refreshed its epoch, so the
+    /// write was rejected before touching segment state.
+    FencedEpoch {
+        /// The segment the rejected mutation targeted.
+        key: ShmKey,
+        /// The server node that rejected it.
+        node: NodeId,
+        /// The epoch the client believed was active.
+        carried: u64,
+        /// The epoch actually active on the pair.
+        active: u64,
+    },
     /// An underlying RDMA failure outside any retry context.
     Rdma(RdmaError),
 }
@@ -104,6 +117,12 @@ impl fmt::Display for SmbError {
             SmbError::Unavailable { key, node, cause } => {
                 write!(f, "{node} unavailable for {key}: {cause}")
             }
+            SmbError::FencedEpoch { key, node, carried, active } => {
+                write!(
+                    f,
+                    "write to {key} at {node} fenced: carried epoch {carried}, active {active}"
+                )
+            }
             SmbError::Rdma(e) => write!(f, "rdma error: {e}"),
         }
     }
@@ -130,7 +149,9 @@ impl SmbError {
     /// faults and timeouts are transient, protocol errors are not.
     pub fn is_transient(&self) -> bool {
         match self {
-            SmbError::Timeout { .. } | SmbError::Unavailable { .. } => true,
+            SmbError::Timeout { .. }
+            | SmbError::Unavailable { .. }
+            | SmbError::FencedEpoch { .. } => true,
             SmbError::Rdma(e) => matches!(
                 e,
                 RdmaError::QpFault { .. }
@@ -155,6 +176,33 @@ impl SmbError {
             cause,
             RdmaError::QpFault {
                 fault: shmcaffe_simnet::fault::FaultError::NodeCrashed { .. },
+                ..
+            }
+        )
+    }
+
+    /// Whether this error is a fencing rejection: the client's epoch is
+    /// stale and it must refresh against the promoted primary before the
+    /// mutation can be retried.
+    pub fn is_fenced(&self) -> bool {
+        matches!(self, SmbError::FencedEpoch { .. })
+    }
+
+    /// Whether the underlying transport cause is a seeded network
+    /// partition ([`shmcaffe_simnet::fault::FaultError::Partitioned`]).
+    /// The retry layer combines this with the pair's authority state:
+    /// a partition alone is ridden out, but a partition *plus* an expired
+    /// primary lease triggers failover to the standby.
+    pub fn is_partitioned(&self) -> bool {
+        let cause = match self {
+            SmbError::Unavailable { cause, .. } => cause,
+            SmbError::Rdma(e) => e,
+            _ => return false,
+        };
+        matches!(
+            cause,
+            RdmaError::QpFault {
+                fault: shmcaffe_simnet::fault::FaultError::Partitioned { .. },
                 ..
             }
         )
@@ -207,6 +255,16 @@ mod tests {
         };
         assert!(!e2.is_server_crash());
         assert!(!SmbError::NoMemoryServer.is_server_crash());
+    }
+
+    #[test]
+    fn fenced_epoch_classification() {
+        let e = SmbError::FencedEpoch { key: ShmKey(3), node: NodeId(4), carried: 1, active: 2 };
+        assert!(e.is_fenced());
+        assert!(e.is_transient(), "fenced writes retry after refreshing the epoch");
+        assert!(!e.is_server_crash());
+        assert!(e.to_string().contains("carried epoch 1"));
+        assert!(!SmbError::NoMemoryServer.is_fenced());
     }
 
     #[test]

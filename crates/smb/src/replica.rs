@@ -31,13 +31,13 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use shmcaffe_rdma::RdmaFabric;
 use shmcaffe_simnet::topology::NodeId;
-use shmcaffe_simnet::{SimContext, SimDuration};
+use shmcaffe_simnet::{SimContext, SimDuration, SimTime};
 
 use crate::server::{ShmKey, SmbServer, SmbServerConfig};
 use crate::SmbError;
@@ -68,6 +68,31 @@ struct PairInner {
     promote_done: AtomicBool,
     /// Replicator shutdown flag (set by the platform at teardown).
     stop: AtomicBool,
+    /// Monotonic fencing epoch. Starts at 1 (the primary's term); the
+    /// promotion winner bumps it to 2 (the standby's term). Replicated
+    /// clients carry the epoch they believe active with every mutation
+    /// and the pair rejects mismatches with [`SmbError::FencedEpoch`].
+    fence_epoch: AtomicU64,
+    /// When the primary's write authority lapses unless a successful
+    /// replication pass renews it first. Once `now >= expiry` the primary
+    /// self-fences (rejects its own epoch's mutations) and promotion of
+    /// the standby becomes legal even though the primary never crashed —
+    /// the partition-isolated-primary case.
+    authority_expiry: Mutex<SimTime>,
+    /// Mutations rejected with [`SmbError::FencedEpoch`] (split-brain
+    /// writes that the fence stopped).
+    fenced_rejections: AtomicU64,
+    /// Divergent (unreplicated) segments the demoted primary discarded
+    /// during partition-heal reconciliation.
+    reconcile_discarded: AtomicU64,
+    /// Segments the demoted primary resynced from the new primary's
+    /// journal during partition-heal reconciliation.
+    reconcile_resynced: AtomicU64,
+    /// Clock stamp taken by the promotion winner right after it acquired
+    /// the fence (bumped the epoch): the fence-acquire→first-fenced-write
+    /// happens-before edge, joined by every client epoch refresh.
+    #[cfg(feature = "race-detect")]
+    fence_stamp: Mutex<Option<shmcaffe_simnet::race::VectorClock>>,
     /// Clock stamp at the end of the last completed pass: the
     /// replicate→promote happens-before edge.
     #[cfg(feature = "race-detect")]
@@ -117,6 +142,13 @@ impl SmbPair {
                 promote_started: AtomicBool::new(false),
                 promote_done: AtomicBool::new(false),
                 stop: AtomicBool::new(false),
+                fence_epoch: AtomicU64::new(1),
+                authority_expiry: Mutex::new(SimTime::ZERO + config.authority_timeout),
+                fenced_rejections: AtomicU64::new(0),
+                reconcile_discarded: AtomicU64::new(0),
+                reconcile_resynced: AtomicU64::new(0),
+                #[cfg(feature = "race-detect")]
+                fence_stamp: Mutex::new(None),
                 #[cfg(feature = "race-detect")]
                 repl_stamp: Mutex::new(None),
                 #[cfg(feature = "race-detect")]
@@ -154,6 +186,88 @@ impl SmbPair {
         self.inner.promote_done.load(Ordering::Acquire)
     }
 
+    /// The active fencing epoch: 1 while the primary holds authority, 2
+    /// once the standby has been promoted.
+    pub fn fence_epoch(&self) -> u64 {
+        self.inner.fence_epoch.load(Ordering::Acquire)
+    }
+
+    /// Mutations rejected with [`SmbError::FencedEpoch`] so far — every
+    /// split-brain write the fence stopped.
+    pub fn fenced_rejections(&self) -> u64 {
+        self.inner.fenced_rejections.load(Ordering::Relaxed)
+    }
+
+    /// Segments the demoted primary (discarded, resynced) during
+    /// partition-heal reconciliation (see [`SmbPair::reconcile_demoted`]).
+    pub fn reconcile_counts(&self) -> (u64, u64) {
+        (
+            self.inner.reconcile_discarded.load(Ordering::Relaxed),
+            self.inner.reconcile_resynced.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Whether the primary's write-authority lease has lapsed: no
+    /// replication pass renewed it within
+    /// [`SmbServerConfig::authority_timeout`]. An expired lease both
+    /// self-fences the primary and makes standby promotion legal.
+    pub fn authority_expired(&self, ctx: &SimContext) -> bool {
+        ctx.now() >= *self.inner.authority_expiry.lock()
+    }
+
+    /// The current fencing epoch, with the promotion winner's fence stamp
+    /// joined into the calling process's clock — the
+    /// fence-acquire→first-fenced-write happens-before edge. Clients call
+    /// this whenever they refresh their carried epoch.
+    pub fn observe_fence(&self, ctx: &SimContext) -> u64 {
+        #[cfg(feature = "race-detect")]
+        if let Some(stamp) = self.inner.fence_stamp.lock().as_ref() {
+            ctx.vc_join(stamp);
+        }
+        #[cfg(not(feature = "race-detect"))]
+        let _ = ctx;
+        self.inner.fence_epoch.load(Ordering::Acquire)
+    }
+
+    /// Epoch admission for a client mutation carrying `carried` as the
+    /// epoch it believes active. Admitted only when the carried epoch
+    /// matches the active one *and* the serving member actually holds
+    /// authority: a primary whose lease has expired rejects even
+    /// current-epoch writes (self-fencing — it may already be partitioned
+    /// away from a standby that is about to take over, and accepting the
+    /// write would fork the center variable).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmbError::FencedEpoch`] on any mismatch; the retry layer
+    /// treats it as transient, fails over and refreshes the epoch.
+    pub fn admit_mutation(
+        &self,
+        ctx: &SimContext,
+        key: ShmKey,
+        carried: u64,
+    ) -> Result<(), SmbError> {
+        let active = self.inner.fence_epoch.load(Ordering::Acquire);
+        let (stale, node) = if self.promoted() {
+            (carried != active, self.inner.standby.node())
+        } else {
+            (carried != active || self.authority_expired(ctx), self.inner.primary.node())
+        };
+        if stale {
+            self.inner.fenced_rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(SmbError::FencedEpoch { key, node, carried, active });
+        }
+        Ok(())
+    }
+
+    /// Renews the primary's authority lease — called after each
+    /// successful replication pass (proof the primary can still reach the
+    /// standby, so no promotion can be in progress on the other side).
+    fn renew_authority(&self, ctx: &SimContext) {
+        *self.inner.authority_expiry.lock() =
+            ctx.now() + self.inner.primary.config().authority_timeout;
+    }
+
     /// Whether the still-serving primary's node has crashed according to
     /// the fabric's fault plan. Clients consult this to route plain
     /// (non-retrying) operations away from a dead primary proactively —
@@ -161,14 +275,31 @@ impl SmbPair {
     /// endpoint. Always `false` once promoted (the primary no longer
     /// serves) or when the fabric has no fault plan.
     pub fn primary_crashed(&self, ctx: &SimContext) -> bool {
-        !self.promoted()
-            && self
-                .inner
-                .primary
-                .rdma()
-                .fabric()
-                .fault_injector()
-                .is_some_and(|inj| inj.memory_server_crashed(self.inner.primary.node(), ctx.now()))
+        !self.promoted() && self.primary_crashed_raw(ctx)
+    }
+
+    /// Whether the still-serving primary cannot serve `local`'s plain
+    /// (infallible) operations at all: it crashed, **or** it is cut off
+    /// from `local` by a network partition *and* its authority lease has
+    /// already expired. The second arm is what lets infallible ops on the
+    /// minority side fail over instead of riding out the partition against
+    /// a primary that has lost authority anyway; while the lease is live
+    /// the primary may still legitimately be renewed, so plain ops keep
+    /// waiting. Always `false` once promoted.
+    pub fn primary_unserviceable(&self, ctx: &SimContext, local: NodeId) -> bool {
+        if self.promoted() {
+            return false;
+        }
+        if self.primary_crashed_raw(ctx) {
+            return true;
+        }
+        if !self.authority_expired(ctx) {
+            return false;
+        }
+        let node = self.inner.primary.node();
+        self.inner.primary.rdma().fabric().fault_injector().is_some_and(|inj| {
+            inj.partitioned(local, node, ctx.now()) || inj.partitioned(node, local, ctx.now())
+        })
     }
 
     /// The currently serving server. After promotion this also joins the
@@ -212,6 +343,11 @@ impl SmbPair {
             *self.inner.repl_stamp.lock() = Some(ctx.vc_stamp());
         }
         self.inner.in_pass.store(false, Ordering::Release);
+        if result.is_ok() {
+            // The pass reached the standby and came back: the primary
+            // demonstrably still owns the pair, so its lease renews.
+            self.renew_authority(ctx);
+        }
         result
     }
 
@@ -296,6 +432,23 @@ impl SmbPair {
         Ok(*epoch)
     }
 
+    /// Fault gate on an explicit `from`→`to` direction (reconciliation
+    /// flows standby→primary, the reverse of replication).
+    fn gate_from(
+        &self,
+        ctx: &SimContext,
+        fabric: &shmcaffe_simnet::topology::Fabric,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<(), SmbError> {
+        fabric.fault_check(ctx, from, to).map_err(|fault| SmbError::Unavailable {
+            key: ShmKey(0),
+            node: from,
+            cause: shmcaffe_rdma::RdmaError::QpFault { local: to, remote: from, fault },
+        })?;
+        Ok(())
+    }
+
     /// Fault gate on the primary→standby path.
     fn gate(
         &self,
@@ -319,23 +472,157 @@ impl SmbPair {
     }
 
     /// Runs the replication loop: one pass every `interval` of virtual
-    /// time, until [`SmbPair::stop_replicator`] is called, the standby is
-    /// promoted, or the primary crashes. Spawn this as its own simulation
-    /// process.
+    /// time, until [`SmbPair::stop_replicator`] is called or the primary
+    /// crashes. Transient pass failures (a partitioned or faulted
+    /// primary↔standby path) do *not* stop the loop — passes keep being
+    /// attempted, but the authority lease stops renewing, so the standby
+    /// becomes legally promotable while the primary is still alive. If the
+    /// standby is promoted out from under a live primary, the loop turns
+    /// into the demoted primary's reconciliation watch: it waits for the
+    /// partition to heal and then runs one [`SmbPair::reconcile_demoted`]
+    /// pass. Spawn this as its own simulation process.
     pub fn run_replicator(&self, ctx: &SimContext, interval: SimDuration) {
         loop {
             ctx.sleep(interval);
-            if self.inner.stop.load(Ordering::Acquire)
-                || self.inner.promote_started.load(Ordering::Acquire)
-            {
+            if self.inner.stop.load(Ordering::Acquire) {
                 return;
             }
-            if self.replicate(ctx).is_err() {
-                // The primary is gone; the standby serves whatever the
-                // completed passes mirrored.
-                return;
+            if self.inner.promote_started.load(Ordering::Acquire) {
+                break;
+            }
+            if let Err(e) = self.replicate(ctx) {
+                if e.is_server_crash() {
+                    // The primary is gone; the standby serves whatever the
+                    // completed passes mirrored.
+                    return;
+                }
+                // Partition or link fault on the mirror path: keep trying.
+                // Each failed pass leaves the lease un-renewed, counting
+                // down to the primary's self-fence.
             }
         }
+        // The standby was promoted while this primary stayed alive: this
+        // process becomes the demoted primary's reconciliation watch.
+        self.reconcile_when_healed(ctx, interval);
+    }
+
+    /// Demoted-primary side of partition heal: waits until the
+    /// primary↔standby path is partition-free (in both directions), then
+    /// runs one reconciliation pass. Gives up without reconciling when the
+    /// primary crashes, the pair is stopped, or the partition never heals.
+    fn reconcile_when_healed(&self, ctx: &SimContext, interval: SimDuration) {
+        let primary = self.inner.primary.node();
+        let standby = self.inner.standby.node();
+        loop {
+            if self.inner.stop.load(Ordering::Acquire) || self.primary_crashed_raw(ctx) {
+                return;
+            }
+            let rdma = self.inner.primary.rdma();
+            let Some(inj) = rdma.fabric().fault_injector() else { break };
+            let now = ctx.now();
+            let a = inj.partitioned_until(primary, standby, now);
+            let b = inj.partitioned_until(standby, primary, now);
+            if a.is_none() && b.is_none() {
+                break;
+            }
+            // Severed in at least one direction: wait for the last heal;
+            // a partition that never heals leaves nothing to reconcile.
+            let mut heal: Option<SimTime> = None;
+            for dir in [a, b].into_iter().flatten() {
+                match dir {
+                    Some(t) => heal = Some(heal.map_or(t, |h| h.max(t))),
+                    None => return,
+                }
+            }
+            match heal {
+                Some(at) if at > now => ctx.sleep_until(at),
+                _ => ctx.sleep(interval),
+            }
+        }
+        let _ = self.reconcile_demoted(ctx);
+    }
+
+    /// [`SmbPair::primary_crashed`] without the promotion short-circuit —
+    /// the demoted primary needs its own crash status after promotion.
+    fn primary_crashed_raw(&self, ctx: &SimContext) -> bool {
+        self.inner
+            .primary
+            .rdma()
+            .fabric()
+            .fault_injector()
+            .is_some_and(|inj| inj.memory_server_crashed(self.inner.primary.node(), ctx.now()))
+    }
+
+    /// One partition-heal reconciliation pass on the demoted primary:
+    /// discards every divergent segment (version moved past what the last
+    /// completed replication pass shipped — those writes were never
+    /// mirrored and lost the fencing race) and every segment the new
+    /// primary no longer has, then resyncs missing segments from the new
+    /// primary's journal over the reverse wire path. Returns
+    /// `(discarded, resynced)`; totals accumulate in
+    /// [`SmbPair::reconcile_counts`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmbError::Unavailable`] when the standby→primary path
+    /// faults mid-pass; the counts recorded so far stand.
+    pub fn reconcile_demoted(&self, ctx: &SimContext) -> Result<(u64, u64), SmbError> {
+        let demoted = &self.inner.primary;
+        let source = &self.inner.standby;
+        let rdma = demoted.rdma();
+        let fabric = rdma.fabric();
+        let cfg = demoted.config();
+        let shipped = self.inner.replicated_versions.lock().clone();
+        let live: BTreeMap<ShmKey, ()> =
+            source.segment_catalog().iter().map(|m| (m.key, ())).collect();
+        let mut discarded = 0u64;
+        for meta in demoted.segment_catalog() {
+            let diverged = shipped.get(&meta.key) != Some(&meta.version);
+            if diverged || !live.contains_key(&meta.key) {
+                demoted.drop_replica_segment(meta.key);
+                self.inner.replicated_versions.lock().remove(&meta.key);
+                discarded += 1;
+                self.inner.reconcile_discarded.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let mut resynced = 0u64;
+        for meta in source.segment_catalog() {
+            if demoted.segment(meta.key).is_ok() {
+                continue;
+            }
+            self.gate_from(ctx, fabric, source.node(), demoted.node())?;
+            let dst_mr = demoted.install_replica_segment(&meta)?;
+            let Ok((src_mr, _)) = source.segment(meta.key) else {
+                continue;
+            };
+            let data = rdma.with_region(&src_mr, |buf| buf.to_vec())?;
+            rdma.with_region(&dst_mr, |buf| buf.copy_from_slice(&data))?;
+            // Deliberately not race-recorded: the demoted primary is fenced
+            // out of client service, so by construction nothing races with
+            // the resync write (clients route to the promoted standby, and
+            // any straggler mutation was already rejected FencedEpoch).
+            let wire = (meta.wire_bytes as f64 * (1.0 + cfg.protocol_overhead)) as u64;
+            shmcaffe_simnet::resource::transfer_path_stream(
+                ctx,
+                &[
+                    source.memory_resource(),
+                    fabric.hca_tx(source.node()),
+                    fabric.hca_rx(demoted.node()),
+                    demoted.memory_resource(),
+                ],
+                wire,
+                Some(cfg.stream_bps),
+            );
+            self.inner.replicated_versions.lock().insert(meta.key, meta.version);
+            resynced += 1;
+            self.inner.reconcile_resynced.fetch_add(1, Ordering::Relaxed);
+        }
+        // Control-plane resync: lease table and tombstones follow the data.
+        self.gate_from(ctx, fabric, source.node(), demoted.node())?;
+        ctx.sleep(cfg.control_latency);
+        demoted.set_leases(source.lease_catalog());
+        demoted.set_tombstones(source.tombstone_catalog());
+        Ok((discarded, resynced))
     }
 
     /// Asks the replicator loop to exit at its next wakeup.
@@ -343,13 +630,30 @@ impl SmbPair {
         self.inner.stop.store(true, Ordering::Release);
     }
 
-    /// Promotes the standby. The first caller wins: it waits out any
-    /// in-flight replication pass (so the pass's standby writes are ordered
-    /// before the role flip), joins the replicator's last stamp, and then
-    /// opens the standby for routing. Later callers (and the winner) all
-    /// leave with the promotion stamp joined into their clock. Returns
-    /// whether this call performed the promotion.
+    /// Promotes the standby. Promotion is only *legal* once the primary
+    /// has demonstrably lost authority: either its node crashed, or its
+    /// authority lease expired without a replication pass renewing it (the
+    /// partitioned-but-alive case) — callers block until one of the two
+    /// holds, so a healthy primary can never be usurped. The first caller
+    /// then wins: it waits out any in-flight replication pass (so the
+    /// pass's standby writes are ordered before the role flip), joins the
+    /// replicator's last stamp, bumps the fencing epoch (acquiring the
+    /// fence and stamping the fence-acquire edge), and opens the standby
+    /// for routing. Later callers (and the winner) all leave with the
+    /// promotion stamp joined into their clock. Returns whether this call
+    /// performed the promotion.
     pub fn promote(&self, ctx: &SimContext) -> bool {
+        // Legality gate first: wait out the primary's authority. Renewals
+        // can push the expiry while we sleep, so re-check on every wake —
+        // the loop only exits once the lease is *currently* lapsed (or the
+        // primary is dead, which is instant legality).
+        while !self.inner.promote_done.load(Ordering::Acquire) && !self.primary_crashed(ctx) {
+            let expiry = *self.inner.authority_expiry.lock();
+            if ctx.now() >= expiry {
+                break;
+            }
+            ctx.sleep_until(expiry);
+        }
         if self.inner.promote_started.swap(true, Ordering::AcqRel) {
             // Someone else is promoting (or already has): wait until the
             // flip is visible, then pick up the stamp.
@@ -370,6 +674,15 @@ impl SmbPair {
             if let Some(stamp) = self.inner.repl_stamp.lock().as_ref() {
                 ctx.vc_join(stamp);
             }
+        }
+        // Acquire the fence: bump the epoch *before* opening the standby
+        // for routing, so no client can reach the standby while the old
+        // epoch still admits. The fence stamp taken here is joined by every
+        // epoch refresh — the fence-acquire→first-fenced-write edge.
+        self.inner.fence_epoch.fetch_add(1, Ordering::AcqRel);
+        #[cfg(feature = "race-detect")]
+        {
+            *self.inner.fence_stamp.lock() = Some(ctx.vc_stamp());
             *self.inner.promote_stamp.lock() = Some(ctx.vc_stamp());
         }
         self.inner.promote_done.store(true, Ordering::Release);
@@ -499,6 +812,176 @@ mod tests {
             assert_eq!(p.active_server(&ctx).node(), p.standby().node());
         });
         sim.run();
+    }
+
+    #[test]
+    fn promotion_blocks_until_lease_expiry_without_crash() {
+        use shmcaffe_simnet::SimTime;
+        let rdma = replicated_fabric(1);
+        let cfg = SmbServerConfig {
+            authority_timeout: SimDuration::from_millis(80),
+            ..Default::default()
+        };
+        let pair = SmbPair::new(rdma, cfg).unwrap();
+        let p = pair.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("usurper", move |ctx| {
+            assert_eq!(p.fence_epoch(), 1);
+            assert!(!p.authority_expired(&ctx));
+            // No crash and a live lease: promote must wait the lease out.
+            assert!(p.promote(&ctx));
+            assert!(ctx.now() >= SimTime::from_millis(80), "{:?}", ctx.now());
+            assert_eq!(p.fence_epoch(), 2);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn expired_lease_self_fences_and_fenced_retry_fails_over() {
+        use shmcaffe_simnet::SimDuration;
+        let rdma = replicated_fabric(1);
+        let cfg = SmbServerConfig {
+            authority_timeout: SimDuration::from_millis(50),
+            ..Default::default()
+        };
+        let pair = SmbPair::new(rdma, cfg).unwrap();
+        let p = pair.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("w", move |ctx| {
+            let client = crate::SmbClient::with_failover(p.clone(), NodeId(0));
+            let policy = crate::RetryPolicy::with_seed(7);
+            let key = client.create(&ctx, "wg", 4, None).unwrap();
+            let buf = client.alloc(&ctx, key).unwrap();
+            client.write_retrying(&ctx, &buf, &[1.0; 4], &policy).unwrap();
+            p.replicate(&ctx).unwrap();
+            // Nothing renews the lease past here; let it lapse.
+            ctx.sleep(SimDuration::from_millis(100));
+            assert!(p.authority_expired(&ctx));
+            let v_before = p.primary().version(key).unwrap();
+            // Plain mutations are rejected outright: the primary has lost
+            // authority even though its epoch is still nominally active.
+            assert!(matches!(
+                client.write(&ctx, &buf, &[6.0; 4]),
+                Err(SmbError::FencedEpoch { carried: 1, active: 1, .. })
+            ));
+            assert_eq!(p.primary().version(key).unwrap(), v_before, "fenced write landed");
+            assert!(p.fenced_rejections() >= 1);
+            // The retrying path recovers: the rejection triggers failover
+            // (legal — the lease is expired), an epoch refresh, and the
+            // next attempt lands on the promoted standby.
+            client.write_retrying(&ctx, &buf, &[2.0; 4], &policy).unwrap();
+            assert!(p.promoted());
+            assert_eq!(p.fence_epoch(), 2);
+            assert_eq!(client.carried_epoch(), 2);
+            let (mr, _) = p.standby().segment(key).unwrap();
+            let copy = p.standby().rdma().with_region(&mr, |b| b.to_vec()).unwrap();
+            assert_eq!(copy, vec![2.0; 4]);
+            assert!(client.fault_stats().fenced >= 2);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn transient_partition_does_not_promote_or_stop_replication() {
+        use shmcaffe_simnet::fault::FaultPlan;
+        use shmcaffe_simnet::SimTime;
+        let spec = ClusterSpec { memory_servers: 2, ..ClusterSpec::paper_testbed(1) };
+        let primary = NodeId(spec.gpu_nodes);
+        let standby = NodeId(spec.gpu_nodes + 1);
+        // Mirror path severed 30–60 ms; authority outlives the partition.
+        let plan = FaultPlan::new(13).partition(
+            vec![vec![primary], vec![NodeId(0), standby]],
+            SimTime::from_millis(30),
+            Some(SimTime::from_millis(60)),
+        );
+        let rdma = RdmaFabric::new(Fabric::with_faults(spec, plan));
+        let cfg = SmbServerConfig {
+            authority_timeout: SimDuration::from_millis(100),
+            ..Default::default()
+        };
+        let pair = SmbPair::new(rdma, cfg).unwrap();
+        {
+            let p = pair.clone();
+            let mut sim = Simulation::new();
+            sim.spawn("replicator", move |ctx| {
+                p.run_replicator(&ctx, SimDuration::from_millis(10));
+            });
+            let p = pair.clone();
+            sim.spawn("observer", move |ctx| {
+                ctx.sleep_until(SimTime::from_millis(105));
+                assert!(!p.promoted(), "a transient partition must not promote");
+                assert!(!p.authority_expired(&ctx), "post-heal passes renewed the lease");
+                p.stop_replicator();
+            });
+            sim.run();
+        }
+        // Passes at 10, 20 succeeded; 30–60 failed inside the partition;
+        // passes resumed after the heal.
+        assert!(pair.epoch() >= 4, "epoch {}", pair.epoch());
+        assert!(!pair.promoted());
+    }
+
+    #[test]
+    fn demoted_primary_reconciles_after_partition_heals() {
+        use shmcaffe_simnet::fault::FaultPlan;
+        use shmcaffe_simnet::SimTime;
+        let spec = ClusterSpec { memory_servers: 2, ..ClusterSpec::paper_testbed(1) };
+        let primary = NodeId(spec.gpu_nodes);
+        let standby = NodeId(spec.gpu_nodes + 1);
+        // The primary lands alone on the minority side; the client and the
+        // standby stay connected on the majority side. Heals at 200 ms.
+        let plan = FaultPlan::new(29).partition(
+            vec![vec![primary], vec![NodeId(0), standby]],
+            SimTime::from_millis(30),
+            Some(SimTime::from_millis(200)),
+        );
+        let rdma = RdmaFabric::new(Fabric::with_faults(spec, plan));
+        let cfg = SmbServerConfig {
+            authority_timeout: SimDuration::from_millis(50),
+            ..Default::default()
+        };
+        let pair = SmbPair::new(rdma, cfg).unwrap();
+        let mut sim = Simulation::new();
+        {
+            let p = pair.clone();
+            sim.spawn("replicator", move |ctx| {
+                p.run_replicator(&ctx, SimDuration::from_millis(10));
+            });
+        }
+        let p = pair.clone();
+        sim.spawn("w", move |ctx| {
+            let client = crate::SmbClient::with_failover(p.clone(), NodeId(0));
+            let policy = crate::RetryPolicy::with_seed(29);
+            let key = client.create(&ctx, "wg", 4, None).unwrap();
+            let buf = client.alloc(&ctx, key).unwrap();
+            client.write_retrying(&ctx, &buf, &[1.0; 4], &policy).unwrap();
+            // A write the replicator never ships: it lands at 25 ms, after
+            // the pass at 20 ms, and the partition at 30 ms cuts the next
+            // pass — the divergent state reconciliation must discard.
+            ctx.sleep_until(SimTime::from_millis(25));
+            let direct = crate::SmbClient::new(p.primary().clone(), NodeId(0));
+            direct.write(&ctx, &buf, &[9.0; 4]).unwrap();
+            // Inside the partition, past the lease: the retrying write
+            // observes the severed path plus the expired lease, promotes
+            // the standby and lands there at epoch 2.
+            ctx.sleep_until(SimTime::from_millis(100));
+            assert!(p.authority_expired(&ctx));
+            client.write_retrying(&ctx, &buf, &[5.0; 4], &policy).unwrap();
+            assert!(p.promoted());
+            assert_eq!(p.fence_epoch(), 2);
+            assert_eq!(client.carried_epoch(), 2);
+            // After the heal the replicator's reconciliation watch runs:
+            // the demoted primary drops its divergent [9.0] state and
+            // resyncs the promoted side's [5.0].
+            ctx.sleep_until(SimTime::from_millis(250));
+            assert_eq!(p.reconcile_counts(), (1, 1));
+            let (mr, _) = p.primary().segment(key).unwrap();
+            let copy = p.primary().rdma().with_region(&mr, |b| b.to_vec()).unwrap();
+            assert_eq!(copy, vec![5.0; 4], "demoted primary must adopt the new epoch's state");
+        });
+        sim.run();
+        let stats = pair.primary().rdma().fabric().fault_injector().unwrap().stats();
+        assert!(stats.partition_hits >= 1);
     }
 
     #[test]

@@ -59,6 +59,14 @@ pub struct SmbServerConfig {
     /// ([`SmbServer::ack_eviction`]) or after this horizon, whichever comes
     /// first, so the table stays bounded over long runs.
     pub tombstone_horizon: SimDuration,
+    /// How long the primary's write authority lasts without a successful
+    /// replication pass renewing it. While the lease is live, promotion of
+    /// the standby is illegal (the primary may still be accepting writes
+    /// on the other side of a partition); once it has demonstrably
+    /// expired, the standby may fence the old epoch and take over. Must
+    /// comfortably exceed the replication interval or a healthy pair
+    /// would fence its own primary.
+    pub authority_timeout: SimDuration,
 }
 
 impl Default for SmbServerConfig {
@@ -70,6 +78,7 @@ impl Default for SmbServerConfig {
             protocol_overhead: 0.045,
             lease_timeout: SimDuration::from_millis(500),
             tombstone_horizon: SimDuration::from_secs(10),
+            authority_timeout: SimDuration::from_millis(500),
         }
     }
 }

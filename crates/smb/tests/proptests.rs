@@ -167,6 +167,33 @@ proptest! {
         }
     }
 
+    /// Jitter only ever shrinks a backoff, and by a bounded amount: every
+    /// jittered backoff lands in `[nominal * (1 - jitter), nominal]` of the
+    /// zero-jitter exponential, so de-synchronising the fleet can never
+    /// push a retry *later* than the nominal schedule, and never earlier
+    /// than the advertised lower bound.
+    #[test]
+    fn retry_jitter_is_bounded_below(
+        seed in 0u64..1_000_000_000,
+        attempt in 1u32..24,
+        base_us in 1u64..5_000,
+        factor in 1.0f64..4.0,
+        jitter in 0.0f64..1.0,
+    ) {
+        let policy = RetryPolicy {
+            base: SimDuration::from_micros(base_us),
+            factor,
+            jitter,
+            seed,
+            ..RetryPolicy::default()
+        };
+        let nominal = RetryPolicy { jitter: 0.0, ..policy }.backoff(attempt);
+        let b = policy.backoff(attempt);
+        prop_assert!(b <= nominal, "{} inflated past nominal {}", b, nominal);
+        let floor = nominal.mul_f64(1.0 - jitter);
+        prop_assert!(b >= floor, "{} under floor {} (jitter {})", b, floor, jitter);
+    }
+
     /// Identical seeds yield bit-identical retry schedules; the jitter is
     /// a pure function of (seed, attempt).
     #[test]

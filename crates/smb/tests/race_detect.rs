@@ -253,6 +253,175 @@ fn seeded_standby_access_without_promotion_edge_is_caught() {
     assert_ne!(r.earlier_pid, r.later_pid);
 }
 
+/// Fence-based promotion (no crash): a partition isolates the primary, the
+/// majority-side worker waits out the authority lease and promotes the
+/// standby, and the minority-side worker is rejected `FencedEpoch`, fails
+/// over, refreshes its epoch (joining the promotion winner's fence stamp)
+/// and continues after the heal. The fence-acquire→first-fenced-write
+/// chain orders every post-fence access after the replicator's plain
+/// mirror writes — the run must stay silent under the halting detector.
+#[test]
+fn fence_acquire_chain_is_race_free() {
+    use shmcaffe_simnet::fault::FaultPlan;
+    use shmcaffe_simnet::{SimDuration, SimTime};
+    let spec = ClusterSpec { memory_servers: 2, ..ClusterSpec::paper_testbed(2) };
+    let primary = NodeId(spec.gpu_nodes);
+    let standby = NodeId(spec.gpu_nodes + 1);
+    // Minority: worker 0 + the primary. Majority: worker 1 + the standby.
+    let plan = FaultPlan::new(31).partition(
+        vec![vec![NodeId(0), primary], vec![NodeId(1), standby]],
+        SimTime::from_millis(20),
+        Some(SimTime::from_millis(150)),
+    );
+    let rdma = RdmaFabric::new(Fabric::with_faults(spec, plan));
+    let cfg =
+        SmbServerConfig { authority_timeout: SimDuration::from_millis(40), ..Default::default() };
+    let pair = SmbPair::new(rdma.clone(), cfg).unwrap();
+
+    let to_w0 = SimChannel::<ShmKey>::new("key_to_w0");
+    let to_w1 = SimChannel::<ShmKey>::new("key_to_w1");
+    let mut sim = Simulation::new();
+    {
+        // Each worker owns its segment (the SEASGD ΔW layout): the fence
+        // chain is exercised against the replicator's mirror writes, not
+        // against a worker-vs-worker conflict.
+        let p = pair.clone();
+        let (to_w0, to_w1) = (to_w0.clone(), to_w1.clone());
+        sim.spawn("master", move |ctx| {
+            let client = SmbClient::with_failover(p, NodeId(0));
+            let dw0 = client.create(&ctx, "dW_0", 8, None).unwrap();
+            let dw1 = client.create(&ctx, "dW_1", 8, None).unwrap();
+            let b0 = client.alloc(&ctx, dw0).unwrap();
+            let b1 = client.alloc(&ctx, dw1).unwrap();
+            client.write(&ctx, &b0, &[0.0; 8]).unwrap();
+            client.write(&ctx, &b1, &[0.0; 8]).unwrap();
+            to_w0.send(&ctx, dw0);
+            to_w1.send(&ctx, dw1);
+        });
+    }
+    {
+        let p = pair.clone();
+        sim.spawn("replicator", move |ctx| {
+            p.run_replicator(&ctx, SimDuration::from_millis(10));
+        });
+    }
+    {
+        // Majority side: observes the severed path + expired lease,
+        // promotes the standby (acquiring the fence) and writes there.
+        let p = pair.clone();
+        sim.spawn("worker_majority", move |ctx| {
+            let key = to_w1.recv(&ctx);
+            let client = SmbClient::with_failover(p.clone(), NodeId(1));
+            let buf = client.alloc(&ctx, key).unwrap();
+            ctx.sleep_until(SimTime::from_millis(70));
+            let policy = RetryPolicy::with_seed(31);
+            client.write_retrying(&ctx, &buf, &[1.0; 8], &policy).unwrap();
+            assert!(p.promoted(), "lease expiry must have legalized promotion");
+        });
+    }
+    {
+        // Minority side: its first post-promotion mutation is fenced,
+        // which routes it through fail_over + epoch refresh; it finishes
+        // its write on the standby once the partition heals.
+        let p = pair.clone();
+        sim.spawn("worker_minority", move |ctx| {
+            let key = to_w0.recv(&ctx);
+            let client = SmbClient::with_failover(p.clone(), NodeId(0));
+            let buf = client.alloc(&ctx, key).unwrap();
+            ctx.sleep_until(SimTime::from_millis(160));
+            let policy = RetryPolicy::with_seed(32);
+            client.write_retrying(&ctx, &buf, &[2.0; 8], &policy).unwrap();
+            assert_eq!(client.carried_epoch(), 2);
+        });
+    }
+    // halt_on_race defaults to true: any report would fail sim.run().
+    sim.run();
+    assert!(rdma.race_detector().reports().is_empty());
+    assert!(pair.promoted());
+}
+
+/// Seeded missing-fence companion: after the fence-based promotion, a
+/// rogue client binds straight to the standby and plain-writes a mirrored
+/// segment without ever refreshing an epoch or joining the fence stamp —
+/// concurrent with the replicator's mirror write into that region. The
+/// detector must catch exactly that pair.
+#[test]
+fn seeded_write_without_fence_join_is_caught() {
+    use shmcaffe_simnet::fault::FaultPlan;
+    use shmcaffe_simnet::{SimDuration, SimTime};
+    let spec = ClusterSpec { memory_servers: 2, ..ClusterSpec::paper_testbed(2) };
+    let primary = NodeId(spec.gpu_nodes);
+    let standby = NodeId(spec.gpu_nodes + 1);
+    let plan = FaultPlan::new(37).partition(
+        vec![vec![NodeId(0), primary], vec![NodeId(1), standby]],
+        SimTime::from_millis(20),
+        Some(SimTime::from_millis(150)),
+    );
+    let rdma = RdmaFabric::new(Fabric::with_faults(spec, plan));
+    let cfg =
+        SmbServerConfig { authority_timeout: SimDuration::from_millis(40), ..Default::default() };
+    let pair = SmbPair::new(rdma.clone(), cfg).unwrap();
+    rdma.race_detector().set_halt_on_race(false);
+
+    let to_w1 = SimChannel::<ShmKey>::new("wg_to_w1");
+    let to_rogue = SimChannel::<ShmKey>::new("ckpt_to_rogue");
+    let mut sim = Simulation::new();
+    {
+        let p = pair.clone();
+        let (to_w1, to_rogue) = (to_w1.clone(), to_rogue.clone());
+        sim.spawn("master", move |ctx| {
+            let client = SmbClient::with_failover(p, NodeId(0));
+            let wg = client.create(&ctx, "W_g", 8, None).unwrap();
+            let ckpt = client.create(&ctx, "ckpt", 8, None).unwrap();
+            let wg_buf = client.alloc(&ctx, wg).unwrap();
+            let ckpt_buf = client.alloc(&ctx, ckpt).unwrap();
+            client.write(&ctx, &wg_buf, &[0.0; 8]).unwrap();
+            client.write(&ctx, &ckpt_buf, &[0.5; 8]).unwrap();
+            to_w1.send(&ctx, wg);
+            to_rogue.send(&ctx, ckpt);
+        });
+    }
+    {
+        let p = pair.clone();
+        sim.spawn("replicator", move |ctx| {
+            p.run_replicator(&ctx, SimDuration::from_millis(10));
+        });
+    }
+    {
+        let p = pair.clone();
+        sim.spawn("worker_majority", move |ctx| {
+            let key = to_w1.recv(&ctx);
+            let client = SmbClient::with_failover(p.clone(), NodeId(1));
+            let buf = client.alloc(&ctx, key).unwrap();
+            ctx.sleep_until(SimTime::from_millis(70));
+            let policy = RetryPolicy::with_seed(37);
+            client.write_retrying(&ctx, &buf, &[1.0; 8], &policy).unwrap();
+            assert!(p.promoted());
+        });
+    }
+    {
+        let p = pair.clone();
+        sim.spawn("rogue", move |ctx| {
+            let key = to_rogue.recv(&ctx);
+            // Wait in sim time only — no channel from the promoter, no
+            // fail_over, no epoch refresh: every fence edge is missing.
+            ctx.sleep_until(SimTime::from_millis(100));
+            let client = SmbClient::new(p.standby().clone(), NodeId(1));
+            let buf = client.alloc(&ctx, key).unwrap();
+            client.write(&ctx, &buf, &[7.0; 8]).unwrap();
+        });
+    }
+    sim.run();
+
+    let reports = rdma.race_detector().reports();
+    assert_eq!(reports.len(), 1, "exactly one race expected, got {reports:#?}");
+    let r = &reports[0];
+    let mut sites = [r.earlier_site, r.later_site];
+    sites.sort_unstable();
+    assert_eq!(sites, ["smb::client::write", "smb::replica::apply"]);
+    assert_ne!(r.earlier_pid, r.later_pid);
+}
+
 /// Two engine-serialized accumulates from unsynchronized workers are
 /// atomic read-modify-writes, not a race (paper T.A3: the DRAM bus
 /// processes accumulate requests exclusively).

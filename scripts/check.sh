@@ -36,10 +36,16 @@ if [ "$sum1" != "$sum4" ]; then
     exit 1
 fi
 
-echo "== race detector: SMB seeded-race/failover + SEASGD chaos/failover =="
+echo "== partition tolerance: split-brain chaos + fencing/replica suites =="
+cargo test -q -p shmcaffe --test partition
+cargo test -q -p shmcaffe-smb --lib -- promotion fenced partition reconcile
+
+echo "== race detector: SMB seeded-race/failover/fence-chain + SEASGD chaos/failover/partition =="
 cargo test -q -p shmcaffe-smb --features race-detect
 cargo test -q -p shmcaffe --features race-detect
 cargo test -q -p shmcaffe-simnet --features race-detect
+cargo test -q -p shmcaffe --features race-detect --test partition
+cargo test -q -p shmcaffe-smb --features race-detect --test race_detect
 
 echo "== miri (skips when not installed) =="
 ./scripts/miri.sh
