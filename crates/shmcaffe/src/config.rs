@@ -62,11 +62,35 @@ pub struct ShmCaffeConfig {
     /// partition buffering — a failed push is simply dropped.
     #[serde(default = "default_partition_staleness_cap")]
     pub partition_staleness_cap: usize,
+    /// Run the exchange as a pipelined chunk stream: the `W_g` range-read
+    /// for chunk *k+1* is in flight while chunk *k* mixes, and each
+    /// finished ΔW chunk is pushed (range write + range accumulate)
+    /// immediately, overlapping with the remaining mixing and with
+    /// compute. Off = the original monolithic read→mix→push exchange.
+    /// Both paths produce bit-identical weights (the chunk grid is fixed
+    /// and the mixing is elementwise).
+    #[serde(default = "default_pipelined_exchange")]
+    pub pipelined_exchange: bool,
+    /// Chunk size of the pipelined exchange, in f32 elements. `0` = auto:
+    /// size the grid so [`DEFAULT_EXCHANGE_CHUNKS`] chunks cover the
+    /// model. The grid is derived only from `param_len` and this knob —
+    /// never from timing — so it is part of the deterministic contract.
+    #[serde(default)]
+    pub exchange_chunk_elems: usize,
 }
 
 fn default_partition_staleness_cap() -> usize {
     16
 }
+
+fn default_pipelined_exchange() -> bool {
+    true
+}
+
+/// Number of chunks the auto grid (`exchange_chunk_elems == 0`) targets —
+/// in the paper's ~8–32 sweet spot: enough chunks to overlap read, mix and
+/// push, few enough that per-chunk control latency stays negligible.
+pub const DEFAULT_EXCHANGE_CHUNKS: usize = 16;
 
 impl Default for ShmCaffeConfig {
     fn default() -> Self {
@@ -84,6 +108,8 @@ impl Default for ShmCaffeConfig {
             checkpoint_every: 0,
             rejoin_delay: None,
             partition_staleness_cap: default_partition_staleness_cap(),
+            pipelined_exchange: default_pipelined_exchange(),
+            exchange_chunk_elems: 0,
         }
     }
 }
@@ -157,6 +183,8 @@ mod tests {
         let c = ShmCaffeConfig::default();
         assert_eq!(c.moving_rate, 0.2);
         assert_eq!(c.update_interval, 1);
+        assert!(c.pipelined_exchange, "chunked pipeline is the default path");
+        assert_eq!(c.exchange_chunk_elems, 0, "auto chunk grid by default");
         assert!(c.validate().is_ok());
     }
 

@@ -74,6 +74,20 @@ pub struct WorkerReport {
     /// client refreshed against the promoted primary.
     #[serde(default)]
     pub fenced_writes: u64,
+    /// Per-exchange time spent waiting for the previous exchange's ΔW
+    /// pushes to drain (T.A5 gate), ms. Under the pipelined exchange this
+    /// wait is per-chunk and overlaps with compute, so it shrinks toward
+    /// zero; under the monolithic path it is the full push drain.
+    #[serde(default)]
+    pub wait_ms: RunningStats,
+    /// Per-exchange time blocked on `W_g` reads (T1/T.R3), ms. The
+    /// pipelined exchange double-buffers the chunk reads, so only the
+    /// first chunk's fill and any reader stall is visible here.
+    #[serde(default)]
+    pub read_ms: RunningStats,
+    /// Per-exchange time spent in the elastic mixing pass (T2), ms.
+    #[serde(default)]
+    pub mix_ms: RunningStats,
 }
 
 impl WorkerReport {
@@ -97,6 +111,9 @@ impl WorkerReport {
             partition_dropped: 0,
             reconciled_updates: 0,
             fenced_writes: 0,
+            wait_ms: RunningStats::new(),
+            read_ms: RunningStats::new(),
+            mix_ms: RunningStats::new(),
         }
     }
 

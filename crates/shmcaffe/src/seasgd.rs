@@ -1,19 +1,34 @@
-//! The SEASGD worker protocol (paper §III-C, §III-G, Fig. 6).
+//! The SEASGD worker protocol (paper §III-C, §III-G, Fig. 6), run as a
+//! pipelined chunk stream over a fixed grid.
 //!
-//! Per exchange iteration the main thread:
+//! Per exchange iteration the main thread walks the chunk grid; for each
+//! tile *k* it:
 //!
-//! 1. waits for any pending global update to finish (mutual exclusion with
-//!    the update thread — T.A5),
-//! 2. **T1** reads the global weights `W_g` from the SMB buffer (not
-//!    hidden: hiding it worsens the stale-parameter problem, §III-G),
-//! 3. **T2** computes the weight increment `ΔW_x = α (W_x − W_g)` (eq. 5)
-//!    and updates the local weights `W''_x = W'_x − ΔW_x` (eq. 6),
-//! 4. **T3** wakes the update thread, which **T.A1** RDMA-writes `ΔW_x`
-//!    into the worker's private SMB buffer, **T.A2** sends the accumulate
-//!    request, and the server **T.A3** folds it into the global buffer
-//!    `W'_g = W'_g + ΔW_x` (eq. 7),
+//! 1. waits for the *previous* exchange's tile-*k* push to finish (the
+//!    per-tile T.A5 gate — mutual exclusion with the update thread),
+//! 2. **T1** has a reader process stream-read the `W_g` tile from the SMB
+//!    buffer — the read for tile *k+1* is issued before tile *k* is
+//!    consumed, so the next range-read is on the wire while this one mixes
+//!    (double buffering),
+//! 3. **T2** computes the tile's weight increment `ΔW_x = α (W_x − W_g)`
+//!    (eq. 5) and updates the local weights `W''_x = W'_x − ΔW_x` (eq. 6),
+//! 4. **T3** hands the finished ΔW tile to the update thread immediately,
+//!    which **T.A1** range-writes it into the worker's private SMB buffer,
+//!    **T.A2** sends the range-accumulate request, and the server **T.A3**
+//!    folds it into the global buffer `W'_g = W'_g + ΔW_x` (eq. 7) — all
+//!    overlapping with the remaining tiles' reads and mixing,
 //! 5. **T4** trains one minibatch and **T5** applies the local SGD update
-//!    (eq. 2), overlapping with the update thread's work.
+//!    (eq. 2), overlapping with the update thread's remaining pushes.
+//!
+//! The grid is derived only from `param_len` and the
+//! [`ShmCaffeConfig::exchange_chunk_elems`] knob — never from timing — and
+//! the mixing is elementwise, so the chunked stream produces **bit-identical
+//! weights** to the monolithic exchange (`pipelined_exchange: false`, which
+//! runs the same machinery with a single whole-vector tile per shard).
+//! When the buffers stripe across several memory servers
+//! ([`ElasticExchanger::spawn_sharded`]), the grid is additionally cut at
+//! shard boundaries and every tile streams down its own shard's lane, so
+//! tiles on different servers transfer in parallel.
 //!
 //! [`ElasticExchanger`] packages steps 1–4 so that both the pure
 //! asynchronous worker ([`run_worker`]) and the Hybrid-SGD group root
@@ -25,9 +40,9 @@ use std::sync::Arc;
 use shmcaffe_simnet::channel::SimChannel;
 use shmcaffe_simnet::{SimContext, SimDuration, SimTime};
 use shmcaffe_smb::progress::ProgressBoard;
-use shmcaffe_smb::{RetryPolicy, SmbBuffer, SmbClient};
+use shmcaffe_smb::{RetryPolicy, SmbBuffer, SmbClient, SmbError, SmbServer};
 
-use crate::config::ShmCaffeConfig;
+use crate::config::{ShmCaffeConfig, DEFAULT_EXCHANGE_CHUNKS};
 use crate::report::{EvalPoint, WorkerReport};
 use crate::trainer::Trainer;
 use crate::PlatformError;
@@ -42,16 +57,90 @@ pub struct SeasgdBuffers {
     pub dw: SmbBuffer,
 }
 
+/// One tile of the fixed exchange chunk grid.
+#[derive(Debug, Clone, Copy)]
+struct GridChunk {
+    /// Index of the shard lane the tile lives on.
+    lane: usize,
+    /// Offset within the lane's buffers, in elements.
+    local_off: usize,
+    /// Offset within the whole parameter vector, in elements.
+    global_off: usize,
+    /// Tile length in elements.
+    len: usize,
+}
+
+/// Builds the deterministic chunk grid: cut the parameter vector at every
+/// multiple of the chunk size and additionally at every shard boundary.
+/// The grid depends only on lengths and the config knob — never on timing —
+/// which is what makes the chunked and monolithic paths bit-identical.
+fn exchange_grid(lane_lens: &[usize], cfg: &ShmCaffeConfig) -> Vec<GridChunk> {
+    let param_len: usize = lane_lens.iter().sum();
+    let chunk_elems = if !cfg.pipelined_exchange {
+        // Monolithic: one whole-vector tile (one per shard when striped).
+        param_len.max(1)
+    } else if cfg.exchange_chunk_elems > 0 {
+        cfg.exchange_chunk_elems
+    } else {
+        param_len.div_ceil(DEFAULT_EXCHANGE_CHUNKS).max(1)
+    };
+    let mut grid = Vec::new();
+    let mut lane_start = 0usize;
+    for (lane, &lane_len) in lane_lens.iter().enumerate() {
+        let mut off = 0usize;
+        while off < lane_len {
+            let global_off = lane_start + off;
+            let next_line = (global_off / chunk_elems + 1) * chunk_elems;
+            let len = (next_line - global_off).min(lane_len - off);
+            grid.push(GridChunk { lane, local_off: off, global_off, len });
+            off += len;
+        }
+        lane_start += lane_len;
+    }
+    grid
+}
+
+/// Request to a lane's reader process.
+enum ReadRequest {
+    /// Stream-read one `W_g` tile into `buf` (sized to the tile).
+    Read { chunk: usize, local_off: usize, buf: Vec<f32> },
+    /// Terminate the reader.
+    Shutdown,
+}
+
+/// Reply from a lane's reader process, carrying the tile buffer back for
+/// reuse (the read path is allocation-free in steady state).
+enum ReadReply {
+    /// The tile was read; `buf` holds fresh `W_g` data.
+    Fresh { chunk: usize, buf: Vec<f32> },
+    /// A partition swallowed the read: keep the stale local `W_g` tile
+    /// (degraded mode — same contract as the monolithic read).
+    Stale { buf: Vec<f32> },
+    /// A non-partition failure the worker must surface.
+    Failed { error: SmbError },
+}
+
+/// Request to a lane's update thread.
 enum UpdateRequest {
-    /// Push this increment and accumulate it into the global buffer.
-    Push(Vec<f32>),
+    /// Push ΔW tile `chunk` (grid order) and range-accumulate it into the
+    /// global buffer.
+    Chunk { chunk: usize, buf: Vec<f32> },
+    /// Return a prefetch buffer for reuse (`hide_global_read` mode).
+    PrefetchReturn(Vec<f32>),
     /// Terminate the update thread.
     Shutdown,
 }
 
-/// The update-thread reply: in `hide_global_read` mode it carries the
-/// freshly read (but one-exchange stale) global weights.
-type UpdateDone = Option<Vec<f32>>;
+/// Reply from a lane's update thread.
+enum UpdateDone {
+    /// Tile `chunk` has been pushed (or definitively disposed of); `buf`
+    /// is the recycled ΔW tile buffer. The k-th done of a lane is the
+    /// T.A5 gate for the next exchange's k-th tile on that lane.
+    Chunk { chunk: usize, buf: Vec<f32> },
+    /// `hide_global_read` only: the freshly read (one exchange stale)
+    /// `W_g` slice of this lane, `None` if the read failed.
+    Prefetch(Option<Vec<f32>>),
+}
 
 /// How long the main thread waits for the update thread before declaring
 /// it dead. Generous: the update thread's own retry deadlines are in the
@@ -95,25 +184,117 @@ impl DegradedCounters {
     }
 }
 
-/// The worker-side half of the SEASGD exchange: owns the update thread and
-/// the elastic-mixing buffers.
-pub struct ElasticExchanger {
+/// Per-phase breakdown of the last [`ElasticExchanger::exchange`]: how
+/// much of the non-overlapped communication time went to the T.A5 gates,
+/// the `W_g` read stream, and the elastic mixing pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExchangePhases {
+    /// Time waiting for the previous exchange's ΔW pushes (T.A5 gates).
+    pub wait: SimDuration,
+    /// Time blocked on `W_g` tile reads (T1) — with double buffering only
+    /// the first tile's fill and any reader stall shows up here.
+    pub read: SimDuration,
+    /// Time in the elastic mixing pass (T2).
+    pub mix: SimDuration,
+}
+
+impl Default for ExchangePhases {
+    fn default() -> Self {
+        ExchangePhases { wait: SimDuration::ZERO, read: SimDuration::ZERO, mix: SimDuration::ZERO }
+    }
+}
+
+/// One shard lane: the client, channels, and grid bookkeeping for a
+/// single memory server's slice of the parameter vector.
+struct Lane {
+    /// Client handle kept for zero-cost partition probes; all actual SMB
+    /// traffic goes through the lane's reader and update threads.
     client: SmbClient,
-    buffers: SeasgdBuffers,
-    req_ch: SimChannel<UpdateRequest>,
-    done_ch: SimChannel<UpdateDone>,
+    read_req: SimChannel<ReadRequest>,
+    read_reply: SimChannel<ReadReply>,
+    upd_req: SimChannel<UpdateRequest>,
+    upd_done: SimChannel<UpdateDone>,
+    /// Tiles of the grid on this lane.
+    n_chunks: usize,
+    /// Global offset of this lane's slice.
+    global_off: usize,
+    /// Elements in this lane's slice.
+    len: usize,
+}
+
+/// The fencing epoch this client currently observes (0 on a single-server
+/// route, where there is no failover and hence no epoch).
+fn fence_epoch_of(client: &SmbClient) -> u64 {
+    client.pair().map_or(0, |p| p.fence_epoch())
+}
+
+/// T.A1 + T.A2–T.A3 for one tile: range-write the increment into the
+/// worker's private buffer, then server-side range-accumulate it into the
+/// global buffer.
+fn push_range(
+    ctx: &SimContext,
+    client: &SmbClient,
+    bufs: &SeasgdBuffers,
+    local_off: usize,
+    data: &[f32],
+    retry: &RetryPolicy,
+) -> Result<(), SmbError> {
+    client.write_range_retrying(ctx, &bufs.dw, local_off, data, retry)?;
+    client
+        .accumulate_range_retrying(ctx, &bufs.dw, &bufs.wg, local_off, data.len(), retry)
+        .map(|_| ())
+}
+
+/// Whole-lane push (backlog replay and compensation paths): one atomic
+/// write + accumulate, so a replayed increment can never land torn.
+fn push_full(
+    ctx: &SimContext,
+    client: &SmbClient,
+    bufs: &SeasgdBuffers,
+    data: &[f32],
+    retry: &RetryPolicy,
+) -> Result<(), SmbError> {
+    client.write_retrying(ctx, &bufs.dw, data, retry)?;
+    client.accumulate_retrying(ctx, &bufs.dw, &bufs.wg, retry).map(|_| ())
+}
+
+/// The worker-side half of the SEASGD exchange: owns the per-lane reader
+/// processes and update threads plus the elastic-mixing buffers.
+pub struct ElasticExchanger {
+    lanes: Vec<Lane>,
+    grid: Vec<GridChunk>,
     pending: bool,
-    prefetched_wg: Option<Vec<f32>>,
     moving_rate: f32,
     hide_global_read: bool,
     local_mix_bps: f64,
     wire_bytes: u64,
-    retry: RetryPolicy,
+    param_len: usize,
+    /// Recycled `W_g` tile buffers (at most two in flight: double buffer).
+    read_pool: Vec<Vec<f32>>,
+    /// Recycled ΔW tile buffers, ping-ponged through the done channel so
+    /// steady-state exchanges are allocation-free.
+    dw_pool: Vec<Vec<f32>>,
+    /// Per-lane: a fresh prefetched `W_g` slice replaced this exchange's
+    /// read stream (`hide_global_read` mode).
+    lane_prefetched: Vec<bool>,
+    /// Per-lane: a partition swallowed a tile read — stop issuing reads on
+    /// the lane and keep the whole stale `W_g` slice (same degraded
+    /// contract as the monolithic read, and it keeps a partitioned
+    /// exchange from burning one retry budget per tile). Sticky across
+    /// exchanges: a stale lane is re-probed (zero cost) at the next
+    /// exchange and resumes reading once the partition heals, instead of
+    /// re-paying the full read-retry budget every iteration of an outage.
+    lane_stale: Vec<bool>,
+    /// Per-tile: a read was issued this exchange (reads are issued one
+    /// tile ahead, so a lane can go stale with one read still in flight).
+    read_issued: Vec<bool>,
+    /// Per-lane: T.A5 gates still to consume from the previous exchange.
+    gate_left: Vec<usize>,
     dropped: Arc<AtomicU64>,
     degraded: Arc<DegradedCounters>,
     wg: Vec<f32>,
-    dw: Vec<f32>,
     wx: Vec<f32>,
+    phases: ExchangePhases,
 }
 
 impl std::fmt::Debug for ElasticExchanger {
@@ -121,12 +302,23 @@ impl std::fmt::Debug for ElasticExchanger {
         f.debug_struct("ElasticExchanger")
             .field("pending", &self.pending)
             .field("wire_bytes", &self.wire_bytes)
+            .field("chunks", &self.grid.len())
+            .field("lanes", &self.lanes.len())
             .finish()
     }
 }
 
+fn stalled() -> PlatformError {
+    PlatformError::Timeout(format!("update thread unresponsive for {EXCHANGE_TIMEOUT}"))
+}
+
+fn out_of_sync() -> PlatformError {
+    PlatformError::WorkerFailed("exchange pipeline protocol out of sync".to_string())
+}
+
 impl ElasticExchanger {
-    /// Spawns the update thread and prepares the mixing buffers.
+    /// Spawns the reader process and update thread for a single memory
+    /// server and prepares the mixing buffers.
     pub fn spawn(
         ctx: &SimContext,
         client: SmbClient,
@@ -136,113 +328,217 @@ impl ElasticExchanger {
         cfg: &ShmCaffeConfig,
         label: &str,
     ) -> Self {
-        let req_ch: SimChannel<UpdateRequest> = SimChannel::new(&format!("seasgd_req_{label}"));
-        let done_ch: SimChannel<UpdateDone> = SimChannel::new(&format!("seasgd_done_{label}"));
-        // Per-worker retry policy, seeded so identical runs retry
-        // identically; deadlines are sized to outlast short fault windows.
+        debug_assert_eq!(buffers.wg.len(), param_len);
+        Self::spawn_sharded(ctx, vec![(client, buffers)], wire_bytes, cfg, label)
+    }
+
+    /// Spawns a striped exchanger over several memory-server shards: the
+    /// chunk grid is additionally cut at shard boundaries and every tile's
+    /// read/push rides its own shard's lane (one reader process and one
+    /// update thread per shard), so tiles on different servers stream in
+    /// parallel. `parts` are `(client, buffers)` pairs in parameter order;
+    /// the shard slice lengths come from the buffers themselves.
+    pub fn spawn_sharded(
+        ctx: &SimContext,
+        parts: Vec<(SmbClient, SeasgdBuffers)>,
+        wire_bytes: u64,
+        cfg: &ShmCaffeConfig,
+        label: &str,
+    ) -> Self {
+        let lane_lens: Vec<usize> = parts.iter().map(|(_, b)| b.wg.len()).collect();
+        let param_len: usize = lane_lens.iter().sum();
+        let grid = exchange_grid(&lane_lens, cfg);
+        // Per-worker retry seed, so identical runs retry identically;
+        // deadlines are sized to outlast short fault windows.
         let retry_seed =
             label.bytes().fold(cfg.seed, |acc, b| acc.wrapping_mul(31).wrapping_add(u64::from(b)));
-        let retry = RetryPolicy {
-            max_attempts: 8,
-            deadline: SimDuration::from_millis(500),
-            ..RetryPolicy::with_seed(retry_seed)
-        };
         let dropped = Arc::new(AtomicU64::new(0));
         let degraded = Arc::new(DegradedCounters::default());
-        {
-            let client = client.clone();
-            let req_ch = req_ch.clone();
-            let done_ch = done_ch.clone();
-            let hide_read = cfg.hide_global_read;
-            let staleness_cap = cfg.partition_staleness_cap;
-            let retry = retry.clone();
-            let dropped = Arc::clone(&dropped);
-            let degraded = Arc::clone(&degraded);
-            ctx.spawn(&format!("update_thread_{label}"), move |uctx| {
-                let mut wg_readback = vec![0.0f32; param_len];
-                // Increments held back while a partition cuts this worker
-                // off from the memory server, replayed once it heals.
-                let mut backlog: Vec<Vec<f32>> = Vec::new();
-                let push = |uctx: &SimContext, dw: &[f32]| {
-                    client.write_retrying(uctx, &buffers.dw, dw, &retry).and_then(|()| {
-                        client
-                            .accumulate_retrying(uctx, &buffers.dw, &buffers.wg, &retry)
-                            .map(|_| ())
-                    })
-                };
-                // Runs until the owner sends `Shutdown`.
-                while let UpdateRequest::Push(dw) = req_ch.recv(&uctx) {
-                    // T.A1: store the increment in the private buffer, then
-                    // T.A2-T.A4: server-side accumulate into W_g. A push
-                    // that cannot go through within the retry budget is
-                    // dropped: elastic averaging re-derives the lost force
-                    // from the next W_x - W_g difference, whereas dying
-                    // here would take the whole worker down. Pushes lost to
-                    // a network partition are buffered instead (up to the
-                    // staleness cap) and replayed after the heal:
-                    // accumulation is commutative, so replay order is free.
-                    match push(&uctx, &dw) {
-                        Ok(()) => {
-                            while let Some(old) = backlog.last() {
-                                if push(&uctx, old).is_err() {
-                                    break;
-                                }
-                                degraded.reconciled.fetch_add(1, Ordering::Relaxed);
-                                degraded.pending.fetch_sub(1, Ordering::Relaxed);
-                                backlog.pop();
+        let mut lanes = Vec::with_capacity(parts.len());
+        let mut global_off = 0usize;
+        for (lane_idx, (client, buffers)) in parts.into_iter().enumerate() {
+            let lane_len = buffers.wg.len();
+            let retry = RetryPolicy {
+                max_attempts: 8,
+                deadline: SimDuration::from_millis(500),
+                ..RetryPolicy::with_seed(
+                    retry_seed.wrapping_add((lane_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                )
+            };
+            let read_req: SimChannel<ReadRequest> =
+                SimChannel::new(&format!("seasgd_read_req_{label}_s{lane_idx}"));
+            let read_reply: SimChannel<ReadReply> =
+                SimChannel::new(&format!("seasgd_read_reply_{label}_s{lane_idx}"));
+            let upd_req: SimChannel<UpdateRequest> =
+                SimChannel::new(&format!("seasgd_req_{label}_s{lane_idx}"));
+            let upd_done: SimChannel<UpdateDone> =
+                SimChannel::new(&format!("seasgd_done_{label}_s{lane_idx}"));
+            // Tiles of this lane, in grid order: (global index, local
+            // offset, length).
+            let lane_chunks: Vec<(usize, usize, usize)> = grid
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.lane == lane_idx)
+                .map(|(k, c)| (k, c.local_off, c.len))
+                .collect();
+            let n_chunks = lane_chunks.len();
+            {
+                // T1 as a stream: the reader fetches W_g tiles on demand so
+                // the main thread can mix tile k while tile k+1 is on the
+                // wire.
+                let client = client.clone();
+                let retry = retry.clone();
+                let read_req = read_req.clone();
+                let read_reply = read_reply.clone();
+                let wg = buffers.wg;
+                ctx.spawn(&format!("reader_{label}_s{lane_idx}"), move |rctx| {
+                    while let ReadRequest::Read { chunk, local_off, mut buf } = read_req.recv(&rctx)
+                    {
+                        let reply = match client
+                            .read_range_retrying(&rctx, &wg, local_off, &mut buf, &retry)
+                        {
+                            Ok(()) => ReadReply::Fresh { chunk, buf },
+                            Err(_) if client.partitioned_from_server(&rctx) => {
+                                ReadReply::Stale { buf }
                             }
-                        }
-                        Err(_) if staleness_cap > 0 && client.partitioned_from_server(&uctx) => {
-                            if backlog.len() < staleness_cap {
-                                backlog.push(dw);
-                                degraded.buffered.fetch_add(1, Ordering::Relaxed);
-                                degraded.pending.fetch_add(1, Ordering::Relaxed);
-                            } else {
-                                degraded.dropped.fetch_add(1, Ordering::Relaxed);
-                            }
-                        }
-                        Err(_) => {
-                            dropped.fetch_add(1, Ordering::Relaxed);
-                        }
+                            Err(error) => ReadReply::Failed { error },
+                        };
+                        read_reply.send(&rctx, reply);
                     }
-                    let reply = if hide_read {
-                        // On failure fall back to a synchronous read at the
-                        // next exchange instead of serving stale weights.
-                        client
-                            .read_retrying(&uctx, &buffers.wg, &mut wg_readback, &retry)
-                            .ok()
-                            .map(|()| wg_readback.clone())
-                    } else {
-                        None
-                    };
-                    done_ch.send(&uctx, reply);
-                }
+                });
+            }
+            {
+                let client = client.clone();
+                let upd_req = upd_req.clone();
+                let upd_done = upd_done.clone();
+                let hide_read = cfg.hide_global_read;
+                let staleness_cap = cfg.partition_staleness_cap;
+                let retry = retry.clone();
+                let dropped = Arc::clone(&dropped);
+                let degraded = Arc::clone(&degraded);
+                let lane_chunks = lane_chunks.clone();
+                ctx.spawn(&format!("update_thread_{label}_s{lane_idx}"), move |uctx| {
+                    update_thread(
+                        &uctx,
+                        &client,
+                        buffers,
+                        &lane_chunks,
+                        &upd_req,
+                        &upd_done,
+                        hide_read,
+                        staleness_cap,
+                        &retry,
+                        &dropped,
+                        &degraded,
+                    );
+                });
+            }
+            lanes.push(Lane {
+                client,
+                read_req,
+                read_reply,
+                upd_req,
+                upd_done,
+                n_chunks,
+                global_off,
+                len: lane_len,
             });
+            global_off += lane_len;
         }
+        let n_lanes = lanes.len();
+        let n_tiles = grid.len();
         ElasticExchanger {
-            client,
-            buffers,
-            req_ch,
-            done_ch,
+            lanes,
+            grid,
             pending: false,
-            prefetched_wg: None,
             moving_rate: cfg.moving_rate,
             hide_global_read: cfg.hide_global_read,
             local_mix_bps: cfg.local_mix_bps,
             wire_bytes,
-            retry,
+            param_len,
+            read_pool: Vec::new(),
+            dw_pool: Vec::new(),
+            lane_prefetched: vec![false; n_lanes],
+            lane_stale: vec![false; n_lanes],
+            read_issued: vec![false; n_tiles],
+            gate_left: vec![0; n_lanes],
             dropped,
             degraded,
             wg: vec![0.0; param_len],
-            dw: vec![0.0; param_len],
             wx: vec![0.0; param_len],
+            phases: ExchangePhases::default(),
         }
     }
 
-    /// One exchange: wait for the pending update (T.A5), read `W_g` (T1),
-    /// elastically mix the trainer's weights (T2, eqs. 5–6) and hand the
-    /// increment to the update thread (T3). Returns the time spent, which
-    /// is the non-overlapped communication cost of the exchange.
+    /// Consumes one T.A5 gate for tile `k` if its lane still has dones
+    /// outstanding from the previous exchange. Returns the time waited.
+    fn gate(&mut self, ctx: &SimContext, k: usize) -> Result<SimDuration, PlatformError> {
+        let lane = self.grid[k].lane;
+        if self.gate_left[lane] == 0 {
+            return Ok(SimDuration::ZERO);
+        }
+        let t0 = ctx.now();
+        match self.lanes[lane].upd_done.recv_timeout(ctx, EXCHANGE_TIMEOUT) {
+            Some(UpdateDone::Chunk { chunk, buf }) => {
+                // The grid is identical every exchange, so per-lane FIFO
+                // order means this done is the previous exchange's tile k.
+                debug_assert_eq!(chunk, k);
+                self.dw_pool.push(buf);
+                self.gate_left[lane] -= 1;
+                Ok(ctx.now() - t0)
+            }
+            Some(UpdateDone::Prefetch(_)) => Err(out_of_sync()),
+            None => Err(stalled()),
+        }
+    }
+
+    /// Issues the stream-read for tile `k` to its lane's reader, unless
+    /// the lane's slice already arrived via prefetch or went stale.
+    fn issue_read(&mut self, ctx: &SimContext, k: usize) {
+        let c = self.grid[k];
+        if self.lane_prefetched[c.lane] || self.lane_stale[c.lane] {
+            self.read_issued[k] = false;
+            return;
+        }
+        let mut buf = self.read_pool.pop().unwrap_or_default();
+        buf.resize(c.len, 0.0);
+        self.lanes[c.lane]
+            .read_req
+            .send(ctx, ReadRequest::Read { chunk: k, local_off: c.local_off, buf });
+        self.read_issued[k] = true;
+    }
+
+    /// Receives tile `k`'s read reply and installs it into the local `W_g`
+    /// copy (a partition-stale tile keeps the last-known data). Returns
+    /// the time blocked.
+    fn recv_read(&mut self, ctx: &SimContext, k: usize) -> Result<SimDuration, PlatformError> {
+        let c = self.grid[k];
+        let t0 = ctx.now();
+        let reply = self.lanes[c.lane]
+            .read_reply
+            .recv_timeout(ctx, EXCHANGE_TIMEOUT)
+            .ok_or_else(stalled)?;
+        let blocked = ctx.now() - t0;
+        match reply {
+            ReadReply::Fresh { chunk, buf } => {
+                debug_assert_eq!(chunk, k);
+                self.wg[c.global_off..c.global_off + c.len].copy_from_slice(&buf[..c.len]);
+                self.read_pool.push(buf);
+            }
+            ReadReply::Stale { buf } => {
+                self.lane_stale[c.lane] = true;
+                self.read_pool.push(buf);
+            }
+            ReadReply::Failed { error } => return Err(error.into()),
+        }
+        Ok(blocked)
+    }
+
+    /// One exchange, streamed over the chunk grid: per tile, wait for the
+    /// previous exchange's push of that tile (T.A5), read `W_g` (T1, double
+    /// buffered), elastically mix the trainer's weights (T2, eqs. 5–6) and
+    /// hand the ΔW tile to the update thread (T3). Returns the time spent,
+    /// which is the non-overlapped communication cost of the exchange.
     ///
     /// # Errors
     ///
@@ -253,47 +549,113 @@ impl ElasticExchanger {
         trainer: &mut T,
     ) -> Result<SimDuration, PlatformError> {
         let start = ctx.now();
-        // Mutual exclusion with the update thread (T.A5). Bounded wait: a
-        // wedged update thread surfaces as an error instead of hanging the
-        // worker forever.
+        let mut wait = SimDuration::ZERO;
+        let mut read = SimDuration::ZERO;
+        let mut mix = SimDuration::ZERO;
+        let n = self.grid.len();
+        for p in self.lane_prefetched.iter_mut() {
+            *p = false;
+        }
+        for (s, lane) in self.lane_stale.iter_mut().zip(&self.lanes) {
+            // Sticky staleness: while the probe still sees the partition,
+            // skip the lane's reads outright (mix against the stale W_g);
+            // once it heals, resume the read stream.
+            if *s && !lane.client.partitioned_from_server(ctx) {
+                *s = false;
+            }
+        }
         if self.pending {
-            match self.done_ch.recv_timeout(ctx, EXCHANGE_TIMEOUT) {
-                Some(reply) => self.prefetched_wg = reply,
-                None => {
-                    return Err(PlatformError::Timeout(format!(
-                        "update thread unresponsive for {EXCHANGE_TIMEOUT}"
-                    )))
+            if self.hide_global_read {
+                // Drain the previous exchange wholesale: all tile dones
+                // plus each lane's prefetched W_g slice. A fresh prefetch
+                // replaces the lane's read stream this exchange (the
+                // deliberately reproduced stale-parameter trade-off of
+                // §III-G); a failed one falls back to synchronous tile
+                // reads.
+                let t0 = ctx.now();
+                for li in 0..self.lanes.len() {
+                    for _ in 0..self.lanes[li].n_chunks {
+                        match self.lanes[li]
+                            .upd_done
+                            .recv_timeout(ctx, EXCHANGE_TIMEOUT)
+                            .ok_or_else(stalled)?
+                        {
+                            UpdateDone::Chunk { buf, .. } => self.dw_pool.push(buf),
+                            UpdateDone::Prefetch(_) => return Err(out_of_sync()),
+                        }
+                    }
+                    match self.lanes[li]
+                        .upd_done
+                        .recv_timeout(ctx, EXCHANGE_TIMEOUT)
+                        .ok_or_else(stalled)?
+                    {
+                        UpdateDone::Prefetch(Some(buf)) => {
+                            let (g0, l) = (self.lanes[li].global_off, self.lanes[li].len);
+                            self.wg[g0..g0 + l].copy_from_slice(&buf[..l]);
+                            self.lanes[li].upd_req.send(ctx, UpdateRequest::PrefetchReturn(buf));
+                            self.lane_prefetched[li] = true;
+                        }
+                        UpdateDone::Prefetch(None) => {}
+                        UpdateDone::Chunk { .. } => return Err(out_of_sync()),
+                    }
+                }
+                for g in self.gate_left.iter_mut() {
+                    *g = 0;
+                }
+                wait += ctx.now() - t0;
+            } else {
+                // Per-tile lazy gating: tile k's gate is consumed right
+                // before its read is issued, so this exchange's stream
+                // overlaps the previous exchange's tail instead of
+                // barriering on it.
+                for (li, g) in self.gate_left.iter_mut().enumerate() {
+                    *g = self.lanes[li].n_chunks;
                 }
             }
             self.pending = false;
-        }
-        // T1: read the global weights (or take the prefetched stale copy).
-        // A read lost to a network partition degrades to the last-known
-        // `W_g` instead of killing the worker: training on a stale center
-        // variable is exactly the minority-side degraded mode, and the
-        // elastic term re-converges after the heal.
-        match self.prefetched_wg.take() {
-            Some(fresh) if self.hide_global_read => self.wg.copy_from_slice(&fresh),
-            _ => {
-                match self.client.read_retrying(ctx, &self.buffers.wg, &mut self.wg, &self.retry) {
-                    Ok(()) => {}
-                    Err(_) if self.client.partitioned_from_server(ctx) => {}
-                    Err(e) => return Err(e.into()),
-                }
+        } else {
+            for g in self.gate_left.iter_mut() {
+                *g = 0;
             }
         }
-        // T2: elastic mixing (eqs. 5-6).
+
         trainer.read_weights(&mut self.wx);
-        for ((d, x), g) in self.dw.iter_mut().zip(self.wx.iter_mut()).zip(self.wg.iter()) {
-            *d = self.moving_rate * (*x - *g);
-            *x -= *d;
+        if n > 0 {
+            wait += self.gate(ctx, 0)?;
+            self.issue_read(ctx, 0);
+        }
+        for k in 0..n {
+            if k + 1 < n {
+                // Double buffering: tile k+1's range-read goes on the wire
+                // before tile k is consumed and mixed.
+                wait += self.gate(ctx, k + 1)?;
+                self.issue_read(ctx, k + 1);
+            }
+            if self.read_issued[k] {
+                read += self.recv_read(ctx, k)?;
+            }
+            let c = self.grid[k];
+            let r = c.global_off..c.global_off + c.len;
+            let mut dbuf = self.dw_pool.pop().unwrap_or_default();
+            dbuf.resize(c.len, 0.0);
+            // T2 on the tile (eqs. 5–6), vectorized and
+            // decomposition-invariant: same bits whatever the grid.
+            shmcaffe_tensor::ops::elastic_mix(
+                self.moving_rate,
+                &mut self.wx[r.clone()],
+                &mut dbuf[..c.len],
+                &self.wg[r],
+            );
+            let tile_wire = self.wire_bytes as f64 * c.len as f64 / self.param_len.max(1) as f64;
+            let mix_step = SimDuration::from_secs_f64(tile_wire * 2.0 / self.local_mix_bps);
+            ctx.sleep(mix_step);
+            mix += mix_step;
+            // T3: hand the finished tile to its lane's update thread.
+            self.lanes[c.lane].upd_req.send(ctx, UpdateRequest::Chunk { chunk: k, buf: dbuf });
         }
         trainer.write_weights(&self.wx);
-        let mix_secs = (self.wire_bytes as f64 * 2.0) / self.local_mix_bps;
-        ctx.sleep(SimDuration::from_secs_f64(mix_secs));
-        // T3: wake the update thread with the increment.
-        self.req_ch.send(ctx, UpdateRequest::Push(self.dw.clone()));
         self.pending = true;
+        self.phases = ExchangePhases { wait, read, mix };
         Ok(ctx.now() - start)
     }
 
@@ -309,6 +671,11 @@ impl ElasticExchanger {
         &self.wg
     }
 
+    /// Per-phase timing (wait/read/mix) of the last exchange.
+    pub fn phase_times(&self) -> ExchangePhases {
+        self.phases
+    }
+
     /// Number of weight increments dropped because pushing them kept
     /// failing (fault injection).
     pub fn dropped_updates(&self) -> u64 {
@@ -322,13 +689,206 @@ impl ElasticExchanger {
         self.degraded.snapshot()
     }
 
-    /// Drains any pending update and stops the update thread.
-    pub fn finish(mut self, ctx: &SimContext) {
-        if self.pending {
-            let _ = self.done_ch.recv(ctx);
-            self.pending = false;
+    /// Stops the reader processes and update threads. Queued tiles drain
+    /// in FIFO order before the shutdown is seen, so a pending exchange
+    /// still completes its pushes.
+    pub fn finish(self, ctx: &SimContext) {
+        for lane in &self.lanes {
+            lane.upd_req.send(ctx, UpdateRequest::Shutdown);
+            lane.read_req.send(ctx, ReadRequest::Shutdown);
         }
-        self.req_ch.send(ctx, UpdateRequest::Shutdown);
+    }
+}
+
+/// One lane's update thread: receives mixed ΔW tiles in grid order and
+/// pushes each immediately (T.A1–T.A3), overlapping with the main thread's
+/// remaining reads/mixing and with T4/T5 compute.
+///
+/// Failure semantics are exchange-grained — never a torn half-exchange:
+///
+/// * a mid-stream *failover* (fencing epoch change) refolds the tiles
+///   whose folds died with the old primary onto the promoted server (the
+///   accumulate-stream guard kept half-folded state off the standby);
+/// * a mid-stream *partition* failure backlogs the whole exchange with
+///   already-folded tiles zeroed, replayed as one atomic push after heal;
+/// * any other persistent failure compensates the folded tiles with one
+///   atomic negated push and drops the exchange.
+#[allow(clippy::too_many_arguments)]
+fn update_thread(
+    uctx: &SimContext,
+    client: &SmbClient,
+    buffers: SeasgdBuffers,
+    lane_chunks: &[(usize, usize, usize)],
+    upd_req: &SimChannel<UpdateRequest>,
+    upd_done: &SimChannel<UpdateDone>,
+    hide_read: bool,
+    staleness_cap: usize,
+    retry: &RetryPolicy,
+    dropped: &AtomicU64,
+    degraded: &DegradedCounters,
+) {
+    let lane_len = buffers.wg.len();
+    let n = lane_chunks.len();
+    // The exchange's full ΔW slice, staged tile by tile: the backlog,
+    // refold, and compensation paths all need tiles that already went
+    // back to the main thread for recycling.
+    let mut staging = vec![0.0f32; lane_len];
+    let mut scratch: Vec<f32> = Vec::new();
+    let mut readback: Option<Vec<f32>> = None;
+    // Increments held back while a partition cuts this worker off from
+    // the memory server, replayed once it heals. Already-folded tiles are
+    // zeroed at capture, so a replayed entry folds exactly once.
+    let mut backlog: Vec<Vec<f32>> = Vec::new();
+    let mut pos = 0usize;
+    let mut folded = vec![false; n];
+    let mut exchange_failed = false;
+    let mut partition_fail = false;
+    let mut guard: Option<SmbServer> = None;
+    let mut epoch = 0u64;
+    loop {
+        match upd_req.recv(uctx) {
+            UpdateRequest::Shutdown => break,
+            UpdateRequest::PrefetchReturn(buf) => readback = Some(buf),
+            UpdateRequest::Chunk { chunk, buf } => {
+                let (gidx, off, len) = lane_chunks[pos];
+                debug_assert_eq!(gidx, chunk);
+                staging[off..off + len].copy_from_slice(&buf[..len]);
+                if pos == 0 {
+                    for f in folded.iter_mut() {
+                        *f = false;
+                    }
+                    exchange_failed = false;
+                    partition_fail = false;
+                    // Torn-replication guard: while this exchange's tiles
+                    // stream into W_g, the replicator must not ship a
+                    // half-folded snapshot to the standby.
+                    let server = client.server();
+                    server.begin_accumulate_stream(buffers.wg.key);
+                    guard = Some(server);
+                    epoch = fence_epoch_of(client);
+                }
+                if !exchange_failed {
+                    match push_range(uctx, client, &buffers, off, &buf[..len], retry) {
+                        Ok(()) => {
+                            folded[pos] = true;
+                            let now_epoch = fence_epoch_of(client);
+                            if now_epoch != epoch {
+                                // Failover mid-stream: the earlier tiles'
+                                // folds died with the old primary (the
+                                // stream guard kept them off the standby)
+                                // while this tile just landed on the
+                                // promoted server. Refold the lost tiles
+                                // there so exactly one full exchange lands.
+                                if let Some(g) = guard.take() {
+                                    g.end_accumulate_stream(buffers.wg.key);
+                                }
+                                let server = client.server();
+                                server.begin_accumulate_stream(buffers.wg.key);
+                                guard = Some(server);
+                                epoch = now_epoch;
+                                for j in 0..pos {
+                                    if !folded[j] {
+                                        continue;
+                                    }
+                                    let (_, joff, jlen) = lane_chunks[j];
+                                    let data = &staging[joff..joff + jlen];
+                                    if push_range(uctx, client, &buffers, joff, data, retry)
+                                        .is_err()
+                                    {
+                                        folded[j] = false;
+                                        exchange_failed = true;
+                                        partition_fail = staleness_cap > 0
+                                            && client.partitioned_from_server(uctx);
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        Err(_) => {
+                            exchange_failed = true;
+                            partition_fail =
+                                staleness_cap > 0 && client.partitioned_from_server(uctx);
+                        }
+                    }
+                }
+                // The done is the next exchange's T.A5 gate for this tile
+                // and carries the buffer back for recycling — sent even on
+                // failure so the main thread never wedges.
+                upd_done.send(uctx, UpdateDone::Chunk { chunk, buf });
+                pos += 1;
+                if pos == n {
+                    pos = 0;
+                    if let Some(g) = guard.take() {
+                        g.end_accumulate_stream(buffers.wg.key);
+                    }
+                    if !exchange_failed {
+                        // Replay partition backlog newest-first:
+                        // accumulation is commutative, so order is free.
+                        while let Some(entry) = backlog.last() {
+                            if push_full(uctx, client, &buffers, entry, retry).is_err() {
+                                break;
+                            }
+                            degraded.reconciled.fetch_add(1, Ordering::Relaxed);
+                            degraded.pending.fetch_sub(1, Ordering::Relaxed);
+                            backlog.pop();
+                        }
+                    } else if partition_fail {
+                        if backlog.len() < staleness_cap {
+                            let mut entry = staging.clone();
+                            for (j, &(_, joff, jlen)) in lane_chunks.iter().enumerate() {
+                                if folded[j] {
+                                    entry[joff..joff + jlen].fill(0.0);
+                                }
+                            }
+                            backlog.push(entry);
+                            degraded.buffered.fetch_add(1, Ordering::Relaxed);
+                            degraded.pending.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            degraded.dropped.fetch_add(1, Ordering::Relaxed);
+                        }
+                    } else {
+                        // A push that cannot go through within the retry
+                        // budget drops the exchange: elastic averaging
+                        // re-derives the lost force from the next
+                        // W_x − W_g difference, whereas dying here would
+                        // take the whole worker down. Tiles already folded
+                        // are compensated with one atomic negated push so
+                        // W_g never keeps half an exchange.
+                        if folded.iter().any(|&f| f) {
+                            scratch.clear();
+                            scratch.resize(lane_len, 0.0);
+                            for (j, &(_, joff, jlen)) in lane_chunks.iter().enumerate() {
+                                if folded[j] {
+                                    for (s, &v) in scratch[joff..joff + jlen]
+                                        .iter_mut()
+                                        .zip(&staging[joff..joff + jlen])
+                                    {
+                                        *s = -v;
+                                    }
+                                }
+                            }
+                            let _ = push_full(uctx, client, &buffers, &scratch, retry);
+                        }
+                        dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if hide_read {
+                        // On failure fall back to a synchronous read at
+                        // the next exchange instead of serving stale
+                        // weights.
+                        let mut rb = readback.take().unwrap_or_default();
+                        rb.resize(lane_len, 0.0);
+                        let reply = match client.read_retrying(uctx, &buffers.wg, &mut rb, retry) {
+                            Ok(()) => Some(rb),
+                            Err(_) => {
+                                readback = Some(rb);
+                                None
+                            }
+                        };
+                        upd_done.send(uctx, UpdateDone::Prefetch(reply));
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -493,6 +1053,10 @@ pub fn run_worker<T: Trainer>(
         if iter.is_multiple_of(cfg.update_interval as u64) {
             let comm = exchanger.exchange(ctx, trainer)?;
             report.comm_ms.record_duration_ms(comm);
+            let phases = exchanger.phase_times();
+            report.wait_ms.record_duration_ms(phases.wait);
+            report.read_ms.record_duration_ms(phases.read);
+            report.mix_ms.record_duration_ms(phases.mix);
         }
 
         // T4 + T5: train one minibatch and apply the local update (eq. 2).
@@ -585,6 +1149,60 @@ mod tests {
     use shmcaffe_smb::{ShmKey, SmbServer};
     use std::sync::Arc;
 
+    #[test]
+    fn grid_covers_every_element_exactly_once() {
+        for (lanes, cfg) in [
+            (vec![1_000_000], ShmCaffeConfig::default()),
+            (vec![1_000_000], ShmCaffeConfig { exchange_chunk_elems: 7, ..Default::default() }),
+            (
+                vec![999_999],
+                ShmCaffeConfig { exchange_chunk_elems: 1_000_000, ..Default::default() },
+            ),
+            (vec![1], ShmCaffeConfig::default()),
+            (
+                vec![300_000, 300_000, 400_001],
+                ShmCaffeConfig { exchange_chunk_elems: 123_457, ..Default::default() },
+            ),
+            (
+                vec![500_000, 500_000],
+                ShmCaffeConfig { pipelined_exchange: false, ..Default::default() },
+            ),
+        ] {
+            let grid = exchange_grid(&lanes, &cfg);
+            let total: usize = lanes.iter().sum();
+            let mut next = 0usize;
+            let mut lane_start = 0usize;
+            let mut lane = 0usize;
+            for c in &grid {
+                assert_eq!(c.global_off, next, "tiles are contiguous");
+                while c.global_off >= lane_start + lanes[lane] {
+                    lane_start += lanes[lane];
+                    lane += 1;
+                }
+                assert_eq!(c.lane, lane, "tile assigned to the lane holding it");
+                assert_eq!(c.local_off, c.global_off - lane_start);
+                assert!(
+                    c.local_off + c.len <= lanes[lane],
+                    "tile never straddles a shard boundary"
+                );
+                assert!(c.len > 0);
+                next += c.len;
+            }
+            assert_eq!(next, total, "grid covers the whole vector");
+        }
+    }
+
+    #[test]
+    fn default_grid_targets_the_paper_chunk_count() {
+        let grid = exchange_grid(&[13_375_000], &ShmCaffeConfig::default());
+        assert_eq!(grid.len(), DEFAULT_EXCHANGE_CHUNKS);
+        let mono = exchange_grid(
+            &[13_375_000],
+            &ShmCaffeConfig { pipelined_exchange: false, ..Default::default() },
+        );
+        assert_eq!(mono.len(), 1);
+    }
+
     /// Assembles the full master/slave handshake and runs `n` workers.
     fn run_seasgd(
         n_workers: usize,
@@ -667,6 +1285,7 @@ mod tests {
         assert_eq!(out[0].report.iters, 20);
         assert!(out[0].report.comp_ms.mean() >= 10.0);
         assert!(out[0].report.comm_ms.count() > 0);
+        assert!(out[0].report.mix_ms.count() > 0, "phase timing is recorded");
     }
 
     #[test]
@@ -742,6 +1361,37 @@ mod tests {
             assert_eq!(x.report.finished_at, y.report.finished_at);
             assert_eq!(x.report.comm_ms, y.report.comm_ms);
         }
+    }
+
+    #[test]
+    fn chunked_pipeline_cuts_nonoverlapped_comm() {
+        // Same workload, same fleet: the pipelined chunk stream must spend
+        // visibly less non-overlapped time than the monolithic exchange
+        // (the reads for later tiles ride under earlier tiles' mixing, and
+        // the T.A5 gates drain per tile under compute).
+        let wl = WorkloadModel::custom("mid", 50_000_000, SimDuration::from_millis(120));
+        let mono = run_seasgd(
+            2,
+            1,
+            quiet(ShmCaffeConfig {
+                max_iters: 10,
+                pipelined_exchange: false,
+                ..Default::default()
+            }),
+            wl.clone(),
+        );
+        let chunked = run_seasgd(
+            2,
+            1,
+            quiet(ShmCaffeConfig { max_iters: 10, pipelined_exchange: true, ..Default::default() }),
+            wl,
+        );
+        let t_mono: f64 = mono.iter().map(|o| o.report.comm_ms.mean()).sum();
+        let t_chunk: f64 = chunked.iter().map(|o| o.report.comm_ms.mean()).sum();
+        assert!(
+            t_chunk < t_mono,
+            "chunked pipeline must reduce non-overlapped comm: {t_chunk:.3} vs {t_mono:.3}"
+        );
     }
 
     #[test]

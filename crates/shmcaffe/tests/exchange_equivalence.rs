@@ -1,0 +1,141 @@
+//! Bit-identity of the pipelined chunked exchange (DESIGN.md §5g).
+//!
+//! The chunk grid is derived only from `param_len` and the
+//! `exchange_chunk_elems` knob — never from timing — and the elastic
+//! mixing is elementwise, so *any* chunking of the exchange must produce
+//! exactly the same weights as the monolithic read→mix→push path: same
+//! bits, for every chunk size and every thread count. These tests run a
+//! real single-worker SEASGD loop against a live SMB server and compare
+//! the final mixed weights `W_x` bit-for-bit.
+
+use proptest::prelude::*;
+use shmcaffe::seasgd::{ElasticExchanger, SeasgdBuffers};
+use shmcaffe::trainer::{ModeledTrainerFactory, Trainer, TrainerFactory};
+use shmcaffe::ShmCaffeConfig;
+use shmcaffe_models::WorkloadModel;
+use shmcaffe_rdma::RdmaFabric;
+use shmcaffe_simnet::jitter::JitterModel;
+use shmcaffe_simnet::topology::{ClusterSpec, Fabric, NodeId};
+use shmcaffe_simnet::{SimDuration, Simulation};
+use shmcaffe_smb::SmbClient;
+use shmcaffe_tensor::parallel;
+use std::sync::Arc;
+use std::sync::Mutex;
+
+const ITERS: usize = 3;
+const PARAM_LEN: usize = WorkloadModel::DEFAULT_PARAM_ELEMS;
+
+/// Runs a single worker for [`ITERS`] compute/exchange rounds and returns
+/// the final mixed weights. `chunk_elems = None` selects the monolithic
+/// exchange; `Some(n)` the pipelined one with an `n`-element grid.
+fn final_weights(chunk_elems: Option<usize>) -> Vec<f32> {
+    let rdma = RdmaFabric::new(Fabric::new(ClusterSpec::paper_testbed(1)));
+    let workload = WorkloadModel::custom("equiv", 4_000_000, SimDuration::from_millis(5));
+    let factory = ModeledTrainerFactory::new(workload, JitterModel::NONE, 99);
+    let cfg = ShmCaffeConfig {
+        pipelined_exchange: chunk_elems.is_some(),
+        exchange_chunk_elems: chunk_elems.unwrap_or(0),
+        jitter: JitterModel::NONE,
+        ..Default::default()
+    };
+    let out = Arc::new(Mutex::new(Vec::new()));
+
+    let mut sim = Simulation::new();
+    {
+        let server =
+            shmcaffe_smb::SmbServer::new(rdma).expect("fresh fabric hosts a memory server");
+        let out = Arc::clone(&out);
+        sim.spawn("worker", move |ctx| {
+            let mut trainer = factory.make(0, 1);
+            let param_len = trainer.param_len();
+            let wire = trainer.wire_bytes();
+            let client = SmbClient::new(server, NodeId(0));
+            let wg_key = client.create(&ctx, "W_g", param_len, Some(wire)).expect("unique names");
+            let wg = client.alloc(&ctx, wg_key).expect("just created");
+            let mut w0 = vec![0.0f32; param_len];
+            trainer.read_weights(&mut w0);
+            client.write(&ctx, &wg, &w0).expect("sizes match");
+            let dw_key = client.create(&ctx, "dW_0", param_len, Some(wire)).expect("unique names");
+            let dw = client.alloc(&ctx, dw_key).expect("just created");
+
+            let mut ex = ElasticExchanger::spawn(
+                &ctx,
+                client,
+                SeasgdBuffers { wg, dw },
+                param_len,
+                wire,
+                &cfg,
+                "equiv",
+            );
+            for _ in 0..ITERS {
+                let _loss = trainer.compute_gradients(&ctx);
+                trainer.apply_update(&ctx);
+                ex.exchange(&ctx, &mut trainer).expect("fault-free fabric");
+            }
+            let weights = ex.mixed_weights().to_vec();
+            ex.finish(&ctx);
+            *out.lock().expect("worker is the only writer") = weights;
+        });
+    }
+    sim.run();
+    let weights = out.lock().expect("simulation finished").clone();
+    assert_eq!(weights.len(), PARAM_LEN, "worker must have produced weights");
+    weights
+}
+
+fn assert_bit_identical(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "{what}: weights diverge at [{i}]: {x:?} ({:#010x}) vs {y:?} ({:#010x})",
+            x.to_bits(),
+            y.to_bits()
+        );
+    }
+}
+
+/// The paper-shaped grids: one element per tile, an odd size that
+/// misaligns with every boundary, the whole vector in one tile, and a
+/// tile larger than the vector (degenerate monolithic). All must match
+/// the monolithic exchange bit-for-bit, at 1 and 4 threads.
+#[test]
+fn boundary_chunk_sizes_match_monolithic_bitwise() {
+    for threads in [1usize, 4] {
+        parallel::with_threads(threads, || {
+            let mono = final_weights(None);
+            for chunk in [1usize, 1023, PARAM_LEN, PARAM_LEN + 1000] {
+                let chunked = final_weights(Some(chunk));
+                assert_bit_identical(
+                    &mono,
+                    &chunked,
+                    &format!("chunk_elems={chunk} threads={threads}"),
+                );
+            }
+        });
+    }
+}
+
+/// The default auto grid (`exchange_chunk_elems = 0`, sixteen tiles) is
+/// invariant across thread counts: same bits at 1, 2 and 4 threads.
+#[test]
+fn default_grid_is_thread_count_invariant() {
+    let one = parallel::with_threads(1, || final_weights(Some(0)));
+    for threads in [2usize, 4] {
+        let more = parallel::with_threads(threads, || final_weights(Some(0)));
+        assert_bit_identical(&one, &more, &format!("threads={threads}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any chunk size at all — aligned, prime, pathological — yields the
+    /// same bits as the monolithic exchange.
+    #[test]
+    fn any_chunk_size_matches_monolithic_bitwise(chunk in 1usize..PARAM_LEN + 65) {
+        let mono = final_weights(None);
+        let chunked = final_weights(Some(chunk));
+        assert_bit_identical(&mono, &chunked, &format!("chunk_elems={chunk}"));
+    }
+}

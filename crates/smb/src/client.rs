@@ -709,6 +709,162 @@ impl SmbClient {
         })
     }
 
+    /// Fraction of a buffer's modelled wire size that a `len`-element
+    /// sub-range transfer pays (rounded up to a whole byte so a stream of
+    /// chunks never undercuts the monolithic cost).
+    fn range_wire(buf: &SmbBuffer, overhead: f64, wire_bytes: u64, len: usize) -> u64 {
+        let frac = len as f64 / buf.len().max(1) as f64;
+        (wire_bytes as f64 * (1.0 + overhead) * frac).ceil() as u64
+    }
+
+    /// One fallible sub-range read attempt (see [`SmbClient::try_read_once`]):
+    /// wire time is the chunk's proportional share of the buffer's modelled
+    /// size, so streaming a whole buffer chunk-by-chunk costs the same wire
+    /// time as one monolithic read.
+    fn try_read_range_once(
+        &self,
+        ctx: &SimContext,
+        buf: &SmbBuffer,
+        offset: usize,
+        out: &mut [f32],
+    ) -> Result<(), SmbError> {
+        let server = self.active_raw(ctx);
+        let fabric = server.rdma().fabric();
+        let cap = fabric
+            .fault_check(ctx, server.node(), self.local)
+            .map_err(|fault| self.unavailable(&server, buf.key, fault))?;
+        let cfg = server.config();
+        let (mr, wire_bytes) = server.segment(buf.key)?;
+        let wire = Self::range_wire(buf, cfg.protocol_overhead, wire_bytes, out.len());
+        // Stale-tolerant by SEASGD design (same contract as the full read):
+        // atomic, so it coexists with concurrent accumulate RMWs on other
+        // workers' behalf without being flagged as a race.
+        tag_access!(AtomicRead, "smb::client::read_range_retrying", {
+            server.rdma().read_wire(ctx, self.local, &mr, offset, out, 0)
+        })?;
+        shmcaffe_simnet::resource::transfer_path_stream(
+            ctx,
+            &[server.memory_resource(), fabric.hca_tx(server.node()), fabric.hca_rx(self.local)],
+            wire,
+            Some(self.effective_stream_bps(&server, cap)),
+        );
+        Ok(())
+    }
+
+    /// One fallible sub-range write attempt (client→server direction).
+    fn try_write_range_once(
+        &self,
+        ctx: &SimContext,
+        buf: &SmbBuffer,
+        offset: usize,
+        data: &[f32],
+    ) -> Result<(), SmbError> {
+        let server = self.active_raw(ctx);
+        let fabric = server.rdma().fabric();
+        let cap = fabric
+            .fault_check(ctx, self.local, server.node())
+            .map_err(|fault| self.unavailable(&server, buf.key, fault))?;
+        self.admit_attempt(ctx, buf.key)?;
+        let cfg = server.config();
+        let (mr, wire_bytes) = server.segment(buf.key)?;
+        let wire = Self::range_wire(buf, cfg.protocol_overhead, wire_bytes, data.len());
+        tag_access!(Write, "smb::client::write_range_retrying", {
+            server.rdma().write_wire(ctx, self.local, &mr, offset, data, 0)
+        })?;
+        shmcaffe_simnet::resource::transfer_path_stream(
+            ctx,
+            &[fabric.hca_tx(self.local), fabric.hca_rx(server.node()), server.memory_resource()],
+            wire,
+            Some(self.effective_stream_bps(&server, cap)),
+        );
+        server.bump_version(ctx, buf.key);
+        Ok(())
+    }
+
+    /// Fault-tolerant sub-range read at the range's *proportional* wire
+    /// cost — the streaming-read building block of the chunked exchange
+    /// (unlike [`SmbClient::read_range`], which moves control-info bytes at
+    /// their true size).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmbError::SizeMismatch`] immediately if the range exceeds
+    /// the buffer; [`SmbError::Timeout`] when the policy runs out.
+    pub fn read_range_retrying(
+        &self,
+        ctx: &SimContext,
+        buf: &SmbBuffer,
+        offset: usize,
+        out: &mut [f32],
+        policy: &RetryPolicy,
+    ) -> Result<(), SmbError> {
+        if offset + out.len() > buf.len() {
+            return Err(SmbError::SizeMismatch {
+                key: buf.key,
+                expected: buf.len(),
+                got: offset + out.len(),
+            });
+        }
+        self.retrying(ctx, buf.key, policy, |ctx| self.try_read_range_once(ctx, buf, offset, out))
+    }
+
+    /// Fault-tolerant sub-range write at proportional wire cost (the T.A1
+    /// step of a chunked exchange). Idempotent per chunk: re-issuing a
+    /// faulted attempt overwrites the same range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmbError::SizeMismatch`] immediately if the range exceeds
+    /// the buffer; [`SmbError::Timeout`] when the policy runs out.
+    pub fn write_range_retrying(
+        &self,
+        ctx: &SimContext,
+        buf: &SmbBuffer,
+        offset: usize,
+        data: &[f32],
+        policy: &RetryPolicy,
+    ) -> Result<(), SmbError> {
+        if offset + data.len() > buf.len() {
+            return Err(SmbError::SizeMismatch {
+                key: buf.key,
+                expected: buf.len(),
+                got: offset + data.len(),
+            });
+        }
+        self.retrying(ctx, buf.key, policy, |ctx| self.try_write_range_once(ctx, buf, offset, data))
+    }
+
+    /// Fault-tolerant range accumulate: server-side `dst[range] +=
+    /// src[range]` (the T.A2–T.A3 step of a chunked exchange), engine time
+    /// charged proportionally to the range. Same gating as
+    /// [`SmbClient::accumulate_retrying`].
+    ///
+    /// # Errors
+    ///
+    /// Returns key/length/bounds errors immediately; [`SmbError::Timeout`]
+    /// when the policy runs out.
+    pub fn accumulate_range_retrying(
+        &self,
+        ctx: &SimContext,
+        src: &SmbBuffer,
+        dst: &SmbBuffer,
+        offset: usize,
+        len: usize,
+        policy: &RetryPolicy,
+    ) -> Result<u64, SmbError> {
+        self.retrying(ctx, src.key, policy, |ctx| {
+            let server = self.active_raw(ctx);
+            server
+                .rdma()
+                .fabric()
+                .fault_check(ctx, self.local, server.node())
+                .map_err(|fault| self.unavailable(&server, src.key, fault))?;
+            self.admit_attempt(ctx, dst.key)?;
+            self.control_round_trip(ctx, &server);
+            server.accumulate_range(ctx, src.key, dst.key, offset, len)
+        })
+    }
+
     /// Writes a checkpoint buffer under `policy`, tagged as an *atomic*
     /// (seqlock-style versioned) publication. Unlike a SEASGD weight
     /// write, a checkpoint write and a rejoining worker's checkpoint read
@@ -1264,5 +1420,120 @@ mod tests {
         // control latencies.
         assert!(end.as_millis_f64() >= 39.9, "{}", end.as_millis_f64());
         assert!(end.as_millis_f64() < 45.0, "{}", end.as_millis_f64());
+    }
+
+    #[test]
+    fn range_retrying_roundtrip_and_range_accumulate() {
+        let server = setup(1);
+        let s = server.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("w", move |ctx| {
+            let client = SmbClient::new(s, NodeId(0));
+            let policy = RetryPolicy::with_seed(9);
+            let dw = client.alloc(&ctx, client.create(&ctx, "dw", 6, None).unwrap()).unwrap();
+            let wg = client.alloc(&ctx, client.create(&ctx, "wg", 6, None).unwrap()).unwrap();
+            client.write(&ctx, &wg, &[10.0; 6]).unwrap();
+            // Stream ΔW in two chunks, folding each range as it lands.
+            client.write_range_retrying(&ctx, &dw, 0, &[1.0, 2.0, 3.0], &policy).unwrap();
+            client.accumulate_range_retrying(&ctx, &dw, &wg, 0, 3, &policy).unwrap();
+            client.write_range_retrying(&ctx, &dw, 3, &[4.0, 5.0, 6.0], &policy).unwrap();
+            client.accumulate_range_retrying(&ctx, &dw, &wg, 3, 3, &policy).unwrap();
+            let mut out = [0.0f32; 6];
+            client.read(&ctx, &wg, &mut out).unwrap();
+            assert_eq!(out, [11.0, 12.0, 13.0, 14.0, 15.0, 16.0]);
+            // Range reads see the folded state.
+            let mut tail = [0.0f32; 2];
+            client.read_range_retrying(&ctx, &wg, 4, &mut tail, &policy).unwrap();
+            assert_eq!(tail, [15.0, 16.0]);
+            // Out-of-bounds ranges are rejected up front.
+            assert!(matches!(
+                client.read_range_retrying(&ctx, &wg, 5, &mut tail, &policy),
+                Err(SmbError::SizeMismatch { .. })
+            ));
+            assert!(matches!(
+                client.write_range_retrying(&ctx, &wg, 5, &[0.0; 2], &policy),
+                Err(SmbError::SizeMismatch { .. })
+            ));
+            assert!(matches!(
+                client.accumulate_range_retrying(&ctx, &dw, &wg, 5, 2, &policy),
+                Err(SmbError::SizeMismatch { .. })
+            ));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn chunked_stream_pays_the_monolithic_wire_time() {
+        use shmcaffe_simnet::SimTime;
+        // Reading a 100 MB-wire buffer in 8 proportional chunks must charge
+        // (at least) the same wire time as one monolithic read — chunking
+        // buys overlap, never a discount.
+        let elems = 1_024usize;
+        let read_time = |chunks: usize| -> SimTime {
+            let server = setup(1);
+            let s = server.clone();
+            let mut sim = Simulation::new();
+            sim.spawn("w", move |ctx| {
+                let client = SmbClient::new(s, NodeId(0));
+                let policy = RetryPolicy::with_seed(1);
+                let buf = client
+                    .alloc(&ctx, client.create(&ctx, "b", elems, Some(100_000_000)).unwrap())
+                    .unwrap();
+                let mut out = vec![0.0f32; elems];
+                if chunks == 1 {
+                    client.read_retrying(&ctx, &buf, &mut out, &policy).unwrap();
+                } else {
+                    let step = elems / chunks;
+                    for c in 0..chunks {
+                        let lo = c * step;
+                        let hi = if c + 1 == chunks { elems } else { lo + step };
+                        client
+                            .read_range_retrying(&ctx, &buf, lo, &mut out[lo..hi], &policy)
+                            .unwrap();
+                    }
+                }
+            });
+            sim.run()
+        };
+        let mono = read_time(1);
+        let chunked = read_time(8);
+        assert!(chunked >= mono, "chunked {chunked:?} < monolithic {mono:?}");
+        // Per-chunk byte rounding is the only slack: within 0.1%.
+        assert!(
+            chunked.as_millis_f64() <= mono.as_millis_f64() * 1.001,
+            "chunked {chunked:?} vs monolithic {mono:?}"
+        );
+    }
+
+    #[test]
+    fn range_accumulate_engine_time_is_proportional() {
+        // A half-segment range accumulate should occupy the engine for about
+        // half of what the full accumulate costs.
+        let run = |range: bool| {
+            let server = setup(1);
+            let s = server.clone();
+            let mut sim = Simulation::new();
+            sim.spawn("w", move |ctx| {
+                let client = SmbClient::new(s, NodeId(0));
+                let policy = RetryPolicy::with_seed(2);
+                let dw = client
+                    .alloc(&ctx, client.create(&ctx, "dw", 8, Some(100_000_000)).unwrap())
+                    .unwrap();
+                let wg = client
+                    .alloc(&ctx, client.create(&ctx, "wg", 8, Some(100_000_000)).unwrap())
+                    .unwrap();
+                if range {
+                    client.accumulate_range_retrying(&ctx, &dw, &wg, 0, 4, &policy).unwrap();
+                } else {
+                    client.accumulate_retrying(&ctx, &dw, &wg, &policy).unwrap();
+                }
+            });
+            sim.run().as_millis_f64()
+        };
+        let full = run(false);
+        let half = run(true);
+        // Full: 3x100MB / 15 GB/s = 20 ms of engine time; half: ~10 ms.
+        assert!((19.9..22.0).contains(&full), "{full}");
+        assert!((9.9..12.0).contains(&half), "{half}");
     }
 }

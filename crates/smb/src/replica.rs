@@ -372,6 +372,18 @@ impl SmbPair {
             // The crash cuts the replication stream mid-pass: segments
             // copied before the cut stay; the rest keep their old contents.
             self.gate(ctx, fabric)?;
+            // A segment with an open chunked accumulate stream is skipped
+            // *entirely* (not even installed): shipping it mid-stream would
+            // hand the standby a torn, half-folded W_g that no worker ever
+            // produced. The standby keeps its previous consistent copy, and
+            // because `replicated_versions` is left stale, the next pass
+            // after the stream closes re-ships the whole segment. A stream
+            // that never closes starves that segment's replication — the
+            // client side bounds streams to one exchange, so the window is
+            // a few chunk round trips.
+            if primary.stream_open(meta.key) {
+                continue;
+            }
             let behind =
                 self.inner.replicated_versions.lock().get(&meta.key) != Some(&meta.version);
             let is_new = standby.segment(meta.key).is_err();
@@ -689,6 +701,26 @@ impl SmbPair {
         true
     }
 
+    /// Range accumulate on the pair's currently active member: server-side
+    /// `dst[offset..offset+len] += src[offset..offset+len]` with engine
+    /// time charged proportionally (see `SmbServer`'s range accumulate).
+    /// Joins the promotion stamp when routed at the standby, like every
+    /// other post-promotion access.
+    ///
+    /// # Errors
+    ///
+    /// Returns key/length/bounds errors from the active server.
+    pub fn accumulate_range(
+        &self,
+        ctx: &SimContext,
+        src: ShmKey,
+        dst: ShmKey,
+        offset: usize,
+        len: usize,
+    ) -> Result<u64, SmbError> {
+        self.active_server(ctx).accumulate_range(ctx, src, dst, offset, len)
+    }
+
     /// Client-side failover: promotes the standby (first caller) and moves
     /// this client's queue pair from the dead primary to the standby. The
     /// segment table was mirrored under the same keys, so rkey
@@ -793,6 +825,41 @@ mod tests {
                 Err(SmbError::LeaseExpired { owner: 1, .. })
             ));
             assert_eq!(p.standby().tombstone_count(), 1);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn open_accumulate_stream_defers_replication_until_closed() {
+        let rdma = replicated_fabric(1);
+        let pair = SmbPair::new(rdma, SmbServerConfig::default()).unwrap();
+        let p = pair.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("repl", move |ctx| {
+            let client = crate::SmbClient::new(p.primary().clone(), NodeId(0));
+            let policy = crate::RetryPolicy::with_seed(4);
+            let wg = client.alloc(&ctx, client.create(&ctx, "wg", 4, None).unwrap()).unwrap();
+            let dw = client.alloc(&ctx, client.create(&ctx, "dw", 4, None).unwrap()).unwrap();
+            client.write(&ctx, &wg, &[1.0; 4]).unwrap();
+            p.replicate(&ctx).unwrap();
+            // Open a chunk stream and fold only the first half: W_g on the
+            // primary is now torn (half old, half new).
+            p.primary().begin_accumulate_stream(wg.key);
+            client.write_range_retrying(&ctx, &dw, 0, &[10.0, 10.0], &policy).unwrap();
+            client.accumulate_range_retrying(&ctx, &dw, &wg, 0, 2, &policy).unwrap();
+            // A pass during the stream must NOT ship the torn state.
+            p.replicate(&ctx).unwrap();
+            let (mr, _) = p.standby().segment(wg.key).unwrap();
+            let copy = p.standby().rdma().with_region(&mr, |b| b.to_vec()).unwrap();
+            assert_eq!(copy, vec![1.0; 4], "standby must keep the pre-stream W_g");
+            // Close the stream after the second half lands; the next pass
+            // ships the now-consistent contents.
+            client.write_range_retrying(&ctx, &dw, 2, &[10.0, 10.0], &policy).unwrap();
+            client.accumulate_range_retrying(&ctx, &dw, &wg, 2, 2, &policy).unwrap();
+            p.primary().end_accumulate_stream(wg.key);
+            p.replicate(&ctx).unwrap();
+            let copy = p.standby().rdma().with_region(&mr, |b| b.to_vec()).unwrap();
+            assert_eq!(copy, vec![11.0; 4], "post-stream pass ships the folded W_g");
         });
         sim.run();
     }

@@ -143,6 +143,12 @@ struct ServerInner {
     /// key, so survivors learn *why* a peer's buffer vanished. Bounded by
     /// acknowledgement and the tombstone horizon (see [`Tombstone`]).
     evicted: Mutex<BTreeMap<ShmKey, Tombstone>>,
+    /// Open accumulate-stream counts per segment. While a chunked exchange
+    /// is mid-stream on a segment, the replicator must not ship it: a
+    /// half-applied chunk sequence on the standby would be a torn W_g that
+    /// no worker ever produced. Counted (not boolean) because several
+    /// workers may stream into the same global segment concurrently.
+    streams: Mutex<BTreeMap<ShmKey, u64>>,
 }
 
 /// The SMB server: a segment table over the memory server's RAM plus the
@@ -214,6 +220,7 @@ impl SmbServer {
                 subscribers: Mutex::new(BTreeMap::new()),
                 leases: Mutex::new(BTreeMap::new()),
                 evicted: Mutex::new(BTreeMap::new()),
+                streams: Mutex::new(BTreeMap::new()),
             }),
         })
     }
@@ -513,6 +520,101 @@ impl SmbServer {
         })?;
         let version = self.bump_version(ctx, dst);
         Ok(version)
+    }
+
+    /// Range variant of [`SmbServer::accumulate`]: `dst[offset..offset+len]
+    /// += src[offset..offset+len]`. The chunked exchange pushes one fixed
+    /// grid chunk at a time through this, so engine time is charged
+    /// proportionally to the chunk's share of the segment's wire size —
+    /// streaming a whole segment chunk-by-chunk costs the same bus time as
+    /// one monolithic accumulate (modulo per-chunk rounding up).
+    ///
+    /// Returns the destination's new version number.
+    ///
+    /// # Errors
+    ///
+    /// Returns key/length/bounds errors; on error no engine time is charged.
+    pub(crate) fn accumulate_range(
+        &self,
+        ctx: &SimContext,
+        src: ShmKey,
+        dst: ShmKey,
+        offset: usize,
+        len: usize,
+    ) -> Result<u64, SmbError> {
+        let (src_mr, _) = self.segment(src)?;
+        let (dst_mr, dst_wire) = self.segment(dst)?;
+        if src_mr.len != dst_mr.len {
+            return Err(SmbError::LengthMismatch { src: src_mr.len, dst: dst_mr.len, key: dst });
+        }
+        if offset + len > dst_mr.len {
+            return Err(SmbError::SizeMismatch {
+                key: dst,
+                expected: dst_mr.len,
+                got: offset + len,
+            });
+        }
+        // Same atomicity model as the full accumulate, but the access
+        // footprint is the exact sub-range: disjoint chunks from different
+        // workers do not conflict, overlapping ones serialise as RMWs.
+        #[cfg(feature = "race-detect")]
+        {
+            use shmcaffe_simnet::race::AccessKind;
+            let det = self.inner.rdma.race_detector();
+            det.record(
+                ctx,
+                src_mr.rkey.0,
+                offset,
+                len,
+                AccessKind::AtomicRead,
+                "smb::server::accumulate_range(src)",
+            );
+            det.record(
+                ctx,
+                dst_mr.rkey.0,
+                offset,
+                len,
+                AccessKind::AtomicRmw,
+                "smb::server::accumulate_range(dst)",
+            );
+        }
+        let chunk_wire = ((dst_wire as f64 * len as f64 / dst_mr.len.max(1) as f64).ceil()) as u64;
+        self.inner.memory.transfer(ctx, chunk_wire * ACCUMULATE_MEM_PASSES);
+        self.inner.rdma.with_two_regions(&src_mr, &dst_mr, |s, d| {
+            shmcaffe_tensor::ops::axpy(1.0, &s[offset..offset + len], &mut d[offset..offset + len]);
+        })?;
+        let version = self.bump_version(ctx, dst);
+        Ok(version)
+    }
+
+    // ---- accumulate-stream guard ------------------------------------------
+
+    /// Marks the start of a chunked accumulate stream into `key`. Until the
+    /// matching [`SmbServer::end_accumulate_stream`], replication passes
+    /// skip this segment so the standby never observes a torn half-applied
+    /// chunk sequence (it keeps the previous consistent contents instead).
+    /// Pure control-plane bookkeeping: no sim time is charged here — the
+    /// caller's per-chunk control round trips already pay for the stream's
+    /// signalling.
+    pub fn begin_accumulate_stream(&self, key: ShmKey) {
+        *self.inner.streams.lock().entry(key).or_insert(0) += 1;
+    }
+
+    /// Closes one accumulate stream opened by
+    /// [`SmbServer::begin_accumulate_stream`].
+    pub fn end_accumulate_stream(&self, key: ShmKey) {
+        let mut streams = self.inner.streams.lock();
+        if let Some(count) = streams.get_mut(&key) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                streams.remove(&key);
+            }
+        }
+    }
+
+    /// Whether any accumulate stream is currently open on `key`.
+    pub(crate) fn stream_open(&self, key: ShmKey) -> bool {
+        self.inner.streams.lock().get(&key).is_some_and(|&c| c > 0)
     }
 
     /// Bumps a segment's version and notifies subscribers; returns the new

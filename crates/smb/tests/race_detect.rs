@@ -422,6 +422,185 @@ fn seeded_write_without_fence_join_is_caught() {
     assert_ne!(r.earlier_pid, r.later_pid);
 }
 
+/// The chunked-exchange handoff pattern (DESIGN.md §5g): a mixer process
+/// plain-writes ΔW one tile at a time and announces each finished tile
+/// over a channel; the pusher accumulates exactly the announced tile into
+/// W_g. Every per-tile channel send→recv is the happens-before edge that
+/// orders the mixer's `write_range` before the pusher's range-accumulate
+/// read of the same tile — the chain must be silent under the halting
+/// detector, even while tile k+1 is being written concurrently with tile
+/// k's accumulate.
+#[test]
+fn per_chunk_channel_edges_make_the_tile_chain_race_free() {
+    let server = setup(3);
+
+    let to_mixer = SimChannel::<(ShmKey, ShmKey)>::new("keys_to_mixer");
+    let to_pusher = SimChannel::<(ShmKey, ShmKey)>::new("keys_to_pusher");
+    let tile_ready = SimChannel::<usize>::new("tile_ready");
+    const TILES: usize = 4;
+    const TILE: usize = 2;
+
+    let mut sim = Simulation::new();
+    {
+        let s = server.clone();
+        let (to_mixer, to_pusher) = (to_mixer.clone(), to_pusher.clone());
+        sim.spawn("setup", move |ctx| {
+            let client = SmbClient::new(s, NodeId(0));
+            let wg = client.create(&ctx, "W_g", TILES * TILE, None).unwrap();
+            let dw = client.create(&ctx, "dW", TILES * TILE, None).unwrap();
+            to_mixer.send(&ctx, (wg, dw));
+            to_pusher.send(&ctx, (wg, dw));
+        });
+    }
+    {
+        let s = server.clone();
+        let tile_ready = tile_ready.clone();
+        sim.spawn("mixer", move |ctx| {
+            let (_, dw_key) = to_mixer.recv(&ctx);
+            let client = SmbClient::new(s, NodeId(1));
+            let dw = client.alloc(&ctx, dw_key).unwrap();
+            let policy = RetryPolicy::with_seed(41);
+            for tile in 0..TILES {
+                let data = [tile as f32 + 1.0; TILE];
+                client.write_range_retrying(&ctx, &dw, tile * TILE, &data, &policy).unwrap();
+                tile_ready.send(&ctx, tile);
+            }
+        });
+    }
+    {
+        let s = server.clone();
+        sim.spawn("pusher", move |ctx| {
+            let (wg_key, dw_key) = to_pusher.recv(&ctx);
+            let client = SmbClient::new(s, NodeId(2));
+            let wg = client.alloc(&ctx, wg_key).unwrap();
+            let dw = client.alloc(&ctx, dw_key).unwrap();
+            let policy = RetryPolicy::with_seed(42);
+            for _ in 0..TILES {
+                let tile = tile_ready.recv(&ctx);
+                client
+                    .accumulate_range_retrying(&ctx, &dw, &wg, tile * TILE, TILE, &policy)
+                    .unwrap();
+            }
+            let mut out = [0.0f32; TILES * TILE];
+            client.read(&ctx, &wg, &mut out).unwrap();
+            assert_eq!(out, [1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0]);
+        });
+    }
+    // halt_on_race defaults to true: any report would fail sim.run().
+    sim.run();
+    assert!(server.rdma().race_detector().reports().is_empty());
+}
+
+/// Seeded missing-edge companion: the pusher accumulates the tile after a
+/// sim-time sleep instead of the channel recv. The mixer's plain
+/// `write_range` of that tile and the accumulate's source read are now
+/// concurrent — the detector must catch exactly that pair, naming the
+/// range sites.
+#[test]
+fn seeded_missing_per_chunk_edge_is_caught() {
+    let server = setup(3);
+    server.rdma().race_detector().set_halt_on_race(false);
+
+    let to_mixer = SimChannel::<(ShmKey, ShmKey)>::new("keys_to_mixer");
+    let to_pusher = SimChannel::<(ShmKey, ShmKey)>::new("keys_to_pusher");
+
+    let mut sim = Simulation::new();
+    {
+        let s = server.clone();
+        let (to_mixer, to_pusher) = (to_mixer.clone(), to_pusher.clone());
+        sim.spawn("setup", move |ctx| {
+            let client = SmbClient::new(s, NodeId(0));
+            let wg = client.create(&ctx, "W_g", 8, None).unwrap();
+            let dw = client.create(&ctx, "dW", 8, None).unwrap();
+            to_mixer.send(&ctx, (wg, dw));
+            to_pusher.send(&ctx, (wg, dw));
+        });
+    }
+    {
+        let s = server.clone();
+        sim.spawn("mixer", move |ctx| {
+            let (_, dw_key) = to_mixer.recv(&ctx);
+            let client = SmbClient::new(s, NodeId(1));
+            let dw = client.alloc(&ctx, dw_key).unwrap();
+            let policy = RetryPolicy::with_seed(43);
+            client.write_range_retrying(&ctx, &dw, 0, &[1.0; 4], &policy).unwrap();
+        });
+    }
+    {
+        let s = server.clone();
+        sim.spawn("pusher", move |ctx| {
+            use shmcaffe_simnet::SimTime;
+            let (wg_key, dw_key) = to_pusher.recv(&ctx);
+            // Sleep in sim time only — deliberately no channel recv, so the
+            // per-tile happens-before edge is missing.
+            ctx.sleep_until(SimTime::from_millis(50));
+            let client = SmbClient::new(s, NodeId(2));
+            let wg = client.alloc(&ctx, wg_key).unwrap();
+            let dw = client.alloc(&ctx, dw_key).unwrap();
+            let policy = RetryPolicy::with_seed(44);
+            client.accumulate_range_retrying(&ctx, &dw, &wg, 0, 4, &policy).unwrap();
+        });
+    }
+    sim.run();
+
+    let reports = server.rdma().race_detector().reports();
+    assert_eq!(reports.len(), 1, "exactly one race expected, got {reports:#?}");
+    let r = &reports[0];
+    let mut sites = [r.earlier_site, r.later_site];
+    sites.sort_unstable();
+    assert_eq!(sites, ["smb::client::write_range_retrying", "smb::server::accumulate_range(src)"]);
+    assert_ne!(r.earlier_pid, r.later_pid);
+}
+
+/// Disjoint tiles need no edge at all: the detector's footprints are
+/// range-precise, so an un-synchronized accumulate of tile B while tile A
+/// is being written is not a conflict.
+#[test]
+fn disjoint_tiles_without_edges_are_race_free() {
+    let server = setup(3);
+
+    let to_mixer = SimChannel::<(ShmKey, ShmKey)>::new("keys_to_mixer");
+    let to_pusher = SimChannel::<(ShmKey, ShmKey)>::new("keys_to_pusher");
+
+    let mut sim = Simulation::new();
+    {
+        let s = server.clone();
+        let (to_mixer, to_pusher) = (to_mixer.clone(), to_pusher.clone());
+        sim.spawn("setup", move |ctx| {
+            let client = SmbClient::new(s, NodeId(0));
+            let wg = client.create(&ctx, "W_g", 8, None).unwrap();
+            let dw = client.create(&ctx, "dW", 8, None).unwrap();
+            to_mixer.send(&ctx, (wg, dw));
+            to_pusher.send(&ctx, (wg, dw));
+        });
+    }
+    {
+        let s = server.clone();
+        sim.spawn("mixer", move |ctx| {
+            let (_, dw_key) = to_mixer.recv(&ctx);
+            let client = SmbClient::new(s, NodeId(1));
+            let dw = client.alloc(&ctx, dw_key).unwrap();
+            let policy = RetryPolicy::with_seed(45);
+            client.write_range_retrying(&ctx, &dw, 0, &[1.0; 4], &policy).unwrap();
+        });
+    }
+    {
+        let s = server.clone();
+        sim.spawn("pusher", move |ctx| {
+            let (wg_key, dw_key) = to_pusher.recv(&ctx);
+            let client = SmbClient::new(s, NodeId(2));
+            let wg = client.alloc(&ctx, wg_key).unwrap();
+            let dw = client.alloc(&ctx, dw_key).unwrap();
+            let policy = RetryPolicy::with_seed(46);
+            // Tile [4, 8) — disjoint from the mixer's [0, 4).
+            client.accumulate_range_retrying(&ctx, &dw, &wg, 4, 4, &policy).unwrap();
+        });
+    }
+    // halt_on_race defaults to true: any report would fail sim.run().
+    sim.run();
+    assert!(server.rdma().race_detector().reports().is_empty());
+}
+
 /// Two engine-serialized accumulates from unsynchronized workers are
 /// atomic read-modify-writes, not a race (paper T.A3: the DRAM bus
 /// processes accumulate requests exclusively).

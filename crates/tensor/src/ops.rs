@@ -133,6 +133,30 @@ pub fn add(a: &[f32], b: &[f32], out: &mut [f32]) {
     });
 }
 
+/// Fused EASGD elastic mixing (paper eqs. 5–6): per element,
+/// `dw = alpha * (wx - wg); wx -= dw`.
+///
+/// One pass produces the elastic difference `ΔW` *and* applies it to the
+/// local weights, replacing the scalar zip-loop the exchanger used to run.
+/// Elementwise (no reductions), so the result is bit-identical at any
+/// thread count and for any outer decomposition of the three slices — a
+/// chunked exchange mixing `[lo..hi)` sub-slices produces exactly the bits
+/// the monolithic pass does.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn elastic_mix(alpha: f32, wx: &mut [f32], dw: &mut [f32], wg: &[f32]) {
+    assert_eq!(wx.len(), dw.len(), "elastic_mix length mismatch");
+    assert_eq!(wx.len(), wg.len(), "elastic_mix length mismatch");
+    parallel::par_zip_mut2(wx, dw, wg, ELEMWISE_CHUNK, |xc, dc, gc| {
+        for ((x, d), &g) in xc.iter_mut().zip(dc.iter_mut()).zip(gc.iter()) {
+            *d = alpha * (*x - g);
+            *x -= *d;
+        }
+    });
+}
+
 /// ReLU forward: `out[i] = max(0, x[i])`.
 ///
 /// # Panics
@@ -276,6 +300,53 @@ mod tests {
         let mut s = [0.0; 2];
         add(&d, &b, &mut s);
         assert_eq!(s, a);
+    }
+
+    #[test]
+    fn elastic_mix_matches_scalar_reference_bitwise() {
+        use crate::parallel::with_threads;
+        let n = 2 * ELEMWISE_CHUNK + 77;
+        let wx0: Vec<f32> = (0..n).map(|i| (i as f32 * 0.017).sin()).collect();
+        let wg: Vec<f32> = (0..n).map(|i| (i as f32 * 0.031).cos()).collect();
+        // Scalar reference: exactly the exchanger's original zip-loop.
+        let mut wx_ref = wx0.clone();
+        let mut dw_ref = vec![0.0f32; n];
+        for ((x, d), g) in wx_ref.iter_mut().zip(dw_ref.iter_mut()).zip(wg.iter()) {
+            *d = 0.2 * (*x - *g);
+            *x -= *d;
+        }
+        for t in [1usize, 2, 4, 7] {
+            let mut wx = wx0.clone();
+            let mut dw = vec![0.0f32; n];
+            with_threads(t, || elastic_mix(0.2, &mut wx, &mut dw, &wg));
+            assert_eq!(wx, wx_ref, "wx threads={t}");
+            assert_eq!(dw, dw_ref, "dw threads={t}");
+        }
+    }
+
+    #[test]
+    fn elastic_mix_is_decomposition_invariant() {
+        // Mixing the vector in arbitrary sub-slices (the exchange chunk
+        // grid) must produce the same bits as one whole-vector pass —
+        // the property the chunked exchange's bit-identity rests on.
+        let n = ELEMWISE_CHUNK + 300;
+        let wx0: Vec<f32> = (0..n).map(|i| (i as f32 * 0.011).sin()).collect();
+        let wg: Vec<f32> = (0..n).map(|i| (i as f32 * 0.023).cos()).collect();
+        let mut wx_whole = wx0.clone();
+        let mut dw_whole = vec![0.0f32; n];
+        elastic_mix(0.125, &mut wx_whole, &mut dw_whole, &wg);
+        for chunk in [1usize, 7, 1000, n] {
+            let mut wx = wx0.clone();
+            let mut dw = vec![0.0f32; n];
+            let mut lo = 0;
+            while lo < n {
+                let hi = (lo + chunk).min(n);
+                elastic_mix(0.125, &mut wx[lo..hi], &mut dw[lo..hi], &wg[lo..hi]);
+                lo = hi;
+            }
+            assert_eq!(wx, wx_whole, "chunk={chunk}");
+            assert_eq!(dw, dw_whole, "chunk={chunk}");
+        }
     }
 
     #[test]

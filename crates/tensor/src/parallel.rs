@@ -288,6 +288,40 @@ where
     run_tasks(tasks);
 }
 
+/// Two-mutable-slice variant of [`par_zip_mut`]: `f(a_chunk, b_chunk,
+/// x_chunk)` over matching fixed chunks of two mutable slices and one
+/// read-only slice. Used by the fused elastic-mixing kernel, which updates
+/// `W_x` and produces `ΔW` in one pass over `W_g`.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0` or the slice lengths differ.
+pub fn par_zip_mut2<T, U, V, F>(a: &mut [T], b: &mut [U], x: &[V], chunk: usize, f: F)
+where
+    T: Send,
+    U: Send,
+    V: Sync,
+    F: Fn(&mut [T], &mut [U], &[V]) + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    assert_eq!(a.len(), b.len(), "par_zip_mut2 length mismatch");
+    assert_eq!(a.len(), x.len(), "par_zip_mut2 length mismatch");
+    if a.len() <= chunk || current_threads() <= 1 {
+        for ((ac, bc), xc) in a.chunks_mut(chunk).zip(b.chunks_mut(chunk)).zip(x.chunks(chunk)) {
+            f(ac, bc, xc);
+        }
+        return;
+    }
+    let f = &f;
+    let tasks: Vec<Task<'_>> = a
+        .chunks_mut(chunk)
+        .zip(b.chunks_mut(chunk))
+        .zip(x.chunks(chunk))
+        .map(|((ac, bc), xc)| -> Task<'_> { Box::new(move || f(ac, bc, xc)) })
+        .collect();
+    run_tasks(tasks);
+}
+
 /// Fixed chunk width (in f32 elements) for parallel elementwise kernels.
 ///
 /// Chosen large enough that task overhead is negligible and small enough

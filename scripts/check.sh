@@ -36,6 +36,22 @@ if [ "$sum1" != "$sum4" ]; then
     exit 1
 fi
 
+echo "== chunked exchange bit-identity: mono vs chunked x 1 vs 4 threads =="
+cargo build -q --release -p shmcaffe-bench --bin exchange_bench
+ex_m1=$(SHMCAFFE_THREADS=1 ./target/release/exchange_bench --checksum mono)
+ex_m4=$(SHMCAFFE_THREADS=4 ./target/release/exchange_bench --checksum mono)
+ex_c1=$(SHMCAFFE_THREADS=1 ./target/release/exchange_bench --checksum chunked)
+ex_c4=$(SHMCAFFE_THREADS=4 ./target/release/exchange_bench --checksum chunked)
+echo "  mono    1/4 threads: $ex_m1 / $ex_m4"
+echo "  chunked 1/4 threads: $ex_c1 / $ex_c4"
+if [ "$ex_m1" != "$ex_c1" ] || [ "$ex_m1" != "$ex_m4" ] || [ "$ex_m1" != "$ex_c4" ]; then
+    echo "FAIL: chunked exchange checksum diverges from monolithic" >&2
+    exit 1
+fi
+
+echo "== chunked exchange equivalence (proptest over chunk sizes) =="
+cargo test -q -p shmcaffe --test exchange_equivalence
+
 echo "== partition tolerance: split-brain chaos + fencing/replica suites =="
 cargo test -q -p shmcaffe --test partition
 cargo test -q -p shmcaffe-smb --lib -- promotion fenced partition reconcile
