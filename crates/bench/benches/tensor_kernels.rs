@@ -34,15 +34,16 @@ fn bench_gemm(c: &mut Criterion) {
 }
 
 fn bench_conv(c: &mut Criterion) {
-    let geom = Conv2dGeometry::square(8, 16, 3, 1, 1);
-    let out_channels = 16;
+    // Inception-style 1x1 bottleneck: GEMM-shaped, packing-bound — the
+    // fused path's worst case relative to materialised im2col.
+    let geom = Conv2dGeometry::square(192, 28, 1, 1, 0);
+    let out_channels = 64;
     let batch = 8;
     let input = vec![0.1f32; batch * geom.in_len()];
     let weights = vec![0.01f32; out_channels * geom.col_rows()];
     let bias = vec![0.0f32; out_channels];
     let mut output = vec![0.0f32; batch * out_channels * geom.col_cols().unwrap()];
-    let mut col = vec![0.0f32; geom.col_rows() * geom.col_cols().unwrap()];
-    c.bench_function("conv2d_forward_8x16x16", |b| {
+    c.bench_function("conv2d_forward_inception_1x1_64", |b| {
         b.iter(|| {
             conv2d_forward(
                 &geom,
@@ -52,7 +53,6 @@ fn bench_conv(c: &mut Criterion) {
                 &weights,
                 &bias,
                 &mut output,
-                &mut col,
             );
         });
     });

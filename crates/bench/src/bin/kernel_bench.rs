@@ -9,10 +9,20 @@
 //!
 //! Run with `cargo run --release -p shmcaffe-bench --bin kernel_bench`.
 //!
+//! Convolution is measured on production-representative shapes — the
+//! VGG16 conv3-256 body layer and an Inception-style 1x1 bottleneck —
+//! against the retained materialised-im2col reference path, so the JSON
+//! carries both the thread-scaling curve and a `fused_vs_materialized_1t`
+//! speedup column for the fused packing path.
+//!
 //! `--checksum` instead trains the small CNN proxy for a fixed number of
 //! seeded SGD steps and prints an FNV-1a hash of the final weights; CI
 //! runs it under `SHMCAFFE_THREADS=1` and `=4` and diffs the output to
 //! prove the backend's thread-count invariance end to end.
+//!
+//! `--smoke` runs only the fused VGG layer at 1 and 4 threads and exits
+//! non-zero if the 4-thread schedule falls below a host-aware floor — the
+//! cheap CI regression gate for the column-parallel dispatch.
 
 use shmcaffe_bench::json::{write_bench_json, Json};
 use shmcaffe_bench::table::Table;
@@ -24,7 +34,9 @@ use shmcaffe_rdma::RdmaFabric;
 use shmcaffe_simnet::topology::{ClusterSpec, Fabric, NodeId};
 use shmcaffe_simnet::Simulation;
 use shmcaffe_smb::{SmbClient, SmbServer};
-use shmcaffe_tensor::conv::{conv2d_backward, conv2d_forward, Conv2dGeometry};
+use shmcaffe_tensor::conv::{
+    conv2d_backward, conv2d_backward_ref, conv2d_forward, conv2d_forward_ref, Conv2dGeometry,
+};
 use shmcaffe_tensor::gemm::{gemm, Transpose};
 use shmcaffe_tensor::parallel;
 use std::sync::{Arc, Mutex};
@@ -33,14 +45,19 @@ use std::time::Instant;
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const GEMM_N: usize = 256;
 
-/// Seconds per repetition of `f` (after one warm-up call).
+/// Best (minimum) seconds for one call of `f` over `reps` timed calls,
+/// after one warm-up call. Minimum-of-N rather than mean: on shared hosts
+/// the distribution is best-case-plus-noise, and the minimum estimates
+/// the kernel's actual cost robustly.
 fn time_per_rep(reps: usize, mut f: impl FnMut()) -> f64 {
     f();
-    let t0 = Instant::now();
+    let mut best = f64::INFINITY;
     for _ in 0..reps {
+        let t0 = Instant::now();
         f();
+        best = best.min(t0.elapsed().as_secs_f64());
     }
-    t0.elapsed().as_secs_f64() / reps as f64
+    best
 }
 
 fn filled(n: usize, scale: f32) -> Vec<f32> {
@@ -132,85 +149,240 @@ fn bench_gemm(table: &mut Table) -> Json {
     ])
 }
 
-fn bench_conv(table: &mut Table) -> Json {
-    let geom = Conv2dGeometry::square(8, 16, 3, 1, 1);
-    let batch = 16;
-    let out_channels = 16;
-    let spatial = geom.col_cols().expect("valid geometry");
-    let col_len = geom.col_rows() * spatial;
-    let in_total = batch * geom.in_len();
-    let out_total = batch * out_channels * spatial;
-    let w_len = out_channels * geom.col_rows();
+/// A convolution shape benchmarked against both the fused path and the
+/// retained materialised-im2col reference (`conv2d_*_ref`).
+struct ConvCase {
+    label: &'static str,
+    note: &'static str,
+    geom: Conv2dGeometry,
+    out_channels: usize,
+    batch: usize,
+    reps: usize,
+}
 
-    let input = filled(in_total, 0.017);
-    let weights = filled(w_len, 0.031);
-    let bias = filled(out_channels, 0.11);
-    let d_output = filled(out_total, 0.023);
-    let mut output = vec![0.0f32; out_total];
-    let mut d_weights = vec![0.0f32; w_len];
-    let mut d_bias = vec![0.0f32; out_channels];
-    let mut d_input = vec![0.0f32; in_total];
-    let mut col = vec![0.0f32; col_len];
-    let reps = 12;
+/// Production-representative shapes: the dominant VGG16 body layer and an
+/// Inception-style 1x1 bottleneck (GEMM-shaped: kdim == in_channels, so
+/// packing overhead, not im2col arithmetic, dominates).
+fn conv_cases() -> Vec<ConvCase> {
+    vec![
+        ConvCase {
+            label: "conv vgg16 conv3-256",
+            note: "in 256x56x56, kernel 3x3 s1 p1, out 256ch, batch 1",
+            geom: Conv2dGeometry::square(256, 56, 3, 1, 1),
+            out_channels: 256,
+            batch: 1,
+            reps: 2,
+        },
+        ConvCase {
+            label: "conv inception 1x1-64",
+            note: "in 192x28x28, kernel 1x1 s1 p0, out 64ch, batch 8",
+            geom: Conv2dGeometry::square(192, 28, 1, 1, 0),
+            out_channels: 64,
+            batch: 8,
+            reps: 6,
+        },
+    ]
+}
+
+/// Scratch buffers for one conv case, shared by fused and reference runs.
+struct ConvBuffers {
+    input: Vec<f32>,
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    d_output: Vec<f32>,
+    output: Vec<f32>,
+    d_weights: Vec<f32>,
+    d_bias: Vec<f32>,
+    d_input: Vec<f32>,
+}
+
+impl ConvBuffers {
+    fn new(case: &ConvCase) -> Self {
+        let spatial = case.geom.col_cols().expect("valid geometry");
+        let in_total = case.batch * case.geom.in_len();
+        let out_total = case.batch * case.out_channels * spatial;
+        let w_len = case.out_channels * case.geom.col_rows();
+        ConvBuffers {
+            input: filled(in_total, 0.017),
+            weights: filled(w_len, 0.031),
+            bias: filled(case.out_channels, 0.11),
+            d_output: filled(out_total, 0.023),
+            output: vec![0.0f32; out_total],
+            d_weights: vec![0.0f32; w_len],
+            d_bias: vec![0.0f32; case.out_channels],
+            d_input: vec![0.0f32; in_total],
+        }
+    }
+}
+
+fn bench_conv_case(case: &ConvCase, table: &mut Table) -> Json {
+    let geom = case.geom;
+    let (batch, out_channels, reps) = (case.batch, case.out_channels, case.reps);
+    let spatial = geom.col_cols().expect("valid geometry");
+    let kdim = geom.col_rows();
+    let mut b = ConvBuffers::new(case);
+    // fwd gemm + dW gemm + dX gemm are all (out_channels x kdim x spatial).
+    let flops = 3.0 * 2.0 * (batch * out_channels * spatial * kdim) as f64;
+
+    // Materialised-im2col baseline (single-threaded by construction): the
+    // pre-fusion path, retained as `conv2d_*_ref`. Its 1T times anchor the
+    // "fused vs materialized" speedup columns.
+    let mut col = vec![0.0f32; kdim * spatial];
+    let (ref_fwd_s, ref_bwd_s) = parallel::with_threads(1, || {
+        let fwd = time_per_rep(reps, || {
+            conv2d_forward_ref(
+                &geom,
+                batch,
+                out_channels,
+                &b.input,
+                &b.weights,
+                &b.bias,
+                &mut b.output,
+                &mut col,
+            );
+        });
+        let bwd = time_per_rep(reps, || {
+            conv2d_backward_ref(
+                &geom,
+                batch,
+                out_channels,
+                &b.input,
+                &b.weights,
+                &b.d_output,
+                &mut b.d_weights,
+                &mut b.d_bias,
+                &mut b.d_input,
+                &mut col,
+            );
+        });
+        (fwd, bwd)
+    });
+    drop(col);
+    let ref_s = ref_fwd_s + ref_bwd_s;
+    table.row_owned(vec![
+        format!("{} (materialized ref)", case.label),
+        "1".to_string(),
+        format!("{:.2}", ref_s * 1e3),
+        format!("fwd {:.2} / bwd {:.2} ms", ref_fwd_s * 1e3, ref_bwd_s * 1e3),
+        format!("{:.2} GFLOP/s", flops / ref_s / 1e9),
+    ]);
 
     let mut entries = Vec::new();
     let mut one_thread_s = f64::NAN;
+    let mut fused_1t = (f64::NAN, f64::NAN);
     for &t in &THREAD_COUNTS {
-        let fwd_s = parallel::with_threads(t, || {
-            time_per_rep(reps, || {
+        let (fwd_s, bwd_s) = parallel::with_threads(t, || {
+            let fwd = time_per_rep(reps, || {
                 conv2d_forward(
                     &geom,
                     batch,
                     out_channels,
-                    &input,
-                    &weights,
-                    &bias,
-                    &mut output,
-                    &mut col,
+                    &b.input,
+                    &b.weights,
+                    &b.bias,
+                    &mut b.output,
                 );
-            })
-        });
-        let bwd_s = parallel::with_threads(t, || {
-            time_per_rep(reps, || {
-                d_weights.iter_mut().for_each(|v| *v = 0.0);
-                d_bias.iter_mut().for_each(|v| *v = 0.0);
+            });
+            let bwd = time_per_rep(reps, || {
                 conv2d_backward(
                     &geom,
                     batch,
                     out_channels,
-                    &input,
-                    &weights,
-                    &d_output,
-                    &mut d_weights,
-                    &mut d_bias,
-                    &mut d_input,
-                    &mut col,
+                    &b.input,
+                    &b.weights,
+                    &b.d_output,
+                    &mut b.d_weights,
+                    &mut b.d_bias,
+                    &mut b.d_input,
                 );
-            })
+            });
+            (fwd, bwd)
         });
         let total = fwd_s + bwd_s;
         if t == 1 {
             one_thread_s = total;
+            fused_1t = (fwd_s, bwd_s);
         }
         table.row_owned(vec![
-            format!("conv 8x16x16 k3 b{batch} fwd+bwd"),
+            format!("{} (fused)", case.label),
             t.to_string(),
             format!("{:.2}", total * 1e3),
             format!("fwd {:.2} / bwd {:.2} ms", fwd_s * 1e3, bwd_s * 1e3),
-            format!("{:.2}x vs 1T", one_thread_s / total),
+            format!("{:.2}x vs 1T, {:.2}x vs ref", one_thread_s / total, ref_s / total),
         ]);
         entries.push(Json::obj(vec![
             ("threads", Json::Int(t as i64)),
             ("fwd_ms", Json::Num(fwd_s * 1e3)),
             ("bwd_ms", Json::Num(bwd_s * 1e3)),
             ("total_ms", Json::Num(total * 1e3)),
+            ("gflops", Json::Num(flops / total / 1e9)),
             ("speedup_vs_1t", Json::Num(one_thread_s / total)),
+            ("speedup_vs_materialized", Json::Num(ref_s / total)),
         ]));
     }
     Json::obj(vec![
-        ("geometry", Json::str("in 8x16x16, kernel 3x3 s1 p1, out 16ch, batch 16")),
+        ("name", Json::str(case.label)),
+        ("geometry", Json::str(case.note)),
+        ("materialized_ref_fwd_1t_ms", Json::Num(ref_fwd_s * 1e3)),
+        ("materialized_ref_bwd_1t_ms", Json::Num(ref_bwd_s * 1e3)),
+        ("fused_vs_materialized_fwd_1t", Json::Num(ref_fwd_s / fused_1t.0)),
+        ("fused_vs_materialized_bwd_1t", Json::Num(ref_bwd_s / fused_1t.1)),
+        ("fused_vs_materialized_1t", Json::Num(ref_s / (fused_1t.0 + fused_1t.1))),
         ("threads", Json::Arr(entries)),
     ])
+}
+
+fn bench_conv(table: &mut Table) -> Json {
+    let cases = conv_cases().iter().map(|c| bench_conv_case(c, table)).collect();
+    Json::obj(vec![("cases", Json::Arr(cases))])
+}
+
+/// CI smoke gate: times the fused VGG16 conv3-256 layer (fwd + bwd) at one
+/// and four logical threads and fails (exit 1) if the 4T schedule regresses
+/// past the host-aware floor. On a multi-core host the parallel path must
+/// win outright; a single-core host cannot show wall-clock speedup from
+/// extra logical threads, so there the gate only bounds dispatch overhead.
+fn smoke(host_threads: usize) -> i32 {
+    let cases = conv_cases();
+    let case = &cases[0]; // VGG16 conv3-256
+    let geom = case.geom;
+    let (batch, out_channels) = (case.batch, case.out_channels);
+    let mut b = ConvBuffers::new(case);
+    let mut step = || {
+        conv2d_forward(&geom, batch, out_channels, &b.input, &b.weights, &b.bias, &mut b.output);
+        conv2d_backward(
+            &geom,
+            batch,
+            out_channels,
+            &b.input,
+            &b.weights,
+            &b.d_output,
+            &mut b.d_weights,
+            &mut b.d_bias,
+            &mut b.d_input,
+        );
+    };
+    let t1 = parallel::with_threads(1, || time_per_rep(3, &mut step));
+    let t4 = parallel::with_threads(4, || time_per_rep(3, &mut step));
+    let speedup = t1 / t4;
+    // A single-core host cannot show wall-clock parallel speedup, so the
+    // floor there only bounds dispatch overhead (loosely: shared hosts
+    // show multi-hundred-ms steal spikes).
+    let floor = if host_threads >= 2 { 1.0 } else { 0.6 };
+    println!(
+        "smoke: {} fwd+bwd 1T {:.1} ms, 4T {:.1} ms, speedup {speedup:.2}x \
+         (floor {floor:.2}, host cores {host_threads})",
+        case.label,
+        t1 * 1e3,
+        t4 * 1e3,
+    );
+    if speedup < floor {
+        eprintln!("smoke FAILED: conv 4T/1T speedup {speedup:.2}x below floor {floor:.2}x");
+        1
+    } else {
+        println!("smoke OK");
+        0
+    }
 }
 
 fn bench_smb_accumulate(table: &mut Table) -> Json {
@@ -310,6 +482,9 @@ fn main() {
     }
 
     let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if std::env::args().any(|a| a == "--smoke") {
+        std::process::exit(smoke(host_threads));
+    }
     println!("Kernel throughput at 1/2/4/8 logical threads (deterministic backend)");
     println!("host available_parallelism: {host_threads}\n");
 

@@ -1,4 +1,4 @@
-//! 2-D convolution layer built on im2col + gemm.
+//! 2-D convolution layer built on the fused im2col → packed-GEMM kernel.
 
 use shmcaffe_tensor::conv::{conv2d_backward, conv2d_forward, Conv2dGeometry};
 use shmcaffe_tensor::init::{seeded_rng, Filler};
@@ -39,7 +39,6 @@ pub struct Conv2d {
     d_weights: Tensor,
     d_bias: Tensor,
     cached_input: Option<Tensor>,
-    col_buf: Vec<f32>,
 }
 
 impl Conv2d {
@@ -58,6 +57,8 @@ impl Conv2d {
         let out_h = geom.out_h()?;
         let out_w = geom.out_w()?;
         let k = geom.col_rows();
+        // The fused conv kernels draw scratch from the shared per-thread
+        // workspace arena, so the layer itself carries no column buffer.
         let mut weights =
             Tensor::zeros(&[out_channels, geom.in_channels, geom.kernel_h, geom.kernel_w]);
         let mut rng = seeded_rng(seed ^ hash_name(name));
@@ -78,7 +79,6 @@ impl Conv2d {
             ]),
             d_bias: Tensor::zeros(&[out_channels]),
             cached_input: None,
-            col_buf: vec![0.0; k * out_h * out_w],
         })
     }
 
@@ -127,7 +127,6 @@ impl Layer for Conv2d {
             self.weights.data(),
             self.bias.data(),
             output.data_mut(),
-            &mut self.col_buf,
         );
         self.cached_input = Some(input.clone());
         Ok(output)
@@ -158,7 +157,6 @@ impl Layer for Conv2d {
             self.d_weights.data_mut(),
             self.d_bias.data_mut(),
             d_input.data_mut(),
-            &mut self.col_buf,
         );
         self.cached_input = Some(input);
         Ok(d_input)

@@ -80,7 +80,11 @@ impl Layer for Pool2d {
         self.batch = batch;
         let mut output = Tensor::zeros(&[batch, self.geom.in_channels, self.out_h, self.out_w]);
         if self.kind == PoolKind::Max {
-            self.argmax = vec![0; output.len()];
+            // Reuse the argmax buffer across iterations; steady-state
+            // forward passes with a stable batch size allocate nothing.
+            if self.argmax.len() != output.len() {
+                self.argmax.resize(output.len(), 0);
+            }
             pool_forward(
                 self.kind,
                 &self.geom,

@@ -1,22 +1,51 @@
-//! 2-D convolution via im2col + gemm, exactly as BVLC Caffe implements it.
+//! 2-D convolution, fused im2col → packed GEMM.
 //!
 //! Layout conventions follow Caffe blobs:
 //!
 //! * inputs and outputs are `(N, C, H, W)` row-major,
 //! * weights are `(C_out, C_in, KH, KW)`,
-//! * the im2col matrix is `(C_in*KH*KW) x (H_out*W_out)` per image.
+//! * the logical column matrix is `(C_in*KH*KW) x (H_out*W_out)` per image.
 //!
-//! The batch loop is the parallel axis: each image's im2col + gemm is an
-//! independent task on the crate worker pool (per-image output rows and
-//! input-gradient rows are disjoint). Weight/bias gradients, which reduce
-//! over the batch, are computed into per-image partial buffers and combined
-//! **in image order** on the calling thread, so the result is bit-identical
-//! at any `SHMCAFFE_THREADS` — the decomposition depends only on the batch
-//! size, never on the thread count.
+//! Unlike BVLC Caffe (and this crate's earlier revisions), the column
+//! matrix is **never materialised**. The packing step of the BLIS-style
+//! gemm in [`crate::gemm`] already copies `op(B)` into `NR`-column panels;
+//! the fused path replicates that panel layout with packers that read
+//! elements *through the convolution geometry* straight out of the input
+//! image ([`pack_conv_cols`]/[`pack_conv_cols_t`], hoisted-loop
+//! specialisations of the generic accessor formulation `col_value`).
+//! im2col thus happens inside the pack, one cache-resident panel at a
+//! time, and the separate `col_rows x col_cols` scratch matrix — and the
+//! memory traffic of writing and re-reading it — disappears.
+//!
+//! Parallelism is a fixed grid derived only from the geometry and batch
+//! size, never from the thread count:
+//!
+//! * **forward** — tasks are `(image, NC-column strip)` cells; all
+//!   `H_out*W_out` columns of a layer form one logical gemm, so wide conv
+//!   outputs fan out over the column axis even when `C_out` is small;
+//! * **backward** — `dW` tasks are `NC`-column blocks of the weight
+//!   gradient (each folds the whole batch in image order, and each
+//!   fuse-packs only its own slice of the transposed column matrix), `db`
+//!   tasks are `MC`-row filter blocks, and `d_input` tasks are
+//!   `(image, channel block)` cells. Every task writes a disjoint region
+//!   (through [`parallel::SliceParts`]) and folds its own data in a fixed
+//!   serial order, so results are **bit-identical** at any
+//!   `SHMCAFFE_THREADS` — and bit-identical to the retained reference path
+//!   ([`conv2d_forward_ref`]/[`conv2d_backward_ref`]), which the property
+//!   tests assert. The argument: packing is an exact copy, so only the
+//!   `KC` k-block grid and the per-element write-back fold order determine
+//!   the bits, and both are shared with the reference gemm
+//!   (`x + y == y + x` bitwise for IEEE adds, `1.0 * x == x`).
+//!
+//! Scratch (packed panels, the backward `d_col` strip) comes from the
+//! per-thread [`crate::workspace`] arena, so steady-state forward/backward
+//! performs zero heap allocations (asserted by `tests/alloc_free.rs`).
 
-use crate::gemm::{gemm, Transpose};
-use crate::ops;
-use crate::parallel::{self, Task};
+use crate::gemm::{
+    blocks, micro_kernel_dispatch, pack_cols_with, pack_rows_with, KC, MC, MR, NC, NR,
+};
+use crate::parallel::{self, elemwise_chunk, SliceParts, Task};
+use crate::workspace::{self, Tag};
 use crate::TensorError;
 
 /// Geometry of a 2-D convolution or pooling window.
@@ -82,12 +111,12 @@ impl Conv2dGeometry {
         out_extent(self.in_w, self.kernel_w, self.stride_w, self.pad_w)
     }
 
-    /// Rows of the im2col matrix: `C_in * KH * KW`.
+    /// Rows of the logical column matrix: `C_in * KH * KW`.
     pub fn col_rows(&self) -> usize {
         self.in_channels * self.kernel_h * self.kernel_w
     }
 
-    /// Columns of the im2col matrix: `H_out * W_out`.
+    /// Columns of the logical column matrix: `H_out * W_out`.
     ///
     /// # Errors
     ///
@@ -120,8 +149,195 @@ fn out_extent(
     Ok((padded - kernel) / stride + 1)
 }
 
-/// Unrolls one image `(C, H, W)` into the column matrix used by gemm.
+/// Element `(r, j)` of the logical im2col matrix of `image`, read through
+/// the geometry: row `r` encodes `(channel, kh, kw)`, column `j` encodes
+/// `(oh, ow)`, and out-of-bounds taps are the implicit zero padding.
 ///
+/// The executable specification of the fused packing: [`pack_conv_cols`]
+/// and [`pack_conv_cols_t`] must (and do, per the unit tests) produce
+/// exactly these values, and it must agree index-for-index with
+/// [`im2col`].
+#[cfg_attr(not(test), allow(dead_code))]
+#[inline(always)]
+fn col_value(geom: &Conv2dGeometry, image: &[f32], out_w: usize, r: usize, j: usize) -> f32 {
+    let khw = geom.kernel_h * geom.kernel_w;
+    let c = r / khw;
+    let k = r % khw;
+    let kh = k / geom.kernel_w;
+    let kw = k % geom.kernel_w;
+    let oh = j / out_w;
+    let ow = j % out_w;
+    let ih = (oh * geom.stride_h + kh) as isize - geom.pad_h as isize;
+    let iw = (ow * geom.stride_w + kw) as isize - geom.pad_w as isize;
+    if ih >= 0 && iw >= 0 && (ih as usize) < geom.in_h && (iw as usize) < geom.in_w {
+        image[(c * geom.in_h + ih as usize) * geom.in_w + iw as usize]
+    } else {
+        0.0
+    }
+}
+
+/// The fused im2col pack: copies rows `[pc, pc + kcb)` x columns
+/// `[j0, j0 + jn)` of the logical column matrix into `NR`-column panels,
+/// in exactly the layout of [`pack_cols_with`] and with exactly the values
+/// of [`col_value`] — packing is index math plus copies, so the fast and
+/// generic formulations are bitwise interchangeable.
+///
+/// The win over handing `col_value` to the generic packer is hoisting:
+/// the `(channel, kh, kw)` decomposition costs one division pair per
+/// *row*, not three per element, and the `(oh, ow)` walk across a row is
+/// incremental (two adds and a wrap test per element).
+#[allow(clippy::too_many_arguments)]
+fn pack_conv_cols(
+    geom: &Conv2dGeometry,
+    image: &[f32],
+    out_w: usize,
+    pc: usize,
+    kcb: usize,
+    j0: usize,
+    jn: usize,
+    out: &mut [f32],
+) {
+    let khw = geom.kernel_h * geom.kernel_w;
+    let chan_len = geom.in_h * geom.in_w;
+    let (in_h, in_w) = (geom.in_h as isize, geom.in_w as isize);
+    let (stride_h, stride_w) = (geom.stride_h as isize, geom.stride_w as isize);
+    let n_panels = jn.div_ceil(NR);
+    for pp in 0..kcb {
+        let r = pc + pp;
+        let c = r / khw;
+        let k = r % khw;
+        let kh = (k / geom.kernel_w) as isize - geom.pad_h as isize;
+        let kw = (k % geom.kernel_w) as isize - geom.pad_w as isize;
+        let chan = &image[c * chan_len..(c + 1) * chan_len];
+        let mut ow = j0 % out_w;
+        let mut ih = (j0 / out_w) as isize * stride_h + kh;
+        let mut iw = ow as isize * stride_w + kw;
+        for jp in 0..n_panels {
+            let cols = NR.min(jn - jp * NR);
+            let base = jp * kcb * NR + pp * NR;
+            let dst = &mut out[base..base + NR];
+            dst[cols..].iter_mut().for_each(|d| *d = 0.0);
+            // Walk the window in segments that share one input row (`ih`
+            // is constant until the output-row wrap), so the bounds tests
+            // hoist out of the element loop and the stride-1 interior
+            // becomes a contiguous copy.
+            let mut jj = 0;
+            while jj < cols {
+                let seg = (cols - jj).min(out_w - ow);
+                let d = &mut dst[jj..jj + seg];
+                if ih < 0 || ih >= in_h {
+                    d.iter_mut().for_each(|v| *v = 0.0);
+                    iw += seg as isize * stride_w;
+                } else {
+                    let row = &chan[(ih as usize) * geom.in_w..][..geom.in_w];
+                    if stride_w == 1 {
+                        let lz = (-iw).clamp(0, seg as isize) as usize;
+                        let ve = (in_w - iw).clamp(0, seg as isize) as usize;
+                        d[..lz].iter_mut().for_each(|v| *v = 0.0);
+                        d[lz..ve].copy_from_slice(
+                            &row[(iw + lz as isize) as usize..(iw + ve as isize) as usize],
+                        );
+                        d[ve..].iter_mut().for_each(|v| *v = 0.0);
+                        iw += seg as isize;
+                    } else {
+                        for v in d.iter_mut() {
+                            *v = if iw >= 0 && iw < in_w { row[iw as usize] } else { 0.0 };
+                            iw += stride_w;
+                        }
+                    }
+                }
+                jj += seg;
+                ow += seg;
+                if ow == out_w {
+                    ow = 0;
+                    iw = kw;
+                    ih += stride_h;
+                }
+            }
+        }
+    }
+}
+
+/// The fused pack of the *transposed* column matrix, for the `dW` gemm
+/// (`dW += dY · colᵀ`): panel columns `[j0, j0 + jn)` run along the
+/// `C_in*KH*KW` axis, panel rows `[pc, pc + kcb)` along the spatial axis.
+/// Bitwise equal to packing `|p, j| col_value(…, j, p)` through
+/// [`pack_cols_with`]; the per-column `(channel, kh, kw)` decomposition is
+/// hoisted to once per panel and the spatial walk is incremental.
+#[allow(clippy::too_many_arguments)]
+fn pack_conv_cols_t(
+    geom: &Conv2dGeometry,
+    image: &[f32],
+    out_w: usize,
+    pc: usize,
+    kcb: usize,
+    j0: usize,
+    jn: usize,
+    out: &mut [f32],
+) {
+    let khw = geom.kernel_h * geom.kernel_w;
+    let chan_len = geom.in_h * geom.in_w;
+    let (in_h, in_w) = (geom.in_h as isize, geom.in_w as isize);
+    let (stride_h, stride_w) = (geom.stride_h as isize, geom.stride_w as isize);
+    for jp in 0..jn.div_ceil(NR) {
+        let jb = j0 + jp * NR;
+        let cols = NR.min(j0 + jn - jb);
+        let mut offs = [0isize; NR];
+        let mut khs = [0isize; NR];
+        let mut kws = [0isize; NR];
+        for jj in 0..cols {
+            let r = jb + jj;
+            let k = r % khw;
+            let kh = (k / geom.kernel_w) as isize - geom.pad_h as isize;
+            let kw = (k % geom.kernel_w) as isize - geom.pad_w as isize;
+            khs[jj] = kh;
+            kws[jj] = kw;
+            // Tap offset relative to `oy*in_w + ox`; only dereferenced
+            // once the (ih, iw) range tests pass.
+            offs[jj] = ((r / khw) * chan_len) as isize + kh * in_w + kw;
+        }
+        // A spatial position is "safe" when every tap of this panel lands
+        // in range; the whole interior then skips the per-tap tests.
+        let kh_lo = khs[..cols].iter().copied().min().unwrap_or(0);
+        let kh_hi = khs[..cols].iter().copied().max().unwrap_or(0);
+        let kw_lo = kws[..cols].iter().copied().min().unwrap_or(0);
+        let kw_hi = kws[..cols].iter().copied().max().unwrap_or(0);
+        let panel = &mut out[jp * kcb * NR..(jp + 1) * kcb * NR];
+        let mut ow = pc % out_w;
+        let mut oy = (pc / out_w) as isize * stride_h;
+        for dst in panel.chunks_exact_mut(NR) {
+            let ox = ow as isize * stride_w;
+            dst[cols..].iter_mut().for_each(|d| *d = 0.0);
+            if oy + kh_lo >= 0 && oy + kh_hi < in_h && ox + kw_lo >= 0 && ox + kw_hi < in_w {
+                let pos = oy * in_w + ox;
+                for (jj, d) in dst[..cols].iter_mut().enumerate() {
+                    *d = image[(offs[jj] + pos) as usize];
+                }
+            } else {
+                let pos = oy * in_w + ox;
+                for (jj, d) in dst[..cols].iter_mut().enumerate() {
+                    let ih = oy + khs[jj];
+                    let iw = ox + kws[jj];
+                    *d = if ih >= 0 && ih < in_h && iw >= 0 && iw < in_w {
+                        image[(offs[jj] + pos) as usize]
+                    } else {
+                        0.0
+                    };
+                }
+            }
+            ow += 1;
+            if ow == out_w {
+                ow = 0;
+                oy += stride_h;
+            }
+        }
+    }
+}
+
+/// Unrolls one image `(C, H, W)` into the materialised column matrix.
+///
+/// The fused kernels never call this; it remains as the reference
+/// formulation (see [`conv2d_forward_ref`]) and for adjoint tests.
 /// `col` must have `geom.col_rows() * geom.col_cols()` elements.
 ///
 /// # Panics
@@ -168,13 +384,29 @@ pub fn im2col(geom: &Conv2dGeometry, image: &[f32], col: &mut [f32]) {
 ///
 /// Panics if buffer sizes do not match the geometry.
 pub fn col2im(geom: &Conv2dGeometry, col: &[f32], image: &mut [f32]) {
+    assert_eq!(image.len(), geom.in_len(), "image buffer size mismatch");
     let out_h = geom.out_h().expect("invalid geometry");
     let out_w = geom.out_w().expect("invalid geometry");
-    assert_eq!(image.len(), geom.in_len(), "image buffer size mismatch");
     assert_eq!(col.len(), geom.col_rows() * out_h * out_w, "col buffer size mismatch");
+    col2im_rows(geom, out_h, out_w, geom.in_channels, col, image);
+}
 
+/// [`col2im`] restricted to a contiguous block of `channels` input
+/// channels: `col` holds the `channels * KH * KW` column-matrix rows for
+/// those channels, `image` the matching `(channels, H, W)` slice. The
+/// per-element accumulation order is exactly that of the full [`col2im`]
+/// (each image element only ever receives contributions from its own
+/// channel's rows), which keeps the blocked backward path bit-identical.
+fn col2im_rows(
+    geom: &Conv2dGeometry,
+    out_h: usize,
+    out_w: usize,
+    channels: usize,
+    col: &[f32],
+    image: &mut [f32],
+) {
     let mut col_idx = 0;
-    for c in 0..geom.in_channels {
+    for c in 0..channels {
         let base = c * geom.in_h * geom.in_w;
         for kh in 0..geom.kernel_h {
             for kw in 0..geom.kernel_w {
@@ -197,23 +429,37 @@ pub fn col2im(geom: &Conv2dGeometry, col: &[f32], image: &mut [f32]) {
     }
 }
 
-/// Convolution forward for a batch.
+/// Shared write-back: add `alpha == 1` micro-tile rows into `c_row`,
+/// either overwriting (first k-block, beta = 0 semantics) or accumulating.
+#[inline(always)]
+fn store_row(c_row: &mut [f32], acc_row: &[f32], overwrite: bool) {
+    if overwrite {
+        for (cv, av) in c_row.iter_mut().zip(acc_row.iter()) {
+            *cv = *av;
+        }
+    } else {
+        for (cv, av) in c_row.iter_mut().zip(acc_row.iter()) {
+            *cv += *av;
+        }
+    }
+}
+
+/// Convolution forward for a batch (fused im2col → packed gemm).
 ///
 /// * `input`: `(N, C_in, H, W)` flattened,
 /// * `weights`: `(C_out, C_in*KH*KW)` flattened,
 /// * `bias`: length `C_out` (may be empty for no bias),
-/// * `output`: `(N, C_out, H_out, W_out)` flattened,
-/// * `col_buf`: scratch of `col_rows * col_cols` elements (used when the
-///   batch runs on the calling thread; parallel image tasks carry their own
-///   scratch so they never contend for it).
+/// * `output`: `(N, C_out, H_out, W_out)` flattened.
 ///
-/// Images are processed as independent parallel tasks; see the module docs
-/// for the determinism contract.
+/// The weights are packed once per call; each `(image, NC-column strip)`
+/// grid cell then packs its input patches directly from the image and
+/// sweeps the micro-kernel, writing its disjoint strip of the output. All
+/// scratch comes from the per-thread [`crate::workspace`] arena. See the
+/// module docs for the determinism contract.
 ///
 /// # Panics
 ///
 /// Panics on buffer size mismatches.
-#[allow(clippy::too_many_arguments)]
 pub fn conv2d_forward(
     geom: &Conv2dGeometry,
     batch: usize,
@@ -222,73 +468,123 @@ pub fn conv2d_forward(
     weights: &[f32],
     bias: &[f32],
     output: &mut [f32],
-    col_buf: &mut [f32],
 ) {
     let out_h = geom.out_h().expect("invalid geometry");
     let out_w = geom.out_w().expect("invalid geometry");
     let spatial = out_h * out_w;
     let in_len = geom.in_len();
     let out_len = out_channels * spatial;
-    let col_len = geom.col_rows() * spatial;
+    let kdim = geom.col_rows();
     assert_eq!(input.len(), batch * in_len, "input size mismatch");
     assert_eq!(output.len(), batch * out_len, "output size mismatch");
-    assert_eq!(weights.len(), out_channels * geom.col_rows(), "weight size mismatch");
+    assert_eq!(weights.len(), out_channels * kdim, "weight size mismatch");
     assert!(bias.is_empty() || bias.len() == out_channels, "bias size mismatch");
-    assert_eq!(col_buf.len(), col_len, "col buffer size mismatch");
-
-    let forward_one = |image: &[f32], out_image: &mut [f32], col: &mut [f32]| {
-        im2col(geom, image, col);
-        // (C_out x K) * (K x spatial) = C_out x spatial
-        gemm(
-            Transpose::No,
-            Transpose::No,
-            out_channels,
-            spatial,
-            geom.col_rows(),
-            1.0,
-            weights,
-            col,
-            0.0,
-            out_image,
-        );
-        if !bias.is_empty() {
-            for (c, &b) in bias.iter().enumerate() {
-                for v in &mut out_image[c * spatial..(c + 1) * spatial] {
-                    *v += b;
-                }
-            }
-        }
-    };
-
-    if batch <= 1 || parallel::current_threads() <= 1 {
-        for (image, out_image) in input.chunks(in_len).zip(output.chunks_mut(out_len)) {
-            forward_one(image, out_image, col_buf);
-        }
+    if batch == 0 || out_channels == 0 {
         return;
     }
-    let forward_one = &forward_one;
-    let tasks: Vec<Task<'_>> = input
-        .chunks(in_len)
-        .zip(output.chunks_mut(out_len))
-        .map(|(image, out_image)| -> Task<'_> {
-            Box::new(move || {
-                let mut col = vec![0.0f32; col_len];
-                forward_one(image, out_image, &mut col);
-            })
-        })
-        .collect();
-    parallel::run_tasks(tasks);
+
+    let kc0 = KC.min(kdim);
+    let m_panels = out_channels.div_ceil(MR);
+    // Pack the filter matrix once, k-block-major: for each KC block, all
+    // MR-row panels of that block back to back. Every grid cell reads it.
+    workspace::with_f32(Tag::ConvPackA, m_panels * MR * kdim, |packed_w| {
+        let mut off = 0;
+        for (pc, kcb) in blocks(kdim, KC) {
+            pack_rows_with(
+                0,
+                out_channels,
+                pc,
+                kcb,
+                |i, p| weights[i * kdim + p],
+                &mut packed_w[off..off + m_panels * MR * kcb],
+            );
+            off += m_panels * MR * kcb;
+        }
+        let packed_w = &packed_w[..];
+        let out = SliceParts::new(&mut output[..batch * out_len]);
+        let out = &out;
+
+        // One grid cell: image `n`, output columns `[jc, jc + ncb)`.
+        let cell = move |n: usize, jc: usize, ncb: usize| {
+            let image = &input[n * in_len..(n + 1) * in_len];
+            let out_base = n * out_len;
+            let ncb_panels = ncb.div_ceil(NR);
+            workspace::with_f32(Tag::ConvPackB, kc0 * ncb_panels * NR, |packed_b| {
+                let mut acc = [[0.0f32; NR]; MR];
+                let mut a_off = 0;
+                for (pc, kcb) in blocks(kdim, KC) {
+                    // The fused im2col: pack input patches straight into
+                    // NR-column panels through the geometry.
+                    pack_conv_cols(
+                        geom,
+                        image,
+                        out_w,
+                        pc,
+                        kcb,
+                        jc,
+                        ncb,
+                        &mut packed_b[..kcb * ncb_panels * NR],
+                    );
+                    let first = pc == 0;
+                    for ip in 0..m_panels {
+                        let i0 = ip * MR;
+                        let rows = MR.min(out_channels - i0);
+                        let a_panel = &packed_w[a_off + ip * kcb * MR..a_off + (ip + 1) * kcb * MR];
+                        for jp in 0..ncb_panels {
+                            let j0 = jc + jp * NR;
+                            let cols = NR.min(jc + ncb - j0);
+                            let b_panel = &packed_b[jp * kcb * NR..(jp + 1) * kcb * NR];
+                            micro_kernel_dispatch(kcb, a_panel, b_panel, &mut acc);
+                            for (ii, acc_row) in acc.iter().enumerate().take(rows) {
+                                let c_row = out.part(out_base + (i0 + ii) * spatial + j0, cols);
+                                store_row(c_row, acc_row, first);
+                            }
+                            acc.iter_mut().for_each(|r| r.iter_mut().for_each(|v| *v = 0.0));
+                        }
+                    }
+                    a_off += m_panels * MR * kcb;
+                }
+            });
+            if !bias.is_empty() {
+                for (ci, &bv) in bias.iter().enumerate() {
+                    for v in out.part(out_base + ci * spatial + jc, ncb) {
+                        *v += bv;
+                    }
+                }
+            }
+        };
+
+        let strips = spatial.div_ceil(NC);
+        if parallel::current_threads() <= 1 || batch * strips <= 1 {
+            for n in 0..batch {
+                for (jc, ncb) in blocks(spatial, NC) {
+                    cell(n, jc, ncb);
+                }
+            }
+        } else {
+            let cell = &cell;
+            let tasks: Vec<Task<'_>> = (0..batch)
+                .flat_map(|n| {
+                    blocks(spatial, NC)
+                        .map(move |(jc, ncb)| -> Task<'_> { Box::new(move || cell(n, jc, ncb)) })
+                })
+                .collect();
+            parallel::run_tasks(tasks);
+        }
+    });
 }
 
-/// Convolution backward for a batch.
+/// Convolution backward for a batch (fused, never materialising im2col).
 ///
 /// Computes weight/bias gradients (accumulated into `d_weights`/`d_bias`)
 /// and, when `d_input` is non-empty, the input gradient (overwritten).
 ///
-/// Per-image work (im2col, both gemms, col2im) runs as parallel tasks;
-/// the batch reductions into `d_weights`/`d_bias` go through per-image
-/// partial buffers combined in image order on the calling thread, keeping
-/// the result independent of the thread count.
+/// The grid: `dW` tasks own `NC`-column blocks of the weight gradient and
+/// `db` tasks `MC`-row filter blocks; both fold the whole batch in image
+/// order (so the reduction order never depends on the thread count).
+/// `d_input` tasks own `(image, channel block)` cells,
+/// staging `Wᵀ·dY` rows in a workspace strip and scattering them with the
+/// blocked col2im. See the module docs for the bit-identity argument.
 ///
 /// # Panics
 ///
@@ -304,39 +600,323 @@ pub fn conv2d_backward(
     d_weights: &mut [f32],
     d_bias: &mut [f32],
     d_input: &mut [f32],
-    col_buf: &mut [f32],
 ) {
     let out_h = geom.out_h().expect("invalid geometry");
     let out_w = geom.out_w().expect("invalid geometry");
     let spatial = out_h * out_w;
     let in_len = geom.in_len();
     let out_len = out_channels * spatial;
-    let col_len = geom.col_rows() * spatial;
-    let dw_len = out_channels * geom.col_rows();
+    let kdim = geom.col_rows();
+    let khw = geom.kernel_h * geom.kernel_w;
+    let chan_len = geom.in_h * geom.in_w;
     assert_eq!(input.len(), batch * in_len, "input size mismatch");
     assert_eq!(d_output.len(), batch * out_len, "d_output size mismatch");
-    assert_eq!(d_weights.len(), dw_len, "d_weights size mismatch");
+    assert_eq!(d_weights.len(), out_channels * kdim, "d_weights size mismatch");
     assert!(d_bias.is_empty() || d_bias.len() == out_channels, "d_bias size mismatch");
     assert!(d_input.is_empty() || d_input.len() == batch * in_len, "d_input size mismatch");
-    assert_eq!(col_buf.len(), col_len, "col buffer size mismatch");
+
+    let want_dx = !d_input.is_empty();
+    if want_dx {
+        let chunk = elemwise_chunk(d_input.len());
+        parallel::par_chunks_mut(d_input, chunk, |_, c| c.iter_mut().for_each(|v| *v = 0.0));
+    }
+    if batch == 0 || out_channels == 0 {
+        return;
+    }
+
+    let kc_sp = KC.min(spatial);
+    let m_panels = out_channels.div_ceil(MR);
+    // d_input channel-block granularity: enough channels that a block's
+    // `channels * KH * KW` d_col rows are on the order of one MC row
+    // panel, but never more than ~8 blocks per image — every block
+    // re-packs the image's dY panels, so the block count bounds that
+    // redundancy. Derived from geometry only, never the thread count.
+    let cb = (MC / khw).max(geom.in_channels.div_ceil(8)).max(1);
+
+    let has_bias = !d_bias.is_empty();
+    let dw = SliceParts::new(d_weights);
+    let dw = &dw;
+    let db = SliceParts::new(d_bias);
+    let db = &db;
+    let dx = SliceParts::new(d_input);
+    let dx = &dx;
+
+    // One dW task: columns `[j0, j0 + jn)` of the `(C_out, C_in*KH*KW)`
+    // weight gradient, whole batch, image order.
+    //
+    // dW[:, j0..] += dY_n · col_nᵀ[:, j0..] for each n ascending, k-axis =
+    // spatial. Blocking this gemm along its *N* axis means each task
+    // fuse-packs only its own slice of the transposed column matrix — the
+    // expensive geometry pack is never repeated across tasks — while only
+    // the cheap contiguous dY row pack is. Write-back always accumulates:
+    // `d_weights` carries the caller's running gradient (beta = 1), and
+    // `x + y` is bitwise commutative, so this equals the reference's
+    // per-image `gemm(…, beta = 1.0)` fold.
+    let dw_cell = |j0: usize, jn: usize| {
+        let jn_panels = jn.div_ceil(NR);
+        workspace::with_f32(Tag::ConvPackA, kc_sp * m_panels * MR, |packed_a| {
+            workspace::with_f32(Tag::ConvPackB, kc_sp * jn_panels * NR, |packed_b| {
+                let mut acc = [[0.0f32; NR]; MR];
+                for n in 0..batch {
+                    let image = &input[n * in_len..(n + 1) * in_len];
+                    let dy = &d_output[n * out_len..(n + 1) * out_len];
+                    for (pc, kcb) in blocks(spatial, KC) {
+                        pack_rows_with(
+                            0,
+                            out_channels,
+                            pc,
+                            kcb,
+                            |i, p| dy[i * spatial + p],
+                            &mut packed_a[..kcb * m_panels * MR],
+                        );
+                        pack_conv_cols_t(
+                            geom,
+                            image,
+                            out_w,
+                            pc,
+                            kcb,
+                            j0,
+                            jn,
+                            &mut packed_b[..kcb * jn_panels * NR],
+                        );
+                        for ip in 0..m_panels {
+                            let i0 = ip * MR;
+                            let rows = MR.min(out_channels - i0);
+                            let a_panel = &packed_a[ip * kcb * MR..(ip + 1) * kcb * MR];
+                            for jp in 0..jn_panels {
+                                let jb = j0 + jp * NR;
+                                let cols = NR.min(j0 + jn - jb);
+                                let b_panel = &packed_b[jp * kcb * NR..(jp + 1) * kcb * NR];
+                                micro_kernel_dispatch(kcb, a_panel, b_panel, &mut acc);
+                                for (ii, acc_row) in acc.iter().enumerate().take(rows) {
+                                    let c_row = dw.part((i0 + ii) * kdim + jb, cols);
+                                    store_row(c_row, acc_row, false);
+                                }
+                                acc.iter_mut().for_each(|r| r.iter_mut().for_each(|v| *v = 0.0));
+                            }
+                        }
+                    }
+                }
+            });
+        });
+    };
+
+    // One db task: filter rows `[i0, i0 + il)`;
+    // db[c] += Σ_n (serial spatial sum of dY_n[c]) in image order.
+    let db_cell = |i0: usize, il: usize| {
+        for ci in i0..i0 + il {
+            let dbv = &mut db.part(ci, 1)[0];
+            for n in 0..batch {
+                let dy = &d_output[n * out_len + ci * spatial..][..spatial];
+                let mut t = 0.0f32;
+                for &v in dy {
+                    t += v;
+                }
+                *dbv += t;
+            }
+        }
+    };
+
+    // One d_input task: image `n`, input channels `[c0, c0 + cl)`.
+    //
+    // Stages d_col rows `[c0*KH*KW, (c0+cl)*KH*KW)` = Wᵀ[rows] · dY_n
+    // (k-axis = C_out, beta = 0 semantics) in a workspace strip, then
+    // scatters them with the blocked col2im. Restricting the gemm to a row
+    // block and col2im to a channel block changes neither's per-element
+    // fold order.
+    let dx_cell = |n: usize, c0: usize, cl: usize| {
+        let dy = &d_output[n * out_len..(n + 1) * out_len];
+        let rl = cl * khw;
+        let rl_panels = rl.div_ceil(MR);
+        let sp_panels = spatial.div_ceil(NR);
+        let kc_oc = KC.min(out_channels);
+        let r0 = c0 * khw;
+        workspace::with_f32(Tag::ConvDcol, rl * spatial, |dcol| {
+            workspace::with_f32(Tag::ConvPackA, kc_oc * rl_panels * MR, |packed_a| {
+                workspace::with_f32(Tag::ConvPackB, kc_oc * sp_panels * NR, |packed_b| {
+                    let mut acc = [[0.0f32; NR]; MR];
+                    for (pc, kcb) in blocks(out_channels, KC) {
+                        pack_rows_with(
+                            r0,
+                            rl,
+                            pc,
+                            kcb,
+                            |i, p| weights[p * kdim + i],
+                            &mut packed_a[..kcb * rl_panels * MR],
+                        );
+                        pack_cols_with(
+                            pc,
+                            kcb,
+                            0,
+                            spatial,
+                            |p, j| dy[p * spatial + j],
+                            &mut packed_b[..kcb * sp_panels * NR],
+                        );
+                        let first = pc == 0;
+                        for ip in 0..rl_panels {
+                            let rr0 = ip * MR;
+                            let rows = MR.min(rl - rr0);
+                            let a_panel = &packed_a[ip * kcb * MR..(ip + 1) * kcb * MR];
+                            for jp in 0..sp_panels {
+                                let j0 = jp * NR;
+                                let cols = NR.min(spatial - j0);
+                                let b_panel = &packed_b[jp * kcb * NR..(jp + 1) * kcb * NR];
+                                micro_kernel_dispatch(kcb, a_panel, b_panel, &mut acc);
+                                for (ii, acc_row) in acc.iter().enumerate().take(rows) {
+                                    let c_row = &mut dcol[(rr0 + ii) * spatial + j0..][..cols];
+                                    store_row(c_row, acc_row, first);
+                                }
+                                acc.iter_mut().for_each(|r| r.iter_mut().for_each(|v| *v = 0.0));
+                            }
+                        }
+                    }
+                });
+            });
+            let image = dx.part(n * in_len + c0 * chan_len, cl * chan_len);
+            col2im_rows(geom, out_h, out_w, cl, &dcol[..rl * spatial], image);
+        });
+    };
+
+    let dw_blocks = kdim.div_ceil(NC);
+    let db_blocks = if has_bias { out_channels.div_ceil(MC) } else { 0 };
+    let dx_blocks = if want_dx { geom.in_channels.div_ceil(cb) } else { 0 };
+    if parallel::current_threads() <= 1 || dw_blocks + db_blocks + batch * dx_blocks <= 1 {
+        for (j0, jn) in blocks(kdim, NC) {
+            dw_cell(j0, jn);
+        }
+        if has_bias {
+            for (i0, il) in blocks(out_channels, MC) {
+                db_cell(i0, il);
+            }
+        }
+        if want_dx {
+            for n in 0..batch {
+                for (c0, cl) in blocks(geom.in_channels, cb) {
+                    dx_cell(n, c0, cl);
+                }
+            }
+        }
+    } else {
+        let dw_cell = &dw_cell;
+        let db_cell = &db_cell;
+        let dx_cell = &dx_cell;
+        let mut tasks: Vec<Task<'_>> = blocks(kdim, NC)
+            .map(|(j0, jn)| -> Task<'_> { Box::new(move || dw_cell(j0, jn)) })
+            .collect();
+        if has_bias {
+            tasks.extend(
+                blocks(out_channels, MC)
+                    .map(|(i0, il)| -> Task<'_> { Box::new(move || db_cell(i0, il)) }),
+            );
+        }
+        if want_dx {
+            tasks.extend((0..batch).flat_map(|n| {
+                blocks(geom.in_channels, cb)
+                    .map(move |(c0, cl)| -> Task<'_> { Box::new(move || dx_cell(n, c0, cl)) })
+            }));
+        }
+        parallel::run_tasks(tasks);
+    }
+}
+
+/// Reference convolution forward: materialised [`im2col`] + [`crate::gemm`].
+///
+/// This is the pre-fusion formulation, retained as the bit-identity oracle
+/// for the fused path (`tests/fused_conv.rs`) and as the baseline the
+/// kernel benchmarks measure fusion against. `col_buf` must hold
+/// `col_rows * col_cols` elements.
+///
+/// # Panics
+///
+/// Panics on buffer size mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_forward_ref(
+    geom: &Conv2dGeometry,
+    batch: usize,
+    out_channels: usize,
+    input: &[f32],
+    weights: &[f32],
+    bias: &[f32],
+    output: &mut [f32],
+    col_buf: &mut [f32],
+) {
+    use crate::gemm::{gemm, Transpose};
+    let out_h = geom.out_h().expect("invalid geometry");
+    let out_w = geom.out_w().expect("invalid geometry");
+    let spatial = out_h * out_w;
+    let in_len = geom.in_len();
+    let out_len = out_channels * spatial;
+    assert_eq!(input.len(), batch * in_len, "input size mismatch");
+    assert_eq!(output.len(), batch * out_len, "output size mismatch");
+    assert_eq!(weights.len(), out_channels * geom.col_rows(), "weight size mismatch");
+    assert!(bias.is_empty() || bias.len() == out_channels, "bias size mismatch");
+    assert_eq!(col_buf.len(), geom.col_rows() * spatial, "col buffer size mismatch");
+
+    for (image, out_image) in input.chunks(in_len).zip(output.chunks_mut(out_len)) {
+        im2col(geom, image, col_buf);
+        // (C_out x K) * (K x spatial) = C_out x spatial
+        gemm(
+            Transpose::No,
+            Transpose::No,
+            out_channels,
+            spatial,
+            geom.col_rows(),
+            1.0,
+            weights,
+            col_buf,
+            0.0,
+            out_image,
+        );
+        if !bias.is_empty() {
+            for (c, &b) in bias.iter().enumerate() {
+                for v in &mut out_image[c * spatial..(c + 1) * spatial] {
+                    *v += b;
+                }
+            }
+        }
+    }
+}
+
+/// Reference convolution backward: materialised im2col, per-image gemms
+/// accumulated directly (`beta = 1`) in image order. Retained as the
+/// bit-identity oracle for the fused [`conv2d_backward`].
+///
+/// # Panics
+///
+/// Panics on buffer size mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_backward_ref(
+    geom: &Conv2dGeometry,
+    batch: usize,
+    out_channels: usize,
+    input: &[f32],
+    weights: &[f32],
+    d_output: &[f32],
+    d_weights: &mut [f32],
+    d_bias: &mut [f32],
+    d_input: &mut [f32],
+    col_buf: &mut [f32],
+) {
+    use crate::gemm::{gemm, Transpose};
+    let spatial = geom.col_cols().expect("invalid geometry");
+    let in_len = geom.in_len();
+    let out_len = out_channels * spatial;
+    assert_eq!(input.len(), batch * in_len, "input size mismatch");
+    assert_eq!(d_output.len(), batch * out_len, "d_output size mismatch");
+    assert_eq!(d_weights.len(), out_channels * geom.col_rows(), "d_weights size mismatch");
+    assert!(d_bias.is_empty() || d_bias.len() == out_channels, "d_bias size mismatch");
+    assert!(d_input.is_empty() || d_input.len() == batch * in_len, "d_input size mismatch");
+    assert_eq!(col_buf.len(), geom.col_rows() * spatial, "col buffer size mismatch");
 
     if !d_input.is_empty() {
         d_input.iter_mut().for_each(|v| *v = 0.0);
     }
-
-    // One task per image: gradients that reduce over the batch land in the
-    // image's own partial slice (computed with beta = 0), everything else
-    // writes disjoint per-image rows directly.
-    let backward_one = |n: usize,
-                        dw_partial: &mut [f32],
-                        db_partial: &mut [f32],
-                        d_image: &mut [f32],
-                        col: &mut [f32]| {
+    for n in 0..batch {
         let image = &input[n * in_len..(n + 1) * in_len];
         let d_out_image = &d_output[n * out_len..(n + 1) * out_len];
 
-        // dW_n = dY_n * col_n^T : (C_out x spatial) * (spatial x K)
-        im2col(geom, image, col);
+        // dW += dY_n * col_n^T : (C_out x spatial) * (spatial x K)
+        im2col(geom, image, col_buf);
         gemm(
             Transpose::No,
             Transpose::Yes,
@@ -345,16 +925,14 @@ pub fn conv2d_backward(
             spatial,
             1.0,
             d_out_image,
-            col,
-            0.0,
-            dw_partial,
+            col_buf,
+            1.0,
+            d_weights,
         );
-
-        for (c, db) in db_partial.iter_mut().enumerate() {
-            *db = d_out_image[c * spatial..(c + 1) * spatial].iter().sum::<f32>();
+        for (c, db) in d_bias.iter_mut().enumerate() {
+            *db += d_out_image[c * spatial..(c + 1) * spatial].iter().sum::<f32>();
         }
-
-        if !d_image.is_empty() {
+        if !d_input.is_empty() {
             // d_col = W^T * dY : (K x C_out) * (C_out x spatial)
             gemm(
                 Transpose::Yes,
@@ -366,59 +944,9 @@ pub fn conv2d_backward(
                 weights,
                 d_out_image,
                 0.0,
-                col,
-            );
-            col2im(geom, col, d_image);
-        }
-    };
-
-    let mut dw_partials = vec![0.0f32; batch * dw_len];
-    let mut db_partials = vec![0.0f32; batch * out_channels];
-    if batch <= 1 || parallel::current_threads() <= 1 {
-        let mut d_rest = &mut d_input[..];
-        for n in 0..batch {
-            let d_image = if d_rest.is_empty() {
-                &mut [][..]
-            } else {
-                let (head, tail) = d_rest.split_at_mut(in_len);
-                d_rest = tail;
-                head
-            };
-            backward_one(
-                n,
-                &mut dw_partials[n * dw_len..(n + 1) * dw_len],
-                &mut db_partials[n * out_channels..(n + 1) * out_channels],
-                d_image,
                 col_buf,
             );
-        }
-    } else {
-        let backward_one = &backward_one;
-        let mut d_in_chunks: Vec<&mut [f32]> = if d_input.is_empty() {
-            (0..batch).map(|_| &mut [][..]).collect()
-        } else {
-            d_input.chunks_mut(in_len).collect()
-        };
-        let tasks: Vec<Task<'_>> = dw_partials
-            .chunks_mut(dw_len)
-            .zip(db_partials.chunks_mut(out_channels))
-            .zip(d_in_chunks.drain(..))
-            .enumerate()
-            .map(|(n, ((dw_partial, db_partial), d_image))| -> Task<'_> {
-                Box::new(move || {
-                    let mut col = vec![0.0f32; col_len];
-                    backward_one(n, dw_partial, db_partial, d_image, &mut col);
-                })
-            })
-            .collect();
-        parallel::run_tasks(tasks);
-    }
-
-    // Deterministic reduction: image order, on the calling thread.
-    for n in 0..batch {
-        ops::axpy_serial(1.0, &dw_partials[n * dw_len..(n + 1) * dw_len], d_weights);
-        if !d_bias.is_empty() {
-            ops::axpy_serial(1.0, &db_partials[n * out_channels..(n + 1) * out_channels], d_bias);
+            col2im(geom, col_buf, &mut d_input[n * in_len..(n + 1) * in_len]);
         }
     }
 }
@@ -472,6 +1000,102 @@ mod tests {
     }
 
     #[test]
+    fn col_value_agrees_with_im2col() {
+        let g = Conv2dGeometry {
+            in_channels: 3,
+            in_h: 5,
+            in_w: 4,
+            kernel_h: 3,
+            kernel_w: 2,
+            stride_h: 2,
+            stride_w: 1,
+            pad_h: 1,
+            pad_w: 0,
+        };
+        let out_h = g.out_h().unwrap();
+        let out_w = g.out_w().unwrap();
+        let image: Vec<f32> = (0..g.in_len()).map(|i| (i as f32 * 0.7).sin()).collect();
+        let mut col = vec![0.0; g.col_rows() * out_h * out_w];
+        im2col(&g, &image, &mut col);
+        for r in 0..g.col_rows() {
+            for j in 0..out_h * out_w {
+                assert_eq!(
+                    col[r * out_h * out_w + j].to_bits(),
+                    col_value(&g, &image, out_w, r, j).to_bits(),
+                    "mismatch at row {r} col {j}"
+                );
+            }
+        }
+    }
+
+    /// The hoisted packers are bitwise the generic `pack_cols_with` over
+    /// `col_value`, for straight and transposed reads, across k-blocks
+    /// and column windows that end mid-panel.
+    #[test]
+    fn fused_packers_match_generic_accessor_pack() {
+        let g = Conv2dGeometry {
+            in_channels: 3,
+            in_h: 7,
+            in_w: 5,
+            kernel_h: 3,
+            kernel_w: 2,
+            stride_h: 2,
+            stride_w: 1,
+            pad_h: 1,
+            pad_w: 1,
+        };
+        let out_w = g.out_w().unwrap();
+        let spatial = g.col_cols().unwrap();
+        let kdim = g.col_rows();
+        let image: Vec<f32> = (0..g.in_len()).map(|i| (i as f32 * 0.43).sin()).collect();
+
+        // Straight pack: rows = kdim, columns = spatial.
+        for &(pc, kcb) in &[(0, kdim.min(5)), (4, kdim - 4)] {
+            for &(j0, jn) in &[(0, spatial), (8, spatial - 8), (0, 3)] {
+                let len = kcb * jn.div_ceil(NR) * NR;
+                let mut want = vec![f32::NAN; len];
+                pack_cols_with(
+                    pc,
+                    kcb,
+                    j0,
+                    jn,
+                    |p, j| col_value(&g, &image, out_w, p, j),
+                    &mut want,
+                );
+                let mut got = vec![f32::NAN; len];
+                pack_conv_cols(&g, &image, out_w, pc, kcb, j0, jn, &mut got);
+                assert_eq!(
+                    want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "straight pack diverged at pc={pc} kcb={kcb} j0={j0} jn={jn}"
+                );
+            }
+        }
+        // Transposed pack: rows = spatial, columns = kdim.
+        for &(pc, kcb) in &[(0, spatial.min(7)), (3, spatial - 3)] {
+            for &(j0, jn) in &[(0, kdim), (8, kdim - 8), (0, 5)] {
+                let len = kcb * jn.div_ceil(NR) * NR;
+                let mut want = vec![f32::NAN; len];
+                pack_cols_with(
+                    pc,
+                    kcb,
+                    j0,
+                    jn,
+                    |p, j| col_value(&g, &image, out_w, j, p),
+                    &mut want,
+                );
+                let mut got = vec![f32::NAN; len];
+                pack_conv_cols_t(&g, &image, out_w, pc, kcb, j0, jn, &mut got);
+                assert_eq!(
+                    want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "transposed pack diverged at pc={pc} kcb={kcb} j0={j0} jn={jn}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn conv_forward_matches_manual() {
         // Single channel 3x3 image, one 2x2 kernel of ones -> sum pooling.
         let g = Conv2dGeometry::square(1, 3, 2, 1, 0);
@@ -479,8 +1103,7 @@ mod tests {
         let weights = vec![1.0; 4];
         let bias = vec![0.5];
         let mut output = vec![0.0; 4];
-        let mut col = vec![0.0; g.col_rows() * g.col_cols().unwrap()];
-        conv2d_forward(&g, 1, 1, &input, &weights, &bias, &mut output, &mut col);
+        conv2d_forward(&g, 1, 1, &input, &weights, &bias, &mut output);
         assert_eq!(output, vec![12.5, 16.5, 24.5, 28.5]);
     }
 
@@ -490,10 +1113,84 @@ mod tests {
         let input = vec![1., 1., 1., 1.];
         let weights = vec![1.0; 9];
         let mut output = vec![0.0; 4];
-        let mut col = vec![0.0; g.col_rows() * g.col_cols().unwrap()];
-        conv2d_forward(&g, 1, 1, &input, &weights, &[], &mut output, &mut col);
+        conv2d_forward(&g, 1, 1, &input, &weights, &[], &mut output);
         // Every 3x3 window over the padded 4x4 contains the full 2x2 block.
         assert_eq!(output, vec![4.0; 4]);
+    }
+
+    fn deterministic(len: usize, seed: u32) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(12345);
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                ((state >> 16) as f32 / 65536.0) - 0.5
+            })
+            .collect()
+    }
+
+    /// Fused forward/backward equal the materialised reference bitwise and
+    /// stay bit-identical across thread counts (name keeps it in the Miri
+    /// `parallel` filter of scripts/miri.sh).
+    #[test]
+    fn fused_conv_parallel_matches_reference_bitwise() {
+        let g = Conv2dGeometry::square(3, 6, 3, 1, 1);
+        let batch = 2;
+        let oc = 5;
+        let spatial = g.col_cols().unwrap();
+        let input = deterministic(batch * g.in_len(), 1);
+        let weights = deterministic(oc * g.col_rows(), 2);
+        let bias = deterministic(oc, 3);
+        let d_output = deterministic(batch * oc * spatial, 4);
+
+        let mut col = vec![0.0; g.col_rows() * spatial];
+        let mut out_ref = vec![0.0; batch * oc * spatial];
+        conv2d_forward_ref(&g, batch, oc, &input, &weights, &bias, &mut out_ref, &mut col);
+        let mut dw_ref = deterministic(weights.len(), 5);
+        let mut db_ref = deterministic(oc, 6);
+        let dw0 = dw_ref.clone();
+        let db0 = db_ref.clone();
+        let mut dx_ref = vec![0.0; input.len()];
+        conv2d_backward_ref(
+            &g,
+            batch,
+            oc,
+            &input,
+            &weights,
+            &d_output,
+            &mut dw_ref,
+            &mut db_ref,
+            &mut dx_ref,
+            &mut col,
+        );
+
+        for threads in [1, 2, 4] {
+            crate::parallel::with_threads(threads, || {
+                let mut out = vec![0.0; out_ref.len()];
+                conv2d_forward(&g, batch, oc, &input, &weights, &bias, &mut out);
+                assert!(
+                    out.iter().zip(out_ref.iter()).all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "forward diverged at {threads} threads"
+                );
+                let mut dw = dw0.clone();
+                let mut db = db0.clone();
+                let mut dx = vec![0.0; input.len()];
+                conv2d_backward(
+                    &g, batch, oc, &input, &weights, &d_output, &mut dw, &mut db, &mut dx,
+                );
+                assert!(
+                    dw.iter().zip(dw_ref.iter()).all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "dW diverged at {threads} threads"
+                );
+                assert!(
+                    db.iter().zip(db_ref.iter()).all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "db diverged at {threads} threads"
+                );
+                assert!(
+                    dx.iter().zip(dx_ref.iter()).all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "d_input diverged at {threads} threads"
+                );
+            });
+        }
     }
 
     /// Numerical gradient check of the full conv backward pass.
@@ -515,8 +1212,7 @@ mod tests {
 
         let loss = |input: &[f32], weights: &[f32], bias: &[f32]| -> f32 {
             let mut output = vec![0.0; batch * out_len];
-            let mut col = vec![0.0; g.col_rows() * g.col_cols().unwrap()];
-            conv2d_forward(&g, batch, out_channels, input, weights, bias, &mut output, &mut col);
+            conv2d_forward(&g, batch, out_channels, input, weights, bias, &mut output);
             // Loss = <output, d_output>, so dL/d* flows through d_output.
             output.iter().zip(d_output.iter()).map(|(o, d)| o * d).sum()
         };
@@ -524,7 +1220,6 @@ mod tests {
         let mut d_weights = vec![0.0; weights.len()];
         let mut d_bias = vec![0.0; bias.len()];
         let mut d_input = vec![0.0; input.len()];
-        let mut col = vec![0.0; g.col_rows() * g.col_cols().unwrap()];
         conv2d_backward(
             &g,
             batch,
@@ -535,7 +1230,6 @@ mod tests {
             &mut d_weights,
             &mut d_bias,
             &mut d_input,
-            &mut col,
         );
 
         let eps = 1e-2;

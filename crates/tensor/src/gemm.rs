@@ -11,13 +11,25 @@
 //! the same inner loop with unit-stride reads, so transposed layers run as
 //! fast as plain ones.
 //!
-//! Row panels of `C` are distributed over the crate worker pool
-//! ([`crate::parallel`]). Split points are fixed multiples of `MC` derived
-//! only from the matrix shape — never from the thread count — and each task
-//! writes a disjoint row range of `C`, so the result is **bit-identical**
-//! at any `SHMCAFFE_THREADS` setting.
+//! `C` is distributed over the crate worker pool ([`crate::parallel`]) as a
+//! fixed two-axis tile grid: `MC`-row by `NC`-column tiles whose boundaries
+//! are derived only from the matrix shape — never from the thread count —
+//! and each task writes a disjoint tile of `C` (through
+//! [`parallel::SliceParts`], since column tiles are strided), so the result
+//! is **bit-identical** at any `SHMCAFFE_THREADS` setting. The column axis
+//! matters for the wide, short matrices convolution produces (`C_out x
+//! H_out*W_out`), where row panels alone cannot feed more than a couple of
+//! threads.
+//!
+//! Packed `op(A)`/`op(B)` panels live in the per-thread
+//! [`crate::workspace`] arena, so steady-state calls allocate nothing. The
+//! packing routines are generic over an element accessor
+//! ([`pack_rows_with`]/[`pack_cols_with`]); the fused convolution in
+//! [`crate::conv`] reuses them with an accessor that reads *through the
+//! conv geometry*, which is what fuses im2col into the packing step.
 
-use crate::parallel::{self, Task};
+use crate::parallel::{self, SliceParts, Task};
+use crate::workspace::{self, Tag};
 
 /// Whether an operand is transposed, matching BLAS `CblasTrans`/`NoTrans`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -29,13 +41,16 @@ pub enum Transpose {
 }
 
 /// Rows per micro-tile (accumulator rows held in registers).
-const MR: usize = 4;
+pub(crate) const MR: usize = 4;
 /// Columns per micro-tile.
-const NR: usize = 8;
-/// Rows of `op(A)` per cache block — also the parallel split granularity.
-const MC: usize = 64;
+pub(crate) const NR: usize = 8;
+/// Rows of `op(A)` per cache block — also the row-axis task granularity.
+pub(crate) const MC: usize = 64;
 /// Depth of one packed `k` block.
-const KC: usize = 256;
+pub(crate) const KC: usize = 256;
+/// Columns of `op(B)` per task tile (a multiple of `NR`). Together with
+/// `MC` this defines the fixed two-axis grid parallel work is fanned over.
+pub(crate) const NC: usize = 512;
 
 /// Computes `C = alpha * op(A) * op(B) + beta * C` for row-major matrices.
 ///
@@ -85,42 +100,74 @@ pub fn gemm(
         return;
     }
 
-    // Pack op(B) for one k-block at a time (shared read-only across row
-    // tasks), then fan row panels of C out over the worker pool.
+    // Pack op(A) and op(B) for one k-block at a time into the per-thread
+    // workspace arena (shared read-only across tile tasks), then fan the
+    // fixed MC x NC tile grid of C out over the worker pool. Packing is an
+    // exact element copy, so where panel boundaries fall has no effect on
+    // the computed bits — only the KC block grid and the write-back order
+    // do, and both are fixed.
+    let kc0 = KC.min(k);
     let n_panels = n.div_ceil(NR);
-    let mut packed_b = vec![0.0f32; KC.min(k) * n_panels * NR];
-    for (pc, kcb) in blocks(k, KC) {
-        pack_b(trans_b, n, k, pc, kcb, b, &mut packed_b);
-        let first_block = pc == 0;
-        let packed_b = &packed_b[..kcb * n_panels * NR];
-
-        // Borrow C as disjoint MC-row panels with fixed boundaries.
-        let mut c_rest = &mut c[..m * n];
-        let mut tasks: Vec<Task<'_>> = Vec::with_capacity(m.div_ceil(MC));
-        for (ic, mcb) in blocks(m, MC) {
-            let (c_panel, rest) = c_rest.split_at_mut(mcb * n);
-            c_rest = rest;
-            tasks.push(Box::new(move || {
-                gemm_block(
-                    trans_a,
-                    m,
-                    ic,
-                    mcb,
-                    n,
-                    k,
+    let m_panels = m.div_ceil(MR);
+    workspace::with_f32(Tag::GemmPackB, kc0 * n_panels * NR, |packed_b| {
+        workspace::with_f32(Tag::GemmPackA, kc0 * m_panels * MR, |packed_a| {
+            let c = SliceParts::new(&mut c[..m * n]);
+            for (pc, kcb) in blocks(k, KC) {
+                pack_cols_with(
                     pc,
                     kcb,
-                    alpha,
-                    beta,
-                    first_block,
-                    a,
-                    packed_b,
-                    c_panel,
+                    0,
+                    n,
+                    |p, j| b_at(trans_b, n, k, b, p, j),
+                    &mut packed_b[..kcb * n_panels * NR],
                 );
-            }));
-        }
-        parallel::run_tasks(tasks);
-    }
+                pack_rows_with(
+                    0,
+                    m,
+                    pc,
+                    kcb,
+                    |i, p| a_at(trans_a, m, k, a, i, p),
+                    &mut packed_a[..kcb * m_panels * MR],
+                );
+                let packed_a = &packed_a[..kcb * m_panels * MR];
+                let packed_b = &packed_b[..kcb * n_panels * NR];
+                let first_block = pc == 0;
+                let tile = |ic: usize, mcb: usize, jc: usize, ncb: usize| {
+                    gemm_tile(
+                        ic,
+                        mcb,
+                        jc,
+                        ncb,
+                        n,
+                        kcb,
+                        alpha,
+                        beta,
+                        first_block,
+                        packed_a,
+                        packed_b,
+                        &c,
+                    );
+                };
+                if parallel::current_threads() <= 1 {
+                    for (ic, mcb) in blocks(m, MC) {
+                        for (jc, ncb) in blocks(n, NC) {
+                            tile(ic, mcb, jc, ncb);
+                        }
+                    }
+                } else {
+                    let tile = &tile;
+                    let tasks: Vec<Task<'_>> = blocks(m, MC)
+                        .flat_map(|(ic, mcb)| {
+                            blocks(n, NC).map(move |(jc, ncb)| -> Task<'_> {
+                                Box::new(move || tile(ic, mcb, jc, ncb))
+                            })
+                        })
+                        .collect();
+                    parallel::run_tasks(tasks);
+                }
+            }
+        });
+    });
 }
 
 /// `C *= beta` (with the `beta == 0` NaN-overwriting semantics of BLAS).
@@ -128,7 +175,7 @@ fn scale_c(m: usize, n: usize, beta: f32, c: &mut [f32]) {
     if beta == 1.0 {
         return;
     }
-    parallel::par_chunks_mut(&mut c[..m * n], parallel::ELEMWISE_CHUNK, |_, chunk| {
+    parallel::par_chunks_mut(&mut c[..m * n], parallel::elemwise_chunk(m * n), |_, chunk| {
         if beta == 0.0 {
             chunk.iter_mut().for_each(|v| *v = 0.0);
         } else {
@@ -138,7 +185,7 @@ fn scale_c(m: usize, n: usize, beta: f32, c: &mut [f32]) {
 }
 
 /// Fixed block decomposition: `(start, len)` pairs covering `0..total`.
-fn blocks(total: usize, step: usize) -> impl Iterator<Item = (usize, usize)> {
+pub(crate) fn blocks(total: usize, step: usize) -> impl Iterator<Item = (usize, usize)> {
     (0..total).step_by(step).map(move |s| (s, step.min(total - s)))
 }
 
@@ -151,111 +198,108 @@ fn a_at(trans_a: Transpose, m: usize, k: usize, a: &[f32], i: usize, p: usize) -
     }
 }
 
-/// Packs `op(B)[pc..pc+kcb, 0..n]` into NR-column panels: panel `jp` holds,
-/// for each `p`, the `NR` consecutive columns starting at `jp * NR`
-/// (zero-padded past `n`).
-fn pack_b(
-    trans_b: Transpose,
-    n: usize,
-    k: usize,
+/// `op(B)` element at logical `(p, j)`.
+#[inline(always)]
+fn b_at(trans_b: Transpose, n: usize, k: usize, b: &[f32], p: usize, j: usize) -> f32 {
+    match trans_b {
+        Transpose::No => b[p * n + j],
+        Transpose::Yes => b[j * k + p],
+    }
+}
+
+/// Packs logical columns `[j0, j0 + jn)` of one k-block (`[pc, pc + kcb)`)
+/// into NR-column panels: panel `jp` holds, for each `p`, the `NR`
+/// consecutive columns starting at `j0 + jp * NR` (zero-padded past
+/// `j0 + jn`). `src(p, j)` supplies the element at absolute indices — a
+/// plain matrix read for gemm, or a read through the convolution geometry
+/// for the fused im2col path in [`crate::conv`].
+///
+/// Packing copies elements exactly (no arithmetic), so the panel layout
+/// has no effect on computed bits.
+pub(crate) fn pack_cols_with(
     pc: usize,
     kcb: usize,
-    b: &[f32],
+    j0: usize,
+    jn: usize,
+    src: impl Fn(usize, usize) -> f32,
     out: &mut [f32],
 ) {
-    let n_panels = n.div_ceil(NR);
-    for jp in 0..n_panels {
-        let j0 = jp * NR;
-        let cols = NR.min(n - j0);
+    for jp in 0..jn.div_ceil(NR) {
+        let jb = j0 + jp * NR;
+        let cols = NR.min(j0 + jn - jb);
         let panel = &mut out[jp * kcb * NR..(jp + 1) * kcb * NR];
-        match trans_b {
-            Transpose::No => {
-                for (pp, dst) in panel.chunks_exact_mut(NR).enumerate() {
-                    let row = &b[(pc + pp) * n + j0..(pc + pp) * n + j0 + cols];
-                    dst[..cols].copy_from_slice(row);
-                    dst[cols..].iter_mut().for_each(|v| *v = 0.0);
-                }
-            }
-            Transpose::Yes => {
-                // B stored n x k: column j of op(B) is row j of storage.
-                for (pp, dst) in panel.chunks_exact_mut(NR).enumerate() {
-                    for (jj, d) in dst.iter_mut().enumerate() {
-                        *d = if jj < cols { b[(j0 + jj) * k + pc + pp] } else { 0.0 };
-                    }
-                }
+        for (pp, dst) in panel.chunks_exact_mut(NR).enumerate() {
+            for (jj, d) in dst.iter_mut().enumerate() {
+                *d = if jj < cols { src(pc + pp, jb + jj) } else { 0.0 };
             }
         }
     }
 }
 
-/// Packs `op(A)[ic..ic+mcb, pc..pc+kcb]` into MR-row panels: panel `ip`
-/// holds, for each `p`, the `MR` consecutive rows starting at `ic + ip*MR`
-/// (zero-padded past `m`).
-#[allow(clippy::too_many_arguments)]
-fn pack_a(
-    trans_a: Transpose,
-    m: usize,
-    k: usize,
-    ic: usize,
-    mcb: usize,
+/// Packs logical rows `[i0, i0 + rows_n)` of one k-block into MR-row
+/// panels: panel `ip` holds, for each `p`, the `MR` consecutive rows
+/// starting at `i0 + ip * MR` (zero-padded past `i0 + rows_n`).
+/// `src(i, p)` supplies the element at absolute indices.
+pub(crate) fn pack_rows_with(
+    i0: usize,
+    rows_n: usize,
     pc: usize,
     kcb: usize,
-    a: &[f32],
+    src: impl Fn(usize, usize) -> f32,
     out: &mut [f32],
 ) {
-    let m_panels = mcb.div_ceil(MR);
-    for ip in 0..m_panels {
-        let i0 = ic + ip * MR;
-        let rows = MR.min(ic + mcb - i0);
+    for ip in 0..rows_n.div_ceil(MR) {
+        let ib = i0 + ip * MR;
+        let rows = MR.min(i0 + rows_n - ib);
         let panel = &mut out[ip * kcb * MR..(ip + 1) * kcb * MR];
         for (pp, dst) in panel.chunks_exact_mut(MR).enumerate() {
             for (ii, d) in dst.iter_mut().enumerate() {
-                *d = if ii < rows { a_at(trans_a, m, k, a, i0 + ii, pc + pp) } else { 0.0 };
+                *d = if ii < rows { src(ib + ii, pc + pp) } else { 0.0 };
             }
         }
     }
 }
 
-/// One `MC x n` row panel of C for one k-block: packs the A block locally,
-/// then sweeps the `MR x NR` micro-kernel over the tile grid.
+/// One `MC x NC` tile of C for one k-block: sweeps the `MR x NR`
+/// micro-kernel over the tile's panel grid. Both operands are pre-packed
+/// for the *whole* matrix, so tiles index panels by their global position
+/// (`ic`/`jc` are multiples of `MC`/`NC`, which `MR`/`NR` divide).
 ///
-/// `c_panel` is the `mcb x n` sub-slice of C starting at row `ic`.
+/// Writes go through [`SliceParts`] because a column tile touches a
+/// strided range of C; tiles are pairwise disjoint by construction of the
+/// grid, which is what the `SliceParts` contract requires.
 #[allow(clippy::too_many_arguments)]
-fn gemm_block(
-    trans_a: Transpose,
-    m: usize,
+fn gemm_tile(
     ic: usize,
     mcb: usize,
+    jc: usize,
+    ncb: usize,
     n: usize,
-    k: usize,
-    pc: usize,
     kcb: usize,
     alpha: f32,
     beta: f32,
     first_block: bool,
-    a: &[f32],
+    packed_a: &[f32],
     packed_b: &[f32],
-    c_panel: &mut [f32],
+    c: &SliceParts<'_, f32>,
 ) {
-    let mut packed_a = vec![0.0f32; mcb.div_ceil(MR) * MR * kcb];
-    pack_a(trans_a, m, k, ic, mcb, pc, kcb, a, &mut packed_a);
-
-    let n_panels = n.div_ceil(NR);
     let mut acc = [[0.0f32; NR]; MR];
-    for jp in 0..n_panels {
-        let j0 = jp * NR;
-        let cols = NR.min(n - j0);
-        let b_panel = &packed_b[jp * kcb * NR..(jp + 1) * kcb * NR];
+    for jp in 0..ncb.div_ceil(NR) {
+        let j0 = jc + jp * NR;
+        let cols = NR.min(jc + ncb - j0);
+        let jpg = j0 / NR;
+        let b_panel = &packed_b[jpg * kcb * NR..(jpg + 1) * kcb * NR];
         for ip in 0..mcb.div_ceil(MR) {
-            let i0 = ip * MR;
-            let rows = MR.min(mcb - i0);
-            let a_panel = &packed_a[ip * kcb * MR..(ip + 1) * kcb * MR];
+            let i0 = ic + ip * MR;
+            let rows = MR.min(ic + mcb - i0);
+            let ipg = i0 / MR;
+            let a_panel = &packed_a[ipg * kcb * MR..(ipg + 1) * kcb * MR];
             micro_kernel_dispatch(kcb, a_panel, b_panel, &mut acc);
             // Write-back with the alpha/beta update fused: the first k-block
             // applies beta exactly once (beta == 0 overwrites, so stale NaNs
             // never survive), later blocks accumulate.
             for (ii, acc_row) in acc.iter_mut().enumerate().take(rows) {
-                let c_row = &mut c_panel[(i0 + ii) * n + j0..(i0 + ii) * n + j0 + cols];
+                let c_row = c.part((i0 + ii) * n + j0, cols);
                 if first_block {
                     if beta == 0.0 {
                         for (cv, av) in c_row.iter_mut().zip(acc_row.iter()) {
@@ -326,7 +370,7 @@ fn use_avx2() -> bool {
 }
 
 #[inline(always)]
-fn micro_kernel_dispatch(kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
+pub(crate) fn micro_kernel_dispatch(kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
     #[cfg(all(target_arch = "x86_64", not(miri)))]
     if use_avx2() {
         // SAFETY: guarded by the runtime AVX2 detection above.
@@ -506,6 +550,32 @@ mod tests {
         };
         let serial = run(1);
         for t in [2, 4, 7] {
+            let par = run(t);
+            assert!(
+                serial.iter().zip(par.iter()).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "threads={t} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_matrix_parallel_column_grid_bit_identical() {
+        // n > NC exercises the column-axis tile grid (and the strided
+        // SliceParts write-back path) that wide conv output matrices hit.
+        // Kept small so Miri can interpret it (scripts/miri.sh runs
+        // `parallel`-named tests).
+        let (m, n, k) = (5, NC + 24, 40);
+        let a = deterministic_matrix(m * k, 10);
+        let b = deterministic_matrix(k * n, 11);
+        let run = |threads: usize| {
+            crate::parallel::with_threads(threads, || {
+                let mut c = deterministic_matrix(m * n, 12);
+                gemm(Transpose::No, Transpose::No, m, n, k, 1.0, &a, &b, 0.5, &mut c);
+                c
+            })
+        };
+        let serial = run(1);
+        for t in [2, 4] {
             let par = run(t);
             assert!(
                 serial.iter().zip(par.iter()).all(|(x, y)| x.to_bits() == y.to_bits()),

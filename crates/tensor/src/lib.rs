@@ -15,10 +15,14 @@
 //! Everything is deterministic given a seed and there is no external BLAS
 //! dependency. Hot kernels run on a persistent crate-level worker pool
 //! ([`parallel`], sized by `SHMCAFFE_THREADS`) with **fixed split points**,
-//! so results are bit-identical at any thread count. The only unsafe code
-//! in the crate is two audited sites: the lifetime-erasure in the pool's
-//! dispatch path and the feature-gated AVX2 recompilation of the gemm
-//! micro-kernel (guarded by runtime detection, same IEEE operation order).
+//! so results are bit-identical at any thread count, and draw scratch from
+//! reusable per-thread [`workspace`] arenas so steady-state forward/backward
+//! allocates nothing. The only unsafe code in the crate is three audited
+//! sites, all in `gemm.rs`/`parallel.rs`: the lifetime-erasure in the
+//! pool's dispatch path, the `SliceParts` disjoint-range writer the fixed
+//! tile grids borrow output through, and the feature-gated AVX2
+//! recompilation of the gemm micro-kernel (guarded by runtime detection,
+//! same IEEE operation order).
 //!
 //! # Example
 //!
@@ -48,6 +52,7 @@ pub mod pool;
 mod shape;
 pub mod softmax;
 mod tensor;
+pub mod workspace;
 
 pub use error::TensorError;
 pub use shape::Shape;

@@ -5,12 +5,15 @@
 //! Memory Box, and gradient accumulation buffers alike. This mirrors how
 //! Caffe's `math_functions.cpp` exposes `caffe_axpy` etc. over raw pointers.
 //!
-//! Slices longer than [`parallel::ELEMWISE_CHUNK`] are processed on the
-//! crate worker pool in fixed chunks; because the chunk grid depends only on
-//! the slice length, every result (including the chunk-ordered `dot`
-//! reduction) is bit-identical at any thread count.
+//! Slices are processed in fixed chunks sized by
+//! [`parallel::elemwise_chunk`] — a pure function of the element count, so
+//! the grid (and therefore every result, including the chunk-ordered `dot`
+//! reduction) is bit-identical at any thread count. Vectors at or below
+//! [`parallel::ELEMWISE_PAR_MIN`] stay on the calling thread entirely:
+//! dispatching them cost more than it saved (the 2-thread SMB-accumulate
+//! regression in BENCH_kernels.json).
 
-use crate::parallel::{self, Task, ELEMWISE_CHUNK};
+use crate::parallel::{self, elemwise_chunk, Task};
 
 /// `y += alpha * x` (the SGD update kernel and the SMB accumulate kernel).
 ///
@@ -29,7 +32,7 @@ use crate::parallel::{self, Task, ELEMWISE_CHUNK};
 /// ```
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "axpy length mismatch");
-    parallel::par_zip_mut(y, x, ELEMWISE_CHUNK, |yc, xc| axpy_serial(alpha, xc, yc));
+    parallel::par_zip_mut(y, x, elemwise_chunk(y.len()), |yc, xc| axpy_serial(alpha, xc, yc));
 }
 
 /// Single-threaded `y += alpha * x`, for callers that are already inside a
@@ -52,7 +55,7 @@ pub fn axpy_serial(alpha: f32, x: &[f32], y: &mut [f32]) {
 /// Panics if `x.len() != y.len()`.
 pub fn axpby(alpha: f32, x: &[f32], beta: f32, y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "axpby length mismatch");
-    parallel::par_zip_mut(y, x, ELEMWISE_CHUNK, |yc, xc| {
+    parallel::par_zip_mut(y, x, elemwise_chunk(y.len()), |yc, xc| {
         for (yv, &xv) in yc.iter_mut().zip(xc.iter()) {
             *yv = alpha * xv + beta * *yv;
         }
@@ -61,7 +64,7 @@ pub fn axpby(alpha: f32, x: &[f32], beta: f32, y: &mut [f32]) {
 
 /// `x *= alpha`.
 pub fn scal(alpha: f32, x: &mut [f32]) {
-    parallel::par_chunks_mut(x, ELEMWISE_CHUNK, |_, c| {
+    parallel::par_chunks_mut(x, elemwise_chunk(x.len()), |_, c| {
         for v in c.iter_mut() {
             *v *= alpha;
         }
@@ -78,22 +81,19 @@ pub fn scal(alpha: f32, x: &mut [f32]) {
 /// Panics if the lengths differ.
 pub fn dot(x: &[f32], y: &[f32]) -> f32 {
     assert_eq!(x.len(), y.len(), "dot length mismatch");
+    let chunk = elemwise_chunk(x.len());
     let chunk_dot =
         |xc: &[f32], yc: &[f32]| xc.iter().zip(yc.iter()).map(|(a, b)| a * b).sum::<f32>();
-    if x.len() <= ELEMWISE_CHUNK || parallel::current_threads() <= 1 {
-        return x
-            .chunks(ELEMWISE_CHUNK)
-            .zip(y.chunks(ELEMWISE_CHUNK))
-            .map(|(xc, yc)| chunk_dot(xc, yc))
-            .sum();
+    if x.len() <= chunk || parallel::current_threads() <= 1 {
+        return x.chunks(chunk).zip(y.chunks(chunk)).map(|(xc, yc)| chunk_dot(xc, yc)).sum();
     }
-    let n_chunks = x.len().div_ceil(ELEMWISE_CHUNK);
+    let n_chunks = x.len().div_ceil(chunk);
     let mut partials = vec![0.0f32; n_chunks];
     {
         let chunk_dot = &chunk_dot;
         let tasks: Vec<Task<'_>> = partials
             .iter_mut()
-            .zip(x.chunks(ELEMWISE_CHUNK).zip(y.chunks(ELEMWISE_CHUNK)))
+            .zip(x.chunks(chunk).zip(y.chunks(chunk)))
             .map(|(slot, (xc, yc))| -> Task<'_> { Box::new(move || *slot = chunk_dot(xc, yc)) })
             .collect();
         parallel::run_tasks(tasks);
@@ -111,7 +111,7 @@ pub fn dot(x: &[f32], y: &[f32]) -> f32 {
 pub fn sub(a: &[f32], b: &[f32], out: &mut [f32]) {
     assert_eq!(a.len(), b.len(), "sub length mismatch");
     assert_eq!(a.len(), out.len(), "sub output length mismatch");
-    parallel::par_zip2_mut(out, a, b, ELEMWISE_CHUNK, |oc, ac, bc| {
+    parallel::par_zip2_mut(out, a, b, elemwise_chunk(out.len()), |oc, ac, bc| {
         for ((o, &av), &bv) in oc.iter_mut().zip(ac.iter()).zip(bc.iter()) {
             *o = av - bv;
         }
@@ -126,7 +126,7 @@ pub fn sub(a: &[f32], b: &[f32], out: &mut [f32]) {
 pub fn add(a: &[f32], b: &[f32], out: &mut [f32]) {
     assert_eq!(a.len(), b.len(), "add length mismatch");
     assert_eq!(a.len(), out.len(), "add output length mismatch");
-    parallel::par_zip2_mut(out, a, b, ELEMWISE_CHUNK, |oc, ac, bc| {
+    parallel::par_zip2_mut(out, a, b, elemwise_chunk(out.len()), |oc, ac, bc| {
         for ((o, &av), &bv) in oc.iter_mut().zip(ac.iter()).zip(bc.iter()) {
             *o = av + bv;
         }
@@ -149,7 +149,7 @@ pub fn add(a: &[f32], b: &[f32], out: &mut [f32]) {
 pub fn elastic_mix(alpha: f32, wx: &mut [f32], dw: &mut [f32], wg: &[f32]) {
     assert_eq!(wx.len(), dw.len(), "elastic_mix length mismatch");
     assert_eq!(wx.len(), wg.len(), "elastic_mix length mismatch");
-    parallel::par_zip_mut2(wx, dw, wg, ELEMWISE_CHUNK, |xc, dc, gc| {
+    parallel::par_zip_mut2(wx, dw, wg, elemwise_chunk(wx.len()), |xc, dc, gc| {
         for ((x, d), &g) in xc.iter_mut().zip(dc.iter_mut()).zip(gc.iter()) {
             *d = alpha * (*x - g);
             *x -= *d;
@@ -164,7 +164,7 @@ pub fn elastic_mix(alpha: f32, wx: &mut [f32], dw: &mut [f32], wg: &[f32]) {
 /// Panics if lengths differ.
 pub fn relu_forward(x: &[f32], out: &mut [f32]) {
     assert_eq!(x.len(), out.len(), "relu length mismatch");
-    parallel::par_zip_mut(out, x, ELEMWISE_CHUNK, |oc, xc| {
+    parallel::par_zip_mut(out, x, elemwise_chunk(out.len()), |oc, xc| {
         for (o, &v) in oc.iter_mut().zip(xc.iter()) {
             *o = v.max(0.0);
         }
@@ -179,7 +179,7 @@ pub fn relu_forward(x: &[f32], out: &mut [f32]) {
 pub fn relu_backward(x: &[f32], dy: &[f32], dx: &mut [f32]) {
     assert_eq!(x.len(), dy.len(), "relu_backward length mismatch");
     assert_eq!(x.len(), dx.len(), "relu_backward output length mismatch");
-    parallel::par_zip2_mut(dx, x, dy, ELEMWISE_CHUNK, |dc, xc, gc| {
+    parallel::par_zip2_mut(dx, x, dy, elemwise_chunk(dx.len()), |dc, xc, gc| {
         for ((d, &xv), &g) in dc.iter_mut().zip(xc.iter()).zip(gc.iter()) {
             *d = if xv > 0.0 { g } else { 0.0 };
         }
@@ -203,7 +203,7 @@ pub fn sigmoid(v: f32) -> f32 {
 /// Panics if lengths differ.
 pub fn sigmoid_forward(x: &[f32], out: &mut [f32]) {
     assert_eq!(x.len(), out.len(), "sigmoid length mismatch");
-    parallel::par_zip_mut(out, x, ELEMWISE_CHUNK, |oc, xc| {
+    parallel::par_zip_mut(out, x, elemwise_chunk(out.len()), |oc, xc| {
         for (o, &v) in oc.iter_mut().zip(xc.iter()) {
             *o = sigmoid(v);
         }
@@ -218,7 +218,7 @@ pub fn sigmoid_forward(x: &[f32], out: &mut [f32]) {
 pub fn sigmoid_backward(y: &[f32], dy: &[f32], dx: &mut [f32]) {
     assert_eq!(y.len(), dy.len(), "sigmoid_backward length mismatch");
     assert_eq!(y.len(), dx.len(), "sigmoid_backward output length mismatch");
-    parallel::par_zip2_mut(dx, y, dy, ELEMWISE_CHUNK, |dc, yc, gc| {
+    parallel::par_zip2_mut(dx, y, dy, elemwise_chunk(dx.len()), |dc, yc, gc| {
         for ((d, &yv), &g) in dc.iter_mut().zip(yc.iter()).zip(gc.iter()) {
             *d = g * yv * (1.0 - yv);
         }
@@ -232,7 +232,7 @@ pub fn sigmoid_backward(y: &[f32], dy: &[f32], dx: &mut [f32]) {
 /// Panics if lengths differ.
 pub fn tanh_forward(x: &[f32], out: &mut [f32]) {
     assert_eq!(x.len(), out.len(), "tanh length mismatch");
-    parallel::par_zip_mut(out, x, ELEMWISE_CHUNK, |oc, xc| {
+    parallel::par_zip_mut(out, x, elemwise_chunk(out.len()), |oc, xc| {
         for (o, &v) in oc.iter_mut().zip(xc.iter()) {
             *o = v.tanh();
         }
@@ -247,7 +247,7 @@ pub fn tanh_forward(x: &[f32], out: &mut [f32]) {
 pub fn tanh_backward(y: &[f32], dy: &[f32], dx: &mut [f32]) {
     assert_eq!(y.len(), dy.len(), "tanh_backward length mismatch");
     assert_eq!(y.len(), dx.len(), "tanh_backward output length mismatch");
-    parallel::par_zip2_mut(dx, y, dy, ELEMWISE_CHUNK, |dc, yc, gc| {
+    parallel::par_zip2_mut(dx, y, dy, elemwise_chunk(dx.len()), |dc, yc, gc| {
         for ((d, &yv), &g) in dc.iter_mut().zip(yc.iter()).zip(gc.iter()) {
             *d = g * (1.0 - yv * yv);
         }
@@ -261,7 +261,7 @@ pub fn tanh_backward(y: &[f32], dy: &[f32], dx: &mut [f32]) {
 /// Panics if `bound` is negative or NaN.
 pub fn clip(bound: f32, x: &mut [f32]) {
     assert!(bound >= 0.0, "clip bound must be non-negative");
-    parallel::par_chunks_mut(x, ELEMWISE_CHUNK, |_, c| {
+    parallel::par_chunks_mut(x, elemwise_chunk(x.len()), |_, c| {
         for v in c.iter_mut() {
             *v = v.clamp(-bound, bound);
         }
@@ -271,6 +271,7 @@ pub fn clip(bound: f32, x: &mut [f32]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parallel::ELEMWISE_CHUNK;
 
     #[test]
     fn axpy_and_axpby() {
@@ -305,7 +306,7 @@ mod tests {
     #[test]
     fn elastic_mix_matches_scalar_reference_bitwise() {
         use crate::parallel::with_threads;
-        let n = 2 * ELEMWISE_CHUNK + 77;
+        let n = 6 * ELEMWISE_CHUNK + 77;
         let wx0: Vec<f32> = (0..n).map(|i| (i as f32 * 0.017).sin()).collect();
         let wg: Vec<f32> = (0..n).map(|i| (i as f32 * 0.031).cos()).collect();
         // Scalar reference: exactly the exchanger's original zip-loop.
@@ -412,7 +413,7 @@ mod tests {
     #[test]
     fn large_ops_are_thread_count_invariant() {
         use crate::parallel::with_threads;
-        let n = 3 * ELEMWISE_CHUNK + 123;
+        let n = 6 * ELEMWISE_CHUNK + 123;
         let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.013).sin()).collect();
         let y0: Vec<f32> = (0..n).map(|i| (i as f32 * 0.029).cos()).collect();
         let run = |threads: usize| {

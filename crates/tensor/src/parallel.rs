@@ -330,6 +330,99 @@ where
 /// decomposition contract.
 pub const ELEMWISE_CHUNK: usize = 16_384;
 
+/// Element counts at or below this stay on the calling thread: pool
+/// dispatch costs more than it saves for small vectors (the 4 MiB SMB
+/// accumulate lost ~30% at 2 threads under the old always-chunk grid).
+/// Derived only from the element count — never the thread count — so the
+/// chunk grid stays part of the deterministic decomposition contract.
+pub const ELEMWISE_PAR_MIN: usize = 4 * ELEMWISE_CHUNK;
+
+/// Upper bound on the number of chunks a single elementwise dispatch
+/// produces; very long vectors get proportionally wider chunks so task
+/// count (and per-task overhead) stays bounded.
+pub const ELEMWISE_MAX_CHUNKS: usize = 32;
+
+/// The deterministic chunk width for an elementwise kernel over `len`
+/// elements: one single chunk at or below [`ELEMWISE_PAR_MIN`], otherwise
+/// at least [`ELEMWISE_CHUNK`] wide and at most [`ELEMWISE_MAX_CHUNKS`]
+/// chunks. A pure function of `len`, so every kernel using it decomposes —
+/// and reduces — identically at any thread count.
+pub fn elemwise_chunk(len: usize) -> usize {
+    if len <= ELEMWISE_PAR_MIN {
+        len.max(1)
+    } else {
+        ELEMWISE_CHUNK.max(len.div_ceil(ELEMWISE_MAX_CHUNKS))
+    }
+}
+
+/// A shared handle over one mutable slice that hands out disjoint mutable
+/// sub-ranges to concurrent tasks.
+///
+/// `split_at_mut` can only partition a slice into contiguous pieces, but
+/// the packed-GEMM and fused-convolution grids write *strided* disjoint
+/// ranges of one output (a column strip touches every row). This handle is
+/// the crate-internal primitive for that pattern: it pins the slice borrow
+/// for `'a` and lets each task reborrow its own range.
+///
+/// # Contract (callers)
+///
+/// [`SliceParts::part`] is memory-safe only if, at any instant, all live
+/// sub-borrows obtained from the same handle cover pairwise-disjoint
+/// ranges — exactly the `split_at_mut` guarantee, checked by the caller's
+/// grid arithmetic instead of the borrow checker. Every call site in this
+/// crate derives its ranges from a fixed tile grid whose tiles are disjoint
+/// by construction, and tasks never outlive the dispatch that spawned
+/// them. This type is deliberately `pub(crate)`: the contract is audited
+/// here and in `gemm.rs`/`conv.rs`, and Miri runs the `parallel`-named
+/// kernel tests over it (`scripts/miri.sh`).
+pub(crate) struct SliceParts<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: a SliceParts is just a borrow of `&'a mut [T]` split across
+// tasks; sending or sharing it between threads is sound whenever sending
+// `&mut [T]` chunks is, i.e. for `T: Send`. Shared access (`Sync`) only
+// exposes `part`, whose disjointness contract prevents aliasing.
+#[allow(unsafe_code)]
+unsafe impl<T: Send> Send for SliceParts<'_, T> {}
+#[allow(unsafe_code)]
+unsafe impl<T: Send> Sync for SliceParts<'_, T> {}
+
+impl<'a, T> SliceParts<'a, T> {
+    /// Wraps `data`, taking over its mutable borrow for `'a`.
+    pub(crate) fn new(data: &'a mut [T]) -> Self {
+        Self { ptr: data.as_mut_ptr(), len: data.len(), _marker: std::marker::PhantomData }
+    }
+
+    /// Reborrows `[start, start + len)` mutably.
+    ///
+    /// Bounds are checked; **disjointness of concurrently live parts is
+    /// the caller's responsibility** (see the type-level contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub(crate) fn part(&self, start: usize, len: usize) -> &'a mut [T] {
+        assert!(
+            start <= self.len && len <= self.len - start,
+            "SliceParts::part range {start}..{} out of bounds for length {}",
+            start + len,
+            self.len
+        );
+        // SAFETY: the range is in bounds of the original borrow (asserted
+        // above), the original `&'a mut [T]` is held exclusively by this
+        // handle for 'a, and the caller contract guarantees concurrently
+        // live parts are pairwise disjoint — the same shape of guarantee
+        // `split_at_mut` provides.
+        #[allow(unsafe_code)]
+        unsafe {
+            std::slice::from_raw_parts_mut(self.ptr.add(start), len)
+        }
+    }
+}
+
 /// Maps fixed chunks of `x` through `f` and combines the per-chunk partials
 /// **in chunk order** with `combine` — the deterministic reduction used by
 /// `dot` and friends. Chunk boundaries depend only on `x.len()`.
@@ -423,6 +516,59 @@ mod tests {
             with_threads(2, || assert_eq!(current_threads(), 2));
             assert_eq!(current_threads(), 3);
         });
+    }
+
+    #[test]
+    fn elemwise_chunk_is_a_pure_function_of_len() {
+        assert_eq!(elemwise_chunk(0), 1);
+        assert_eq!(elemwise_chunk(1), 1);
+        // At or below the dispatch floor: one chunk == serial.
+        assert_eq!(elemwise_chunk(ELEMWISE_PAR_MIN), ELEMWISE_PAR_MIN);
+        // Just above: back to the fixed fine-grained width.
+        assert_eq!(elemwise_chunk(ELEMWISE_PAR_MIN + 1), ELEMWISE_CHUNK);
+        // Very large: chunk widens so the task count stays bounded.
+        let big = 64 * ELEMWISE_CHUNK;
+        let chunk = elemwise_chunk(big);
+        assert!(big.div_ceil(chunk) <= ELEMWISE_MAX_CHUNKS);
+        // Thread-count independence: the override must not change the grid.
+        let base = elemwise_chunk(ELEMWISE_PAR_MIN + 123);
+        for t in [1usize, 2, 8] {
+            assert_eq!(with_threads(t, || elemwise_chunk(ELEMWISE_PAR_MIN + 123)), base);
+        }
+    }
+
+    #[test]
+    fn slice_parts_disjoint_strided_writes() {
+        // Write a strided pattern (every task owns one column of a 2-D
+        // view) — the access shape split_at_mut cannot express.
+        let rows = 8;
+        let cols = 6;
+        let mut data = vec![0usize; rows * cols];
+        {
+            let parts = SliceParts::new(&mut data);
+            let parts = &parts;
+            let tasks: Vec<Task<'_>> = (0..cols)
+                .map(|j| -> Task<'_> {
+                    Box::new(move || {
+                        for i in 0..rows {
+                            parts.part(i * cols + j, 1)[0] = i * cols + j + 1;
+                        }
+                    })
+                })
+                .collect();
+            run_tasks(tasks);
+        }
+        for (k, v) in data.iter().enumerate() {
+            assert_eq!(*v, k + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_parts_bounds_checked() {
+        let mut data = [0.0f32; 4];
+        let parts = SliceParts::new(&mut data);
+        let _ = parts.part(3, 2);
     }
 
     #[test]

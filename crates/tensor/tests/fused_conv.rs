@@ -1,0 +1,195 @@
+//! Property-based proof that the fused im2col → packed-GEMM convolution
+//! is **bit-identical** to the retained materialised reference path
+//! (`conv2d_forward_ref`/`conv2d_backward_ref`), at every thread count.
+//!
+//! The fused path shares the reference gemm's KC k-block grid and
+//! per-element write-back fold order; packing is an exact element copy
+//! read through the geometry instead of through a materialised column
+//! matrix. If any of that drifts — a different block grid, a reassociated
+//! fold, an off-by-one in the geometry accessor — these tests fail on raw
+//! `f32::to_bits` comparison, across random non-square geometries,
+//! strides, pads, batch sizes and thread counts.
+
+use proptest::prelude::*;
+use shmcaffe_tensor::conv::{
+    conv2d_backward, conv2d_backward_ref, conv2d_forward, conv2d_forward_ref, Conv2dGeometry,
+};
+use shmcaffe_tensor::parallel;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+/// Deterministic pseudo-random fill (LCG), independent of any crate RNG.
+fn fill(len: usize, seed: u32) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(747796405).wrapping_add(2891336453);
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            ((state >> 16) as f32 / 65536.0) - 0.5
+        })
+        .collect()
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Fused forward == reference forward, bit for bit, at 1/2/4/7
+    /// threads, over rectangular images, rectangular kernels, mixed
+    /// strides and pads, and batch sizes crossing the task-grid floor.
+    #[test]
+    fn fused_forward_is_bit_identical_to_reference(
+        batch in 1usize..6,
+        channels in 1usize..4,
+        out_channels in 1usize..10,
+        h in 3usize..11,
+        w in 3usize..11,
+        kernel_h in 1usize..4,
+        kernel_w in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        seed in 0u32..1000,
+    ) {
+        let geom = Conv2dGeometry {
+            in_channels: channels,
+            in_h: h,
+            in_w: w,
+            kernel_h,
+            kernel_w,
+            stride_h: stride,
+            stride_w: stride,
+            pad_h: pad,
+            pad_w: pad,
+        };
+        prop_assume!(geom.out_h().is_ok() && geom.out_w().is_ok());
+        let spatial = geom.col_cols().unwrap();
+        let input = fill(batch * geom.in_len(), seed);
+        let weights = fill(out_channels * geom.col_rows(), seed ^ 0x5555);
+        let bias = fill(out_channels, seed ^ 0xaaaa);
+
+        let mut col = vec![0.0f32; geom.col_rows() * spatial];
+        let mut reference = vec![0.0f32; batch * out_channels * spatial];
+        conv2d_forward_ref(
+            &geom, batch, out_channels, &input, &weights, &bias, &mut reference, &mut col,
+        );
+
+        for &t in &THREAD_COUNTS {
+            let mut fused = vec![0.0f32; reference.len()];
+            parallel::with_threads(t, || {
+                conv2d_forward(&geom, batch, out_channels, &input, &weights, &bias, &mut fused);
+            });
+            prop_assert_eq!(
+                bits(&reference), bits(&fused),
+                "fused forward diverged at threads={} geom={:?}", t, geom
+            );
+        }
+    }
+
+    /// Fused backward == reference backward (dW, db, dX), bit for bit,
+    /// with pre-seeded gradient buffers so the accumulate contract is
+    /// covered too.
+    #[test]
+    fn fused_backward_is_bit_identical_to_reference(
+        batch in 1usize..6,
+        channels in 1usize..4,
+        out_channels in 1usize..10,
+        h in 3usize..11,
+        w in 3usize..11,
+        kernel_h in 1usize..4,
+        kernel_w in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        seed in 0u32..1000,
+    ) {
+        let geom = Conv2dGeometry {
+            in_channels: channels,
+            in_h: h,
+            in_w: w,
+            kernel_h,
+            kernel_w,
+            stride_h: stride,
+            stride_w: stride,
+            pad_h: pad,
+            pad_w: pad,
+        };
+        prop_assume!(geom.out_h().is_ok() && geom.out_w().is_ok());
+        let spatial = geom.col_cols().unwrap();
+        let w_len = out_channels * geom.col_rows();
+        let input = fill(batch * geom.in_len(), seed);
+        let weights = fill(w_len, seed ^ 0x5555);
+        let d_output = fill(batch * out_channels * spatial, seed ^ 0x0f0f);
+        // Non-zero seeds: the backward contract accumulates dW/db.
+        let dw0 = fill(w_len, seed ^ 0x7777);
+        let db0 = fill(out_channels, seed ^ 0x8888);
+
+        let mut col = vec![0.0f32; geom.col_rows() * spatial];
+        let mut dw_ref = dw0.clone();
+        let mut db_ref = db0.clone();
+        let mut dx_ref = vec![0.0f32; input.len()];
+        conv2d_backward_ref(
+            &geom, batch, out_channels, &input, &weights, &d_output,
+            &mut dw_ref, &mut db_ref, &mut dx_ref, &mut col,
+        );
+
+        for &t in &THREAD_COUNTS {
+            let mut dw = dw0.clone();
+            let mut db = db0.clone();
+            let mut dx = vec![0.0f32; input.len()];
+            parallel::with_threads(t, || {
+                conv2d_backward(
+                    &geom, batch, out_channels, &input, &weights, &d_output,
+                    &mut dw, &mut db, &mut dx,
+                );
+            });
+            prop_assert_eq!(bits(&dw_ref), bits(&dw), "dW diverged at threads={} geom={:?}", t, geom);
+            prop_assert_eq!(bits(&db_ref), bits(&db), "db diverged at threads={} geom={:?}", t, geom);
+            prop_assert_eq!(bits(&dx_ref), bits(&dx), "dX diverged at threads={} geom={:?}", t, geom);
+        }
+    }
+
+    /// No-bias and no-d_input variants stay bit-identical too (these hit
+    /// different task shapes: db skipped, d_input tasks absent).
+    #[test]
+    fn fused_paths_without_bias_or_dx_match_reference(
+        batch in 1usize..4,
+        channels in 1usize..3,
+        out_channels in 1usize..6,
+        hw in 3usize..9,
+        kernel in 1usize..4,
+        seed in 0u32..1000,
+    ) {
+        let geom = Conv2dGeometry::square(channels, hw, kernel, 1, 0);
+        prop_assume!(geom.out_h().is_ok());
+        let spatial = geom.col_cols().unwrap();
+        let w_len = out_channels * geom.col_rows();
+        let input = fill(batch * geom.in_len(), seed);
+        let weights = fill(w_len, seed ^ 0x5555);
+        let d_output = fill(batch * out_channels * spatial, seed ^ 0x0f0f);
+
+        let mut col = vec![0.0f32; geom.col_rows() * spatial];
+        let mut out_ref = vec![0.0f32; batch * out_channels * spatial];
+        conv2d_forward_ref(&geom, batch, out_channels, &input, &weights, &[], &mut out_ref, &mut col);
+        let mut dw_ref = vec![0.0f32; w_len];
+        conv2d_backward_ref(
+            &geom, batch, out_channels, &input, &weights, &d_output,
+            &mut dw_ref, &mut [], &mut [], &mut col,
+        );
+
+        for &t in &[1usize, 4] {
+            let (out, dw) = parallel::with_threads(t, || {
+                let mut out = vec![0.0f32; out_ref.len()];
+                conv2d_forward(&geom, batch, out_channels, &input, &weights, &[], &mut out);
+                let mut dw = vec![0.0f32; w_len];
+                conv2d_backward(
+                    &geom, batch, out_channels, &input, &weights, &d_output,
+                    &mut dw, &mut [], &mut [],
+                );
+                (out, dw)
+            });
+            prop_assert_eq!(bits(&out_ref), bits(&out), "no-bias fwd diverged at threads={}", t);
+            prop_assert_eq!(bits(&dw_ref), bits(&dw), "no-dx dW diverged at threads={}", t);
+        }
+    }
+}

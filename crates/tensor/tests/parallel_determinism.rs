@@ -129,9 +129,9 @@ proptest! {
         }
     }
 
-    /// Convolution forward and backward are bit-identical across thread
-    /// counts, including the batch-parallel per-image partial reduction
-    /// in the backward pass.
+    /// Convolution forward and backward (the fused im2col → packed-GEMM
+    /// path) are bit-identical across thread counts, including the
+    /// batch fold into dW/db inside the filter-row-block tasks.
     #[test]
     fn conv_bit_identical_across_thread_counts(
         batch in 1usize..9,
@@ -147,7 +147,6 @@ proptest! {
         let geom = Conv2dGeometry::square(channels, hw, kernel, stride, pad);
         prop_assume!(geom.out_h().is_ok());
         let spatial = geom.out_h().unwrap() * geom.out_w().unwrap();
-        let col_len = geom.col_rows() * spatial;
         let in_total = batch * geom.in_len();
         let out_total = batch * out_channels * spatial;
         let w_len = out_channels * geom.col_rows();
@@ -162,15 +161,14 @@ proptest! {
             let mut d_weights = fill(w_len, seed ^ 0x7777); // non-zero: backward accumulates
             let mut d_bias = fill(out_channels, seed ^ 0x8888);
             let mut d_input = vec![0.0f32; in_total];
-            let mut col = vec![0.0f32; col_len];
             parallel::with_threads(threads, || {
                 conv2d_forward(
                     &geom, batch, out_channels, &input, &weights, &bias,
-                    &mut output, &mut col,
+                    &mut output,
                 );
                 conv2d_backward(
                     &geom, batch, out_channels, &input, &weights, &d_output,
-                    &mut d_weights, &mut d_bias, &mut d_input, &mut col,
+                    &mut d_weights, &mut d_bias, &mut d_input,
                 );
             });
             (output, d_weights, d_bias, d_input)

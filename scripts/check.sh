@@ -36,6 +36,13 @@ if [ "$sum1" != "$sum4" ]; then
     exit 1
 fi
 
+echo "== fused conv: bit-identity proptests + zero-alloc steady state =="
+cargo test -q -p shmcaffe-tensor --test fused_conv
+cargo test -q -p shmcaffe-tensor --test alloc_free
+
+echo "== kernel-bench smoke: fused conv must not regress (host-aware floor) =="
+./target/release/kernel_bench --smoke
+
 echo "== chunked exchange bit-identity: mono vs chunked x 1 vs 4 threads =="
 cargo build -q --release -p shmcaffe-bench --bin exchange_bench
 ex_m1=$(SHMCAFFE_THREADS=1 ./target/release/exchange_bench --checksum mono)

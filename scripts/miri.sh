@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Miri pass over the shmcaffe-tensor worker pool.
 #
-# Scope: the workspace contains exactly two `unsafe` sites (enforced by
+# Scope: the workspace contains exactly three `unsafe` sites (enforced by
 # `cargo run -p shmcaffe-analysis`):
 #
 #   1. crates/tensor/src/gemm.rs — the AVX2 recompilation of the safe
@@ -16,6 +16,10 @@
 #      report per enqueued job, so the erased borrows outlive every use.
 #      The pool tests drive real cross-thread enqueue/complete cycles under
 #      the borrow-tracking interpreter.
+#   3. crates/tensor/tests/alloc_free.rs — the counting
+#      `#[global_allocator]` backing the zero-allocation gate; it delegates
+#      verbatim to `System` plus one relaxed counter increment. Test-only,
+#      never linked into library or bin targets.
 #
 # Miri needs a nightly toolchain component; this gate degrades to a skip
 # (exit 0) when it is not installed so offline/stable environments still
