@@ -2,12 +2,13 @@
 //!
 //! Two engines keep the simulation honest:
 //!
-//! 1. **Determinism lint** (this crate): a lexical scan of every workspace
-//!    crate rejecting constructs that break run-to-run reproducibility —
-//!    hashed collections in sim/data-plane crates, ambient time and
-//!    randomness, ad-hoc float reductions, and `unsafe` outside the two
-//!    audited tensor hot paths. Suppressions live in `analysis.toml` and
-//!    require a written justification.
+//! 1. **Determinism lint** (this crate): a token-level scan of every
+//!    workspace crate (see [`scanner`] for the lexer) rejecting constructs
+//!    that break run-to-run reproducibility — hashed collections in
+//!    sim/data-plane crates, ambient time and randomness, ad-hoc float
+//!    reductions, OS blocking primitives outside the scheduler, and
+//!    `unsafe` outside the two audited tensor hot paths. Suppressions live
+//!    in `analysis.toml` and require a written justification.
 //! 2. **Race detector** (`shmcaffe-simnet::race`, feature `race-detect`):
 //!    a vector-clock happens-before checker over SMB/RDMA byte-range
 //!    accesses, exercised by the integration tests.

@@ -10,7 +10,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::scanner::{strip_non_code, word_occurrences};
+use crate::scanner::{strip_non_code, tokens, TokenKind};
 
 /// One rule violation at a specific source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,6 +55,17 @@ pub const RULE_UNSAFE_POLICY: &str = "unsafe-policy";
 /// Test modules (everything at and below the first `#[cfg(test)]`) are
 /// exempt: a test asserting on a live segment may unwrap.
 pub const RULE_DATA_PLANE_PANIC: &str = "data-plane-panic";
+/// Rule: no OS *waiting* primitives (`Condvar`, `Barrier`,
+/// `std::sync::mpsc`, `thread::park`/`park_timeout`, `crossbeam` channels)
+/// in the cooperative simulation crates. Every proc runs on a real thread
+/// the virtual-time scheduler parks and wakes one at a time; a proc that
+/// waits on an OS primitive instead of the scheduler stalls virtual time
+/// for the whole simulation and is invisible to the schedule explorer's
+/// choice points. Plain `parking_lot::Mutex` around short critical sections
+/// stays legal — it never waits across a scheduler step. The one audited
+/// exemption is `crates/simnet/src/sched.rs` itself, which implements the
+/// scheduler on a parking-lot condvar.
+pub const RULE_BLOCKING_PRIMITIVE: &str = "blocking-primitive";
 
 /// All content rule identifiers, for allowlist validation.
 pub const ALL_RULES: &[&str] = &[
@@ -65,6 +76,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_UNSAFE_CODE,
     RULE_UNSAFE_POLICY,
     RULE_DATA_PLANE_PANIC,
+    RULE_BLOCKING_PRIMITIVE,
 ];
 
 /// The bench crate measures real hardware: wall clocks, OS entropy and
@@ -81,15 +93,44 @@ const UNSAFE_ALLOWED_FILES: &[&str] = &[
     "crates/tensor/tests/alloc_free.rs",
 ];
 
-fn banned_words(rule: &'static str) -> &'static [&'static str] {
+/// Rules that match by identifier-token equality. The lexer guarantees a
+/// match is a real identifier: substrings of longer names, lifetimes
+/// (`'Instant`), comment and string bodies never fire, and raw identifiers
+/// (`r#HashMap`) still do.
+const IDENT_RULES: &[&str] = &[
+    RULE_HASH_COLLECTIONS,
+    RULE_AMBIENT_TIME,
+    RULE_AMBIENT_RNG,
+    RULE_UNSAFE_CODE,
+    RULE_BLOCKING_PRIMITIVE,
+];
+
+fn banned_idents(rule: &'static str) -> &'static [&'static str] {
     match rule {
         RULE_HASH_COLLECTIONS => &["HashMap", "HashSet"],
         RULE_AMBIENT_TIME => &["Instant", "SystemTime", "UNIX_EPOCH", "chrono"],
         RULE_AMBIENT_RNG => &["thread_rng", "from_entropy", "OsRng"],
         RULE_UNSAFE_CODE => &["unsafe"],
+        RULE_BLOCKING_PRIMITIVE => {
+            &["Condvar", "Barrier", "mpsc", "park", "park_timeout", "crossbeam"]
+        }
         _ => &[],
     }
 }
+
+/// `src/` trees of the cooperative simulation crates: everything that runs
+/// procs on the virtual-time scheduler and must never block on the OS.
+const BLOCKING_SCOPE: &[&str] = &[
+    "crates/simnet/src/",
+    "crates/smb/src/",
+    "crates/rdma/src/",
+    "crates/shmcaffe/src/",
+    "crates/mpi/src/",
+    "crates/collectives/src/",
+];
+
+/// The scheduler implementation itself: the one place real threads park.
+const BLOCKING_EXEMPT_FILE: &str = "crates/simnet/src/sched.rs";
 
 /// Substring needles for the float-reduction rule (turbofished reductions
 /// over float iterators; integer reductions are exact and exempt).
@@ -113,6 +154,9 @@ fn rule_applies(rule: &'static str, path: &str) -> bool {
         // The tensor crate hosts the fixed-order reduction helpers the rest
         // of the workspace is required to call.
         RULE_FLOAT_REDUCTION => !path.starts_with("crates/tensor/"),
+        RULE_BLOCKING_PRIMITIVE => {
+            BLOCKING_SCOPE.iter().any(|p| path.starts_with(p)) && path != BLOCKING_EXEMPT_FILE
+        }
         _ => true,
     }
 }
@@ -134,6 +178,36 @@ pub fn scan_file(path: &str, source: &str) -> Vec<Violation> {
     let first_test_line =
         code.lines().position(|l| l.contains("#[cfg(test)]")).map_or(usize::MAX, |idx| idx + 1);
 
+    // Token pass: the identifier-equality rules, at most one violation per
+    // (rule, line).
+    let mut flagged: Vec<(&'static str, usize)> = Vec::new();
+    for tok in tokens(source) {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        for &rule in IDENT_RULES {
+            if !rule_applies(rule, path) {
+                continue;
+            }
+            if rule == RULE_UNSAFE_CODE && UNSAFE_ALLOWED_FILES.contains(&path) {
+                continue;
+            }
+            if banned_idents(rule).contains(&tok.text.as_str())
+                && !flagged.contains(&(rule, tok.line))
+            {
+                flagged.push((rule, tok.line));
+                out.push(Violation {
+                    rule,
+                    path: path.to_string(),
+                    line: tok.line,
+                    excerpt: excerpt(tok.line),
+                });
+            }
+        }
+    }
+
+    // Line pass: the multi-token substring rules, over comment/string
+    // stripped source so look-alikes in prose never fire.
     for (idx, line) in code.lines().enumerate() {
         let lineno = idx + 1;
         if data_plane
@@ -146,26 +220,6 @@ pub fn scan_file(path: &str, source: &str) -> Vec<Violation> {
                 line: lineno,
                 excerpt: excerpt(lineno),
             });
-        }
-        for &rule in &[RULE_HASH_COLLECTIONS, RULE_AMBIENT_TIME, RULE_AMBIENT_RNG, RULE_UNSAFE_CODE]
-        {
-            if !rule_applies(rule, path) {
-                continue;
-            }
-            if rule == RULE_UNSAFE_CODE && UNSAFE_ALLOWED_FILES.contains(&path) {
-                continue;
-            }
-            for word in banned_words(rule) {
-                if !word_occurrences(line, word).is_empty() {
-                    out.push(Violation {
-                        rule,
-                        path: path.to_string(),
-                        line: lineno,
-                        excerpt: excerpt(lineno),
-                    });
-                    break;
-                }
-            }
         }
         if rule_applies(RULE_FLOAT_REDUCTION, path)
             && FLOAT_REDUCTIONS.iter().any(|pat| line.contains(pat))
@@ -182,6 +236,7 @@ pub fn scan_file(path: &str, source: &str) -> Vec<Violation> {
     if let Some(v) = check_unsafe_policy(path, &code) {
         out.push(v);
     }
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
 }
 
@@ -350,6 +405,47 @@ mod tests {
         let vs = scan_file("crates/smb/src/x.rs", above);
         assert_eq!(vs.len(), 1);
         assert_eq!(vs[0].line, 1);
+    }
+
+    #[test]
+    fn blocking_primitives_banned_outside_the_scheduler() {
+        let src = "use std::sync::mpsc;\nlet b = Barrier::new(2);\nstd::thread::park();\n";
+        let vs = scan_file("crates/smb/src/x.rs", src);
+        assert_eq!(vs.len(), 3, "{vs:#?}");
+        assert!(vs.iter().all(|v| v.rule == RULE_BLOCKING_PRIMITIVE));
+        assert_eq!(vs.iter().map(|v| v.line).collect::<Vec<_>>(), vec![1, 2, 3]);
+        // The scheduler itself is the audited exemption…
+        assert!(scan_file("crates/simnet/src/sched.rs", "use parking_lot::Condvar;\n").is_empty());
+        // …and crates off the cooperative core (dnn's prefetcher, tensor's
+        // worker pool) plus test trees may park real threads.
+        assert!(scan_file("crates/dnn/src/x.rs", src).is_empty());
+        assert!(scan_file("crates/tensor/src/x.rs", src).is_empty());
+        assert!(scan_file("crates/simnet/tests/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lifetimes_do_not_trip_ident_rules() {
+        // `'Instant` is a lifetime, not a use of std::time::Instant — the
+        // old substring matcher saw a word boundary at the quote and fired.
+        let src = "fn f<'Instant>(x: &'Instant str) -> &'Instant str { x }\n";
+        assert!(scan_file("crates/simnet/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_identifiers_do_trip_ident_rules() {
+        // `r#HashMap` IS the identifier HashMap.
+        let vs = scan_file("crates/simnet/src/x.rs", "use ext::r#HashMap;\n");
+        assert_eq!(vs.len(), 1, "{vs:#?}");
+        assert_eq!(vs[0].rule, RULE_HASH_COLLECTIONS);
+        // …while an unrelated raw identifier stays quiet.
+        assert!(scan_file("crates/simnet/src/x.rs", "let r#type = 1;\n").is_empty());
+    }
+
+    #[test]
+    fn one_violation_per_rule_per_line() {
+        let vs = scan_file("crates/simnet/src/x.rs", "use std::sync::{Barrier, Condvar};\n");
+        assert_eq!(vs.len(), 1, "{vs:#?}");
+        assert_eq!(vs[0].rule, RULE_BLOCKING_PRIMITIVE);
     }
 
     #[test]

@@ -1,229 +1,361 @@
-//! A small lexical scanner that blanks out the non-code parts of a Rust
-//! source file — comments, string/char literals — while preserving line
-//! structure, so the line-oriented rules in [`crate::rules`] only ever see
-//! executable tokens. A full parser would be overkill: every invariant the
-//! lint enforces is visible at the token level.
+//! A token-level Rust lexer for the lint rules in [`crate::rules`].
+//!
+//! The lexer classifies every character of a source file into code tokens
+//! (identifiers, lifetimes, literals, punctuation) and trivia (whitespace,
+//! comments), handling the full literal surface the rules can trip over:
+//! nested block comments, raw strings with hash fences, byte strings, byte
+//! chars, raw identifiers and char-vs-lifetime disambiguation. Rules match
+//! banned names against [`TokenKind::Ident`] tokens by equality, so a
+//! lifetime `'Instant`, a comment, or a string body can never fire a rule
+//! and `r#HashMap` (which *is* the identifier `HashMap`) still does. A full
+//! parser stays overkill: every invariant the lint enforces is visible at
+//! the token level.
 
-/// Returns a copy of `src` where the contents of comments (line and nested
-/// block), string literals (plain, raw, byte) and character literals are
-/// replaced by spaces. Newlines are preserved so byte offsets map to the
-/// same line numbers as in the original text.
+/// Classification of one code token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword. Raw identifiers (`r#type`) lex as one token
+    /// carrying the bare name (`type`).
+    Ident,
+    /// Lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// Numeric literal, including separators, suffixes and exponents
+    /// (`1_000u64`, `0x1f`, `1.5e-3`).
+    Number,
+    /// String literal of any flavor: `"…"`, `r"…"`, `r#"…"#`, `b"…"`,
+    /// `br#"…"#`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// Any other punctuation character, one per token.
+    Punct,
+}
+
+/// One code token. Trivia (whitespace, comments) never appears here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// The token text. For raw identifiers this is the bare name; for
+    /// literals it includes the quotes/prefix.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    /// Char offset (not bytes) of the token's first character in the input.
+    pub start: usize,
+}
+
+/// What a span of raw (pre-classification) input is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RawKind {
+    Whitespace,
+    Comment,
+    Str,
+    Char,
+    Lifetime,
+    /// `text_start` is where the identifier's name begins — past the `r#`
+    /// of a raw identifier, equal to `start` otherwise.
+    Ident {
+        text_start: usize,
+    },
+    Number,
+    Punct,
+}
+
+struct RawTok {
+    kind: RawKind,
+    start: usize,
+    end: usize,
+    line: usize,
+}
+
+/// Lexes `src` into code tokens, dropping comments and whitespace.
+pub fn tokens(src: &str) -> Vec<Token> {
+    let chars: Vec<char> = src.chars().collect();
+    raw_lex(&chars)
+        .into_iter()
+        .filter_map(|t| {
+            let (kind, text_start) = match t.kind {
+                RawKind::Whitespace | RawKind::Comment => return None,
+                RawKind::Str => (TokenKind::Str, t.start),
+                RawKind::Char => (TokenKind::Char, t.start),
+                RawKind::Lifetime => (TokenKind::Lifetime, t.start),
+                RawKind::Ident { text_start } => (TokenKind::Ident, text_start),
+                RawKind::Number => (TokenKind::Number, t.start),
+                RawKind::Punct => (TokenKind::Punct, t.start),
+            };
+            Some(Token {
+                kind,
+                text: chars[text_start..t.end].iter().collect(),
+                line: t.line,
+                start: t.start,
+            })
+        })
+        .collect()
+}
+
+/// Returns a copy of `src` where comments and the contents of string/char
+/// literals are replaced by spaces. Newlines are preserved (including inside
+/// literals) so line numbers map 1:1 to the original text. Used by the
+/// substring-pattern rules that need more than one token of context.
 pub fn strip_non_code(src: &str) -> String {
     let chars: Vec<char> = src.chars().collect();
     let mut out = String::with_capacity(src.len());
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        match c {
-            '/' if chars.get(i + 1) == Some(&'/') => {
-                while i < chars.len() && chars[i] != '\n' {
-                    out.push(' ');
-                    i += 1;
+    for t in raw_lex(&chars) {
+        match t.kind {
+            RawKind::Comment | RawKind::Str | RawKind::Char => {
+                for &c in &chars[t.start..t.end] {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
                 }
             }
-            '/' if chars.get(i + 1) == Some(&'*') => {
-                let mut depth = 1usize;
-                out.push_str("  ");
-                i += 2;
-                while i < chars.len() && depth > 0 {
-                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
-                        depth += 1;
-                        out.push_str("  ");
-                        i += 2;
-                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
-                        depth -= 1;
-                        out.push_str("  ");
-                        i += 2;
-                    } else {
-                        out.push(if chars[i] == '\n' { '\n' } else { ' ' });
-                        i += 1;
-                    }
-                }
-            }
-            '"' => i = blank_string(&chars, i, &mut out),
-            'r' | 'b' if !prev_is_word(&chars, i) => {
-                if let Some(next) = raw_or_byte_string_end_of_prefix(&chars, i) {
-                    // `next` points at the opening quote (or is a raw-string
-                    // prefix); blank the prefix then the literal body.
-                    for _ in i..next {
-                        out.push(' ');
-                    }
-                    if chars.get(next) == Some(&'"') {
-                        let hashes = next - i - leading_letters(&chars, i);
-                        if hashes > 0 || raw_prefix(&chars, i) {
-                            i = blank_raw_string(&chars, next, hashes, &mut out);
-                        } else {
-                            i = blank_string(&chars, next, &mut out);
-                        }
-                    } else {
-                        i = next;
-                    }
-                } else {
-                    out.push(c);
-                    i += 1;
-                }
-            }
-            '\'' => {
-                // Distinguish a char literal from a lifetime: a literal is
-                // `'\...'` or `'x'`; anything else (`'static`, `'_`) is a
-                // lifetime and passes through.
-                let is_char_literal = match chars.get(i + 1) {
-                    Some('\\') => true,
-                    Some(_) => chars.get(i + 2) == Some(&'\''),
-                    None => false,
-                };
-                if is_char_literal {
-                    out.push(' ');
-                    i += 1;
-                    if chars.get(i) == Some(&'\\') {
-                        out.push(' ');
-                        i += 1;
-                        if i < chars.len() {
-                            out.push(' ');
-                            i += 1;
-                        }
-                        // Multi-char escapes (\u{..}, \x..) up to the quote.
-                        while i < chars.len() && chars[i] != '\'' {
-                            out.push(if chars[i] == '\n' { '\n' } else { ' ' });
-                            i += 1;
-                        }
-                    } else if i < chars.len() {
-                        out.push(' ');
-                        i += 1;
-                    }
-                    if chars.get(i) == Some(&'\'') {
-                        out.push(' ');
-                        i += 1;
-                    }
-                } else {
-                    out.push('\'');
-                    i += 1;
-                }
-            }
-            _ => {
-                out.push(c);
-                i += 1;
-            }
+            _ => out.extend(&chars[t.start..t.end]),
         }
     }
     out
 }
 
-fn prev_is_word(chars: &[char], i: usize) -> bool {
-    i > 0 && is_word_char(chars[i - 1])
+/// Char offsets of identifier tokens in `line` whose text equals `word`.
+/// Substrings of longer identifiers, lifetimes, literal bodies and comments
+/// never match.
+pub fn word_occurrences(line: &str, word: &str) -> Vec<usize> {
+    tokens(line)
+        .into_iter()
+        .filter(|t| t.kind == TokenKind::Ident && t.text == word)
+        .map(|t| t.start)
+        .collect()
 }
 
-/// Whether `c` can be part of an identifier for boundary checks.
+/// Whether `c` can be part of an identifier.
 pub fn is_word_char(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
 }
 
-fn raw_prefix(chars: &[char], i: usize) -> bool {
-    chars[i] == 'r' || (chars[i] == 'b' && chars.get(i + 1) == Some(&'r'))
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
 }
 
-fn leading_letters(chars: &[char], i: usize) -> usize {
-    let mut n = 0;
-    while matches!(chars.get(i + n), Some('r') | Some('b')) && n < 2 {
-        n += 1;
-    }
-    n
-}
-
-/// If position `i` starts a string-literal prefix (`r`, `b`, `br` with
-/// optional `#`s), returns the index of the opening quote; `None` if this is
-/// an ordinary identifier (e.g. `r#type` raw identifiers, or plain `b`).
-fn raw_or_byte_string_end_of_prefix(chars: &[char], i: usize) -> Option<usize> {
-    let mut j = i + leading_letters(chars, i);
-    if j == i {
-        return None;
-    }
-    while chars.get(j) == Some(&'#') {
-        j += 1;
-    }
-    if chars.get(j) == Some(&'"') {
-        Some(j)
-    } else {
-        None
-    }
-}
-
-fn blank_string(chars: &[char], start: usize, out: &mut String) -> usize {
-    let mut i = start;
-    out.push(' ');
-    i += 1;
+fn raw_lex(chars: &[char]) -> Vec<RawTok> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
     while i < chars.len() {
-        match chars[i] {
-            '\\' => {
-                out.push(' ');
+        let start = i;
+        let c = chars[i];
+        let kind = if c.is_whitespace() {
+            while i < chars.len() && chars[i].is_whitespace() {
                 i += 1;
-                if i < chars.len() {
-                    out.push(if chars[i] == '\n' { '\n' } else { ' ' });
+            }
+            RawKind::Whitespace
+        } else if c == '/' && chars.get(i + 1) == Some(&'/') {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            RawKind::Comment
+        } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+            i = block_comment_end(chars, i);
+            RawKind::Comment
+        } else if c == '"' {
+            i = string_end(chars, i);
+            RawKind::Str
+        } else if c == '\'' {
+            // A char literal is `'\…'` or `'x'`; anything else (`'static`,
+            // `'_`, a loop label) is a lifetime.
+            let is_char = match chars.get(i + 1) {
+                Some('\\') => true,
+                Some(_) => chars.get(i + 2) == Some(&'\''),
+                None => false,
+            };
+            if is_char {
+                i = char_end(chars, i);
+                RawKind::Char
+            } else {
+                i += 1;
+                while i < chars.len() && is_word_char(chars[i]) {
                     i += 1;
                 }
+                RawKind::Lifetime
             }
-            '"' => {
-                out.push(' ');
-                return i + 1;
+        } else if let Some(p) = literal_prefix(chars, i) {
+            match p {
+                Prefix::RawStr { quote, hashes } => {
+                    i = raw_string_end(chars, quote, hashes);
+                    RawKind::Str
+                }
+                Prefix::Str { quote } => {
+                    i = string_end(chars, quote);
+                    RawKind::Str
+                }
+                Prefix::ByteChar { quote } => {
+                    i = char_end(chars, quote);
+                    RawKind::Char
+                }
+                Prefix::RawIdent { name_start } => {
+                    i = name_start;
+                    while i < chars.len() && is_word_char(chars[i]) {
+                        i += 1;
+                    }
+                    RawKind::Ident { text_start: name_start }
+                }
             }
-            '\n' => {
-                out.push('\n');
+        } else if is_ident_start(c) {
+            while i < chars.len() && is_word_char(chars[i]) {
                 i += 1;
             }
-            _ => {
-                out.push(' ');
-                i += 1;
+            RawKind::Ident { text_start: start }
+        } else if c.is_ascii_digit() {
+            i = number_end(chars, i);
+            RawKind::Number
+        } else {
+            i += 1;
+            RawKind::Punct
+        };
+        out.push(RawTok { kind, start, end: i, line });
+        line += chars[start..i].iter().filter(|&&c| c == '\n').count();
+    }
+    out
+}
+
+enum Prefix {
+    /// `r"`, `r#"`, `br##"` …: `quote` is the opening `"`.
+    RawStr { quote: usize, hashes: usize },
+    /// `b"`: a plain string body with escapes.
+    Str { quote: usize },
+    /// `b'`: a char body.
+    ByteChar { quote: usize },
+    /// `r#name`: a raw identifier, name starting at `name_start`.
+    RawIdent { name_start: usize },
+}
+
+/// Classifies an `r`/`b` at `i` as a literal prefix, or `None` if it just
+/// starts an ordinary identifier.
+fn literal_prefix(chars: &[char], i: usize) -> Option<Prefix> {
+    match chars[i] {
+        'r' => {
+            let mut j = i + 1;
+            let mut hashes = 0;
+            while chars.get(j) == Some(&'#') {
+                j += 1;
+                hashes += 1;
             }
+            match chars.get(j) {
+                Some('"') => Some(Prefix::RawStr { quote: j, hashes }),
+                Some(&c) if hashes == 1 && is_ident_start(c) => {
+                    Some(Prefix::RawIdent { name_start: j })
+                }
+                _ => None,
+            }
+        }
+        'b' => match chars.get(i + 1) {
+            Some('"') => Some(Prefix::Str { quote: i + 1 }),
+            Some('\'') => Some(Prefix::ByteChar { quote: i + 1 }),
+            Some('r') => {
+                let mut j = i + 2;
+                let mut hashes = 0;
+                while chars.get(j) == Some(&'#') {
+                    j += 1;
+                    hashes += 1;
+                }
+                if chars.get(j) == Some(&'"') {
+                    Some(Prefix::RawStr { quote: j, hashes })
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn block_comment_end(chars: &[char], start: usize) -> usize {
+    let mut depth = 1usize;
+    let mut i = start + 2;
+    while i < chars.len() && depth > 0 {
+        if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+            depth += 1;
+            i += 2;
+        } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+            depth -= 1;
+            i += 2;
+        } else {
+            i += 1;
         }
     }
     i
 }
 
-fn blank_raw_string(chars: &[char], quote: usize, hashes: usize, out: &mut String) -> usize {
-    let mut i = quote;
-    out.push(' ');
-    i += 1;
+fn string_end(chars: &[char], open: usize) -> usize {
+    let mut i = open + 1;
     while i < chars.len() {
-        if chars[i] == '"' {
-            let mut ok = true;
-            for k in 0..hashes {
-                if chars.get(i + 1 + k) != Some(&'#') {
-                    ok = false;
-                    break;
-                }
-            }
-            if ok {
-                for _ in 0..=hashes {
-                    out.push(' ');
-                }
-                return i + 1 + hashes;
-            }
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            _ => i += 1,
         }
-        out.push(if chars[i] == '\n' { '\n' } else { ' ' });
+    }
+    i
+}
+
+fn raw_string_end(chars: &[char], quote: usize, hashes: usize) -> usize {
+    let mut i = quote + 1;
+    while i < chars.len() {
+        if chars[i] == '"' && (1..=hashes).all(|k| chars.get(i + k) == Some(&'#')) {
+            return i + 1 + hashes;
+        }
         i += 1;
     }
     i
 }
 
-/// Byte offsets (into `line`) of identifier-boundary occurrences of `word`.
-pub fn word_occurrences(line: &str, word: &str) -> Vec<usize> {
-    let mut hits = Vec::new();
-    let mut from = 0;
-    while let Some(pos) = line[from..].find(word) {
-        let at = from + pos;
-        let before_ok = line[..at].chars().next_back().is_none_or(|c| !is_word_char(c));
-        let after_ok = line[at + word.len()..].chars().next().is_none_or(|c| !is_word_char(c));
-        if before_ok && after_ok {
-            hits.push(at);
+fn char_end(chars: &[char], open: usize) -> usize {
+    let mut i = open + 1;
+    if chars.get(i) == Some(&'\\') {
+        i += 2; // the escaped char
+                // Multi-char escapes (\u{..}, \x..) run to the closing quote.
+        while i < chars.len() && chars[i] != '\'' {
+            i += 1;
         }
-        from = at + word.len().max(1);
+    } else if i < chars.len() {
+        i += 1;
     }
-    hits
+    if chars.get(i) == Some(&'\'') {
+        i += 1;
+    }
+    i
+}
+
+fn number_end(chars: &[char], start: usize) -> usize {
+    fn digits_and_suffix(chars: &[char], mut i: usize) -> usize {
+        while let Some(&c) = chars.get(i) {
+            if is_word_char(c) {
+                i += 1;
+            } else if (c == '+' || c == '-')
+                && matches!(chars.get(i.wrapping_sub(1)), Some('e') | Some('E'))
+                && chars.get(i + 1).is_some_and(char::is_ascii_digit)
+            {
+                i += 1; // exponent sign: 1e-3
+            } else {
+                break;
+            }
+        }
+        i
+    }
+    let mut i = digits_and_suffix(chars, start);
+    // A fractional part only if a digit follows the dot — `0..n` stays a
+    // range, `x.1` tuple indexing never reaches here.
+    if chars.get(i) == Some(&'.') && chars.get(i + 1).is_some_and(char::is_ascii_digit) {
+        i = digits_and_suffix(chars, i + 1);
+    }
+    i
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokens(src).into_iter().filter(|t| t.kind == TokenKind::Ident).map(|t| t.text).collect()
+    }
 
     #[test]
     fn line_comments_are_blanked() {
@@ -285,5 +417,57 @@ mod tests {
         let s = strip_non_code("let r#type = 1; let b = 2;");
         assert!(s.contains("r#type"));
         assert!(s.contains("let b = 2;"));
+    }
+
+    #[test]
+    fn tokens_classify_kinds() {
+        let toks = tokens("let n = 1_000u64; s.x(\"lit\", 'c', 1.5e-3)");
+        let kind_of = |text: &str| {
+            toks.iter().find(|t| t.text == text).map(|t| t.kind).unwrap_or_else(|| {
+                panic!("no token {text:?} in {toks:?}");
+            })
+        };
+        assert_eq!(kind_of("let"), TokenKind::Ident);
+        assert_eq!(kind_of("1_000u64"), TokenKind::Number);
+        assert_eq!(kind_of("1.5e-3"), TokenKind::Number);
+        assert_eq!(kind_of("\"lit\""), TokenKind::Str);
+        assert_eq!(kind_of("'c'"), TokenKind::Char);
+        assert_eq!(kind_of("."), TokenKind::Punct);
+    }
+
+    #[test]
+    fn lifetime_named_like_a_type_is_not_an_ident() {
+        let toks = tokens("fn f<'Instant>(x: &'Instant str) -> &'Instant str { x }");
+        assert!(toks.iter().all(|t| !(t.kind == TokenKind::Ident && t.text == "Instant")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Lifetime).count(), 3);
+    }
+
+    #[test]
+    fn raw_identifier_tokens_carry_the_bare_name() {
+        assert_eq!(idents("let r#type = 1;"), ["let", "type"]);
+        // `r#HashMap` IS the identifier HashMap and must surface as such.
+        assert_eq!(idents("use r#HashMap;"), ["use", "HashMap"]);
+    }
+
+    #[test]
+    fn byte_literal_bodies_never_surface_as_idents() {
+        let src = r##"let a = b'x'; let s = b"park"; let r = br"mpsc";"##;
+        assert_eq!(idents(src), ["let", "a", "let", "s", "let", "r"]);
+    }
+
+    #[test]
+    fn multiline_literals_advance_line_numbers() {
+        let toks = tokens("let s = r#\"a\nb\"#;\nnext");
+        let next = toks.iter().find(|t| t.text == "next").unwrap();
+        assert_eq!(next.line, 3);
+        let s = toks.iter().find(|t| t.kind == TokenKind::Str).unwrap();
+        assert_eq!(s.line, 1);
+    }
+
+    #[test]
+    fn range_expressions_do_not_swallow_dots() {
+        let toks = tokens("for i in 0..n {}");
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Number && t.text == "0"));
+        assert_eq!(toks.iter().filter(|t| t.text == "." && t.kind == TokenKind::Punct).count(), 2);
     }
 }

@@ -1,0 +1,24 @@
+// Lint fixture: OS blocking primitives in cooperative simulation code.
+// Every proc runs on a thread the virtual-time scheduler parks and wakes;
+// blocking on an OS primitive instead stalls virtual time for the whole
+// simulation and hides the wait from the schedule explorer. Coordination
+// must go through SimChannel, ctx.sleep, or the scheduler's own waits.
+use std::sync::mpsc;
+use std::sync::{Barrier, Condvar};
+
+pub fn block(rx: &mpsc::Receiver<()>, b: &Barrier) {
+    let _ = rx.recv();
+    b.wait();
+    std::thread::park();
+}
+
+pub fn nap(d: std::time::Duration) {
+    std::thread::park_timeout(d);
+}
+
+pub fn fanout() {
+    let (_tx, _rx) = crossbeam::channel::bounded::<u32>(1);
+}
+
+// A Condvar mentioned in a comment, or in a string, is prose, not a wait:
+pub const DOC: &str = "a Condvar wait stalls virtual time";

@@ -73,6 +73,21 @@ fn data_plane_panic_fixture_fires_in_smb_and_rdma_only() {
 }
 
 #[test]
+fn blocking_primitive_fixture_fires_outside_the_scheduler() {
+    let src = include_str!("fixtures/blocking_primitive.rs");
+    let vs = scan_fixture("crates/simnet/src/fixture.rs", src);
+    assert!(vs.len() >= 5, "{vs:#?}");
+    assert!(vs.iter().all(|v| v.rule == rules::RULE_BLOCKING_PRIMITIVE), "{vs:#?}");
+    // The comment/string look-alikes at the bottom of the fixture stay quiet.
+    assert!(vs.iter().all(|v| !v.excerpt.contains("DOC")), "{vs:#?}");
+    // The scheduler implementation itself is the one audited exemption…
+    assert!(scan_fixture("crates/simnet/src/sched.rs", src).is_empty());
+    // …and crates off the cooperative core plus test trees may park threads.
+    assert!(scan_fixture("crates/dnn/src/fixture.rs", src).is_empty());
+    assert!(scan_fixture("crates/smb/tests/fixture.rs", src).is_empty());
+}
+
+#[test]
 fn clean_fixture_stays_clean() {
     let vs =
         scan_fixture("crates/simnet/src/fixture.rs", include_str!("fixtures/clean_comments.rs"));

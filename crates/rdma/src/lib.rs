@@ -482,6 +482,7 @@ impl RdmaFabric {
     ) -> Result<TransferReport, RdmaError> {
         Self::check_bounds(mr, offset, out.len())?;
         self.with_region(mr, |buf| out.copy_from_slice(&buf[offset..offset + out.len()]))?;
+        ctx.footprint(mr.rkey.0, offset, out.len(), shmcaffe_simnet::FootprintKind::Read);
         #[cfg(feature = "race-detect")]
         self.inner.race.record(
             ctx,
@@ -553,6 +554,7 @@ impl RdmaFabric {
         let report =
             self.inner.fabric.net_transfer_stream(ctx, local, mr.node, wire_bytes, stream_bps);
         self.with_region(mr, |buf| buf[offset..offset + data.len()].copy_from_slice(data))?;
+        ctx.footprint(mr.rkey.0, offset, data.len(), shmcaffe_simnet::FootprintKind::Write);
         #[cfg(feature = "race-detect")]
         self.inner.race.record(
             ctx,
@@ -601,6 +603,7 @@ impl RdmaFabric {
         self.enforce_timeout(ctx, local, mr.node, started, timeout)?;
         // Land the payload only once the wire op succeeded.
         self.with_region(mr, |buf| out.copy_from_slice(&buf[offset..offset + out.len()]))?;
+        ctx.footprint(mr.rkey.0, offset, out.len(), shmcaffe_simnet::FootprintKind::Read);
         #[cfg(feature = "race-detect")]
         self.inner.race.record(
             ctx,
@@ -646,6 +649,7 @@ impl RdmaFabric {
             })?;
         self.enforce_timeout(ctx, local, mr.node, started, timeout)?;
         self.with_region(mr, |buf| buf[offset..offset + data.len()].copy_from_slice(data))?;
+        ctx.footprint(mr.rkey.0, offset, data.len(), shmcaffe_simnet::FootprintKind::Write);
         #[cfg(feature = "race-detect")]
         self.inner.race.record(
             ctx,

@@ -763,7 +763,7 @@ fn update_thread(
                     // stream into W_g, the replicator must not ship a
                     // half-folded snapshot to the standby.
                     let server = client.server();
-                    server.begin_accumulate_stream(buffers.wg.key);
+                    server.begin_accumulate_stream(uctx, buffers.wg.key);
                     guard = Some(server);
                     epoch = fence_epoch_of(client);
                 }
@@ -780,10 +780,10 @@ fn update_thread(
                                 // promoted server. Refold the lost tiles
                                 // there so exactly one full exchange lands.
                                 if let Some(g) = guard.take() {
-                                    g.end_accumulate_stream(buffers.wg.key);
+                                    g.end_accumulate_stream(uctx, buffers.wg.key);
                                 }
                                 let server = client.server();
-                                server.begin_accumulate_stream(buffers.wg.key);
+                                server.begin_accumulate_stream(uctx, buffers.wg.key);
                                 guard = Some(server);
                                 epoch = now_epoch;
                                 for j in 0..pos {
@@ -819,7 +819,7 @@ fn update_thread(
                 if pos == n {
                     pos = 0;
                     if let Some(g) = guard.take() {
-                        g.end_accumulate_stream(buffers.wg.key);
+                        g.end_accumulate_stream(uctx, buffers.wg.key);
                     }
                     if !exchange_failed {
                         // Replay partition backlog newest-first:

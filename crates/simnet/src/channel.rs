@@ -9,13 +9,25 @@
 
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::explore::{ChoiceKind, SchedEvent};
 use crate::sched::Pid;
 use crate::{SimContext, SimDuration, SimTime};
 
+/// Process-wide channel identity counter. The ids only serve the schedule
+/// explorer's within-run independence relation (same channel ⇒ dependent),
+/// so cross-run stability is not required — they never appear in traces or
+/// state fingerprints.
+static NEXT_CHANNEL_ID: AtomicU64 = AtomicU64::new(1);
+
 struct Envelope<T> {
     sent_at: SimTime,
+    /// Sending process, for the explorer's delivery-window grouping:
+    /// per-sender FIFO is a delivery guarantee, so only the *first*
+    /// in-flight message of each distinct sender is a delivery candidate.
+    from: Pid,
     /// Sender's vector-clock stamp, joined into the receiver on delivery —
     /// the channel send→recv happens-before edge of the race detector.
     #[cfg(feature = "race-detect")]
@@ -55,12 +67,13 @@ struct ChannelState<T> {
 /// ```
 pub struct SimChannel<T> {
     name: String,
+    id: u64,
     state: Arc<Mutex<ChannelState<T>>>,
 }
 
 impl<T> Clone for SimChannel<T> {
     fn clone(&self) -> Self {
-        SimChannel { name: self.name.clone(), state: Arc::clone(&self.state) }
+        SimChannel { name: self.name.clone(), id: self.id, state: Arc::clone(&self.state) }
     }
 }
 
@@ -75,6 +88,7 @@ impl<T: Send + 'static> SimChannel<T> {
     pub fn new(name: &str) -> Self {
         SimChannel {
             name: name.to_string(),
+            id: NEXT_CHANNEL_ID.fetch_add(1, Ordering::Relaxed),
             state: Arc::new(Mutex::new(ChannelState {
                 queue: VecDeque::new(),
                 waiters: Vec::new(),
@@ -82,20 +96,75 @@ impl<T: Send + 'static> SimChannel<T> {
         }
     }
 
+    /// Picks which queued envelope a receive takes, honouring the schedule
+    /// explorer's delivery choice point.
+    ///
+    /// The queue is sorted by send time (sends happen in non-decreasing
+    /// virtual time), and any message sent no later than the delivery
+    /// instant `max(now, oldest send time)` is equally "already in flight" —
+    /// their arrival order at this receiver is a race the explorer may
+    /// resolve either way, subject to per-sender FIFO. The default (index 0
+    /// = the oldest message) reproduces the deterministic schedule.
+    /// `limit` caps eligible send times (the deadline for `recv_timeout`,
+    /// `now` for `try_recv`).
+    fn pick_index(
+        &self,
+        ctx: &SimContext,
+        st: &ChannelState<T>,
+        limit: Option<SimTime>,
+    ) -> Option<usize> {
+        let front = st.queue.front()?;
+        if limit.is_some_and(|l| front.sent_at > l) {
+            return None;
+        }
+        if !ctx.core.is_exploring() {
+            return Some(0);
+        }
+        let mut cap = front.sent_at.max(ctx.now());
+        if let Some(l) = limit {
+            cap = cap.min(l);
+        }
+        let mut cands: Vec<usize> = Vec::new();
+        let mut senders: Vec<Pid> = Vec::new();
+        for (i, env) in st.queue.iter().enumerate() {
+            if env.sent_at > cap {
+                break;
+            }
+            if !senders.contains(&env.from) {
+                senders.push(env.from);
+                cands.push(i);
+            }
+        }
+        let pick = ctx.core.choose(ChoiceKind::Deliver, cands.len(), 0);
+        Some(cands[pick])
+    }
+
     /// Sends a message stamped with the sender's current virtual time and
     /// wakes one parked receiver (if any).
+    ///
+    /// Which receiver is woken when several are parked is a schedule choice
+    /// point; the default (most recently parked) reproduces the historical
+    /// deterministic schedule.
     pub fn send(&self, ctx: &SimContext, msg: T) {
         let now = ctx.now();
         let env = Envelope {
             sent_at: now,
+            from: ctx.pid(),
             #[cfg(feature = "race-detect")]
             stamp: ctx.vc_stamp(),
             msg,
         };
+        ctx.core.note_event(SchedEvent::Chan { chan: self.id });
         let waiter = {
             let mut st = self.state.lock();
             st.queue.push_back(env);
-            st.waiters.pop()
+            let n = st.waiters.len();
+            if n == 0 {
+                None
+            } else {
+                let idx = ctx.core.choose(ChoiceKind::Wake, n, n - 1);
+                Some(st.waiters.remove(idx))
+            }
         };
         if let Some(pid) = waiter {
             ctx.core.wake(pid, now);
@@ -113,8 +182,10 @@ impl<T: Send + 'static> SimChannel<T> {
         loop {
             {
                 let mut st = self.state.lock();
-                if let Some(env) = st.queue.pop_front() {
+                if let Some(i) = self.pick_index(ctx, &st, None) {
+                    let env = st.queue.remove(i).expect("candidate index in range");
                     drop(st);
+                    ctx.core.note_event(SchedEvent::Chan { chan: self.id });
                     if env.sent_at > ctx.now() {
                         ctx.sleep_until(env.sent_at);
                     }
@@ -142,9 +213,10 @@ impl<T: Send + 'static> SimChannel<T> {
         loop {
             {
                 let mut st = self.state.lock();
-                if st.queue.front().is_some_and(|env| env.sent_at <= deadline) {
-                    let env = st.queue.pop_front().expect("front checked");
+                if let Some(i) = self.pick_index(ctx, &st, Some(deadline)) {
+                    let env = st.queue.remove(i).expect("candidate index in range");
                     drop(st);
+                    ctx.core.note_event(SchedEvent::Chan { chan: self.id });
                     if env.sent_at > ctx.now() {
                         ctx.sleep_until(env.sent_at);
                     }
@@ -172,13 +244,13 @@ impl<T: Send + 'static> SimChannel<T> {
     pub fn try_recv(&self, ctx: &SimContext) -> Option<T> {
         let env = {
             let mut st = self.state.lock();
-            let ready = st.queue.front().is_some_and(|env| env.sent_at <= ctx.now());
-            if ready {
-                st.queue.pop_front()
-            } else {
-                None
+            let now = ctx.now();
+            match self.pick_index(ctx, &st, Some(now)) {
+                Some(i) => st.queue.remove(i),
+                None => None,
             }
         }?;
+        ctx.core.note_event(SchedEvent::Chan { chan: self.id });
         #[cfg(feature = "race-detect")]
         ctx.vc_join(&env.stamp);
         Some(env.msg)

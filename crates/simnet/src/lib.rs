@@ -17,6 +17,10 @@
 //!   switch, per-node PCIe buses, and the SMB memory server.
 //! * [`channel::SimChannel`] — virtual-time message passing between simulated
 //!   processes (used by the MPI substrate and SMB control plane).
+//! * [`explore`] — `schedcheck`, a loom-style schedule explorer: dispatch
+//!   ties, wake order and message delivery order become replayable choice
+//!   points, searched depth-first with DPOR-style independence pruning and
+//!   replayed bit-identically from `.sched` traces.
 //! * [`jitter::JitterModel`] — lognormal compute-time variation, modelling
 //!   the paper's observation (§III-E) that workers deviate because they share
 //!   the system bus, filesystem I/O and network bandwidth.
@@ -42,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod explore;
 pub mod fault;
 pub mod jitter;
 #[cfg(feature = "race-detect")]
@@ -51,6 +56,9 @@ mod sched;
 pub mod stats;
 mod time;
 pub mod topology;
+pub mod trace;
 
+pub use explore::{ExploreBounds, ExploreReport, FootprintKind};
 pub use sched::{SimContext, Simulation};
 pub use time::{SimDuration, SimTime};
+pub use trace::ScheduleTrace;

@@ -98,6 +98,24 @@ impl AccessKind {
     pub fn conflicts_with(self, other: AccessKind) -> bool {
         (self.is_write_class() || other.is_write_class()) && (self.is_plain() || other.is_plain())
     }
+
+    /// The schedule explorer's view of this access — the independence
+    /// relation exported to [`crate::explore`].
+    ///
+    /// Exploration needs a strictly finer relation than
+    /// [`AccessKind::conflicts_with`]: an `Atomic*`/`Atomic*` pair is never
+    /// a *race* (both sides are engine-serialized), but its order still
+    /// determines state, so for schedule pruning only read-class pairs
+    /// commute (see [`crate::explore::FootprintKind::commutes_with`]).
+    pub fn footprint(self) -> crate::explore::FootprintKind {
+        match self {
+            AccessKind::Read => crate::explore::FootprintKind::Read,
+            AccessKind::Write => crate::explore::FootprintKind::Write,
+            AccessKind::AtomicRead => crate::explore::FootprintKind::AtomicRead,
+            AccessKind::AtomicWrite => crate::explore::FootprintKind::AtomicWrite,
+            AccessKind::AtomicRmw => crate::explore::FootprintKind::AtomicRmw,
+        }
+    }
 }
 
 impl fmt::Display for AccessKind {

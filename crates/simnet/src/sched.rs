@@ -9,9 +9,12 @@
 
 use parking_lot::{Condvar, Mutex};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use crate::explore::{ChoiceKind, ChoiceRecord, SchedEvent, StepRecord};
+use crate::trace::TraceEntry;
 use crate::{SimDuration, SimTime};
 
 /// Identifies a simulated process within one [`Simulation`].
@@ -52,10 +55,38 @@ struct SchedState {
     panic_message: Option<String>,
 }
 
+/// Recording/forcing state for one explored run (see [`crate::explore`]).
+///
+/// Empty and inert unless [`Core::set_explore`] armed it: the default
+/// schedule takes the fast path (`exploring` is false) and records nothing,
+/// so exploration support costs the normal simulator one relaxed atomic
+/// load per choice point.
+#[derive(Default)]
+struct ExploreState {
+    /// Choices forced by the driver; beyond this prefix the defaults apply.
+    forced: Vec<TraceEntry>,
+    /// Index of the next choice point (into `forced` while it lasts).
+    cursor: usize,
+    /// Every choice point reached this run, with its resolution.
+    choices: Vec<ChoiceRecord>,
+    /// One record per scheduler grant, accumulating the granted process's
+    /// shared-state events until the next grant.
+    steps: Vec<StepRecord>,
+    /// Set when a forced choice did not match the choice point actually
+    /// reached — the model is nondeterministic or the trace is stale.
+    diverged: Option<String>,
+}
+
 pub(crate) struct Core {
     state: Mutex<SchedState>,
     cv: Condvar,
     handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Fast-path flag mirroring "explore state armed".
+    exploring: AtomicBool,
+    explore: Mutex<ExploreState>,
+    /// Model-state fingerprint hook, sampled by the explorer after a run
+    /// completes (see [`Simulation::set_state_probe`]).
+    probe: Mutex<Option<Box<dyn Fn() -> u64 + Send>>>,
 }
 
 impl Core {
@@ -69,7 +100,141 @@ impl Core {
             }),
             cv: Condvar::new(),
             handles: Mutex::new(Vec::new()),
+            exploring: AtomicBool::new(false),
+            explore: Mutex::new(ExploreState::default()),
+            probe: Mutex::new(None),
         })
+    }
+
+    /// Arms choice recording for one run, forcing the given prefix.
+    pub(crate) fn set_explore(&self, forced: Vec<TraceEntry>) {
+        let mut ex = self.explore.lock();
+        *ex = ExploreState { forced, ..ExploreState::default() };
+        self.exploring.store(true, Ordering::Relaxed);
+    }
+
+    /// Takes the recorded choices/steps after a run (leaving recording off).
+    pub(crate) fn take_explore(&self) -> (Vec<ChoiceRecord>, Vec<StepRecord>, Option<String>) {
+        self.exploring.store(false, Ordering::Relaxed);
+        let mut ex = self.explore.lock();
+        let st = std::mem::take(&mut *ex);
+        (st.choices, st.steps, st.diverged)
+    }
+
+    pub(crate) fn is_exploring(&self) -> bool {
+        self.exploring.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set_probe(&self, f: Box<dyn Fn() -> u64 + Send>) {
+        *self.probe.lock() = Some(f);
+    }
+
+    /// Samples the model-state probe (0 when none was registered).
+    pub(crate) fn probe_value(&self) -> u64 {
+        self.probe.lock().as_ref().map_or(0, |f| f())
+    }
+
+    /// FNV-1a fingerprint of the terminal scheduler state (per-process
+    /// clocks); combined with the model probe for state-space dedup.
+    pub(crate) fn sched_hash(&self) -> u64 {
+        let state = self.state.lock();
+        let mut h = crate::explore::Fnv::new();
+        for p in &state.procs {
+            h.write_u64(p.clock.as_nanos());
+            h.write_u64(match p.status {
+                Status::Runnable(at) => 1 ^ at.as_nanos().rotate_left(8),
+                Status::Running => 2,
+                Status::Blocked => 3,
+                Status::Finished => 4,
+            });
+        }
+        h.finish()
+    }
+
+    /// Resolves the forced choice at `cursor` (validating it against the
+    /// choice point actually reached) or falls back to `default`.
+    fn forced_or_default(
+        ex: &mut ExploreState,
+        kind: ChoiceKind,
+        arity: usize,
+        default: usize,
+    ) -> usize {
+        let i = ex.cursor;
+        ex.cursor += 1;
+        match ex.forced.get(i) {
+            None => default,
+            Some(f) => {
+                if f.kind != kind || f.arity as usize != arity || (f.chosen as usize) >= arity {
+                    ex.diverged.get_or_insert_with(|| {
+                        format!(
+                            "schedule diverged at choice {i}: trace has {:?}({}#{}) but \
+                             execution reached {:?}({})",
+                            f.kind, f.arity, f.chosen, kind, arity
+                        )
+                    });
+                    default
+                } else {
+                    f.chosen as usize
+                }
+            }
+        }
+    }
+
+    /// Non-dispatch choice point (message wake/delivery order). Returns
+    /// `default` unless exploration is armed and the point is a real branch
+    /// (`arity > 1`); branch points with a single alternative are never
+    /// recorded so traces stay dense.
+    pub(crate) fn choose(&self, kind: ChoiceKind, arity: usize, default: usize) -> usize {
+        if arity <= 1 || !self.exploring.load(Ordering::Relaxed) {
+            return default;
+        }
+        let mut ex = self.explore.lock();
+        let chosen = Self::forced_or_default(&mut ex, kind, arity, default);
+        let step = ex.steps.len().saturating_sub(1);
+        ex.choices.push(ChoiceRecord {
+            kind,
+            arity: arity as u16,
+            chosen: chosen as u16,
+            default: default as u16,
+            candidates: Vec::new(),
+            step,
+        });
+        chosen
+    }
+
+    /// Equal-time dispatch tie: picks which of `cands` (ascending pid, all
+    /// runnable at the minimal wake time) runs next, and opens its step.
+    fn pick_tie(&self, cands: &[Pid]) -> Pid {
+        let mut ex = self.explore.lock();
+        let chosen = if cands.len() > 1 {
+            let c = Self::forced_or_default(&mut ex, ChoiceKind::Tie, cands.len(), 0);
+            let step = ex.steps.len();
+            ex.choices.push(ChoiceRecord {
+                kind: ChoiceKind::Tie,
+                arity: cands.len() as u16,
+                chosen: c as u16,
+                default: 0,
+                candidates: cands.to_vec(),
+                step,
+            });
+            c
+        } else {
+            0
+        };
+        let pid = cands[chosen];
+        ex.steps.push(StepRecord { pid, events: Vec::new() });
+        pid
+    }
+
+    /// Appends a shared-state event to the currently running step.
+    pub(crate) fn note_event(&self, ev: SchedEvent) {
+        if !self.exploring.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut ex = self.explore.lock();
+        if let Some(step) = ex.steps.last_mut() {
+            step.events.push(ev);
+        }
     }
 
     /// Picks the next process to run. Must be called with the state lock held
@@ -94,6 +259,22 @@ impl Core {
             .min();
         match next {
             Some((at, pid)) => {
+                // Equal-time ties are a schedule choice point: under
+                // exploration the chooser may pick any process runnable at
+                // `at`; the default (index 0 = minimal pid) reproduces the
+                // deterministic schedule bit-for-bit.
+                let pid = if self.exploring.load(Ordering::Relaxed) {
+                    let cands: Vec<Pid> = state
+                        .procs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, p)| matches!(p.status, Status::Runnable(t) if t == at))
+                        .map(|(q, _)| q)
+                        .collect();
+                    self.pick_tie(&cands)
+                } else {
+                    pid
+                };
                 let slot = &mut state.procs[pid];
                 slot.status = Status::Running;
                 slot.clock = slot.clock.max(at);
@@ -338,7 +519,18 @@ impl Simulation {
     ///
     /// Panics if any process panicked or the simulation deadlocked; the
     /// original panic message is propagated.
-    pub fn run(mut self) -> SimTime {
+    pub fn run(self) -> SimTime {
+        match self.run_result() {
+            Ok(t) => t,
+            Err(msg) => panic!("simulation failed: {msg}"),
+        }
+    }
+
+    /// Like [`Simulation::run`] but reports a process panic or deadlock as
+    /// an `Err` carrying the original message instead of panicking — the
+    /// entry point used by the schedule explorer, which must survive
+    /// counterexample runs.
+    pub fn run_result(mut self) -> Result<SimTime, String> {
         for (pid, name, f) in self.pending.drain(..) {
             self.core.start_thread(pid, name, f);
         }
@@ -359,9 +551,21 @@ impl Simulation {
         }
         let state = self.core.state.lock();
         if let Some(msg) = &state.panic_message {
-            panic!("simulation failed: {msg}");
+            return Err(msg.clone());
         }
-        state.procs.iter().map(|p| p.clock).max().unwrap_or(SimTime::ZERO)
+        Ok(state.procs.iter().map(|p| p.clock).max().unwrap_or(SimTime::ZERO))
+    }
+
+    /// Registers a model-state fingerprint sampled by the schedule explorer
+    /// after each run (FNV hash of whatever shared state the model cares
+    /// about, e.g. an SMB server's `state_hash`); together with the scheduler
+    /// fingerprint it powers state-space dedup. Unused outside exploration.
+    pub fn set_state_probe<F: Fn() -> u64 + Send + 'static>(&mut self, f: F) {
+        self.core.set_probe(Box::new(f));
+    }
+
+    pub(crate) fn core(&self) -> &Arc<Core> {
+        &self.core
     }
 }
 
@@ -435,6 +639,23 @@ impl SimContext {
         #[cfg(feature = "race-detect")]
         self.core.vc_seed_child(self.pid, pid);
         self.core.start_thread(pid, name.to_string(), f);
+    }
+
+    /// Declares a shared-state access for the schedule explorer's
+    /// independence relation (see [`crate::explore`]): two steps whose
+    /// footprints touch disjoint `(region, offset..offset+len)` ranges — or
+    /// only read overlapping ones — commute, so the explorer never re-runs
+    /// their reorderings. A no-op outside exploration; models with shared
+    /// state not covered by instrumented channels/RDMA ops should call this
+    /// (or disable independence pruning).
+    pub fn footprint(
+        &self,
+        region: u64,
+        offset: usize,
+        len: usize,
+        kind: crate::explore::FootprintKind,
+    ) {
+        self.core.note_event(SchedEvent::Access { region, offset, len, kind });
     }
 
     /// Ticks this process's vector clock and returns a snapshot — the
@@ -554,6 +775,64 @@ mod tests {
             assert_eq!(ctx.now(), t);
         });
         sim.run();
+    }
+
+    // --- timed-wait pull-forward invariants (`block_until` vs `wake`) ---
+    //
+    // The comment on `Core::wake` documents that a timed waiter parked at
+    // its deadline may be pulled earlier by a wake but never pushed later,
+    // and that a wake racing ahead of the park is dropped (the deadline
+    // still fires). These are the seeded lost-wakeup regressions for that
+    // contract.
+
+    #[test]
+    fn wake_pulls_timed_wait_forward() {
+        let mut sim = Simulation::new();
+        sim.spawn("waiter", |ctx| {
+            let deadline = ctx.now() + SimDuration::from_millis(100);
+            ctx.core.block_until(ctx.pid, deadline);
+            // Woken by the 5 ms signal, not the 100 ms deadline.
+            assert_eq!(ctx.now().as_millis_f64(), 5.0);
+        });
+        sim.spawn("waker", |ctx| {
+            ctx.sleep(SimDuration::from_millis(5));
+            ctx.core.wake(0, ctx.now());
+        });
+        assert_eq!(sim.run().as_millis_f64(), 5.0);
+    }
+
+    #[test]
+    fn early_wake_before_park_is_dropped_not_lost_forever() {
+        let mut sim = Simulation::new();
+        // The waker is pid 0, so at the t=0 tie it runs *before* the waiter
+        // has parked: the wake targets a plain Runnable process and must be
+        // dropped (not queued). The seeded lost wakeup is harmless only
+        // because the timed wait still fires at its deadline.
+        sim.spawn("waker", |ctx| {
+            ctx.core.wake(1, ctx.now());
+        });
+        sim.spawn("waiter", |ctx| {
+            let deadline = ctx.now() + SimDuration::from_millis(10);
+            ctx.core.block_until(ctx.pid, deadline);
+            assert_eq!(ctx.now().as_millis_f64(), 10.0);
+        });
+        assert_eq!(sim.run().as_millis_f64(), 10.0);
+    }
+
+    #[test]
+    fn wake_never_pushes_a_timed_wait_later() {
+        let mut sim = Simulation::new();
+        sim.spawn("waiter", |ctx| {
+            let deadline = ctx.now() + SimDuration::from_millis(10);
+            ctx.core.block_until(ctx.pid, deadline);
+            assert_eq!(ctx.now().as_millis_f64(), 10.0);
+        });
+        sim.spawn("waker", |ctx| {
+            ctx.sleep(SimDuration::from_millis(5));
+            // A wake targeted past the deadline must not postpone the grant.
+            ctx.core.wake(0, SimTime::ZERO + SimDuration::from_millis(50));
+        });
+        assert_eq!(sim.run().as_millis_f64(), 10.0);
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Replayable schedule traces (`.sched` files).
+//!
+//! A [`ScheduleTrace`] is the complete scheduling decision record of one
+//! simulation run: every choice point the scheduler reached (equal-time
+//! dispatch ties, channel wake order, message delivery order) together with
+//! the alternative taken. Forcing the same trace through
+//! [`crate::Simulation::replay`] reproduces the run bit-identically —
+//! including any counterexample the explorer found — because everything
+//! else about the simulator is already deterministic.
+//!
+//! The on-disk format is a line-oriented text file:
+//!
+//! ```text
+//! schedcheck v1
+//! tie 3 1
+//! deliver 2 1
+//! wake 2 0
+//! ```
+//!
+//! Each line after the header is `<kind> <arity> <chosen>`. Choice points
+//! past the end of the trace resolve to their defaults, so a trace is also a
+//! valid *prefix* forcing — the mechanism the explorer's DFS is built on.
+
+use std::path::Path;
+
+use crate::explore::ChoiceKind;
+
+/// One resolved choice point in a recorded schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Which kind of choice point this was.
+    pub kind: ChoiceKind,
+    /// How many alternatives the point offered (always ≥ 2; points with a
+    /// single alternative are not recorded).
+    pub arity: u16,
+    /// The 0-based alternative taken.
+    pub chosen: u16,
+}
+
+/// A replayable schedule: the ordered choice-point record of one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScheduleTrace {
+    /// The choices, in the order the scheduler reached them.
+    pub entries: Vec<TraceEntry>,
+}
+
+const HEADER: &str = "schedcheck v1";
+
+impl ScheduleTrace {
+    /// Renders the trace in the `.sched` text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from(HEADER);
+        out.push('\n');
+        for e in &self.entries {
+            out.push_str(e.kind.as_str());
+            out.push(' ');
+            out.push_str(&e.arity.to_string());
+            out.push(' ');
+            out.push_str(&e.chosen.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the `.sched` text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line (or a missing /
+    /// wrong-version header).
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(h) if h.trim() == HEADER => {}
+            other => return Err(format!("bad trace header {other:?}, expected {HEADER:?}")),
+        }
+        let mut entries = Vec::new();
+        for (no, line) in lines.enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let entry = (|| {
+                let kind = ChoiceKind::parse(parts.next()?)?;
+                let arity: u16 = parts.next()?.parse().ok()?;
+                let chosen: u16 = parts.next()?.parse().ok()?;
+                if parts.next().is_some() || chosen >= arity || arity < 2 {
+                    return None;
+                }
+                Some(TraceEntry { kind, arity, chosen })
+            })()
+            .ok_or_else(|| format!("bad trace line {}: {line:?}", no + 2))?;
+            entries.push(entry);
+        }
+        Ok(ScheduleTrace { entries })
+    }
+
+    /// Writes the trace to `path` in the `.sched` text format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_text())
+    }
+
+    /// Reads a trace previously written by [`ScheduleTrace::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the I/O or parse failure.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_text(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_text() {
+        let t = ScheduleTrace {
+            entries: vec![
+                TraceEntry { kind: ChoiceKind::Tie, arity: 3, chosen: 1 },
+                TraceEntry { kind: ChoiceKind::Deliver, arity: 2, chosen: 1 },
+                TraceEntry { kind: ChoiceKind::Wake, arity: 4, chosen: 0 },
+            ],
+        };
+        assert_eq!(ScheduleTrace::from_text(&t.to_text()), Ok(t));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(ScheduleTrace::from_text("").is_err());
+        assert!(ScheduleTrace::from_text("schedcheck v0\n").is_err());
+        assert!(ScheduleTrace::from_text("schedcheck v1\nspin 2 0\n").is_err());
+        assert!(ScheduleTrace::from_text("schedcheck v1\ntie 2 2\n").is_err());
+        assert!(ScheduleTrace::from_text("schedcheck v1\ntie 1 0\n").is_err());
+        assert!(ScheduleTrace::from_text("schedcheck v1\ntie 2\n").is_err());
+    }
+
+    #[test]
+    fn empty_trace_is_just_the_header() {
+        let t = ScheduleTrace::default();
+        assert_eq!(t.to_text(), "schedcheck v1\n");
+        assert_eq!(ScheduleTrace::from_text("schedcheck v1\n"), Ok(t));
+    }
+}

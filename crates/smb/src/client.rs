@@ -482,7 +482,7 @@ impl SmbClient {
     pub fn ack_eviction(&self, ctx: &SimContext, owner: usize) -> usize {
         let server = self.active(ctx);
         self.control_round_trip(ctx, &server);
-        server.ack_eviction(owner)
+        server.ack_eviction(ctx, owner)
     }
 
     /// Wraps a fabric fault as [`SmbError::Unavailable`] with the failed

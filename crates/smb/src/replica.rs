@@ -54,6 +54,12 @@ pub enum ServerRole {
 struct PairInner {
     primary: SmbServer,
     standby: SmbServer,
+    /// Pseudo-region id for exploration footprints on the pair's fencing
+    /// state (fence epoch, authority lease, promotion flags). Every read
+    /// of that state is an `AtomicRead` on this region and every change an
+    /// `AtomicWrite`/`AtomicRmw`, so the schedule explorer knows that
+    /// admission checks do not commute with promotion or lease renewal.
+    fence_region: u64,
     /// Completed replication passes (the replication epoch).
     epoch: Mutex<u64>,
     /// Standby's view of each segment's version at its last copy, for
@@ -132,10 +138,15 @@ impl SmbPair {
     pub fn new(rdma: RdmaFabric, config: SmbServerConfig) -> Result<Self, SmbError> {
         let primary = SmbServer::with_config_at(rdma.clone(), config, 0)?;
         let standby = SmbServer::with_config_at(rdma, config, 1)?;
+        let fence_region = crate::server::pseudo_region(
+            "smb.fence",
+            ((primary.node().0 as u64) << 32) | standby.node().0 as u64,
+        );
         Ok(SmbPair {
             inner: Arc::new(PairInner {
                 primary,
                 standby,
+                fence_region,
                 epoch: Mutex::new(0),
                 replicated_versions: Mutex::new(BTreeMap::new()),
                 in_pass: AtomicBool::new(false),
@@ -212,7 +223,14 @@ impl SmbPair {
     /// [`SmbServerConfig::authority_timeout`]. An expired lease both
     /// self-fences the primary and makes standby promotion legal.
     pub fn authority_expired(&self, ctx: &SimContext) -> bool {
+        self.fence_footprint(ctx, shmcaffe_simnet::FootprintKind::AtomicRead);
         ctx.now() >= *self.inner.authority_expiry.lock()
+    }
+
+    /// Records an exploration footprint on the pair's fencing pseudo-region
+    /// (no-op outside [`shmcaffe_simnet::Simulation::explore`]).
+    fn fence_footprint(&self, ctx: &SimContext, kind: shmcaffe_simnet::FootprintKind) {
+        ctx.footprint(self.inner.fence_region, 0, 1, kind);
     }
 
     /// The current fencing epoch, with the promotion winner's fence stamp
@@ -220,6 +238,7 @@ impl SmbPair {
     /// fence-acquire→first-fenced-write happens-before edge. Clients call
     /// this whenever they refresh their carried epoch.
     pub fn observe_fence(&self, ctx: &SimContext) -> u64 {
+        self.fence_footprint(ctx, shmcaffe_simnet::FootprintKind::AtomicRead);
         #[cfg(feature = "race-detect")]
         if let Some(stamp) = self.inner.fence_stamp.lock().as_ref() {
             ctx.vc_join(stamp);
@@ -247,6 +266,7 @@ impl SmbPair {
         key: ShmKey,
         carried: u64,
     ) -> Result<(), SmbError> {
+        self.fence_footprint(ctx, shmcaffe_simnet::FootprintKind::AtomicRead);
         let active = self.inner.fence_epoch.load(Ordering::Acquire);
         let (stale, node) = if self.promoted() {
             (carried != active, self.inner.standby.node())
@@ -264,6 +284,7 @@ impl SmbPair {
     /// successful replication pass (proof the primary can still reach the
     /// standby, so no promotion can be in progress on the other side).
     fn renew_authority(&self, ctx: &SimContext) {
+        self.fence_footprint(ctx, shmcaffe_simnet::FootprintKind::AtomicWrite);
         *self.inner.authority_expiry.lock() =
             ctx.now() + self.inner.primary.config().authority_timeout;
     }
@@ -308,6 +329,7 @@ impl SmbPair {
     /// that touches the standby (workers and their update threads each
     /// have their own clock, so the join happens per call).
     pub fn active_server(&self, ctx: &SimContext) -> SmbServer {
+        self.fence_footprint(ctx, shmcaffe_simnet::FootprintKind::AtomicRead);
         if self.inner.promote_done.load(Ordering::Acquire) {
             #[cfg(feature = "race-detect")]
             if let Some(stamp) = self.inner.promote_stamp.lock().as_ref() {
@@ -381,7 +403,7 @@ impl SmbPair {
             // that never closes starves that segment's replication — the
             // client side bounds streams to one exchange, so the window is
             // a few chunk round trips.
-            if primary.stream_open(meta.key) {
+            if primary.stream_open(ctx, meta.key) {
                 continue;
             }
             let behind =
@@ -398,6 +420,12 @@ impl SmbPair {
             };
             let data = rdma.with_region(&primary_mr, |buf| buf.to_vec())?;
             rdma.with_region(&standby_mr, |buf| buf.copy_from_slice(&data))?;
+            ctx.footprint(
+                standby_mr.rkey.0,
+                0,
+                standby_mr.len,
+                shmcaffe_simnet::FootprintKind::Write,
+            );
             #[cfg(feature = "race-detect")]
             {
                 use shmcaffe_simnet::race::AccessKind;
@@ -637,6 +665,30 @@ impl SmbPair {
         Ok((discarded, resynced))
     }
 
+    /// FNV fingerprint of the pair's control-plane state plus both members'
+    /// [`SmbServer::state_hash`]. Fed to
+    /// [`shmcaffe_simnet::Simulation::set_state_probe`] so the schedule
+    /// explorer can collapse interleavings that converge on the same
+    /// replicated state (same fence epoch, same promotion status, same
+    /// segment contents on both sides).
+    pub fn state_hash(&self) -> u64 {
+        let mut h = shmcaffe_simnet::explore::Fnv::new();
+        h.write_u64(self.inner.fence_epoch.load(Ordering::Acquire));
+        h.write_u8(u8::from(self.inner.promote_started.load(Ordering::Acquire)));
+        h.write_u8(u8::from(self.inner.promote_done.load(Ordering::Acquire)));
+        h.write_u64(*self.inner.epoch.lock());
+        h.write_u64(self.inner.fenced_rejections.load(Ordering::Relaxed));
+        h.write_u64(self.inner.reconcile_discarded.load(Ordering::Relaxed));
+        h.write_u64(self.inner.reconcile_resynced.load(Ordering::Relaxed));
+        for (key, version) in self.inner.replicated_versions.lock().iter() {
+            h.write_u64(key.0);
+            h.write_u64(*version);
+        }
+        h.write_u64(self.inner.primary.state_hash());
+        h.write_u64(self.inner.standby.state_hash());
+        h.finish()
+    }
+
     /// Asks the replicator loop to exit at its next wakeup.
     pub fn stop_replicator(&self) {
         self.inner.stop.store(true, Ordering::Release);
@@ -655,6 +707,7 @@ impl SmbPair {
     /// promotion stamp joined into their clock. Returns whether this call
     /// performed the promotion.
     pub fn promote(&self, ctx: &SimContext) -> bool {
+        self.fence_footprint(ctx, shmcaffe_simnet::FootprintKind::AtomicRead);
         // Legality gate first: wait out the primary's authority. Renewals
         // can push the expiry while we sleep, so re-check on every wake —
         // the loop only exits once the lease is *currently* lapsed (or the
@@ -691,6 +744,7 @@ impl SmbPair {
         // for routing, so no client can reach the standby while the old
         // epoch still admits. The fence stamp taken here is joined by every
         // epoch refresh — the fence-acquire→first-fenced-write edge.
+        self.fence_footprint(ctx, shmcaffe_simnet::FootprintKind::AtomicWrite);
         self.inner.fence_epoch.fetch_add(1, Ordering::AcqRel);
         #[cfg(feature = "race-detect")]
         {
@@ -844,7 +898,7 @@ mod tests {
             p.replicate(&ctx).unwrap();
             // Open a chunk stream and fold only the first half: W_g on the
             // primary is now torn (half old, half new).
-            p.primary().begin_accumulate_stream(wg.key);
+            p.primary().begin_accumulate_stream(&ctx, wg.key);
             client.write_range_retrying(&ctx, &dw, 0, &[10.0, 10.0], &policy).unwrap();
             client.accumulate_range_retrying(&ctx, &dw, &wg, 0, 2, &policy).unwrap();
             // A pass during the stream must NOT ship the torn state.
@@ -856,7 +910,7 @@ mod tests {
             // ships the now-consistent contents.
             client.write_range_retrying(&ctx, &dw, 2, &[10.0, 10.0], &policy).unwrap();
             client.accumulate_range_retrying(&ctx, &dw, &wg, 2, 2, &policy).unwrap();
-            p.primary().end_accumulate_stream(wg.key);
+            p.primary().end_accumulate_stream(&ctx, wg.key);
             p.replicate(&ctx).unwrap();
             let copy = p.standby().rdma().with_region(&mr, |b| b.to_vec()).unwrap();
             assert_eq!(copy, vec![11.0; 4], "post-stream pass ships the folded W_g");

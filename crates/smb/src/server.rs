@@ -87,6 +87,17 @@ impl Default for SmbServerConfig {
 /// W_g, write W_g.
 const ACCUMULATE_MEM_PASSES: u64 = 3;
 
+/// Pseudo-region id for exploration footprints on control-plane state that
+/// has no backing memory region. High-bit tagged so it can never collide
+/// with an rkey (rkeys are small sequential integers). `salt` names the
+/// table ("smb.stream", "smb.version", …), `key` the row.
+pub(crate) fn pseudo_region(salt: &str, key: u64) -> u64 {
+    let mut h = shmcaffe_simnet::explore::Fnv::new();
+    h.write_bytes(salt.as_bytes());
+    h.write_u64(key);
+    h.finish() | (1 << 63)
+}
+
 #[derive(Debug, Clone)]
 struct Segment {
     mr: MemoryRegion,
@@ -383,6 +394,12 @@ impl SmbServer {
     /// holds. Workers call this (via [`crate::SmbClient::heartbeat`]) at
     /// least once per exchange round; a crashed worker stops.
     pub fn touch_owner(&self, ctx: &SimContext, owner: usize) {
+        ctx.footprint(
+            pseudo_region("smb.leases", self.inner.node.0 as u64),
+            0,
+            1,
+            shmcaffe_simnet::FootprintKind::AtomicWrite,
+        );
         let now = ctx.now();
         #[cfg(feature = "race-detect")]
         let stamp = ctx.vc_stamp();
@@ -408,6 +425,20 @@ impl SmbServer {
     /// the evicted keys. Subsequent lookups of an evicted key report
     /// [`SmbError::LeaseExpired`] with the lapsed owner.
     pub fn evict_stale(&self, ctx: &SimContext) -> Vec<ShmKey> {
+        // Eviction reads the lease table and mutates the tombstone table;
+        // neither commutes with heartbeats or rejoin acknowledgements.
+        ctx.footprint(
+            pseudo_region("smb.leases", self.inner.node.0 as u64),
+            0,
+            1,
+            shmcaffe_simnet::FootprintKind::AtomicRead,
+        );
+        ctx.footprint(
+            pseudo_region("smb.tombstones", self.inner.node.0 as u64),
+            0,
+            1,
+            shmcaffe_simnet::FootprintKind::AtomicRmw,
+        );
         let now = ctx.now();
         let timeout = self.inner.config.lease_timeout;
         let stale: Vec<(ShmKey, usize)> = {
@@ -450,7 +481,13 @@ impl SmbServer {
     /// so the markers are no longer needed. A rejoining worker calls this
     /// (via [`crate::SmbClient::ack_eviction`]) before re-creating its
     /// buffers. Returns how many tombstones were reclaimed.
-    pub fn ack_eviction(&self, owner: usize) -> usize {
+    pub fn ack_eviction(&self, ctx: &SimContext, owner: usize) -> usize {
+        ctx.footprint(
+            pseudo_region("smb.tombstones", self.inner.node.0 as u64),
+            0,
+            1,
+            shmcaffe_simnet::FootprintKind::AtomicRmw,
+        );
         let mut evicted = self.inner.evicted.lock();
         let before = evicted.len();
         evicted.retain(|_, t| t.owner != owner);
@@ -487,6 +524,11 @@ impl SmbServer {
         // The engine serialises accumulates on the DRAM bus, so they are
         // atomic read-modify-writes with respect to each other; concurrent
         // plain writes to the destination still race.
+        {
+            use shmcaffe_simnet::FootprintKind;
+            ctx.footprint(src_mr.rkey.0, 0, src_mr.len, FootprintKind::AtomicRead);
+            ctx.footprint(dst_mr.rkey.0, 0, dst_mr.len, FootprintKind::AtomicRmw);
+        }
         #[cfg(feature = "race-detect")]
         {
             use shmcaffe_simnet::race::AccessKind;
@@ -557,6 +599,11 @@ impl SmbServer {
         // Same atomicity model as the full accumulate, but the access
         // footprint is the exact sub-range: disjoint chunks from different
         // workers do not conflict, overlapping ones serialise as RMWs.
+        {
+            use shmcaffe_simnet::FootprintKind;
+            ctx.footprint(src_mr.rkey.0, offset, len, FootprintKind::AtomicRead);
+            ctx.footprint(dst_mr.rkey.0, offset, len, FootprintKind::AtomicRmw);
+        }
         #[cfg(feature = "race-detect")]
         {
             use shmcaffe_simnet::race::AccessKind;
@@ -596,13 +643,25 @@ impl SmbServer {
     /// Pure control-plane bookkeeping: no sim time is charged here — the
     /// caller's per-chunk control round trips already pay for the stream's
     /// signalling.
-    pub fn begin_accumulate_stream(&self, key: ShmKey) {
+    pub fn begin_accumulate_stream(&self, ctx: &SimContext, key: ShmKey) {
+        ctx.footprint(
+            pseudo_region("smb.stream", key.0),
+            0,
+            1,
+            shmcaffe_simnet::FootprintKind::AtomicRmw,
+        );
         *self.inner.streams.lock().entry(key).or_insert(0) += 1;
     }
 
     /// Closes one accumulate stream opened by
     /// [`SmbServer::begin_accumulate_stream`].
-    pub fn end_accumulate_stream(&self, key: ShmKey) {
+    pub fn end_accumulate_stream(&self, ctx: &SimContext, key: ShmKey) {
+        ctx.footprint(
+            pseudo_region("smb.stream", key.0),
+            0,
+            1,
+            shmcaffe_simnet::FootprintKind::AtomicRmw,
+        );
         let mut streams = self.inner.streams.lock();
         if let Some(count) = streams.get_mut(&key) {
             *count = count.saturating_sub(1);
@@ -613,13 +672,27 @@ impl SmbServer {
     }
 
     /// Whether any accumulate stream is currently open on `key`.
-    pub(crate) fn stream_open(&self, key: ShmKey) -> bool {
+    pub(crate) fn stream_open(&self, ctx: &SimContext, key: ShmKey) -> bool {
+        ctx.footprint(
+            pseudo_region("smb.stream", key.0),
+            0,
+            1,
+            shmcaffe_simnet::FootprintKind::AtomicRead,
+        );
         self.inner.streams.lock().get(&key).is_some_and(|&c| c > 0)
     }
 
     /// Bumps a segment's version and notifies subscribers; returns the new
     /// version.
     pub(crate) fn bump_version(&self, ctx: &SimContext, key: ShmKey) -> u64 {
+        // Version bumps on the same key never commute for exploration
+        // purposes: subscribers observe the intermediate values.
+        ctx.footprint(
+            pseudo_region("smb.version", key.0),
+            0,
+            1,
+            shmcaffe_simnet::FootprintKind::AtomicRmw,
+        );
         let version = {
             let mut segments = self.inner.segments.lock();
             match segments.get_mut(&key) {
@@ -658,6 +731,42 @@ impl SmbServer {
         let ch = SimChannel::new(&format!("smb_notify_{}", key.0));
         self.inner.subscribers.lock().entry(key).or_default().push(ch.clone());
         ch
+    }
+
+    /// FNV fingerprint of the server's observable state: the segment table
+    /// (names, versions, contents), leases, tombstones and open streams.
+    /// Fed to [`shmcaffe_simnet::Simulation::set_state_probe`] so the
+    /// schedule explorer can fingerprint terminal states and collapse
+    /// schedules that converge to the same server state. Iterates BTreeMaps,
+    /// so the hash is order-deterministic; simulated time is deliberately
+    /// excluded (two interleavings that produce the same state at different
+    /// virtual times are the same state).
+    pub fn state_hash(&self) -> u64 {
+        let mut h = shmcaffe_simnet::explore::Fnv::new();
+        for (key, seg) in self.inner.segments.lock().iter() {
+            h.write_u64(key.0);
+            h.write_bytes(seg.name.as_bytes());
+            h.write_u64(seg.version);
+            h.write_u64(seg.mr.len as u64);
+            if let Ok(data) = self.inner.rdma.with_region(&seg.mr, |b| b.to_vec()) {
+                for v in data {
+                    h.write_u64(u64::from(v.to_bits()));
+                }
+            }
+        }
+        for (key, lease) in self.inner.leases.lock().iter() {
+            h.write_u64(key.0 ^ 0x1eaa);
+            h.write_u64(lease.owner as u64);
+        }
+        for (key, t) in self.inner.evicted.lock().iter() {
+            h.write_u64(key.0 ^ 0x70b5);
+            h.write_u64(t.owner as u64);
+        }
+        for (key, count) in self.inner.streams.lock().iter() {
+            h.write_u64(key.0 ^ 0x57e3);
+            h.write_u64(*count);
+        }
+        h.finish()
     }
 
     // ---- replication support (see `crate::replica`) -----------------------

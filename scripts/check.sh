@@ -19,6 +19,9 @@ cargo fmt --all -- --check
 echo "== determinism lint + allowlist audit =="
 cargo run -q -p shmcaffe-analysis
 
+echo "== analysis self-check (lexer + rule fixtures, workspace clean) =="
+cargo test -q -p shmcaffe-analysis
+
 echo "== tier-1 suite, SHMCAFFE_THREADS=1 =="
 SHMCAFFE_THREADS=1 cargo test -q --workspace
 
@@ -62,6 +65,14 @@ cargo test -q -p shmcaffe --test exchange_equivalence
 echo "== partition tolerance: split-brain chaos + fencing/replica suites =="
 cargo test -q -p shmcaffe --test partition
 cargo test -q -p shmcaffe-smb --lib -- promotion fenced partition reconcile
+
+echo "== schedcheck: bounded DPOR exploration + seeded-mutation harness =="
+# Every suite carries its own schedule budget (ExploreBounds); the timeout
+# is a wall-clock backstop so a pruning regression fails the gate instead
+# of hanging it.
+timeout 300 cargo test -q -p shmcaffe-simnet --test schedcheck
+timeout 300 cargo test -q -p shmcaffe-smb --test schedcheck
+timeout 300 cargo test -q -p shmcaffe --test schedcheck_seasgd
 
 echo "== race detector: SMB seeded-race/failover/fence-chain + SEASGD chaos/failover/partition =="
 cargo test -q -p shmcaffe-smb --features race-detect
