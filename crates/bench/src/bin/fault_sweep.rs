@@ -20,6 +20,10 @@
 //!    it self-fences; the table records the stale writes fenced off, the
 //!    increments the minority buffered/dropped/replayed in degraded mode,
 //!    and the segments reconciled when the partition healed.
+//! 5. **Corruption sweep** — wire bit-flip rate × scrub cadence on a
+//!    CRC-paged replicated pair with DRAM decays at 25/50/75% of the run.
+//!    The table records detected/repaired/unrepairable corruption counts
+//!    and the final-loss delta against a fault-free paged run.
 //!
 //! Everything is seeded: rerunning the binary reproduces identical tables.
 //! With `SHMCAFFE_BENCH_JSON` set the failover and partition sweeps (plus
@@ -250,6 +254,71 @@ fn main() {
     }
     partition.print();
     println!();
+
+    // Corruption sweep: wire bit-flip rate × scrub cadence on a CRC-paged
+    // replicated pair, with three DRAM decays scheduled at 25/50/75% of
+    // the clean run on the primary. Every flip is caught by the page CRC
+    // (wire flips on the transfer, decays by the scrubber or the next
+    // read), poisoned pages are re-fetched from the standby, and the loss
+    // delta shows what the stale-snapshot repairs cost convergence.
+    let clean_mean_loss = |r: &shmcaffe::TrainingReport| {
+        r.workers.iter().map(|w| w.final_loss as f64).sum::<f64>() / r.workers.len() as f64
+    };
+    let paged = |scrub_ms: u64| SmbServerConfig {
+        page_elems: 65_536,
+        scrub_interval: SimDuration::from_millis(scrub_ms),
+        ..Default::default()
+    };
+    let decay_times: Vec<SimTime> = [0.25f64, 0.50, 0.75]
+        .iter()
+        .map(|f| SimTime::from_nanos((clean.wall.as_nanos() as f64 * f) as u64))
+        .collect();
+    let run_corrupted = |flip: f64, scrub_ms: u64| {
+        let mut plan = FaultPlan::new(SEED).with_wire_flip_prob(flip);
+        for &at in &decay_times {
+            plan = plan.decay_dram(primary, at);
+        }
+        ShmCaffeA::new(replicated(), GPUS, shm_cfg())
+            .with_standby(SimDuration::from_millis(20))
+            .with_server_config(paged(scrub_ms))
+            .with_fault_plan(plan)
+            .run(factory())
+            .expect("the CRC grid + standby repair absorb seeded corruption")
+    };
+    let paged_clean = ShmCaffeA::new(replicated(), GPUS, shm_cfg())
+        .with_standby(SimDuration::from_millis(20))
+        .with_server_config(paged(10))
+        .run(factory())
+        .expect("fault-free paged run");
+    let base_loss = clean_mean_loss(&paged_clean);
+    let mut corruption = Table::new(
+        "Wire flips + DRAM decay on a CRC-paged pair (repair from standby)",
+        &[
+            "flip rate",
+            "scrub (ms)",
+            "wall (s)",
+            "detected",
+            "repaired",
+            "unrepairable",
+            "loss delta",
+        ],
+    );
+    for flip in [0.0f64, 0.01, 0.05] {
+        for scrub_ms in [5u64, 20] {
+            let report = run_corrupted(flip, scrub_ms);
+            corruption.row_owned(vec![
+                format!("{:.0}%", flip * 100.0),
+                scrub_ms.to_string(),
+                format!("{:.3}", report.wall.as_secs_f64()),
+                report.total_corruptions_detected().to_string(),
+                report.total_corruptions_repaired().to_string(),
+                report.total_corruptions_unrepairable().to_string(),
+                format!("{:+.4}", clean_mean_loss(&report) - base_loss),
+            ]);
+        }
+    }
+    corruption.print();
+    println!();
     emit_figure(
         "fault",
         &failover,
@@ -260,7 +329,10 @@ fn main() {
             ("transient", Json::from(&transient)),
             ("worker_crash", Json::from(&crashes)),
             ("partition", Json::from(&partition)),
+            ("corruption", Json::from(&corruption)),
+            ("corruption_page_elems", Json::Int(65_536)),
             ("seed", Json::Int(SEED as i64)),
+            ("fault_seed", Json::Int(SEED as i64)),
         ],
     );
     println!();

@@ -85,6 +85,8 @@ fn main() {
             ("peak_gbps", Json::Num(peak)),
             ("hca_gbps", Json::Num(hca_bw)),
             ("paper_peak_gbps", Json::Num(6.7)),
+            // No fault plan: the run is deterministic without a seed.
+            ("fault_seed", Json::Null),
         ],
     );
     println!("peak aggregate: {peak:.2} GB/s ({:.0}% of the 7 GB/s HCA)", peak / hca_bw * 100.0);

@@ -55,6 +55,9 @@ fn main() {
             ("caffe_1gpu_hours", Json::Num(caffe_1gpu_hours)),
             ("shmcaffe_h_16gpu_hours", Json::Num(hours[4][2])),
             ("speedup_vs_caffe", Json::Num(caffe_1gpu_hours / hours[4][2])),
+            ("seed", Json::Int(42)),
+            // No fault plan is injected in this figure.
+            ("fault_seed", Json::Null),
         ],
     );
 

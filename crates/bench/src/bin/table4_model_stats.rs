@@ -72,6 +72,8 @@ fn main() {
             ("proxy_fwd_ms", Json::Num(fwd_ms)),
             ("proxy_fwd_bwd_ms", Json::Num(total_ms)),
             ("calibrated_table", Json::from(&table)),
+            // Host-clock measurement, no simulation and no fault plan.
+            ("fault_seed", Json::Null),
         ],
     );
 }

@@ -135,6 +135,26 @@ impl ShmCaffeA {
             let p = p.clone();
             sim.spawn("smb_replicator", move |ctx| p.run_replicator(&ctx, interval));
         }
+        // Background integrity scrubbers: when the server runs a CRC page
+        // grid with a scrub cadence, each pair member (or the lone server)
+        // sweeps its own DRAM so decayed pages are poisoned and repaired
+        // long before a client read would trip over them.
+        if self.server_config.page_elems > 0
+            && self.server_config.scrub_interval > SimDuration::ZERO
+        {
+            match &pair {
+                Some(p) => {
+                    let s = p.primary().clone();
+                    sim.spawn("smb_scrubber_primary", move |ctx| s.run_scrubber(&ctx));
+                    let s = p.standby().clone();
+                    sim.spawn("smb_scrubber_standby", move |ctx| s.run_scrubber(&ctx));
+                }
+                None => {
+                    let s = server.clone();
+                    sim.spawn("smb_scrubber", move |ctx| s.run_scrubber(&ctx));
+                }
+            }
+        }
         for rank in 0..n_workers {
             let server = server.clone();
             let pair = pair.clone();
@@ -281,11 +301,16 @@ impl ShmCaffeA {
                     })
                 };
                 // The run is over once the final model is read: let the
-                // replicator loop exit at its next wakeup so the
-                // simulation can terminate.
+                // replicator and scrubber loops exit at their next wakeup
+                // so the simulation can terminate.
                 if final_w.is_some() {
-                    if let Some(p) = &pair {
-                        p.stop_replicator();
+                    match &pair {
+                        Some(p) => {
+                            p.stop_replicator();
+                            p.primary().stop_scrubber();
+                            p.standby().stop_scrubber();
+                        }
+                        None => client.server().stop_scrubber(),
                     }
                 }
                 let mut report = report.lock();

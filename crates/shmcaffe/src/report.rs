@@ -88,6 +88,16 @@ pub struct WorkerReport {
     /// Per-exchange time spent in the elastic mixing pass (T2), ms.
     #[serde(default)]
     pub mix_ms: RunningStats,
+    /// Corruption events this worker's SMB client detected end-to-end
+    /// (poisoned CRC pages plus wire checksum mismatches).
+    #[serde(default)]
+    pub corruptions_detected: u64,
+    /// Poisoned pages this worker repaired from the replicated standby.
+    #[serde(default)]
+    pub corruptions_repaired: u64,
+    /// Detected corruptions with no clean copy left to repair from.
+    #[serde(default)]
+    pub corruptions_unrepairable: u64,
 }
 
 impl WorkerReport {
@@ -114,6 +124,9 @@ impl WorkerReport {
             wait_ms: RunningStats::new(),
             read_ms: RunningStats::new(),
             mix_ms: RunningStats::new(),
+            corruptions_detected: 0,
+            corruptions_repaired: 0,
+            corruptions_unrepairable: 0,
         }
     }
 
@@ -269,6 +282,21 @@ impl TrainingReport {
     /// Total stale-epoch rejections observed by worker clients.
     pub fn total_fenced_writes(&self) -> u64 {
         self.workers.iter().map(|w| w.fenced_writes).sum()
+    }
+
+    /// Total corruption events detected end-to-end across the fleet.
+    pub fn total_corruptions_detected(&self) -> u64 {
+        self.workers.iter().map(|w| w.corruptions_detected).sum()
+    }
+
+    /// Total poisoned pages repaired from the standby across the fleet.
+    pub fn total_corruptions_repaired(&self) -> u64 {
+        self.workers.iter().map(|w| w.corruptions_repaired).sum()
+    }
+
+    /// Total unrepairable corruptions across the fleet.
+    pub fn total_corruptions_unrepairable(&self) -> u64 {
+        self.workers.iter().map(|w| w.corruptions_unrepairable).sum()
     }
 }
 

@@ -401,6 +401,15 @@ impl ElasticExchanger {
                             Err(_) if client.partitioned_from_server(&rctx) => {
                                 ReadReply::Stale { buf }
                             }
+                            Err(error) if error.is_corruption() => {
+                                // A tile that stays corrupt through the
+                                // retry/repair loop degrades exactly like a
+                                // partition-stale tile: mix against the
+                                // last-known W_g — poisoned bytes must
+                                // never reach ΔW. The lane re-probes at
+                                // the next exchange.
+                                ReadReply::Stale { buf }
+                            }
                             Err(error) => ReadReply::Failed { error },
                         };
                         read_reply.send(&rctx, reply);
@@ -1128,6 +1137,9 @@ pub fn run_worker<T: Trainer>(
     report.retries = fault_stats.retries;
     report.recovery_ms = fault_stats.max_recovery_ms;
     report.fenced_writes = fault_stats.fenced;
+    report.corruptions_detected = fault_stats.corruptions_detected;
+    report.corruptions_repaired = fault_stats.corruptions_repaired;
+    report.corruptions_unrepairable = fault_stats.corruptions_unrepairable;
     report.iters = iter;
     report.finished_at = ctx.now();
     report.final_loss = loss_ema;

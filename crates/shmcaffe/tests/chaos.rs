@@ -11,7 +11,7 @@ use shmcaffe::{PlatformError, ShmCaffeConfig, TrainingReport};
 use shmcaffe_models::WorkloadModel;
 use shmcaffe_simnet::fault::FaultPlan;
 use shmcaffe_simnet::jitter::JitterModel;
-use shmcaffe_simnet::topology::ClusterSpec;
+use shmcaffe_simnet::topology::{ClusterSpec, NodeId};
 use shmcaffe_simnet::{SimDuration, SimTime};
 use shmcaffe_smb::SmbServerConfig;
 
@@ -106,6 +106,112 @@ fn faulted_runs_are_bit_identical_given_the_seed() {
         assert_eq!(x.final_loss, y.final_loss);
         assert_eq!(x.faults, y.faults);
         assert_eq!(x.retries, y.retries);
+    }
+}
+
+/// Data-corruption chaos: random wire bit-flips on every retrying
+/// transfer plus scheduled DRAM decays on the primary memory server, with
+/// the CRC page grid, background scrubbers, and a standby mirror enabled.
+fn corruption_spec() -> ClusterSpec {
+    ClusterSpec { memory_servers: 2, ..ClusterSpec::paper_testbed(1) }
+}
+
+fn corruption_plan() -> FaultPlan {
+    let primary = NodeId(corruption_spec().gpu_nodes);
+    FaultPlan::new(23)
+        .with_wire_flip_prob(0.01)
+        .with_torn_write_prob(0.01)
+        .decay_dram(primary, SimTime::from_millis(100))
+        .decay_dram(primary, SimTime::from_millis(180))
+        .decay_dram(primary, SimTime::from_millis(260))
+}
+
+fn paged_scrubbing() -> SmbServerConfig {
+    SmbServerConfig {
+        page_elems: 16_384,
+        scrub_interval: SimDuration::from_millis(5),
+        ..Default::default()
+    }
+}
+
+fn run_corrupted() -> TrainingReport {
+    ShmCaffeA::new(corruption_spec(), N_WORKERS, cfg())
+        .with_fault_plan(corruption_plan())
+        .with_server_config(paged_scrubbing())
+        .with_standby(SimDuration::from_millis(10))
+        .run(factory())
+        .expect("CRC grid + standby repair must absorb the corruption")
+}
+
+/// Under seeded wire flips and DRAM decay, every corruption is detected
+/// (none is silent) and every poisoned page is repaired from the standby:
+/// the fleet completes its full budget and converges like a clean run.
+#[test]
+fn shmcaffe_a_detects_and_repairs_seeded_corruption() {
+    let faulted = run_corrupted();
+    let clean = ShmCaffeA::new(corruption_spec(), N_WORKERS, cfg())
+        .with_server_config(paged_scrubbing())
+        .with_standby(SimDuration::from_millis(10))
+        .run(factory())
+        .expect("fault-free run");
+
+    // Nothing dies: corruption is a data-plane fault, not a process fault.
+    assert_eq!(faulted.crashed_workers(), 0);
+    for w in &faulted.workers {
+        assert_eq!(w.iters, MAX_ITERS as u64, "rank {} shortchanged", w.rank);
+    }
+
+    // The faults actually fired and every one was caught end-to-end.
+    assert!(
+        faulted.total_corruptions_detected() >= 1,
+        "the seeded plan must produce detections, got report {faulted:?}"
+    );
+    assert!(
+        faulted.total_corruptions_repaired() >= 1,
+        "a DRAM decay must have been repaired from the standby, got {} detected / {} repaired",
+        faulted.total_corruptions_detected(),
+        faulted.total_corruptions_repaired()
+    );
+    assert_eq!(
+        faulted.total_corruptions_unrepairable(),
+        0,
+        "with a standby mirror no corruption may be unrepairable"
+    );
+    assert_eq!(clean.total_corruptions_detected(), 0, "clean run must see no corruption");
+
+    // Convergence is preserved despite retried transfers and repaired
+    // (possibly snapshot-stale) pages.
+    for (f, c) in faulted.workers.iter().zip(clean.workers.iter()) {
+        let rel = ((f.final_loss - c.final_loss) / c.final_loss).abs();
+        assert!(
+            rel < 0.10,
+            "rank {}: corrupted loss {} vs clean {} ({:.1}% off)",
+            f.rank,
+            f.final_loss,
+            c.final_loss,
+            rel * 100.0
+        );
+    }
+}
+
+/// The corruption chaos run is bit-identical given the seed: detection
+/// counts, repair counts, losses, and wall-clock all replay exactly.
+#[test]
+fn corrupted_runs_are_bit_identical_given_the_seed() {
+    let a = run_corrupted();
+    let b = run_corrupted();
+    assert_eq!(a.wall, b.wall);
+    assert_eq!(a.total_corruptions_detected(), b.total_corruptions_detected());
+    assert_eq!(a.total_corruptions_repaired(), b.total_corruptions_repaired());
+    assert_eq!(a.total_corruptions_unrepairable(), b.total_corruptions_unrepairable());
+    for (x, y) in a.workers.iter().zip(b.workers.iter()) {
+        assert_eq!(x.iters, y.iters);
+        assert_eq!(x.finished_at, y.finished_at);
+        assert_eq!(x.final_loss, y.final_loss);
+        assert_eq!(x.faults, y.faults);
+        assert_eq!(x.retries, y.retries);
+        assert_eq!(x.corruptions_detected, y.corruptions_detected);
+        assert_eq!(x.corruptions_repaired, y.corruptions_repaired);
     }
 }
 

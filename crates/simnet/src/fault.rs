@@ -89,6 +89,22 @@ pub struct MemoryServerCrash {
     pub at: SimTime,
 }
 
+/// A scheduled DRAM decay event: at virtual time `at`, one seeded bit
+/// flips inside the data a memory server on `node` holds — *without* any
+/// error being signalled. The victim (segment, element, bit) is selected
+/// deterministically from the decay's seed by the server that applies it,
+/// so two runs with the same plan corrupt the same bit. The corruption is
+/// silent by construction: only an integrity layer (CRC-guarded pages and
+/// a scrubber, see `shmcaffe-smb`) can detect it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramDecay {
+    /// The memory-server endpoint whose DRAM decays.
+    pub node: NodeId,
+    /// The virtual time at which the bit flips (applied lazily by the
+    /// first server-side scan at or after this instant).
+    pub at: SimTime,
+}
+
 /// A scheduled network partition: the listed node groups lose connectivity
 /// to each other for the duration of the window, while intra-group links
 /// (and links to nodes not listed in any group) stay healthy.
@@ -170,6 +186,19 @@ pub struct FaultPlan {
     /// heal events).
     #[serde(default)]
     pub partitions: Vec<PartitionFault>,
+    /// Probability that a fallible data transfer is corrupted by a wire
+    /// bit flip (one seeded bit of the payload inverted in flight). The
+    /// flip itself is silent at the transport level; detection is up to
+    /// the end-to-end checksum layer.
+    #[serde(default)]
+    pub wire_flip_prob: f64,
+    /// Probability that a fallible write is torn: only a seeded prefix of
+    /// the payload is delivered, and no error is reported to the writer.
+    #[serde(default)]
+    pub torn_write_prob: f64,
+    /// Scheduled silent DRAM decay events on memory-server nodes.
+    #[serde(default)]
+    pub dram_decays: Vec<DramDecay>,
 }
 
 impl FaultPlan {
@@ -184,6 +213,9 @@ impl FaultPlan {
             worker_crashes: Vec::new(),
             memory_server_crashes: Vec::new(),
             partitions: Vec::new(),
+            wire_flip_prob: 0.0,
+            torn_write_prob: 0.0,
+            dram_decays: Vec::new(),
         }
     }
 
@@ -266,6 +298,32 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the wire bit-flip probability of fallible data transfers
+    /// (`0.0..=1.0`).
+    pub fn with_wire_flip_prob(mut self, p: f64) -> Self {
+        self.wire_flip_prob = p;
+        self
+    }
+
+    /// Sets the torn-write probability of fallible writes (`0.0..=1.0`).
+    pub fn with_torn_write_prob(mut self, p: f64) -> Self {
+        self.torn_write_prob = p;
+        self
+    }
+
+    /// Schedules a silent DRAM decay on a memory-server node.
+    pub fn decay_dram(mut self, node: NodeId, at: SimTime) -> Self {
+        self.dram_decays.push(DramDecay { node, at });
+        self
+    }
+
+    /// Whether the plan can corrupt data (as opposed to merely delaying or
+    /// failing transfers). Integrity machinery (checksums, scrubbing) only
+    /// needs to run when this is true.
+    pub fn has_corruption_faults(&self) -> bool {
+        self.wire_flip_prob > 0.0 || self.torn_write_prob > 0.0 || !self.dram_decays.is_empty()
+    }
+
     /// Checks internal consistency (window ordering, probability and
     /// degradation factors in range).
     ///
@@ -275,6 +333,12 @@ impl FaultPlan {
     pub fn validate(&self) -> Result<(), String> {
         if !(0.0..=1.0).contains(&self.op_failure_prob) {
             return Err(format!("op_failure_prob {} out of [0, 1]", self.op_failure_prob));
+        }
+        if !(0.0..=1.0).contains(&self.wire_flip_prob) {
+            return Err(format!("wire_flip_prob {} out of [0, 1]", self.wire_flip_prob));
+        }
+        if !(0.0..=1.0).contains(&self.torn_write_prob) {
+            return Err(format!("torn_write_prob {} out of [0, 1]", self.torn_write_prob));
         }
         for lf in &self.link_faults {
             if lf.from >= lf.until {
@@ -334,12 +398,37 @@ pub struct FaultStats {
     pub memory_server_crash_hits: u64,
     /// Fallible operations severed by an active network partition.
     pub partition_hits: u64,
+    /// Wire bit flips injected into transfer payloads.
+    pub wire_flips: u64,
+    /// Torn writes injected (prefix-only delivery, no error signalled).
+    pub torn_writes: u64,
+    /// DRAM decay events claimed by a server-side scan.
+    pub dram_decays_applied: u64,
 }
 
 struct InjectorInner {
     plan: FaultPlan,
     rng: parking_lot::Mutex<ChaCha8Rng>,
+    /// Dedicated stream for corruption draws: keeping it apart from the
+    /// op-failure stream means enabling corruption faults never shifts the
+    /// timeline of a plan's other seeded faults.
+    corrupt_rng: parking_lot::Mutex<ChaCha8Rng>,
+    /// One claim flag per scheduled DRAM decay, so whichever server-side
+    /// scan observes a due event first applies it exactly once.
+    decays_claimed: parking_lot::Mutex<Vec<bool>>,
     stats: parking_lot::Mutex<FaultStats>,
+}
+
+/// Stream separator between the op-failure RNG and the corruption RNG.
+const CORRUPTION_STREAM_SALT: u64 = 0xC0FF_EE00_DA7A_F11F;
+
+/// SplitMix64: derives the per-event victim seed of a DRAM decay.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Shared handle that answers "is this operation faulted right now?"
@@ -374,10 +463,14 @@ impl FaultInjector {
             panic!("invalid fault plan: {msg}");
         }
         let rng = ChaCha8Rng::seed_from_u64(plan.seed);
+        let corrupt_rng = ChaCha8Rng::seed_from_u64(plan.seed ^ CORRUPTION_STREAM_SALT);
+        let decays_claimed = vec![false; plan.dram_decays.len()];
         FaultInjector {
             inner: Arc::new(InjectorInner {
                 plan,
                 rng: parking_lot::Mutex::new(rng),
+                corrupt_rng: parking_lot::Mutex::new(corrupt_rng),
+                decays_claimed: parking_lot::Mutex::new(decays_claimed),
                 stats: parking_lot::Mutex::new(FaultStats::default()),
             }),
         }
@@ -443,6 +536,69 @@ impl FaultInjector {
             self.inner.stats.lock().injected_op_failures += 1;
         }
         hit
+    }
+
+    /// Draws the wire bit-flip coin for a fallible data transfer of
+    /// `elems` f32 elements. Always consumes exactly three draws from the
+    /// dedicated corruption stream so call sites stay aligned across runs.
+    /// On a hit, returns the payload element and bit (`0..32` of the f32
+    /// bit pattern) to invert.
+    pub fn draw_wire_flip(&self, elems: usize) -> Option<(usize, u32)> {
+        let p = self.inner.plan.wire_flip_prob;
+        let mut rng = self.inner.corrupt_rng.lock();
+        let roll: f64 = rng.gen_range(0.0..1.0);
+        let elem = rng.gen_range(0..elems.max(1) as u64) as usize;
+        let bit: u32 = rng.gen_range(0..32);
+        drop(rng);
+        if roll < p && elems > 0 {
+            self.inner.stats.lock().wire_flips += 1;
+            Some((elem, bit))
+        } else {
+            None
+        }
+    }
+
+    /// Draws the torn-write coin for a fallible write of `elems` f32
+    /// elements. Always consumes exactly two draws from the corruption
+    /// stream. On a hit, returns the delivered prefix length (`0..elems`);
+    /// the tail of the payload never lands and no error is signalled.
+    pub fn draw_torn_write(&self, elems: usize) -> Option<usize> {
+        let p = self.inner.plan.torn_write_prob;
+        let mut rng = self.inner.corrupt_rng.lock();
+        let roll: f64 = rng.gen_range(0.0..1.0);
+        let prefix = rng.gen_range(0..elems.max(1) as u64) as usize;
+        drop(rng);
+        if roll < p && elems > 0 {
+            self.inner.stats.lock().torn_writes += 1;
+            Some(prefix)
+        } else {
+            None
+        }
+    }
+
+    /// Claims every DRAM decay event scheduled on `node` that is due at
+    /// `now` and not yet applied, returning one victim-selection seed per
+    /// event. Each event is handed out exactly once: whichever server-side
+    /// scan (read-path verify or scrubber pass) observes it first applies
+    /// the bit flip. The seeds are pure functions of the plan seed and the
+    /// event index, so claim order does not affect which bit decays.
+    pub fn take_due_decays(&self, node: NodeId, now: SimTime) -> Vec<u64> {
+        let plan = &self.inner.plan;
+        if plan.dram_decays.is_empty() {
+            return Vec::new();
+        }
+        let mut claimed = self.inner.decays_claimed.lock();
+        let mut seeds = Vec::new();
+        for (i, d) in plan.dram_decays.iter().enumerate() {
+            if !claimed[i] && d.node == node && d.at <= now {
+                claimed[i] = true;
+                seeds.push(splitmix64(plan.seed ^ CORRUPTION_STREAM_SALT ^ (i as u64)));
+            }
+        }
+        if !seeds.is_empty() {
+            self.inner.stats.lock().dram_decays_applied += seeds.len() as u64;
+        }
+        seeds
     }
 
     /// The scheduled crash time for a worker rank, if any (earliest wins).
@@ -768,6 +924,122 @@ mod tests {
         assert_eq!(
             inj.partitioned_until(NodeId(0), NodeId(1), SimTime::from_millis(3)),
             Some(Some(SimTime::from_millis(9)))
+        );
+    }
+
+    #[test]
+    fn corruption_plan_builders_and_validation() {
+        let plan = FaultPlan::new(3)
+            .with_wire_flip_prob(0.1)
+            .with_torn_write_prob(0.05)
+            .decay_dram(NodeId(8), SimTime::from_millis(40));
+        assert!(plan.validate().is_ok());
+        assert!(plan.has_corruption_faults());
+        assert!(!FaultPlan::new(3).has_corruption_faults());
+        assert!(FaultPlan::new(3).with_wire_flip_prob(1.5).validate().is_err());
+        assert!(FaultPlan::new(3).with_torn_write_prob(-0.1).validate().is_err());
+    }
+
+    #[test]
+    fn wire_flip_draws_are_seed_deterministic_and_bounded() {
+        let draws = |seed: u64| {
+            let inj = FaultInjector::new(FaultPlan::new(seed).with_wire_flip_prob(0.4));
+            (0..64).map(|_| inj.draw_wire_flip(10)).collect::<Vec<_>>()
+        };
+        let a = draws(11);
+        assert_eq!(a, draws(11));
+        assert_ne!(a, draws(12));
+        let hits: Vec<_> = a.iter().flatten().collect();
+        assert!(!hits.is_empty() && hits.len() < 64);
+        for &&(elem, bit) in &hits {
+            assert!(elem < 10);
+            assert!(bit < 32);
+        }
+        let inj = FaultInjector::new(FaultPlan::new(11).with_wire_flip_prob(0.4));
+        for _ in 0..64 {
+            inj.draw_wire_flip(10);
+        }
+        assert_eq!(inj.stats().wire_flips, hits.len() as u64);
+    }
+
+    #[test]
+    fn corruption_stream_is_independent_of_op_failure_stream() {
+        // Interleaving op-failure draws must not shift the corruption
+        // stream (and vice versa): enabling integrity faults on an
+        // existing plan leaves its other seeded faults bit-identical.
+        let plan = FaultPlan::new(21).with_op_failure_prob(0.3).with_wire_flip_prob(0.3);
+        let pure = {
+            let inj = FaultInjector::new(plan.clone());
+            (0..32).map(|_| inj.draw_wire_flip(8)).collect::<Vec<_>>()
+        };
+        let interleaved = {
+            let inj = FaultInjector::new(plan.clone());
+            (0..32)
+                .map(|_| {
+                    inj.draw_op_failure();
+                    inj.draw_wire_flip(8)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(pure, interleaved);
+        let ops_pure = {
+            let inj = FaultInjector::new(plan.clone());
+            (0..32).map(|_| inj.draw_op_failure()).collect::<Vec<_>>()
+        };
+        let ops_interleaved = {
+            let inj = FaultInjector::new(plan);
+            (0..32)
+                .map(|_| {
+                    inj.draw_wire_flip(8);
+                    inj.draw_torn_write(8);
+                    inj.draw_op_failure()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(ops_pure, ops_interleaved);
+    }
+
+    #[test]
+    fn torn_write_prefix_is_strictly_shorter_than_the_payload() {
+        let inj = FaultInjector::new(FaultPlan::new(5).with_torn_write_prob(1.0));
+        for _ in 0..64 {
+            let p = inj.draw_torn_write(6).expect("probability 1 always tears");
+            assert!(p < 6);
+        }
+        assert_eq!(inj.stats().torn_writes, 64);
+        let never = FaultInjector::new(FaultPlan::new(5));
+        assert!((0..32).all(|_| never.draw_torn_write(6).is_none()));
+    }
+
+    #[test]
+    fn dram_decays_are_claimed_exactly_once_per_event() {
+        let inj = FaultInjector::new(
+            FaultPlan::new(17)
+                .decay_dram(NodeId(8), SimTime::from_millis(10))
+                .decay_dram(NodeId(8), SimTime::from_millis(30))
+                .decay_dram(NodeId(9), SimTime::from_millis(10)),
+        );
+        assert!(inj.take_due_decays(NodeId(8), SimTime::from_millis(5)).is_empty());
+        let first = inj.take_due_decays(NodeId(8), SimTime::from_millis(10));
+        assert_eq!(first.len(), 1);
+        // Already claimed: a second scan at the same instant gets nothing.
+        assert!(inj.take_due_decays(NodeId(8), SimTime::from_millis(10)).is_empty());
+        let second = inj.take_due_decays(NodeId(8), SimTime::from_millis(35));
+        assert_eq!(second.len(), 1);
+        assert_ne!(first[0], second[0], "per-event victim seeds differ");
+        assert_eq!(inj.take_due_decays(NodeId(9), SimTime::from_millis(10)).len(), 1);
+        assert_eq!(inj.stats().dram_decays_applied, 3);
+        // Determinism: a fresh injector over the same plan yields the same
+        // victim seeds.
+        let again = FaultInjector::new(
+            FaultPlan::new(17)
+                .decay_dram(NodeId(8), SimTime::from_millis(10))
+                .decay_dram(NodeId(8), SimTime::from_millis(30))
+                .decay_dram(NodeId(9), SimTime::from_millis(10)),
+        );
+        assert_eq!(
+            again.take_due_decays(NodeId(8), SimTime::from_millis(40)),
+            vec![first[0], second[0]]
         );
     }
 

@@ -27,6 +27,15 @@ pub struct ClientFaultStats {
     /// Mutations rejected with [`SmbError::FencedEpoch`] before this
     /// client refreshed its carried epoch.
     pub fenced: u64,
+    /// Corruption events detected end-to-end by this client's retrying
+    /// operations: poisoned pages ([`SmbError::Corrupted`]) plus wire
+    /// checksum mismatches ([`SmbError::CorruptedWire`]).
+    pub corruptions_detected: u64,
+    /// Poisoned pages this client repaired from the pair's other member.
+    pub corruptions_repaired: u64,
+    /// Detected corruptions with no clean copy left to repair from
+    /// (surfaced as [`SmbError::Unrepairable`]).
+    pub corruptions_unrepairable: u64,
 }
 
 /// An allocated SMB buffer: the SHM key plus the access key (rkey) returned
@@ -332,6 +341,7 @@ impl SmbClient {
         let server = self.active(ctx);
         let cfg = server.config();
         let (mr, wire_bytes) = server.segment(buf.key)?;
+        server.verify_region(ctx, buf.key, 0, out.len())?;
         let wire = (wire_bytes as f64 * (1.0 + cfg.protocol_overhead)) as u64;
         // Functional copy, zero-time (the wire time is charged below along
         // the full path: server DRAM bus -> server HCA -> client HCA).
@@ -367,10 +377,14 @@ impl SmbClient {
         self.admit_plain(ctx, buf.key)?;
         let cfg = server.config();
         let (mr, wire_bytes) = server.segment(buf.key)?;
+        // Verify-before-mutate: a poisoned page must be repaired (the only
+        // CRC-clearing path) before new data may land over it.
+        server.verify_region(ctx, buf.key, 0, data.len())?;
         let wire = (wire_bytes as f64 * (1.0 + cfg.protocol_overhead)) as u64;
         tag_access!(Write, "smb::client::write", {
             server.rdma().write_wire(ctx, self.local, &mr, 0, data, 0)
         })?;
+        server.note_write(ctx, buf.key, 0, data);
         let fabric = server.rdma().fabric();
         shmcaffe_simnet::resource::transfer_path_stream(
             ctx,
@@ -398,6 +412,7 @@ impl SmbClient {
     ) -> Result<(), SmbError> {
         let server = self.active(ctx);
         let (mr, _) = server.segment(buf.key)?;
+        server.verify_region(ctx, buf.key, offset, out.len())?;
         // Progress counters are monotone and stale-tolerant: atomic.
         tag_access!(AtomicRead, "smb::client::read_range", {
             server.rdma().read(ctx, self.local, &mr, offset, out)
@@ -420,9 +435,11 @@ impl SmbClient {
     ) -> Result<(), SmbError> {
         let server = self.active(ctx);
         let (mr, _) = server.segment(buf.key)?;
+        server.verify_region(ctx, buf.key, offset, data.len())?;
         tag_access!(AtomicWrite, "smb::client::write_range", {
             server.rdma().write(ctx, self.local, &mr, offset, data)
         })?;
+        server.note_write(ctx, buf.key, offset, data);
         Ok(())
     }
 
@@ -503,6 +520,56 @@ impl SmbClient {
         cap.map_or(nominal, |bw| nominal.min(bw))
     }
 
+    /// Applies any seeded wire bit-flip to an inbound (read) payload and
+    /// verifies it end-to-end against the pre-flight checksum — the
+    /// software stand-in for InfiniBand's hardware ICRC on the fallible
+    /// transfer paths. On mismatch the buffer's contents are garbage and
+    /// the caller must discard them (its retry loop re-reads).
+    fn verify_inbound(
+        &self,
+        server: &SmbServer,
+        key: ShmKey,
+        out: &mut [f32],
+    ) -> Result<(), SmbError> {
+        let Some(inj) = server.rdma().fabric().fault_injector() else { return Ok(()) };
+        if !inj.plan().has_corruption_faults() {
+            return Ok(());
+        }
+        let Some((elem, bit)) = inj.draw_wire_flip(out.len()) else { return Ok(()) };
+        let sent = crate::crc::crc32c_f32(out);
+        out[elem] = f32::from_bits(out[elem].to_bits() ^ (1 << bit));
+        if crate::crc::crc32c_f32(out) != sent {
+            return Err(SmbError::CorruptedWire { key, node: server.node() });
+        }
+        Ok(())
+    }
+
+    /// Draws seeded wire corruption for an outbound (write) payload:
+    /// `Err(CorruptedWire)` when a bit-flip hits — CRC32C detects every
+    /// single-bit error, so the server's wire checksum rejects the whole
+    /// payload and nothing lands — or `Ok(prefix)` with the number of
+    /// elements actually delivered: `data.len()` when intact, fewer for a
+    /// torn write (the transport acknowledges but only a prefix reached
+    /// server DRAM — *silent* until a later verification catches the
+    /// recorded-intent/actual mismatch).
+    fn outbound_delivery(
+        &self,
+        server: &SmbServer,
+        key: ShmKey,
+        data: &[f32],
+    ) -> Result<usize, SmbError> {
+        let Some(inj) = server.rdma().fabric().fault_injector() else { return Ok(data.len()) };
+        if !inj.plan().has_corruption_faults() {
+            return Ok(data.len());
+        }
+        let flip = inj.draw_wire_flip(data.len());
+        let torn = inj.draw_torn_write(data.len());
+        if flip.is_some() {
+            return Err(SmbError::CorruptedWire { key, node: server.node() });
+        }
+        Ok(torn.unwrap_or(data.len()))
+    }
+
     /// Runs `op` under `policy`: transient failures are retried after a
     /// jittered exponential backoff (virtual-time sleep), re-arming the
     /// queue pair to the server before each retry. When an attempt
@@ -534,8 +601,42 @@ impl SmbClient {
                     return Ok(v);
                 }
                 Err(e) if e.is_transient() => {
-                    self.stats.lock().faults += 1;
-                    if let Route::Replicated(pair) = &self.route {
+                    let corrupt_page = match &e {
+                        SmbError::Corrupted { key: ck, node, page } => Some((*ck, *node, *page)),
+                        _ => None,
+                    };
+                    {
+                        let mut stats = self.stats.lock();
+                        stats.faults += 1;
+                        if e.is_corruption() {
+                            stats.corruptions_detected += 1;
+                        }
+                    }
+                    if let Some((ck, node, page)) = corrupt_page {
+                        match &self.route {
+                            Route::Single(_) => {
+                                // No replica to repair from: the poisoned
+                                // page is permanently lost. Retrying would
+                                // hit the same poison forever.
+                                self.stats.lock().corruptions_unrepairable += 1;
+                                return Err(SmbError::Unrepairable { key: ck, node, page });
+                            }
+                            Route::Replicated(pair) => match pair.repair_page(ctx, ck, page) {
+                                Ok(()) => {
+                                    self.stats.lock().corruptions_repaired += 1;
+                                }
+                                Err(re) if re.is_transient() => {
+                                    // A wire fault interrupted the repair;
+                                    // the next attempt re-detects the
+                                    // poison and retries the repair.
+                                }
+                                Err(re) => {
+                                    self.stats.lock().corruptions_unrepairable += 1;
+                                    return Err(re);
+                                }
+                            },
+                        }
+                    } else if let Route::Replicated(pair) = &self.route {
                         // Fail over on: the primary's crash; a fencing
                         // rejection (a newer epoch is active — refresh and
                         // follow it); or a partition whose isolated primary
@@ -589,6 +690,7 @@ impl SmbClient {
             .map_err(|fault| self.unavailable(&server, buf.key, fault))?;
         let cfg = server.config();
         let (mr, wire_bytes) = server.segment(buf.key)?;
+        server.verify_region(ctx, buf.key, 0, out.len())?;
         let wire = (wire_bytes as f64 * (1.0 + cfg.protocol_overhead)) as u64;
         tag_access!(AtomicRead, "smb::client::read_retrying", {
             server.rdma().read_wire(ctx, self.local, &mr, 0, out, 0)
@@ -599,7 +701,7 @@ impl SmbClient {
             wire,
             Some(self.effective_stream_bps(&server, cap)),
         );
-        Ok(())
+        self.verify_inbound(&server, buf.key, out)
     }
 
     /// One fallible write attempt (client→server direction).
@@ -617,10 +719,35 @@ impl SmbClient {
         self.admit_attempt(ctx, buf.key)?;
         let cfg = server.config();
         let (mr, wire_bytes) = server.segment(buf.key)?;
+        server.verify_region(ctx, buf.key, 0, data.len())?;
         let wire = (wire_bytes as f64 * (1.0 + cfg.protocol_overhead)) as u64;
-        tag_access!(Write, "smb::client::write_retrying", {
-            server.rdma().write_wire(ctx, self.local, &mr, 0, data, 0)
-        })?;
+        let delivered = match self.outbound_delivery(&server, buf.key, data) {
+            Ok(n) => n,
+            Err(e) => {
+                // The flipped payload crossed the wire before the server's
+                // checksum rejected it: full wire time burns, nothing lands.
+                shmcaffe_simnet::resource::transfer_path_stream(
+                    ctx,
+                    &[
+                        fabric.hca_tx(self.local),
+                        fabric.hca_rx(server.node()),
+                        server.memory_resource(),
+                    ],
+                    wire,
+                    Some(self.effective_stream_bps(&server, cap)),
+                );
+                return Err(e);
+            }
+        };
+        if delivered > 0 {
+            tag_access!(Write, "smb::client::write_retrying", {
+                server.rdma().write_wire(ctx, self.local, &mr, 0, &data[..delivered], 0)
+            })?;
+        }
+        // Record the *intended* contents: a torn delivery leaves the page
+        // CRCs disagreeing with the actual bytes, so a later verification
+        // (read, scrub) detects the silent loss.
+        server.note_write(ctx, buf.key, 0, data);
         shmcaffe_simnet::resource::transfer_path_stream(
             ctx,
             &[fabric.hca_tx(self.local), fabric.hca_rx(server.node()), server.memory_resource()],
@@ -735,6 +862,7 @@ impl SmbClient {
             .map_err(|fault| self.unavailable(&server, buf.key, fault))?;
         let cfg = server.config();
         let (mr, wire_bytes) = server.segment(buf.key)?;
+        server.verify_region(ctx, buf.key, offset, out.len())?;
         let wire = Self::range_wire(buf, cfg.protocol_overhead, wire_bytes, out.len());
         // Stale-tolerant by SEASGD design (same contract as the full read):
         // atomic, so it coexists with concurrent accumulate RMWs on other
@@ -748,7 +876,7 @@ impl SmbClient {
             wire,
             Some(self.effective_stream_bps(&server, cap)),
         );
-        Ok(())
+        self.verify_inbound(&server, buf.key, out)
     }
 
     /// One fallible sub-range write attempt (client→server direction).
@@ -767,10 +895,30 @@ impl SmbClient {
         self.admit_attempt(ctx, buf.key)?;
         let cfg = server.config();
         let (mr, wire_bytes) = server.segment(buf.key)?;
+        server.verify_region(ctx, buf.key, offset, data.len())?;
         let wire = Self::range_wire(buf, cfg.protocol_overhead, wire_bytes, data.len());
-        tag_access!(Write, "smb::client::write_range_retrying", {
-            server.rdma().write_wire(ctx, self.local, &mr, offset, data, 0)
-        })?;
+        let delivered = match self.outbound_delivery(&server, buf.key, data) {
+            Ok(n) => n,
+            Err(e) => {
+                shmcaffe_simnet::resource::transfer_path_stream(
+                    ctx,
+                    &[
+                        fabric.hca_tx(self.local),
+                        fabric.hca_rx(server.node()),
+                        server.memory_resource(),
+                    ],
+                    wire,
+                    Some(self.effective_stream_bps(&server, cap)),
+                );
+                return Err(e);
+            }
+        };
+        if delivered > 0 {
+            tag_access!(Write, "smb::client::write_range_retrying", {
+                server.rdma().write_wire(ctx, self.local, &mr, offset, &data[..delivered], 0)
+            })?;
+        }
+        server.note_write(ctx, buf.key, offset, data);
         shmcaffe_simnet::resource::transfer_path_stream(
             ctx,
             &[fabric.hca_tx(self.local), fabric.hca_rx(server.node()), server.memory_resource()],
@@ -900,10 +1048,30 @@ impl SmbClient {
             self.admit_attempt(ctx, buf.key)?;
             let cfg = server.config();
             let (mr, wire_bytes) = server.segment(buf.key)?;
+            server.verify_region(ctx, buf.key, 0, data.len())?;
             let wire = (wire_bytes as f64 * (1.0 + cfg.protocol_overhead)) as u64;
-            tag_access!(AtomicWrite, "smb::client::checkpoint_write", {
-                server.rdma().write_wire(ctx, self.local, &mr, 0, data, 0)
-            })?;
+            let delivered = match self.outbound_delivery(&server, buf.key, data) {
+                Ok(n) => n,
+                Err(e) => {
+                    shmcaffe_simnet::resource::transfer_path_stream(
+                        ctx,
+                        &[
+                            fabric.hca_tx(self.local),
+                            fabric.hca_rx(server.node()),
+                            server.memory_resource(),
+                        ],
+                        wire,
+                        Some(self.effective_stream_bps(&server, cap)),
+                    );
+                    return Err(e);
+                }
+            };
+            if delivered > 0 {
+                tag_access!(AtomicWrite, "smb::client::checkpoint_write", {
+                    server.rdma().write_wire(ctx, self.local, &mr, 0, &data[..delivered], 0)
+                })?;
+            }
+            server.note_write(ctx, buf.key, 0, data);
             shmcaffe_simnet::resource::transfer_path_stream(
                 ctx,
                 &[
@@ -949,6 +1117,7 @@ impl SmbClient {
                 .map_err(|fault| self.unavailable(&server, buf.key, fault))?;
             let cfg = server.config();
             let (mr, wire_bytes) = server.segment(buf.key)?;
+            server.verify_region(ctx, buf.key, 0, out.len())?;
             let wire = (wire_bytes as f64 * (1.0 + cfg.protocol_overhead)) as u64;
             tag_access!(AtomicRead, "smb::client::checkpoint_read", {
                 server.rdma().read_wire(ctx, self.local, &mr, 0, out, 0)
@@ -963,7 +1132,7 @@ impl SmbClient {
                 wire,
                 Some(self.effective_stream_bps(&server, cap)),
             );
-            Ok(())
+            self.verify_inbound(&server, buf.key, out)
         })
     }
 }

@@ -88,6 +88,38 @@ pub enum SmbError {
         /// The epoch actually active on the pair.
         active: u64,
     },
+    /// A CRC-guarded page failed verification: the server poisoned the
+    /// page instead of serving its bytes. Transient — a replicated
+    /// deployment repairs the page from the standby's copy and retries.
+    Corrupted {
+        /// The segment holding the bad page.
+        key: ShmKey,
+        /// The server node whose copy failed the check.
+        node: NodeId,
+        /// Index of the failing page in the segment's page grid.
+        page: usize,
+    },
+    /// The end-to-end wire checksum over a transfer's payload did not
+    /// match: the payload was damaged in flight. Nothing landed (writes
+    /// are rejected server-side; reads discard the buffer), so a plain
+    /// retry re-sends over the wire.
+    CorruptedWire {
+        /// The segment being transferred.
+        key: ShmKey,
+        /// The server node at the far end of the transfer.
+        node: NodeId,
+    },
+    /// A poisoned page could not be repaired: the standby's copy is also
+    /// bad, or the deployment has no standby at all. Permanent — the data
+    /// is gone and no retry can bring it back.
+    Unrepairable {
+        /// The segment holding the lost page.
+        key: ShmKey,
+        /// The server node whose page is lost.
+        node: NodeId,
+        /// Index of the lost page in the segment's page grid.
+        page: usize,
+    },
     /// An underlying RDMA failure outside any retry context.
     Rdma(RdmaError),
 }
@@ -123,6 +155,15 @@ impl fmt::Display for SmbError {
                     "write to {key} at {node} fenced: carried epoch {carried}, active {active}"
                 )
             }
+            SmbError::Corrupted { key, node, page } => {
+                write!(f, "page {page} of {key} on {node} failed CRC verification (poisoned)")
+            }
+            SmbError::CorruptedWire { key, node } => {
+                write!(f, "wire checksum mismatch transferring {key} to/from {node}")
+            }
+            SmbError::Unrepairable { key, node, page } => {
+                write!(f, "page {page} of {key} on {node} is unrepairable: no clean replica")
+            }
             SmbError::Rdma(e) => write!(f, "rdma error: {e}"),
         }
     }
@@ -151,7 +192,9 @@ impl SmbError {
         match self {
             SmbError::Timeout { .. }
             | SmbError::Unavailable { .. }
-            | SmbError::FencedEpoch { .. } => true,
+            | SmbError::FencedEpoch { .. }
+            | SmbError::Corrupted { .. }
+            | SmbError::CorruptedWire { .. } => true,
             SmbError::Rdma(e) => matches!(
                 e,
                 RdmaError::QpFault { .. }
@@ -186,6 +229,19 @@ impl SmbError {
     /// mutation can be retried.
     pub fn is_fenced(&self) -> bool {
         matches!(self, SmbError::FencedEpoch { .. })
+    }
+
+    /// Whether this error reports detected data corruption — a poisoned
+    /// page, a wire checksum mismatch, or an unrepairable page. The
+    /// SEASGD lane reader uses this to degrade (treat the tile as stale)
+    /// rather than mix damaged bytes into a delta.
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            SmbError::Corrupted { .. }
+                | SmbError::CorruptedWire { .. }
+                | SmbError::Unrepairable { .. }
+        )
     }
 
     /// Whether the underlying transport cause is a seeded network
@@ -278,5 +334,24 @@ mod tests {
         .is_transient());
         assert!(!SmbError::NoMemoryServer.is_transient());
         assert!(!SmbError::UnknownKey { key: ShmKey(1), node: NodeId(0) }.is_transient());
+    }
+
+    #[test]
+    fn corruption_classification() {
+        let poisoned = SmbError::Corrupted { key: ShmKey(1), node: NodeId(4), page: 3 };
+        assert!(poisoned.is_corruption());
+        assert!(poisoned.is_transient(), "poisoned pages retry through repair");
+        assert!(poisoned.to_string().contains("page 3"));
+
+        let wire = SmbError::CorruptedWire { key: ShmKey(1), node: NodeId(4) };
+        assert!(wire.is_corruption());
+        assert!(wire.is_transient(), "wire damage retries with a fresh transfer");
+
+        let lost = SmbError::Unrepairable { key: ShmKey(1), node: NodeId(4), page: 3 };
+        assert!(lost.is_corruption());
+        assert!(!lost.is_transient(), "unrepairable pages are permanent");
+        assert!(lost.to_string().contains("unrepairable"));
+
+        assert!(!SmbError::NoMemoryServer.is_corruption());
     }
 }

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod client;
+pub mod crc;
 mod error;
 pub mod progress;
 mod replica;

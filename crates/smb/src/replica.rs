@@ -94,6 +94,15 @@ struct PairInner {
     /// Segments the demoted primary resynced from the new primary's
     /// journal during partition-heal reconciliation.
     reconcile_resynced: AtomicU64,
+    /// Poisoned pages repaired from the other member's replicated copy.
+    repairs: AtomicU64,
+    /// The repair fence: re-check that the target page is *still* poisoned
+    /// after the repair transfer, before landing the replica's (possibly
+    /// stale) bytes. On only for the schedule-checker mutation harness to
+    /// turn off (`set_repair_fence`) — disabling it makes repair able to
+    /// stomp a concurrent client write, which `Simulation::explore` then
+    /// catches (see `tests/schedcheck.rs`).
+    repair_fence: AtomicBool,
     /// Clock stamp taken by the promotion winner right after it acquired
     /// the fence (bumped the epoch): the fence-acquire→first-fenced-write
     /// happens-before edge, joined by every client epoch refresh.
@@ -158,6 +167,8 @@ impl SmbPair {
                 fenced_rejections: AtomicU64::new(0),
                 reconcile_discarded: AtomicU64::new(0),
                 reconcile_resynced: AtomicU64::new(0),
+                repairs: AtomicU64::new(0),
+                repair_fence: AtomicBool::new(true),
                 #[cfg(feature = "race-detect")]
                 fence_stamp: Mutex::new(None),
                 #[cfg(feature = "race-detect")]
@@ -406,6 +417,14 @@ impl SmbPair {
             if primary.stream_open(ctx, meta.key) {
                 continue;
             }
+            // Never launder corruption onto the standby: the pass verifies
+            // each segment before shipping it (the replicator doubles as a
+            // scrubber — failing pages get poisoned here). A dirty segment
+            // is skipped entirely; `replicated_versions` stays stale, so
+            // the pass after its repair re-ships the clean contents.
+            if !primary.segment_clean(ctx, meta.key) {
+                continue;
+            }
             let behind =
                 self.inner.replicated_versions.lock().get(&meta.key) != Some(&meta.version);
             let is_new = standby.segment(meta.key).is_err();
@@ -420,6 +439,9 @@ impl SmbPair {
             };
             let data = rdma.with_region(&primary_mr, |buf| buf.to_vec())?;
             rdma.with_region(&standby_mr, |buf| buf.copy_from_slice(&data))?;
+            // The copy is verified-clean, so it also heals whatever the
+            // standby's own grid held before (a fresh full-segment repair).
+            standby.refresh_segment_crcs(meta.key);
             ctx.footprint(
                 standby_mr.rkey.0,
                 0,
@@ -637,6 +659,7 @@ impl SmbPair {
             };
             let data = rdma.with_region(&src_mr, |buf| buf.to_vec())?;
             rdma.with_region(&dst_mr, |buf| buf.copy_from_slice(&data))?;
+            demoted.refresh_segment_crcs(meta.key);
             // Deliberately not race-recorded: the demoted primary is fenced
             // out of client service, so by construction nothing races with
             // the resync write (clients route to the promoted standby, and
@@ -773,6 +796,99 @@ impl SmbPair {
         len: usize,
     ) -> Result<u64, SmbError> {
         self.active_server(ctx).accumulate_range(ctx, src, dst, offset, len)
+    }
+
+    /// Repairs one poisoned page of the currently active member by
+    /// re-fetching the other member's replicated copy of it.
+    ///
+    /// The protocol, in order:
+    ///
+    /// 1. wait out any in-flight replication pass, then join the
+    ///    replicator's last stamp — every standby byte the passes wrote
+    ///    happens-before the source read below;
+    /// 2. skip out if the page is no longer poisoned (another client
+    ///    already repaired it — repair must only ever touch poisoned
+    ///    pages);
+    /// 3. read and *verify* the source copy: a page that is bad on both
+    ///    members, or a key the other member never mirrored, is
+    ///    [`SmbError::Unrepairable`];
+    /// 4. charge the reverse wire path (source DRAM bus → source HCA →
+    ///    destination HCA → destination DRAM bus) proportionally to the
+    ///    page's share of the segment, gated on the fabric's fault plan;
+    /// 5. **repair fence**: the transfer yielded, so re-check that the
+    ///    page is *still* poisoned — a concurrent repair may have already
+    ///    landed and a client write may have overwritten the page since;
+    ///    landing the stale replica bytes over that write would be a
+    ///    silent lost update (the mutation harness in
+    ///    `tests/schedcheck.rs` proves the explorer catches exactly this
+    ///    when the fence is disabled);
+    /// 6. land the page as an `AtomicRmw` and clear its poison. No
+    ///    version bump: repair restores bytes the standby already holds,
+    ///    it does not create new data to re-replicate.
+    ///
+    /// # Errors
+    ///
+    /// [`SmbError::Unrepairable`] when no clean source copy exists
+    /// (permanent); transient transport errors when the reverse path is
+    /// faulted mid-repair — the caller's retry loop re-detects the
+    /// poison and re-attempts.
+    pub fn repair_page(&self, ctx: &SimContext, key: ShmKey, page: usize) -> Result<(), SmbError> {
+        let (dst, src) = if self.promoted() {
+            (&self.inner.standby, &self.inner.primary)
+        } else {
+            (&self.inner.primary, &self.inner.standby)
+        };
+        self.fence_footprint(ctx, shmcaffe_simnet::FootprintKind::AtomicRead);
+        while self.inner.in_pass.load(Ordering::Acquire) {
+            ctx.sleep(SimDuration::from_micros(50));
+        }
+        #[cfg(feature = "race-detect")]
+        if let Some(stamp) = self.inner.repl_stamp.lock().as_ref() {
+            ctx.vc_join(stamp);
+        }
+        if !dst.page_poisoned(ctx, key, page) {
+            return Ok(());
+        }
+        let data = match src.read_page_checked(ctx, key, page) {
+            Ok(data) => data,
+            Err(_) => return Err(SmbError::Unrepairable { key, node: dst.node(), page }),
+        };
+        let fabric = dst.rdma().fabric();
+        self.gate_from(ctx, fabric, src.node(), dst.node())?;
+        let (dst_mr, wire_bytes) = dst.segment(key)?;
+        let cfg = dst.config();
+        let share = data.len() as f64 / dst_mr.len.max(1) as f64;
+        let wire = (wire_bytes as f64 * (1.0 + cfg.protocol_overhead) * share).ceil() as u64;
+        shmcaffe_simnet::resource::transfer_path_stream(
+            ctx,
+            &[
+                src.memory_resource(),
+                fabric.hca_tx(src.node()),
+                fabric.hca_rx(dst.node()),
+                dst.memory_resource(),
+            ],
+            wire,
+            Some(cfg.stream_bps),
+        );
+        if self.inner.repair_fence.load(Ordering::Acquire) && !dst.page_poisoned(ctx, key, page) {
+            return Ok(());
+        }
+        dst.install_page(ctx, key, page, &data)?;
+        self.inner.repairs.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Poisoned pages repaired from the other member's copy so far.
+    pub fn repairs_completed(&self) -> u64 {
+        self.inner.repairs.load(Ordering::Relaxed)
+    }
+
+    /// Mutation-harness knob (see `tests/schedcheck.rs`): disables the
+    /// still-poisoned re-check after the repair transfer, re-introducing
+    /// the lost-update window the fence exists to close. Never call this
+    /// outside a model-checker run.
+    pub fn set_repair_fence(&self, enabled: bool) {
+        self.inner.repair_fence.store(enabled, Ordering::Release);
     }
 
     /// Client-side failover: promotes the standby (first caller) and moves

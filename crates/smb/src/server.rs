@@ -1,7 +1,8 @@
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use shmcaffe_rdma::{MemoryRegion, RdmaFabric};
@@ -10,6 +11,7 @@ use shmcaffe_simnet::resource::{BandwidthResource, LinkModel};
 use shmcaffe_simnet::topology::NodeId;
 use shmcaffe_simnet::{SimContext, SimDuration, SimTime};
 
+use crate::crc::crc32c_f32;
 use crate::SmbError;
 
 /// The shared-memory generation key the master broadcasts (paper Fig. 2).
@@ -67,6 +69,22 @@ pub struct SmbServerConfig {
     /// comfortably exceed the replication interval or a healthy pair
     /// would fence its own primary.
     pub authority_timeout: SimDuration,
+    /// Page size of the CRC-guarded integrity grid, in f32 elements. `0`
+    /// disables integrity tracking entirely (the default): segments carry
+    /// no per-page checksums and reads are served unverified, matching the
+    /// paper's deployment where InfiniBand's hardware ICRC is trusted
+    /// end-to-end. When enabled, every segment is divided into fixed pages
+    /// of this many elements (last page possibly short); each mutation
+    /// refreshes the checksums of the pages it touches, and every read is
+    /// verified before its bytes are served.
+    pub page_elems: usize,
+    /// Virtual-time cadence of the background scrubber
+    /// ([`SmbServer::run_scrubber`]): one full walk of every segment's
+    /// page grid per interval, poisoning pages whose contents no longer
+    /// match their recorded CRC (silent DRAM decay). `SimDuration::ZERO`
+    /// (the default) disables the scrubber; corruption is then only found
+    /// lazily, when a read or mutation verifies the page.
+    pub scrub_interval: SimDuration,
 }
 
 impl Default for SmbServerConfig {
@@ -79,8 +97,17 @@ impl Default for SmbServerConfig {
             lease_timeout: SimDuration::from_millis(500),
             tombstone_horizon: SimDuration::from_secs(10),
             authority_timeout: SimDuration::from_millis(500),
+            page_elems: 0,
+            scrub_interval: SimDuration::ZERO,
         }
     }
+}
+
+/// Start offset and length (both in elements) of page `page` in a segment
+/// of `elems` elements under page size `pe`. The last page may be short.
+fn page_span(pe: usize, elems: usize, page: usize) -> (usize, usize) {
+    let start = page * pe;
+    (start, pe.min(elems - start))
 }
 
 /// Memory-bus passes per byte of a server-side accumulate: read ΔW, read
@@ -105,6 +132,17 @@ struct Segment {
     wire_bytes: u64,
     name: String,
     version: u64,
+    /// CRC32C per fixed-size page (empty when the integrity grid is off).
+    /// Records the *intended* contents: writers refresh it from the data
+    /// they meant to land, so a torn wire delivery leaves a recorded CRC
+    /// that the actual bytes can no longer match.
+    page_crcs: Vec<u32>,
+    /// Pages that failed verification. A poisoned page is refused to every
+    /// read and mutation until a repair
+    /// ([`crate::SmbPair::repair_page`]) re-installs clean bytes — repair
+    /// is the *only* way poison clears, so undetected damage can never be
+    /// laundered back into a valid checksum by a later partial write.
+    poisoned: BTreeSet<usize>,
     /// Creator's vector-clock stamp, joined into every allocator — the
     /// creation→allocation happens-before edge (the SHM-key handshake of
     /// paper Fig. 2 is a control-plane round trip).
@@ -160,6 +198,12 @@ struct ServerInner {
     /// no worker ever produced. Counted (not boolean) because several
     /// workers may stream into the same global segment concurrently.
     streams: Mutex<BTreeMap<ShmKey, u64>>,
+    /// Pages poisoned so far: every verification failure observed by a
+    /// read, a mutation's pre-check or a scrub pass, counted once per
+    /// newly poisoned page.
+    corruptions_detected: AtomicU64,
+    /// Shutdown flag for the background scrubber.
+    scrub_stop: AtomicBool,
 }
 
 /// The SMB server: a segment table over the memory server's RAM plus the
@@ -232,6 +276,8 @@ impl SmbServer {
                 leases: Mutex::new(BTreeMap::new()),
                 evicted: Mutex::new(BTreeMap::new()),
                 streams: Mutex::new(BTreeMap::new()),
+                corruptions_detected: AtomicU64::new(0),
+                scrub_stop: AtomicBool::new(false),
             }),
         })
     }
@@ -324,6 +370,8 @@ impl SmbServer {
                 wire_bytes: wire_bytes.unwrap_or((elems * 4) as u64),
                 name: name.to_string(),
                 version: 0,
+                page_crcs: self.initial_page_crcs(elems),
+                poisoned: BTreeSet::new(),
                 #[cfg(feature = "race-detect")]
                 created: stamp.clone(),
             },
@@ -521,6 +569,11 @@ impl SmbServer {
         if src_mr.len != dst_mr.len {
             return Err(SmbError::LengthMismatch { src: src_mr.len, dst: dst_mr.len, key: dst });
         }
+        // Never fold corrupt operands: both sides verify before the engine
+        // touches them, so a poisoned ΔW or W_g page aborts the accumulate
+        // instead of spreading damage into the average.
+        self.verify_region(ctx, src, 0, src_mr.len)?;
+        self.verify_region(ctx, dst, 0, dst_mr.len)?;
         // The engine serialises accumulates on the DRAM bus, so they are
         // atomic read-modify-writes with respect to each other; concurrent
         // plain writes to the destination still race.
@@ -560,6 +613,7 @@ impl SmbServer {
         self.inner.rdma.with_two_regions(&src_mr, &dst_mr, |s, d| {
             shmcaffe_tensor::ops::axpy(1.0, s, d);
         })?;
+        self.refresh_page_range(dst, 0, dst_mr.len);
         let version = self.bump_version(ctx, dst);
         Ok(version)
     }
@@ -596,6 +650,9 @@ impl SmbServer {
                 got: offset + len,
             });
         }
+        // Verify only the pages this chunk touches (see `accumulate`).
+        self.verify_region(ctx, src, offset, len)?;
+        self.verify_region(ctx, dst, offset, len)?;
         // Same atomicity model as the full accumulate, but the access
         // footprint is the exact sub-range: disjoint chunks from different
         // workers do not conflict, overlapping ones serialise as RMWs.
@@ -630,6 +687,7 @@ impl SmbServer {
         self.inner.rdma.with_two_regions(&src_mr, &dst_mr, |s, d| {
             shmcaffe_tensor::ops::axpy(1.0, &s[offset..offset + len], &mut d[offset..offset + len]);
         })?;
+        self.refresh_page_range(dst, offset, len);
         let version = self.bump_version(ctx, dst);
         Ok(version)
     }
@@ -753,6 +811,12 @@ impl SmbServer {
                     h.write_u64(u64::from(v.to_bits()));
                 }
             }
+            for crc in &seg.page_crcs {
+                h.write_u64(u64::from(*crc) ^ 0xcc32);
+            }
+            for page in &seg.poisoned {
+                h.write_u64(*page as u64 ^ 0x9015);
+            }
         }
         for (key, lease) in self.inner.leases.lock().iter() {
             h.write_u64(key.0 ^ 0x1eaa);
@@ -767,6 +831,484 @@ impl SmbServer {
             h.write_u64(*count);
         }
         h.finish()
+    }
+
+    // ---- data integrity: CRC-guarded pages, scrubbing, poison --------------
+
+    /// Page size of the integrity grid in elements (0 = grid disabled).
+    fn paging(&self) -> usize {
+        self.inner.config.page_elems
+    }
+
+    /// Number of pages a segment of `elems` elements is divided into.
+    fn page_count(&self, elems: usize) -> usize {
+        let pe = self.paging();
+        if pe == 0 || elems == 0 {
+            0
+        } else {
+            elems.div_ceil(pe)
+        }
+    }
+
+    /// Page CRCs for a freshly allocated (all-zero) segment.
+    fn initial_page_crcs(&self, elems: usize) -> Vec<u32> {
+        let pe = self.paging();
+        let pages = self.page_count(elems);
+        if pages == 0 {
+            return Vec::new();
+        }
+        let zeros = vec![0.0f32; pe.min(elems)];
+        (0..pages)
+            .map(|page| {
+                let (_, len) = page_span(pe, elems, page);
+                crc32c_f32(&zeros[..len])
+            })
+            .collect()
+    }
+
+    /// The page indices overlapping `[offset, offset + len)` in a segment
+    /// of `elems` elements. Empty when the grid is off.
+    fn pages_overlapping(&self, elems: usize, offset: usize, len: usize) -> std::ops::Range<usize> {
+        let pe = self.paging();
+        if pe == 0 || len == 0 || elems == 0 {
+            return 0..0;
+        }
+        let lo = offset / pe;
+        let hi = ((offset + len - 1) / pe + 1).min(elems.div_ceil(pe));
+        lo..hi
+    }
+
+    /// Applies any seeded DRAM-decay faults that have come due on this
+    /// node: each flips one seed-chosen bit of one seed-chosen element in
+    /// one seed-chosen segment *without* touching the recorded page CRC —
+    /// silent corruption for verification or the scrubber to find. Decay
+    /// is applied lazily (on the next verify or scrub pass after its due
+    /// time), which is exactly when it becomes observable; each seeded
+    /// event lands at most once (the injector claims it).
+    pub fn apply_due_decays(&self, ctx: &SimContext) {
+        let Some(inj) = self.inner.rdma.fabric().fault_injector() else { return };
+        let seeds = inj.take_due_decays(self.inner.node, ctx.now());
+        if seeds.is_empty() {
+            return;
+        }
+        let victims: Vec<MemoryRegion> =
+            self.inner.segments.lock().values().map(|s| s.mr).collect();
+        if victims.is_empty() {
+            return;
+        }
+        for seed in seeds {
+            let mr = victims[(seed % victims.len() as u64) as usize];
+            if mr.len == 0 {
+                continue;
+            }
+            let elem = ((seed >> 16) % mr.len as u64) as usize;
+            let bit = ((seed >> 48) % 32) as u32;
+            // Deliberately not race-recorded and charged no sim time:
+            // decay is the *environment* mutating DRAM, not a process —
+            // there is no instruction to order it against.
+            let _ = self.inner.rdma.with_region(&mr, |b| {
+                b[elem] = f32::from_bits(b[elem].to_bits() ^ (1 << bit));
+            });
+        }
+    }
+
+    /// Verifies the CRC-guarded pages overlapping `[offset, offset+len)`,
+    /// applying any due DRAM decays first. A failing page is *poisoned* —
+    /// the server refuses to serve or mutate it until a repair re-installs
+    /// clean bytes — and the check surfaces [`SmbError::Corrupted`] naming
+    /// the page. No-op when the grid is disabled. Zero sim time: the
+    /// checksum walk models server-side CPU the DRAM-bus cost model
+    /// already subsumes.
+    ///
+    /// # Errors
+    ///
+    /// [`SmbError::Corrupted`] for the first poisoned or freshly failing
+    /// page; key-lookup errors if the segment died.
+    pub fn verify_region(
+        &self,
+        ctx: &SimContext,
+        key: ShmKey,
+        offset: usize,
+        len: usize,
+    ) -> Result<(), SmbError> {
+        if self.paging() == 0 {
+            return Ok(());
+        }
+        self.apply_due_decays(ctx);
+        let (mr, _) = self.segment(key)?;
+        let pages = self.pages_overlapping(mr.len, offset, len);
+        if pages.is_empty() {
+            return Ok(());
+        }
+        ctx.footprint(
+            pseudo_region("smb.poison", key.0),
+            pages.start,
+            pages.len(),
+            shmcaffe_simnet::FootprintKind::AtomicRead,
+        );
+        for page in pages {
+            self.verify_page(ctx, key, &mr, page)?;
+        }
+        Ok(())
+    }
+
+    /// Checks one page against its recorded CRC, poisoning it on mismatch.
+    fn verify_page(
+        &self,
+        ctx: &SimContext,
+        key: ShmKey,
+        mr: &MemoryRegion,
+        page: usize,
+    ) -> Result<(), SmbError> {
+        let (off, len) = page_span(self.paging(), mr.len, page);
+        let (already_poisoned, expect) = {
+            let segments = self.inner.segments.lock();
+            let seg = segments.get(&key).ok_or_else(|| self.missing(key))?;
+            (seg.poisoned.contains(&page), seg.page_crcs.get(page).copied())
+        };
+        if already_poisoned {
+            return Err(SmbError::Corrupted { key, node: self.inner.node, page });
+        }
+        let Some(expect) = expect else { return Ok(()) };
+        // Deliberately not race-recorded: the CRC walk is a zero-time
+        // atomic snapshot of the page — it observes either all of a
+        // write's bytes or none of them in the cooperative simulator, so
+        // it cannot witness a torn intermediate state.
+        let actual = self.inner.rdma.with_region(mr, |b| crc32c_f32(&b[off..off + len]))?;
+        if actual != expect {
+            self.poison_page(ctx, key, page);
+            return Err(SmbError::Corrupted { key, node: self.inner.node, page });
+        }
+        Ok(())
+    }
+
+    /// Marks a page poisoned and counts the detection (once per page).
+    fn poison_page(&self, ctx: &SimContext, key: ShmKey, page: usize) {
+        ctx.footprint(
+            pseudo_region("smb.poison", key.0),
+            page,
+            1,
+            shmcaffe_simnet::FootprintKind::AtomicWrite,
+        );
+        let mut segments = self.inner.segments.lock();
+        if let Some(seg) = segments.get_mut(&key) {
+            if seg.poisoned.insert(page) {
+                self.inner.corruptions_detected.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records the *intended* page CRCs after a client write landed:
+    /// per overlapping page, the checksum of the region's current bytes
+    /// with `data` overlaid at `[offset, offset + data.len())`. For an
+    /// intact delivery this equals the actual contents; for a torn one the
+    /// recorded CRC reflects what the writer *meant*, so the next
+    /// verification of the page fails and poisons it. Never clears poison
+    /// (repair is the only clearer).
+    pub(crate) fn note_write(&self, ctx: &SimContext, key: ShmKey, offset: usize, data: &[f32]) {
+        let pe = self.paging();
+        if pe == 0 || data.is_empty() {
+            return;
+        }
+        let Ok((mr, _)) = self.segment(key) else { return };
+        let pages = self.pages_overlapping(mr.len, offset, data.len());
+        ctx.footprint(
+            pseudo_region("smb.poison", key.0),
+            pages.start,
+            pages.len(),
+            shmcaffe_simnet::FootprintKind::AtomicWrite,
+        );
+        for page in pages {
+            let (po, pl) = page_span(pe, mr.len, page);
+            let crc = match self.inner.rdma.with_region(&mr, |b| {
+                let mut intended: Vec<f32> = b[po..po + pl].to_vec();
+                let lo = offset.max(po);
+                let hi = (offset + data.len()).min(po + pl);
+                intended[lo - po..hi - po].copy_from_slice(&data[lo - offset..hi - offset]);
+                crc32c_f32(&intended)
+            }) {
+                Ok(crc) => crc,
+                Err(_) => return,
+            };
+            let mut segments = self.inner.segments.lock();
+            if let Some(slot) = segments.get_mut(&key).and_then(|s| s.page_crcs.get_mut(page)) {
+                *slot = crc;
+            }
+        }
+    }
+
+    /// Recomputes the CRCs of the pages overlapping a range from the
+    /// region's *actual* bytes — for server-side mutations (accumulate)
+    /// that verified their operands first, so the actual bytes are the
+    /// intended bytes. Never clears poison.
+    pub(crate) fn refresh_page_range(&self, key: ShmKey, offset: usize, len: usize) {
+        let pe = self.paging();
+        if pe == 0 {
+            return;
+        }
+        let Ok((mr, _)) = self.segment(key) else { return };
+        for page in self.pages_overlapping(mr.len, offset, len) {
+            let (po, pl) = page_span(pe, mr.len, page);
+            let Ok(crc) = self.inner.rdma.with_region(&mr, |b| crc32c_f32(&b[po..po + pl])) else {
+                return;
+            };
+            let mut segments = self.inner.segments.lock();
+            if let Some(slot) = segments.get_mut(&key).and_then(|s| s.page_crcs.get_mut(page)) {
+                *slot = crc;
+            }
+        }
+    }
+
+    /// Recomputes every page CRC of a segment from its actual bytes and
+    /// clears its poison set — used by the replicator right after copying
+    /// verified-clean contents onto the standby (the copy *is* a repair of
+    /// whatever the standby held before).
+    pub(crate) fn refresh_segment_crcs(&self, key: ShmKey) {
+        let Ok((mr, _)) = self.segment(key) else { return };
+        self.refresh_page_range(key, 0, mr.len);
+        let mut segments = self.inner.segments.lock();
+        if let Some(seg) = segments.get_mut(&key) {
+            seg.poisoned.clear();
+        }
+    }
+
+    /// Lands repaired bytes into one page: overwrites the page's contents,
+    /// records their CRC and clears the poison mark. This is the *only*
+    /// operation that clears poison. The landing is an `AtomicRmw` on the
+    /// page's range — it cannot race the accumulate engine, and the repair
+    /// protocol ([`crate::SmbPair::repair_page`]) orders it against
+    /// replication passes via the replicator's HB stamp.
+    ///
+    /// # Errors
+    ///
+    /// Key-lookup errors and [`SmbError::SizeMismatch`] if `data` is not
+    /// exactly one page.
+    pub(crate) fn install_page(
+        &self,
+        ctx: &SimContext,
+        key: ShmKey,
+        page: usize,
+        data: &[f32],
+    ) -> Result<(), SmbError> {
+        let (mr, _) = self.segment(key)?;
+        let (off, len) = page_span(self.paging().max(1), mr.len, page);
+        if len != data.len() {
+            return Err(SmbError::SizeMismatch { key, expected: len, got: data.len() });
+        }
+        ctx.footprint(
+            pseudo_region("smb.poison", key.0),
+            page,
+            1,
+            shmcaffe_simnet::FootprintKind::AtomicRmw,
+        );
+        ctx.footprint(mr.rkey.0, off, len, shmcaffe_simnet::FootprintKind::AtomicRmw);
+        #[cfg(feature = "race-detect")]
+        self.inner.rdma.race_detector().record(
+            ctx,
+            mr.rkey.0,
+            off,
+            len,
+            shmcaffe_simnet::race::AccessKind::AtomicRmw,
+            "smb::replica::repair",
+        );
+        self.inner.rdma.with_region(&mr, |b| b[off..off + len].copy_from_slice(data))?;
+        let crc = crc32c_f32(data);
+        let mut segments = self.inner.segments.lock();
+        if let Some(seg) = segments.get_mut(&key) {
+            if let Some(slot) = seg.page_crcs.get_mut(page) {
+                *slot = crc;
+            }
+            seg.poisoned.remove(&page);
+        }
+        Ok(())
+    }
+
+    /// Whether a page is currently poisoned (footprinted so the explorer
+    /// orders this check against poisoning and repair).
+    pub(crate) fn page_poisoned(&self, ctx: &SimContext, key: ShmKey, page: usize) -> bool {
+        ctx.footprint(
+            pseudo_region("smb.poison", key.0),
+            page,
+            1,
+            shmcaffe_simnet::FootprintKind::AtomicRead,
+        );
+        self.inner.segments.lock().get(&key).is_some_and(|seg| seg.poisoned.contains(&page))
+    }
+
+    /// Source-side page fetch for repair: the page's bytes if and only if
+    /// they verify against the recorded CRC (due decays on this node are
+    /// applied first, so a stale standby copy cannot masquerade as clean).
+    ///
+    /// # Errors
+    ///
+    /// [`SmbError::Corrupted`] when this copy is bad too; key errors when
+    /// the segment was never mirrored here.
+    pub(crate) fn read_page_checked(
+        &self,
+        ctx: &SimContext,
+        key: ShmKey,
+        page: usize,
+    ) -> Result<Vec<f32>, SmbError> {
+        self.apply_due_decays(ctx);
+        let (mr, _) = self.segment(key)?;
+        self.verify_page(ctx, key, &mr, page)?;
+        let (off, len) = page_span(self.paging().max(1), mr.len, page);
+        // Deliberately not race-recorded: zero-time snapshot taken after
+        // the repair protocol has waited out any in-flight replication
+        // pass, so it cannot observe a half-shipped segment.
+        Ok(self.inner.rdma.with_region(&mr, |b| b[off..off + len].to_vec())?)
+    }
+
+    /// Whether every page of a segment verifies clean. Failing pages are
+    /// poisoned as a side effect (the caller — the replicator — thereby
+    /// doubles as a scrubber). `true` when the grid is off.
+    pub(crate) fn segment_clean(&self, ctx: &SimContext, key: ShmKey) -> bool {
+        if self.paging() == 0 {
+            return true;
+        }
+        self.apply_due_decays(ctx);
+        let Ok((mr, _)) = self.segment(key) else { return false };
+        let mut clean = true;
+        for page in 0..self.page_count(mr.len) {
+            if self.verify_page(ctx, key, &mr, page).is_err() {
+                clean = false;
+            }
+        }
+        clean
+    }
+
+    /// Deterministic corruption hook: flips one bit of one element without
+    /// updating the page CRC — the hand-driven equivalent of a DRAM decay,
+    /// used by the integrity proptests and the schedule-checker models
+    /// (which must not depend on a fault injector).
+    ///
+    /// # Errors
+    ///
+    /// Key-lookup errors and [`SmbError::SizeMismatch`] for an
+    /// out-of-range element.
+    pub fn inject_bit_flip(&self, key: ShmKey, elem: usize, bit: u32) -> Result<(), SmbError> {
+        let (mr, _) = self.segment(key)?;
+        if elem >= mr.len {
+            return Err(SmbError::SizeMismatch { key, expected: mr.len, got: elem + 1 });
+        }
+        self.inner.rdma.with_region(&mr, |b| {
+            b[elem] = f32::from_bits(b[elem].to_bits() ^ (1u32 << (bit % 32)));
+        })?;
+        Ok(())
+    }
+
+    /// Deterministic corruption hook: applies a torn write — only
+    /// `data[..prefix]` lands in the segment at `offset` while the page
+    /// CRCs record the full *intended* contents, exactly the state an
+    /// acknowledged-but-truncated client write leaves behind. The next
+    /// verification of an affected page fails and poisons it.
+    ///
+    /// # Errors
+    ///
+    /// Key-lookup errors and [`SmbError::SizeMismatch`] for an
+    /// out-of-range write or `prefix > data.len()`.
+    pub fn inject_torn_write(
+        &self,
+        ctx: &SimContext,
+        key: ShmKey,
+        offset: usize,
+        data: &[f32],
+        prefix: usize,
+    ) -> Result<(), SmbError> {
+        let (mr, _) = self.segment(key)?;
+        if offset + data.len() > mr.len || prefix > data.len() {
+            return Err(SmbError::SizeMismatch { key, expected: mr.len, got: offset + data.len() });
+        }
+        if prefix > 0 {
+            self.inner.rdma.with_region(&mr, |b| {
+                b[offset..offset + prefix].copy_from_slice(&data[..prefix])
+            })?;
+        }
+        self.note_write(ctx, key, offset, data);
+        Ok(())
+    }
+
+    /// One scrub pass: applies due decays, then walks every segment's page
+    /// grid verifying CRCs. Newly failing pages are poisoned (counted in
+    /// [`SmbServer::corruptions_detected`]); already-poisoned pages are
+    /// skipped (their detection was already counted). Returns how many
+    /// pages this pass poisoned. Zero sim time — the scrubber's cost model
+    /// is its cadence, not its walk.
+    pub fn scrub_pass(&self, ctx: &SimContext) -> usize {
+        if self.paging() == 0 {
+            return 0;
+        }
+        self.apply_due_decays(ctx);
+        let catalog: Vec<(ShmKey, MemoryRegion)> =
+            self.inner.segments.lock().iter().map(|(&k, s)| (k, s.mr)).collect();
+        let mut newly = 0;
+        for (key, mr) in catalog {
+            let pages = self.page_count(mr.len);
+            if pages == 0 {
+                continue;
+            }
+            ctx.footprint(
+                pseudo_region("smb.poison", key.0),
+                0,
+                pages,
+                shmcaffe_simnet::FootprintKind::AtomicRead,
+            );
+            for page in 0..pages {
+                let poisoned_before = self
+                    .inner
+                    .segments
+                    .lock()
+                    .get(&key)
+                    .is_some_and(|s| s.poisoned.contains(&page));
+                if poisoned_before {
+                    continue;
+                }
+                if self.verify_page(ctx, key, &mr, page).is_err() {
+                    newly += 1;
+                }
+            }
+        }
+        newly
+    }
+
+    /// Runs the background scrubber: one [`SmbServer::scrub_pass`] every
+    /// [`SmbServerConfig::scrub_interval`] until
+    /// [`SmbServer::stop_scrubber`]. Returns immediately when the page
+    /// grid or the cadence is disabled. Spawn as its own simulation
+    /// process (the ShmCaffe-A platform spawns one per pair member).
+    pub fn run_scrubber(&self, ctx: &SimContext) {
+        let interval = self.inner.config.scrub_interval;
+        if self.paging() == 0 || interval == SimDuration::ZERO {
+            return;
+        }
+        loop {
+            ctx.sleep(interval);
+            if self.inner.scrub_stop.load(Ordering::Acquire) {
+                return;
+            }
+            self.scrub_pass(ctx);
+        }
+    }
+
+    /// Stops the background scrubber after its current sleep.
+    pub fn stop_scrubber(&self) {
+        self.inner.scrub_stop.store(true, Ordering::Release);
+    }
+
+    /// Total pages poisoned so far (each page counted once per poisoning).
+    pub fn corruptions_detected(&self) -> u64 {
+        self.inner.corruptions_detected.load(Ordering::Relaxed)
+    }
+
+    /// The currently poisoned pages of a segment (empty for a clean or
+    /// unknown segment).
+    pub fn poisoned_pages(&self, key: ShmKey) -> Vec<usize> {
+        self.inner
+            .segments
+            .lock()
+            .get(&key)
+            .map(|seg| seg.poisoned.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     // ---- replication support (see `crate::replica`) -----------------------
@@ -811,6 +1353,10 @@ impl SmbServer {
                 wire_bytes: meta.wire_bytes,
                 name: meta.name.clone(),
                 version: meta.version,
+                // The replicator refreshes these from the copied contents
+                // right after the install (see `refresh_segment_crcs`).
+                page_crcs: self.initial_page_crcs(meta.len),
+                poisoned: BTreeSet::new(),
                 #[cfg(feature = "race-detect")]
                 created: meta.created.clone(),
             },

@@ -601,6 +601,141 @@ fn disjoint_tiles_without_edges_are_race_free() {
     assert!(server.rdma().race_detector().reports().is_empty());
 }
 
+/// The corruption-repair chain (DESIGN.md §5j) under the halting
+/// detector: the master seeds W_g, replicates it, and poisons one page; a
+/// worker's retrying read detects the bad CRC and repairs the page from
+/// the standby (the repair joins the replication stamp, ordering the
+/// mirror's plain write before the repair's source read, and the install
+/// itself is an engine-serialized rmw); a third client plain-writes the
+/// repaired segment only after the worker's channel notification. Every
+/// conflicting pair is ordered — the run must stay silent.
+#[test]
+fn repair_chain_with_client_edges_is_race_free() {
+    let spec = ClusterSpec { memory_servers: 2, ..ClusterSpec::paper_testbed(2) };
+    let rdma = RdmaFabric::new(Fabric::new(spec));
+    let cfg = SmbServerConfig { page_elems: 4, ..SmbServerConfig::default() };
+    let pair = SmbPair::new(rdma.clone(), cfg).unwrap();
+
+    let to_worker = SimChannel::<ShmKey>::new("key_to_worker");
+    let to_writer = SimChannel::<ShmKey>::new("key_to_writer");
+    let repaired = SimChannel::<()>::new("repaired");
+    let mut sim = Simulation::new();
+    {
+        let p = pair.clone();
+        let (to_worker, to_writer) = (to_worker.clone(), to_writer.clone());
+        sim.spawn("master", move |ctx| {
+            let client = SmbClient::with_failover(p.clone(), NodeId(0));
+            let key = client.create(&ctx, "W_g", 8, None).unwrap();
+            let buf = client.alloc(&ctx, key).unwrap();
+            client.write(&ctx, &buf, &[1.0; 8]).unwrap();
+            p.replicate(&ctx).unwrap();
+            p.primary().inject_bit_flip(key, 1, 3).unwrap();
+            assert_eq!(p.primary().scrub_pass(&ctx), 1);
+            to_worker.send(&ctx, key);
+            to_writer.send(&ctx, key);
+        });
+    }
+    {
+        let p = pair.clone();
+        let repaired = repaired.clone();
+        sim.spawn("worker", move |ctx| {
+            let key = to_worker.recv(&ctx);
+            let client = SmbClient::with_failover(p.clone(), NodeId(1));
+            let buf = client.alloc(&ctx, key).unwrap();
+            let policy = RetryPolicy::with_seed(53);
+            let mut out = [0.0f32; 8];
+            client.read_retrying(&ctx, &buf, &mut out, &policy).unwrap();
+            assert_eq!(out, [1.0; 8], "the repaired read must return the mirrored bytes");
+            assert_eq!(p.repairs_completed(), 1);
+            let fs = client.fault_stats();
+            assert_eq!((fs.corruptions_detected, fs.corruptions_repaired), (1, 1));
+            repaired.send(&ctx, ());
+        });
+    }
+    {
+        let p = pair.clone();
+        sim.spawn("writer", move |ctx| {
+            let key = to_writer.recv(&ctx);
+            // The repair's page install is an engine-serialized rmw; this
+            // plain write needs (and gets) the repaired→write edge.
+            repaired.recv(&ctx);
+            let client = SmbClient::with_failover(p, NodeId(0));
+            let buf = client.alloc(&ctx, key).unwrap();
+            client.write(&ctx, &buf, &[2.0; 8]).unwrap();
+            let mut out = [0.0f32; 8];
+            client.read(&ctx, &buf, &mut out).unwrap();
+            assert_eq!(out, [2.0; 8]);
+        });
+    }
+    // halt_on_race defaults to true: any report would fail sim.run().
+    sim.run();
+    assert!(rdma.race_detector().reports().is_empty());
+    assert_eq!(pair.repairs_completed(), 1);
+}
+
+/// Seeded missing-edge companion: a rogue client plain-writes the segment
+/// while a repair daemon re-installs its poisoned page, with no channel
+/// edge between them. The install is recorded as an engine-serialized rmw
+/// at `smb::replica::repair`, so the concurrent plain write is exactly one
+/// race, naming the repair site.
+#[test]
+fn seeded_plain_write_concurrent_with_repair_is_caught() {
+    use shmcaffe_simnet::SimTime;
+    let spec = ClusterSpec { memory_servers: 2, ..ClusterSpec::paper_testbed(2) };
+    let rdma = RdmaFabric::new(Fabric::new(spec));
+    let cfg = SmbServerConfig { page_elems: 4, ..SmbServerConfig::default() };
+    let pair = SmbPair::new(rdma.clone(), cfg).unwrap();
+    rdma.race_detector().set_halt_on_race(false);
+
+    let to_daemon = SimChannel::<ShmKey>::new("key_to_daemon");
+    let to_rogue = SimChannel::<ShmKey>::new("key_to_rogue");
+    let mut sim = Simulation::new();
+    {
+        let p = pair.clone();
+        let (to_daemon, to_rogue) = (to_daemon.clone(), to_rogue.clone());
+        sim.spawn("master", move |ctx| {
+            let client = SmbClient::with_failover(p.clone(), NodeId(0));
+            let key = client.create(&ctx, "W_g", 8, None).unwrap();
+            let buf = client.alloc(&ctx, key).unwrap();
+            client.write(&ctx, &buf, &[1.0; 8]).unwrap();
+            p.replicate(&ctx).unwrap();
+            p.primary().inject_bit_flip(key, 1, 3).unwrap();
+            assert_eq!(p.primary().scrub_pass(&ctx), 1);
+            to_daemon.send(&ctx, key);
+            to_rogue.send(&ctx, key);
+        });
+    }
+    {
+        let p = pair.clone();
+        sim.spawn("repair_daemon", move |ctx| {
+            let key = to_daemon.recv(&ctx);
+            p.repair_page(&ctx, key, 0).unwrap();
+        });
+    }
+    {
+        let p = pair.clone();
+        sim.spawn("rogue", move |ctx| {
+            let key = to_rogue.recv(&ctx);
+            // Wait in sim time only — deliberately no channel from the
+            // daemon, so the repair's install and this plain write are
+            // concurrent in vector-clock terms.
+            ctx.sleep_until(SimTime::from_millis(50));
+            let client = SmbClient::with_failover(p, NodeId(1));
+            let buf = client.alloc(&ctx, key).unwrap();
+            client.write(&ctx, &buf, &[3.0; 8]).unwrap();
+        });
+    }
+    sim.run();
+
+    let reports = rdma.race_detector().reports();
+    assert_eq!(reports.len(), 1, "exactly one race expected, got {reports:#?}");
+    let r = &reports[0];
+    let mut sites = [r.earlier_site, r.later_site];
+    sites.sort_unstable();
+    assert_eq!(sites, ["smb::client::write", "smb::replica::repair"]);
+    assert_ne!(r.earlier_pid, r.later_pid);
+}
+
 /// Two engine-serialized accumulates from unsynchronized workers are
 /// atomic read-modify-writes, not a race (paper T.A3: the DRAM bus
 /// processes accumulate requests exclusively).

@@ -335,6 +335,87 @@ fn accumulate_stream_guard_certifies_untorn_standby() {
     );
 }
 
+/// Repair racing a concurrent repair and an accumulate: page 0 of W_g is
+/// poisoned, two clients race `repair_page` for it at the same virtual
+/// time, and the winner's owner then folds ΔW into the repaired W_g. In
+/// every ordering the repair fence keeps the loser's stale replica bytes
+/// from landing over the fold: W_g always converges to the repaired-then-
+/// folded value, the poison clears, and the standby keeps serving its
+/// replicated snapshot.
+#[test]
+fn repair_vs_concurrent_accumulate_certifies() {
+    let setup = |sim: &mut Simulation| {
+        let cfg = SmbServerConfig { page_elems: 2, ..Default::default() };
+        let pair = SmbPair::new(pair_fabric(), cfg).unwrap();
+        {
+            let p = pair.clone();
+            sim.spawn("boot", move |ctx| {
+                let client = SmbClient::new(p.primary().clone(), NodeId(0));
+                let wg = client.create(&ctx, "wg", 4, None).unwrap();
+                let buf = client.alloc(&ctx, wg).unwrap();
+                client.write(&ctx, &buf, &[1.0; 4]).unwrap();
+                let dw = client.create(&ctx, "dw", 4, None).unwrap();
+                let dbuf = client.alloc(&ctx, dw).unwrap();
+                client.write(&ctx, &dbuf, &[10.0; 4]).unwrap();
+                p.replicate(&ctx).unwrap();
+                // Flip a bit inside page 0 and let the scrubber find it.
+                p.primary().inject_bit_flip(wg, 0, 3).unwrap();
+                assert_eq!(p.primary().scrub_pass(&ctx), 1);
+            });
+        }
+        {
+            let p = pair.clone();
+            sim.spawn("repair_then_fold", move |ctx| {
+                ctx.sleep_until(SimTime::from_millis(5));
+                let wg = p.primary().lookup("wg").unwrap();
+                let dw = p.primary().lookup("dw").unwrap();
+                p.repair_page(&ctx, wg, 0).unwrap();
+                p.accumulate_range(&ctx, dw, wg, 0, 4).unwrap();
+            });
+        }
+        {
+            let p = pair.clone();
+            sim.spawn("repair_only", move |ctx| {
+                ctx.sleep_until(SimTime::from_millis(5));
+                let wg = p.primary().lookup("wg").unwrap();
+                p.repair_page(&ctx, wg, 0).unwrap();
+            });
+        }
+        {
+            let p = pair.clone();
+            sim.spawn("check", move |ctx| {
+                ctx.sleep_until(SimTime::from_millis(50));
+                let wg = p.primary().lookup("wg").unwrap();
+                let client = SmbClient::new(p.primary().clone(), NodeId(0));
+                let buf = client.alloc(&ctx, wg).unwrap();
+                let mut copy = [0.0f32; 4];
+                client.read(&ctx, &buf, &mut copy).unwrap();
+                assert_eq!(copy, [11.0; 4], "W_g must be repaired-then-folded, never stale");
+                assert!(p.primary().poisoned_pages(wg).is_empty(), "poison must clear");
+                assert_eq!(p.primary().corruptions_detected(), 1);
+                // Repair does not bump versions, so the standby still holds
+                // the replicated pre-fold snapshot.
+                let swg = p.standby().lookup("wg").unwrap();
+                let sc = SmbClient::new(p.standby().clone(), NodeId(0));
+                let sbuf = sc.alloc(&ctx, swg).unwrap();
+                sc.read(&ctx, &sbuf, &mut copy).unwrap();
+                assert_eq!(copy, [1.0; 4], "standby serves the replicated snapshot");
+            });
+        }
+        let p = pair;
+        sim.set_state_probe(move || p.state_hash());
+    };
+    let report = Simulation::explore(&ExploreBounds::exhaustive(128), setup);
+    assert!(report.certified(), "repair-vs-accumulate must certify: {report:?}");
+    assert!(report.schedules >= 2, "the repair ties must be explored: {report:?}");
+    println!(
+        "schedcheck repair-vs-accumulate: {} explored / {} naive ({} pruned independent)",
+        report.schedules,
+        report.naive_schedules(),
+        report.pruned_independent
+    );
+}
+
 /// Seeded missing-HB-edge mutation: the worker heartbeats exactly *at* the
 /// eviction scan's wake time instead of strictly before it, so nothing
 /// orders the heartbeat before the scan. The default (pid-order) schedule
@@ -489,4 +570,104 @@ fn mutated_fence_check_skip_is_caught() {
         assert_eq!(replay.state_hash, failure.state_hash);
     }
     println!("schedcheck mutation fence-skip: caught with trace {:?}", failure.trace);
+}
+
+/// Seeded repair-fence removal: two clients race `repair_page` for the
+/// same poisoned page with pages big enough that the repair transfer is
+/// wire-time-dominated, so the loser's transfer is still in flight when
+/// the winner has installed *and* its owner has folded ΔW into the
+/// repaired page. With the fence intact the loser re-checks the poison
+/// after its transfer and skips; with it disabled
+/// (`set_repair_fence(false)`) the stale replica bytes land over the fold
+/// — a silent lost update with a *valid* CRC that no read can ever flag.
+/// The explorer must catch the mutant (the fenced variant of the same
+/// model certifies clean across every schedule), and the `.sched` trace
+/// must replay the failure bit-identically.
+#[test]
+fn mutated_repair_without_fence_is_caught() {
+    const PE: usize = 65536; // 256 KiB pages: repair wire time >> path latency
+    const N: usize = 2 * PE;
+    let model = |mutated: bool| {
+        move |sim: &mut Simulation| {
+            let cfg = SmbServerConfig { page_elems: PE, ..Default::default() };
+            let pair = SmbPair::new(pair_fabric(), cfg).unwrap();
+            if mutated {
+                pair.set_repair_fence(false);
+            }
+            {
+                let p = pair.clone();
+                sim.spawn("boot", move |ctx| {
+                    let client = SmbClient::new(p.primary().clone(), NodeId(0));
+                    let wg = client.create(&ctx, "wg", N, None).unwrap();
+                    let buf = client.alloc(&ctx, wg).unwrap();
+                    client.write(&ctx, &buf, &vec![1.0; N]).unwrap();
+                    let dw = client.create(&ctx, "dw", N, None).unwrap();
+                    let dbuf = client.alloc(&ctx, dw).unwrap();
+                    client.write(&ctx, &dbuf, &vec![10.0; N]).unwrap();
+                    p.replicate(&ctx).unwrap();
+                    p.primary().inject_bit_flip(wg, 1, 12).unwrap();
+                    assert_eq!(p.primary().scrub_pass(&ctx), 1);
+                });
+            }
+            {
+                let p = pair.clone();
+                sim.spawn("repair_then_fold", move |ctx| {
+                    ctx.sleep_until(SimTime::from_millis(20));
+                    let wg = p.primary().lookup("wg").unwrap();
+                    let dw = p.primary().lookup("dw").unwrap();
+                    p.repair_page(&ctx, wg, 0).unwrap();
+                    p.accumulate_range(&ctx, dw, wg, 0, 4).unwrap();
+                });
+            }
+            {
+                let p = pair.clone();
+                sim.spawn("late_repair", move |ctx| {
+                    // Starts mid-flight of the first repair: sees the poison
+                    // (the install is ~150 µs of wire time away), transfers,
+                    // and completes only after the winner's fold landed.
+                    ctx.sleep_until(SimTime::from_millis(20));
+                    ctx.sleep(SimDuration::from_micros(20));
+                    let wg = p.primary().lookup("wg").unwrap();
+                    p.repair_page(&ctx, wg, 0).unwrap();
+                });
+            }
+            {
+                let p = pair.clone();
+                sim.spawn("check", move |ctx| {
+                    ctx.sleep_until(SimTime::from_millis(50));
+                    let wg = p.primary().lookup("wg").unwrap();
+                    let client = SmbClient::new(p.primary().clone(), NodeId(0));
+                    let buf = client.alloc(&ctx, wg).unwrap();
+                    let mut copy = [0.0f32; 4];
+                    client.read_range(&ctx, &buf, 0, &mut copy).unwrap();
+                    assert_eq!(
+                        copy, [11.0; 4],
+                        "repair-fence: stale replica bytes landed over the fold"
+                    );
+                });
+            }
+            let p = pair;
+            sim.set_state_probe(move || p.state_hash());
+        }
+    };
+
+    // With the fence intact the same overlap certifies clean.
+    let clean = Simulation::explore(&ExploreBounds::exhaustive(128), model(false));
+    assert!(clean.certified(), "the fenced repair must certify: {clean:?}");
+
+    let trace_path = sched_dir().join("repair_fence.sched");
+    let bounds =
+        ExploreBounds { trace_path: Some(trace_path.clone()), ..ExploreBounds::exhaustive(128) };
+    let failure = Simulation::explore(&bounds, model(true))
+        .failure
+        .expect("the unfenced repair lost-update must be found");
+    assert!(failure.message.contains("repair-fence"), "got: {}", failure.message);
+    let loaded = ScheduleTrace::load(&trace_path).expect("trace file parses");
+    assert_eq!(loaded, failure.trace);
+    for _ in 0..2 {
+        let replay = Simulation::replay(&loaded, model(true));
+        assert_eq!(replay.result.as_ref().err(), Some(&failure.message));
+        assert_eq!(replay.state_hash, failure.state_hash);
+    }
+    println!("schedcheck mutation repair-fence: caught with trace {:?}", failure.trace);
 }

@@ -66,6 +66,11 @@ echo "== partition tolerance: split-brain chaos + fencing/replica suites =="
 cargo test -q -p shmcaffe --test partition
 cargo test -q -p shmcaffe-smb --lib -- promotion fenced partition reconcile
 
+echo "== data integrity: CRC-grid proptests + repair/scrub suites + corruption chaos =="
+cargo test -q -p shmcaffe-smb --test integrity_proptests
+cargo test -q -p shmcaffe-smb --test integrity
+cargo test -q -p shmcaffe --test chaos -- corrupt
+
 echo "== schedcheck: bounded DPOR exploration + seeded-mutation harness =="
 # Every suite carries its own schedule budget (ExploreBounds); the timeout
 # is a wall-clock backstop so a pruning regression fails the gate instead
@@ -74,7 +79,7 @@ timeout 300 cargo test -q -p shmcaffe-simnet --test schedcheck
 timeout 300 cargo test -q -p shmcaffe-smb --test schedcheck
 timeout 300 cargo test -q -p shmcaffe --test schedcheck_seasgd
 
-echo "== race detector: SMB seeded-race/failover/fence-chain + SEASGD chaos/failover/partition =="
+echo "== race detector: SMB seeded-race/failover/fence-chain/repair + SEASGD chaos/failover/partition =="
 cargo test -q -p shmcaffe-smb --features race-detect
 cargo test -q -p shmcaffe --features race-detect
 cargo test -q -p shmcaffe-simnet --features race-detect
